@@ -1,0 +1,43 @@
+// Reproduces Fig. 1: illustrative architecture profiles and the Step 2
+// dominance filter ("A, B and C are good candidates ... D will be removed").
+#include <cstdio>
+
+#include "experiments/experiments.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace bml;
+  std::puts("=== Fig. 1: candidate selection on the illustrative catalog "
+            "===\n");
+
+  const Fig1Result result = run_fig1();
+
+  AsciiTable profiles({"Architecture", "maxPerf (req/s)", "idle (W)",
+                       "maxPower (W)", "verdict"});
+  for (const ArchitectureProfile& arch : result.input) {
+    std::string verdict = "kept (BML candidate)";
+    for (const RemovedArch& removed : result.removed)
+      if (removed.name == arch.name())
+        verdict = "REMOVED: " + to_string(removed.reason) + " by " +
+                  removed.dominated_by;
+    profiles.add_row({arch.name(), AsciiTable::num(arch.max_perf(), 0),
+                      AsciiTable::num(arch.idle_power(), 1),
+                      AsciiTable::num(arch.max_power(), 1), verdict});
+  }
+  std::fputs(profiles.render().c_str(), stdout);
+
+  std::puts("\nRepeated (homogeneous) power profiles, W at increasing "
+            "performance rate:");
+  AsciiTable series({"rate (req/s)", result.input[0].name(),
+                     result.input[1].name(), result.input[2].name(),
+                     result.input[3].name()});
+  for (std::size_t i = 0; i < result.homogeneous_series[0].size(); i += 5) {
+    series.add_row({AsciiTable::num(i * result.rate_step, 0),
+                    AsciiTable::num(result.homogeneous_series[0][i], 1),
+                    AsciiTable::num(result.homogeneous_series[1][i], 1),
+                    AsciiTable::num(result.homogeneous_series[2][i], 1),
+                    AsciiTable::num(result.homogeneous_series[3][i], 1)});
+  }
+  std::fputs(series.render().c_str(), stdout);
+  return 0;
+}

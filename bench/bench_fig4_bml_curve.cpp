@@ -1,0 +1,54 @@
+// Reproduces Fig. 4: "Consumption of BML combination over an increasing
+// performance rate, until maxPerf(Big), compared to Big and BML linear".
+//
+// Also prints the Section V-B acceptance numbers: final infrastructure
+// Raspberry/Chromebook/Paravance with thresholds 1 / 10 / 529 req/s.
+#include <cstdio>
+
+#include "experiments/experiments.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace bml;
+  std::puts("=== Fig. 4: ideal BML combination power vs Big-only and "
+            "BML-linear ===\n");
+
+  const Fig4Result result = run_fig4(1.0);
+  const BmlDesign& design = result.design;
+
+  AsciiTable roles({"Architecture", "role", "min utilization threshold "
+                                            "(req/s)"});
+  for (std::size_t i = 0; i < design.candidates().size(); ++i)
+    roles.add_row({design.candidates()[i].name(),
+                   to_string(design.roles()[i]),
+                   AsciiTable::num(design.thresholds()[i], 0)});
+  std::fputs(roles.render().c_str(), stdout);
+  std::puts("(paper: thresholds are respectively 1, 10 and 529 req/s)\n");
+
+  AsciiTable curve({"rate (req/s)", "BML combination (W)", "Big only (W)",
+                    "BML linear (W)", "combination"});
+  for (std::size_t i = 0; i < result.rates.size(); i += 95) {
+    const double r = result.rates[i];
+    curve.add_row({AsciiTable::num(r, 0), AsciiTable::num(result.bml[i], 2),
+                   AsciiTable::num(result.big_only[i], 2),
+                   AsciiTable::num(result.linear[i], 2),
+                   to_string(design.candidates(),
+                             design.ideal_combination(r))});
+  }
+  std::fputs(curve.render().c_str(), stdout);
+
+  // Aggregate gap metrics over the full 1 req/s grid.
+  double bml_area = 0.0, big_area = 0.0, linear_area = 0.0;
+  for (std::size_t i = 0; i < result.rates.size(); ++i) {
+    bml_area += result.bml[i];
+    big_area += result.big_only[i];
+    linear_area += result.linear[i];
+  }
+  std::printf("\nMean power over 0..maxPerf(Big): BML %.1f W vs Big-only "
+              "%.1f W (-%.0f%%), BML-linear %.1f W\n",
+              bml_area / result.rates.size(),
+              big_area / result.rates.size(),
+              (1.0 - bml_area / big_area) * 100.0,
+              linear_area / result.rates.size());
+  return 0;
+}

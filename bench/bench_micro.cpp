@@ -1,0 +1,115 @@
+// google-benchmark microbenchmarks for the library's hot paths: the
+// combination solvers, load dispatch, threshold computation, the oracle
+// predictor, and the end-to-end simulator step rate.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/bml_design.hpp"
+#include "predict/predictor.hpp"
+#include "sched/bml_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace bml;
+
+const BmlDesign& design() {
+  static const BmlDesign d = BmlDesign::build(real_catalog());
+  return d;
+}
+
+void BM_GreedySolve(benchmark::State& state) {
+  const auto& d = design();
+  const GreedyThresholdSolver solver(d.candidates(), d.thresholds());
+  double rate = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(rate));
+    rate = rate >= 5000.0 ? 1.0 : rate + 37.0;
+  }
+}
+BENCHMARK(BM_GreedySolve);
+
+void BM_ExactDpBuild(benchmark::State& state) {
+  const auto& d = design();
+  for (auto _ : state) {
+    const ExactDpSolver solver(d.candidates(),
+                               static_cast<double>(state.range(0)));
+    benchmark::DoNotOptimize(&solver);
+  }
+}
+BENCHMARK(BM_ExactDpBuild)->Arg(1000)->Arg(5000);
+
+void BM_TableLookup(benchmark::State& state) {
+  const auto& d = design();
+  double rate = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.ideal_combination(rate));
+    rate = rate >= 5000.0 ? 0.0 : rate + 13.0;
+  }
+}
+BENCHMARK(BM_TableLookup);
+
+void BM_Dispatch(benchmark::State& state) {
+  const auto& d = design();
+  const Combination combo = d.ideal_combination(2500.0);
+  double load = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dispatch(d.candidates(), combo, load));
+    load = load >= 2500.0 ? 0.0 : load + 11.0;
+  }
+}
+BENCHMARK(BM_Dispatch);
+
+void BM_ThresholdComputation(benchmark::State& state) {
+  const Catalog catalog = real_catalog();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BmlDesign::build(catalog, {.build_table = false}));
+  }
+}
+BENCHMARK(BM_ThresholdComputation);
+
+void BM_OraclePredictorQuery(benchmark::State& state) {
+  DiurnalOptions options;
+  options.noise = 0.05;
+  const LoadTrace trace = diurnal_trace(options, 1);
+  OracleMaxPredictor oracle;
+  (void)oracle.predict(trace, 0, 378.0);  // build the cache once
+  TimePoint t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.predict(trace, t, 378.0));
+    t = (t + 17) % 86400;
+  }
+}
+BENCHMARK(BM_OraclePredictorQuery);
+
+void BM_SimulatorDay(benchmark::State& state) {
+  auto d = std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
+  WorldCupOptions options;
+  options.days = 1;
+  options.peak = 3000.0;
+  const LoadTrace trace = worldcup_like_trace(options);
+  const Simulator simulator(d->candidates());
+  for (auto _ : state) {
+    BmlScheduler scheduler(d, std::make_shared<OracleMaxPredictor>());
+    benchmark::DoNotOptimize(simulator.run(scheduler, trace));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.size()));
+}
+BENCHMARK(BM_SimulatorDay)->Unit(benchmark::kMillisecond);
+
+void BM_WorldCupTraceGeneration(benchmark::State& state) {
+  WorldCupOptions options;
+  options.days = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(worldcup_like_trace(options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(options.days) * 86400);
+}
+BENCHMARK(BM_WorldCupTraceGeneration)->Arg(1)->Arg(7)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

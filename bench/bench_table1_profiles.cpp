@@ -1,0 +1,46 @@
+// Reproduces Table I: "Performance and power profiles of each architecture".
+//
+// Runs the Step 1 profiling campaign on the simulated testbed for all five
+// machines and prints the measured rows next to the paper's ground truth.
+#include <cstdio>
+#include <string>
+
+#include "experiments/experiments.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace bml;
+  std::puts("=== Table I: performance and power profiles of each "
+            "architecture ===");
+  std::puts("(measured on the simulated testbed; truth in parentheses)\n");
+
+  const Table1Result result = run_table1();
+
+  AsciiTable table({"Architecture", "MaxPerf (reqs/s)", "Idle-Max Power (W)",
+                    "Ont (s)", "OnE (J)", "Offt (s)", "OffE (J)",
+                    "worst err"});
+  for (const ProfiledArch& row : result.rows) {
+    const auto& m = row.measured;
+    const auto& t = row.truth;
+    table.add_row(
+        {t.name(),
+         AsciiTable::num(m.max_perf(), 0) + " (" +
+             AsciiTable::num(t.max_perf(), 0) + ")",
+         AsciiTable::num(m.idle_power(), 1) + " - " +
+             AsciiTable::num(m.max_power(), 1) + " (" +
+             AsciiTable::num(t.idle_power(), 1) + " - " +
+             AsciiTable::num(t.max_power(), 1) + ")",
+         AsciiTable::num(m.on_cost().duration, 0),
+         AsciiTable::num(m.on_cost().energy, 0) + " (" +
+             AsciiTable::num(t.on_cost().energy, 0) + ")",
+         AsciiTable::num(m.off_cost().duration, 0),
+         AsciiTable::num(m.off_cost().energy, 1) + " (" +
+             AsciiTable::num(t.off_cost().energy, 1) + ")",
+         AsciiTable::num(row.worst_relative_error() * 100.0, 1) + "%"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nPaper reference rows (Table I): Paravance 1331 reqs/s, "
+            "69.9-200.5 W; Taurus 860, 95.8-223.7; Graphene 272, 47.7-123.8; "
+            "Chromebook 33, 4-7.6; Raspberry 9, 3.1-3.7.");
+  return 0;
+}

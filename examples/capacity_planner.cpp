@@ -1,0 +1,63 @@
+// Capacity planner: answer "what should my heterogeneous cluster look like
+// for this workload?" — including the limited-inventory case of an
+// existing machine room (Section IV-A's "minor changes").
+//
+//   $ ./capacity_planner
+#include <cstdio>
+
+#include "arch/catalog.hpp"
+#include "core/bml_design.hpp"
+#include "trace/synthetic.hpp"
+
+int main() {
+  using namespace bml;
+
+  // A day of diurnal load peaking at 2000 req/s.
+  DiurnalOptions load;
+  load.peak = 2000.0;
+  load.trough_fraction = 0.15;
+  load.noise = 0.0;
+  const LoadTrace trace = diurnal_trace(load, 1);
+
+  // Unlimited machines: the ideal BML data center.
+  const BmlDesign unlimited = BmlDesign::build(real_catalog());
+  std::puts("unlimited inventory:");
+  std::puts("  hour  load(req/s)  combination                     power(W)");
+  for (int hour = 0; hour < 24; hour += 3) {
+    const double rate = trace.at(hour * 3600);
+    std::printf("  %4d  %10.0f   %-30s %8.2f\n", hour, rate,
+                to_string(unlimited.candidates(),
+                          unlimited.ideal_combination(rate)).c_str(),
+                unlimited.ideal_power(rate));
+  }
+
+  // Machines the planner must keep on hand to cover every second of the
+  // day: the element-wise maximum combination.
+  Combination fleet;
+  fleet.resize(unlimited.candidates().size());
+  for (std::size_t s = 0; s < trace.size(); s += 60) {
+    const Combination c =
+        unlimited.ideal_combination(trace.at(static_cast<TimePoint>(s)));
+    for (std::size_t a = 0; a < c.counts().size(); ++a)
+      if (c.counts()[a] > fleet.count(a)) fleet.set_count(a, c.counts()[a]);
+  }
+  std::printf("\nfleet to procure: %s\n",
+              to_string(unlimited.candidates(), fleet).c_str());
+
+  // Existing machine room: only 1 paravance, 6 chromebooks, 10 raspberries
+  // (input catalog order: paravance, taurus, graphene, chromebook,
+  // raspberry).
+  BmlDesignOptions constrained;
+  constrained.inventory_caps = {1, 0, 0, 6, 10};
+  constrained.max_rate = 2000.0;
+  const BmlDesign limited = BmlDesign::build(real_catalog(), constrained);
+  std::puts("\nlimited inventory (1 paravance, 6 chromebooks, "
+            "10 raspberries):");
+  for (double rate : {100.0, 800.0, 1400.0}) {
+    std::printf("  %6.0f req/s -> %-30s %8.2f W\n", rate,
+                to_string(limited.candidates(),
+                          limited.ideal_combination(rate)).c_str(),
+                limited.ideal_power(rate));
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Bring your own hardware: define profiles by hand, run the methodology,
+// and inspect why machines are kept or rejected. Also shows catalog CSV
+// round-tripping for sharing profiles between tools.
+//
+//   $ ./custom_hardware
+#include <cstdio>
+
+#include "arch/catalog.hpp"
+#include "core/bml_design.hpp"
+
+int main() {
+  using namespace bml;
+
+  // A 2020s-flavoured fleet: a dual-socket server, a single-socket box,
+  // an edge-class ARM server, and an SBC.
+  Catalog fleet;
+  fleet.emplace_back("dual-xeon", 9000.0, 110.0, 330.0,
+                     TransitionCost{150.0, 30000.0},
+                     TransitionCost{12.0, 900.0});
+  fleet.emplace_back("uni-epyc", 5200.0, 65.0, 210.0,
+                     TransitionCost{90.0, 9500.0},
+                     TransitionCost{10.0, 500.0});
+  fleet.emplace_back("arm-edge", 800.0, 9.0, 32.0,
+                     TransitionCost{25.0, 300.0},
+                     TransitionCost{8.0, 60.0});
+  fleet.emplace_back("sbc", 60.0, 2.4, 5.1, TransitionCost{14.0, 35.0},
+                     TransitionCost{6.0, 12.0});
+  // A machine that should lose: slower than dual-xeon, hungrier at peak.
+  fleet.emplace_back("legacy-blade", 4000.0, 240.0, 450.0,
+                     TransitionCost{200.0, 40000.0},
+                     TransitionCost{20.0, 3000.0});
+
+  const BmlDesign design = BmlDesign::build(fleet);
+
+  std::puts("methodology verdicts:");
+  for (const RemovedArch& removed : design.removed())
+    std::printf("  %-12s removed: %s (dominated by %s)\n",
+                removed.name.c_str(), to_string(removed.reason).c_str(),
+                removed.dominated_by.c_str());
+  for (std::size_t i = 0; i < design.candidates().size(); ++i)
+    std::printf("  %-12s kept as %-6s threshold %6.0f req/s\n",
+                design.candidates()[i].name().c_str(),
+                to_string(design.roles()[i]).c_str(),
+                design.thresholds()[i]);
+
+  std::puts("\nideal combinations:");
+  for (double rate : {20.0, 500.0, 3000.0, 12000.0})
+    std::printf("  %7.0f req/s -> %-30s %9.2f W\n", rate,
+                to_string(design.candidates(),
+                          design.ideal_combination(rate)).c_str(),
+                design.ideal_power(rate));
+
+  // Share the fleet definition as CSV.
+  const std::string csv = catalog_to_csv(fleet);
+  std::printf("\ncatalog CSV (%zu bytes):\n%s", csv.size(), csv.c_str());
+  const Catalog reloaded = catalog_from_csv(csv);
+  std::printf("round-trip OK: %zu machines reloaded\n", reloaded.size());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Export every experiment's data as CSV and print the workload's
+// statistical character.
+//
+//   $ ./export_results [out-dir] [days]
+//
+// Writes table1.csv, fig1_profiles.csv ... fig5_per_day.csv into the
+// output directory (default ./bml-results, 7 World-Cup days by default so
+// the example finishes in seconds; pass 87 for paper scale), then prints
+// the trace statistics that govern the Fig. 5 overhead spread.
+#include <cstdio>
+#include <cstdlib>
+
+#include "experiments/export.hpp"
+#include "trace/trace_stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bml;
+  const std::filesystem::path directory =
+      argc > 1 ? argv[1] : "bml-results";
+  const std::size_t days =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 7;
+
+  std::printf("exporting to %s (%zu World-Cup days)\n",
+              directory.string().c_str(), days);
+
+  export_table1(run_table1(), directory);
+  std::puts("  table1.csv");
+  export_fig1(run_fig1(), directory);
+  std::puts("  fig1_profiles.csv");
+  export_fig2(run_fig2(), directory);
+  std::puts("  fig2_thresholds.csv");
+  export_fig3(run_fig3(), directory);
+  std::puts("  fig3_profiles.csv");
+  export_fig4(run_fig4(), directory);
+  std::puts("  fig4_curves.csv");
+
+  Fig5Options options;
+  options.trace.days = std::max<std::size_t>(2, days);
+  options.trace.tournament_start_day = options.trace.days / 3;
+  options.trace.tournament_end_day = options.trace.days - 1;
+  export_fig5(run_fig5(options), directory);
+  std::puts("  fig5_per_day.csv");
+
+  std::puts("\nworkload character (see EXPERIMENTS.md for why this governs "
+            "the Fig. 5 overhead):");
+  const LoadTrace trace = worldcup_like_trace(options.trace);
+  std::fputs(to_string(analyze_trace(trace)).c_str(), stdout);
+  return 0;
+}

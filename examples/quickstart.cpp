@@ -1,0 +1,56 @@
+// Quickstart: build a BML design from the paper's measured machine profiles
+// and query it.
+//
+//   $ ./quickstart
+//
+// Walks the five methodology steps on the Table I catalog and prints the
+// kept candidates, their thresholds, and ideal combinations for a few
+// target rates.
+#include <cstdio>
+
+#include "arch/catalog.hpp"
+#include "core/bml_design.hpp"
+
+int main() {
+  using namespace bml;
+
+  // Step 1: architecture profiles. Here we load the built-in Table I
+  // catalog; with your own hardware you would run the profiler (see
+  // examples/profiling_demo.cpp) or fill ArchitectureProfile by hand.
+  const Catalog machines = real_catalog();
+  std::printf("input catalog: %zu machine types\n", machines.size());
+
+  // Steps 2-5: dominance filter, crossing points, combination table.
+  const BmlDesign design = BmlDesign::build(machines);
+
+  for (const RemovedArch& removed : design.removed())
+    std::printf("  removed %-11s (%s)\n", removed.name.c_str(),
+                to_string(removed.reason).c_str());
+
+  std::puts("\nBML infrastructure:");
+  for (std::size_t i = 0; i < design.candidates().size(); ++i) {
+    const ArchitectureProfile& arch = design.candidates()[i];
+    std::printf("  %-7s %-11s maxPerf %6.0f req/s  %5.1f-%5.1f W  "
+                "threshold %4.0f req/s\n",
+                to_string(design.roles()[i]).c_str(), arch.name().c_str(),
+                arch.max_perf(), arch.idle_power(), arch.max_power(),
+                design.thresholds()[i]);
+  }
+
+  std::puts("\nideal combinations:");
+  for (double rate : {3.0, 25.0, 200.0, 529.0, 1000.0, 2500.0, 5000.0}) {
+    std::printf("  %6.0f req/s -> %-28s %8.2f W\n", rate,
+                to_string(design.candidates(),
+                          design.ideal_combination(rate)).c_str(),
+                design.ideal_power(rate));
+  }
+
+  // The Fig. 4 yardstick: how close the combination gets to the ideal
+  // linear machine.
+  const BmlLinearReference linear = design.linear_reference();
+  std::printf("\nat 665 req/s: BML %.1f W, hypothetical linear machine "
+              "%.1f W, Big machine alone %.1f W\n",
+              design.ideal_power(665.0), linear.power(665.0),
+              design.big().power_at(665.0));
+  return 0;
+}

@@ -1,0 +1,66 @@
+// The paper's evaluation in miniature: run the pro-active BML scheduler
+// over a week of World-Cup-like load and compare against the bounds.
+//
+//   $ ./worldcup_simulation [days]
+//
+// Prints per-day energy for the four scenarios and the BML QoS record.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/bml_design.hpp"
+#include "predict/predictor.hpp"
+#include "sched/baselines.hpp"
+#include "sched/bml_scheduler.hpp"
+#include "sched/lower_bound.hpp"
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bml;
+
+  WorldCupOptions trace_options;
+  trace_options.days = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 7;
+  if (trace_options.days < 2) trace_options.days = 2;
+  trace_options.tournament_start_day = trace_options.days / 3;
+  trace_options.tournament_end_day = trace_options.days - 1;
+  const LoadTrace trace = worldcup_like_trace(trace_options);
+  std::printf("trace: %zu days, peak %.0f req/s, mean %.0f req/s\n\n",
+              trace.days(), trace.peak(), trace.mean());
+
+  auto design = std::make_shared<BmlDesign>(BmlDesign::build(
+      real_catalog(), {.max_rate = trace.peak()}));
+  const Simulator simulator(design->candidates());
+
+  // The paper's four scenarios.
+  const auto lower = theoretical_lower_bound_per_day(*design, trace);
+
+  BmlScheduler bml_sched(design, std::make_shared<OracleMaxPredictor>());
+  const SimulationResult bml = simulator.run(bml_sched, trace);
+
+  PerDayScheduler per_day_sched(design->big(), 0);
+  const SimulationResult per_day = simulator.run(per_day_sched, trace);
+
+  StaticMaxScheduler global_sched(design->big(), 0);
+  const SimulationResult global = simulator.run(global_sched, trace);
+
+  std::puts("per-day energy (kWh):");
+  std::puts("day   lower-bound      BML   per-day-bound   global-bound");
+  const auto bml_days = bml.per_day_total();
+  const auto per_day_days = per_day.per_day_total();
+  const auto global_days = global.per_day_total();
+  for (std::size_t d = 0; d < trace.days(); ++d)
+    std::printf("%3zu   %11.3f %8.3f %15.3f %14.3f\n", d,
+                joules_to_kwh(lower[d]), joules_to_kwh(bml_days[d]),
+                joules_to_kwh(per_day_days[d]),
+                joules_to_kwh(global_days[d]));
+
+  std::printf("\nBML: %d reconfigurations, %.4f%% of requests served, "
+              "reconfiguration energy %.3f kWh of %.3f kWh total\n",
+              bml.reconfigurations, bml.qos.served_fraction() * 100.0,
+              joules_to_kwh(bml.reconfiguration_energy),
+              joules_to_kwh(bml.total_energy()));
+  std::printf("energy vs global over-provisioning: %.1fx less\n",
+              global.total_energy() / bml.total_energy());
+  return 0;
+}

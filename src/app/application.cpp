@@ -1,0 +1,67 @@
+#include "app/application.hpp"
+
+#include <stdexcept>
+
+namespace bml {
+
+std::string to_string(StateKind kind) {
+  switch (kind) {
+    case StateKind::kStateless: return "stateless";
+    case StateKind::kSoftState: return "soft-state";
+    case StateKind::kStateful: return "stateful";
+  }
+  return "?";
+}
+
+void ApplicationModel::validate() const {
+  if (name.empty())
+    throw std::invalid_argument("ApplicationModel: name must not be empty");
+  if (min_instances < 0)
+    throw std::invalid_argument(
+        "ApplicationModel: min_instances must be >= 0");
+  if (max_instances < 0)
+    throw std::invalid_argument(
+        "ApplicationModel: max_instances must be >= 0");
+  if (max_instances != 0 && max_instances < min_instances)
+    throw std::invalid_argument(
+        "ApplicationModel: max_instances must be >= min_instances");
+  if (state_bytes < 0.0)
+    throw std::invalid_argument("ApplicationModel: state_bytes must be >= 0");
+  if (restart_time < 0.0)
+    throw std::invalid_argument(
+        "ApplicationModel: restart_time must be >= 0");
+  if (state != StateKind::kStateless && state_bytes == 0.0 &&
+      restart_time == 0.0)
+    throw std::invalid_argument(
+        "ApplicationModel: stateful applications must declare a migration "
+        "cost (state bytes or restart time)");
+}
+
+bool ApplicationModel::accepts(const Combination& combo) const {
+  const int machines = combo.total_machines();
+  if (machines < min_instances) return false;
+  if (max_instances != 0 && machines > max_instances) return false;
+  return true;
+}
+
+std::optional<Combination> clamp_combination(const ApplicationModel& app,
+                                             const Catalog& candidates,
+                                             const Combination& combo) {
+  app.validate();
+  if (candidates.empty())
+    throw std::invalid_argument("clamp_combination: empty candidates");
+  Combination result = combo;
+  result.resize(candidates.size());
+
+  // Too few instances: add Littles — the cheapest hosts for extra copies.
+  const std::size_t little = candidates.size() - 1;
+  while (result.total_machines() < app.min_instances)
+    result.add(little);
+
+  if (app.max_instances != 0 &&
+      result.total_machines() > app.max_instances)
+    return std::nullopt;
+  return result;
+}
+
+}  // namespace bml

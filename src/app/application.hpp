@@ -1,0 +1,73 @@
+// Application characterization — Section III of the paper.
+//
+// The methodology is application-generic: an application is described by
+//   * its performance metric (requests/s for the web server),
+//   * a QoS class (critical vs tolerant),
+//   * malleability — whether it can be distributed over several machines,
+//     and if so between how many instances,
+//   * migratability — whether instances can move between machines, and the
+//     state that must travel when they do.
+//
+// ApplicationModel carries those constraints; `clamp_combination` enforces
+// the instance limits on a proposed machine combination, and the migration
+// model (migration.hpp) prices instance moves.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "arch/catalog.hpp"
+#include "core/combination.hpp"
+#include "sim/qos.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// How the application maintains state, which bounds migration cost.
+enum class StateKind {
+  kStateless,   // the paper's web server: stop, start elsewhere, update LB
+  kSoftState,   // rebuildable caches: cheap to drop, costly to rewarm
+  kStateful,    // state must be copied on every move
+};
+
+[[nodiscard]] std::string to_string(StateKind kind);
+
+/// Constraints and metadata of the hosted application.
+struct ApplicationModel {
+  std::string name = "web-server";
+  /// Human name of the performance metric ("requests per second").
+  std::string metric = "req/s";
+  QosClass qos = QosClass::kTolerant;
+
+  /// Malleability: the application runs between min_instances and
+  /// max_instances (0 = unbounded) concurrent instances, one per machine.
+  int min_instances = 1;
+  int max_instances = 0;
+
+  /// Migration characteristics.
+  StateKind state = StateKind::kStateless;
+  /// Bytes of state per instance that must move on migration (0 for the
+  /// stateless web server).
+  double state_bytes = 0.0;
+  /// Fixed per-instance stop + start + load-balancer-update time.
+  Seconds restart_time = 2.0;
+
+  /// Validates invariants; throws std::invalid_argument when violated.
+  void validate() const;
+
+  /// True when `combo` satisfies the instance bounds (one instance per
+  /// machine).
+  [[nodiscard]] bool accepts(const Combination& combo) const;
+};
+
+/// Adjusts `combo` to satisfy the application's instance bounds:
+///  * below min_instances, Little machines are added (cheapest way to host
+///    extra instances);
+///  * above max_instances (when bounded), the combination is rejected with
+///    std::nullopt — the caller must pick a coarser combination (fewer,
+///    bigger machines).
+[[nodiscard]] std::optional<Combination> clamp_combination(
+    const ApplicationModel& app, const Catalog& candidates,
+    const Combination& combo);
+
+}  // namespace bml

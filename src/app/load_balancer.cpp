@@ -1,0 +1,91 @@
+#include "app/load_balancer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace bml {
+
+std::string to_string(const InstanceAction& action,
+                      const Catalog& candidates) {
+  std::ostringstream os;
+  switch (action.kind) {
+    case InstanceAction::Kind::kStart:
+      os << "start on " << candidates[action.to_arch].name();
+      break;
+    case InstanceAction::Kind::kStop:
+      os << "stop on " << candidates[action.from_arch].name();
+      break;
+    case InstanceAction::Kind::kMove:
+      os << "move " << candidates[action.from_arch].name() << " -> "
+         << candidates[action.to_arch].name();
+      break;
+  }
+  return os.str();
+}
+
+LoadBalancer::LoadBalancer(Catalog candidates)
+    : candidates_(std::move(candidates)) {
+  if (candidates_.empty())
+    throw std::invalid_argument("LoadBalancer: empty candidates");
+  current_.resize(candidates_.size());
+}
+
+std::vector<InstanceAction> LoadBalancer::reconfigure(
+    const Combination& combo) {
+  Combination target = combo;
+  target.resize(candidates_.size());
+  const std::vector<int> d = delta(current_, target);
+
+  // Pair removals with additions as moves; leftovers become stop/start.
+  std::vector<std::size_t> removals;
+  std::vector<std::size_t> additions;
+  for (std::size_t a = 0; a < d.size(); ++a) {
+    for (int i = 0; i < -d[a]; ++i) removals.push_back(a);
+    for (int i = 0; i < d[a]; ++i) additions.push_back(a);
+  }
+
+  std::vector<InstanceAction> actions;
+  const std::size_t moves = std::min(removals.size(), additions.size());
+  for (std::size_t i = 0; i < moves; ++i)
+    actions.push_back({InstanceAction::Kind::kMove, removals[i],
+                       additions[i]});
+  for (std::size_t i = moves; i < removals.size(); ++i)
+    actions.push_back({InstanceAction::Kind::kStop, removals[i], 0});
+  for (std::size_t i = moves; i < additions.size(); ++i)
+    actions.push_back({InstanceAction::Kind::kStart, 0, additions[i]});
+
+  current_ = target;
+  backends_.clear();
+  for (std::size_t a = 0; a < current_.counts().size(); ++a)
+    for (int i = 0; i < current_.counts()[a]; ++i)
+      backends_.push_back(Backend{a, 0.0, 0.0});
+  return actions;
+}
+
+ReqRate LoadBalancer::capacity() const {
+  return ::bml::capacity(candidates_, current_);
+}
+
+ReqRate LoadBalancer::route(ReqRate rate) {
+  if (rate < 0.0) throw std::invalid_argument("LoadBalancer: rate < 0");
+  const DispatchResult split = dispatch(candidates_, current_, rate);
+
+  // Spread each architecture's share evenly over its backends (the linear
+  // power model makes the within-arch split free; even weights keep every
+  // instance warm).
+  std::vector<int> instances(candidates_.size(), 0);
+  for (const Backend& b : backends_) ++instances[b.arch];
+  for (Backend& b : backends_) {
+    const double share = instances[b.arch] > 0
+                             ? split.load_per_arch[b.arch] /
+                                   static_cast<double>(instances[b.arch])
+                             : 0.0;
+    b.assigned = share;
+    b.weight = rate > 0.0 ? share / rate : 0.0;
+  }
+  return split.served;
+}
+
+}  // namespace bml

@@ -1,0 +1,67 @@
+// Load balancer substrate.
+//
+// The paper's deployment story: "a load balancer could allow the load to
+// be distributed among several web server instances... easily migrated by
+// stopping a server instance and launching a new one on the destination
+// machine, and then updating the load balancer."
+//
+// LoadBalancer tracks which machines host instances, assigns per-instance
+// weights from the optimal dispatch split, and turns combination changes
+// into explicit instance actions (start / stop / move) — the operations a
+// real deployment would execute against lighttpd + HAProxy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/catalog.hpp"
+#include "core/combination.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// One backend entry: an application instance pinned to a machine type.
+struct Backend {
+  std::size_t arch = 0;   // candidate index
+  double weight = 0.0;    // share of traffic in [0, 1]
+  ReqRate assigned = 0.0; // absolute rate routed to this backend
+};
+
+/// Instance-level action produced by a combination change.
+struct InstanceAction {
+  enum class Kind { kStart, kStop, kMove } kind = Kind::kStart;
+  std::size_t from_arch = 0;  // meaningful for kStop / kMove
+  std::size_t to_arch = 0;    // meaningful for kStart / kMove
+};
+
+[[nodiscard]] std::string to_string(const InstanceAction& action,
+                                    const Catalog& candidates);
+
+/// Weighted load balancer over a machine combination.
+class LoadBalancer {
+ public:
+  explicit LoadBalancer(Catalog candidates);
+
+  /// Replaces the backend set to match `combo` and returns the instance
+  /// actions needed to get there from the previous configuration: moves
+  /// are preferred over stop+start pairs (cheaper for the application).
+  std::vector<InstanceAction> reconfigure(const Combination& combo);
+
+  /// Splits `rate` over the current backends along the optimal dispatch
+  /// (cheapest marginal Watts first) and updates their weights. Returns
+  /// the served rate (== rate unless capacity is exceeded).
+  ReqRate route(ReqRate rate);
+
+  [[nodiscard]] const std::vector<Backend>& backends() const {
+    return backends_;
+  }
+  [[nodiscard]] const Combination& combination() const { return current_; }
+  [[nodiscard]] ReqRate capacity() const;
+
+ private:
+  Catalog candidates_;
+  Combination current_;
+  std::vector<Backend> backends_;
+};
+
+}  // namespace bml

@@ -1,0 +1,68 @@
+#include "app/migration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bml {
+
+MigrationCost& MigrationCost::operator+=(const MigrationCost& other) {
+  duration = std::max(duration, other.duration);
+  downtime += other.downtime;
+  energy += other.energy;
+  return *this;
+}
+
+void MigrationModel::validate() const {
+  if (network_bandwidth <= 0.0)
+    throw std::invalid_argument(
+        "MigrationModel: network bandwidth must be > 0");
+  if (energy_per_byte < 0.0)
+    throw std::invalid_argument(
+        "MigrationModel: energy per byte must be >= 0");
+  if (restart_energy < 0.0)
+    throw std::invalid_argument(
+        "MigrationModel: restart energy must be >= 0");
+}
+
+MigrationCost MigrationModel::instance_cost(const ApplicationModel& app) const {
+  validate();
+  app.validate();
+  MigrationCost cost;
+  const Seconds transfer =
+      app.state_bytes > 0.0 ? app.state_bytes / network_bandwidth : 0.0;
+  cost.duration = app.restart_time + transfer;
+  // Stateless and soft-state instances serve from the old copy until the
+  // new one is up: downtime is just the restart; stateful instances pause
+  // for the whole transfer.
+  cost.downtime = app.state == StateKind::kStateful
+                      ? app.restart_time + transfer
+                      : app.restart_time;
+  cost.energy = restart_energy + app.state_bytes * energy_per_byte;
+  return cost;
+}
+
+MigrationCost MigrationModel::reconfiguration_cost(
+    const ApplicationModel& app, const Combination& from,
+    const Combination& to) const {
+  const std::vector<int> d = delta(from, to);
+  int removed = 0;
+  int added = 0;
+  for (int change : d) {
+    if (change > 0) added += change;
+    if (change < 0) removed -= change;
+  }
+  const int moves = std::min(removed, added);
+  const int fresh_starts = added - moves;
+
+  const MigrationCost per_move = instance_cost(app);
+  MigrationCost total;
+  for (int i = 0; i < moves; ++i) total += per_move;
+  // Net-new instances just start; no old copy stops, so no downtime.
+  MigrationCost start;
+  start.duration = app.restart_time;
+  start.energy = restart_energy;
+  for (int i = 0; i < fresh_starts; ++i) total += start;
+  return total;
+}
+
+}  // namespace bml

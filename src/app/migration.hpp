@@ -1,0 +1,50 @@
+// Migration cost model — Section III: "We must evaluate the application's
+// migration overhead, both in terms of duration and energy consumption."
+//
+// For the paper's stateless web server a migration is stop + start +
+// load-balancer update; stateful applications additionally stream their
+// state across the network. The model prices one instance move and whole
+// reconfigurations (sets of moves).
+#pragma once
+
+#include "app/application.hpp"
+#include "arch/catalog.hpp"
+#include "core/combination.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// Price of one or more instance migrations.
+struct MigrationCost {
+  Seconds duration = 0.0;  // wall-clock of the longest move (moves overlap)
+  Seconds downtime = 0.0;  // summed per-instance service interruption
+  Joules energy = 0.0;     // network + CPU energy of all moves
+
+  MigrationCost& operator+=(const MigrationCost& other);
+};
+
+/// Environment parameters for migrations.
+struct MigrationModel {
+  /// Usable network bandwidth for state transfer, bytes/s.
+  double network_bandwidth = 1e9 / 8.0;  // 1 Gb/s
+  /// Energy per transferred byte (NIC + switch), J/B.
+  double energy_per_byte = 2e-8;
+  /// Energy of one stop/start/LB-update cycle, J.
+  Joules restart_energy = 5.0;
+
+  void validate() const;
+
+  /// Cost of moving one instance of `app`.
+  [[nodiscard]] MigrationCost instance_cost(const ApplicationModel& app) const;
+
+  /// Cost of the instance moves implied by reconfiguring `from` into `to`:
+  /// every machine that goes away hands its instance to a new machine, so
+  /// the number of moves is min(#machines removed, #machines added) plus
+  /// restarts for net-new instances. Moves proceed in parallel (duration =
+  /// one instance move), downtime and energy accumulate.
+  [[nodiscard]] MigrationCost reconfiguration_cost(
+      const ApplicationModel& app, const Combination& from,
+      const Combination& to) const;
+};
+
+}  // namespace bml

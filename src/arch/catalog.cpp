@@ -1,0 +1,121 @@
+#include "arch/catalog.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace bml {
+
+Catalog real_catalog() {
+  // Values transcribed from Table I of the paper:
+  //   Architecture  MaxPerf  Idle-Max Power   On(s, J)      Off(s, J)
+  //   Paravance     1331     69.9 - 200.5     189, 21341    10, 657
+  //   Taurus         860     95.8 - 223.7     164, 20628    11, 1173
+  //   Graphene       272     47.7 - 123.8      71, 4940     16, 760
+  //   Chromebook      33      4.0 - 7.6        12, 49.3     21, 77.6
+  //   Raspberry        9      3.1 - 3.7        16, 40.5     14, 36.2
+  Catalog c;
+  c.emplace_back("paravance", 1331.0, 69.9, 200.5,
+                 TransitionCost{189.0, 21341.0}, TransitionCost{10.0, 657.0});
+  c.emplace_back("taurus", 860.0, 95.8, 223.7, TransitionCost{164.0, 20628.0},
+                 TransitionCost{11.0, 1173.0});
+  c.emplace_back("graphene", 272.0, 47.7, 123.8, TransitionCost{71.0, 4940.0},
+                 TransitionCost{16.0, 760.0});
+  c.emplace_back("chromebook", 33.0, 4.0, 7.6, TransitionCost{12.0, 49.3},
+                 TransitionCost{21.0, 77.6});
+  c.emplace_back("raspberry", 9.0, 3.1, 3.7, TransitionCost{16.0, 40.5},
+                 TransitionCost{14.0, 36.2});
+  return c;
+}
+
+Catalog illustrative_catalog() {
+  // The paper's Figure 1 / Figure 2 example. Chosen values reproduce every
+  // claim made about the figures:
+  //  * Step 2 removes D: its max power (170 W) exceeds A's (130 W) while it
+  //    delivers less performance (450 < 600 req/s).
+  //  * The minimum utilization threshold of Medium (B) lands at 151 req/s —
+  //    "around 150"; below it, "up to five Little nodes" (5 x 30 req/s)
+  //    are more efficient.
+  //  * In Step 3 the threshold of Big (A) comes out at 401 req/s — right at
+  //    Medium's maximum performance (400), with the "substantial jump" from
+  //    B's 95 W full load to A's ~117 W near-idle draw.
+  //  * Step 4 (Medium + Little mixes) raises Big's threshold to ~481 req/s.
+  // Transition costs scale with machine size, mirroring Table I's trend.
+  Catalog c;
+  c.emplace_back("arch-A", 600.0, 90.0, 130.0, TransitionCost{120.0, 12000.0},
+                 TransitionCost{10.0, 500.0});
+  c.emplace_back("arch-B", 400.0, 25.0, 95.0, TransitionCost{60.0, 3000.0},
+                 TransitionCost{10.0, 300.0});
+  c.emplace_back("arch-C", 30.0, 4.0, 10.0, TransitionCost{15.0, 60.0},
+                 TransitionCost{15.0, 60.0});
+  c.emplace_back("arch-D", 450.0, 120.0, 170.0, TransitionCost{150.0, 15000.0},
+                 TransitionCost{12.0, 800.0});
+  return c;
+}
+
+std::optional<ArchitectureProfile> find_profile(const Catalog& catalog,
+                                                const std::string& name) {
+  for (const ArchitectureProfile& p : catalog)
+    if (p.name() == name) return p;
+  return std::nullopt;
+}
+
+std::string catalog_to_csv(const Catalog& catalog) {
+  CsvWriter w;
+  w.set_header({"name", "max_perf", "idle_power", "max_power", "on_s", "on_j",
+                "off_s", "off_j"});
+  for (const ArchitectureProfile& p : catalog) {
+    std::ostringstream row;
+    w.add_row({p.name(), std::to_string(p.max_perf()),
+               std::to_string(p.idle_power()), std::to_string(p.max_power()),
+               std::to_string(p.on_cost().duration),
+               std::to_string(p.on_cost().energy),
+               std::to_string(p.off_cost().duration),
+               std::to_string(p.off_cost().energy)});
+  }
+  return w.to_string();
+}
+
+Catalog catalog_from_csv(const std::string& text) {
+  const CsvTable table = parse_csv(text, /*has_header=*/true);
+  const std::size_t name_col = table.column("name");
+  const std::size_t perf_col = table.column("max_perf");
+  const std::size_t idle_col = table.column("idle_power");
+  const std::size_t max_col = table.column("max_power");
+  const std::size_t on_s = table.column("on_s");
+  const std::size_t on_j = table.column("on_j");
+  const std::size_t off_s = table.column("off_s");
+  const std::size_t off_j = table.column("off_j");
+
+  Catalog out;
+  for (const auto& row : table.rows) {
+    if (row.size() != table.header.size())
+      throw std::runtime_error("catalog_from_csv: ragged row");
+    out.emplace_back(
+        row[name_col], parse_double(row[perf_col]),
+        parse_double(row[idle_col]), parse_double(row[max_col]),
+        TransitionCost{parse_double(row[on_s]), parse_double(row[on_j])},
+        TransitionCost{parse_double(row[off_s]), parse_double(row[off_j])});
+  }
+  return out;
+}
+
+void save_catalog(const Catalog& catalog, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("save_catalog: cannot open " + path.string());
+  out << catalog_to_csv(catalog);
+}
+
+Catalog load_catalog(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("load_catalog: cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return catalog_from_csv(buffer.str());
+}
+
+}  // namespace bml

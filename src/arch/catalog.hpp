@@ -1,0 +1,49 @@
+// Built-in architecture catalogs and CSV (de)serialisation.
+//
+// Two catalogs ship with the library:
+//   * real_catalog()          — the five machines measured in Table I of the
+//                               paper (Paravance, Taurus, Graphene,
+//                               Chromebook, Raspberry).
+//   * illustrative_catalog()  — the four architectures A/B/C/D of Figure 1.
+//                               The paper gives the figure but not the
+//                               numbers; the values here were chosen so that
+//                               every statement the paper makes about the
+//                               figure holds (see each entry's comment).
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "arch/profile.hpp"
+
+namespace bml {
+
+/// An ordered set of architecture profiles. Order is insertion order until
+/// the Step 2 filter sorts by decreasing maximum performance.
+using Catalog = std::vector<ArchitectureProfile>;
+
+/// The five machines of Table I with their measured profiles.
+[[nodiscard]] Catalog real_catalog();
+
+/// The illustrative A/B/C/D architectures of Figure 1.
+[[nodiscard]] Catalog illustrative_catalog();
+
+/// Finds a profile by name; std::nullopt when absent.
+[[nodiscard]] std::optional<ArchitectureProfile> find_profile(
+    const Catalog& catalog, const std::string& name);
+
+/// Serialises a catalog as CSV with header
+/// name,max_perf,idle_power,max_power,on_s,on_j,off_s,off_j
+/// (linear power curves only — the Table I representation).
+[[nodiscard]] std::string catalog_to_csv(const Catalog& catalog);
+
+/// Parses a catalog from the CSV representation above; throws
+/// std::runtime_error on malformed input.
+[[nodiscard]] Catalog catalog_from_csv(const std::string& text);
+
+/// File variants of the above.
+void save_catalog(const Catalog& catalog, const std::filesystem::path& path);
+[[nodiscard]] Catalog load_catalog(const std::filesystem::path& path);
+
+}  // namespace bml

@@ -1,0 +1,66 @@
+#include "arch/profile.hpp"
+
+#include <stdexcept>
+
+namespace bml {
+
+ArchitectureProfile::ArchitectureProfile(std::string name, ReqRate max_perf,
+                                         Watts idle_power, Watts max_power,
+                                         TransitionCost on, TransitionCost off)
+    : name_(std::move(name)),
+      model_(std::make_unique<LinearPowerModel>(idle_power, max_power,
+                                                max_perf)),
+      on_(on),
+      off_(off) {
+  validate();
+}
+
+ArchitectureProfile::ArchitectureProfile(std::string name,
+                                         std::vector<PowerSample> samples,
+                                         TransitionCost on, TransitionCost off)
+    : name_(std::move(name)),
+      model_(std::make_unique<PiecewiseLinearPowerModel>(std::move(samples))),
+      on_(on),
+      off_(off) {
+  validate();
+}
+
+ArchitectureProfile::ArchitectureProfile(const ArchitectureProfile& other)
+    : name_(other.name_),
+      model_(other.model_->clone()),
+      on_(other.on_),
+      off_(other.off_) {}
+
+ArchitectureProfile& ArchitectureProfile::operator=(
+    const ArchitectureProfile& other) {
+  if (this != &other) {
+    name_ = other.name_;
+    model_ = other.model_->clone();
+    on_ = other.on_;
+    off_ = other.off_;
+  }
+  return *this;
+}
+
+void ArchitectureProfile::validate() const {
+  if (name_.empty())
+    throw std::invalid_argument("ArchitectureProfile: name must not be empty");
+  if (on_.duration < 0.0 || off_.duration < 0.0)
+    throw std::invalid_argument(
+        "ArchitectureProfile: transition durations must be >= 0");
+  if (on_.energy < 0.0 || off_.energy < 0.0)
+    throw std::invalid_argument(
+        "ArchitectureProfile: transition energies must be >= 0");
+}
+
+std::string to_string(Role role) {
+  switch (role) {
+    case Role::kLittle: return "Little";
+    case Role::kMedium: return "Medium";
+    case Role::kBig: return "Big";
+    case Role::kUnassigned: return "Unassigned";
+  }
+  return "?";
+}
+
+}  // namespace bml

@@ -1,0 +1,109 @@
+// Architecture profiles — the output of the paper's Step 1.
+//
+// A profile captures everything the BML methodology needs to know about one
+// machine type (Table I of the paper):
+//   * maxPerf   — maximum sustainable performance rate (req/s),
+//   * idlePower — average power when on but idle (W),
+//   * maxPower  — average power at maxPerf (W),
+//   * On/Off transition durations (s) and energies (J).
+//
+// The default power curve is the paper's linear model; profiles measured
+// with intermediate points carry a piecewise-linear curve instead.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "power/power_model.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// Cost (duration + energy) of a power-state transition.
+struct TransitionCost {
+  Seconds duration = 0.0;
+  Joules energy = 0.0;
+
+  /// Average power drawn during the transition.
+  [[nodiscard]] Watts average_power() const {
+    return duration > 0.0 ? energy / duration : 0.0;
+  }
+};
+
+/// Energy/performance profile of one machine type.
+///
+/// Value type: copyable, comparable by name. The power curve is stored as
+/// measured samples; `power_at` interpolates (linear when only the
+/// idle/max endpoints are known, piecewise otherwise).
+class ArchitectureProfile {
+ public:
+  /// Builds a linear-model profile from the Table I tuple.
+  /// Throws std::invalid_argument on non-physical inputs (delegated to
+  /// LinearPowerModel) or negative transition costs.
+  ArchitectureProfile(std::string name, ReqRate max_perf, Watts idle_power,
+                      Watts max_power, TransitionCost on, TransitionCost off);
+
+  /// Builds a profile whose power curve interpolates measured samples.
+  /// The first sample must be the idle point (rate 0); the last sample
+  /// defines maxPerf/maxPower.
+  ArchitectureProfile(std::string name, std::vector<PowerSample> samples,
+                      TransitionCost on, TransitionCost off);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] ReqRate max_perf() const { return model_->max_perf(); }
+  [[nodiscard]] Watts idle_power() const { return model_->idle_power(); }
+  [[nodiscard]] Watts max_power() const { return model_->max_power(); }
+  [[nodiscard]] const TransitionCost& on_cost() const { return on_; }
+  [[nodiscard]] const TransitionCost& off_cost() const { return off_; }
+
+  /// Power drawn while serving `rate` (clamped to [0, max_perf]).
+  [[nodiscard]] Watts power_at(ReqRate rate) const {
+    return model_->power_at(rate);
+  }
+
+  /// Average marginal Watts per req/s over the full range. For linear
+  /// profiles this is the slope used by crossing-point computations.
+  [[nodiscard]] double slope() const { return model_->mean_slope(); }
+
+  /// Watts per req/s when fully loaded — the metric that makes "fill the
+  /// biggest machines first" optimal in the final combination step.
+  [[nodiscard]] double full_load_efficiency() const {
+    return max_power() / max_perf();
+  }
+
+  /// Joules consumed by a full On->boot->Off round trip, used by schedulers
+  /// weighing reconfiguration against staying on.
+  [[nodiscard]] Joules round_trip_energy() const {
+    return on_.energy + off_.energy;
+  }
+
+  [[nodiscard]] const PowerModel& model() const { return *model_; }
+
+  ArchitectureProfile(const ArchitectureProfile& other);
+  ArchitectureProfile& operator=(const ArchitectureProfile& other);
+  ArchitectureProfile(ArchitectureProfile&&) noexcept = default;
+  ArchitectureProfile& operator=(ArchitectureProfile&&) noexcept = default;
+  ~ArchitectureProfile() = default;
+
+  friend bool operator==(const ArchitectureProfile& a,
+                         const ArchitectureProfile& b) {
+    return a.name_ == b.name_;
+  }
+
+ private:
+  void validate() const;
+
+  std::string name_;
+  std::unique_ptr<PowerModel> model_;
+  TransitionCost on_;
+  TransitionCost off_;
+};
+
+/// BML role labels assigned after Step 2 sorts the candidates.
+enum class Role { kLittle, kMedium, kBig, kUnassigned };
+
+[[nodiscard]] std::string to_string(Role role);
+
+}  // namespace bml

@@ -1,0 +1,164 @@
+#include "core/bml_design.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace bml {
+
+namespace {
+
+/// Drops candidates whose threshold is missing, recording the removal.
+Catalog drop_unpreferable(const Catalog& candidates,
+                          const ThresholdResult& thresholds,
+                          std::vector<RemovedArch>& removed) {
+  Catalog kept;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (thresholds.thresholds[i].has_value()) {
+      kept.push_back(candidates[i]);
+    } else {
+      removed.push_back(RemovedArch{candidates[i].name(),
+                                    RemovalReason::kNeverPreferable,
+                                    "combinations of smaller architectures"});
+      log_info() << "BmlDesign: removing " << candidates[i].name()
+                 << " (profile never crosses smaller combinations)";
+    }
+  }
+  return kept;
+}
+
+/// Collects the engaged threshold values for `candidates`.
+std::vector<ReqRate> engaged_thresholds(const Catalog& candidates,
+                                        const ThresholdResult& result,
+                                        const Catalog& evaluated) {
+  std::vector<ReqRate> out;
+  out.reserve(candidates.size());
+  for (const ArchitectureProfile& p : candidates) {
+    const auto it =
+        std::find(evaluated.begin(), evaluated.end(), p);
+    const auto idx = static_cast<std::size_t>(it - evaluated.begin());
+    out.push_back(result.thresholds[idx].value());
+  }
+  return out;
+}
+
+}  // namespace
+
+BmlDesign BmlDesign::build(const Catalog& input, BmlDesignOptions options) {
+  if (input.empty())
+    throw std::invalid_argument("BmlDesign: empty input catalog");
+
+  BmlDesign design;
+
+  // Step 2: dominance filter, sort Big -> Little.
+  FilterResult filtered = filter_candidates(input);
+  design.removed_ = std::move(filtered.removed);
+
+  // Step 3: homogeneous crossing points; drop never-preferable machines.
+  ThresholdResult s3 = ::bml::step3_thresholds(filtered.candidates);
+  Catalog after_step3 =
+      drop_unpreferable(filtered.candidates, s3, design.removed_);
+  if (after_step3.empty())
+    throw std::runtime_error("BmlDesign: no candidates survive Step 3");
+
+  // Step 4: mixed crossing points on the survivors; a second drop pass
+  // covers architectures that only looked useful against homogeneous
+  // combinations.
+  ThresholdResult s4 = ::bml::step4_thresholds(after_step3);
+  design.candidates_ = drop_unpreferable(after_step3, s4, design.removed_);
+  if (design.candidates_.empty())
+    throw std::runtime_error("BmlDesign: no candidates survive Step 4");
+
+  // Thresholds for the final candidate list. Step 3 values are kept for
+  // reporting the Fig. 2 before/after comparison.
+  if (design.candidates_.size() != after_step3.size()) {
+    // Rare: Step 4 removed someone; recompute thresholds on the final list
+    // so remaining values are consistent with the surviving mix.
+    s4 = ::bml::step4_thresholds(design.candidates_);
+    for (const auto& t : s4.thresholds)
+      if (!t.has_value())
+        throw std::runtime_error(
+            "BmlDesign: threshold recomputation removed further candidates");
+  }
+  design.step3_ = engaged_thresholds(design.candidates_, s3, filtered.candidates);
+  design.step4_ = engaged_thresholds(design.candidates_, s4,
+                                     design.candidates_.size() ==
+                                             after_step3.size()
+                                         ? after_step3
+                                         : design.candidates_);
+
+  design.roles_ = assign_roles(design.candidates_);
+
+  // Step 5: solver + dense table.
+  const ArchitectureProfile& big = design.candidates_.front();
+  design.max_rate_ =
+      options.max_rate > 0.0 ? options.max_rate : 4.0 * big.max_perf();
+
+  // Remap inventory caps from input order to candidate order. A capped
+  // design can only answer rates its machines can actually cover, so the
+  // table range is clamped to the capped capacity.
+  InventoryCaps caps;
+  if (!options.inventory_caps.empty()) {
+    if (options.inventory_caps.size() != input.size())
+      throw std::invalid_argument(
+          "BmlDesign: inventory_caps must match the input catalog size");
+    caps.resize(design.candidates_.size(), 0);
+    ReqRate capped_capacity = 0.0;
+    for (std::size_t c = 0; c < design.candidates_.size(); ++c) {
+      const auto it = std::find(input.begin(), input.end(),
+                                design.candidates_[c]);
+      caps[c] = options.inventory_caps[static_cast<std::size_t>(
+          it - input.begin())];
+      capped_capacity += caps[c] * design.candidates_[c].max_perf();
+    }
+    if (capped_capacity <= 0.0)
+      throw std::invalid_argument(
+          "BmlDesign: inventory caps leave no usable machines");
+    design.max_rate_ = std::min(design.max_rate_, capped_capacity);
+  }
+
+  switch (options.solver) {
+    case SolverKind::kGreedyThreshold:
+      design.solver_ = std::make_shared<GreedyThresholdSolver>(
+          design.candidates_, design.step4_, caps);
+      break;
+    case SolverKind::kExactDp:
+      design.solver_ = std::make_shared<ExactDpSolver>(
+          design.candidates_, design.max_rate_, caps);
+      break;
+  }
+
+  if (options.build_table)
+    design.table_ =
+        std::make_shared<CombinationTable>(*design.solver_, design.max_rate_);
+
+  return design;
+}
+
+Combination BmlDesign::ideal_combination(ReqRate rate) const {
+  if (table_ && rate <= table_->max_rate()) return table_->combination(rate);
+  return solver_->solve(rate);
+}
+
+Watts BmlDesign::ideal_power(ReqRate rate) const {
+  if (table_ && rate <= table_->max_rate()) return table_->power(rate);
+  return solver_->power(rate);
+}
+
+BmlLinearReference BmlDesign::linear_reference() const {
+  return BmlLinearReference(little().idle_power(), big().max_power(),
+                            big().max_perf());
+}
+
+const ArchitectureProfile& BmlDesign::big() const {
+  if (candidates_.empty()) throw std::logic_error("BmlDesign: no candidates");
+  return candidates_.front();
+}
+
+const ArchitectureProfile& BmlDesign::little() const {
+  if (candidates_.empty()) throw std::logic_error("BmlDesign: no candidates");
+  return candidates_.back();
+}
+
+}  // namespace bml

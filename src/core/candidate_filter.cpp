@@ -1,0 +1,60 @@
+#include "core/candidate_filter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bml {
+
+std::string to_string(RemovalReason reason) {
+  switch (reason) {
+    case RemovalReason::kDominatedAtPeak:
+      return "dominated at peak (lower performance, higher power)";
+    case RemovalReason::kNeverPreferable:
+      return "never preferable to combinations of smaller architectures";
+  }
+  return "?";
+}
+
+FilterResult filter_candidates(const Catalog& input) {
+  if (input.empty())
+    throw std::invalid_argument("filter_candidates: empty catalog");
+
+  Catalog sorted = input;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ArchitectureProfile& a,
+                      const ArchitectureProfile& b) {
+                     if (a.max_perf() != b.max_perf())
+                       return a.max_perf() > b.max_perf();
+                     // Performance ties: cheaper peak power first, so the
+                     // dominance scan below removes the pricier twin.
+                     return a.max_power() < b.max_power();
+                   });
+
+  FilterResult result;
+  for (const ArchitectureProfile& p : sorted) {
+    // p is dominated if some already-kept (hence faster-or-equal) candidate
+    // has peak power <= p's: using p could never reduce consumption.
+    const auto dominator = std::find_if(
+        result.candidates.begin(), result.candidates.end(),
+        [&p](const ArchitectureProfile& kept) {
+          return kept.max_power() <= p.max_power();
+        });
+    if (dominator != result.candidates.end()) {
+      result.removed.push_back(RemovedArch{
+          p.name(), RemovalReason::kDominatedAtPeak, dominator->name()});
+    } else {
+      result.candidates.push_back(p);
+    }
+  }
+  return result;
+}
+
+std::vector<Role> assign_roles(const Catalog& candidates) {
+  std::vector<Role> roles(candidates.size(), Role::kMedium);
+  if (roles.empty()) return roles;
+  roles.front() = Role::kBig;
+  if (roles.size() > 1) roles.back() = Role::kLittle;
+  return roles;
+}
+
+}  // namespace bml

@@ -1,0 +1,51 @@
+// Step 2 of the BML methodology: sort architectures and keep only the
+// candidates that can improve energy proportionality.
+//
+// Architectures are sorted by decreasing maximum performance; any
+// architecture that delivers less performance than another while consuming
+// at least as much power at peak is dominated and removed ("D is discarded
+// because its maximum power consumption is greater than A's").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/catalog.hpp"
+
+namespace bml {
+
+/// Why an architecture was removed from the candidate list.
+enum class RemovalReason {
+  kDominatedAtPeak,   // Step 2: lower perf, >= peak power than a faster arch
+  kNeverPreferable,   // Step 3/4: profile never crosses the smaller combos
+};
+
+[[nodiscard]] std::string to_string(RemovalReason reason);
+
+/// One removal record, kept for reporting (Fig. 1's "D will be removed").
+struct RemovedArch {
+  std::string name;
+  RemovalReason reason;
+  /// Name of the architecture (or combination owner) that dominated it.
+  std::string dominated_by;
+};
+
+/// Result of the Step 2 filter.
+struct FilterResult {
+  /// Kept candidates, sorted by decreasing maximum performance
+  /// (index 0 = Big, last = Little).
+  Catalog candidates;
+  std::vector<RemovedArch> removed;
+};
+
+/// Runs Step 2 on `input`. Throws std::invalid_argument when `input` is
+/// empty. Ties in maximum performance keep the lower-power architecture and
+/// remove the other.
+[[nodiscard]] FilterResult filter_candidates(const Catalog& input);
+
+/// Assigns Big/Medium/Little role labels to a sorted candidate list:
+/// index 0 is Big, the last index is Little, everything between is Medium.
+/// A single candidate is Big; with two candidates they are Big and Little.
+[[nodiscard]] std::vector<Role> assign_roles(const Catalog& candidates);
+
+}  // namespace bml

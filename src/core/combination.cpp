@@ -1,0 +1,158 @@
+#include "core/combination.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace bml {
+
+Combination::Combination(std::vector<int> counts) : counts_(std::move(counts)) {
+  for (int c : counts_)
+    if (c < 0)
+      throw std::invalid_argument("Combination: counts must be >= 0");
+}
+
+int Combination::count(std::size_t arch) const {
+  if (arch >= counts_.size())
+    throw std::out_of_range("Combination: arch index out of range");
+  return counts_[arch];
+}
+
+int Combination::total_machines() const {
+  return std::accumulate(counts_.begin(), counts_.end(), 0);
+}
+
+bool Combination::empty() const { return total_machines() == 0; }
+
+void Combination::set_count(std::size_t arch, int count) {
+  if (count < 0)
+    throw std::invalid_argument("Combination: counts must be >= 0");
+  if (arch >= counts_.size()) counts_.resize(arch + 1, 0);
+  counts_[arch] = count;
+}
+
+void Combination::add(std::size_t arch, int count) {
+  if (arch >= counts_.size()) counts_.resize(arch + 1, 0);
+  if (counts_[arch] + count < 0)
+    throw std::invalid_argument("Combination: counts must stay >= 0");
+  counts_[arch] += count;
+}
+
+void Combination::resize(std::size_t kinds) {
+  if (kinds < counts_.size())
+    throw std::invalid_argument("Combination: resize cannot shrink");
+  counts_.resize(kinds, 0);
+}
+
+namespace {
+
+void check_width(const Catalog& candidates, const Combination& combo) {
+  if (combo.counts().size() > candidates.size())
+    throw std::invalid_argument(
+        "Combination: more architecture kinds than candidates");
+}
+
+}  // namespace
+
+ReqRate capacity(const Catalog& candidates, const Combination& combo) {
+  check_width(candidates, combo);
+  ReqRate total = 0.0;
+  for (std::size_t i = 0; i < combo.counts().size(); ++i)
+    total += combo.counts()[i] * candidates[i].max_perf();
+  return total;
+}
+
+Watts idle_power(const Catalog& candidates, const Combination& combo) {
+  check_width(candidates, combo);
+  Watts total = 0.0;
+  for (std::size_t i = 0; i < combo.counts().size(); ++i)
+    total += combo.counts()[i] * candidates[i].idle_power();
+  return total;
+}
+
+Watts peak_power(const Catalog& candidates, const Combination& combo) {
+  check_width(candidates, combo);
+  Watts total = 0.0;
+  for (std::size_t i = 0; i < combo.counts().size(); ++i)
+    total += combo.counts()[i] * candidates[i].max_power();
+  return total;
+}
+
+DispatchResult dispatch(const Catalog& candidates, const Combination& combo,
+                        ReqRate rate) {
+  check_width(candidates, combo);
+  if (rate < 0.0)
+    throw std::invalid_argument("dispatch: rate must be >= 0");
+
+  DispatchResult result;
+  result.load_per_arch.assign(combo.counts().size(), 0.0);
+
+  // Cheapest marginal power first. All machines pay idle regardless, so the
+  // optimal split for (piecewise-)linear curves fills low-slope machines
+  // before touching higher-slope ones.
+  std::vector<std::size_t> order(combo.counts().size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return candidates[a].slope() < candidates[b].slope();
+  });
+
+  ReqRate remaining = rate;
+  Watts power = 0.0;
+  for (std::size_t arch : order) {
+    const int n = combo.counts()[arch];
+    if (n == 0) continue;
+    const ArchitectureProfile& p = candidates[arch];
+    const ReqRate arch_capacity = n * p.max_perf();
+    const ReqRate assigned = std::min(remaining, arch_capacity);
+    result.load_per_arch[arch] = assigned;
+    remaining -= assigned;
+
+    // Within one architecture the linear model makes the split irrelevant;
+    // we spread evenly except that at most one machine runs partial, which
+    // also matches piecewise curves sampled at full load.
+    const int full = static_cast<int>(assigned / p.max_perf());
+    const ReqRate partial = assigned - full * p.max_perf();
+    power += full * p.max_power();
+    const int idle_machines = n - full - (partial > 0.0 ? 1 : 0);
+    if (partial > 0.0) power += p.power_at(partial);
+    power += idle_machines * p.idle_power();
+  }
+
+  result.power = power;
+  result.served = rate - remaining;
+  result.feasible = remaining <= 1e-9;
+  return result;
+}
+
+Watts power_at(const Catalog& candidates, const Combination& combo,
+               ReqRate rate) {
+  return dispatch(candidates, combo, rate).power;
+}
+
+std::string to_string(const Catalog& candidates, const Combination& combo) {
+  check_width(candidates, combo);
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = 0; i < combo.counts().size(); ++i) {
+    if (combo.counts()[i] == 0) continue;
+    if (!first) os << " + ";
+    os << combo.counts()[i] << 'x' << candidates[i].name();
+    first = false;
+  }
+  if (first) os << "(empty)";
+  return os.str();
+}
+
+std::vector<int> delta(const Combination& from, const Combination& to) {
+  const std::size_t kinds = std::max(from.counts().size(), to.counts().size());
+  std::vector<int> out(kinds, 0);
+  for (std::size_t i = 0; i < kinds; ++i) {
+    const int f = i < from.counts().size() ? from.counts()[i] : 0;
+    const int t = i < to.counts().size() ? to.counts()[i] : 0;
+    out[i] = t - f;
+  }
+  return out;
+}
+
+}  // namespace bml

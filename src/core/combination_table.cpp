@@ -1,0 +1,67 @@
+#include "core/combination_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace bml {
+
+CombinationTable::CombinationTable(const CombinationSolver& solver,
+                                   ReqRate max_rate)
+    : candidates_(solver.candidates()) {
+  if (max_rate < 0.0)
+    throw std::invalid_argument("CombinationTable: max_rate must be >= 0");
+  const auto n = static_cast<std::size_t>(std::ceil(max_rate)) + 1;
+  entries_.reserve(n);
+  powers_.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto rate = static_cast<ReqRate>(r);
+    entries_.push_back(solver.solve(rate));
+    powers_.push_back(dispatch(candidates_, entries_.back(), rate).power);
+  }
+}
+
+std::size_t CombinationTable::index_for(ReqRate rate) const {
+  if (rate < 0.0)
+    throw std::invalid_argument("CombinationTable: rate must be >= 0");
+  const auto idx = static_cast<std::size_t>(std::ceil(rate));
+  if (idx >= entries_.size())
+    throw std::out_of_range("CombinationTable: rate beyond table");
+  return idx;
+}
+
+const Combination& CombinationTable::combination(ReqRate rate) const {
+  return entries_[index_for(rate)];
+}
+
+Watts CombinationTable::power(ReqRate rate) const {
+  return dispatch(candidates_, combination(rate), rate).power;
+}
+
+std::size_t CombinationTable::distinct_combinations() const {
+  std::unordered_set<std::string> seen;
+  for (const Combination& c : entries_) {
+    std::string key;
+    for (int v : c.counts()) key += std::to_string(v) + ',';
+    seen.insert(std::move(key));
+  }
+  return seen.size();
+}
+
+BmlLinearReference::BmlLinearReference(Watts little_idle, Watts big_peak,
+                                       ReqRate big_max_perf)
+    : idle_(little_idle), peak_(big_peak), max_perf_(big_max_perf) {
+  if (max_perf_ <= 0.0)
+    throw std::invalid_argument("BmlLinearReference: max perf must be > 0");
+  if (idle_ < 0.0 || peak_ < idle_)
+    throw std::invalid_argument(
+        "BmlLinearReference: need 0 <= idle <= peak power");
+}
+
+Watts BmlLinearReference::power(ReqRate rate) const {
+  const ReqRate r = std::clamp(rate, 0.0, max_perf_);
+  return idle_ + (peak_ - idle_) * (r / max_perf_);
+}
+
+}  // namespace bml

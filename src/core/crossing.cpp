@@ -1,0 +1,150 @@
+#include "core/crossing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+namespace bml {
+
+MinCostCurve::MinCostCurve(const Catalog& candidates, ReqRate max_rate)
+    : candidates_(candidates) {
+  if (candidates_.empty())
+    throw std::invalid_argument("MinCostCurve: empty candidate list");
+  if (max_rate < 0.0)
+    throw std::invalid_argument("MinCostCurve: max_rate must be >= 0");
+
+  const auto n = static_cast<std::size_t>(std::ceil(max_rate)) + 1;
+  cost_.assign(n, std::numeric_limits<Watts>::infinity());
+  choice_.assign(n, -1);
+  is_partial_.assign(n, 0);
+  cost_[0] = 0.0;
+
+  for (std::size_t r = 1; r < n; ++r) {
+    const auto rate = static_cast<ReqRate>(r);
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      const ArchitectureProfile& p = candidates_[i];
+      const auto perf = static_cast<std::size_t>(p.max_perf());
+      if (perf == 0) continue;
+      if (rate <= p.max_perf()) {
+        // Close the combination with one partially loaded machine of i.
+        const Watts c = p.power_at(rate);
+        if (c < cost_[r]) {
+          cost_[r] = c;
+          choice_[r] = static_cast<int>(i);
+          is_partial_[r] = 1;
+        }
+      }
+      if (r > perf) {
+        // Peel one fully loaded machine of i.
+        const Watts c = cost_[r - perf] + p.max_power();
+        if (c < cost_[r]) {
+          cost_[r] = c;
+          choice_[r] = static_cast<int>(i);
+          is_partial_[r] = 0;
+        }
+      }
+    }
+  }
+}
+
+std::size_t MinCostCurve::index_for(ReqRate rate) const {
+  if (rate < 0.0)
+    throw std::invalid_argument("MinCostCurve: rate must be >= 0");
+  const auto idx = static_cast<std::size_t>(std::ceil(rate));
+  if (idx >= cost_.size())
+    throw std::out_of_range("MinCostCurve: rate beyond table");
+  return idx;
+}
+
+Watts MinCostCurve::cost(ReqRate rate) const { return cost_[index_for(rate)]; }
+
+Combination MinCostCurve::combination(ReqRate rate) const {
+  Combination combo;
+  combo.resize(candidates_.size());
+  std::size_t r = index_for(rate);
+  while (r > 0) {
+    const int arch = choice_[r];
+    if (arch < 0)
+      throw std::logic_error("MinCostCurve: broken reconstruction chain");
+    combo.add(static_cast<std::size_t>(arch));
+    if (is_partial_[r]) break;  // the partial machine closes the combination
+    r -= static_cast<std::size_t>(
+        candidates_[static_cast<std::size_t>(arch)].max_perf());
+  }
+  return combo;
+}
+
+ReqRate MinCostCurve::max_rate() const {
+  return static_cast<ReqRate>(cost_.size() - 1);
+}
+
+Watts homogeneous_cost(const ArchitectureProfile& arch, ReqRate rate) {
+  if (rate < 0.0)
+    throw std::invalid_argument("homogeneous_cost: rate must be >= 0");
+  if (rate == 0.0) return 0.0;
+  const double perf = arch.max_perf();
+  const double full = std::floor(rate / perf);
+  const ReqRate remainder = rate - full * perf;
+  Watts power = full * arch.max_power();
+  if (remainder > 0.0) power += arch.power_at(remainder);
+  return power;
+}
+
+namespace {
+
+/// Shared bottom-up pass for Steps 3 and 4. Walks candidates from Little to
+/// Big, maintaining the kept smaller architectures, and asks
+/// `cost_builder(kept)` for the comparison cost function of the next bigger
+/// architecture. Architectures without a crossing receive std::nullopt and
+/// do not join the kept list.
+template <typename CostBuilder>
+ThresholdResult thresholds_impl(const Catalog& candidates,
+                                CostBuilder&& cost_builder) {
+  if (candidates.empty())
+    throw std::invalid_argument("thresholds: empty candidate list");
+  ThresholdResult result;
+  result.thresholds.assign(candidates.size(), std::nullopt);
+
+  Catalog kept;  // strictly smaller architectures kept so far
+  for (std::size_t idx = candidates.size(); idx-- > 0;) {
+    const ArchitectureProfile& arch = candidates[idx];
+    if (kept.empty()) {
+      // The Little architecture: preferable from the first unit of load.
+      result.thresholds[idx] = 1.0;
+      kept.push_back(arch);
+      continue;
+    }
+    const auto cost_fn = cost_builder(kept, arch);
+    const std::optional<ReqRate> threshold = crossing_point(arch, cost_fn);
+    result.thresholds[idx] = threshold;
+    if (threshold.has_value()) kept.push_back(arch);
+  }
+  return result;
+}
+
+}  // namespace
+
+ThresholdResult step3_thresholds(const Catalog& candidates) {
+  return thresholds_impl(
+      candidates, [](const Catalog& kept, const ArchitectureProfile&) {
+        return [&kept](ReqRate rate) {
+          Watts best = std::numeric_limits<Watts>::infinity();
+          for (const ArchitectureProfile& small : kept)
+            best = std::min(best, homogeneous_cost(small, rate));
+          return best;
+        };
+      });
+}
+
+ThresholdResult step4_thresholds(const Catalog& candidates) {
+  return thresholds_impl(
+      candidates,
+      [](const Catalog& kept, const ArchitectureProfile& bigger) {
+        auto curve = std::make_shared<MinCostCurve>(kept, bigger.max_perf());
+        return [curve](ReqRate rate) { return curve->cost(rate); };
+      });
+}
+
+}  // namespace bml

@@ -1,0 +1,101 @@
+// Steps 3 and 4 of the BML methodology: minimum utilization thresholds.
+//
+// For each candidate architecture j, the minimum utilization threshold is
+// the smallest performance rate from which a (single, possibly partially
+// loaded) machine of j consumes no more than the best combination of
+// strictly smaller architectures serving the same rate. The rate where the
+// two power profiles meet is the paper's "crossing point".
+//
+// Step 3 compares against *homogeneous* combinations of smaller machines
+// (Fig. 2, left). Step 4 refines the comparison with *mixed* combinations
+// of all smaller architectures (Fig. 2, right) — required for three or
+// more architectures, and the step that raises Big's threshold.
+//
+// Rates are evaluated on an integer grid (1 req/s by default), matching the
+// paper's request-per-second application metric; Table I reproduces the
+// published thresholds 1 / 10 / 529 exactly on this grid.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "arch/catalog.hpp"
+#include "core/combination.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// Minimum-cost curve over integer rates 0..max_rate for combinations drawn
+/// from `candidates`, with reconstruction of the optimal combination.
+///
+/// Dynamic program over rates. At an optimum with linear power curves, at
+/// most one machine runs partially loaded (an exchange argument moves load
+/// from the higher-slope of two partial machines to the lower-slope one at
+/// no extra cost), so:
+///   f(0) = 0
+///   f(r) = min over archs i of:
+///            power_i(r)                      if r <= maxPerf_i   (partial)
+///            f(r - maxPerf_i) + maxPower_i   otherwise           (full)
+class MinCostCurve {
+ public:
+  /// Builds the DP table. Candidate max_perf values are rounded to the grid
+  /// (they are integers in all shipped catalogs). Throws
+  /// std::invalid_argument when `candidates` is empty or max_rate < 0.
+  MinCostCurve(const Catalog& candidates, ReqRate max_rate);
+
+  /// Minimum power to serve `rate` (rounded up to the grid).
+  [[nodiscard]] Watts cost(ReqRate rate) const;
+
+  /// Reconstructs one optimal combination for `rate`.
+  [[nodiscard]] Combination combination(ReqRate rate) const;
+
+  [[nodiscard]] ReqRate max_rate() const;
+
+ private:
+  [[nodiscard]] std::size_t index_for(ReqRate rate) const;
+
+  const Catalog candidates_;
+  std::vector<Watts> cost_;       // f(r) per integer rate
+  std::vector<int> choice_;       // arch index chosen at r (-1 at r = 0)
+  std::vector<char> is_partial_;  // whether the choice serves r partially
+};
+
+/// Power of the cheapest *homogeneous* combination of architecture `arch`
+/// serving `rate`: full machines plus at most one partial. This is the
+/// "repeated profile" of Fig. 1.
+[[nodiscard]] Watts homogeneous_cost(const ArchitectureProfile& arch,
+                                     ReqRate rate);
+
+/// One crossing-point query: the smallest integer rate in [1, max_perf(j)]
+/// where a single machine of `bigger` consumes no more than `smaller_cost`
+/// evaluated at the same rate; std::nullopt when the profiles never cross
+/// (the architecture is never preferable — Graphene's fate in the paper).
+template <typename CostFn>
+[[nodiscard]] std::optional<ReqRate> crossing_point(
+    const ArchitectureProfile& bigger, CostFn&& smaller_cost) {
+  const auto limit = static_cast<long>(bigger.max_perf());
+  for (long r = 1; r <= limit; ++r) {
+    const auto rate = static_cast<ReqRate>(r);
+    if (bigger.power_at(rate) <= smaller_cost(rate)) return rate;
+  }
+  return std::nullopt;
+}
+
+/// Thresholds for a sorted candidate list (index 0 = Big ... last = Little).
+struct ThresholdResult {
+  /// Minimum utilization threshold per candidate; Little's is always 1.
+  /// A missing value means the architecture never becomes preferable and
+  /// must be removed from the candidate list.
+  std::vector<std::optional<ReqRate>> thresholds;
+};
+
+/// Step 3: thresholds against homogeneous combinations of each strictly
+/// smaller *kept* architecture (the best such curve).
+[[nodiscard]] ThresholdResult step3_thresholds(const Catalog& candidates);
+
+/// Step 4: thresholds against mixed combinations (MinCostCurve) of all
+/// strictly smaller kept architectures. Architectures with no Step 4
+/// crossing are reported as std::nullopt, exactly like Step 3.
+[[nodiscard]] ThresholdResult step4_thresholds(const Catalog& candidates);
+
+}  // namespace bml

@@ -1,0 +1,110 @@
+#include "core/sensitivity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bml {
+
+std::string to_string(ProfileParameter parameter) {
+  switch (parameter) {
+    case ProfileParameter::kIdlePower: return "idle-power";
+    case ProfileParameter::kMaxPower: return "max-power";
+    case ProfileParameter::kMaxPerf: return "max-perf";
+  }
+  return "?";
+}
+
+Catalog perturb_catalog(const Catalog& catalog, const std::string& machine,
+                        ProfileParameter parameter, double relative_delta) {
+  Catalog out;
+  bool found = false;
+  for (const ArchitectureProfile& p : catalog) {
+    if (p.name() != machine) {
+      out.push_back(p);
+      continue;
+    }
+    found = true;
+    double idle = p.idle_power();
+    double max_power = p.max_power();
+    double max_perf = p.max_perf();
+    switch (parameter) {
+      case ProfileParameter::kIdlePower:
+        idle *= 1.0 + relative_delta;
+        break;
+      case ProfileParameter::kMaxPower:
+        max_power *= 1.0 + relative_delta;
+        break;
+      case ProfileParameter::kMaxPerf:
+        max_perf *= 1.0 + relative_delta;
+        break;
+    }
+    out.emplace_back(p.name(), max_perf, idle, max_power, p.on_cost(),
+                     p.off_cost());
+  }
+  if (!found)
+    throw std::out_of_range("perturb_catalog: no machine named " + machine);
+  return out;
+}
+
+std::vector<SensitivityRow> sensitivity_analysis(const Catalog& catalog,
+                                                 double relative_delta,
+                                                 int power_samples) {
+  if (power_samples < 2)
+    throw std::invalid_argument(
+        "sensitivity_analysis: power_samples must be >= 2");
+
+  const BmlDesign baseline = BmlDesign::build(catalog);
+  const ReqRate sweep_max = baseline.big().max_perf();
+
+  std::vector<SensitivityRow> rows;
+  for (const ArchitectureProfile& machine : catalog) {
+    for (ProfileParameter parameter :
+         {ProfileParameter::kIdlePower, ProfileParameter::kMaxPower,
+          ProfileParameter::kMaxPerf}) {
+      SensitivityRow row;
+      row.machine = machine.name();
+      row.parameter = parameter;
+      row.relative_delta = relative_delta;
+
+      Catalog perturbed_catalog;
+      try {
+        perturbed_catalog = perturb_catalog(catalog, machine.name(),
+                                            parameter, relative_delta);
+      } catch (const std::invalid_argument&) {
+        continue;  // non-physical perturbation: skip this pair
+      }
+      const BmlDesign perturbed = BmlDesign::build(perturbed_catalog);
+
+      row.same_candidates =
+          perturbed.candidates().size() == baseline.candidates().size();
+      if (row.same_candidates) {
+        for (std::size_t i = 0; i < baseline.candidates().size(); ++i)
+          if (perturbed.candidates()[i].name() !=
+              baseline.candidates()[i].name())
+            row.same_candidates = false;
+      }
+      if (row.same_candidates) {
+        for (std::size_t i = 0; i < baseline.candidates().size(); ++i)
+          row.threshold_shift.push_back(perturbed.thresholds()[i] -
+                                        baseline.thresholds()[i]);
+      }
+
+      // Relative ideal-power drift over the sweep (skip rate 0).
+      double drift = 0.0;
+      int counted = 0;
+      for (int s = 1; s < power_samples; ++s) {
+        const ReqRate rate =
+            sweep_max * static_cast<double>(s) / (power_samples - 1);
+        const Watts base = baseline.ideal_power(rate);
+        if (base <= 0.0) continue;
+        drift += std::abs(perturbed.ideal_power(rate) - base) / base;
+        ++counted;
+      }
+      row.mean_power_drift = counted > 0 ? drift / counted : 0.0;
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+}  // namespace bml

@@ -1,0 +1,60 @@
+// Sensitivity of the BML design to profiling error.
+//
+// Step 1 measures profiles with instruments (the paper's wattmeter, our
+// simulated testbed reproduces its noise); Steps 2-5 then treat those
+// numbers as exact. This module quantifies how the design reacts when a
+// profile parameter is perturbed: which thresholds move, whether the
+// candidate set itself changes, and how much ideal power drifts. A design
+// whose candidate set flips under ±2 % measurement noise would be fragile
+// in practice — the real catalog turns out to be robust (see the tests and
+// the threshold table in bench_ablation_metrics).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/catalog.hpp"
+#include "core/bml_design.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// Which scalar of a profile is perturbed.
+enum class ProfileParameter { kIdlePower, kMaxPower, kMaxPerf };
+
+[[nodiscard]] std::string to_string(ProfileParameter parameter);
+
+/// Returns `catalog` with one machine's parameter scaled by
+/// (1 + relative_delta). Throws std::out_of_range for an unknown machine
+/// name and std::invalid_argument when the perturbation makes the profile
+/// non-physical (e.g. max power below idle).
+[[nodiscard]] Catalog perturb_catalog(const Catalog& catalog,
+                                      const std::string& machine,
+                                      ProfileParameter parameter,
+                                      double relative_delta);
+
+/// Result of one perturbation experiment.
+struct SensitivityRow {
+  std::string machine;
+  ProfileParameter parameter = ProfileParameter::kIdlePower;
+  double relative_delta = 0.0;
+  /// True when the perturbed design keeps the same candidate names.
+  bool same_candidates = true;
+  /// Per-candidate threshold change (perturbed - baseline), aligned to the
+  /// *baseline* candidate order; empty when the candidate set changed.
+  std::vector<ReqRate> threshold_shift;
+  /// Mean absolute relative difference of ideal power over a rate sweep.
+  double mean_power_drift = 0.0;
+};
+
+/// Perturbs every (machine, parameter) pair of `catalog` by
+/// `relative_delta` and compares the resulting design against the
+/// baseline. Power drift is evaluated on `power_samples` evenly spaced
+/// rates up to the baseline Big machine's max performance. Perturbations
+/// that make a profile non-physical (e.g. a large negative max-power
+/// delta dropping below idle) are skipped, so fewer than
+/// 3 x |catalog| rows may come back.
+[[nodiscard]] std::vector<SensitivityRow> sensitivity_analysis(
+    const Catalog& catalog, double relative_delta, int power_samples = 64);
+
+}  // namespace bml

@@ -1,0 +1,178 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace bml {
+
+namespace {
+
+constexpr double kRateEpsilon = 1e-9;
+
+void check_sorted(const Catalog& candidates) {
+  for (std::size_t i = 1; i < candidates.size(); ++i)
+    if (candidates[i - 1].max_perf() < candidates[i].max_perf())
+      throw std::invalid_argument(
+          "solver: candidates must be sorted by decreasing max performance");
+}
+
+}  // namespace
+
+GreedyThresholdSolver::GreedyThresholdSolver(Catalog candidates,
+                                             std::vector<ReqRate> thresholds,
+                                             InventoryCaps caps)
+    : candidates_(std::move(candidates)),
+      thresholds_(std::move(thresholds)),
+      caps_(std::move(caps)) {
+  if (candidates_.empty())
+    throw std::invalid_argument("GreedyThresholdSolver: empty candidates");
+  check_sorted(candidates_);
+  if (thresholds_.size() != candidates_.size())
+    throw std::invalid_argument(
+        "GreedyThresholdSolver: one threshold per candidate required");
+  if (!caps_.empty() && caps_.size() != candidates_.size())
+    throw std::invalid_argument(
+        "GreedyThresholdSolver: caps must match candidate count");
+  for (ReqRate t : thresholds_)
+    if (t < 0.0)
+      throw std::invalid_argument(
+          "GreedyThresholdSolver: thresholds must be >= 0");
+}
+
+Combination GreedyThresholdSolver::solve(ReqRate rate) const {
+  if (rate < 0.0)
+    throw std::invalid_argument("GreedyThresholdSolver: rate must be >= 0");
+
+  Combination combo;
+  combo.resize(candidates_.size());
+  std::vector<int> caps_left(candidates_.size(),
+                             std::numeric_limits<int>::max());
+  if (!caps_.empty()) caps_left = caps_;
+
+  ReqRate remaining = rate;
+  while (remaining > kRateEpsilon) {
+    // Largest architecture whose minimum utilization threshold is reached
+    // and that still has machines available.
+    std::size_t pick = candidates_.size();
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      if (caps_left[i] > 0 && thresholds_[i] <= remaining) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == candidates_.size()) {
+      // Remaining load below every threshold (< 1 req/s): serve it with the
+      // smallest architecture still available.
+      for (std::size_t i = candidates_.size(); i-- > 0;) {
+        if (caps_left[i] > 0) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    if (pick == candidates_.size())
+      throw std::runtime_error(
+          "GreedyThresholdSolver: inventory exhausted before covering rate");
+
+    const ArchitectureProfile& p = candidates_[pick];
+    if (remaining >= p.max_perf()) {
+      const int wanted = static_cast<int>(remaining / p.max_perf());
+      const int taken = std::min(wanted, caps_left[pick]);
+      combo.add(pick, taken);
+      caps_left[pick] -= taken;
+      remaining -= taken * p.max_perf();
+      // If the cap truncated us, the loop re-picks among the rest.
+    } else {
+      combo.add(pick, 1);
+      caps_left[pick] -= 1;
+      remaining = 0.0;
+    }
+  }
+  return combo;
+}
+
+Watts GreedyThresholdSolver::power(ReqRate rate) const {
+  return dispatch(candidates_, solve(rate), rate).power;
+}
+
+ExactDpSolver::ExactDpSolver(Catalog candidates, ReqRate max_rate,
+                             InventoryCaps caps)
+    : candidates_(std::move(candidates)), caps_(std::move(caps)) {
+  if (candidates_.empty())
+    throw std::invalid_argument("ExactDpSolver: empty candidates");
+  check_sorted(candidates_);
+  if (!caps_.empty() && caps_.size() != candidates_.size())
+    throw std::invalid_argument(
+        "ExactDpSolver: caps must match candidate count");
+  curve_ = std::make_unique<MinCostCurve>(candidates_, max_rate);
+}
+
+bool ExactDpSolver::within_caps(const Combination& combo) const {
+  if (caps_.empty()) return true;
+  for (std::size_t i = 0; i < combo.counts().size(); ++i)
+    if (combo.counts()[i] > caps_[i]) return false;
+  return true;
+}
+
+Combination ExactDpSolver::capped_search(ReqRate rate) const {
+  // Exhaustive search over capped counts. Caps express small physical
+  // clusters, so the space (prod of cap+1) stays tiny; the recursion prunes
+  // branches whose remaining capacity cannot reach the target.
+  Combination best;
+  Watts best_power = std::numeric_limits<Watts>::infinity();
+
+  std::vector<ReqRate> suffix_capacity(candidates_.size() + 1, 0.0);
+  for (std::size_t i = candidates_.size(); i-- > 0;)
+    suffix_capacity[i] =
+        suffix_capacity[i + 1] + caps_[i] * candidates_[i].max_perf();
+
+  std::vector<int> counts(candidates_.size(), 0);
+  auto recurse = [&](auto&& self, std::size_t arch,
+                     ReqRate capacity_so_far) -> void {
+    if (arch == candidates_.size()) {
+      if (capacity_so_far + kRateEpsilon < rate) return;
+      Combination combo{counts};
+      const Watts p = dispatch(candidates_, combo, rate).power;
+      if (p < best_power) {
+        best_power = p;
+        best = std::move(combo);
+      }
+      return;
+    }
+    if (capacity_so_far + suffix_capacity[arch] + kRateEpsilon < rate)
+      return;  // even maxing every remaining arch cannot cover the rate
+    for (int n = 0; n <= caps_[arch]; ++n) {
+      counts[arch] = n;
+      self(self, arch + 1, capacity_so_far + n * candidates_[arch].max_perf());
+    }
+    counts[arch] = 0;
+  };
+  recurse(recurse, 0, 0.0);
+
+  if (!std::isfinite(best_power))
+    throw std::runtime_error(
+        "ExactDpSolver: inventory caps cannot cover the requested rate");
+  best.resize(candidates_.size());
+  return best;
+}
+
+Combination ExactDpSolver::solve(ReqRate rate) const {
+  if (rate < 0.0)
+    throw std::invalid_argument("ExactDpSolver: rate must be >= 0");
+  if (rate <= kRateEpsilon) {
+    Combination empty;
+    empty.resize(candidates_.size());
+    return empty;
+  }
+  Combination combo = curve_->combination(rate);
+  if (within_caps(combo)) return combo;
+  return capped_search(rate);
+}
+
+Watts ExactDpSolver::power(ReqRate rate) const {
+  return dispatch(candidates_, solve(rate), rate).power;
+}
+
+}  // namespace bml

@@ -1,0 +1,106 @@
+// Ideal BML combination solvers — the paper's final step.
+//
+// Two interchangeable solvers compute, for a target performance rate, the
+// machine combination that serves it at minimum power:
+//
+//  * GreedyThresholdSolver — the paper's algorithm. "Firstly, we consider
+//    architectures sorted decreasingly and seek to fill completely Big
+//    nodes, then Medium, and so on... Secondly, we use minimum thresholds
+//    to choose the right architecture to process the remaining
+//    performance." Correct when full-load efficiency (W per req/s at peak)
+//    improves with machine size, which Steps 2-3 guarantee in practice and
+//    which all shipped catalogs satisfy.
+//
+//  * ExactDpSolver — an exact dynamic program over integer rates (see
+//    MinCostCurve). Used as the oracle in tests, for the theoretical lower
+//    bound in the evaluation, and to validate the greedy solver.
+//
+// Both honour optional per-architecture inventory caps — the paper's
+// "cases of existing heterogeneous infrastructure where there is limited
+// numbers of machines of each type" (Section IV-A).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "arch/catalog.hpp"
+#include "core/combination.hpp"
+#include "core/crossing.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// Optional per-architecture machine count limits (parallel to the sorted
+/// candidate list). Empty = unlimited machines of every type.
+using InventoryCaps = std::vector<int>;
+
+/// Interface of an ideal-combination solver over a fixed candidate list.
+class CombinationSolver {
+ public:
+  virtual ~CombinationSolver() = default;
+
+  /// Cheapest combination able to serve `rate`; rate 0 yields the empty
+  /// combination. Throws std::invalid_argument for negative rates and
+  /// std::runtime_error when inventory caps make the rate infeasible.
+  [[nodiscard]] virtual Combination solve(ReqRate rate) const = 0;
+
+  /// Power of solve(rate) serving `rate`.
+  [[nodiscard]] virtual Watts power(ReqRate rate) const = 0;
+
+  [[nodiscard]] virtual const Catalog& candidates() const = 0;
+};
+
+/// The paper's greedy solver driven by the Step 4 minimum utilization
+/// thresholds.
+class GreedyThresholdSolver final : public CombinationSolver {
+ public:
+  /// `candidates` must be sorted by decreasing max performance (Step 2
+  /// output) and `thresholds` must hold one threshold per candidate (Step 4
+  /// output, all engaged candidates present). Throws std::invalid_argument
+  /// on size mismatch or unsorted input.
+  GreedyThresholdSolver(Catalog candidates, std::vector<ReqRate> thresholds,
+                        InventoryCaps caps = {});
+
+  [[nodiscard]] Combination solve(ReqRate rate) const override;
+  [[nodiscard]] Watts power(ReqRate rate) const override;
+  [[nodiscard]] const Catalog& candidates() const override {
+    return candidates_;
+  }
+  [[nodiscard]] const std::vector<ReqRate>& thresholds() const {
+    return thresholds_;
+  }
+
+ private:
+  Catalog candidates_;
+  std::vector<ReqRate> thresholds_;
+  InventoryCaps caps_;
+};
+
+/// Exact DP solver; optimal for linear power curves on the integer grid.
+/// Inventory caps are enforced by a bounded multi-dimensional search seeded
+/// by the unconstrained DP (caps only matter for small clusters, where the
+/// search space is tiny).
+class ExactDpSolver final : public CombinationSolver {
+ public:
+  /// Precomputes the DP up to `max_rate`. Queries above it throw
+  /// std::out_of_range.
+  ExactDpSolver(Catalog candidates, ReqRate max_rate, InventoryCaps caps = {});
+
+  [[nodiscard]] Combination solve(ReqRate rate) const override;
+  [[nodiscard]] Watts power(ReqRate rate) const override;
+  [[nodiscard]] const Catalog& candidates() const override {
+    return candidates_;
+  }
+  [[nodiscard]] ReqRate max_rate() const { return curve_->max_rate(); }
+
+ private:
+  [[nodiscard]] bool within_caps(const Combination& combo) const;
+  [[nodiscard]] Combination capped_search(ReqRate rate) const;
+
+  Catalog candidates_;
+  std::unique_ptr<MinCostCurve> curve_;
+  InventoryCaps caps_;
+};
+
+}  // namespace bml

@@ -1,0 +1,51 @@
+#include "power/energy_meter.hpp"
+
+#include <stdexcept>
+
+namespace bml {
+
+EnergyMeter::EnergyMeter(Seconds step) : step_(step) {
+  if (step_ <= 0.0)
+    throw std::invalid_argument("EnergyMeter: step must be positive");
+}
+
+void EnergyMeter::ensure_day() {
+  const auto day = static_cast<std::size_t>(
+      step_ * static_cast<double>(ticks_) / static_cast<double>(kSecondsPerDay));
+  while (day_compute_.size() <= day) {
+    day_compute_.push_back(0.0);
+    day_reconf_.push_back(0.0);
+  }
+}
+
+void EnergyMeter::add_compute_sample(Watts power) {
+  if (power < 0.0)
+    throw std::invalid_argument("EnergyMeter: negative power sample");
+  ensure_day();
+  const Joules e = power * step_;
+  compute_energy_ += e;
+  const auto day = static_cast<std::size_t>(
+      step_ * static_cast<double>(ticks_) / static_cast<double>(kSecondsPerDay));
+  day_compute_[day] += e;
+}
+
+void EnergyMeter::add_reconfiguration_energy(Joules energy) {
+  if (energy < 0.0)
+    throw std::invalid_argument("EnergyMeter: negative reconfiguration energy");
+  ensure_day();
+  reconf_energy_ += energy;
+  const auto day = static_cast<std::size_t>(
+      step_ * static_cast<double>(ticks_) / static_cast<double>(kSecondsPerDay));
+  day_reconf_[day] += energy;
+}
+
+void EnergyMeter::tick() { ++ticks_; }
+
+std::vector<Joules> EnergyMeter::per_day_total() const {
+  std::vector<Joules> out(day_compute_.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = day_compute_[i] + day_reconf_[i];
+  return out;
+}
+
+}  // namespace bml

@@ -1,0 +1,68 @@
+// Energy accounting: integrate a power signal over time.
+//
+// The simulator feeds one power sample per simulated second; EnergyMeter
+// accumulates Joules and keeps per-day totals for the Fig. 5 report.
+// Separate channels let callers split compute energy from reconfiguration
+// (On/Off) energy, as the paper does ("total consumption per day contains
+// the energy consumed by computation and by On/Off reconfigurations").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace bml {
+
+/// Accumulates energy from fixed-step power samples on named channels.
+class EnergyMeter {
+ public:
+  /// `step` is the sampling interval of add_sample (1 s in the simulator).
+  explicit EnergyMeter(Seconds step = 1.0);
+
+  /// Integrates one power sample on the compute channel.
+  void add_compute_sample(Watts power);
+
+  /// Adds a lump of reconfiguration energy (an On or Off action's Joules),
+  /// attributed to the current day.
+  void add_reconfiguration_energy(Joules energy);
+
+  /// Advances the internal clock by one sample period. Call once per
+  /// simulated second, after the samples for that second were added.
+  void tick();
+
+  [[nodiscard]] Joules total_energy() const {
+    return compute_energy_ + reconf_energy_;
+  }
+  [[nodiscard]] Joules compute_energy() const { return compute_energy_; }
+  [[nodiscard]] Joules reconfiguration_energy() const {
+    return reconf_energy_;
+  }
+
+  /// Elapsed integrated time in seconds.
+  [[nodiscard]] Seconds elapsed() const {
+    return step_ * static_cast<double>(ticks_);
+  }
+
+  /// Per-day total (compute + reconfiguration) energy; the current,
+  /// possibly partial, day is included as the last element.
+  [[nodiscard]] std::vector<Joules> per_day_total() const;
+  [[nodiscard]] const std::vector<Joules>& per_day_compute() const {
+    return day_compute_;
+  }
+  [[nodiscard]] const std::vector<Joules>& per_day_reconfiguration() const {
+    return day_reconf_;
+  }
+
+ private:
+  void ensure_day();
+
+  Seconds step_;
+  std::size_t ticks_ = 0;
+  Joules compute_energy_ = 0.0;
+  Joules reconf_energy_ = 0.0;
+  std::vector<Joules> day_compute_;
+  std::vector<Joules> day_reconf_;
+};
+
+}  // namespace bml

@@ -1,0 +1,81 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bml {
+
+LinearPowerModel::LinearPowerModel(Watts idle, Watts max_power,
+                                   ReqRate max_perf)
+    : idle_(idle), max_power_(max_power), max_perf_(max_perf) {
+  if (max_perf_ <= 0.0)
+    throw std::invalid_argument("LinearPowerModel: max_perf must be > 0");
+  if (idle_ < 0.0)
+    throw std::invalid_argument("LinearPowerModel: idle power must be >= 0");
+  if (max_power_ < idle_)
+    throw std::invalid_argument(
+        "LinearPowerModel: max power must be >= idle power");
+  slope_ = (max_power_ - idle_) / max_perf_;
+}
+
+Watts LinearPowerModel::power_at(ReqRate rate) const {
+  const ReqRate r = std::clamp(rate, 0.0, max_perf_);
+  return idle_ + slope_ * r;
+}
+
+std::unique_ptr<PowerModel> LinearPowerModel::clone() const {
+  return std::make_unique<LinearPowerModel>(*this);
+}
+
+PiecewiseLinearPowerModel::PiecewiseLinearPowerModel(
+    std::vector<PowerSample> samples)
+    : samples_(std::move(samples)) {
+  if (samples_.size() < 2)
+    throw std::invalid_argument(
+        "PiecewiseLinearPowerModel: need at least two samples");
+  if (samples_.front().rate != 0.0)
+    throw std::invalid_argument(
+        "PiecewiseLinearPowerModel: first sample must be the idle point "
+        "(rate 0)");
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    if (samples_[i].rate <= samples_[i - 1].rate)
+      throw std::invalid_argument(
+          "PiecewiseLinearPowerModel: sample rates must strictly increase");
+  }
+  for (const PowerSample& s : samples_) {
+    if (s.power < 0.0)
+      throw std::invalid_argument(
+          "PiecewiseLinearPowerModel: power must be >= 0");
+  }
+}
+
+Watts PiecewiseLinearPowerModel::power_at(ReqRate rate) const {
+  const ReqRate r = std::clamp(rate, 0.0, max_perf());
+  const auto upper = std::lower_bound(
+      samples_.begin(), samples_.end(), r,
+      [](const PowerSample& s, ReqRate value) { return s.rate < value; });
+  if (upper == samples_.begin()) return samples_.front().power;
+  if (upper == samples_.end()) return samples_.back().power;
+  const PowerSample& hi = *upper;
+  const PowerSample& lo = *(upper - 1);
+  const double frac = (r - lo.rate) / (hi.rate - lo.rate);
+  return lo.power + frac * (hi.power - lo.power);
+}
+
+Watts PiecewiseLinearPowerModel::idle_power() const {
+  return samples_.front().power;
+}
+
+ReqRate PiecewiseLinearPowerModel::max_perf() const {
+  return samples_.back().rate;
+}
+
+Watts PiecewiseLinearPowerModel::max_power() const {
+  return samples_.back().power;
+}
+
+std::unique_ptr<PowerModel> PiecewiseLinearPowerModel::clone() const {
+  return std::make_unique<PiecewiseLinearPowerModel>(*this);
+}
+
+}  // namespace bml

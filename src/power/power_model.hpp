@@ -1,0 +1,99 @@
+// Power models: map an application performance rate to electrical power.
+//
+// Section IV-A of the paper assumes a *linear* power model between
+// (0, idlePower) and (maxPerf, maxPower), citing Rivoire et al. for why the
+// approximation is acceptable. LinearPowerModel implements exactly that.
+// PiecewiseLinearPowerModel generalises it to profiles with intermediate
+// measured points ("acquiring more intermediate data points ... would enable
+// more precision, our methodology would not be affected").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace bml {
+
+/// Abstract machine power model over utilization expressed as a performance
+/// rate in [0, max_perf()].
+class PowerModel {
+ public:
+  virtual ~PowerModel() = default;
+
+  /// Power drawn while serving `rate`. Rates are clamped to [0, max_perf()];
+  /// callers that care about overload detect it at dispatch time.
+  [[nodiscard]] virtual Watts power_at(ReqRate rate) const = 0;
+
+  /// Average power when idle (rate = 0) but switched on.
+  [[nodiscard]] virtual Watts idle_power() const = 0;
+
+  /// Maximum sustainable performance rate.
+  [[nodiscard]] virtual ReqRate max_perf() const = 0;
+
+  /// Power at max_perf().
+  [[nodiscard]] virtual Watts max_power() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<PowerModel> clone() const = 0;
+
+  /// Marginal power per unit of performance averaged over the full range:
+  /// (max_power - idle_power) / max_perf. For a linear model this is the
+  /// constant slope used by the crossing-point computation.
+  [[nodiscard]] double mean_slope() const {
+    return (max_power() - idle_power()) / max_perf();
+  }
+};
+
+/// The paper's linear model: power(rate) = idle + slope * rate.
+class LinearPowerModel final : public PowerModel {
+ public:
+  /// Throws std::invalid_argument unless max_perf > 0, idle >= 0 and
+  /// max_power >= idle (a machine cannot draw less at peak than idle).
+  LinearPowerModel(Watts idle, Watts max_power, ReqRate max_perf);
+
+  [[nodiscard]] Watts power_at(ReqRate rate) const override;
+  [[nodiscard]] Watts idle_power() const override { return idle_; }
+  [[nodiscard]] ReqRate max_perf() const override { return max_perf_; }
+  [[nodiscard]] Watts max_power() const override { return max_power_; }
+  [[nodiscard]] std::unique_ptr<PowerModel> clone() const override;
+
+  /// Constant Watts per req/s.
+  [[nodiscard]] double slope() const { return slope_; }
+
+ private:
+  Watts idle_;
+  Watts max_power_;
+  ReqRate max_perf_;
+  double slope_;
+};
+
+/// Sample of a measured (rate, power) profile point.
+struct PowerSample {
+  ReqRate rate = 0.0;
+  Watts power = 0.0;
+};
+
+/// Piecewise-linear interpolation through measured profile points.
+/// Produced by the simulated profiler when asked for intermediate points.
+class PiecewiseLinearPowerModel final : public PowerModel {
+ public:
+  /// `samples` must contain at least two points, be strictly increasing in
+  /// rate, and start at rate 0 (the idle measurement). Throws
+  /// std::invalid_argument otherwise.
+  explicit PiecewiseLinearPowerModel(std::vector<PowerSample> samples);
+
+  [[nodiscard]] Watts power_at(ReqRate rate) const override;
+  [[nodiscard]] Watts idle_power() const override;
+  [[nodiscard]] ReqRate max_perf() const override;
+  [[nodiscard]] Watts max_power() const override;
+  [[nodiscard]] std::unique_ptr<PowerModel> clone() const override;
+
+  [[nodiscard]] const std::vector<PowerSample>& samples() const {
+    return samples_;
+  }
+
+ private:
+  std::vector<PowerSample> samples_;
+};
+
+}  // namespace bml

@@ -1,0 +1,58 @@
+#include "power/proportionality.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bml {
+
+double ideal_to_peak_ratio(Watts idle, Watts peak) {
+  if (peak <= 0.0)
+    throw std::invalid_argument("ideal_to_peak_ratio: peak must be > 0");
+  if (idle < 0.0 || idle > peak)
+    throw std::invalid_argument(
+        "ideal_to_peak_ratio: idle must lie in [0, peak]");
+  return idle / peak;
+}
+
+double linear_deviation_ratio(const PowerCurve& curve, int samples) {
+  if (samples < 2)
+    throw std::invalid_argument(
+        "linear_deviation_ratio: need at least 2 samples");
+  const Watts p0 = curve(0.0);
+  const Watts p1 = curve(1.0);
+  if (p1 <= 0.0)
+    throw std::invalid_argument(
+        "linear_deviation_ratio: peak power must be > 0");
+  double worst = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double u = static_cast<double>(i) / (samples - 1);
+    const Watts line = p0 + u * (p1 - p0);
+    const double deviation = (curve(u) - line) / p1;
+    if (std::abs(deviation) > std::abs(worst)) worst = deviation;
+  }
+  return worst;
+}
+
+double proportionality_score(const PowerCurve& curve, int samples) {
+  if (samples < 2)
+    throw std::invalid_argument(
+        "proportionality_score: need at least 2 samples");
+  const Watts peak = curve(1.0);
+  if (peak <= 0.0)
+    throw std::invalid_argument("proportionality_score: peak must be > 0");
+  // Trapezoidal integration of the normalized curve and the ideal line.
+  double area = 0.0;
+  double prev = curve(0.0) / peak;
+  for (int i = 1; i < samples; ++i) {
+    const double u = static_cast<double>(i) / (samples - 1);
+    const double cur = curve(u) / peak;
+    area += 0.5 * (prev + cur) / (samples - 1);
+    prev = cur;
+  }
+  const double ideal_area = 0.5;  // integral of u du over [0,1]
+  const double score = 1.0 - (area - ideal_area) / ideal_area;
+  // Curves below the ideal line (super-proportional) clamp to 1.
+  return std::fmin(1.0, score);
+}
+
+}  // namespace bml

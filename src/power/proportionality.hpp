@@ -1,0 +1,42 @@
+// Energy-proportionality metrics.
+//
+// Section II cites Varsamopoulos et al.: IPR (Idle-to-Peak Ratio) measures
+// the dynamic power range of a machine, LDR (Linear Deviation Ratio) the
+// linearity of its consumption curve. We implement both so that the
+// ablation bench can score each architecture and the composed BML curve —
+// quantifying the paper's claim that the heterogeneous combination is more
+// proportional than any single machine.
+#pragma once
+
+#include <functional>
+
+#include "util/units.hpp"
+
+namespace bml {
+
+/// A power curve over normalized utilization u in [0, 1].
+using PowerCurve = std::function<Watts(double /*utilization*/)>;
+
+/// Idle-to-Peak Ratio: idle_power / peak_power, in [0, 1].
+/// 0 is perfectly proportional (no idle draw); 1 means flat consumption.
+/// Throws std::invalid_argument when peak <= 0 or idle is negative/greater
+/// than peak.
+[[nodiscard]] double ideal_to_peak_ratio(Watts idle, Watts peak);
+
+/// Linear Deviation Ratio: maximum signed relative deviation of the curve
+/// from the straight line between its endpoints (curve(0) and curve(1)),
+/// normalized by peak power. Positive values mean the curve runs above the
+/// line (sub-linear efficiency), negative below. Samples the curve at
+/// `samples` evenly spaced points (>= 2).
+[[nodiscard]] double linear_deviation_ratio(const PowerCurve& curve,
+                                            int samples = 101);
+
+/// Energy-proportionality coefficient in [0, 1]:
+///   1 - (area under normalized power curve - ideal area) / ideal area
+/// where the ideal curve is power(u) = u * peak. A perfectly proportional
+/// system scores 1; a flat consumer scores close to 0. This composite score
+/// is our addition for ranking architectures in the ablation bench.
+[[nodiscard]] double proportionality_score(const PowerCurve& curve,
+                                           int samples = 1001);
+
+}  // namespace bml

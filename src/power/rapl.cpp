@@ -1,0 +1,66 @@
+#include "power/rapl.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bml {
+
+namespace {
+
+/// Largest rate whose power stays within `cap` (bisection; the power curve
+/// is non-decreasing in rate).
+ReqRate invert_power(const PowerModel& model, Watts cap) {
+  if (model.power_at(model.max_perf()) <= cap) return model.max_perf();
+  ReqRate lo = 0.0;
+  ReqRate hi = model.max_perf();
+  for (int i = 0; i < 64; ++i) {
+    const ReqRate mid = 0.5 * (lo + hi);
+    if (model.power_at(mid) <= cap)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+PowerCappedModel::PowerCappedModel(const PowerModel& base, Watts cap)
+    : base_(base.clone()), cap_(cap) {
+  if (cap_ < base_->idle_power())
+    throw std::invalid_argument(
+        "PowerCappedModel: cap below idle power is unenforceable");
+  capped_perf_ = invert_power(*base_, cap_);
+  if (capped_perf_ <= 0.0)
+    throw std::invalid_argument(
+        "PowerCappedModel: cap leaves no usable performance");
+}
+
+Watts PowerCappedModel::power_at(ReqRate rate) const {
+  const ReqRate r = std::clamp(rate, 0.0, capped_perf_);
+  return std::min(base_->power_at(r), cap_);
+}
+
+Watts PowerCappedModel::max_power() const {
+  return std::min(base_->power_at(capped_perf_), cap_);
+}
+
+std::unique_ptr<PowerModel> PowerCappedModel::clone() const {
+  return std::make_unique<PowerCappedModel>(*base_, cap_);
+}
+
+Watts rapl_homogeneous_power(const ArchitectureProfile& arch, int n,
+                             ReqRate load) {
+  if (n < 1)
+    throw std::invalid_argument("rapl_homogeneous_power: n must be >= 1");
+  if (load < 0.0)
+    throw std::invalid_argument("rapl_homogeneous_power: load must be >= 0");
+  const ReqRate per_machine =
+      std::min(load / n, arch.max_perf());
+  // An ideal cap tracks the actual draw at the served rate; with the
+  // monotone power curve that is simply power_at(share) per machine. The
+  // fleet stays on: idle power remains for every machine.
+  return n * arch.power_at(per_machine);
+}
+
+}  // namespace bml

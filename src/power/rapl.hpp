@@ -1,0 +1,55 @@
+// RAPL-style power capping — the Section II foil.
+//
+// "Via this mechanism a user can specify a power consumption threshold
+// that the processor will not exceed... This power capping tool offers
+// better energy proportionality, but does not help reducing idle
+// consumption."
+//
+// PowerCappedModel clips a machine's power curve at a cap, which also caps
+// its achievable performance. rapl_homogeneous_power computes what an
+// ideally-capped homogeneous fleet draws at a given load — the strongest
+// version of the power-capping alternative, which the BML curve still
+// beats at low utilization because capping cannot shed idle power.
+#pragma once
+
+#include <memory>
+
+#include "arch/profile.hpp"
+#include "power/power_model.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// A power model clipped at `cap` Watts; performance saturates at the rate
+/// where the base model reaches the cap.
+class PowerCappedModel final : public PowerModel {
+ public:
+  /// Throws std::invalid_argument when cap < the base model's idle power
+  /// (the cap would be unreachable: RAPL cannot drop below idle).
+  PowerCappedModel(const PowerModel& base, Watts cap);
+
+  [[nodiscard]] Watts power_at(ReqRate rate) const override;
+  [[nodiscard]] Watts idle_power() const override {
+    return base_->idle_power();
+  }
+  [[nodiscard]] ReqRate max_perf() const override { return capped_perf_; }
+  [[nodiscard]] Watts max_power() const override;
+  [[nodiscard]] std::unique_ptr<PowerModel> clone() const override;
+
+  [[nodiscard]] Watts cap() const { return cap_; }
+
+ private:
+  std::unique_ptr<PowerModel> base_;
+  Watts cap_;
+  ReqRate capped_perf_;
+};
+
+/// Power of `n` machines of `arch` under ideal per-machine RAPL caps while
+/// serving `load` spread evenly: the fleet is always on (capping does not
+/// switch machines off) and each machine's cap hugs its share of the load.
+/// Throws std::invalid_argument when n < 1 or load < 0; load beyond fleet
+/// capacity is clamped.
+[[nodiscard]] Watts rapl_homogeneous_power(const ArchitectureProfile& arch,
+                                           int n, ReqRate load);
+
+}  // namespace bml

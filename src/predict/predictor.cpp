@@ -1,0 +1,185 @@
+#include "predict/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace bml {
+
+void OracleMaxPredictor::rebuild_cache(const LoadTrace& trace,
+                                       Seconds horizon) {
+  const std::size_t n = trace.size();
+  const auto w = static_cast<std::size_t>(horizon);
+  window_max_.assign(n, 0.0);
+  // Monotonic deque of indices with decreasing values over [t, t + w).
+  std::deque<std::size_t> deque;
+  // Seed with the first window, then slide leftwards... simplest is a
+  // right-to-left sparse approach; a forward pass works too: maintain the
+  // deque over a window that advances with t.
+  std::size_t right = 0;  // first index not yet inserted
+  for (std::size_t t = 0; t < n; ++t) {
+    while (right < std::min(n, t + w)) {
+      const double v = trace.at(static_cast<TimePoint>(right));
+      while (!deque.empty() &&
+             trace.at(static_cast<TimePoint>(deque.back())) <= v)
+        deque.pop_back();
+      deque.push_back(right);
+      ++right;
+    }
+    while (!deque.empty() && deque.front() < t) deque.pop_front();
+    window_max_[t] =
+        deque.empty() ? 0.0 : trace.at(static_cast<TimePoint>(deque.front()));
+  }
+  cached_trace_ = &trace;
+  cached_size_ = n;
+  cached_horizon_ = horizon;
+}
+
+ReqRate OracleMaxPredictor::predict(const LoadTrace& trace, TimePoint now,
+                                    Seconds horizon) {
+  if (horizon <= 0.0)
+    throw std::invalid_argument("OracleMaxPredictor: horizon must be > 0");
+  if (now < 0) throw std::invalid_argument("OracleMaxPredictor: now < 0");
+  if (cached_trace_ != &trace || cached_size_ != trace.size() ||
+      cached_horizon_ != horizon)
+    rebuild_cache(trace, horizon);
+  const auto t = static_cast<std::size_t>(now);
+  if (t >= window_max_.size()) return 0.0;
+  return window_max_[t];
+}
+
+ReqRate LastValuePredictor::predict(const LoadTrace& trace, TimePoint now,
+                                    Seconds /*horizon*/) {
+  if (now <= 0) return 0.0;
+  return trace.at(now - 1);
+}
+
+MovingMaxPredictor::MovingMaxPredictor(Seconds window) : window_(window) {
+  if (window_ <= 0.0)
+    throw std::invalid_argument("MovingMaxPredictor: window must be > 0");
+}
+
+ReqRate MovingMaxPredictor::predict(const LoadTrace& trace, TimePoint now,
+                                    Seconds /*horizon*/) {
+  const TimePoint begin = now - static_cast<TimePoint>(window_);
+  return trace.max_over(begin, now);
+}
+
+EwmaPredictor::EwmaPredictor(double alpha, double headroom)
+    : alpha_(alpha), headroom_(headroom) {
+  if (alpha_ <= 0.0 || alpha_ > 1.0)
+    throw std::invalid_argument("EwmaPredictor: alpha must be in (0,1]");
+  if (headroom_ <= 0.0)
+    throw std::invalid_argument("EwmaPredictor: headroom must be > 0");
+}
+
+ReqRate EwmaPredictor::predict(const LoadTrace& trace, TimePoint now,
+                               Seconds /*horizon*/) {
+  // Catch up on any history samples not yet folded into the state. The
+  // predictor is usually called once per second, making this a single step.
+  if (now <= 0) return 0.0;
+  const TimePoint start = primed_ ? last_now_ + 1 : std::max<TimePoint>(1, now);
+  for (TimePoint t = start; t <= now; ++t) {
+    const double sample = trace.at(t - 1);
+    if (!primed_) {
+      state_ = sample;
+      primed_ = true;
+    } else {
+      state_ = alpha_ * sample + (1.0 - alpha_) * state_;
+    }
+  }
+  last_now_ = now;
+  return headroom_ * state_;
+}
+
+LinearTrendPredictor::LinearTrendPredictor(Seconds window) : window_(window) {
+  if (window_ < 2.0)
+    throw std::invalid_argument(
+        "LinearTrendPredictor: window must cover >= 2 samples");
+}
+
+ReqRate LinearTrendPredictor::predict(const LoadTrace& trace, TimePoint now,
+                                      Seconds horizon) {
+  if (now <= 1) return now == 1 ? trace.at(0) : 0.0;
+  const TimePoint begin =
+      std::max<TimePoint>(0, now - static_cast<TimePoint>(window_));
+  const auto n = static_cast<double>(now - begin);
+  if (n < 2.0) return trace.at(now - 1);
+
+  // Least squares of rate against time over [begin, now).
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (TimePoint t = begin; t < now; ++t) {
+    const double x = static_cast<double>(t - begin);
+    const double y = trace.at(t);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  const double slope = denom != 0.0 ? (n * sxy - sx * sy) / denom : 0.0;
+  const double intercept = (sy - slope * sx) / n;
+  // Extrapolate to the end of the horizon; a rising trend predicts higher,
+  // a falling one never predicts below the most recent observation.
+  const double x_end = n - 1.0 + horizon;
+  const double extrapolated = intercept + slope * x_end;
+  return std::max({0.0, extrapolated, trace.at(now - 1)});
+}
+
+SeasonalPredictor::SeasonalPredictor(Seconds period, double headroom)
+    : period_(period), headroom_(headroom) {
+  if (period_ <= 0.0)
+    throw std::invalid_argument("SeasonalPredictor: period must be > 0");
+  if (headroom_ <= 0.0)
+    throw std::invalid_argument("SeasonalPredictor: headroom must be > 0");
+}
+
+ReqRate SeasonalPredictor::predict(const LoadTrace& trace, TimePoint now,
+                                   Seconds horizon) {
+  if (horizon <= 0.0)
+    throw std::invalid_argument("SeasonalPredictor: horizon must be > 0");
+  const auto period = static_cast<TimePoint>(period_);
+  const auto h = static_cast<TimePoint>(horizon);
+  if (now < period) {
+    // Not a full period of history yet: trailing max is the safest guess.
+    return headroom_ * trace.max_over(now - h, now);
+  }
+  // Same window one period ago...
+  const ReqRate seasonal =
+      trace.max_over(now - period, now - period + h);
+  // ...scaled by the recent day-over-day growth (ratio of the trailing
+  // hour to the same hour yesterday), clamped to [0.5, 3] to keep one
+  // outlier from exploding the forecast.
+  const ReqRate recent = trace.max_over(now - 3600, now);
+  const ReqRate recent_yesterday =
+      trace.max_over(now - period - 3600, now - period);
+  double growth = 1.0;
+  if (recent_yesterday > 0.0 && recent > 0.0)
+    growth = std::clamp(recent / recent_yesterday, 0.5, 3.0);
+  return headroom_ * growth * seasonal;
+}
+
+ErrorInjectingPredictor::ErrorInjectingPredictor(
+    std::unique_ptr<Predictor> inner, double sigma, double bias,
+    std::uint64_t seed)
+    : inner_(std::move(inner)), sigma_(sigma), bias_(bias), rng_(seed) {
+  if (!inner_)
+    throw std::invalid_argument("ErrorInjectingPredictor: null inner");
+  if (sigma_ < 0.0)
+    throw std::invalid_argument("ErrorInjectingPredictor: sigma must be >= 0");
+}
+
+ReqRate ErrorInjectingPredictor::predict(const LoadTrace& trace, TimePoint now,
+                                         Seconds horizon) {
+  const ReqRate base = inner_->predict(trace, now, horizon);
+  const double factor = 1.0 + bias_ + (sigma_ > 0.0 ? rng_.normal(0.0, sigma_)
+                                                    : 0.0);
+  return std::max(0.0, base * factor);
+}
+
+std::string ErrorInjectingPredictor::name() const {
+  return inner_->name() + "+error";
+}
+
+}  // namespace bml

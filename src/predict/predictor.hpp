@@ -1,0 +1,145 @@
+// Load predictors.
+//
+// The scheduler asks, at time t, for the load it must be able to serve over
+// the next `horizon` seconds. The paper "emulate[s] a load prediction
+// mechanism by considering a sliding look-ahead window... the maximum load
+// value over a window of 378 seconds, equivalent to 2 times the longest On
+// duration" — that is OracleMaxPredictor. Reactive predictors (history
+// only) and an error-injection wrapper implement the paper's future-work
+// study of prediction errors.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// Interface: predicted *maximum* load over [now, now + horizon).
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Predicts the maximum rate over the look-ahead window. Implementations
+  /// document whether they peek at the future (oracle) or only at history
+  /// (trace samples strictly before `now`).
+  [[nodiscard]] virtual ReqRate predict(const LoadTrace& trace, TimePoint now,
+                                        Seconds horizon) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The paper's emulated predictor: true maximum over the look-ahead window
+/// (reads the future — an oracle). Window maxima are precomputed with a
+/// monotonic deque on first use (O(n) once, O(1) per query), which matters
+/// when the scheduler asks once per second over a three-month trace.
+class OracleMaxPredictor final : public Predictor {
+ public:
+  [[nodiscard]] ReqRate predict(const LoadTrace& trace, TimePoint now,
+                                Seconds horizon) override;
+  [[nodiscard]] std::string name() const override { return "oracle-max"; }
+
+ private:
+  void rebuild_cache(const LoadTrace& trace, Seconds horizon);
+
+  const void* cached_trace_ = nullptr;
+  std::size_t cached_size_ = 0;
+  Seconds cached_horizon_ = 0.0;
+  std::vector<double> window_max_;  // max over [t, t + horizon) per t
+};
+
+/// Last observed value (history only).
+class LastValuePredictor final : public Predictor {
+ public:
+  [[nodiscard]] ReqRate predict(const LoadTrace& trace, TimePoint now,
+                                Seconds horizon) override;
+  [[nodiscard]] std::string name() const override { return "last-value"; }
+};
+
+/// Maximum over the trailing `window` seconds of history; a safe reactive
+/// stand-in for the oracle when the load is cyclic.
+class MovingMaxPredictor final : public Predictor {
+ public:
+  explicit MovingMaxPredictor(Seconds window);
+  [[nodiscard]] ReqRate predict(const LoadTrace& trace, TimePoint now,
+                                Seconds horizon) override;
+  [[nodiscard]] std::string name() const override { return "moving-max"; }
+
+ private:
+  Seconds window_;
+};
+
+/// Exponentially weighted moving average of history with a safety factor:
+/// prediction = headroom * EWMA. alpha in (0, 1]; larger = more reactive.
+class EwmaPredictor final : public Predictor {
+ public:
+  EwmaPredictor(double alpha, double headroom = 1.2);
+  [[nodiscard]] ReqRate predict(const LoadTrace& trace, TimePoint now,
+                                Seconds horizon) override;
+  [[nodiscard]] std::string name() const override { return "ewma"; }
+
+ private:
+  double alpha_;
+  double headroom_;
+  bool primed_ = false;
+  double state_ = 0.0;
+  TimePoint last_now_ = -1;
+};
+
+/// Least-squares linear trend over the trailing `window` seconds,
+/// extrapolated to the end of the horizon; never below the last value.
+class LinearTrendPredictor final : public Predictor {
+ public:
+  explicit LinearTrendPredictor(Seconds window);
+  [[nodiscard]] ReqRate predict(const LoadTrace& trace, TimePoint now,
+                                Seconds horizon) override;
+  [[nodiscard]] std::string name() const override { return "linear-trend"; }
+
+ private:
+  Seconds window_;
+};
+
+/// Seasonal (diurnal) predictor: the maximum observed over the same
+/// window one period ago (default period: 24 h), scaled by a headroom
+/// factor and the day-over-day growth of recent load. History only —
+/// a practical stand-in for the oracle on strongly diurnal workloads like
+/// the World Cup trace. Falls back to the trailing window max while less
+/// than one full period of history exists.
+class SeasonalPredictor final : public Predictor {
+ public:
+  explicit SeasonalPredictor(Seconds period = 86'400.0,
+                             double headroom = 1.1);
+  [[nodiscard]] ReqRate predict(const LoadTrace& trace, TimePoint now,
+                                Seconds horizon) override;
+  [[nodiscard]] std::string name() const override { return "seasonal"; }
+
+ private:
+  Seconds period_;
+  double headroom_;
+};
+
+/// Wraps a predictor and perturbs its output with multiplicative Gaussian
+/// error (sigma = relative error stddev) plus optional constant bias.
+/// Results are clamped at 0. Deterministic given the seed. This is the
+/// instrument for the paper's "impact of load prediction errors" question.
+class ErrorInjectingPredictor final : public Predictor {
+ public:
+  ErrorInjectingPredictor(std::unique_ptr<Predictor> inner, double sigma,
+                          double bias, std::uint64_t seed);
+  [[nodiscard]] ReqRate predict(const LoadTrace& trace, TimePoint now,
+                                Seconds horizon) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::unique_ptr<Predictor> inner_;
+  double sigma_;
+  double bias_;
+  Rng rng_;
+};
+
+}  // namespace bml

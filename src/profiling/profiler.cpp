@@ -1,0 +1,129 @@
+#include "profiling/profiler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace bml {
+
+Profiler::Profiler(ProfilerOptions options) : options_(options) {
+  if (options_.test_duration <= 0.0)
+    throw std::invalid_argument("Profiler: test_duration must be > 0");
+  if (options_.repetitions < 1)
+    throw std::invalid_argument("Profiler: repetitions must be >= 1");
+  if (options_.initial_clients < 1)
+    throw std::invalid_argument("Profiler: initial_clients must be >= 1");
+  if (options_.client_growth <= 1.0)
+    throw std::invalid_argument("Profiler: client_growth must be > 1");
+}
+
+LoadTestResult Profiler::run_load_test(SimulatedMachine& machine,
+                                       int clients) const {
+  if (machine.state() != MachineState::kOn)
+    throw std::logic_error("Profiler: machine must be On for a load test");
+  machine.set_clients(clients);
+  RunningStats throughput;
+  RunningStats power;
+  const auto seconds = static_cast<std::size_t>(options_.test_duration);
+  for (std::size_t s = 0; s < seconds; ++s) {
+    throughput.add(machine.observe_throughput());
+    power.add(machine.observe_power());
+    machine.tick();
+  }
+  machine.set_clients(0);
+  return LoadTestResult{clients, throughput.mean(), power.mean()};
+}
+
+std::vector<LoadTestResult> Profiler::ramp(SimulatedMachine& machine) const {
+  std::vector<LoadTestResult> results;
+  int clients = options_.initial_clients;
+  while (clients <= options_.max_clients) {
+    results.push_back(run_load_test(machine, clients));
+    if (results.size() >= 2) {
+      const double prev = results[results.size() - 2].throughput;
+      const double cur = results.back().throughput;
+      if (prev > 0.0 && (cur - prev) / prev < options_.saturation_tolerance)
+        break;
+    }
+    clients = std::max(clients + 1,
+                       static_cast<int>(clients * options_.client_growth));
+  }
+  return results;
+}
+
+TransitionCost Profiler::measure_on_cost(SimulatedMachine& machine) const {
+  if (machine.state() != MachineState::kOff)
+    throw std::logic_error("Profiler: measure_on_cost requires Off");
+  machine.power_on();
+  TransitionCost cost;
+  while (machine.state() == MachineState::kBooting) {
+    cost.energy += machine.observe_power() * 1.0;
+    cost.duration += 1.0;
+    machine.tick();
+  }
+  return cost;
+}
+
+TransitionCost Profiler::measure_off_cost(SimulatedMachine& machine) const {
+  if (machine.state() != MachineState::kOn)
+    throw std::logic_error("Profiler: measure_off_cost requires On");
+  machine.power_off();
+  TransitionCost cost;
+  while (machine.state() == MachineState::kShuttingDown) {
+    cost.energy += machine.observe_power() * 1.0;
+    cost.duration += 1.0;
+    machine.tick();
+  }
+  return cost;
+}
+
+ArchitectureProfile Profiler::profile(SimulatedMachine& machine) const {
+  // Boot (measuring the On cost on the way up).
+  const TransitionCost on_cost = measure_on_cost(machine);
+
+  // Idle power.
+  machine.set_clients(0);
+  const Watts idle = Wattmeter::average_power(
+      machine, options_.test_duration);
+
+  // Concurrency ramp to find saturation.
+  const std::vector<LoadTestResult> steps = ramp(machine);
+  const int saturated_clients = steps.back().clients;
+
+  // "the maximum performance is the average of 5 results".
+  RunningStats max_perf;
+  RunningStats max_power;
+  for (int rep = 0; rep < options_.repetitions; ++rep) {
+    const LoadTestResult r = run_load_test(machine, saturated_clients);
+    max_perf.add(r.throughput);
+    max_power.add(r.power);
+  }
+
+  // Optional intermediate points for a piecewise power curve.
+  std::vector<PowerSample> samples;
+  if (options_.intermediate_points > 0) {
+    samples.push_back({0.0, idle});
+    for (int i = 1; i <= options_.intermediate_points; ++i) {
+      const int clients = std::max(
+          1, saturated_clients * i / (options_.intermediate_points + 1));
+      const LoadTestResult r = run_load_test(machine, clients);
+      if (r.throughput > samples.back().rate + 1e-6 &&
+          r.throughput < max_perf.mean())
+        samples.push_back({r.throughput, r.power});
+    }
+    samples.push_back({max_perf.mean(), max_power.mean()});
+  }
+
+  // Shutdown (measuring the Off cost on the way down).
+  const TransitionCost off_cost = measure_off_cost(machine);
+
+  if (!samples.empty())
+    return ArchitectureProfile(machine.name(), std::move(samples), on_cost,
+                               off_cost);
+  return ArchitectureProfile(machine.name(), max_perf.mean(), idle,
+                             std::max(max_power.mean(), idle + 1e-9), on_cost,
+                             off_cost);
+}
+
+}  // namespace bml

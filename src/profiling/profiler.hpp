@@ -1,0 +1,76 @@
+// The Step 1 profiler: recovers an ArchitectureProfile from a simulated
+// machine using only testbed observables.
+//
+// Mirrors the paper's procedure: "We execute the benchmark with an
+// increasing number of concurrent clients in order to find the maximum
+// request rate that can be processed. Each test runs for 30 seconds and the
+// maximum performance is the average of 5 results. We also measure On/Off
+// durations and energy consumption."
+#pragma once
+
+#include <vector>
+
+#include "arch/profile.hpp"
+#include "profiling/testbed.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// Profiling campaign parameters (paper defaults).
+struct ProfilerOptions {
+  /// Duration of each load test, seconds.
+  Seconds test_duration = 30.0;
+  /// Repetitions averaged for the maximum performance figure.
+  int repetitions = 5;
+  /// Concurrency ramp: starting client count and multiplicative growth.
+  int initial_clients = 1;
+  double client_growth = 2.0;
+  /// Ramp stops when throughput improves by less than this fraction.
+  double saturation_tolerance = 0.02;
+  /// Safety cap on the ramp.
+  int max_clients = 4096;
+  /// Number of intermediate (rate, power) samples for a piecewise profile;
+  /// 0 keeps the paper's linear two-point model.
+  int intermediate_points = 0;
+};
+
+/// A single load-test measurement.
+struct LoadTestResult {
+  int clients = 0;
+  ReqRate throughput = 0.0;
+  Watts power = 0.0;
+};
+
+/// Step 1 measurement campaign over one machine.
+class Profiler {
+ public:
+  explicit Profiler(ProfilerOptions options = {});
+
+  /// Runs one `duration`-second benchmark at fixed concurrency.
+  [[nodiscard]] LoadTestResult run_load_test(SimulatedMachine& machine,
+                                             int clients) const;
+
+  /// Ramps concurrency until throughput saturates; returns every step.
+  [[nodiscard]] std::vector<LoadTestResult> ramp(
+      SimulatedMachine& machine) const;
+
+  /// Measures boot duration and energy by powering the machine on and
+  /// sampling until it reports On.
+  [[nodiscard]] TransitionCost measure_on_cost(SimulatedMachine& machine) const;
+
+  /// Measures shutdown duration and energy likewise.
+  [[nodiscard]] TransitionCost measure_off_cost(
+      SimulatedMachine& machine) const;
+
+  /// Full Step 1 campaign: idle power, max performance (averaged over
+  /// `repetitions` saturated runs), power at max, On/Off costs. The machine
+  /// must start Off; it is left Off.
+  [[nodiscard]] ArchitectureProfile profile(SimulatedMachine& machine) const;
+
+  [[nodiscard]] const ProfilerOptions& options() const { return options_; }
+
+ private:
+  ProfilerOptions options_;
+};
+
+}  // namespace bml

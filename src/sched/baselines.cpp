@@ -1,0 +1,156 @@
+#include "sched/baselines.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bml {
+
+namespace {
+
+Combination homogeneous(std::size_t arch_index, int n) {
+  Combination combo;
+  combo.set_count(arch_index, n);
+  return combo;
+}
+
+}  // namespace
+
+StaticMaxScheduler::StaticMaxScheduler(ArchitectureProfile big,
+                                       std::size_t arch_index)
+    : big_(std::move(big)), arch_index_(arch_index) {}
+
+int StaticMaxScheduler::machines_for(ReqRate rate) const {
+  if (rate < 0.0)
+    throw std::invalid_argument("StaticMaxScheduler: negative rate");
+  return std::max(1, static_cast<int>(std::ceil(rate / big_.max_perf())));
+}
+
+std::optional<Combination> StaticMaxScheduler::decide(
+    TimePoint /*now*/, const LoadTrace& trace,
+    const ClusterSnapshot& /*snapshot*/) {
+  // Constant fleet: always the globally sized combination.
+  if (cached_trace_ != &trace) {
+    cached_machines_ = machines_for(trace.peak());
+    cached_trace_ = &trace;
+  }
+  return homogeneous(arch_index_, cached_machines_);
+}
+
+Combination StaticMaxScheduler::initial_combination(const LoadTrace& trace) {
+  cached_machines_ = machines_for(trace.peak());
+  cached_trace_ = &trace;
+  return homogeneous(arch_index_, cached_machines_);
+}
+
+PerDayScheduler::PerDayScheduler(ArchitectureProfile big,
+                                 std::size_t arch_index)
+    : big_(std::move(big)), arch_index_(arch_index) {}
+
+Combination PerDayScheduler::combination_for_day(const LoadTrace& trace,
+                                                 std::size_t day) {
+  if (cached_trace_ != &trace) {
+    cached_daily_machines_.clear();
+    cached_daily_machines_.reserve(trace.days());
+    for (std::size_t d = 0; d < trace.days(); ++d)
+      cached_daily_machines_.push_back(std::max(
+          1,
+          static_cast<int>(std::ceil(trace.day_peak(d) / big_.max_perf()))));
+    cached_trace_ = &trace;
+  }
+  return homogeneous(arch_index_, cached_daily_machines_.at(day));
+}
+
+std::optional<Combination> PerDayScheduler::decide(
+    TimePoint now, const LoadTrace& trace,
+    const ClusterSnapshot& /*snapshot*/) {
+  const auto day = static_cast<std::size_t>(now / kSecondsPerDay);
+  if (day >= trace.days()) return std::nullopt;
+  return combination_for_day(trace, day);
+}
+
+Combination PerDayScheduler::initial_combination(const LoadTrace& trace) {
+  if (trace.empty()) return {};
+  return combination_for_day(trace, 0);
+}
+
+ReactiveScheduler::ReactiveScheduler(std::shared_ptr<const BmlDesign> design,
+                                     double headroom)
+    : design_(std::move(design)), headroom_(headroom) {
+  if (!design_) throw std::invalid_argument("ReactiveScheduler: null design");
+  if (headroom_ < 1.0)
+    throw std::invalid_argument("ReactiveScheduler: headroom must be >= 1");
+}
+
+std::optional<Combination> ReactiveScheduler::decide(
+    TimePoint now, const LoadTrace& trace,
+    const ClusterSnapshot& /*snapshot*/) {
+  const ReqRate rate =
+      std::min(trace.at(now) * headroom_, design_->max_rate());
+  return design_->ideal_combination(rate);
+}
+
+Combination ReactiveScheduler::initial_combination(const LoadTrace& trace) {
+  if (trace.empty()) return {};
+  return design_->ideal_combination(
+      std::min(trace.at(0) * headroom_, design_->max_rate()));
+}
+
+HysteresisScheduler::HysteresisScheduler(std::shared_ptr<Scheduler> inner,
+                                         std::shared_ptr<const BmlDesign> design,
+                                         Seconds hold)
+    : inner_(std::move(inner)), design_(std::move(design)), hold_(hold) {
+  if (!inner_) throw std::invalid_argument("HysteresisScheduler: null inner");
+  if (!design_)
+    throw std::invalid_argument("HysteresisScheduler: null design");
+  if (hold_ < 0.0)
+    throw std::invalid_argument("HysteresisScheduler: hold must be >= 0");
+}
+
+std::optional<Combination> HysteresisScheduler::decide(
+    TimePoint now, const LoadTrace& trace, const ClusterSnapshot& snapshot) {
+  std::optional<Combination> wanted = inner_->decide(now, trace, snapshot);
+  if (!wanted.has_value()) return std::nullopt;
+  if (!primed_) {
+    current_ = *wanted;
+    primed_ = true;
+    return current_;
+  }
+  if (*wanted == current_) {
+    down_since_ = -1;
+    return current_;
+  }
+
+  const Catalog& cand = design_->candidates();
+  const bool is_scale_down =
+      idle_power(cand, *wanted) < idle_power(cand, current_);
+  if (!is_scale_down) {
+    // More capacity requested: follow immediately, clear any pending down.
+    current_ = *wanted;
+    down_since_ = -1;
+    return current_;
+  }
+
+  // Scale-down: require the inner scheduler to sustain the request.
+  if (down_since_ < 0 || !(pending_down_ == *wanted)) {
+    down_since_ = now;
+    pending_down_ = *wanted;
+    return current_;
+  }
+  if (static_cast<Seconds>(now - down_since_) >= hold_) {
+    current_ = pending_down_;
+    down_since_ = -1;
+  }
+  return current_;
+}
+
+Combination HysteresisScheduler::initial_combination(const LoadTrace& trace) {
+  current_ = inner_->initial_combination(trace);
+  primed_ = true;
+  return current_;
+}
+
+std::string HysteresisScheduler::name() const {
+  return inner_->name() + "+hysteresis";
+}
+
+}  // namespace bml

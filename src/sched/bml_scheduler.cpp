@@ -1,0 +1,53 @@
+#include "sched/bml_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bml {
+
+BmlScheduler::BmlScheduler(std::shared_ptr<const BmlDesign> design,
+                           std::shared_ptr<Predictor> predictor,
+                           Seconds window, QosClass qos)
+    : design_(std::move(design)),
+      predictor_(std::move(predictor)),
+      window_(window),
+      qos_(qos) {
+  if (!design_) throw std::invalid_argument("BmlScheduler: null design");
+  if (!predictor_) throw std::invalid_argument("BmlScheduler: null predictor");
+  if (window_ <= 0.0) window_ = default_window(*design_);
+}
+
+Seconds BmlScheduler::default_window(const BmlDesign& design) {
+  Seconds longest_on = 0.0;
+  for (const ArchitectureProfile& p : design.candidates())
+    longest_on = std::max(longest_on, p.on_cost().duration);
+  // "a window of 378 seconds, equivalent to 2 times the longest On
+  // duration" — the window must cover the boot of the slowest machine plus
+  // the decision that triggered it.
+  return std::max(1.0, 2.0 * longest_on);
+}
+
+ReqRate BmlScheduler::target_rate(const LoadTrace& trace, TimePoint now) {
+  const ReqRate predicted = predictor_->predict(trace, now, window_);
+  const ReqRate rate = predicted * headroom_factor(qos_);
+  // Never aim below what the design can answer; clamp to table range.
+  return std::min(rate, design_->max_rate());
+}
+
+std::optional<Combination> BmlScheduler::decide(
+    TimePoint now, const LoadTrace& trace,
+    const ClusterSnapshot& /*snapshot*/) {
+  return design_->ideal_combination(target_rate(trace, now));
+}
+
+Combination BmlScheduler::initial_combination(const LoadTrace& trace) {
+  const ReqRate first_load = trace.empty() ? 0.0 : trace.at(0);
+  const ReqRate rate = std::max(target_rate(trace, 0), first_load);
+  return design_->ideal_combination(std::min(rate, design_->max_rate()));
+}
+
+std::string BmlScheduler::name() const {
+  return "bml(" + predictor_->name() + ")";
+}
+
+}  // namespace bml

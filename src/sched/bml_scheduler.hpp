@@ -1,0 +1,57 @@
+// The paper's pro-active BML scheduler (Section V-C).
+//
+// Every second (while no reconfiguration is in flight) the scheduler:
+//   1. obtains a load prediction — by default the maximum over a sliding
+//      look-ahead window of 2x the longest On duration (378 s for the
+//      Table I catalog);
+//   2. looks up the ideal BML combination for that prediction;
+//   3. returns it; the simulator starts a reconfiguration when it differs
+//      from the current target and blocks further decisions until the
+//      On/Off actions complete.
+//
+// The optional QoS class applies a capacity headroom factor to the
+// prediction (Section III's critical vs tolerant applications).
+#pragma once
+
+#include <memory>
+
+#include "core/bml_design.hpp"
+#include "predict/predictor.hpp"
+#include "sim/qos.hpp"
+#include "sim/scheduler.hpp"
+
+namespace bml {
+
+class BmlScheduler final : public Scheduler {
+ public:
+  /// `window` <= 0 selects the paper's default: twice the longest On
+  /// duration among the design's candidates.
+  BmlScheduler(std::shared_ptr<const BmlDesign> design,
+               std::shared_ptr<Predictor> predictor, Seconds window = 0.0,
+               QosClass qos = QosClass::kTolerant);
+
+  [[nodiscard]] std::optional<Combination> decide(
+      TimePoint now, const LoadTrace& trace,
+      const ClusterSnapshot& snapshot) override;
+
+  /// Pre-warms the combination for the initial prediction (never less than
+  /// the first second's load, so a cold oracle still covers t = 0).
+  [[nodiscard]] Combination initial_combination(
+      const LoadTrace& trace) override;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Seconds window() const { return window_; }
+
+  /// Default prediction window for a design: 2x the longest On duration.
+  [[nodiscard]] static Seconds default_window(const BmlDesign& design);
+
+ private:
+  [[nodiscard]] ReqRate target_rate(const LoadTrace& trace, TimePoint now);
+
+  std::shared_ptr<const BmlDesign> design_;
+  std::shared_ptr<Predictor> predictor_;
+  Seconds window_;
+  QosClass qos_;
+};
+
+}  // namespace bml

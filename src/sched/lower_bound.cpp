@@ -1,0 +1,33 @@
+#include "sched/lower_bound.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bml {
+
+std::vector<Joules> theoretical_lower_bound_per_day(const BmlDesign& design,
+                                                    const LoadTrace& trace) {
+  std::vector<Joules> days;
+  days.reserve(trace.days());
+  Joules current = 0.0;
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    if (t > 0 && t % static_cast<std::size_t>(kSecondsPerDay) == 0) {
+      days.push_back(current);
+      current = 0.0;
+    }
+    const ReqRate load =
+        std::min(trace.at(static_cast<TimePoint>(t)), design.max_rate());
+    current += design.ideal_power(load) * 1.0;  // 1 s per sample
+  }
+  if (trace.size() > 0) days.push_back(current);
+  return days;
+}
+
+Joules theoretical_lower_bound_total(const BmlDesign& design,
+                                     const LoadTrace& trace) {
+  const std::vector<Joules> days =
+      theoretical_lower_bound_per_day(design, trace);
+  return std::accumulate(days.begin(), days.end(), 0.0);
+}
+
+}  // namespace bml

@@ -1,0 +1,25 @@
+// "LowerBound Theoretical" — the paper's unreachable yardstick.
+//
+// The minimum computing energy achievable with the BML infrastructure if it
+// were re-dimensioned every second with the ideal combination, with no
+// On/Off latency or energy costs. Computed analytically from the design's
+// combination table; no simulation involved.
+#pragma once
+
+#include <vector>
+
+#include "core/bml_design.hpp"
+#include "trace/trace.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// Per-day lower-bound energy (J) of `trace` under `design`.
+[[nodiscard]] std::vector<Joules> theoretical_lower_bound_per_day(
+    const BmlDesign& design, const LoadTrace& trace);
+
+/// Whole-trace lower-bound energy (J).
+[[nodiscard]] Joules theoretical_lower_bound_total(const BmlDesign& design,
+                                                   const LoadTrace& trace);
+
+}  // namespace bml

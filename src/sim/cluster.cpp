@@ -1,0 +1,140 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bml {
+
+Cluster::Cluster(Catalog candidates, const Combination& initial,
+                 FaultModel faults)
+    : candidates_(std::move(candidates)), faults_(faults) {
+  if (candidates_.empty())
+    throw std::invalid_argument("Cluster: empty candidate catalog");
+  if (faults_.boot_time_jitter < 0.0 || faults_.boot_failure_prob < 0.0 ||
+      faults_.boot_failure_prob > 1.0)
+    throw std::invalid_argument("Cluster: invalid fault model");
+  if (faults_.active()) fault_rng_.emplace(faults_.seed);
+  if (initial.counts().size() > candidates_.size())
+    throw std::invalid_argument("Cluster: initial combination too wide");
+  on_.assign(candidates_.size(), 0);
+  booting_.assign(candidates_.size(), 0);
+  shutting_.assign(candidates_.size(), 0);
+  for (std::size_t arch = 0; arch < initial.counts().size(); ++arch)
+    for (int i = 0; i < initial.counts()[arch]; ++i) {
+      machines_.emplace_back(arch, MachineState::kOn);
+      ++on_[arch];
+    }
+}
+
+Seconds Cluster::boot_duration(std::size_t arch) {
+  const Seconds nominal = candidates_[arch].on_cost().duration;
+  if (!fault_rng_.has_value()) return -1.0;  // use the profile value
+  double duration = nominal;
+  if (faults_.boot_time_jitter > 0.0)
+    duration *= std::max(
+        0.25, 1.0 + fault_rng_->normal(0.0, faults_.boot_time_jitter));
+  if (faults_.boot_failure_prob > 0.0 &&
+      fault_rng_->chance(faults_.boot_failure_prob))
+    duration += nominal;  // one failed attempt, then the retry succeeds
+  return duration;
+}
+
+void Cluster::switch_on(std::size_t arch, int n) {
+  if (arch >= candidates_.size())
+    throw std::invalid_argument("Cluster: arch index out of range");
+  if (n < 0) throw std::invalid_argument("Cluster: n must be >= 0");
+  int remaining = n;
+  for (SimMachine& m : machines_) {
+    if (remaining == 0) break;
+    if (m.arch_index() == arch && m.state() == MachineState::kOff) {
+      m.request_on(candidates_[arch], boot_duration(arch));
+      --remaining;
+      if (m.state() == MachineState::kOn)
+        ++on_[arch];  // zero-duration boot
+      else
+        ++booting_[arch];
+    }
+  }
+  while (remaining-- > 0) {
+    machines_.emplace_back(arch, MachineState::kOff);
+    machines_.back().request_on(candidates_[arch], boot_duration(arch));
+    if (machines_.back().state() == MachineState::kOn)
+      ++on_[arch];
+    else
+      ++booting_[arch];
+  }
+}
+
+void Cluster::switch_off(std::size_t arch, int n) {
+  if (arch >= candidates_.size())
+    throw std::invalid_argument("Cluster: arch index out of range");
+  if (n < 0) throw std::invalid_argument("Cluster: n must be >= 0");
+  int remaining = n;
+  for (SimMachine& m : machines_) {
+    if (remaining == 0) break;
+    if (m.arch_index() == arch && m.state() == MachineState::kOn) {
+      m.request_off(candidates_[arch]);
+      --remaining;
+      --on_[arch];
+      if (m.state() != MachineState::kOff) ++shutting_[arch];
+    }
+  }
+  if (remaining > 0)
+    throw std::logic_error(
+        "Cluster: asked to switch off more machines than are On");
+}
+
+ClusterSnapshot Cluster::snapshot() const {
+  ClusterSnapshot snap;
+  snap.on = Combination{on_};
+  snap.booting = Combination{booting_};
+  snap.shutting_down = Combination{shutting_};
+  snap.on_capacity = capacity(candidates_, snap.on);
+  return snap;
+}
+
+bool Cluster::transitioning() const {
+  for (std::size_t a = 0; a < candidates_.size(); ++a)
+    if (booting_[a] > 0 || shutting_[a] > 0) return true;
+  return false;
+}
+
+ReqRate Cluster::on_capacity() const {
+  ReqRate total = 0.0;
+  for (std::size_t a = 0; a < candidates_.size(); ++a)
+    total += on_[a] * candidates_[a].max_perf();
+  return total;
+}
+
+ClusterPower Cluster::step_power(ReqRate load) const {
+  ClusterPower power;
+  power.compute = dispatch(candidates_, Combination{on_}, load).power;
+  for (std::size_t a = 0; a < candidates_.size(); ++a) {
+    power.transition +=
+        booting_[a] * candidates_[a].on_cost().average_power();
+    power.transition +=
+        shutting_[a] * candidates_[a].off_cost().average_power();
+  }
+  return power;
+}
+
+int Cluster::step(Seconds dt) {
+  if (!transitioning()) return 0;
+  int completed = 0;
+  for (SimMachine& m : machines_) {
+    const MachineState before = m.state();
+    if (m.step(dt)) {
+      ++completed;
+      const std::size_t a = m.arch_index();
+      if (before == MachineState::kBooting) {
+        --booting_[a];
+        ++on_[a];
+      } else {
+        --shutting_[a];
+      }
+    }
+  }
+  return completed;
+}
+
+}  // namespace bml

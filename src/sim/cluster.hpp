@@ -1,0 +1,106 @@
+// The simulated heterogeneous cluster.
+//
+// Holds every machine ever provisioned (machines are interchangeable within
+// an architecture; new ones are materialised on demand, modelling the
+// paper's "enough machines of each type are available"). Exposes the
+// switch-on/off commands the schedulers issue, per-second stepping, load
+// dispatch over the On machines, and aggregate state snapshots.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "arch/catalog.hpp"
+#include "core/combination.hpp"
+#include "sim/machine.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// Boot-path fault injection: real machines do not boot in exactly the
+/// profiled time, and sometimes a boot fails and is retried. Durations are
+/// multiplied by max(0.25, 1 + N(0, jitter)); with probability
+/// `boot_failure_prob` one extra nominal boot duration is added (the
+/// retry). Deterministic per seed.
+struct FaultModel {
+  double boot_time_jitter = 0.0;
+  double boot_failure_prob = 0.0;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool active() const {
+    return boot_time_jitter > 0.0 || boot_failure_prob > 0.0;
+  }
+};
+
+/// Aggregate machine counts by state, one Combination per state.
+struct ClusterSnapshot {
+  Combination on;
+  Combination booting;
+  Combination shutting_down;
+  /// Serving capacity of the On machines, req/s.
+  ReqRate on_capacity = 0.0;
+};
+
+/// Per-second electrical totals returned by Cluster::step_power.
+struct ClusterPower {
+  /// Idle + load power of On machines (compute channel).
+  Watts compute = 0.0;
+  /// Boot/shutdown power of transitioning machines (reconfiguration channel).
+  Watts transition = 0.0;
+};
+
+class Cluster {
+ public:
+  /// `candidates` is the sorted candidate catalog the combinations index
+  /// into; `initial` machines start On (pre-warmed). `faults` enables boot
+  /// fault injection.
+  explicit Cluster(Catalog candidates, const Combination& initial = {},
+                   FaultModel faults = {});
+
+  [[nodiscard]] const Catalog& candidates() const { return candidates_; }
+
+  /// Starts booting `n` machines of architecture `arch`, reusing Off
+  /// machines before provisioning new ones.
+  void switch_on(std::size_t arch, int n);
+
+  /// Starts shutting down `n` On machines of architecture `arch`. Throws
+  /// std::logic_error when fewer than `n` are On.
+  void switch_off(std::size_t arch, int n);
+
+  /// Current counts per state.
+  [[nodiscard]] ClusterSnapshot snapshot() const;
+
+  /// True while any machine is booting or shutting down.
+  [[nodiscard]] bool transitioning() const;
+
+  /// Serving capacity of On machines, req/s.
+  [[nodiscard]] ReqRate on_capacity() const;
+
+  /// Electrical power for this second given offered `load` (dispatched
+  /// optimally over On machines; see core/combination.hpp) plus transition
+  /// power. Load beyond capacity is dropped by the dispatcher.
+  [[nodiscard]] ClusterPower step_power(ReqRate load) const;
+
+  /// Advances all machines one second; returns the number of transitions
+  /// that completed.
+  int step(Seconds dt = 1.0);
+
+  /// Total machines ever provisioned (for reporting).
+  [[nodiscard]] std::size_t machine_count() const { return machines_.size(); }
+
+ private:
+  [[nodiscard]] Seconds boot_duration(std::size_t arch);
+
+  Catalog candidates_;
+  FaultModel faults_;
+  std::optional<Rng> fault_rng_;
+  std::vector<SimMachine> machines_;
+  // Per-architecture counters kept in sync with the machine FSMs so that
+  // per-second snapshots cost O(#architectures), not O(#machines).
+  std::vector<int> on_;
+  std::vector<int> booting_;
+  std::vector<int> shutting_;
+};
+
+}  // namespace bml

@@ -1,0 +1,49 @@
+#include "sim/event_log.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bml {
+
+namespace {
+constexpr std::size_t kKindCount = 5;
+}
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kReconfigurationStart: return "reconfiguration-start";
+    case EventKind::kReconfigurationComplete:
+      return "reconfiguration-complete";
+    case EventKind::kBootComplete: return "boot-complete";
+    case EventKind::kShutdownComplete: return "shutdown-complete";
+    case EventKind::kQosViolation: return "qos-violation";
+  }
+  return "?";
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity), counts_(kKindCount, 0) {
+  if (capacity_ == 0)
+    throw std::invalid_argument("EventLog: capacity must be >= 1");
+}
+
+void EventLog::record(TimePoint time, EventKind kind, std::string detail) {
+  ++counts_[static_cast<std::size_t>(kind)];
+  ++total_;
+  events_.push_back(SimEvent{time, kind, std::move(detail)});
+  if (events_.size() > capacity_) events_.pop_front();
+}
+
+std::size_t EventLog::count(EventKind kind) const {
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+std::string EventLog::to_csv() const {
+  std::ostringstream os;
+  os << "time,kind,detail\n";
+  for (const SimEvent& e : events_)
+    os << e.time << ',' << to_string(e.kind) << ',' << e.detail << '\n';
+  return os.str();
+}
+
+}  // namespace bml

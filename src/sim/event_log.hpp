@@ -1,0 +1,67 @@
+// Structured simulation event log.
+//
+// When enabled, the simulator records the decisions and state changes a
+// data center operator would audit: reconfiguration start/completion,
+// machine transitions, QoS violations. The log is bounded (a ring of the
+// most recent events plus monotone counters) so multi-month simulations
+// stay in constant memory, and exports to CSV for offline analysis.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "arch/catalog.hpp"
+#include "core/combination.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+enum class EventKind {
+  kReconfigurationStart,
+  kReconfigurationComplete,
+  kBootComplete,
+  kShutdownComplete,
+  kQosViolation,
+};
+
+[[nodiscard]] const char* to_string(EventKind kind);
+
+/// One logged event. `detail` is event-specific:
+///   reconfiguration start    — target combination rendering
+///   reconfiguration complete — seconds it took
+///   boot/shutdown complete   — architecture name
+///   QoS violation            — shortfall in req/s
+struct SimEvent {
+  TimePoint time = 0;
+  EventKind kind = EventKind::kReconfigurationStart;
+  std::string detail;
+};
+
+/// Bounded event recorder.
+class EventLog {
+ public:
+  /// Keeps at most `capacity` most recent events (older ones are dropped,
+  /// counters keep counting).
+  explicit EventLog(std::size_t capacity = 4096);
+
+  void record(TimePoint time, EventKind kind, std::string detail);
+
+  /// Most recent events, oldest first.
+  [[nodiscard]] const std::deque<SimEvent>& events() const { return events_; }
+
+  /// Total events ever recorded per kind (independent of the ring size).
+  [[nodiscard]] std::size_t count(EventKind kind) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// "time,kind,detail" CSV of the retained events.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<SimEvent> events_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace bml

@@ -1,0 +1,77 @@
+#include "sim/machine.hpp"
+
+#include <stdexcept>
+
+namespace bml {
+
+const char* to_string(MachineState state) {
+  switch (state) {
+    case MachineState::kOff: return "Off";
+    case MachineState::kBooting: return "Booting";
+    case MachineState::kOn: return "On";
+    case MachineState::kShuttingDown: return "ShuttingDown";
+  }
+  return "?";
+}
+
+SimMachine::SimMachine(std::size_t arch_index, MachineState initial)
+    : arch_(arch_index), state_(initial) {
+  if (initial != MachineState::kOff && initial != MachineState::kOn)
+    throw std::invalid_argument(
+        "SimMachine: initial state must be Off or On");
+}
+
+void SimMachine::request_on(const ArchitectureProfile& profile,
+                            Seconds duration_override) {
+  if (state_ != MachineState::kOff)
+    throw std::logic_error("SimMachine: request_on requires Off state");
+  const Seconds duration = duration_override >= 0.0
+                               ? duration_override
+                               : profile.on_cost().duration;
+  if (duration <= 0.0) {
+    state_ = MachineState::kOn;
+    remaining_ = 0.0;
+    return;
+  }
+  state_ = MachineState::kBooting;
+  remaining_ = duration;
+}
+
+void SimMachine::request_off(const ArchitectureProfile& profile) {
+  if (state_ != MachineState::kOn)
+    throw std::logic_error("SimMachine: request_off requires On state");
+  if (profile.off_cost().duration <= 0.0) {
+    state_ = MachineState::kOff;
+    remaining_ = 0.0;
+    return;
+  }
+  state_ = MachineState::kShuttingDown;
+  remaining_ = profile.off_cost().duration;
+}
+
+Watts SimMachine::transition_power(const ArchitectureProfile& profile) const {
+  switch (state_) {
+    case MachineState::kBooting:
+      return profile.on_cost().average_power();
+    case MachineState::kShuttingDown:
+      return profile.off_cost().average_power();
+    case MachineState::kOff:
+    case MachineState::kOn:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+bool SimMachine::step(Seconds dt) {
+  if (dt <= 0.0) throw std::invalid_argument("SimMachine: dt must be > 0");
+  if (state_ == MachineState::kOff || state_ == MachineState::kOn)
+    return false;
+  remaining_ -= dt;
+  if (remaining_ > 1e-9) return false;
+  remaining_ = 0.0;
+  state_ = state_ == MachineState::kBooting ? MachineState::kOn
+                                            : MachineState::kOff;
+  return true;
+}
+
+}  // namespace bml

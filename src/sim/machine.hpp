@@ -1,0 +1,71 @@
+// Machine finite-state machine.
+//
+// Every physical machine is Off, Booting, On, or ShuttingDown. Transition
+// durations and energies come from its architecture profile (Table I: Ont,
+// OnE, Offt, OffE). Transition energy is spread uniformly over the
+// transition so that per-second accounting integrates to the measured
+// totals exactly.
+//
+//          request_on              boot done
+//   Off ---------------> Booting ------------> On
+//    ^                                          |
+//    |        off done               request_off|
+//    +----------------- ShuttingDown <----------+
+#pragma once
+
+#include <cstddef>
+
+#include "arch/profile.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+enum class MachineState { kOff, kBooting, kOn, kShuttingDown };
+
+[[nodiscard]] const char* to_string(MachineState state);
+
+/// One simulated machine of a given architecture (index into the candidate
+/// catalog). The machine does not own its profile; callers pass it to the
+/// methods that need timing data, keeping the object a small value type.
+class SimMachine {
+ public:
+  /// Creates a machine in `initial` state (only kOff or kOn make sense as
+  /// starting points; transition states would have unknown progress).
+  explicit SimMachine(std::size_t arch_index,
+                      MachineState initial = MachineState::kOff);
+
+  [[nodiscard]] std::size_t arch_index() const { return arch_; }
+  [[nodiscard]] MachineState state() const { return state_; }
+  [[nodiscard]] Seconds transition_remaining() const { return remaining_; }
+
+  /// True when the machine can serve load this second.
+  [[nodiscard]] bool serving() const { return state_ == MachineState::kOn; }
+
+  /// Off -> Booting. Throws std::logic_error from any other state.
+  /// A zero-duration boot completes immediately (machine goes On).
+  /// `duration_override` >= 0 replaces the profile's boot duration (fault
+  /// injection: slow or retried boots); the per-second boot power stays at
+  /// the profile's nominal value, so longer boots cost proportionally more
+  /// energy.
+  void request_on(const ArchitectureProfile& profile,
+                  Seconds duration_override = -1.0);
+
+  /// On -> ShuttingDown. Throws std::logic_error from any other state.
+  /// A zero-duration shutdown completes immediately (machine goes Off).
+  void request_off(const ArchitectureProfile& profile);
+
+  /// Power drawn this second by transition activity (0 when Off or On; the
+  /// On-state power is computed by load dispatch at the cluster level).
+  [[nodiscard]] Watts transition_power(const ArchitectureProfile& profile) const;
+
+  /// Advances one second. Returns true when a transition completed during
+  /// this step (Booting -> On or ShuttingDown -> Off).
+  bool step(Seconds dt = 1.0);
+
+ private:
+  std::size_t arch_;
+  MachineState state_;
+  Seconds remaining_ = 0.0;
+};
+
+}  // namespace bml

@@ -1,0 +1,29 @@
+#include "sim/qos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bml {
+
+double headroom_factor(QosClass qos) {
+  switch (qos) {
+    case QosClass::kCritical: return 1.10;
+    case QosClass::kTolerant: return 1.0;
+  }
+  throw std::invalid_argument("headroom_factor: unknown QoS class");
+}
+
+void QosTracker::record(ReqRate load, ReqRate capacity) {
+  if (load < 0.0 || capacity < 0.0)
+    throw std::invalid_argument("QosTracker: negative load or capacity");
+  stats_.total_seconds += 1;
+  stats_.offered_requests += load;
+  const double shortfall = load - capacity;
+  if (shortfall > 0.0) {
+    stats_.violation_seconds += 1;
+    stats_.unserved_requests += shortfall;
+    stats_.worst_shortfall = std::max(stats_.worst_shortfall, shortfall);
+  }
+}
+
+}  // namespace bml

@@ -1,0 +1,68 @@
+// Quality-of-service accounting.
+//
+// The paper requires the reconfiguration policy to "satisfy QoS
+// constraints": the On capacity must cover the offered load. QosTracker
+// integrates every second's shortfall so experiments can report how close a
+// policy sails to violation, and the application-class extension (critical
+// vs tolerant, Section III) scales the capacity requirement by a headroom
+// factor.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace bml {
+
+/// Application QoS classes from Section III of the paper.
+enum class QosClass {
+  kCritical,  // strict performance requirements (banking, medical)
+  kTolerant,  // soft requirements (enterprise services, flexible deadlines)
+};
+
+/// Capacity headroom demanded by a QoS class: critical applications keep a
+/// safety margin above the instantaneous load; tolerant ones accept running
+/// at the edge.
+[[nodiscard]] double headroom_factor(QosClass qos);
+
+/// Aggregated QoS statistics over a simulation.
+struct QosStats {
+  /// Seconds during which load exceeded On capacity.
+  std::int64_t violation_seconds = 0;
+  /// Integral of (load - capacity)+ over time: dropped request-seconds.
+  double unserved_requests = 0.0;
+  /// Integral of offered load (total requests).
+  double offered_requests = 0.0;
+  /// Largest single-second shortfall observed (req/s).
+  ReqRate worst_shortfall = 0.0;
+  /// Total simulated seconds.
+  std::int64_t total_seconds = 0;
+
+  /// Fraction of offered requests actually served, in [0, 1]; 1 when no
+  /// load was offered.
+  [[nodiscard]] double served_fraction() const {
+    if (offered_requests <= 0.0) return 1.0;
+    return 1.0 - unserved_requests / offered_requests;
+  }
+
+  /// Fraction of seconds without violation, in [0, 1].
+  [[nodiscard]] double availability() const {
+    if (total_seconds == 0) return 1.0;
+    return 1.0 - static_cast<double>(violation_seconds) /
+                     static_cast<double>(total_seconds);
+  }
+};
+
+/// Per-second accumulator for QosStats.
+class QosTracker {
+ public:
+  /// Records one second with `load` offered and `capacity` available.
+  void record(ReqRate load, ReqRate capacity);
+
+  [[nodiscard]] const QosStats& stats() const { return stats_; }
+
+ private:
+  QosStats stats_;
+};
+
+}  // namespace bml

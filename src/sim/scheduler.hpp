@@ -1,0 +1,42 @@
+// Scheduler interface.
+//
+// A Scheduler is consulted once per simulated second — except while a
+// reconfiguration is in flight, matching the paper's "during the
+// reconfiguration, no other decision can be made". It returns the machine
+// combination the data center should converge to; returning the current
+// target (or std::nullopt) means "no change".
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/combination.hpp"
+#include "sim/cluster.hpp"
+#include "trace/trace.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Desired combination at time `now`. `trace` carries the workload
+  /// (oracle predictors read ahead; reactive ones must only read strictly
+  /// before `now`). `snapshot` is the cluster's current aggregate state.
+  [[nodiscard]] virtual std::optional<Combination> decide(
+      TimePoint now, const LoadTrace& trace,
+      const ClusterSnapshot& snapshot) = 0;
+
+  /// The combination the simulator should pre-warm at t = 0. Default: let
+  /// the first decide() call boot everything from cold.
+  [[nodiscard]] virtual Combination initial_combination(
+      const LoadTrace& trace) {
+    (void)trace;
+    return Combination{};
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace bml

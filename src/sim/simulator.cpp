@@ -1,0 +1,152 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace bml {
+
+std::vector<Joules> SimulationResult::per_day_total() const {
+  std::vector<Joules> out(per_day_compute.size(), 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = per_day_compute[i];
+    if (i < per_day_reconfiguration.size())
+      out[i] += per_day_reconfiguration[i];
+  }
+  return out;
+}
+
+Simulator::Simulator(Catalog candidates, SimulatorOptions options)
+    : candidates_(std::move(candidates)), options_(options) {
+  if (candidates_.empty())
+    throw std::invalid_argument("Simulator: empty candidate catalog");
+}
+
+SimulationResult Simulator::run(Scheduler& scheduler,
+                                const LoadTrace& trace) const {
+  SimulationResult result;
+  result.scheduler_name = scheduler.name();
+
+  Combination initial = scheduler.initial_combination(trace);
+  initial.resize(candidates_.size());
+  Cluster cluster(candidates_, initial, options_.faults);
+  EnergyMeter meter(1.0);
+  QosTracker qos;
+
+  Combination current_target = initial;
+  bool reconfiguring = false;
+  TimePoint reconfig_started = 0;
+  std::vector<int> deferred_offs(candidates_.size(), 0);
+  EventLog events(options_.event_log_capacity);
+  const bool log_events = options_.record_events;
+
+  std::vector<double> power_samples;
+  double bucket_max = 0.0;
+  std::size_t bucket_fill = 0;
+
+  const std::size_t n = trace.size();
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto now = static_cast<TimePoint>(t);
+
+    if (!reconfiguring) {
+      std::optional<Combination> decision =
+          scheduler.decide(now, trace, cluster.snapshot());
+      if (decision.has_value()) {
+        decision->resize(candidates_.size());
+        if (*decision != current_target) {
+          const std::vector<int> d = delta(current_target, *decision);
+          bool any_on = false;
+          for (std::size_t a = 0; a < d.size(); ++a)
+            if (d[a] > 0) {
+              cluster.switch_on(a, d[a]);
+              any_on = true;
+            }
+          for (std::size_t a = 0; a < d.size(); ++a)
+            if (d[a] < 0) {
+              // Graceful mode keeps surplus machines serving until the
+              // replacements are up; otherwise they power down immediately.
+              if (options_.graceful_off && any_on)
+                deferred_offs[a] += -d[a];
+              else
+                cluster.switch_off(a, -d[a]);
+            }
+          reconfiguring = true;
+          reconfig_started = now;
+          ++result.reconfigurations;
+          log_debug() << "t=" << now << " reconfigure -> "
+                      << to_string(candidates_, *decision);
+          if (log_events)
+            events.record(now, EventKind::kReconfigurationStart,
+                          to_string(candidates_, *decision));
+          current_target = *decision;
+        }
+      }
+    }
+
+    const ReqRate load = trace.at(now);
+    const ClusterPower power = cluster.step_power(load);
+    const ReqRate capacity_now = cluster.on_capacity();
+    qos.record(load, capacity_now);
+    if (log_events && load > capacity_now)
+      events.record(now, EventKind::kQosViolation,
+                    std::to_string(load - capacity_now));
+    meter.add_compute_sample(power.compute);
+    if (power.transition > 0.0)
+      meter.add_reconfiguration_energy(power.transition * 1.0);
+    meter.tick();
+    if (reconfiguring) ++result.reconfiguring_seconds;
+
+    const int completed = cluster.step(1.0);
+    if (log_events && completed > 0)
+      events.record(now, EventKind::kBootComplete,
+                    std::to_string(completed) + " transitions");
+
+    if (reconfiguring) {
+      const ClusterSnapshot snap = cluster.snapshot();
+      if (snap.booting.total_machines() == 0) {
+        bool issued = false;
+        for (std::size_t a = 0; a < deferred_offs.size(); ++a)
+          if (deferred_offs[a] > 0) {
+            cluster.switch_off(a, deferred_offs[a]);
+            deferred_offs[a] = 0;
+            issued = true;
+          }
+        if (!issued && snap.shutting_down.total_machines() == 0) {
+          reconfiguring = false;  // completed; next decision at t + 1
+          if (log_events)
+            events.record(now, EventKind::kReconfigurationComplete,
+                          std::to_string(now - reconfig_started + 1) + " s");
+        }
+      }
+    }
+
+    result.peak_machines =
+        std::max(result.peak_machines, cluster.machine_count());
+
+    if (options_.record_power_every > 0) {
+      bucket_max = std::max(bucket_max, power.compute + power.transition);
+      if (++bucket_fill == options_.record_power_every) {
+        power_samples.push_back(bucket_max);
+        bucket_max = 0.0;
+        bucket_fill = 0;
+      }
+    }
+  }
+  if (options_.record_power_every > 0 && bucket_fill > 0)
+    power_samples.push_back(bucket_max);
+
+  result.compute_energy = meter.compute_energy();
+  result.reconfiguration_energy = meter.reconfiguration_energy();
+  result.per_day_compute = meter.per_day_compute();
+  result.per_day_reconfiguration = meter.per_day_reconfiguration();
+  result.qos = qos.stats();
+  if (options_.record_power_every > 0)
+    result.power_series = TimeSeries(
+        std::move(power_samples),
+        static_cast<Seconds>(options_.record_power_every));
+  if (log_events) result.events = std::move(events);
+  return result;
+}
+
+}  // namespace bml

@@ -1,0 +1,88 @@
+// The discrete-time data center simulator.
+//
+// Replays a load trace at 1 Hz against a cluster driven by a Scheduler,
+// mirroring the Python simulator of Section V-C:
+//   * the scheduler is consulted every second while idle;
+//   * a decision that changes the target combination starts a
+//     reconfiguration, during which no further decision is taken;
+//   * the next decision happens at the second following reconfiguration
+//     completion ("the next prediction window starts from reconfiguration
+//     completion time");
+//   * compute energy (serving machines) and reconfiguration energy (boot /
+//     shutdown) are metered separately and aggregated per day.
+//
+// Switch-off ordering is configurable: graceful (surplus machines keep
+// serving until the replacements finish booting — no capacity dip) or
+// immediate (off actions start with the on actions — cheaper, riskier).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/combination.hpp"
+#include "power/energy_meter.hpp"
+#include "sim/cluster.hpp"
+#include "sim/event_log.hpp"
+#include "sim/qos.hpp"
+#include "sim/scheduler.hpp"
+#include "trace/trace.hpp"
+#include "util/time_series.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// Simulator configuration.
+struct SimulatorOptions {
+  /// Defer switch-offs until pending boots complete (default), keeping
+  /// capacity through the transition.
+  bool graceful_off = true;
+  /// Record the total power series downsampled by this factor (seconds per
+  /// sample, max over the bucket); 0 disables recording.
+  std::size_t record_power_every = 0;
+  /// Boot-path fault injection (jittered / retried boots).
+  FaultModel faults{};
+  /// Record a structured event log (reconfigurations, transition batches,
+  /// QoS violations). Bounded memory; see sim/event_log.hpp.
+  bool record_events = false;
+  std::size_t event_log_capacity = 4096;
+};
+
+/// Everything a simulation run produces.
+struct SimulationResult {
+  std::string scheduler_name;
+  Joules compute_energy = 0.0;
+  Joules reconfiguration_energy = 0.0;
+  std::vector<Joules> per_day_compute;
+  std::vector<Joules> per_day_reconfiguration;
+  QosStats qos;
+  /// Number of reconfigurations started.
+  int reconfigurations = 0;
+  /// Seconds spent with a reconfiguration in flight.
+  std::int64_t reconfiguring_seconds = 0;
+  /// Peak number of simultaneously provisioned machines.
+  std::size_t peak_machines = 0;
+  /// Optional downsampled total power (W), see record_power_every.
+  TimeSeries power_series;
+  /// Optional structured event log, see record_events.
+  EventLog events{1};
+
+  [[nodiscard]] Joules total_energy() const {
+    return compute_energy + reconfiguration_energy;
+  }
+  [[nodiscard]] std::vector<Joules> per_day_total() const;
+};
+
+/// Runs `scheduler` over `trace` on a cluster drawn from `candidates`.
+class Simulator {
+ public:
+  Simulator(Catalog candidates, SimulatorOptions options = {});
+
+  [[nodiscard]] SimulationResult run(Scheduler& scheduler,
+                                     const LoadTrace& trace) const;
+
+ private:
+  Catalog candidates_;
+  SimulatorOptions options_;
+};
+
+}  // namespace bml

@@ -1,0 +1,60 @@
+// Load traces: the application's request rate over time.
+//
+// A LoadTrace is a 1 Hz series of request rates (req/s), starting at t = 0.
+// The evaluation slices traces per day (the paper reports per-day energy
+// for days 6-92 of the 1998 World Cup trace).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/time_series.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// 1 Hz request-rate series with day-level helpers.
+class LoadTrace {
+ public:
+  LoadTrace() = default;
+  /// Throws std::invalid_argument when any rate is negative or non-finite.
+  explicit LoadTrace(std::vector<double> rates);
+
+  [[nodiscard]] std::size_t size() const { return series_.size(); }
+  [[nodiscard]] bool empty() const { return series_.empty(); }
+  [[nodiscard]] Seconds duration() const { return series_.duration(); }
+
+  /// Rate at integer second `t`; 0 beyond the end (a finished trace serves
+  /// no load).
+  [[nodiscard]] ReqRate at(TimePoint t) const;
+
+  /// Maximum rate over [begin, end) in seconds, clamped to the trace; the
+  /// paper's look-ahead prediction primitive. Returns 0 for empty ranges.
+  [[nodiscard]] ReqRate max_over(TimePoint begin, TimePoint end) const;
+
+  [[nodiscard]] ReqRate peak() const;
+  [[nodiscard]] ReqRate mean() const;
+
+  /// Number of (possibly partial) days covered.
+  [[nodiscard]] std::size_t days() const;
+
+  /// Maximum rate of day `d` (0-based). Throws std::out_of_range.
+  [[nodiscard]] ReqRate day_peak(std::size_t d) const;
+
+  /// Total requests over the trace (integral of the rate).
+  [[nodiscard]] double total_requests() const;
+
+  [[nodiscard]] const TimeSeries& series() const { return series_; }
+
+  /// CSV round-trip: single `rate` column, one row per second.
+  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] static LoadTrace from_csv(const std::string& text);
+  void save(const std::filesystem::path& path) const;
+  [[nodiscard]] static LoadTrace load(const std::filesystem::path& path);
+
+ private:
+  TimeSeries series_;
+};
+
+}  // namespace bml

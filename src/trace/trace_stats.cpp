@@ -1,0 +1,83 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace bml {
+
+TraceStats analyze_trace(const LoadTrace& trace) {
+  if (trace.empty())
+    throw std::invalid_argument("analyze_trace: empty trace");
+
+  TraceStats stats;
+  stats.seconds = trace.size();
+  stats.days = trace.days();
+
+  RunningStats rate;
+  for (std::size_t t = 0; t < trace.size(); ++t)
+    rate.add(trace.at(static_cast<TimePoint>(t)));
+  stats.mean = rate.mean();
+  stats.peak = rate.max();
+  stats.peak_to_mean = stats.mean > 0.0 ? stats.peak / stats.mean : 0.0;
+  stats.index_of_dispersion =
+      stats.mean > 0.0 ? rate.variance() / stats.mean : 0.0;
+
+  // Mean absolute one-second delta relative to the mean rate.
+  if (trace.size() > 1 && stats.mean > 0.0) {
+    double total = 0.0;
+    for (std::size_t t = 1; t < trace.size(); ++t)
+      total += std::abs(trace.at(static_cast<TimePoint>(t)) -
+                        trace.at(static_cast<TimePoint>(t - 1)));
+    stats.normalized_jitter =
+        total / static_cast<double>(trace.size() - 1) / stats.mean;
+  }
+
+  // Autocorrelation at a 24 h lag (sampled each minute for speed).
+  const auto lag = static_cast<std::size_t>(kSecondsPerDay);
+  if (trace.size() > lag + 60 && rate.variance() > 0.0) {
+    double covariance = 0.0;
+    std::size_t n = 0;
+    for (std::size_t t = 0; t + lag < trace.size(); t += 60) {
+      covariance += (trace.at(static_cast<TimePoint>(t)) - stats.mean) *
+                    (trace.at(static_cast<TimePoint>(t + lag)) - stats.mean);
+      ++n;
+    }
+    stats.diurnal_autocorrelation =
+        covariance / static_cast<double>(n) / rate.variance();
+  }
+
+  // Day-peak dynamic range.
+  double quietest = std::numeric_limits<double>::infinity();
+  double busiest = 0.0;
+  for (std::size_t d = 0; d < trace.days(); ++d) {
+    const double peak = trace.day_peak(d);
+    quietest = std::min(quietest, peak);
+    busiest = std::max(busiest, peak);
+  }
+  stats.day_peak_dynamic_range =
+      busiest > 0.0 ? quietest / busiest : 0.0;
+
+  return stats;
+}
+
+std::string to_string(const TraceStats& stats) {
+  std::ostringstream os;
+  os.precision(4);
+  os << "seconds: " << stats.seconds << '\n'
+     << "days: " << stats.days << '\n'
+     << "mean rate: " << stats.mean << " req/s\n"
+     << "peak rate: " << stats.peak << " req/s\n"
+     << "peak/mean: " << stats.peak_to_mean << '\n'
+     << "index of dispersion: " << stats.index_of_dispersion << '\n'
+     << "normalized jitter: " << stats.normalized_jitter << '\n'
+     << "diurnal autocorrelation: " << stats.diurnal_autocorrelation << '\n'
+     << "day-peak dynamic range (quietest/busiest): "
+     << stats.day_peak_dynamic_range << '\n';
+  return os.str();
+}
+
+}  // namespace bml

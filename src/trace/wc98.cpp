@@ -1,0 +1,80 @@
+#include "trace/wc98.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace bml {
+
+LoadTrace parse_wc98(const std::string& text, TimePoint origin) {
+  std::vector<double> rates;
+  std::istringstream in(text);
+  std::string line;
+  TimePoint previous = -1;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Normalise separators, strip comments.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    for (char& c : line)
+      if (c == ',') c = ' ';
+    std::istringstream fields(line);
+    long long second = 0;
+    double count = 0.0;
+    if (!(fields >> second)) continue;  // blank line
+    if (!(fields >> count))
+      throw std::runtime_error("parse_wc98: missing count on line " +
+                               std::to_string(line_number));
+    std::string extra;
+    if (fields >> extra)
+      throw std::runtime_error("parse_wc98: trailing data on line " +
+                               std::to_string(line_number));
+    if (count < 0.0)
+      throw std::runtime_error("parse_wc98: negative count on line " +
+                               std::to_string(line_number));
+    const TimePoint t = static_cast<TimePoint>(second) - origin;
+    if (t < 0)
+      throw std::runtime_error("parse_wc98: timestamp before origin on line " +
+                               std::to_string(line_number));
+    if (t <= previous)
+      throw std::runtime_error(
+          "parse_wc98: timestamps must strictly increase (line " +
+          std::to_string(line_number) + ")");
+    // Zero-fill the gap, then place the sample.
+    rates.resize(static_cast<std::size_t>(t), 0.0);
+    rates.push_back(count);
+    previous = t;
+  }
+  return LoadTrace(std::move(rates));
+}
+
+LoadTrace load_wc98(const std::filesystem::path& path, TimePoint origin) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_wc98: cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_wc98(buffer.str(), origin);
+}
+
+std::string format_wc98(const LoadTrace& trace) {
+  std::ostringstream os;
+  os << "# seconds with zero requests omitted\n";
+  os.precision(17);  // enough decimal digits to round-trip any double
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const double rate = trace.at(static_cast<TimePoint>(t));
+    if (rate > 0.0) os << t << ' ' << rate << '\n';
+  }
+  return os.str();
+}
+
+void save_wc98(const LoadTrace& trace, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_wc98: cannot open " + path.string());
+  out << format_wc98(trace);
+}
+
+}  // namespace bml

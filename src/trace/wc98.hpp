@@ -1,0 +1,37 @@
+// Reader/writer for the per-second request-count format derived from the
+// 1998 World Cup access logs (ita.ee.lbl.gov): one line per active second,
+//
+//     <second> <request count>
+//
+// separated by whitespace or a comma, '#' comments allowed, seconds may be
+// sparse (gaps are zero-filled) but must strictly increase. Users who hold
+// the real trace can convert it with one awk line and replay the paper's
+// evaluation with `examples/replay_trace` — the synthetic generator is
+// only the fallback for this repository's offline benchmarks.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace bml {
+
+/// Parses the two-column format; throws std::runtime_error on malformed
+/// lines, negative counts, or decreasing timestamps. `origin` is
+/// subtracted from every timestamp (use it to replay "days 6 to 92" by
+/// passing 6 * 86400 and pre-slicing the file accordingly).
+[[nodiscard]] LoadTrace parse_wc98(const std::string& text,
+                                   TimePoint origin = 0);
+
+/// Reads and parses a file in the format above.
+[[nodiscard]] LoadTrace load_wc98(const std::filesystem::path& path,
+                                  TimePoint origin = 0);
+
+/// Serialises a trace to the two-column format, skipping zero seconds
+/// (matching the sparse encoding of the original logs).
+[[nodiscard]] std::string format_wc98(const LoadTrace& trace);
+
+void save_wc98(const LoadTrace& trace, const std::filesystem::path& path);
+
+}  // namespace bml

@@ -1,0 +1,76 @@
+// Small shared-memory parallelism helpers.
+//
+// The experiment harness runs independent simulations (scenarios of a
+// figure, points of a sweep) concurrently: each simulation touches only
+// its own Cluster/EnergyMeter state, so plain fork-join with std::thread
+// suffices — no shared mutable state, no locks in the hot path.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bml {
+
+/// Number of worker threads to use: hardware concurrency, at least 1.
+[[nodiscard]] inline unsigned default_parallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Runs fn(i) for i in [0, n) across up to `threads` workers (dynamic
+/// self-scheduling over an atomic counter). Exceptions from workers are
+/// captured and the first one rethrown after the join — never lost, never
+/// crossing thread boundaries unwound.
+inline void parallel_for(std::size_t n,
+                         const std::function<void(std::size_t)>& fn,
+                         unsigned threads = 0) {
+  if (n == 0) return;
+  if (threads == 0) threads = default_parallelism();
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, n));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Runs every task once, concurrently; rethrows the first failure.
+inline void parallel_invoke(std::vector<std::function<void()>> tasks,
+                            unsigned threads = 0) {
+  parallel_for(tasks.size(), [&tasks](std::size_t i) { tasks[i](); },
+               threads);
+}
+
+}  // namespace bml

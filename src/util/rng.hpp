@@ -1,0 +1,57 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library (synthetic traces, wattmeter
+// noise, prediction-error injection) takes an explicit seed so that tests
+// and benchmark runs are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace bml {
+
+/// Thin wrapper over std::mt19937_64 with convenience draws.
+/// Copyable; copies continue independent, identical streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal draw.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Poisson draw; mean must be >= 0.
+  std::int64_t poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    return std::poisson_distribution<std::int64_t>(mean)(engine_);
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Derives an independent child stream; used to give each sub-generator
+  /// (e.g. each day of a synthetic trace) its own stream.
+  Rng split() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bml

@@ -1,0 +1,65 @@
+// Small statistics toolkit: running moments, percentiles, summaries.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bml {
+
+/// Single-pass accumulator for mean / variance / min / max (Welford).
+/// Used by the profiler (averaging wattmeter samples) and by experiment
+/// reporting (per-day overhead statistics).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  /// Mean of the observed samples; 0 when empty.
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Linear-interpolated percentile (p in [0,100]) of an unsorted sample.
+/// Copies and sorts internally; throws std::invalid_argument when empty
+/// or p is out of range.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+/// Arithmetic mean; throws std::invalid_argument when empty.
+[[nodiscard]] double mean_of(std::span<const double> values);
+
+/// Five-number-style summary used in experiment reports.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Builds a Summary from a sample; throws std::invalid_argument when empty.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Renders "mean=... min=... max=..." for logs and bench output.
+[[nodiscard]] std::string to_string(const Summary& s);
+
+}  // namespace bml

@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace bml {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty())
+    throw std::invalid_argument("AsciiTable: header must not be empty");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("AsciiTable: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::set_alignments(std::vector<Align> alignments) {
+  if (alignments.size() != header_.size())
+    throw std::invalid_argument("AsciiTable: alignment width mismatch");
+  alignments_ = std::move(alignments);
+}
+
+std::string AsciiTable::num(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto align_of = [this](std::size_t c) {
+    if (!alignments_.empty()) return alignments_[c];
+    return c == 0 ? Align::kLeft : Align::kRight;
+  };
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ';
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (align_of(c) == Align::kRight) os << std::string(pad, ' ');
+      os << cells[c];
+      if (align_of(c) == Align::kLeft) os << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+  auto rule = [&]() {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  rule();
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+  return os.str();
+}
+
+}  // namespace bml

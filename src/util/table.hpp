@@ -1,0 +1,38 @@
+// ASCII table rendering for benchmark / experiment output.
+//
+// Every bench binary prints the rows of the paper table or the series of the
+// paper figure it reproduces; AsciiTable keeps those dumps aligned and
+// readable without pulling in a formatting library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bml {
+
+/// Column alignment for AsciiTable.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows and renders a fixed-width ASCII table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Sets per-column alignment; default is left for the first column and
+  /// right for the rest (label + numbers).
+  void set_alignments(std::vector<Align> alignments);
+
+  /// Formats a double with `digits` digits after the decimal point.
+  static std::string num(double v, int digits = 2);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> alignments_;
+};
+
+}  // namespace bml

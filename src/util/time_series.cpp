@@ -1,0 +1,77 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace bml {
+
+TimeSeries::TimeSeries(std::vector<double> values, Seconds step)
+    : values_(std::move(values)), step_(step) {
+  if (step_ <= 0.0)
+    throw std::invalid_argument("TimeSeries: step must be positive");
+}
+
+double TimeSeries::at(std::size_t i) const {
+  if (i >= values_.size())
+    throw std::out_of_range("TimeSeries: index out of range");
+  return values_[i];
+}
+
+double TimeSeries::max_over(std::size_t begin, std::size_t end) const {
+  begin = std::min(begin, values_.size());
+  end = std::min(end, values_.size());
+  if (begin >= end) return 0.0;
+  return *std::max_element(values_.begin() + static_cast<std::ptrdiff_t>(begin),
+                           values_.begin() + static_cast<std::ptrdiff_t>(end));
+}
+
+double TimeSeries::integral() const {
+  return integral_over(0, values_.size());
+}
+
+double TimeSeries::integral_over(std::size_t begin, std::size_t end) const {
+  begin = std::min(begin, values_.size());
+  end = std::min(end, values_.size());
+  if (begin >= end) return 0.0;
+  const double sum = std::accumulate(
+      values_.begin() + static_cast<std::ptrdiff_t>(begin),
+      values_.begin() + static_cast<std::ptrdiff_t>(end), 0.0);
+  return sum * step_;
+}
+
+std::vector<double> TimeSeries::integral_per_window(std::size_t window) const {
+  if (window == 0)
+    throw std::invalid_argument("integral_per_window: window must be > 0");
+  std::vector<double> out;
+  for (std::size_t begin = 0; begin < values_.size(); begin += window)
+    out.push_back(integral_over(begin, begin + window));
+  return out;
+}
+
+std::vector<double> TimeSeries::max_per_window(std::size_t window) const {
+  if (window == 0)
+    throw std::invalid_argument("max_per_window: window must be > 0");
+  std::vector<double> out;
+  for (std::size_t begin = 0; begin < values_.size(); begin += window)
+    out.push_back(max_over(begin, begin + window));
+  return out;
+}
+
+double TimeSeries::max() const {
+  if (values_.empty()) throw std::logic_error("TimeSeries::max: empty");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::min() const {
+  if (values_.empty()) throw std::logic_error("TimeSeries::min: empty");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::mean() const {
+  if (values_.empty()) throw std::logic_error("TimeSeries::mean: empty");
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+}  // namespace bml

@@ -1,0 +1,66 @@
+// Fixed-rate time series container.
+//
+// Both load traces (req/s sampled at 1 Hz) and recorded power draws
+// (W sampled at 1 Hz by the simulator) are fixed-rate series starting at
+// t = 0. TimeSeries stores the samples contiguously and provides the
+// aggregations the experiments need (per-day slices, integrals).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace bml {
+
+/// Fixed-rate (default 1 Hz) series of doubles indexed by integer seconds.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::vector<double> values, Seconds step = 1.0);
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] Seconds step() const { return step_; }
+  [[nodiscard]] Seconds duration() const {
+    return step_ * static_cast<double>(values_.size());
+  }
+
+  [[nodiscard]] double operator[](std::size_t i) const { return values_[i]; }
+  [[nodiscard]] double at(std::size_t i) const;
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+
+  void push_back(double v) { values_.push_back(v); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  /// Maximum over index range [begin, end) clamped to the series length;
+  /// returns 0 for an empty range. This is the paper's sliding look-ahead
+  /// "max over window" predictor primitive.
+  [[nodiscard]] double max_over(std::size_t begin, std::size_t end) const;
+
+  /// Sum of samples times step — the integral. For a power series this is
+  /// the energy in Joules.
+  [[nodiscard]] double integral() const;
+
+  /// Integral over index range [begin, end) clamped to the series length.
+  [[nodiscard]] double integral_over(std::size_t begin, std::size_t end) const;
+
+  /// Splits the series into consecutive windows of `window` samples and
+  /// returns the integral of each (last partial window included).
+  [[nodiscard]] std::vector<double> integral_per_window(
+      std::size_t window) const;
+
+  /// Splits into windows of `window` samples, returning each window max.
+  [[nodiscard]] std::vector<double> max_per_window(std::size_t window) const;
+
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double mean() const;
+
+ private:
+  std::vector<double> values_;
+  Seconds step_ = 1.0;
+};
+
+}  // namespace bml

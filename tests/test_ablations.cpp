@@ -1,0 +1,85 @@
+// Tests for experiments/ablations: prediction error, window length,
+// policy comparison, proportionality metrics.
+#include "experiments/ablations.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bml {
+namespace {
+
+AblationOptions quick() {
+  AblationOptions o;
+  o.days = 2;
+  o.peak = 3000.0;
+  o.seed = 77;
+  return o;
+}
+
+TEST(PredictionErrorSweep, ZeroErrorIsBaselineAndErrorCostsEnergyOrQos) {
+  const auto rows = run_prediction_error_sweep({0.0, 0.3}, quick());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].served_fraction, 1.0);
+  // Symmetric multiplicative error inflates the combination half the time
+  // (more energy) and deflates it the other half (QoS loss): at least one
+  // of the two must degrade.
+  const bool more_energy = rows[1].total_energy > rows[0].total_energy;
+  const bool worse_qos = rows[1].served_fraction < rows[0].served_fraction;
+  EXPECT_TRUE(more_energy || worse_qos);
+}
+
+TEST(WindowSweep, ShortWindowRisksQosLongWindowCostsEnergy) {
+  const auto rows = run_window_sweep({0.1, 2.0, 8.0}, quick());
+  ASSERT_EQ(rows.size(), 3u);
+  // A window shorter than the Big boot cannot always hide boot latency.
+  EXPECT_LE(rows[0].served_fraction, 1.0);
+  // The paper's 2x window satisfies QoS.
+  EXPECT_DOUBLE_EQ(rows[1].served_fraction, 1.0);
+  // A much longer window over-provisions: energy grows monotonically.
+  EXPECT_GT(rows[2].total_energy, rows[1].total_energy);
+}
+
+TEST(PolicyComparison, ProactiveOracleSatisfiesQos) {
+  const auto rows = run_policy_comparison(quick());
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].label, "pro-active oracle (paper)");
+  EXPECT_DOUBLE_EQ(rows[0].served_fraction, 1.0);
+  // The seasonal predictor is reactive but diurnal-aware: it must serve
+  // the vast majority of requests.
+  EXPECT_GT(rows[2].served_fraction, 0.95);
+  // The plain reactive policy must lose requests (boot latency).
+  EXPECT_LT(rows[3].served_fraction, 1.0);
+  // Hysteresis reduces reconfigurations versus plain reactive.
+  EXPECT_LT(rows[4].reconfigurations, rows[3].reconfigurations);
+}
+
+TEST(ProportionalityMetrics, BmlBeatsEveryRealMachine) {
+  const auto rows = run_proportionality_metrics();
+  // 5 machines + BML combination + BML linear reference.
+  ASSERT_EQ(rows.size(), 7u);
+  double best_machine_score = 0.0;
+  double bml_score = 0.0;
+  for (const auto& row : rows) {
+    EXPECT_GE(row.ipr, 0.0);
+    EXPECT_LE(row.ipr, 1.0);
+    if (row.name == "BML combination")
+      bml_score = row.score;
+    else if (row.name != "BML linear (ref)")
+      best_machine_score = std::max(best_machine_score, row.score);
+  }
+  // The composed heterogeneous curve is more energy proportional than any
+  // single machine — the paper's core claim, in metric form.
+  EXPECT_GT(bml_score, best_machine_score);
+}
+
+TEST(ProportionalityMetrics, KnownIprValues) {
+  const auto rows = run_proportionality_metrics();
+  for (const auto& row : rows) {
+    if (row.name == "paravance")
+      EXPECT_NEAR(row.ipr, 69.9 / 200.5, 1e-9);
+    if (row.name == "raspberry")
+      EXPECT_NEAR(row.ipr, 3.1 / 3.7, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace bml

@@ -1,0 +1,151 @@
+// Tests for app/application and app/migration — Section III's application
+// characterization and migration costs.
+#include <gtest/gtest.h>
+
+#include "app/migration.hpp"
+#include "core/candidate_filter.hpp"
+
+namespace bml {
+namespace {
+
+Catalog candidates() {
+  Catalog c = filter_candidates(real_catalog()).candidates;
+  c.erase(c.begin() + 1);  // paravance, chromebook, raspberry
+  return c;
+}
+
+TEST(ApplicationModel, DefaultIsPaperWebServer) {
+  const ApplicationModel app;
+  EXPECT_NO_THROW(app.validate());
+  EXPECT_EQ(app.state, StateKind::kStateless);
+  EXPECT_EQ(app.qos, QosClass::kTolerant);
+  EXPECT_DOUBLE_EQ(app.state_bytes, 0.0);
+}
+
+TEST(ApplicationModel, Validation) {
+  ApplicationModel bad;
+  bad.min_instances = -1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  ApplicationModel bad2;
+  bad2.min_instances = 5;
+  bad2.max_instances = 2;
+  EXPECT_THROW(bad2.validate(), std::invalid_argument);
+  ApplicationModel bad3;
+  bad3.state = StateKind::kStateful;
+  bad3.state_bytes = 0.0;
+  bad3.restart_time = 0.0;
+  EXPECT_THROW(bad3.validate(), std::invalid_argument);
+  ApplicationModel bad4;
+  bad4.name.clear();
+  EXPECT_THROW(bad4.validate(), std::invalid_argument);
+}
+
+TEST(ApplicationModel, AcceptsChecksInstanceBounds) {
+  ApplicationModel app;
+  app.min_instances = 2;
+  app.max_instances = 4;
+  EXPECT_FALSE(app.accepts(Combination({1, 0, 0})));
+  EXPECT_TRUE(app.accepts(Combination({1, 1, 0})));
+  EXPECT_TRUE(app.accepts(Combination({1, 3, 0})));
+  EXPECT_FALSE(app.accepts(Combination({1, 3, 1})));
+}
+
+TEST(ClampCombination, AddsLittlesBelowMinimum) {
+  ApplicationModel app;
+  app.min_instances = 3;
+  const auto result =
+      clamp_combination(app, candidates(), Combination({1, 0, 0}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, Combination({1, 0, 2}));  // two raspberries added
+  EXPECT_TRUE(app.accepts(*result));
+}
+
+TEST(ClampCombination, RejectsAboveMaximum) {
+  ApplicationModel app;
+  app.max_instances = 2;
+  EXPECT_FALSE(clamp_combination(app, candidates(), Combination({0, 3, 0}))
+                   .has_value());
+  EXPECT_TRUE(clamp_combination(app, candidates(), Combination({2, 0, 0}))
+                  .has_value());
+}
+
+TEST(StateKind, Names) {
+  EXPECT_EQ(to_string(StateKind::kStateless), "stateless");
+  EXPECT_EQ(to_string(StateKind::kSoftState), "soft-state");
+  EXPECT_EQ(to_string(StateKind::kStateful), "stateful");
+}
+
+TEST(MigrationModel, StatelessInstanceIsJustARestart) {
+  const MigrationModel model;
+  const ApplicationModel app;  // stateless
+  const MigrationCost cost = model.instance_cost(app);
+  EXPECT_DOUBLE_EQ(cost.duration, app.restart_time);
+  EXPECT_DOUBLE_EQ(cost.downtime, app.restart_time);
+  EXPECT_DOUBLE_EQ(cost.energy, model.restart_energy);
+}
+
+TEST(MigrationModel, StatefulPaysTransferTimeAndEnergy) {
+  MigrationModel model;
+  model.network_bandwidth = 1e8;  // 100 MB/s
+  ApplicationModel app;
+  app.state = StateKind::kStateful;
+  app.state_bytes = 1e9;  // 1 GB
+  const MigrationCost cost = model.instance_cost(app);
+  EXPECT_NEAR(cost.duration, app.restart_time + 10.0, 1e-9);
+  EXPECT_NEAR(cost.downtime, app.restart_time + 10.0, 1e-9);
+  EXPECT_NEAR(cost.energy, model.restart_energy + 1e9 * model.energy_per_byte,
+              1e-9);
+}
+
+TEST(MigrationModel, SoftStateServesDuringTransfer) {
+  MigrationModel model;
+  ApplicationModel app;
+  app.state = StateKind::kSoftState;
+  app.state_bytes = 1e9;
+  const MigrationCost cost = model.instance_cost(app);
+  EXPECT_DOUBLE_EQ(cost.downtime, app.restart_time);  // no transfer pause
+  EXPECT_GT(cost.duration, app.restart_time);
+}
+
+TEST(MigrationModel, ReconfigurationPairsMovesAndStarts) {
+  const MigrationModel model;
+  const ApplicationModel app;
+  // 16 chromebooks -> 1 paravance: 1 move + 15 stops (stops are free).
+  const MigrationCost shrink = model.reconfiguration_cost(
+      app, Combination({0, 16, 0}), Combination({1, 0, 0}));
+  EXPECT_DOUBLE_EQ(shrink.energy, model.restart_energy);
+  EXPECT_DOUBLE_EQ(shrink.downtime, app.restart_time);
+
+  // Empty -> 3 machines: 3 fresh starts, no downtime.
+  const MigrationCost grow = model.reconfiguration_cost(
+      app, Combination({0, 0, 0}), Combination({1, 1, 1}));
+  EXPECT_DOUBLE_EQ(grow.energy, 3.0 * model.restart_energy);
+  EXPECT_DOUBLE_EQ(grow.downtime, 0.0);
+
+  // No change: free.
+  const MigrationCost same = model.reconfiguration_cost(
+      app, Combination({1, 1, 0}), Combination({1, 1, 0}));
+  EXPECT_DOUBLE_EQ(same.energy, 0.0);
+  EXPECT_DOUBLE_EQ(same.duration, 0.0);
+}
+
+TEST(MigrationModel, Validation) {
+  MigrationModel bad;
+  bad.network_bandwidth = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  MigrationModel bad2;
+  bad2.energy_per_byte = -1.0;
+  EXPECT_THROW(bad2.validate(), std::invalid_argument);
+}
+
+TEST(MigrationCost, AccumulationSemantics) {
+  MigrationCost a{10.0, 2.0, 5.0};
+  const MigrationCost b{4.0, 3.0, 7.0};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.duration, 10.0);  // parallel moves: max duration
+  EXPECT_DOUBLE_EQ(a.downtime, 5.0);   // downtime accumulates
+  EXPECT_DOUBLE_EQ(a.energy, 12.0);
+}
+
+}  // namespace
+}  // namespace bml

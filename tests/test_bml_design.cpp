@@ -1,0 +1,136 @@
+// End-to-end tests for core/bml_design — the five-step façade.
+#include "core/bml_design.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bml {
+namespace {
+
+TEST(BmlDesign, RealCatalogReproducesPaperSection5B) {
+  const BmlDesign design = BmlDesign::build(real_catalog());
+
+  // "Our final heterogeneous infrastructure comprises Raspberry (Little),
+  // Chromebook (Medium) and Paravance (Big)."
+  ASSERT_EQ(design.candidates().size(), 3u);
+  EXPECT_EQ(design.candidates()[0].name(), "paravance");
+  EXPECT_EQ(design.candidates()[1].name(), "chromebook");
+  EXPECT_EQ(design.candidates()[2].name(), "raspberry");
+  EXPECT_EQ(design.roles()[0], Role::kBig);
+  EXPECT_EQ(design.roles()[1], Role::kMedium);
+  EXPECT_EQ(design.roles()[2], Role::kLittle);
+
+  // "Their minimum utilization thresholds are respectively 1, 10 and 529
+  // requests per second."
+  EXPECT_DOUBLE_EQ(design.thresholds()[2], 1.0);
+  EXPECT_DOUBLE_EQ(design.thresholds()[1], 10.0);
+  EXPECT_DOUBLE_EQ(design.thresholds()[0], 529.0);
+
+  // Taurus removed in Step 2, Graphene in Step 3.
+  ASSERT_EQ(design.removed().size(), 2u);
+  EXPECT_EQ(design.removed()[0].name, "taurus");
+  EXPECT_EQ(design.removed()[0].reason, RemovalReason::kDominatedAtPeak);
+  EXPECT_EQ(design.removed()[1].name, "graphene");
+  EXPECT_EQ(design.removed()[1].reason, RemovalReason::kNeverPreferable);
+}
+
+TEST(BmlDesign, AccessorsByRole) {
+  const BmlDesign design = BmlDesign::build(real_catalog());
+  EXPECT_EQ(design.big().name(), "paravance");
+  EXPECT_EQ(design.little().name(), "raspberry");
+}
+
+TEST(BmlDesign, DefaultMaxRateIsFourBigs) {
+  const BmlDesign design = BmlDesign::build(real_catalog());
+  EXPECT_DOUBLE_EQ(design.max_rate(), 4.0 * 1331.0);
+  EXPECT_NE(design.table(), nullptr);
+}
+
+TEST(BmlDesign, IdealPowerNeverExceedsBigOnly) {
+  const BmlDesign design = BmlDesign::build(real_catalog());
+  const ArchitectureProfile& big = design.big();
+  for (double r = 1.0; r <= big.max_perf(); r += 7.0)
+    EXPECT_LE(design.ideal_power(r), big.power_at(r) + 1e-9) << "rate " << r;
+}
+
+TEST(BmlDesign, IdealCombinationCapacityCoversRate) {
+  const BmlDesign design = BmlDesign::build(real_catalog());
+  for (double r = 0.0; r <= design.max_rate(); r += 97.3) {
+    const Combination combo = design.ideal_combination(r);
+    EXPECT_GE(capacity(design.candidates(), combo), r - 1e-9);
+  }
+}
+
+TEST(BmlDesign, LinearReferenceUsesLittleIdleAndBigPeak) {
+  const BmlDesign design = BmlDesign::build(real_catalog());
+  const BmlLinearReference ref = design.linear_reference();
+  EXPECT_DOUBLE_EQ(ref.power(0.0), 3.1);
+  EXPECT_DOUBLE_EQ(ref.power(1331.0), 200.5);
+}
+
+TEST(BmlDesign, ExactSolverOptionAgreesWithGreedy) {
+  BmlDesignOptions options;
+  options.solver = SolverKind::kExactDp;
+  options.max_rate = 2000.0;
+  const BmlDesign exact = BmlDesign::build(real_catalog(), options);
+  const BmlDesign greedy = BmlDesign::build(real_catalog(),
+                                            {.max_rate = 2000.0});
+  for (double r = 0.0; r <= 2000.0; r += 1.0)
+    ASSERT_NEAR(exact.ideal_power(r), greedy.ideal_power(r), 1e-6)
+        << "rate " << r;
+}
+
+TEST(BmlDesign, IllustrativeCatalogKeepsABC) {
+  const BmlDesign design = BmlDesign::build(illustrative_catalog());
+  ASSERT_EQ(design.candidates().size(), 3u);
+  EXPECT_EQ(design.candidates()[0].name(), "arch-A");
+  EXPECT_EQ(design.candidates()[2].name(), "arch-C");
+  ASSERT_EQ(design.removed().size(), 1u);
+  EXPECT_EQ(design.removed()[0].name, "arch-D");
+  // Step 4 raised Big's threshold above Step 3's value (Fig. 2).
+  EXPECT_GT(design.thresholds()[0], design.step3_thresholds()[0]);
+}
+
+TEST(BmlDesign, InventoryCapsAreRemappedFromInputOrder) {
+  BmlDesignOptions options;
+  // Input order: paravance, taurus, graphene, chromebook, raspberry.
+  options.inventory_caps = {1, 99, 99, 50, 50};
+  options.max_rate = 3000.0;
+  const BmlDesign design = BmlDesign::build(real_catalog(), options);
+  const Combination combo = design.ideal_combination(2500.0);
+  EXPECT_EQ(combo.count(0), 1);  // only one paravance allowed
+  EXPECT_GE(capacity(design.candidates(), combo), 2500.0);
+}
+
+TEST(BmlDesign, CapsSizeMismatchThrows) {
+  BmlDesignOptions options;
+  options.inventory_caps = {1, 2};
+  EXPECT_THROW(BmlDesign::build(real_catalog(), options),
+               std::invalid_argument);
+}
+
+TEST(BmlDesign, EmptyCatalogThrows) {
+  EXPECT_THROW(BmlDesign::build({}), std::invalid_argument);
+}
+
+TEST(BmlDesign, SingleArchitectureDesign) {
+  Catalog one;
+  one.emplace_back("solo", 100.0, 10.0, 50.0, TransitionCost{5.0, 100.0},
+                   TransitionCost{2.0, 20.0});
+  const BmlDesign design = BmlDesign::build(one);
+  ASSERT_EQ(design.candidates().size(), 1u);
+  EXPECT_EQ(design.roles()[0], Role::kBig);
+  EXPECT_DOUBLE_EQ(design.thresholds()[0], 1.0);
+  EXPECT_EQ(design.ideal_combination(250.0), Combination({3}));
+}
+
+TEST(BmlDesign, QueriesBeyondTableFallBackToSolver) {
+  BmlDesignOptions options;
+  options.max_rate = 100.0;
+  const BmlDesign design = BmlDesign::build(real_catalog(), options);
+  // 150 > table range: the solver answers directly.
+  const Combination combo = design.ideal_combination(150.0);
+  EXPECT_GE(capacity(design.candidates(), combo), 150.0);
+}
+
+}  // namespace
+}  // namespace bml

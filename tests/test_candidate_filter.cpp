@@ -1,0 +1,156 @@
+// Tests for core/candidate_filter — Step 2 of the methodology.
+#include "core/candidate_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/catalog.hpp"
+#include "util/rng.hpp"
+
+namespace bml {
+namespace {
+
+TEST(FilterCandidates, RealCatalogRemovesTaurus) {
+  const FilterResult r = filter_candidates(real_catalog());
+  // The paper: "Step 2 results in the removal of Taurus architecture as its
+  // maximum power consumption is higher than Paravance's while delivering
+  // lower performance."
+  ASSERT_EQ(r.removed.size(), 1u);
+  EXPECT_EQ(r.removed[0].name, "taurus");
+  EXPECT_EQ(r.removed[0].reason, RemovalReason::kDominatedAtPeak);
+  EXPECT_EQ(r.removed[0].dominated_by, "paravance");
+  ASSERT_EQ(r.candidates.size(), 4u);
+  EXPECT_EQ(r.candidates[0].name(), "paravance");
+  EXPECT_EQ(r.candidates[1].name(), "graphene");
+  EXPECT_EQ(r.candidates[2].name(), "chromebook");
+  EXPECT_EQ(r.candidates[3].name(), "raspberry");
+}
+
+TEST(FilterCandidates, IllustrativeCatalogRemovesD) {
+  const FilterResult r = filter_candidates(illustrative_catalog());
+  // Fig. 1: "D will be removed due to its poor energy efficiency compared
+  // to A."
+  ASSERT_EQ(r.removed.size(), 1u);
+  EXPECT_EQ(r.removed[0].name, "arch-D");
+  EXPECT_EQ(r.removed[0].dominated_by, "arch-A");
+  ASSERT_EQ(r.candidates.size(), 3u);
+  EXPECT_EQ(r.candidates[0].name(), "arch-A");
+  EXPECT_EQ(r.candidates[1].name(), "arch-B");
+  EXPECT_EQ(r.candidates[2].name(), "arch-C");
+}
+
+TEST(FilterCandidates, SortsByDecreasingPerformance) {
+  const FilterResult r = filter_candidates(real_catalog());
+  for (std::size_t i = 1; i < r.candidates.size(); ++i)
+    EXPECT_GT(r.candidates[i - 1].max_perf(), r.candidates[i].max_perf());
+}
+
+TEST(FilterCandidates, KeptPeakPowersStrictlyDecrease) {
+  // Invariant of the dominance filter: after Step 2, sorting by perf also
+  // sorts by peak power (otherwise someone would have been dominated).
+  for (const Catalog& input : {real_catalog(), illustrative_catalog()}) {
+    const FilterResult r = filter_candidates(input);
+    for (std::size_t i = 1; i < r.candidates.size(); ++i)
+      EXPECT_GT(r.candidates[i - 1].max_power(),
+                r.candidates[i].max_power());
+  }
+}
+
+TEST(FilterCandidates, EmptyCatalogThrows) {
+  EXPECT_THROW((void)filter_candidates({}), std::invalid_argument);
+}
+
+TEST(FilterCandidates, SingleArchKept) {
+  Catalog one;
+  one.emplace_back("solo", 100.0, 10.0, 50.0, TransitionCost{},
+                   TransitionCost{});
+  const FilterResult r = filter_candidates(one);
+  EXPECT_EQ(r.candidates.size(), 1u);
+  EXPECT_TRUE(r.removed.empty());
+}
+
+TEST(FilterCandidates, PerformanceTieKeepsCheaper) {
+  Catalog c;
+  c.emplace_back("pricey", 100.0, 10.0, 60.0, TransitionCost{},
+                 TransitionCost{});
+  c.emplace_back("cheap", 100.0, 10.0, 50.0, TransitionCost{},
+                 TransitionCost{});
+  const FilterResult r = filter_candidates(c);
+  ASSERT_EQ(r.candidates.size(), 1u);
+  EXPECT_EQ(r.candidates[0].name(), "cheap");
+  ASSERT_EQ(r.removed.size(), 1u);
+  EXPECT_EQ(r.removed[0].name, "pricey");
+}
+
+TEST(FilterCandidates, EqualPowerSlowerIsRemoved) {
+  Catalog c;
+  c.emplace_back("fast", 200.0, 10.0, 50.0, TransitionCost{},
+                 TransitionCost{});
+  c.emplace_back("slow-same-power", 100.0, 10.0, 50.0, TransitionCost{},
+                 TransitionCost{});
+  const FilterResult r = filter_candidates(c);
+  ASSERT_EQ(r.candidates.size(), 1u);
+  EXPECT_EQ(r.candidates[0].name(), "fast");
+}
+
+TEST(AssignRoles, LabelsEndsAndMiddle) {
+  const FilterResult r = filter_candidates(real_catalog());
+  const auto roles = assign_roles(r.candidates);
+  ASSERT_EQ(roles.size(), 4u);
+  EXPECT_EQ(roles.front(), Role::kBig);
+  EXPECT_EQ(roles[1], Role::kMedium);
+  EXPECT_EQ(roles[2], Role::kMedium);
+  EXPECT_EQ(roles.back(), Role::kLittle);
+}
+
+TEST(AssignRoles, DegenerateSizes) {
+  EXPECT_TRUE(assign_roles({}).empty());
+  Catalog one;
+  one.emplace_back("solo", 100.0, 10.0, 50.0, TransitionCost{},
+                   TransitionCost{});
+  const auto roles1 = assign_roles(one);
+  ASSERT_EQ(roles1.size(), 1u);
+  EXPECT_EQ(roles1[0], Role::kBig);
+}
+
+// Property: no kept candidate may dominate another kept candidate, and
+// every removed candidate must be dominated by some kept one.
+class FilterProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FilterProperty, DominanceInvariantsOnRandomCatalogs) {
+  Rng rng(GetParam());
+  Catalog input;
+  const int n = static_cast<int>(rng.uniform_int(2, 10));
+  for (int i = 0; i < n; ++i) {
+    const double perf = rng.uniform(10.0, 2000.0);
+    const double idle = rng.uniform(1.0, 100.0);
+    const double peak = idle + rng.uniform(1.0, 200.0);
+    input.emplace_back("arch" + std::to_string(i), perf, idle, peak,
+                       TransitionCost{}, TransitionCost{});
+  }
+  const FilterResult r = filter_candidates(input);
+  EXPECT_EQ(r.candidates.size() + r.removed.size(), input.size());
+  ASSERT_FALSE(r.candidates.empty());
+  for (std::size_t i = 0; i < r.candidates.size(); ++i)
+    for (std::size_t j = 0; j < r.candidates.size(); ++j) {
+      if (i == j) continue;
+      const bool dominates =
+          r.candidates[i].max_perf() >= r.candidates[j].max_perf() &&
+          r.candidates[i].max_power() <= r.candidates[j].max_power();
+      EXPECT_FALSE(dominates)
+          << r.candidates[i].name() << " dominates "
+          << r.candidates[j].name();
+    }
+  for (const RemovedArch& removed : r.removed) {
+    const auto victim = find_profile(input, removed.name).value();
+    const auto dominator = find_profile(r.candidates, removed.dominated_by);
+    ASSERT_TRUE(dominator.has_value()) << removed.name;
+    EXPECT_GE(dominator->max_perf(), victim.max_perf());
+    EXPECT_LE(dominator->max_power(), victim.max_power());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCatalogs, FilterProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace bml

@@ -1,0 +1,95 @@
+// Tests for arch/catalog: built-in catalogs and CSV round-trip.
+#include "arch/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bml {
+namespace {
+
+TEST(RealCatalog, MatchesTableOne) {
+  const Catalog c = real_catalog();
+  ASSERT_EQ(c.size(), 5u);
+
+  const auto paravance = find_profile(c, "paravance");
+  ASSERT_TRUE(paravance.has_value());
+  EXPECT_DOUBLE_EQ(paravance->max_perf(), 1331.0);
+  EXPECT_DOUBLE_EQ(paravance->idle_power(), 69.9);
+  EXPECT_DOUBLE_EQ(paravance->max_power(), 200.5);
+  EXPECT_DOUBLE_EQ(paravance->on_cost().duration, 189.0);
+  EXPECT_DOUBLE_EQ(paravance->on_cost().energy, 21341.0);
+  EXPECT_DOUBLE_EQ(paravance->off_cost().duration, 10.0);
+  EXPECT_DOUBLE_EQ(paravance->off_cost().energy, 657.0);
+
+  const auto raspberry = find_profile(c, "raspberry");
+  ASSERT_TRUE(raspberry.has_value());
+  EXPECT_DOUBLE_EQ(raspberry->max_perf(), 9.0);
+  EXPECT_DOUBLE_EQ(raspberry->idle_power(), 3.1);
+  EXPECT_DOUBLE_EQ(raspberry->max_power(), 3.7);
+
+  const auto taurus = find_profile(c, "taurus");
+  ASSERT_TRUE(taurus.has_value());
+  EXPECT_DOUBLE_EQ(taurus->max_power(), 223.7);
+
+  const auto chromebook = find_profile(c, "chromebook");
+  ASSERT_TRUE(chromebook.has_value());
+  EXPECT_DOUBLE_EQ(chromebook->on_cost().energy, 49.3);
+}
+
+TEST(RealCatalog, TaurusIsDominatedByParavance) {
+  const Catalog c = real_catalog();
+  const auto paravance = find_profile(c, "paravance").value();
+  const auto taurus = find_profile(c, "taurus").value();
+  EXPECT_LT(taurus.max_perf(), paravance.max_perf());
+  EXPECT_GT(taurus.max_power(), paravance.max_power());
+}
+
+TEST(IllustrativeCatalog, MatchesFigureOneNarrative) {
+  const Catalog c = illustrative_catalog();
+  ASSERT_EQ(c.size(), 4u);
+  const auto a = find_profile(c, "arch-A").value();
+  const auto d = find_profile(c, "arch-D").value();
+  // D must be dominated by A: less performance, more peak power.
+  EXPECT_LT(d.max_perf(), a.max_perf());
+  EXPECT_GT(d.max_power(), a.max_power());
+  // Five Little nodes must cover the ~150 req/s crossing region.
+  const auto little = find_profile(c, "arch-C").value();
+  EXPECT_DOUBLE_EQ(little.max_perf() * 5, 150.0);
+}
+
+TEST(FindProfile, MissingReturnsNullopt) {
+  EXPECT_FALSE(find_profile(real_catalog(), "cray-1").has_value());
+}
+
+TEST(CatalogCsv, RoundTripPreservesValues) {
+  const Catalog original = real_catalog();
+  const Catalog parsed = catalog_from_csv(catalog_to_csv(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed[i].name(), original[i].name());
+    EXPECT_NEAR(parsed[i].max_perf(), original[i].max_perf(), 1e-6);
+    EXPECT_NEAR(parsed[i].idle_power(), original[i].idle_power(), 1e-6);
+    EXPECT_NEAR(parsed[i].max_power(), original[i].max_power(), 1e-6);
+    EXPECT_NEAR(parsed[i].on_cost().energy, original[i].on_cost().energy,
+                1e-6);
+    EXPECT_NEAR(parsed[i].off_cost().duration,
+                original[i].off_cost().duration, 1e-6);
+  }
+}
+
+TEST(CatalogCsv, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "bml_catalog_test.csv";
+  save_catalog(illustrative_catalog(), path);
+  const Catalog loaded = load_catalog(path);
+  EXPECT_EQ(loaded.size(), 4u);
+  EXPECT_TRUE(find_profile(loaded, "arch-B").has_value());
+  std::filesystem::remove(path);
+}
+
+TEST(CatalogCsv, RejectsMalformedInput) {
+  EXPECT_THROW((void)catalog_from_csv("name,max_perf\nx,notanumber\n"),
+               std::exception);
+}
+
+}  // namespace
+}  // namespace bml

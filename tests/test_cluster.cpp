@@ -1,0 +1,117 @@
+// Tests for sim/cluster: switch commands, counters, power aggregation.
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/candidate_filter.hpp"
+
+namespace bml {
+namespace {
+
+Catalog candidates() {
+  Catalog c = filter_candidates(real_catalog()).candidates;
+  c.erase(c.begin() + 1);  // paravance, chromebook, raspberry
+  return c;
+}
+
+TEST(Cluster, InitialCombinationStartsOn) {
+  const Cluster cluster(candidates(), Combination({1, 2, 0}));
+  const ClusterSnapshot snap = cluster.snapshot();
+  EXPECT_EQ(snap.on, Combination({1, 2, 0}));
+  EXPECT_EQ(snap.booting.total_machines(), 0);
+  EXPECT_DOUBLE_EQ(snap.on_capacity, 1331.0 + 66.0);
+  EXPECT_FALSE(cluster.transitioning());
+}
+
+TEST(Cluster, SwitchOnBootsThenServes) {
+  Cluster cluster(candidates());
+  cluster.switch_on(1, 2);  // 2 chromebooks (12 s boot)
+  EXPECT_TRUE(cluster.transitioning());
+  EXPECT_EQ(cluster.snapshot().booting, Combination({0, 2, 0}));
+  EXPECT_DOUBLE_EQ(cluster.on_capacity(), 0.0);
+  for (int s = 0; s < 12; ++s) cluster.step();
+  EXPECT_FALSE(cluster.transitioning());
+  EXPECT_EQ(cluster.snapshot().on, Combination({0, 2, 0}));
+  EXPECT_DOUBLE_EQ(cluster.on_capacity(), 66.0);
+}
+
+TEST(Cluster, SwitchOffDrainsToOff) {
+  Cluster cluster(candidates(), Combination({0, 1, 0}));
+  cluster.switch_off(1, 1);
+  EXPECT_EQ(cluster.snapshot().shutting_down, Combination({0, 1, 0}));
+  EXPECT_DOUBLE_EQ(cluster.on_capacity(), 0.0);  // stops serving immediately
+  for (int s = 0; s < 21; ++s) cluster.step();
+  EXPECT_FALSE(cluster.transitioning());
+  EXPECT_EQ(cluster.snapshot().on.total_machines(), 0);
+}
+
+TEST(Cluster, SwitchOnReusesOffMachines) {
+  Cluster cluster(candidates(), Combination({0, 1, 0}));
+  cluster.switch_off(1, 1);
+  for (int s = 0; s < 21; ++s) cluster.step();
+  EXPECT_EQ(cluster.machine_count(), 1u);
+  cluster.switch_on(1, 1);  // must reuse the parked machine
+  EXPECT_EQ(cluster.machine_count(), 1u);
+  cluster.switch_on(1, 1);  // needs a new one
+  EXPECT_EQ(cluster.machine_count(), 2u);
+}
+
+TEST(Cluster, SwitchOffMoreThanOnThrows) {
+  Cluster cluster(candidates(), Combination({0, 1, 0}));
+  EXPECT_THROW((void)cluster.switch_off(1, 2), std::logic_error);
+}
+
+TEST(Cluster, Validation) {
+  EXPECT_THROW(Cluster({}, {}), std::invalid_argument);
+  EXPECT_THROW(Cluster(candidates(), Combination({1, 1, 1, 1})),
+               std::invalid_argument);
+  Cluster cluster(candidates());
+  EXPECT_THROW((void)cluster.switch_on(9, 1), std::invalid_argument);
+  EXPECT_THROW((void)cluster.switch_on(0, -1), std::invalid_argument);
+  EXPECT_THROW((void)cluster.switch_off(9, 1), std::invalid_argument);
+}
+
+TEST(Cluster, StepPowerSplitsChannels) {
+  Cluster cluster(candidates(), Combination({0, 0, 1}));  // 1 raspberry on
+  cluster.switch_on(1, 1);                                // chromebook boots
+  const ClusterPower p = cluster.step_power(5.0);
+  // Compute: raspberry serving 5 req/s. Transition: chromebook boot power.
+  EXPECT_NEAR(p.compute, 3.1 + (0.6 / 9.0) * 5.0, 1e-9);
+  EXPECT_NEAR(p.transition, 49.3 / 12.0, 1e-9);
+}
+
+TEST(Cluster, BootEnergyIntegratesToTableValue) {
+  Cluster cluster(candidates());
+  cluster.switch_on(0, 1);  // paravance: 189 s, 21341 J
+  double energy = 0.0;
+  while (cluster.transitioning()) {
+    energy += cluster.step_power(0.0).transition;
+    cluster.step();
+  }
+  EXPECT_NEAR(energy, 21341.0, 1e-6);
+}
+
+TEST(Cluster, CountersMatchAfterManyOperations) {
+  Cluster cluster(candidates(), Combination({1, 3, 2}));
+  cluster.switch_on(2, 4);
+  cluster.switch_off(1, 2);
+  cluster.switch_on(0, 1);
+  for (int s = 0; s < 250; ++s) cluster.step();
+  const ClusterSnapshot snap = cluster.snapshot();
+  EXPECT_EQ(snap.on, Combination({2, 1, 6}));
+  EXPECT_EQ(snap.booting.total_machines(), 0);
+  EXPECT_EQ(snap.shutting_down.total_machines(), 0);
+  EXPECT_DOUBLE_EQ(cluster.on_capacity(),
+                   2 * 1331.0 + 1 * 33.0 + 6 * 9.0);
+}
+
+TEST(Cluster, ZeroCountCommandsAreNoOps) {
+  Cluster cluster(candidates(), Combination({1, 0, 0}));
+  cluster.switch_on(1, 0);
+  cluster.switch_off(0, 0);
+  EXPECT_FALSE(cluster.transitioning());
+  EXPECT_EQ(cluster.snapshot().on, Combination({1, 0, 0}));
+}
+
+}  // namespace
+}  // namespace bml

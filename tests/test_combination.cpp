@@ -1,0 +1,167 @@
+// Tests for core/combination: counts, capacity, optimal dispatch.
+#include "core/combination.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/candidate_filter.hpp"
+
+namespace bml {
+namespace {
+
+// Sorted real candidates: paravance, graphene, chromebook, raspberry.
+Catalog candidates() { return filter_candidates(real_catalog()).candidates; }
+
+TEST(Combination, CountManipulation) {
+  Combination c;
+  EXPECT_TRUE(c.empty());
+  c.set_count(2, 3);
+  EXPECT_EQ(c.count(2), 3);
+  EXPECT_EQ(c.count(0), 0);
+  c.add(2);
+  c.add(0, 2);
+  EXPECT_EQ(c.total_machines(), 6);
+  EXPECT_THROW((void)c.set_count(0, -1), std::invalid_argument);
+  EXPECT_THROW((void)c.add(0, -5), std::invalid_argument);
+  EXPECT_THROW(Combination({1, -1}), std::invalid_argument);
+  EXPECT_THROW((void)c.count(99), std::out_of_range);
+}
+
+TEST(Combination, ResizeOnlyGrows) {
+  Combination c({1, 2});
+  c.resize(4);
+  EXPECT_EQ(c.counts().size(), 4u);
+  EXPECT_EQ(c.count(3), 0);
+  EXPECT_THROW((void)c.resize(1), std::invalid_argument);
+}
+
+TEST(Combination, EqualityIsStructural) {
+  EXPECT_EQ(Combination({1, 0}), Combination({1, 0}));
+  EXPECT_NE(Combination({1, 0}), Combination({0, 1}));
+}
+
+TEST(CombinationAggregates, CapacityAndPowers) {
+  const Catalog cand = candidates();
+  Combination c;
+  c.set_count(0, 1);  // 1 paravance
+  c.set_count(3, 2);  // 2 raspberries
+  EXPECT_DOUBLE_EQ(capacity(cand, c), 1331.0 + 18.0);
+  EXPECT_DOUBLE_EQ(idle_power(cand, c), 69.9 + 6.2);
+  EXPECT_DOUBLE_EQ(peak_power(cand, c), 200.5 + 7.4);
+}
+
+TEST(Dispatch, EmptyCombinationServesNothing) {
+  const Catalog cand = candidates();
+  const DispatchResult r = dispatch(cand, Combination{}, 100.0);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.power, 0.0);
+  EXPECT_DOUBLE_EQ(r.served, 0.0);
+}
+
+TEST(Dispatch, ZeroLoadPaysIdleOnly) {
+  const Catalog cand = candidates();
+  Combination c;
+  c.set_count(0, 2);
+  const DispatchResult r = dispatch(cand, c, 0.0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.power, 2 * 69.9);
+}
+
+TEST(Dispatch, LoadsLowestSlopeFirst) {
+  const Catalog cand = candidates();
+  // Raspberry slope (0.0667) < paravance slope (0.0981): the raspberry
+  // must absorb the first requests.
+  Combination c;
+  c.set_count(0, 1);  // paravance
+  c.set_count(3, 1);  // raspberry
+  const DispatchResult r = dispatch(cand, c, 5.0);
+  EXPECT_DOUBLE_EQ(r.load_per_arch[3], 5.0);
+  EXPECT_DOUBLE_EQ(r.load_per_arch[0], 0.0);
+  // Power: raspberry at 5 + paravance idle.
+  const double expected = (3.1 + (3.7 - 3.1) / 9.0 * 5.0) + 69.9;
+  EXPECT_NEAR(r.power, expected, 1e-9);
+}
+
+TEST(Dispatch, OverflowsToNextSlope) {
+  const Catalog cand = candidates();
+  Combination c;
+  c.set_count(0, 1);
+  c.set_count(3, 1);
+  const DispatchResult r = dispatch(cand, c, 100.0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.load_per_arch[3], 9.0);   // raspberry full
+  EXPECT_DOUBLE_EQ(r.load_per_arch[0], 91.0);  // remainder on paravance
+}
+
+TEST(Dispatch, InfeasibleLoadIsTruncated) {
+  const Catalog cand = candidates();
+  Combination c;
+  c.set_count(3, 1);  // 9 req/s capacity
+  const DispatchResult r = dispatch(cand, c, 50.0);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.served, 9.0);
+  EXPECT_DOUBLE_EQ(r.power, 3.7);  // fully loaded
+}
+
+TEST(Dispatch, PartialMachineWithinArch) {
+  const Catalog cand = candidates();
+  Combination c;
+  c.set_count(2, 3);  // 3 chromebooks, 99 req/s capacity
+  const DispatchResult r = dispatch(cand, c, 50.0);
+  // 1 full (33) + 1 partial (17) + 1 idle.
+  const double expected = 7.6 + (4.0 + (7.6 - 4.0) / 33.0 * 17.0) + 4.0;
+  EXPECT_NEAR(r.power, expected, 1e-9);
+}
+
+TEST(Dispatch, Validation) {
+  const Catalog cand = candidates();
+  EXPECT_THROW((void)dispatch(cand, Combination{}, -1.0), std::invalid_argument);
+  Combination too_wide({1, 1, 1, 1, 1});
+  EXPECT_THROW((void)dispatch(cand, too_wide, 1.0), std::invalid_argument);
+}
+
+TEST(CombinationToString, HumanReadable) {
+  const Catalog cand = candidates();
+  Combination c;
+  c.set_count(0, 2);
+  c.set_count(3, 1);
+  EXPECT_EQ(to_string(cand, c), "2xparavance + 1xraspberry");
+  EXPECT_EQ(to_string(cand, Combination{}), "(empty)");
+}
+
+TEST(Delta, OnAndOffActions) {
+  const auto d = delta(Combination({2, 0, 3}), Combination({1, 1, 3}));
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0], -1);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], 0);
+}
+
+TEST(Delta, DifferentWidths) {
+  const auto d = delta(Combination({1}), Combination({1, 2}));
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 2);
+}
+
+// Property: dispatch power is monotone in load for any fixed combination.
+class DispatchMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(DispatchMonotone, PowerNonDecreasingInLoad) {
+  const Catalog cand = candidates();
+  Combination c;
+  c.set_count(0, GetParam() % 3);
+  c.set_count(2, (GetParam() * 7) % 5);
+  c.set_count(3, 1 + GetParam() % 4);
+  const double cap = capacity(cand, c);
+  double prev = -1.0;
+  for (double load = 0.0; load <= cap * 1.2; load += cap / 23.0 + 1.0) {
+    const double p = dispatch(cand, c, load).power;
+    EXPECT_GE(p, prev - 1e-9) << "load " << load;
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Combos, DispatchMonotone, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace bml

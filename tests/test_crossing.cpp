@@ -1,0 +1,169 @@
+// Tests for core/crossing — Steps 3 and 4: minimum utilization thresholds.
+//
+// The key acceptance numbers come straight from the paper: on the Table I
+// catalog the thresholds are 1 (Raspberry), 10 (Chromebook) and
+// 529 (Paravance) requests per second, and Graphene's profile "never
+// crosses any other architecture's profile".
+#include "core/crossing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/candidate_filter.hpp"
+
+namespace bml {
+namespace {
+
+Catalog real_candidates() {
+  return filter_candidates(real_catalog()).candidates;
+}
+
+TEST(HomogeneousCost, SingleAndMultipleMachines) {
+  const ArchitectureProfile rasp("raspberry", 9.0, 3.1, 3.7, {}, {});
+  EXPECT_DOUBLE_EQ(homogeneous_cost(rasp, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(homogeneous_cost(rasp, 9.0), 3.7);
+  // 10 req/s: one full + one at 1 req/s.
+  EXPECT_NEAR(homogeneous_cost(rasp, 10.0), 3.7 + 3.1 + 0.6 / 9.0, 1e-9);
+  // 18: two full machines.
+  EXPECT_DOUBLE_EQ(homogeneous_cost(rasp, 18.0), 7.4);
+  EXPECT_THROW((void)homogeneous_cost(rasp, -1.0), std::invalid_argument);
+}
+
+TEST(MinCostCurve, MatchesHandComputedValues) {
+  const Catalog cand = real_candidates();
+  const MinCostCurve curve(cand, 100.0);
+  // 5 req/s: one raspberry partially loaded.
+  EXPECT_NEAR(curve.cost(5.0), 3.1 + (0.6 / 9.0) * 5.0, 1e-9);
+  // 9 req/s: one full raspberry beats a chromebook at 9 (4.98 W).
+  EXPECT_DOUBLE_EQ(curve.cost(9.0), 3.7);
+  // 10 req/s: one chromebook at 10 beats two raspberries (6.87 W).
+  EXPECT_NEAR(curve.cost(10.0), 4.0 + (3.6 / 33.0) * 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(curve.cost(0.0), 0.0);
+}
+
+TEST(MinCostCurve, ReconstructionMatchesCost) {
+  const Catalog cand = real_candidates();
+  const MinCostCurve curve(cand, 600.0);
+  for (double r : {1.0, 9.0, 10.0, 42.0, 100.0, 333.0, 529.0, 600.0}) {
+    const Combination combo = curve.combination(r);
+    EXPECT_GE(capacity(cand, combo), r) << "rate " << r;
+    EXPECT_NEAR(dispatch(cand, combo, r).power, curve.cost(r), 1e-6)
+        << "rate " << r;
+  }
+}
+
+TEST(MinCostCurve, CostIsMonotone) {
+  const Catalog cand = real_candidates();
+  const MinCostCurve curve(cand, 1500.0);
+  double prev = 0.0;
+  for (double r = 0.0; r <= 1500.0; r += 1.0) {
+    const double c = curve.cost(r);
+    EXPECT_GE(c, prev - 1e-9) << "rate " << r;
+    prev = c;
+  }
+}
+
+TEST(MinCostCurve, Validation) {
+  const Catalog cand = real_candidates();
+  EXPECT_THROW(MinCostCurve({}, 10.0), std::invalid_argument);
+  EXPECT_THROW(MinCostCurve(cand, -1.0), std::invalid_argument);
+  const MinCostCurve curve(cand, 10.0);
+  EXPECT_THROW((void)curve.cost(11.0), std::out_of_range);
+  EXPECT_THROW((void)curve.cost(-1.0), std::invalid_argument);
+}
+
+TEST(CrossingPoint, FindsChromebookThreshold) {
+  const Catalog c = real_catalog();
+  const auto chromebook = find_profile(c, "chromebook").value();
+  const auto raspberry = find_profile(c, "raspberry").value();
+  const auto threshold = crossing_point(
+      chromebook,
+      [&raspberry](ReqRate r) { return homogeneous_cost(raspberry, r); });
+  ASSERT_TRUE(threshold.has_value());
+  EXPECT_DOUBLE_EQ(*threshold, 10.0);
+}
+
+TEST(CrossingPoint, GrapheneNeverCrosses) {
+  const Catalog c = real_catalog();
+  const auto graphene = find_profile(c, "graphene").value();
+  const auto chromebook = find_profile(c, "chromebook").value();
+  const auto threshold = crossing_point(
+      graphene,
+      [&chromebook](ReqRate r) { return homogeneous_cost(chromebook, r); });
+  EXPECT_FALSE(threshold.has_value());
+}
+
+TEST(Step3Thresholds, RealCatalogMatchesPaper) {
+  const Catalog cand = real_candidates();  // paravance graphene chromebook rasp
+  const ThresholdResult r = step3_thresholds(cand);
+  ASSERT_EQ(r.thresholds.size(), 4u);
+  ASSERT_TRUE(r.thresholds[0].has_value());   // paravance
+  EXPECT_FALSE(r.thresholds[1].has_value());  // graphene: never preferable
+  ASSERT_TRUE(r.thresholds[2].has_value());   // chromebook
+  ASSERT_TRUE(r.thresholds[3].has_value());   // raspberry
+  EXPECT_DOUBLE_EQ(*r.thresholds[3], 1.0);
+  EXPECT_DOUBLE_EQ(*r.thresholds[2], 10.0);
+  EXPECT_DOUBLE_EQ(*r.thresholds[0], 529.0);
+}
+
+TEST(Step4Thresholds, RealCatalogMatchesPaper) {
+  // After removing graphene (its Step 3 fate), Step 4 on the survivors
+  // reproduces the published thresholds 1 / 10 / 529.
+  Catalog cand = real_candidates();
+  cand.erase(cand.begin() + 1);  // drop graphene
+  const ThresholdResult r = step4_thresholds(cand);
+  ASSERT_EQ(r.thresholds.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.thresholds[0].value(), 529.0);  // paravance
+  EXPECT_DOUBLE_EQ(r.thresholds[1].value(), 10.0);   // chromebook
+  EXPECT_DOUBLE_EQ(r.thresholds[2].value(), 1.0);    // raspberry
+}
+
+TEST(Step3VsStep4, IllustrativeBigThresholdIncreases) {
+  // The Fig. 2 narrative: Step 3 puts Big's threshold right at Medium's
+  // maximum performance; Step 4 (Medium+Little mixes) raises it.
+  const Catalog cand = filter_candidates(illustrative_catalog()).candidates;
+  const ThresholdResult s3 = step3_thresholds(cand);
+  const ThresholdResult s4 = step4_thresholds(cand);
+  ASSERT_TRUE(s3.thresholds[0].has_value());
+  ASSERT_TRUE(s4.thresholds[0].has_value());
+  const auto medium_max = cand[1].max_perf();  // arch-B: 400
+  EXPECT_NEAR(*s3.thresholds[0], medium_max + 1.0, 1.0);
+  EXPECT_GT(*s4.thresholds[0], *s3.thresholds[0]);
+  // Medium's threshold ("around 150") is identical in both steps here.
+  EXPECT_NEAR(*s3.thresholds[1], 151.0, 1.0);
+  EXPECT_DOUBLE_EQ(*s4.thresholds[1], *s3.thresholds[1]);
+}
+
+TEST(Thresholds, LittleIsAlwaysOne) {
+  for (const Catalog& input : {real_catalog(), illustrative_catalog()}) {
+    const Catalog cand = filter_candidates(input).candidates;
+    const ThresholdResult r = step3_thresholds(cand);
+    EXPECT_DOUBLE_EQ(r.thresholds.back().value(), 1.0);
+  }
+}
+
+TEST(Thresholds, EmptyCatalogThrows) {
+  EXPECT_THROW((void)step3_thresholds({}), std::invalid_argument);
+  EXPECT_THROW((void)step4_thresholds({}), std::invalid_argument);
+}
+
+// Property: at its Step 4 threshold, a single machine of the architecture
+// really is no worse than the best mix of smaller ones, and one rate below
+// it is strictly worse (minimality of the threshold).
+TEST(Thresholds, Step4Minimality) {
+  Catalog cand = real_candidates();
+  cand.erase(cand.begin() + 1);  // paravance chromebook raspberry
+  const ThresholdResult r = step4_thresholds(cand);
+  for (std::size_t i = 0; i + 1 < cand.size(); ++i) {
+    const double threshold = r.thresholds[i].value();
+    Catalog smaller(cand.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                    cand.end());
+    const MinCostCurve curve(smaller, cand[i].max_perf());
+    EXPECT_LE(cand[i].power_at(threshold), curve.cost(threshold) + 1e-9);
+    if (threshold > 1.0)
+      EXPECT_GT(cand[i].power_at(threshold - 1.0),
+                curve.cost(threshold - 1.0));
+  }
+}
+
+}  // namespace
+}  // namespace bml

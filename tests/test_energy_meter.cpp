@@ -1,0 +1,86 @@
+// Tests for power/energy_meter: integration, channels, per-day buckets.
+#include "power/energy_meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bml {
+namespace {
+
+TEST(EnergyMeter, IntegratesComputePower) {
+  EnergyMeter meter(1.0);
+  for (int i = 0; i < 100; ++i) {
+    meter.add_compute_sample(50.0);
+    meter.tick();
+  }
+  EXPECT_DOUBLE_EQ(meter.compute_energy(), 5000.0);
+  EXPECT_DOUBLE_EQ(meter.reconfiguration_energy(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.total_energy(), 5000.0);
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 100.0);
+}
+
+TEST(EnergyMeter, SeparatesChannels) {
+  EnergyMeter meter;
+  meter.add_compute_sample(10.0);
+  meter.add_reconfiguration_energy(25.0);
+  meter.tick();
+  EXPECT_DOUBLE_EQ(meter.compute_energy(), 10.0);
+  EXPECT_DOUBLE_EQ(meter.reconfiguration_energy(), 25.0);
+  EXPECT_DOUBLE_EQ(meter.total_energy(), 35.0);
+}
+
+TEST(EnergyMeter, PerDayAttribution) {
+  EnergyMeter meter(1.0);
+  // One full day of 1 W, then half a day of 3 W.
+  for (TimePoint t = 0; t < kSecondsPerDay; ++t) {
+    meter.add_compute_sample(1.0);
+    meter.tick();
+  }
+  for (TimePoint t = 0; t < kSecondsPerDay / 2; ++t) {
+    meter.add_compute_sample(3.0);
+    meter.tick();
+  }
+  const auto days = meter.per_day_total();
+  ASSERT_EQ(days.size(), 2u);
+  EXPECT_DOUBLE_EQ(days[0], static_cast<double>(kSecondsPerDay));
+  EXPECT_DOUBLE_EQ(days[1], 1.5 * static_cast<double>(kSecondsPerDay));
+}
+
+TEST(EnergyMeter, ReconfigurationLandsOnCurrentDay) {
+  EnergyMeter meter(1.0);
+  for (TimePoint t = 0; t < kSecondsPerDay; ++t) meter.tick();
+  meter.add_reconfiguration_energy(100.0);
+  const auto reconf = meter.per_day_reconfiguration();
+  ASSERT_EQ(reconf.size(), 2u);
+  EXPECT_DOUBLE_EQ(reconf[0], 0.0);
+  EXPECT_DOUBLE_EQ(reconf[1], 100.0);
+}
+
+TEST(EnergyMeter, CustomStepScalesEnergy) {
+  EnergyMeter meter(10.0);
+  meter.add_compute_sample(5.0);
+  meter.tick();
+  EXPECT_DOUBLE_EQ(meter.compute_energy(), 50.0);
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 10.0);
+}
+
+TEST(EnergyMeter, Validation) {
+  EXPECT_THROW(EnergyMeter(0.0), std::invalid_argument);
+  EnergyMeter meter;
+  EXPECT_THROW(meter.add_compute_sample(-1.0), std::invalid_argument);
+  EXPECT_THROW(meter.add_reconfiguration_energy(-1.0), std::invalid_argument);
+}
+
+TEST(EnergyMeter, PerDaySumsMatchTotals) {
+  EnergyMeter meter(1.0);
+  for (TimePoint t = 0; t < kSecondsPerDay * 2 + 1234; ++t) {
+    meter.add_compute_sample(static_cast<double>(t % 7));
+    if (t % 1000 == 0) meter.add_reconfiguration_energy(2.5);
+    meter.tick();
+  }
+  double total = 0.0;
+  for (double d : meter.per_day_total()) total += d;
+  EXPECT_NEAR(total, meter.total_energy(), 1e-6);
+}
+
+}  // namespace
+}  // namespace bml

@@ -1,0 +1,110 @@
+// Tests for boot-path fault injection (sim/cluster FaultModel).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/bml_design.hpp"
+#include "predict/predictor.hpp"
+#include "sched/bml_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+
+namespace bml {
+namespace {
+
+Catalog candidates() {
+  return BmlDesign::build(real_catalog()).candidates();
+}
+
+TEST(FaultModel, InactiveByDefault) {
+  const FaultModel none;
+  EXPECT_FALSE(none.active());
+  FaultModel jitter;
+  jitter.boot_time_jitter = 0.2;
+  EXPECT_TRUE(jitter.active());
+}
+
+TEST(FaultModel, ClusterValidatesParameters) {
+  FaultModel bad;
+  bad.boot_failure_prob = 1.5;
+  EXPECT_THROW(Cluster(candidates(), {}, bad), std::invalid_argument);
+  FaultModel bad2;
+  bad2.boot_time_jitter = -0.1;
+  EXPECT_THROW(Cluster(candidates(), {}, bad2), std::invalid_argument);
+}
+
+TEST(FaultInjection, JitteredBootsDeviateFromNominal) {
+  FaultModel faults;
+  faults.boot_time_jitter = 0.3;
+  faults.seed = 42;
+  Cluster cluster(candidates(), {}, faults);
+  // Boot several chromebooks (nominal 12 s); with sigma 0.3 at least one
+  // must finish off the nominal second.
+  cluster.switch_on(1, 8);
+  std::vector<int> completions;
+  for (int s = 1; s <= 40 && cluster.transitioning(); ++s) {
+    const int done = cluster.step();
+    for (int i = 0; i < done; ++i) completions.push_back(s);
+  }
+  ASSERT_EQ(completions.size(), 8u);
+  bool any_off_nominal = false;
+  for (int s : completions)
+    if (s != 12) any_off_nominal = true;
+  EXPECT_TRUE(any_off_nominal);
+}
+
+TEST(FaultInjection, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    FaultModel faults;
+    faults.boot_time_jitter = 0.25;
+    faults.boot_failure_prob = 0.2;
+    faults.seed = seed;
+    Cluster cluster(candidates(), {}, faults);
+    cluster.switch_on(0, 3);
+    int seconds = 0;
+    while (cluster.transitioning()) {
+      cluster.step();
+      ++seconds;
+    }
+    return seconds;
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST(FaultInjection, RetriesLengthenBoots) {
+  FaultModel faults;
+  faults.boot_time_jitter = 0.0;
+  faults.boot_failure_prob = 1.0;  // every boot fails once
+  faults.seed = 1;
+  Cluster cluster(candidates(), {}, faults);
+  cluster.switch_on(1, 1);  // chromebook: nominal 12 s -> 24 s with retry
+  int seconds = 0;
+  while (cluster.transitioning()) {
+    cluster.step();
+    ++seconds;
+  }
+  EXPECT_EQ(seconds, 24);
+}
+
+TEST(FaultInjection, SimulationSurvivesJitterWithPaperWindow) {
+  auto design =
+      std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
+  WorldCupOptions trace_options;
+  trace_options.days = 1;
+  trace_options.peak = 3000.0;
+  const LoadTrace trace = worldcup_like_trace(trace_options);
+
+  SimulatorOptions options;
+  options.faults.boot_time_jitter = 0.2;
+  options.faults.boot_failure_prob = 0.02;
+  options.faults.seed = 3;
+  const Simulator simulator(design->candidates(), options);
+  BmlScheduler scheduler(design, std::make_shared<OracleMaxPredictor>());
+  const SimulationResult r = simulator.run(scheduler, trace);
+  // The 2x window absorbs moderate boot jitter: QoS stays near-perfect.
+  EXPECT_GT(r.qos.served_fraction(), 0.999);
+  EXPECT_GT(r.reconfigurations, 0);
+}
+
+}  // namespace
+}  // namespace bml

@@ -1,0 +1,101 @@
+// Tests for app/load_balancer.
+#include "app/load_balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/candidate_filter.hpp"
+
+namespace bml {
+namespace {
+
+Catalog candidates() {
+  Catalog c = filter_candidates(real_catalog()).candidates;
+  c.erase(c.begin() + 1);  // paravance, chromebook, raspberry
+  return c;
+}
+
+TEST(LoadBalancer, StartsEmpty) {
+  const LoadBalancer lb(candidates());
+  EXPECT_TRUE(lb.backends().empty());
+  EXPECT_DOUBLE_EQ(lb.capacity(), 0.0);
+  EXPECT_THROW(LoadBalancer({}), std::invalid_argument);
+}
+
+TEST(LoadBalancer, ReconfigureCreatesBackends) {
+  LoadBalancer lb(candidates());
+  const auto actions = lb.reconfigure(Combination({1, 2, 0}));
+  ASSERT_EQ(actions.size(), 3u);
+  for (const InstanceAction& a : actions)
+    EXPECT_EQ(a.kind, InstanceAction::Kind::kStart);
+  EXPECT_EQ(lb.backends().size(), 3u);
+  EXPECT_DOUBLE_EQ(lb.capacity(), 1331.0 + 66.0);
+}
+
+TEST(LoadBalancer, ReconfigurePrefersMoves) {
+  LoadBalancer lb(candidates());
+  (void)lb.reconfigure(Combination({0, 16, 0}));
+  const auto actions = lb.reconfigure(Combination({1, 0, 0}));
+  // 16 chromebooks -> 1 paravance: 1 move + 15 stops.
+  int moves = 0, stops = 0, starts = 0;
+  for (const InstanceAction& a : actions) {
+    if (a.kind == InstanceAction::Kind::kMove) ++moves;
+    if (a.kind == InstanceAction::Kind::kStop) ++stops;
+    if (a.kind == InstanceAction::Kind::kStart) ++starts;
+  }
+  EXPECT_EQ(moves, 1);
+  EXPECT_EQ(stops, 15);
+  EXPECT_EQ(starts, 0);
+  EXPECT_EQ(lb.backends().size(), 1u);
+}
+
+TEST(LoadBalancer, RouteSplitsAlongOptimalDispatch) {
+  LoadBalancer lb(candidates());
+  (void)lb.reconfigure(Combination({1, 0, 1}));  // paravance + raspberry
+  const ReqRate served = lb.route(100.0);
+  EXPECT_DOUBLE_EQ(served, 100.0);
+  // Raspberry (lower slope) takes its full 9 req/s; paravance the rest.
+  double rasp_assigned = 0.0, big_assigned = 0.0;
+  for (const Backend& b : lb.backends()) {
+    if (b.arch == 2) rasp_assigned += b.assigned;
+    if (b.arch == 0) big_assigned += b.assigned;
+  }
+  EXPECT_DOUBLE_EQ(rasp_assigned, 9.0);
+  EXPECT_DOUBLE_EQ(big_assigned, 91.0);
+}
+
+TEST(LoadBalancer, WeightsSumToOneUnderLoad) {
+  LoadBalancer lb(candidates());
+  (void)lb.reconfigure(Combination({1, 3, 2}));
+  (void)lb.route(500.0);
+  double total_weight = 0.0;
+  for (const Backend& b : lb.backends()) total_weight += b.weight;
+  EXPECT_NEAR(total_weight, 1.0, 1e-9);
+}
+
+TEST(LoadBalancer, EvenSplitWithinArchitecture) {
+  LoadBalancer lb(candidates());
+  (void)lb.reconfigure(Combination({0, 4, 0}));
+  (void)lb.route(66.0);
+  for (const Backend& b : lb.backends())
+    EXPECT_DOUBLE_EQ(b.assigned, 16.5);  // 66 / 4 chromebooks
+}
+
+TEST(LoadBalancer, OverloadTruncates) {
+  LoadBalancer lb(candidates());
+  (void)lb.reconfigure(Combination({0, 0, 1}));
+  EXPECT_DOUBLE_EQ(lb.route(50.0), 9.0);
+  EXPECT_THROW((void)lb.route(-1.0), std::invalid_argument);
+}
+
+TEST(LoadBalancer, ActionToString) {
+  const Catalog c = candidates();
+  EXPECT_EQ(to_string({InstanceAction::Kind::kMove, 1, 0}, c),
+            "move chromebook -> paravance");
+  EXPECT_EQ(to_string({InstanceAction::Kind::kStart, 0, 2}, c),
+            "start on raspberry");
+  EXPECT_EQ(to_string({InstanceAction::Kind::kStop, 1, 0}, c),
+            "stop on chromebook");
+}
+
+}  // namespace
+}  // namespace bml

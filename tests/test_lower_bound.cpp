@@ -1,0 +1,66 @@
+// Tests for sched/lower_bound — the theoretical per-second yardstick.
+#include "sched/lower_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "predict/predictor.hpp"
+#include "sched/bml_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+
+namespace bml {
+namespace {
+
+TEST(LowerBound, ConstantLoadIsClosedForm) {
+  const BmlDesign design = BmlDesign::build(real_catalog());
+  const LoadTrace trace = constant_trace(100.0, 500.0);
+  const Joules total = theoretical_lower_bound_total(design, trace);
+  EXPECT_NEAR(total, design.ideal_power(100.0) * 500.0, 1e-6);
+}
+
+TEST(LowerBound, PerDaySplitsCorrectly) {
+  const BmlDesign design = BmlDesign::build(real_catalog());
+  const LoadTrace trace =
+      constant_trace(50.0, static_cast<double>(kSecondsPerDay) + 3600.0);
+  const auto days = theoretical_lower_bound_per_day(design, trace);
+  ASSERT_EQ(days.size(), 2u);
+  EXPECT_NEAR(days[0], design.ideal_power(50.0) * kSecondsPerDay, 1e-4);
+  EXPECT_NEAR(days[1], design.ideal_power(50.0) * 3600.0, 1e-4);
+}
+
+TEST(LowerBound, EmptyTrace) {
+  const BmlDesign design = BmlDesign::build(real_catalog());
+  EXPECT_TRUE(theoretical_lower_bound_per_day(design, LoadTrace{}).empty());
+  EXPECT_DOUBLE_EQ(theoretical_lower_bound_total(design, LoadTrace{}), 0.0);
+}
+
+TEST(LowerBound, NeverExceedsSimulatedBml) {
+  // The defining property: no simulated policy with On/Off costs can beat
+  // the per-second ideal re-dimensioning without costs.
+  auto design = std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
+  WorldCupOptions options;
+  options.days = 2;
+  options.peak = 3000.0;
+  options.seed = 17;
+  const LoadTrace trace = worldcup_like_trace(options);
+
+  const Joules lb = theoretical_lower_bound_total(*design, trace);
+  Simulator sim(design->candidates());
+  BmlScheduler scheduler(design, std::make_shared<OracleMaxPredictor>());
+  const SimulationResult r = sim.run(scheduler, trace);
+  EXPECT_LE(lb, r.total_energy());
+}
+
+TEST(LowerBound, ClampsLoadsAboveDesignRange) {
+  BmlDesignOptions options;
+  options.max_rate = 100.0;
+  const BmlDesign design = BmlDesign::build(real_catalog(), options);
+  const LoadTrace trace = constant_trace(500.0, 10.0);  // beyond max_rate
+  const Joules total = theoretical_lower_bound_total(design, trace);
+  EXPECT_NEAR(total, design.ideal_power(100.0) * 10.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace bml

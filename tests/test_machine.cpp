@@ -1,0 +1,114 @@
+// Tests for sim/machine: the Off/Booting/On/ShuttingDown FSM.
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bml {
+namespace {
+
+ArchitectureProfile chromebook() {
+  return ArchitectureProfile("chromebook", 33.0, 4.0, 7.6,
+                             TransitionCost{12.0, 49.3},
+                             TransitionCost{21.0, 77.6});
+}
+
+TEST(SimMachine, InitialStates) {
+  SimMachine off(0);
+  EXPECT_EQ(off.state(), MachineState::kOff);
+  SimMachine on(0, MachineState::kOn);
+  EXPECT_EQ(on.state(), MachineState::kOn);
+  EXPECT_TRUE(on.serving());
+  EXPECT_FALSE(off.serving());
+  EXPECT_THROW(SimMachine(0, MachineState::kBooting), std::invalid_argument);
+}
+
+TEST(SimMachine, BootTakesOnDuration) {
+  const ArchitectureProfile p = chromebook();
+  SimMachine m(0);
+  m.request_on(p);
+  EXPECT_EQ(m.state(), MachineState::kBooting);
+  EXPECT_FALSE(m.serving());
+  int steps = 0;
+  while (m.state() == MachineState::kBooting) {
+    m.step();
+    ++steps;
+    ASSERT_LE(steps, 13);
+  }
+  EXPECT_EQ(steps, 12);  // Table I: Chromebook On duration 12 s
+  EXPECT_EQ(m.state(), MachineState::kOn);
+}
+
+TEST(SimMachine, ShutdownTakesOffDuration) {
+  const ArchitectureProfile p = chromebook();
+  SimMachine m(0, MachineState::kOn);
+  m.request_off(p);
+  EXPECT_EQ(m.state(), MachineState::kShuttingDown);
+  int steps = 0;
+  while (m.state() == MachineState::kShuttingDown) {
+    m.step();
+    ++steps;
+  }
+  EXPECT_EQ(steps, 21);  // Table I: Chromebook Off duration 21 s
+  EXPECT_EQ(m.state(), MachineState::kOff);
+}
+
+TEST(SimMachine, TransitionPowerIntegratesToTableEnergy) {
+  const ArchitectureProfile p = chromebook();
+  SimMachine m(0);
+  m.request_on(p);
+  double energy = 0.0;
+  while (m.state() == MachineState::kBooting) {
+    energy += m.transition_power(p) * 1.0;
+    m.step();
+  }
+  EXPECT_NEAR(energy, 49.3, 1e-9);  // Table I OnE
+
+  m.request_off(p);
+  energy = 0.0;
+  while (m.state() == MachineState::kShuttingDown) {
+    energy += m.transition_power(p) * 1.0;
+    m.step();
+  }
+  EXPECT_NEAR(energy, 77.6, 1e-9);  // Table I OffE
+}
+
+TEST(SimMachine, IllegalTransitionsThrow) {
+  const ArchitectureProfile p = chromebook();
+  SimMachine m(0);
+  EXPECT_THROW(m.request_off(p), std::logic_error);
+  m.request_on(p);
+  EXPECT_THROW(m.request_on(p), std::logic_error);
+  EXPECT_THROW(m.request_off(p), std::logic_error);  // still booting
+}
+
+TEST(SimMachine, ZeroDurationTransitionsAreInstant) {
+  const ArchitectureProfile p("instant", 10.0, 1.0, 2.0, TransitionCost{},
+                              TransitionCost{});
+  SimMachine m(0);
+  m.request_on(p);
+  EXPECT_EQ(m.state(), MachineState::kOn);
+  m.request_off(p);
+  EXPECT_EQ(m.state(), MachineState::kOff);
+}
+
+TEST(SimMachine, StepReportsCompletion) {
+  const ArchitectureProfile p("fast", 10.0, 1.0, 2.0, TransitionCost{2.0, 8.0},
+                              TransitionCost{1.0, 1.0});
+  SimMachine m(0);
+  m.request_on(p);
+  EXPECT_FALSE(m.step());  // 1 s remaining
+  EXPECT_TRUE(m.step());   // completes now
+  EXPECT_EQ(m.state(), MachineState::kOn);
+  EXPECT_FALSE(m.step());  // steady state: no completion events
+  EXPECT_THROW((void)m.step(0.0), std::invalid_argument);
+}
+
+TEST(SimMachine, StatesHaveNames) {
+  EXPECT_STREQ(to_string(MachineState::kOff), "Off");
+  EXPECT_STREQ(to_string(MachineState::kBooting), "Booting");
+  EXPECT_STREQ(to_string(MachineState::kOn), "On");
+  EXPECT_STREQ(to_string(MachineState::kShuttingDown), "ShuttingDown");
+}
+
+}  // namespace
+}  // namespace bml

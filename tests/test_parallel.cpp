@@ -1,0 +1,63 @@
+// Tests for util/parallel.
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace bml {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroItemsIsNoOp) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+               /*threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(parallel_for(100,
+                            [](std::size_t i) {
+                              if (i == 42)
+                                throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, ResultsMatchSequential) {
+  std::vector<double> parallel_out(500), serial_out(500);
+  auto work = [](std::size_t i) {
+    double x = static_cast<double>(i);
+    for (int k = 0; k < 100; ++k) x = x * 1.000001 + 0.5;
+    return x;
+  };
+  parallel_for(parallel_out.size(),
+               [&](std::size_t i) { parallel_out[i] = work(i); });
+  for (std::size_t i = 0; i < serial_out.size(); ++i) serial_out[i] = work(i);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(ParallelInvoke, RunsEveryTask) {
+  std::atomic<int> sum{0};
+  parallel_invoke({[&] { sum += 1; }, [&] { sum += 10; }, [&] { sum += 100; }});
+  EXPECT_EQ(sum.load(), 111);
+}
+
+TEST(DefaultParallelism, AtLeastOne) {
+  EXPECT_GE(default_parallelism(), 1u);
+}
+
+}  // namespace
+}  // namespace bml

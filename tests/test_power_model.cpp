@@ -1,0 +1,109 @@
+// Tests for power/power_model: linear and piecewise curves, validation.
+#include "power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bml {
+namespace {
+
+TEST(LinearPowerModel, EndpointsAndSlope) {
+  // Paravance's Table I numbers.
+  const LinearPowerModel m(69.9, 200.5, 1331.0);
+  EXPECT_DOUBLE_EQ(m.idle_power(), 69.9);
+  EXPECT_DOUBLE_EQ(m.max_power(), 200.5);
+  EXPECT_DOUBLE_EQ(m.max_perf(), 1331.0);
+  EXPECT_DOUBLE_EQ(m.power_at(0.0), 69.9);
+  EXPECT_DOUBLE_EQ(m.power_at(1331.0), 200.5);
+  EXPECT_NEAR(m.slope(), (200.5 - 69.9) / 1331.0, 1e-12);
+  EXPECT_NEAR(m.power_at(665.5), (69.9 + 200.5) / 2.0, 1e-9);
+}
+
+TEST(LinearPowerModel, ClampsOutOfRangeRates) {
+  const LinearPowerModel m(10.0, 20.0, 100.0);
+  EXPECT_DOUBLE_EQ(m.power_at(-5.0), 10.0);
+  EXPECT_DOUBLE_EQ(m.power_at(1000.0), 20.0);
+}
+
+TEST(LinearPowerModel, RejectsNonPhysicalInputs) {
+  EXPECT_THROW(LinearPowerModel(10.0, 20.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(LinearPowerModel(10.0, 20.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(LinearPowerModel(-1.0, 20.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(LinearPowerModel(30.0, 20.0, 10.0), std::invalid_argument);
+}
+
+TEST(LinearPowerModel, CloneIsIndependentEqual) {
+  const LinearPowerModel m(5.0, 10.0, 50.0);
+  const auto c = m.clone();
+  EXPECT_DOUBLE_EQ(c->power_at(25.0), m.power_at(25.0));
+  EXPECT_DOUBLE_EQ(c->idle_power(), 5.0);
+}
+
+TEST(PiecewiseLinearPowerModel, InterpolatesBetweenSamples) {
+  const PiecewiseLinearPowerModel m(
+      {{0.0, 10.0}, {50.0, 30.0}, {100.0, 35.0}});
+  EXPECT_DOUBLE_EQ(m.idle_power(), 10.0);
+  EXPECT_DOUBLE_EQ(m.max_perf(), 100.0);
+  EXPECT_DOUBLE_EQ(m.max_power(), 35.0);
+  EXPECT_DOUBLE_EQ(m.power_at(25.0), 20.0);
+  EXPECT_DOUBLE_EQ(m.power_at(75.0), 32.5);
+  EXPECT_DOUBLE_EQ(m.power_at(50.0), 30.0);  // exact sample point
+}
+
+TEST(PiecewiseLinearPowerModel, ClampsOutOfRange) {
+  const PiecewiseLinearPowerModel m({{0.0, 10.0}, {100.0, 35.0}});
+  EXPECT_DOUBLE_EQ(m.power_at(-1.0), 10.0);
+  EXPECT_DOUBLE_EQ(m.power_at(200.0), 35.0);
+}
+
+TEST(PiecewiseLinearPowerModel, ValidatesSamples) {
+  EXPECT_THROW(PiecewiseLinearPowerModel({{0.0, 10.0}}),
+               std::invalid_argument);
+  // Must start at the idle point.
+  EXPECT_THROW(PiecewiseLinearPowerModel({{1.0, 10.0}, {2.0, 11.0}}),
+               std::invalid_argument);
+  // Strictly increasing rates.
+  EXPECT_THROW(
+      PiecewiseLinearPowerModel({{0.0, 10.0}, {5.0, 12.0}, {5.0, 13.0}}),
+      std::invalid_argument);
+  // Non-negative power.
+  EXPECT_THROW(PiecewiseLinearPowerModel({{0.0, -1.0}, {5.0, 12.0}}),
+               std::invalid_argument);
+}
+
+TEST(PiecewiseLinearPowerModel, TwoPointsMatchLinearModel) {
+  const PiecewiseLinearPowerModel pw({{0.0, 69.9}, {1331.0, 200.5}});
+  const LinearPowerModel lin(69.9, 200.5, 1331.0);
+  for (double r = 0.0; r <= 1331.0; r += 133.1)
+    EXPECT_NEAR(pw.power_at(r), lin.power_at(r), 1e-9) << "rate " << r;
+}
+
+TEST(PowerModel, MeanSlopeConsistent) {
+  const LinearPowerModel m(4.0, 7.6, 33.0);
+  EXPECT_NEAR(m.mean_slope(), (7.6 - 4.0) / 33.0, 1e-12);
+}
+
+// Monotone non-decreasing power over rate must hold for any valid model.
+class LinearMonotonicity
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(LinearMonotonicity, PowerNonDecreasingInRate) {
+  const auto [idle, peak, perf] = GetParam();
+  const LinearPowerModel m(idle, peak, perf);
+  double prev = m.power_at(0.0);
+  for (double r = 0.0; r <= perf; r += perf / 50.0) {
+    const double cur = m.power_at(r);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableOneMachines, LinearMonotonicity,
+    ::testing::Values(std::make_tuple(69.9, 200.5, 1331.0),
+                      std::make_tuple(95.8, 223.7, 860.0),
+                      std::make_tuple(47.7, 123.8, 272.0),
+                      std::make_tuple(4.0, 7.6, 33.0),
+                      std::make_tuple(3.1, 3.7, 9.0)));
+
+}  // namespace
+}  // namespace bml

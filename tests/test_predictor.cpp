@@ -1,0 +1,172 @@
+// Tests for predict/predictor: the oracle window, reactive predictors, and
+// error injection.
+#include "predict/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.hpp"
+
+namespace bml {
+namespace {
+
+TEST(OracleMaxPredictor, MatchesNaiveWindowMax) {
+  const LoadTrace trace({5.0, 1.0, 9.0, 2.0, 7.0, 3.0, 8.0, 0.0});
+  OracleMaxPredictor oracle;
+  for (TimePoint now = 0; now < 8; ++now) {
+    const double naive = trace.max_over(now, now + 3);
+    EXPECT_DOUBLE_EQ(oracle.predict(trace, now, 3.0), naive) << "t=" << now;
+  }
+}
+
+TEST(OracleMaxPredictor, LargeTraceConsistency) {
+  DiurnalOptions options;
+  options.noise = 0.05;
+  const LoadTrace trace = diurnal_trace(options, 1);
+  OracleMaxPredictor oracle;
+  for (TimePoint now : {0L, 100L, 5000L, 40000L, 86000L, 86399L}) {
+    EXPECT_DOUBLE_EQ(oracle.predict(trace, now, 378.0),
+                     trace.max_over(now, now + 378))
+        << "t=" << now;
+  }
+}
+
+TEST(OracleMaxPredictor, BeyondEndIsZero) {
+  const LoadTrace trace({5.0});
+  OracleMaxPredictor oracle;
+  EXPECT_DOUBLE_EQ(oracle.predict(trace, 10, 5.0), 0.0);
+}
+
+TEST(OracleMaxPredictor, CacheInvalidatesOnHorizonChange) {
+  const LoadTrace trace({1.0, 10.0, 2.0, 3.0});
+  OracleMaxPredictor oracle;
+  EXPECT_DOUBLE_EQ(oracle.predict(trace, 2, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(oracle.predict(trace, 2, 2.0), 3.0);
+}
+
+TEST(OracleMaxPredictor, Validation) {
+  const LoadTrace trace({1.0});
+  OracleMaxPredictor oracle;
+  EXPECT_THROW((void)oracle.predict(trace, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)oracle.predict(trace, -1, 1.0), std::invalid_argument);
+}
+
+TEST(LastValuePredictor, ReadsOnlyHistory) {
+  const LoadTrace trace({5.0, 7.0, 100.0});
+  LastValuePredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(trace, 0, 60.0), 0.0);  // no history yet
+  EXPECT_DOUBLE_EQ(p.predict(trace, 1, 60.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.predict(trace, 2, 60.0), 7.0);  // blind to the spike
+}
+
+TEST(MovingMaxPredictor, TrailingWindow) {
+  const LoadTrace trace({9.0, 1.0, 2.0, 3.0});
+  MovingMaxPredictor p(2.0);
+  EXPECT_DOUBLE_EQ(p.predict(trace, 0, 60.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.predict(trace, 1, 60.0), 9.0);
+  EXPECT_DOUBLE_EQ(p.predict(trace, 3, 60.0), 2.0);  // window {1,2}
+  EXPECT_THROW(MovingMaxPredictor(0.0), std::invalid_argument);
+}
+
+TEST(EwmaPredictor, ConvergesToConstantLoad) {
+  const LoadTrace trace(std::vector<double>(100, 50.0));
+  EwmaPredictor p(0.2, /*headroom=*/1.0);
+  double last = 0.0;
+  for (TimePoint t = 1; t <= 100; ++t) last = p.predict(trace, t, 60.0);
+  EXPECT_NEAR(last, 50.0, 1e-6);
+}
+
+TEST(EwmaPredictor, HeadroomScalesOutput) {
+  const LoadTrace trace(std::vector<double>(10, 100.0));
+  EwmaPredictor p(1.0, 1.2);
+  EXPECT_NEAR(p.predict(trace, 5, 60.0), 120.0, 1e-9);
+}
+
+TEST(EwmaPredictor, Validation) {
+  EXPECT_THROW(EwmaPredictor(0.0), std::invalid_argument);
+  EXPECT_THROW(EwmaPredictor(1.5), std::invalid_argument);
+  EXPECT_THROW(EwmaPredictor(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(LinearTrendPredictor, ExtrapolatesRisingLoad) {
+  // Load rises 1 req/s every second; the horizon-end prediction must
+  // exceed the last observation.
+  std::vector<double> rates;
+  for (int i = 0; i < 100; ++i) rates.push_back(static_cast<double>(i));
+  const LoadTrace trace(rates);
+  LinearTrendPredictor p(50.0);
+  const double predicted = p.predict(trace, 100, 60.0);
+  EXPECT_NEAR(predicted, 159.0, 2.0);  // 99 + 60 extrapolated
+}
+
+TEST(LinearTrendPredictor, FallingLoadNeverBelowLastValue) {
+  std::vector<double> rates;
+  for (int i = 0; i < 100; ++i) rates.push_back(100.0 - i);
+  const LoadTrace trace(rates);
+  LinearTrendPredictor p(50.0);
+  EXPECT_GE(p.predict(trace, 100, 60.0), 1.0);
+  EXPECT_THROW(LinearTrendPredictor(1.0), std::invalid_argument);
+}
+
+TEST(ErrorInjectingPredictor, ZeroSigmaZeroBiasIsIdentity) {
+  const LoadTrace trace({5.0, 6.0, 7.0});
+  ErrorInjectingPredictor p(std::make_unique<OracleMaxPredictor>(), 0.0, 0.0,
+                            1);
+  EXPECT_DOUBLE_EQ(p.predict(trace, 0, 3.0), 7.0);
+  EXPECT_EQ(p.name(), "oracle-max+error");
+}
+
+TEST(ErrorInjectingPredictor, BiasShiftsPrediction) {
+  const LoadTrace trace({100.0});
+  ErrorInjectingPredictor p(std::make_unique<OracleMaxPredictor>(), 0.0, 0.2,
+                            1);
+  EXPECT_NEAR(p.predict(trace, 0, 1.0), 120.0, 1e-9);
+}
+
+TEST(ErrorInjectingPredictor, DeterministicPerSeed) {
+  const LoadTrace trace(std::vector<double>(50, 10.0));
+  ErrorInjectingPredictor a(std::make_unique<OracleMaxPredictor>(), 0.3, 0.0,
+                            9);
+  ErrorInjectingPredictor b(std::make_unique<OracleMaxPredictor>(), 0.3, 0.0,
+                            9);
+  for (TimePoint t = 0; t < 20; ++t)
+    EXPECT_DOUBLE_EQ(a.predict(trace, t, 5.0), b.predict(trace, t, 5.0));
+}
+
+TEST(ErrorInjectingPredictor, NeverNegative) {
+  const LoadTrace trace(std::vector<double>(200, 1.0));
+  ErrorInjectingPredictor p(std::make_unique<OracleMaxPredictor>(), 3.0, 0.0,
+                            4);
+  for (TimePoint t = 0; t < 200; ++t)
+    EXPECT_GE(p.predict(trace, t, 5.0), 0.0);
+}
+
+TEST(ErrorInjectingPredictor, Validation) {
+  EXPECT_THROW(
+      ErrorInjectingPredictor(nullptr, 0.1, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(ErrorInjectingPredictor(std::make_unique<OracleMaxPredictor>(),
+                                       -0.1, 0.0, 1),
+               std::invalid_argument);
+}
+
+// Property: the oracle prediction always covers the true load at every
+// second inside the window — the guarantee the scheduler's QoS rests on.
+class OracleCoverage : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleCoverage, PredictionCoversWindow) {
+  DiurnalOptions options;
+  options.noise = 0.1;
+  options.seed = GetParam();
+  const LoadTrace trace = diurnal_trace(options, 1);
+  OracleMaxPredictor oracle;
+  for (TimePoint t = 0; t < 86400; t += 1009) {
+    const double predicted = oracle.predict(trace, t, 378.0);
+    for (TimePoint s = t; s < t + 378 && s < 86400; s += 41)
+      ASSERT_GE(predicted, trace.at(s)) << "t=" << t << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleCoverage,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace bml

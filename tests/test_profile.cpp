@@ -1,0 +1,83 @@
+// Tests for arch/profile: construction, validation, copy semantics.
+#include "arch/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bml {
+namespace {
+
+ArchitectureProfile paravance() {
+  return ArchitectureProfile("paravance", 1331.0, 69.9, 200.5,
+                             TransitionCost{189.0, 21341.0},
+                             TransitionCost{10.0, 657.0});
+}
+
+TEST(TransitionCost, AveragePower) {
+  const TransitionCost on{189.0, 21341.0};
+  EXPECT_NEAR(on.average_power(), 21341.0 / 189.0, 1e-9);
+  const TransitionCost instant{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(instant.average_power(), 0.0);
+}
+
+TEST(ArchitectureProfile, TableOneAccessors) {
+  const ArchitectureProfile p = paravance();
+  EXPECT_EQ(p.name(), "paravance");
+  EXPECT_DOUBLE_EQ(p.max_perf(), 1331.0);
+  EXPECT_DOUBLE_EQ(p.idle_power(), 69.9);
+  EXPECT_DOUBLE_EQ(p.max_power(), 200.5);
+  EXPECT_DOUBLE_EQ(p.on_cost().duration, 189.0);
+  EXPECT_DOUBLE_EQ(p.off_cost().energy, 657.0);
+  EXPECT_NEAR(p.slope(), (200.5 - 69.9) / 1331.0, 1e-12);
+  EXPECT_NEAR(p.full_load_efficiency(), 200.5 / 1331.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p.round_trip_energy(), 21341.0 + 657.0);
+}
+
+TEST(ArchitectureProfile, PowerCurveIsLinear) {
+  const ArchitectureProfile p = paravance();
+  const double mid = p.power_at(1331.0 / 2.0);
+  EXPECT_NEAR(mid, (69.9 + 200.5) / 2.0, 1e-9);
+}
+
+TEST(ArchitectureProfile, PiecewiseConstruction) {
+  const ArchitectureProfile p("custom",
+                              {{0.0, 5.0}, {50.0, 20.0}, {100.0, 25.0}},
+                              TransitionCost{1.0, 10.0},
+                              TransitionCost{1.0, 5.0});
+  EXPECT_DOUBLE_EQ(p.max_perf(), 100.0);
+  EXPECT_DOUBLE_EQ(p.idle_power(), 5.0);
+  EXPECT_DOUBLE_EQ(p.power_at(25.0), 12.5);
+}
+
+TEST(ArchitectureProfile, Validation) {
+  EXPECT_THROW(ArchitectureProfile("", 10.0, 1.0, 2.0, {}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(ArchitectureProfile("x", 10.0, 1.0, 2.0,
+                                   TransitionCost{-1.0, 0.0}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(ArchitectureProfile("x", 10.0, 1.0, 2.0, {},
+                                   TransitionCost{1.0, -5.0}),
+               std::invalid_argument);
+  // Non-physical power curve delegated to the model.
+  EXPECT_THROW(ArchitectureProfile("x", 10.0, 5.0, 2.0, {}, {}),
+               std::invalid_argument);
+}
+
+TEST(ArchitectureProfile, CopyIsDeep) {
+  const ArchitectureProfile original = paravance();
+  ArchitectureProfile copy = original;
+  EXPECT_EQ(copy, original);  // equality is by name
+  EXPECT_DOUBLE_EQ(copy.power_at(100.0), original.power_at(100.0));
+  ArchitectureProfile assigned("other", 1.0, 0.5, 0.9, {}, {});
+  assigned = original;
+  EXPECT_DOUBLE_EQ(assigned.max_perf(), 1331.0);
+}
+
+TEST(Role, ToString) {
+  EXPECT_EQ(to_string(Role::kBig), "Big");
+  EXPECT_EQ(to_string(Role::kMedium), "Medium");
+  EXPECT_EQ(to_string(Role::kLittle), "Little");
+  EXPECT_EQ(to_string(Role::kUnassigned), "Unassigned");
+}
+
+}  // namespace
+}  // namespace bml

@@ -1,0 +1,149 @@
+// Tests for profiling/: the simulated testbed and the Step 1 profiler.
+#include "profiling/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/catalog.hpp"
+
+namespace bml {
+namespace {
+
+MachineSpec chromebook_spec() {
+  return MachineSpec(
+      find_profile(real_catalog(), "chromebook").value());
+}
+
+TEST(SimulatedMachine, OffMachineDrawsNothingServesNothing) {
+  SimulatedMachine m(chromebook_spec(), 1);
+  EXPECT_EQ(m.state(), MachineState::kOff);
+  EXPECT_DOUBLE_EQ(m.observe_power(), 0.0);
+  m.set_clients(10);
+  EXPECT_DOUBLE_EQ(m.observe_throughput(), 0.0);
+}
+
+TEST(SimulatedMachine, BootReachesOnAfterTableDuration) {
+  SimulatedMachine m(chromebook_spec(), 1);
+  m.power_on();
+  EXPECT_EQ(m.state(), MachineState::kBooting);
+  for (int s = 0; s < 12; ++s) {
+    EXPECT_GT(m.observe_power(), 0.0);  // boot draw is visible
+    m.tick();
+  }
+  EXPECT_EQ(m.state(), MachineState::kOn);
+}
+
+TEST(SimulatedMachine, ThroughputSaturatesNearTruth) {
+  MachineSpec spec = chromebook_spec();
+  spec.throughput_noise = 0.0;
+  SimulatedMachine m(spec, 1);
+  m.power_on();
+  while (m.state() != MachineState::kOn) m.tick();
+  m.set_clients(1000);  // deep saturation
+  EXPECT_NEAR(m.observe_throughput(), 33.0, 0.5);
+  m.set_clients(4);  // half of saturation scale (4 clients, k=4)
+  EXPECT_NEAR(m.observe_throughput(), 33.0 * 0.5, 0.5);
+}
+
+TEST(SimulatedMachine, PowerTracksLoad) {
+  MachineSpec spec = chromebook_spec();
+  spec.power_noise = 0.0;
+  SimulatedMachine m(spec, 1);
+  m.power_on();
+  while (m.state() != MachineState::kOn) m.tick();
+  m.set_clients(0);
+  EXPECT_NEAR(m.observe_power(), 4.0, 1e-9);  // idle
+  m.set_clients(1000);
+  EXPECT_NEAR(m.observe_power(), 7.6, 0.05);  // near peak
+}
+
+TEST(SimulatedMachine, IllegalTransitionsThrow) {
+  SimulatedMachine m(chromebook_spec(), 1);
+  EXPECT_THROW(m.power_off(), std::logic_error);
+  m.power_on();
+  EXPECT_THROW(m.power_on(), std::logic_error);
+  EXPECT_THROW(m.set_clients(-1), std::invalid_argument);
+}
+
+TEST(Wattmeter, AveragesOverWindow) {
+  MachineSpec spec = chromebook_spec();
+  spec.power_noise = 0.0;
+  SimulatedMachine m(spec, 1);
+  m.power_on();
+  while (m.state() != MachineState::kOn) m.tick();
+  EXPECT_NEAR(Wattmeter::average_power(m, 10.0), 4.0, 1e-9);
+  EXPECT_NEAR(Wattmeter::energy(m, 10.0), 40.0, 1e-9);
+  EXPECT_THROW((void)Wattmeter::average_power(m, 0.0), std::invalid_argument);
+}
+
+TEST(Profiler, MeasuresTransitionCosts) {
+  Profiler profiler;
+  SimulatedMachine m(chromebook_spec(), 2);
+  const TransitionCost on = profiler.measure_on_cost(m);
+  EXPECT_DOUBLE_EQ(on.duration, 12.0);
+  EXPECT_NEAR(on.energy, 49.3, 49.3 * 0.1);  // within noise
+  const TransitionCost off = profiler.measure_off_cost(m);
+  EXPECT_DOUBLE_EQ(off.duration, 21.0);
+  EXPECT_NEAR(off.energy, 77.6, 77.6 * 0.1);
+}
+
+TEST(Profiler, RampStopsAtSaturation) {
+  Profiler profiler;
+  SimulatedMachine m(chromebook_spec(), 3);
+  m.power_on();
+  while (m.state() != MachineState::kOn) m.tick();
+  const auto steps = profiler.ramp(m);
+  ASSERT_GE(steps.size(), 2u);
+  // The last two steps differ by less than the saturation tolerance.
+  const double prev = steps[steps.size() - 2].throughput;
+  const double last = steps.back().throughput;
+  EXPECT_LT((last - prev) / prev, profiler.options().saturation_tolerance);
+}
+
+TEST(Profiler, RecoverselTableOneWithinNoise) {
+  Profiler profiler;
+  const ArchitectureProfile truth =
+      find_profile(real_catalog(), "chromebook").value();
+  SimulatedMachine m(MachineSpec(truth), 4);
+  const ArchitectureProfile measured = profiler.profile(m);
+  EXPECT_EQ(m.state(), MachineState::kOff);  // left powered down
+  EXPECT_NEAR(measured.max_perf(), truth.max_perf(),
+              truth.max_perf() * 0.08);
+  EXPECT_NEAR(measured.idle_power(), truth.idle_power(),
+              truth.idle_power() * 0.08);
+  EXPECT_NEAR(measured.max_power(), truth.max_power(),
+              truth.max_power() * 0.08);
+  EXPECT_DOUBLE_EQ(measured.on_cost().duration, truth.on_cost().duration);
+}
+
+TEST(Profiler, IntermediatePointsBuildPiecewiseProfile) {
+  ProfilerOptions options;
+  options.intermediate_points = 3;
+  Profiler profiler(options);
+  SimulatedMachine m(chromebook_spec(), 5);
+  const ArchitectureProfile measured = profiler.profile(m);
+  // The piecewise curve still spans idle to peak.
+  EXPECT_NEAR(measured.idle_power(), 4.0, 0.5);
+  EXPECT_NEAR(measured.max_perf(), 33.0, 3.0);
+}
+
+TEST(Profiler, OptionValidation) {
+  ProfilerOptions bad;
+  bad.test_duration = 0.0;
+  EXPECT_THROW(Profiler{bad}, std::invalid_argument);
+  ProfilerOptions bad2;
+  bad2.repetitions = 0;
+  EXPECT_THROW(Profiler{bad2}, std::invalid_argument);
+  ProfilerOptions bad3;
+  bad3.client_growth = 1.0;
+  EXPECT_THROW(Profiler{bad3}, std::invalid_argument);
+}
+
+TEST(Profiler, LoadTestRequiresOnMachine) {
+  Profiler profiler;
+  SimulatedMachine m(chromebook_spec(), 6);
+  EXPECT_THROW((void)profiler.run_load_test(m, 4), std::logic_error);
+  EXPECT_THROW((void)profiler.measure_off_cost(m), std::logic_error);
+}
+
+}  // namespace
+}  // namespace bml

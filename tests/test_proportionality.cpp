@@ -1,0 +1,88 @@
+// Tests for power/proportionality: IPR, LDR, composite score.
+#include "power/proportionality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bml {
+namespace {
+
+TEST(Ipr, KnownValues) {
+  EXPECT_DOUBLE_EQ(ideal_to_peak_ratio(50.0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(ideal_to_peak_ratio(0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(ideal_to_peak_ratio(100.0, 100.0), 1.0);
+}
+
+TEST(Ipr, Validation) {
+  EXPECT_THROW((void)ideal_to_peak_ratio(10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)ideal_to_peak_ratio(-1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)ideal_to_peak_ratio(20.0, 10.0), std::invalid_argument);
+}
+
+TEST(Ldr, LinearCurveIsZero) {
+  const PowerCurve linear = [](double u) { return 10.0 + 90.0 * u; };
+  EXPECT_NEAR(linear_deviation_ratio(linear), 0.0, 1e-12);
+}
+
+TEST(Ldr, ConvexCurveNegative) {
+  // Power below the chord: super-linear efficiency at low load.
+  const PowerCurve convex = [](double u) { return 100.0 * u * u; };
+  EXPECT_LT(linear_deviation_ratio(convex), 0.0);
+}
+
+TEST(Ldr, ConcaveCurvePositive) {
+  const PowerCurve concave = [](double u) { return 100.0 * std::sqrt(u); };
+  EXPECT_GT(linear_deviation_ratio(concave), 0.0);
+}
+
+TEST(Ldr, Validation) {
+  const PowerCurve linear = [](double u) { return u; };
+  EXPECT_THROW((void)linear_deviation_ratio(linear, 1), std::invalid_argument);
+  const PowerCurve zero_peak = [](double) { return 0.0; };
+  EXPECT_THROW((void)linear_deviation_ratio(zero_peak), std::invalid_argument);
+}
+
+TEST(Score, IdealCurveScoresOne) {
+  const PowerCurve ideal = [](double u) { return 100.0 * u; };
+  EXPECT_NEAR(proportionality_score(ideal), 1.0, 1e-6);
+}
+
+TEST(Score, FlatConsumerScoresNearZero) {
+  const PowerCurve flat = [](double) { return 100.0; };
+  EXPECT_NEAR(proportionality_score(flat), 0.0, 2e-3);
+}
+
+TEST(Score, HalfIdleScoresHalf) {
+  // idle = 50% of peak, linear: area = 0.75, score = 1 - 0.25/0.5 = 0.5.
+  const PowerCurve half = [](double u) { return 50.0 + 50.0 * u; };
+  EXPECT_NEAR(proportionality_score(half), 0.5, 2e-3);
+}
+
+TEST(Score, OrdersMachinesByIdleFraction) {
+  // A lower idle fraction must score strictly better for linear curves.
+  const PowerCurve low_idle = [](double u) { return 10.0 + 90.0 * u; };
+  const PowerCurve high_idle = [](double u) { return 60.0 + 40.0 * u; };
+  EXPECT_GT(proportionality_score(low_idle),
+            proportionality_score(high_idle));
+}
+
+// IPR and score must agree on the ordering of linear curves.
+class IprScoreAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(IprScoreAgreement, LinearCurveScoreIsOneMinusHalfIpr) {
+  const double idle_fraction = GetParam();
+  const PowerCurve curve = [idle_fraction](double u) {
+    return 100.0 * (idle_fraction + (1.0 - idle_fraction) * u);
+  };
+  // For linear curves: area = idle + (1-idle)/2, score = 1 - idle.
+  EXPECT_NEAR(proportionality_score(curve), 1.0 - idle_fraction, 2e-3);
+  EXPECT_NEAR(ideal_to_peak_ratio(100.0 * idle_fraction, 100.0),
+              idle_fraction, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(IdleFractions, IprScoreAgreement,
+                         ::testing::Values(0.0, 0.1, 0.35, 0.5, 0.84, 1.0));
+
+}  // namespace
+}  // namespace bml

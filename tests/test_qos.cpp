@@ -1,0 +1,52 @@
+// Tests for sim/qos.
+#include "sim/qos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bml {
+namespace {
+
+TEST(HeadroomFactor, ClassValues) {
+  EXPECT_GT(headroom_factor(QosClass::kCritical), 1.0);
+  EXPECT_DOUBLE_EQ(headroom_factor(QosClass::kTolerant), 1.0);
+}
+
+TEST(QosTracker, NoViolationsWhenCapacityCovers) {
+  QosTracker tracker;
+  for (int i = 0; i < 10; ++i) tracker.record(50.0, 100.0);
+  const QosStats& s = tracker.stats();
+  EXPECT_EQ(s.violation_seconds, 0);
+  EXPECT_DOUBLE_EQ(s.unserved_requests, 0.0);
+  EXPECT_DOUBLE_EQ(s.served_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(s.availability(), 1.0);
+  EXPECT_EQ(s.total_seconds, 10);
+  EXPECT_DOUBLE_EQ(s.offered_requests, 500.0);
+}
+
+TEST(QosTracker, AccountsShortfalls) {
+  QosTracker tracker;
+  tracker.record(100.0, 60.0);  // 40 dropped
+  tracker.record(100.0, 100.0);
+  tracker.record(30.0, 0.0);    // all dropped
+  const QosStats& s = tracker.stats();
+  EXPECT_EQ(s.violation_seconds, 2);
+  EXPECT_DOUBLE_EQ(s.unserved_requests, 70.0);
+  EXPECT_DOUBLE_EQ(s.worst_shortfall, 40.0);
+  EXPECT_NEAR(s.served_fraction(), 1.0 - 70.0 / 230.0, 1e-12);
+  EXPECT_NEAR(s.availability(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(QosTracker, EmptyStatsAreClean) {
+  const QosStats s;
+  EXPECT_DOUBLE_EQ(s.served_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(s.availability(), 1.0);
+}
+
+TEST(QosTracker, RejectsNegativeInputs) {
+  QosTracker tracker;
+  EXPECT_THROW((void)tracker.record(-1.0, 5.0), std::invalid_argument);
+  EXPECT_THROW((void)tracker.record(1.0, -5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bml

@@ -1,0 +1,86 @@
+// Tests for power/rapl — capped power models and the homogeneous-RAPL foil.
+#include "power/rapl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/catalog.hpp"
+#include "core/bml_design.hpp"
+
+namespace bml {
+namespace {
+
+LinearPowerModel paravance_model() {
+  return LinearPowerModel(69.9, 200.5, 1331.0);
+}
+
+TEST(PowerCappedModel, CapClipsPowerAndPerformance) {
+  const PowerCappedModel capped(paravance_model(), 150.0);
+  EXPECT_DOUBLE_EQ(capped.cap(), 150.0);
+  EXPECT_DOUBLE_EQ(capped.idle_power(), 69.9);
+  EXPECT_NEAR(capped.max_power(), 150.0, 1e-6);
+  // Performance saturates where the linear curve hits 150 W.
+  const double expected_perf = (150.0 - 69.9) / ((200.5 - 69.9) / 1331.0);
+  EXPECT_NEAR(capped.max_perf(), expected_perf, 1e-3);
+  // Below the cap the curve is untouched.
+  EXPECT_NEAR(capped.power_at(100.0), paravance_model().power_at(100.0),
+              1e-9);
+  // Beyond the capped rate the draw clamps at the cap.
+  EXPECT_NEAR(capped.power_at(1331.0), 150.0, 1e-6);
+}
+
+TEST(PowerCappedModel, GenerousCapChangesNothing) {
+  const PowerCappedModel capped(paravance_model(), 500.0);
+  EXPECT_DOUBLE_EQ(capped.max_perf(), 1331.0);
+  EXPECT_DOUBLE_EQ(capped.max_power(), 200.5);
+}
+
+TEST(PowerCappedModel, CapBelowIdleRejected) {
+  EXPECT_THROW(PowerCappedModel(paravance_model(), 50.0),
+               std::invalid_argument);
+}
+
+TEST(PowerCappedModel, CloneRoundTrips) {
+  const PowerCappedModel capped(paravance_model(), 150.0);
+  const auto clone = capped.clone();
+  EXPECT_NEAR(clone->power_at(400.0), capped.power_at(400.0), 1e-9);
+}
+
+TEST(RaplHomogeneous, IdleFleetPaysFullIdle) {
+  const auto big = find_profile(real_catalog(), "paravance").value();
+  EXPECT_DOUBLE_EQ(rapl_homogeneous_power(big, 4, 0.0), 4 * 69.9);
+}
+
+TEST(RaplHomogeneous, FullLoadMatchesPeak) {
+  const auto big = find_profile(real_catalog(), "paravance").value();
+  EXPECT_NEAR(rapl_homogeneous_power(big, 4, 4 * 1331.0), 4 * 200.5, 1e-9);
+}
+
+TEST(RaplHomogeneous, SpreadsEvenly) {
+  const auto big = find_profile(real_catalog(), "paravance").value();
+  // 2 machines at 1331 total: each serves 665.5.
+  EXPECT_NEAR(rapl_homogeneous_power(big, 2, 1331.0),
+              2 * big.power_at(665.5), 1e-9);
+  EXPECT_THROW((void)rapl_homogeneous_power(big, 0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)rapl_homogeneous_power(big, 1, -1.0),
+               std::invalid_argument);
+}
+
+TEST(RaplVsBml, CappingCannotShedIdle) {
+  // Section II's argument, quantified: at low load the ideally capped
+  // homogeneous fleet still pays 4 idle Paravances; BML runs a Raspberry.
+  const auto big = find_profile(real_catalog(), "paravance").value();
+  const BmlDesign design = BmlDesign::build(real_catalog());
+  const Watts rapl_low = rapl_homogeneous_power(big, 4, 5.0);
+  const Watts bml_low = design.ideal_power(5.0);
+  EXPECT_GT(rapl_low, 4 * 69.9 - 1e-9);
+  EXPECT_LT(bml_low, 4.0);
+  EXPECT_GT(rapl_low / bml_low, 50.0);
+  // At full fleet load the two converge.
+  const Watts rapl_high = rapl_homogeneous_power(big, 4, 4 * 1331.0);
+  const Watts bml_high = design.ideal_power(4 * 1331.0);
+  EXPECT_NEAR(rapl_high, bml_high, 1.0);
+}
+
+}  // namespace
+}  // namespace bml

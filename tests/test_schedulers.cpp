@@ -1,0 +1,177 @@
+// Tests for sched/: BmlScheduler decisions, baselines, hysteresis.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sched/baselines.hpp"
+#include "sched/bml_scheduler.hpp"
+#include "trace/synthetic.hpp"
+
+namespace bml {
+namespace {
+
+std::shared_ptr<BmlDesign> design() {
+  static auto d = std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
+  return d;
+}
+
+ClusterSnapshot empty_snapshot() { return ClusterSnapshot{}; }
+
+TEST(BmlScheduler, DefaultWindowIsTwiceLongestOn) {
+  // Paravance has the longest On duration (189 s): window = 378 s, the
+  // paper's value.
+  BmlScheduler scheduler(design(), std::make_shared<OracleMaxPredictor>());
+  EXPECT_DOUBLE_EQ(scheduler.window(), 378.0);
+  EXPECT_DOUBLE_EQ(BmlScheduler::default_window(*design()), 378.0);
+}
+
+TEST(BmlScheduler, DecidesIdealCombinationForWindowMax) {
+  BmlScheduler scheduler(design(), std::make_shared<OracleMaxPredictor>());
+  const LoadTrace trace = step_trace({{5.0, 100.0}, {600.0, 400.0}});
+  // At t=0 the window [0,378) already contains the 600 step.
+  const auto target = scheduler.decide(0, trace, empty_snapshot());
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(*target, design()->ideal_combination(600.0));
+}
+
+TEST(BmlScheduler, InitialCombinationCoversFirstSecond) {
+  BmlScheduler scheduler(design(), std::make_shared<LastValuePredictor>());
+  // Reactive predictor knows nothing at t=0; the initial sizing must still
+  // cover the first second's load.
+  const LoadTrace trace = constant_trace(500.0, 100.0);
+  const Combination initial = scheduler.initial_combination(trace);
+  EXPECT_GE(capacity(design()->candidates(), initial), 500.0);
+}
+
+TEST(BmlScheduler, CriticalQosAddsHeadroom) {
+  BmlScheduler tolerant(design(), std::make_shared<OracleMaxPredictor>(),
+                        0.0, QosClass::kTolerant);
+  BmlScheduler critical(design(), std::make_shared<OracleMaxPredictor>(),
+                        0.0, QosClass::kCritical);
+  const LoadTrace trace = constant_trace(500.0, 1000.0);
+  const auto t = tolerant.decide(0, trace, empty_snapshot());
+  const auto c = critical.decide(0, trace, empty_snapshot());
+  EXPECT_GE(capacity(design()->candidates(), *c),
+            capacity(design()->candidates(), *t));
+  EXPECT_GE(capacity(design()->candidates(), *c), 550.0);  // 1.1 headroom
+}
+
+TEST(BmlScheduler, NameIncludesPredictor) {
+  BmlScheduler scheduler(design(), std::make_shared<OracleMaxPredictor>());
+  EXPECT_EQ(scheduler.name(), "bml(oracle-max)");
+}
+
+TEST(BmlScheduler, Validation) {
+  EXPECT_THROW(
+      BmlScheduler(nullptr, std::make_shared<OracleMaxPredictor>()),
+      std::invalid_argument);
+  EXPECT_THROW(BmlScheduler(design(), nullptr), std::invalid_argument);
+}
+
+TEST(StaticMaxScheduler, SizesForGlobalPeak) {
+  StaticMaxScheduler scheduler(design()->big(), 0);
+  // The paper: peak needing 4 Bigs -> 4 always-on machines.
+  EXPECT_EQ(scheduler.machines_for(5200.0), 4);
+  EXPECT_EQ(scheduler.machines_for(1331.0), 1);
+  EXPECT_EQ(scheduler.machines_for(1332.0), 2);
+  EXPECT_EQ(scheduler.machines_for(0.0), 1);  // never zero machines
+  EXPECT_THROW((void)scheduler.machines_for(-1.0), std::invalid_argument);
+
+  const LoadTrace trace = constant_trace(5200.0, 10.0);
+  const auto combo = scheduler.decide(0, trace, ClusterSnapshot{});
+  ASSERT_TRUE(combo.has_value());
+  EXPECT_EQ(combo->count(0), 4);
+}
+
+TEST(StaticMaxScheduler, ConstantAcrossTime) {
+  StaticMaxScheduler scheduler(design()->big(), 0);
+  const LoadTrace trace = step_trace({{5000.0, 10.0}, {5.0, 100.0}});
+  const auto early = scheduler.decide(0, trace, ClusterSnapshot{});
+  const auto late = scheduler.decide(50, trace, ClusterSnapshot{});
+  EXPECT_EQ(*early, *late);
+}
+
+TEST(PerDayScheduler, ResizesAtMidnight) {
+  PerDayScheduler scheduler(design()->big(), 0);
+  std::vector<double> rates(static_cast<std::size_t>(kSecondsPerDay) * 2,
+                            100.0);
+  rates[100] = 2000.0;  // day 0 needs 2 bigs
+  // day 1 peak stays 100 -> 1 big
+  const LoadTrace trace(std::move(rates));
+  const auto day0 = scheduler.decide(0, trace, ClusterSnapshot{});
+  const auto day1 = scheduler.decide(kSecondsPerDay + 5, trace,
+                                     ClusterSnapshot{});
+  EXPECT_EQ(day0->count(0), 2);
+  EXPECT_EQ(day1->count(0), 1);
+  EXPECT_EQ(scheduler.initial_combination(trace).count(0), 2);
+  // Beyond the trace: no opinion.
+  EXPECT_FALSE(
+      scheduler.decide(kSecondsPerDay * 5, trace, ClusterSnapshot{})
+          .has_value());
+}
+
+TEST(ReactiveScheduler, FollowsInstantaneousLoad) {
+  ReactiveScheduler scheduler(design());
+  const LoadTrace trace = step_trace({{5.0, 10.0}, {600.0, 10.0}});
+  EXPECT_EQ(*scheduler.decide(0, trace, ClusterSnapshot{}),
+            design()->ideal_combination(5.0));
+  EXPECT_EQ(*scheduler.decide(15, trace, ClusterSnapshot{}),
+            design()->ideal_combination(600.0));
+  EXPECT_THROW(ReactiveScheduler(design(), 0.5), std::invalid_argument);
+  EXPECT_THROW(ReactiveScheduler(nullptr), std::invalid_argument);
+}
+
+TEST(HysteresisScheduler, ScaleUpImmediateScaleDownDelayed) {
+  auto inner = std::make_shared<ReactiveScheduler>(design());
+  HysteresisScheduler scheduler(inner, design(), /*hold=*/100.0);
+  // 600 -> 5 -> (held) -> eventually follows.
+  const LoadTrace trace =
+      step_trace({{600.0, 10.0}, {5.0, 300.0}});
+  const Combination big = design()->ideal_combination(600.0);
+  const Combination little = design()->ideal_combination(5.0);
+
+  EXPECT_EQ(*scheduler.decide(0, trace, ClusterSnapshot{}), big);
+  // Scale-down requested at t=15 but held.
+  EXPECT_EQ(*scheduler.decide(15, trace, ClusterSnapshot{}), big);
+  EXPECT_EQ(*scheduler.decide(60, trace, ClusterSnapshot{}), big);
+  // After the hold expires the scale-down goes through.
+  EXPECT_EQ(*scheduler.decide(130, trace, ClusterSnapshot{}), little);
+}
+
+TEST(HysteresisScheduler, ScaleUpPassesThrough) {
+  auto inner = std::make_shared<ReactiveScheduler>(design());
+  HysteresisScheduler scheduler(inner, design(), 100.0);
+  const LoadTrace trace = step_trace({{5.0, 10.0}, {600.0, 100.0}});
+  EXPECT_EQ(*scheduler.decide(0, trace, ClusterSnapshot{}),
+            design()->ideal_combination(5.0));
+  EXPECT_EQ(*scheduler.decide(20, trace, ClusterSnapshot{}),
+            design()->ideal_combination(600.0));
+  EXPECT_EQ(scheduler.name(), "reactive+hysteresis");
+}
+
+TEST(HysteresisScheduler, AbortedScaleDownResetsHold) {
+  auto inner = std::make_shared<ReactiveScheduler>(design());
+  HysteresisScheduler scheduler(inner, design(), 100.0);
+  const LoadTrace trace =
+      step_trace({{600.0, 10.0}, {5.0, 50.0}, {600.0, 60.0}, {5.0, 60.0}});
+  const Combination big = design()->ideal_combination(600.0);
+  EXPECT_EQ(*scheduler.decide(0, trace, ClusterSnapshot{}), big);
+  EXPECT_EQ(*scheduler.decide(15, trace, ClusterSnapshot{}), big);   // held
+  EXPECT_EQ(*scheduler.decide(70, trace, ClusterSnapshot{}), big);   // back up
+  // New scale-down attempt restarts the clock: at t=130 only 10 s elapsed.
+  EXPECT_EQ(*scheduler.decide(125, trace, ClusterSnapshot{}), big);
+  EXPECT_EQ(*scheduler.decide(130, trace, ClusterSnapshot{}), big);
+}
+
+TEST(HysteresisScheduler, Validation) {
+  auto inner = std::make_shared<ReactiveScheduler>(design());
+  EXPECT_THROW(HysteresisScheduler(nullptr, design(), 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(HysteresisScheduler(inner, nullptr, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(HysteresisScheduler(inner, design(), -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bml

@@ -1,0 +1,85 @@
+// Tests for core/sensitivity — robustness of the design to profiling error.
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bml {
+namespace {
+
+TEST(PerturbCatalog, ScalesOneParameter) {
+  const Catalog perturbed = perturb_catalog(
+      real_catalog(), "paravance", ProfileParameter::kIdlePower, 0.10);
+  const auto p = find_profile(perturbed, "paravance").value();
+  EXPECT_NEAR(p.idle_power(), 69.9 * 1.1, 1e-9);
+  EXPECT_DOUBLE_EQ(p.max_power(), 200.5);  // others untouched
+  EXPECT_DOUBLE_EQ(p.max_perf(), 1331.0);
+  const auto other = find_profile(perturbed, "raspberry").value();
+  EXPECT_DOUBLE_EQ(other.idle_power(), 3.1);
+}
+
+TEST(PerturbCatalog, UnknownMachineThrows) {
+  EXPECT_THROW((void)perturb_catalog(real_catalog(), "cray-1",
+                                     ProfileParameter::kMaxPower, 0.1),
+               std::out_of_range);
+}
+
+TEST(PerturbCatalog, NonPhysicalPerturbationThrows) {
+  // Raspberry: idle 3.1, max 3.7 — +30 % idle exceeds max power.
+  EXPECT_THROW((void)perturb_catalog(real_catalog(), "raspberry",
+                                     ProfileParameter::kIdlePower, 0.30),
+               std::invalid_argument);
+}
+
+TEST(Sensitivity, RealCatalogRobustToMeasurementNoise) {
+  // Table I was profiled within ~2 % noise; the design must not change its
+  // candidate set under that perturbation, and thresholds must move only
+  // marginally.
+  const auto rows = sensitivity_analysis(real_catalog(), 0.02);
+  ASSERT_EQ(rows.size(), 15u);  // 5 machines x 3 parameters
+  for (const SensitivityRow& row : rows) {
+    EXPECT_TRUE(row.same_candidates)
+        << row.machine << " " << to_string(row.parameter);
+    EXPECT_LT(row.mean_power_drift, 0.05)
+        << row.machine << " " << to_string(row.parameter);
+    for (ReqRate shift : row.threshold_shift)
+      EXPECT_LT(std::abs(shift), 40.0)
+          << row.machine << " " << to_string(row.parameter);
+  }
+}
+
+TEST(Sensitivity, LargePerturbationCanFlipCandidateSet) {
+  // Halving a parameter is far outside instrument noise; dropping
+  // Paravance's max performance below Taurus's promotes Taurus to Big and
+  // the candidate set changes. Non-physical perturbations (e.g. raspberry
+  // max power below idle) are skipped, so fewer than 15 rows return.
+  const auto rows = sensitivity_analysis(real_catalog(), -0.5);
+  EXPECT_LT(rows.size(), 15u);
+  bool any_flip = false;
+  for (const SensitivityRow& row : rows)
+    if (!row.same_candidates) any_flip = true;
+  EXPECT_TRUE(any_flip);
+}
+
+TEST(Sensitivity, UnperturbedDeltaIsZeroDrift) {
+  const auto rows = sensitivity_analysis(real_catalog(), 0.0);
+  for (const SensitivityRow& row : rows) {
+    EXPECT_TRUE(row.same_candidates);
+    EXPECT_NEAR(row.mean_power_drift, 0.0, 1e-12);
+    for (ReqRate shift : row.threshold_shift)
+      EXPECT_DOUBLE_EQ(shift, 0.0);
+  }
+}
+
+TEST(Sensitivity, Validation) {
+  EXPECT_THROW((void)sensitivity_analysis(real_catalog(), 0.02, 1),
+               std::invalid_argument);
+}
+
+TEST(ProfileParameter, Names) {
+  EXPECT_EQ(to_string(ProfileParameter::kIdlePower), "idle-power");
+  EXPECT_EQ(to_string(ProfileParameter::kMaxPower), "max-power");
+  EXPECT_EQ(to_string(ProfileParameter::kMaxPerf), "max-perf");
+}
+
+}  // namespace
+}  // namespace bml

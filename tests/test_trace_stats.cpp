@@ -1,0 +1,84 @@
+// Tests for trace/trace_stats.
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.hpp"
+
+namespace bml {
+namespace {
+
+TEST(TraceStats, ConstantTraceBaselines) {
+  const TraceStats s = analyze_trace(constant_trace(100.0, 3600.0));
+  EXPECT_EQ(s.seconds, 3600u);
+  EXPECT_DOUBLE_EQ(s.mean, 100.0);
+  EXPECT_DOUBLE_EQ(s.peak, 100.0);
+  EXPECT_DOUBLE_EQ(s.peak_to_mean, 1.0);
+  EXPECT_DOUBLE_EQ(s.index_of_dispersion, 0.0);
+  EXPECT_DOUBLE_EQ(s.normalized_jitter, 0.0);
+}
+
+TEST(TraceStats, RejectsEmptyTrace) {
+  EXPECT_THROW((void)analyze_trace(LoadTrace{}), std::invalid_argument);
+}
+
+TEST(TraceStats, PoissonLikeDispersionNearOne) {
+  // The World-Cup generator emits Poisson counts around the intensity; on
+  // a short, nearly stationary stretch the index of dispersion should be
+  // of order 1 (Poisson), far from 0 (smooth).
+  WorldCupOptions options;
+  options.days = 1;
+  options.peak = 500.0;
+  options.noise = 0.0;
+  options.micro_bursts_per_day = 0.0;
+  options.news_burst_prob_per_day = 0.0;
+  const LoadTrace trace = worldcup_like_trace(options);
+  // Analyze only a 30-minute slice to minimise the diurnal contribution.
+  std::vector<double> slice;
+  for (TimePoint t = 12 * 3600; t < 12 * 3600 + 1800; ++t)
+    slice.push_back(trace.at(t));
+  const TraceStats s = analyze_trace(LoadTrace(slice));
+  EXPECT_GT(s.index_of_dispersion, 0.4);
+  EXPECT_LT(s.index_of_dispersion, 5.0);
+}
+
+TEST(TraceStats, DiurnalAutocorrelationHighForCyclicLoad) {
+  DiurnalOptions options;
+  options.noise = 0.02;
+  const LoadTrace cyclic = diurnal_trace(options, 3);
+  const TraceStats s = analyze_trace(cyclic);
+  EXPECT_GT(s.diurnal_autocorrelation, 0.9);
+}
+
+TEST(TraceStats, DayPeakDynamicRange) {
+  // Two days: peaks 100 and 400 -> range 0.25.
+  std::vector<double> rates(static_cast<std::size_t>(kSecondsPerDay) * 2,
+                            10.0);
+  rates[100] = 100.0;
+  rates[static_cast<std::size_t>(kSecondsPerDay) + 100] = 400.0;
+  const TraceStats s = analyze_trace(LoadTrace(std::move(rates)));
+  EXPECT_NEAR(s.day_peak_dynamic_range, 0.25, 1e-9);
+}
+
+TEST(TraceStats, WorldCupTraceHasPaperCharacter) {
+  WorldCupOptions options;
+  options.days = 14;
+  options.tournament_start_day = 7;
+  options.tournament_end_day = 13;
+  const TraceStats s = analyze_trace(worldcup_like_trace(options));
+  // Strong over-provisioning pressure and wide day-level dynamic range —
+  // the properties Fig. 5 exploits.
+  EXPECT_GT(s.peak_to_mean, 3.0);
+  EXPECT_LT(s.day_peak_dynamic_range, 0.3);
+  EXPECT_GT(s.diurnal_autocorrelation, 0.3);
+}
+
+TEST(TraceStats, ToStringContainsKeys) {
+  const TraceStats s = analyze_trace(constant_trace(5.0, 100.0));
+  const std::string text = to_string(s);
+  EXPECT_NE(text.find("peak/mean"), std::string::npos);
+  EXPECT_NE(text.find("index of dispersion"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bml

@@ -1,0 +1,81 @@
+// Tests for trace/transforms.
+#include "trace/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bml {
+namespace {
+
+const LoadTrace kBase({1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+
+TEST(Scale, MultipliesRates) {
+  const LoadTrace t = scale(kBase, 2.0);
+  EXPECT_DOUBLE_EQ(t.at(2), 6.0);
+  EXPECT_DOUBLE_EQ(t.peak(), 12.0);
+  EXPECT_THROW((void)scale(kBase, -1.0), std::invalid_argument);
+}
+
+TEST(Clip, ClampsIntoRange) {
+  const LoadTrace t = clip(kBase, 2.0, 4.0);
+  EXPECT_DOUBLE_EQ(t.at(0), 2.0);
+  EXPECT_DOUBLE_EQ(t.at(5), 4.0);
+  EXPECT_DOUBLE_EQ(t.at(2), 3.0);
+  EXPECT_THROW((void)clip(kBase, -1.0, 4.0), std::invalid_argument);
+  EXPECT_THROW((void)clip(kBase, 4.0, 2.0), std::invalid_argument);
+}
+
+TEST(Smooth, WindowOnePreservesTrace) {
+  const LoadTrace t = smooth(kBase, 1);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    EXPECT_DOUBLE_EQ(t.at(static_cast<TimePoint>(i)),
+                     kBase.at(static_cast<TimePoint>(i)));
+}
+
+TEST(Smooth, AveragesNeighbourhood) {
+  const LoadTrace t = smooth(kBase, 3);
+  EXPECT_DOUBLE_EQ(t.at(2), 3.0);                 // (2+3+4)/3
+  EXPECT_DOUBLE_EQ(t.at(0), 1.5);                 // truncated: (1+2)/2
+  EXPECT_DOUBLE_EQ(t.at(5), 5.5);                 // truncated: (5+6)/2
+  EXPECT_THROW((void)smooth(kBase, 0), std::invalid_argument);
+}
+
+TEST(Smooth, PreservesMeanApproximately) {
+  const LoadTrace t = smooth(kBase, 3);
+  EXPECT_NEAR(t.mean(), kBase.mean(), 0.2);
+}
+
+TEST(Slice, ExtractsRange) {
+  const LoadTrace t = slice(kBase, 1, 4);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(0), 2.0);
+  EXPECT_DOUBLE_EQ(t.at(2), 4.0);
+  EXPECT_EQ(slice(kBase, 4, 100).size(), 2u);  // clamped end
+  EXPECT_THROW((void)slice(kBase, 3, 1), std::invalid_argument);
+}
+
+TEST(Concat, Appends) {
+  const LoadTrace t = concat(kBase, LoadTrace({7.0}));
+  ASSERT_EQ(t.size(), 7u);
+  EXPECT_DOUBLE_EQ(t.at(6), 7.0);
+}
+
+TEST(DownsampleMax, TakesBucketMaxima) {
+  const LoadTrace t = downsample_max(kBase, 2);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(0), 2.0);
+  EXPECT_DOUBLE_EQ(t.at(1), 4.0);
+  EXPECT_DOUBLE_EQ(t.at(2), 6.0);
+  // Peak is always preserved by max-downsampling.
+  EXPECT_DOUBLE_EQ(t.peak(), kBase.peak());
+  EXPECT_THROW((void)downsample_max(kBase, 0), std::invalid_argument);
+}
+
+TEST(Quantize, RoundsToIntegers) {
+  const LoadTrace t = quantize(LoadTrace({1.4, 2.6, 3.5}));
+  EXPECT_DOUBLE_EQ(t.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(1), 3.0);
+  EXPECT_DOUBLE_EQ(t.at(2), 4.0);
+}
+
+}  // namespace
+}  // namespace bml

@@ -1,0 +1,71 @@
+// Tests for trace/wc98 — the real-trace interchange format.
+#include "trace/wc98.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bml {
+namespace {
+
+TEST(ParseWc98, BasicTwoColumn) {
+  const LoadTrace t = parse_wc98("0 5\n1 7\n2 3\n");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(0), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(1), 7.0);
+  EXPECT_DOUBLE_EQ(t.at(2), 3.0);
+}
+
+TEST(ParseWc98, ZeroFillsGaps) {
+  const LoadTrace t = parse_wc98("1 4\n5 9\n");
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_DOUBLE_EQ(t.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(1), 4.0);
+  EXPECT_DOUBLE_EQ(t.at(3), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(5), 9.0);
+}
+
+TEST(ParseWc98, CommaSeparatorAndComments) {
+  const LoadTrace t = parse_wc98("# header\n0,2\n1,3  # inline comment\n");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(1), 3.0);
+}
+
+TEST(ParseWc98, OriginShiftsTimestamps) {
+  const LoadTrace t = parse_wc98("100 5\n101 6\n", /*origin=*/100);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(0), 5.0);
+}
+
+TEST(ParseWc98, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_wc98("0\n"), std::runtime_error);           // count missing
+  EXPECT_THROW((void)parse_wc98("0 1 2\n"), std::runtime_error);       // extra field
+  EXPECT_THROW((void)parse_wc98("0 -3\n"), std::runtime_error);        // negative
+  EXPECT_THROW((void)parse_wc98("5 1\n5 2\n"), std::runtime_error);    // duplicate
+  EXPECT_THROW((void)parse_wc98("5 1\n4 2\n"), std::runtime_error);    // decreasing
+  EXPECT_THROW((void)parse_wc98("100 5\n", 200), std::runtime_error);  // before origin
+}
+
+TEST(FormatWc98, RoundTripSkipsZeros) {
+  const LoadTrace original({0.0, 5.0, 0.0, 0.0, 2.5});
+  const std::string text = format_wc98(original);
+  EXPECT_EQ(text.find("0 0"), std::string::npos);  // zeros omitted
+  const LoadTrace parsed = parse_wc98(text);
+  ASSERT_EQ(parsed.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_DOUBLE_EQ(parsed.at(static_cast<TimePoint>(i)),
+                     original.at(static_cast<TimePoint>(i)));
+}
+
+TEST(Wc98File, SaveAndLoad) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "bml_wc98_test.txt";
+  const LoadTrace original({1.0, 0.0, 3.0});
+  save_wc98(original, path);
+  const LoadTrace loaded = load_wc98(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.at(2), 3.0);
+  std::filesystem::remove(path);
+  EXPECT_THROW((void)load_wc98("/nonexistent/trace.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bml
