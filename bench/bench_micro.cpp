@@ -1,15 +1,47 @@
 // google-benchmark microbenchmarks for the library's hot paths: the
-// combination solvers, load dispatch, threshold computation, the oracle
-// predictor, and the end-to-end simulator step rate.
+// combination solvers, load dispatch (reference vs compiled plan), the
+// threshold computation, the oracle predictor, and end-to-end trace replay
+// (event-driven fast path vs per-second reference).
+//
+// The binary overrides global operator new/delete with a counting
+// allocator so benchmarks can report an `allocs_per_iter` counter;
+// BM_Dispatch (the DispatchPlan path) must report 0.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <new>
 
 #include "core/bml_design.hpp"
+#include "core/dispatch_plan.hpp"
 #include "predict/predictor.hpp"
 #include "sched/bml_scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "trace/synthetic.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_allocation_count{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -19,6 +51,25 @@ const BmlDesign& design() {
   static const BmlDesign d = BmlDesign::build(real_catalog());
   return d;
 }
+
+/// Records the number of heap allocations per iteration as a counter.
+class AllocationScope {
+ public:
+  explicit AllocationScope(benchmark::State& state)
+      : state_(state),
+        start_(g_allocation_count.load(std::memory_order_relaxed)) {}
+  ~AllocationScope() {
+    const std::size_t total =
+        g_allocation_count.load(std::memory_order_relaxed) - start_;
+    state_.counters["allocs_per_iter"] = benchmark::Counter(
+        static_cast<double>(total) /
+        static_cast<double>(state_.iterations() ? state_.iterations() : 1));
+  }
+
+ private:
+  benchmark::State& state_;
+  std::size_t start_;
+};
 
 void BM_GreedySolve(benchmark::State& state) {
   const auto& d = design();
@@ -51,16 +102,54 @@ void BM_TableLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_TableLookup);
 
+// Allocation-free dispatch through the compiled plan: the simulator /
+// solver hot path. allocs_per_iter must be 0.
 void BM_Dispatch(benchmark::State& state) {
+  const auto& d = design();
+  const DispatchPlan plan(d.candidates());
+  Combination combo = d.ideal_combination(2500.0);
+  combo.resize(d.candidates().size());
+  DispatchResult scratch;
+  plan.dispatch_into(combo.counts(), 0.0, scratch);  // warm the scratch
+  double load = 0.0;
+  AllocationScope allocations(state);
+  for (auto _ : state) {
+    plan.dispatch_into(combo.counts(), load, scratch);
+    benchmark::DoNotOptimize(scratch.power);
+    load = load >= 2500.0 ? 0.0 : load + 11.0;
+  }
+}
+BENCHMARK(BM_Dispatch);
+
+// Power-only query, the innermost call of the DP solvers and the
+// event-driven simulator.
+void BM_DispatchPlanPowerAt(benchmark::State& state) {
+  const auto& d = design();
+  const DispatchPlan plan(d.candidates());
+  Combination combo = d.ideal_combination(2500.0);
+  combo.resize(d.candidates().size());
+  double load = 0.0;
+  AllocationScope allocations(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.power_at(combo.counts(), load));
+    load = load >= 2500.0 ? 0.0 : load + 11.0;
+  }
+}
+BENCHMARK(BM_DispatchPlanPowerAt);
+
+// The legacy per-call dispatch(), kept as the baseline the plan is
+// measured against (it re-sorts and allocates every call).
+void BM_DispatchReference(benchmark::State& state) {
   const auto& d = design();
   const Combination combo = d.ideal_combination(2500.0);
   double load = 0.0;
+  AllocationScope allocations(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(dispatch(d.candidates(), combo, load));
     load = load >= 2500.0 ? 0.0 : load + 11.0;
   }
 }
-BENCHMARK(BM_Dispatch);
+BENCHMARK(BM_DispatchReference);
 
 void BM_ThresholdComputation(benchmark::State& state) {
   const Catalog catalog = real_catalog();
@@ -99,6 +188,51 @@ void BM_SimulatorDay(benchmark::State& state) {
                           static_cast<int64_t>(trace.size()));
 }
 BENCHMARK(BM_SimulatorDay)->Unit(benchmark::kMillisecond);
+
+/// Seven days of a steady (piecewise-constant) load: a 24-level staircase
+/// per day, repeated — the shape of a planned-capacity workload. This is
+/// the scenario where run-length batching shines.
+LoadTrace steady_week_trace() {
+  std::vector<StepSegment> segments;
+  for (int day = 0; day < 7; ++day)
+    for (int hour = 0; hour < 24; ++hour) {
+      const double level =
+          250.0 + 2250.0 * (hour < 12 ? hour : 24 - hour) / 12.0;
+      segments.push_back({level, 3600.0});
+    }
+  return step_trace(segments);
+}
+
+void replay_week(benchmark::State& state, bool event_driven) {
+  auto d = std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
+  const LoadTrace trace = steady_week_trace();
+  SimulatorOptions options;
+  options.event_driven = event_driven;
+  const Simulator simulator(d->candidates(), options);
+  // The oracle BML scheduler carries no cross-run state besides the
+  // predictor's per-trace window-max cache; constructing it once (and
+  // warming the cache with one run) keeps the measurement on the replay
+  // itself rather than on the O(trace) cache build.
+  BmlScheduler scheduler(d, std::make_shared<OracleMaxPredictor>());
+  benchmark::DoNotOptimize(simulator.run(scheduler, trace));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run(scheduler, trace));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.size()));
+}
+
+// Event-driven fast path vs per-second reference on the same 7-day steady
+// trace; the items_per_second ratio is the replay speedup.
+void BM_SimulatorWeekSteadyEventDriven(benchmark::State& state) {
+  replay_week(state, /*event_driven=*/true);
+}
+BENCHMARK(BM_SimulatorWeekSteadyEventDriven)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorWeekSteadyReference(benchmark::State& state) {
+  replay_week(state, /*event_driven=*/false);
+}
+BENCHMARK(BM_SimulatorWeekSteadyReference)->Unit(benchmark::kMillisecond);
 
 void BM_WorldCupTraceGeneration(benchmark::State& state) {
   WorldCupOptions options;

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the microbenchmark suite and records the results as JSON at the
+# repository root (BENCH_micro.json), seeding the performance trajectory
+# across PRs. Usage:
+#
+#   bench/run_bench.sh [build-dir] [extra google-benchmark args...]
+#
+# The build directory defaults to ./build and must already contain a
+# compiled bench_micro (cmake -B build -S . && cmake --build build -j).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift || true
+
+bench="${build_dir}/bench_micro"
+if [[ ! -x "${bench}" ]]; then
+  echo "error: ${bench} not found — build the project first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+out="${repo_root}/BENCH_micro.json"
+"${bench}" \
+  --benchmark_format=json \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json \
+  "$@" >/dev/null
+echo "wrote ${out}"

@@ -29,6 +29,7 @@ LoadBalancer::LoadBalancer(Catalog candidates)
     : candidates_(std::move(candidates)) {
   if (candidates_.empty())
     throw std::invalid_argument("LoadBalancer: empty candidates");
+  plan_ = DispatchPlan(candidates_);
   current_.resize(candidates_.size());
 }
 
@@ -70,12 +71,14 @@ ReqRate LoadBalancer::capacity() const {
 
 ReqRate LoadBalancer::route(ReqRate rate) {
   if (rate < 0.0) throw std::invalid_argument("LoadBalancer: rate < 0");
-  const DispatchResult split = dispatch(candidates_, current_, rate);
+  plan_.dispatch_into(current_.counts(), rate, split_scratch_);
+  const DispatchResult& split = split_scratch_;
 
   // Spread each architecture's share evenly over its backends (the linear
   // power model makes the within-arch split free; even weights keep every
   // instance warm).
-  std::vector<int> instances(candidates_.size(), 0);
+  instances_scratch_.assign(candidates_.size(), 0);
+  std::vector<int>& instances = instances_scratch_;
   for (const Backend& b : backends_) ++instances[b.arch];
   for (Backend& b : backends_) {
     const double share = instances[b.arch] > 0

@@ -16,6 +16,7 @@
 
 #include "arch/catalog.hpp"
 #include "core/combination.hpp"
+#include "core/dispatch_plan.hpp"
 #include "util/units.hpp"
 
 namespace bml {
@@ -60,8 +61,13 @@ class LoadBalancer {
 
  private:
   Catalog candidates_;
+  DispatchPlan plan_;
   Combination current_;
   std::vector<Backend> backends_;
+  // route() scratch, reused so the per-second routing path is
+  // allocation-free once warm.
+  DispatchResult split_scratch_;
+  std::vector<int> instances_scratch_;
 };
 
 }  // namespace bml

@@ -93,8 +93,13 @@ DispatchResult dispatch(const Catalog& candidates, const Combination& combo,
   // before touching higher-slope ones.
   std::vector<std::size_t> order(combo.counts().size());
   std::iota(order.begin(), order.end(), 0);
+  // Catalog index breaks slope ties so the order is deterministic and
+  // matches DispatchPlan's precompiled order bit-for-bit.
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return candidates[a].slope() < candidates[b].slope();
+    const double sa = candidates[a].slope();
+    const double sb = candidates[b].slope();
+    if (sa != sb) return sa < sb;
+    return a < b;
   });
 
   ReqRate remaining = rate;

@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 #include <unordered_set>
+
+#include "core/dispatch_plan.hpp"
 
 namespace bml {
 
 CombinationTable::CombinationTable(const CombinationSolver& solver,
                                    ReqRate max_rate)
-    : candidates_(solver.candidates()) {
+    : candidates_(solver.candidates()), plan_(candidates_) {
   if (max_rate < 0.0)
     throw std::invalid_argument("CombinationTable: max_rate must be >= 0");
   const auto n = static_cast<std::size_t>(std::ceil(max_rate)) + 1;
@@ -18,7 +21,7 @@ CombinationTable::CombinationTable(const CombinationSolver& solver,
   for (std::size_t r = 0; r < n; ++r) {
     const auto rate = static_cast<ReqRate>(r);
     entries_.push_back(solver.solve(rate));
-    powers_.push_back(dispatch(candidates_, entries_.back(), rate).power);
+    powers_.push_back(plan_.power_at(entries_.back().counts(), rate));
   }
 }
 
@@ -36,16 +39,41 @@ const Combination& CombinationTable::combination(ReqRate rate) const {
 }
 
 Watts CombinationTable::power(ReqRate rate) const {
-  return dispatch(candidates_, combination(rate), rate).power;
+  const std::size_t idx = index_for(rate);
+  // The cache holds power at the grid rate; a fractional query still means
+  // "the grid combination serving exactly `rate`", so evaluate it.
+  if (static_cast<ReqRate>(idx) == rate) return powers_[idx];
+  return plan_.power_at(entries_[idx].counts(), rate);
 }
 
-std::size_t CombinationTable::distinct_combinations() const {
-  std::unordered_set<std::string> seen;
-  for (const Combination& c : entries_) {
-    std::string key;
-    for (int v : c.counts()) key += std::to_string(v) + ',';
-    seen.insert(std::move(key));
+namespace {
+
+// FNV-1a over the raw count words; combinations are small (one int per
+// architecture kind), so hashing them directly beats building string keys.
+struct CountsHash {
+  std::size_t operator()(const std::vector<int>* counts) const {
+    std::size_t h = 14695981039346656037ull;
+    for (int v : *counts) {
+      h ^= static_cast<std::size_t>(static_cast<unsigned>(v));
+      h *= 1099511628211ull;
+    }
+    return h;
   }
+};
+
+struct CountsEqual {
+  bool operator()(const std::vector<int>* a,
+                  const std::vector<int>* b) const {
+    return *a == *b;
+  }
+};
+
+}  // namespace
+
+std::size_t CombinationTable::distinct_combinations() const {
+  std::unordered_set<const std::vector<int>*, CountsHash, CountsEqual> seen;
+  seen.reserve(entries_.size());
+  for (const Combination& c : entries_) seen.insert(&c.counts());
   return seen.size();
 }
 

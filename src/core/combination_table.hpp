@@ -15,6 +15,7 @@
 
 #include "arch/catalog.hpp"
 #include "core/combination.hpp"
+#include "core/dispatch_plan.hpp"
 #include "core/solver.hpp"
 #include "util/units.hpp"
 
@@ -32,7 +33,9 @@ class CombinationTable {
   /// beyond max_rate.
   [[nodiscard]] const Combination& combination(ReqRate rate) const;
 
-  /// Power of combination(rate) serving exactly `rate`.
+  /// Power of combination(rate) serving exactly `rate`. On-grid (integer)
+  /// queries return the precomputed cache entry; off-grid rates evaluate
+  /// the grid combination at the actual rate through the compiled plan.
   [[nodiscard]] Watts power(ReqRate rate) const;
 
   [[nodiscard]] ReqRate max_rate() const {
@@ -48,6 +51,7 @@ class CombinationTable {
   [[nodiscard]] std::size_t index_for(ReqRate rate) const;
 
   Catalog candidates_;
+  DispatchPlan plan_;
   std::vector<Combination> entries_;
   std::vector<Watts> powers_;
 };

@@ -5,6 +5,9 @@
 #include <limits>
 #include <memory>
 #include <stdexcept>
+#include <vector>
+
+#include "core/dispatch_plan.hpp"
 
 namespace bml {
 
@@ -21,15 +24,24 @@ MinCostCurve::MinCostCurve(const Catalog& candidates, ReqRate max_rate)
   is_partial_.assign(n, 0);
   cost_[0] = 0.0;
 
+  // The O(rates x archs) loop reads the per-architecture constants through
+  // a compiled DispatchPlan instead of the virtual PowerModel accessors,
+  // which otherwise dominate the DP build; machine_power_at is the single
+  // shared (and inlined) flattening of the power curve.
+  const std::size_t kinds = candidates_.size();
+  const DispatchPlan plan(candidates_);
+  std::vector<std::size_t> perf_units(kinds);
+  for (std::size_t i = 0; i < kinds; ++i)
+    perf_units[i] = static_cast<std::size_t>(plan.max_perf(i));
+
   for (std::size_t r = 1; r < n; ++r) {
     const auto rate = static_cast<ReqRate>(r);
-    for (std::size_t i = 0; i < candidates_.size(); ++i) {
-      const ArchitectureProfile& p = candidates_[i];
-      const auto perf = static_cast<std::size_t>(p.max_perf());
+    for (std::size_t i = 0; i < kinds; ++i) {
+      const std::size_t perf = perf_units[i];
       if (perf == 0) continue;
-      if (rate <= p.max_perf()) {
+      if (rate <= plan.max_perf(i)) {
         // Close the combination with one partially loaded machine of i.
-        const Watts c = p.power_at(rate);
+        const Watts c = plan.machine_power_at(i, rate);
         if (c < cost_[r]) {
           cost_[r] = c;
           choice_[r] = static_cast<int>(i);
@@ -38,7 +50,7 @@ MinCostCurve::MinCostCurve(const Catalog& candidates, ReqRate max_rate)
       }
       if (r > perf) {
         // Peel one fully loaded machine of i.
-        const Watts c = cost_[r - perf] + p.max_power();
+        const Watts c = cost_[r - perf] + plan.max_power(i);
         if (c < cost_[r]) {
           cost_[r] = c;
           choice_[r] = static_cast<int>(i);

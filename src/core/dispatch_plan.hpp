@@ -1,0 +1,102 @@
+// Compiled dispatch plans: the allocation-free fast path for power queries.
+//
+// `dispatch()` (core/combination.hpp) re-derives the slope-sorted
+// architecture order and heap-allocates two vectors on every call. That is
+// fine for one-off queries, but the simulator, the DP solvers and the
+// combination-table builder evaluate power millions of times per trace
+// replay. A DispatchPlan compiles, once per catalog, everything dispatch
+// needs into flat arrays:
+//   * the slope-ascending dispatch order (ties broken by catalog index),
+//   * per-architecture max_perf / idle_power / max_power,
+//   * the linear-model slope, with a cloned PowerModel fallback for
+//     piecewise profiles (at most one partially loaded machine per
+//     architecture ever needs the curve).
+//
+// `power_at` and `dispatch_into` then evaluate a combination without
+// allocating, producing bit-identical results to `dispatch()` (asserted by
+// tests/test_dispatch_plan.cpp). The plan is immutable and self-contained
+// (profiles are copied, not referenced), so one plan can be shared across
+// parallel_for workers; per-worker mutable state is confined to the
+// caller-owned DispatchResult scratch.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "arch/catalog.hpp"
+#include "core/combination.hpp"
+#include "power/power_model.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// Immutable compiled form of a candidate catalog for power evaluation.
+class DispatchPlan {
+ public:
+  DispatchPlan() = default;
+  explicit DispatchPlan(const Catalog& candidates);
+
+  [[nodiscard]] std::size_t arch_kinds() const { return max_perf_.size(); }
+
+  /// Power of a combination (`counts[i]` machines of architecture i, in
+  /// catalog order; shorter spans mean zero for the missing entries)
+  /// serving `rate`. No allocations. Throws std::invalid_argument when the
+  /// span is wider than the catalog or rate is negative.
+  [[nodiscard]] Watts power_at(std::span<const int> counts,
+                               ReqRate rate) const;
+
+  /// Full dispatch into a caller-owned result; `out.load_per_arch` is
+  /// resized (no allocation once warm) and refilled. Same contract as
+  /// `dispatch()`.
+  void dispatch_into(std::span<const int> counts, ReqRate rate,
+                     DispatchResult& out) const;
+
+  /// Serving capacity of the combination, req/s.
+  [[nodiscard]] ReqRate capacity_of(std::span<const int> counts) const;
+
+  [[nodiscard]] ReqRate max_perf(std::size_t arch) const {
+    return max_perf_[arch];
+  }
+  [[nodiscard]] Watts idle_power(std::size_t arch) const {
+    return idle_[arch];
+  }
+  [[nodiscard]] Watts max_power(std::size_t arch) const {
+    return max_power_[arch];
+  }
+
+  /// Power of one machine of `arch` serving `rate` — exactly
+  /// ArchitectureProfile::power_at, with the virtual call flattened away
+  /// for linear models. Inline so per-rate loops (the DP solvers) pay no
+  /// call overhead.
+  [[nodiscard]] Watts machine_power_at(std::size_t arch, ReqRate rate) const {
+    if (linear_[arch]) {
+      // Same expression as LinearPowerModel::power_at so results stay
+      // bit-identical to the reference dispatch().
+      const ReqRate r = rate < 0.0
+                            ? 0.0
+                            : (rate > max_perf_[arch] ? max_perf_[arch] : rate);
+      return idle_[arch] + slope_[arch] * r;
+    }
+    return models_[arch]->power_at(rate);
+  }
+
+ private:
+  /// The shared dispatch kernel: fills low-slope machines first and
+  /// accumulates power; optionally records per-arch loads. Both public
+  /// entry points delegate here so there is exactly one copy of the
+  /// bit-exactness-critical loop.
+  [[nodiscard]] Watts evaluate(std::span<const int> counts, ReqRate rate,
+                               ReqRate* remaining_out,
+                               std::vector<ReqRate>* loads) const;
+
+  std::vector<std::size_t> order_;  // slope-ascending catalog indices
+  std::vector<ReqRate> max_perf_;   // catalog order, as are all below
+  std::vector<Watts> idle_;
+  std::vector<Watts> max_power_;
+  std::vector<double> slope_;  // valid where linear_[i]
+  std::vector<char> linear_;
+  std::vector<std::shared_ptr<const PowerModel>> models_;  // piecewise only
+};
+
+}  // namespace bml

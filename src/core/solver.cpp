@@ -29,6 +29,7 @@ GreedyThresholdSolver::GreedyThresholdSolver(Catalog candidates,
   if (candidates_.empty())
     throw std::invalid_argument("GreedyThresholdSolver: empty candidates");
   check_sorted(candidates_);
+  plan_ = DispatchPlan(candidates_);
   if (thresholds_.size() != candidates_.size())
     throw std::invalid_argument(
         "GreedyThresholdSolver: one threshold per candidate required");
@@ -94,7 +95,7 @@ Combination GreedyThresholdSolver::solve(ReqRate rate) const {
 }
 
 Watts GreedyThresholdSolver::power(ReqRate rate) const {
-  return dispatch(candidates_, solve(rate), rate).power;
+  return plan_.power_at(solve(rate).counts(), rate);
 }
 
 ExactDpSolver::ExactDpSolver(Catalog candidates, ReqRate max_rate,
@@ -106,6 +107,7 @@ ExactDpSolver::ExactDpSolver(Catalog candidates, ReqRate max_rate,
   if (!caps_.empty() && caps_.size() != candidates_.size())
     throw std::invalid_argument(
         "ExactDpSolver: caps must match candidate count");
+  plan_ = DispatchPlan(candidates_);
   curve_ = std::make_unique<MinCostCurve>(candidates_, max_rate);
 }
 
@@ -119,8 +121,10 @@ bool ExactDpSolver::within_caps(const Combination& combo) const {
 Combination ExactDpSolver::capped_search(ReqRate rate) const {
   // Exhaustive search over capped counts. Caps express small physical
   // clusters, so the space (prod of cap+1) stays tiny; the recursion prunes
-  // branches whose remaining capacity cannot reach the target.
-  Combination best;
+  // branches whose remaining capacity cannot reach the target. Leaves are
+  // evaluated through the precompiled plan on the raw count vector, so the
+  // search allocates only when a new best is found.
+  std::vector<int> best_counts;
   Watts best_power = std::numeric_limits<Watts>::infinity();
 
   std::vector<ReqRate> suffix_capacity(candidates_.size() + 1, 0.0);
@@ -133,11 +137,10 @@ Combination ExactDpSolver::capped_search(ReqRate rate) const {
                      ReqRate capacity_so_far) -> void {
     if (arch == candidates_.size()) {
       if (capacity_so_far + kRateEpsilon < rate) return;
-      Combination combo{counts};
-      const Watts p = dispatch(candidates_, combo, rate).power;
+      const Watts p = plan_.power_at(counts, rate);
       if (p < best_power) {
         best_power = p;
-        best = std::move(combo);
+        best_counts = counts;
       }
       return;
     }
@@ -154,8 +157,7 @@ Combination ExactDpSolver::capped_search(ReqRate rate) const {
   if (!std::isfinite(best_power))
     throw std::runtime_error(
         "ExactDpSolver: inventory caps cannot cover the requested rate");
-  best.resize(candidates_.size());
-  return best;
+  return Combination{std::move(best_counts)};
 }
 
 Combination ExactDpSolver::solve(ReqRate rate) const {
@@ -172,7 +174,7 @@ Combination ExactDpSolver::solve(ReqRate rate) const {
 }
 
 Watts ExactDpSolver::power(ReqRate rate) const {
-  return dispatch(candidates_, solve(rate), rate).power;
+  return plan_.power_at(solve(rate).counts(), rate);
 }
 
 }  // namespace bml

@@ -27,6 +27,7 @@
 #include "arch/catalog.hpp"
 #include "core/combination.hpp"
 #include "core/crossing.hpp"
+#include "core/dispatch_plan.hpp"
 #include "util/units.hpp"
 
 namespace bml {
@@ -73,6 +74,7 @@ class GreedyThresholdSolver final : public CombinationSolver {
 
  private:
   Catalog candidates_;
+  DispatchPlan plan_;
   std::vector<ReqRate> thresholds_;
   InventoryCaps caps_;
 };
@@ -99,6 +101,7 @@ class ExactDpSolver final : public CombinationSolver {
   [[nodiscard]] Combination capped_search(ReqRate rate) const;
 
   Catalog candidates_;
+  DispatchPlan plan_;
   std::unique_ptr<MinCostCurve> curve_;
   InventoryCaps caps_;
 };

@@ -234,13 +234,17 @@ std::vector<SweepRow> run_fault_injection_sweep(
     const std::vector<double>& jitter_sigmas, const AblationOptions& options) {
   const AblationContext ctx = make_context(options);
   std::vector<SweepRow> rows(jitter_sigmas.size());
+  // One immutable dispatch plan shared by every worker; each worker's
+  // simulator differs only in its fault model.
+  const auto plan =
+      std::make_shared<const DispatchPlan>(ctx.design->candidates());
   parallel_for(jitter_sigmas.size(), [&](std::size_t i) {
     SimulatorOptions sim_options;
     sim_options.faults.boot_time_jitter = jitter_sigmas[i];
     sim_options.faults.boot_failure_prob =
         jitter_sigmas[i] > 0.0 ? 0.02 : 0.0;
     sim_options.faults.seed = options.seed + 13;
-    const Simulator simulator(ctx.design->candidates(), sim_options);
+    const Simulator simulator(ctx.design->candidates(), plan, sim_options);
     BmlScheduler scheduler(ctx.design,
                            std::make_shared<OracleMaxPredictor>());
     rows[i] = row_from("boot jitter sigma=" + std::to_string(jitter_sigmas[i]),

@@ -1,5 +1,7 @@
 #include "power/energy_meter.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace bml {
@@ -40,6 +42,38 @@ void EnergyMeter::add_reconfiguration_energy(Joules energy) {
 }
 
 void EnergyMeter::tick() { ++ticks_; }
+
+void EnergyMeter::add_span(Watts compute, Watts transition,
+                           std::size_t seconds) {
+  if (compute < 0.0)
+    throw std::invalid_argument("EnergyMeter: negative power sample");
+  if (transition < 0.0)
+    throw std::invalid_argument("EnergyMeter: negative reconfiguration energy");
+  while (seconds > 0) {
+    ensure_day();
+    const auto day = static_cast<std::size_t>(
+        step_ * static_cast<double>(ticks_) /
+        static_cast<double>(kSecondsPerDay));
+    // First tick attributed to the next day: ceil(day_end / step). Always
+    // > ticks_ (ticks_ still maps to `day`), so chunk >= 1 and the loop
+    // terminates for any step size.
+    const double day_end =
+        (static_cast<double>(day) + 1.0) * static_cast<double>(kSecondsPerDay);
+    const auto next_day_tick =
+        static_cast<std::size_t>(std::ceil(day_end / step_));
+    const std::size_t chunk =
+        std::min(seconds, std::max<std::size_t>(next_day_tick - ticks_, 1));
+    const Joules compute_e = compute * step_ * static_cast<double>(chunk);
+    const Joules transition_e =
+        transition * step_ * static_cast<double>(chunk);
+    compute_energy_ += compute_e;
+    day_compute_[day] += compute_e;
+    reconf_energy_ += transition_e;
+    day_reconf_[day] += transition_e;
+    ticks_ += chunk;
+    seconds -= chunk;
+  }
+}
 
 std::vector<Joules> EnergyMeter::per_day_total() const {
   std::vector<Joules> out(day_compute_.size());

@@ -31,6 +31,13 @@ class EnergyMeter {
   /// simulated second, after the samples for that second were added.
   void tick();
 
+  /// Batch equivalent of `seconds` iterations of
+  /// { add_compute_sample(compute); add_reconfiguration_energy(transition *
+  /// step); tick(); }: integrates constant power over a span, splitting the
+  /// energy across day buckets in closed form. Totals match the per-second
+  /// calls up to floating-point summation order.
+  void add_span(Watts compute, Watts transition, std::size_t seconds);
+
   [[nodiscard]] Joules total_energy() const {
     return compute_energy_ + reconf_energy_;
   }

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <stdexcept>
+
+#include "util/run_length.hpp"
 
 namespace bml {
 
@@ -31,22 +34,40 @@ void OracleMaxPredictor::rebuild_cache(const LoadTrace& trace,
     window_max_[t] =
         deque.empty() ? 0.0 : trace.at(static_cast<TimePoint>(deque.front()));
   }
+  window_change_points_.clear();
+  for (std::size_t t = 1; t < n; ++t)
+    if (window_max_[t] != window_max_[t - 1])
+      window_change_points_.push_back(t);
   cached_trace_ = &trace;
   cached_size_ = n;
   cached_horizon_ = horizon;
 }
 
-ReqRate OracleMaxPredictor::predict(const LoadTrace& trace, TimePoint now,
-                                    Seconds horizon) {
+void OracleMaxPredictor::ensure_cache(const LoadTrace& trace, TimePoint now,
+                                      Seconds horizon) {
   if (horizon <= 0.0)
     throw std::invalid_argument("OracleMaxPredictor: horizon must be > 0");
   if (now < 0) throw std::invalid_argument("OracleMaxPredictor: now < 0");
   if (cached_trace_ != &trace || cached_size_ != trace.size() ||
       cached_horizon_ != horizon)
     rebuild_cache(trace, horizon);
+}
+
+ReqRate OracleMaxPredictor::predict(const LoadTrace& trace, TimePoint now,
+                                    Seconds horizon) {
+  ensure_cache(trace, now, horizon);
   const auto t = static_cast<std::size_t>(now);
   if (t >= window_max_.size()) return 0.0;
   return window_max_[t];
+}
+
+TimePoint OracleMaxPredictor::stable_until(const LoadTrace& trace,
+                                           TimePoint now, Seconds horizon) {
+  ensure_cache(trace, now, horizon);
+  const std::size_t n = window_max_.size();
+  const auto t = static_cast<std::size_t>(now);
+  if (t >= n) return std::numeric_limits<TimePoint>::max();  // 0 forever
+  return next_change_point(window_change_points_, t, n, window_max_[n - 1]);
 }
 
 ReqRate LastValuePredictor::predict(const LoadTrace& trace, TimePoint now,

@@ -31,6 +31,19 @@ class Predictor {
   [[nodiscard]] virtual ReqRate predict(const LoadTrace& trace, TimePoint now,
                                         Seconds horizon) = 0;
 
+  /// First time strictly after `now` at which predict() may return a value
+  /// different from predict(now) — the event-driven simulator skips
+  /// redundant scheduler consultations up to (exclusive) this bound.
+  /// Predictors with per-call state (EWMA, error injection) must keep the
+  /// conservative default of now + 1, which preserves per-second querying.
+  [[nodiscard]] virtual TimePoint stable_until(const LoadTrace& trace,
+                                               TimePoint now,
+                                               Seconds horizon) {
+    (void)trace;
+    (void)horizon;
+    return now + 1;
+  }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -42,15 +55,25 @@ class OracleMaxPredictor final : public Predictor {
  public:
   [[nodiscard]] ReqRate predict(const LoadTrace& trace, TimePoint now,
                                 Seconds horizon) override;
+  /// O(log #segments) lookup in the window-max change-point index built
+  /// alongside the cache.
+  [[nodiscard]] TimePoint stable_until(const LoadTrace& trace, TimePoint now,
+                                       Seconds horizon) override;
   [[nodiscard]] std::string name() const override { return "oracle-max"; }
 
  private:
+  /// Validates the query and (re)builds the cache when the trace or
+  /// horizon changed — shared by predict() and stable_until().
+  void ensure_cache(const LoadTrace& trace, TimePoint now, Seconds horizon);
   void rebuild_cache(const LoadTrace& trace, Seconds horizon);
 
   const void* cached_trace_ = nullptr;
   std::size_t cached_size_ = 0;
   Seconds cached_horizon_ = 0.0;
   std::vector<double> window_max_;  // max over [t, t + horizon) per t
+  // Indices where window_max_ changes value, ascending — lets
+  // stable_until answer in O(log #segments).
+  std::vector<std::size_t> window_change_points_;
 };
 
 /// Last observed value (history only).

@@ -1,6 +1,7 @@
 #include "sched/baselines.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace bml {
@@ -42,6 +43,11 @@ Combination StaticMaxScheduler::initial_combination(const LoadTrace& trace) {
   return homogeneous(arch_index_, cached_machines_);
 }
 
+TimePoint StaticMaxScheduler::decision_stable_until(TimePoint /*now*/,
+                                                    const LoadTrace& /*trace*/) {
+  return std::numeric_limits<TimePoint>::max();
+}
+
 PerDayScheduler::PerDayScheduler(ArchitectureProfile big,
                                  std::size_t arch_index)
     : big_(std::move(big)), arch_index_(arch_index) {}
@@ -73,6 +79,14 @@ Combination PerDayScheduler::initial_combination(const LoadTrace& trace) {
   return combination_for_day(trace, 0);
 }
 
+TimePoint PerDayScheduler::decision_stable_until(TimePoint now,
+                                                 const LoadTrace& trace) {
+  const auto day = static_cast<std::size_t>(now / kSecondsPerDay);
+  if (day >= trace.days())  // past the trace: std::nullopt forever
+    return std::numeric_limits<TimePoint>::max();
+  return (static_cast<TimePoint>(day) + 1) * kSecondsPerDay;
+}
+
 ReactiveScheduler::ReactiveScheduler(std::shared_ptr<const BmlDesign> design,
                                      double headroom)
     : design_(std::move(design)), headroom_(headroom) {
@@ -87,6 +101,11 @@ std::optional<Combination> ReactiveScheduler::decide(
   const ReqRate rate =
       std::min(trace.at(now) * headroom_, design_->max_rate());
   return design_->ideal_combination(rate);
+}
+
+TimePoint ReactiveScheduler::decision_stable_until(TimePoint now,
+                                                   const LoadTrace& trace) {
+  return trace.next_change(now);
 }
 
 Combination ReactiveScheduler::initial_combination(const LoadTrace& trace) {

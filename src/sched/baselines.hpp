@@ -35,6 +35,9 @@ class StaticMaxScheduler final : public Scheduler {
       const ClusterSnapshot& snapshot) override;
   [[nodiscard]] Combination initial_combination(
       const LoadTrace& trace) override;
+  /// The fleet never changes: stable for the whole replay.
+  [[nodiscard]] TimePoint decision_stable_until(
+      TimePoint now, const LoadTrace& trace) override;
   [[nodiscard]] std::string name() const override {
     return "upper-bound-global";
   }
@@ -61,6 +64,9 @@ class PerDayScheduler final : public Scheduler {
       const ClusterSnapshot& snapshot) override;
   [[nodiscard]] Combination initial_combination(
       const LoadTrace& trace) override;
+  /// Decisions change only at midnight boundaries.
+  [[nodiscard]] TimePoint decision_stable_until(
+      TimePoint now, const LoadTrace& trace) override;
   [[nodiscard]] std::string name() const override {
     return "upper-bound-per-day";
   }
@@ -87,6 +93,9 @@ class ReactiveScheduler final : public Scheduler {
       const ClusterSnapshot& snapshot) override;
   [[nodiscard]] Combination initial_combination(
       const LoadTrace& trace) override;
+  /// Tracks the instantaneous load: stable until the trace value changes.
+  [[nodiscard]] TimePoint decision_stable_until(
+      TimePoint now, const LoadTrace& trace) override;
   [[nodiscard]] std::string name() const override { return "reactive"; }
 
  private:

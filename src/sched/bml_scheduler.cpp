@@ -40,6 +40,11 @@ std::optional<Combination> BmlScheduler::decide(
   return design_->ideal_combination(target_rate(trace, now));
 }
 
+TimePoint BmlScheduler::decision_stable_until(TimePoint now,
+                                              const LoadTrace& trace) {
+  return predictor_->stable_until(trace, now, window_);
+}
+
 Combination BmlScheduler::initial_combination(const LoadTrace& trace) {
   const ReqRate first_load = trace.empty() ? 0.0 : trace.at(0);
   const ReqRate rate = std::max(target_rate(trace, 0), first_load);

@@ -34,6 +34,11 @@ class BmlScheduler final : public Scheduler {
       TimePoint now, const LoadTrace& trace,
       const ClusterSnapshot& snapshot) override;
 
+  /// The decision is a pure function of the predicted rate, so it is
+  /// stable for as long as the predictor's output is.
+  [[nodiscard]] TimePoint decision_stable_until(
+      TimePoint now, const LoadTrace& trace) override;
+
   /// Pre-warms the combination for the initial prediction (never less than
   /// the first second's load, so a cold oracle still covers t = 0).
   [[nodiscard]] Combination initial_combination(

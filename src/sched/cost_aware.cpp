@@ -22,6 +22,7 @@ CostAwareScheduler::CostAwareScheduler(
     throw std::invalid_argument("CostAwareScheduler: null predictor");
   app_.validate();
   migration_.validate();
+  plan_ = DispatchPlan(design_->candidates());
   if (window_ <= 0.0) window_ = BmlScheduler::default_window(*design_);
   if (payback_window_ <= 0.0) payback_window_ = window_;
 }
@@ -69,8 +70,8 @@ std::optional<Combination> CostAwareScheduler::decide(
 
   // Optional reconfiguration (scale-down / reshaping): only when the power
   // savings repay the transition energy within the payback window.
-  const Watts current_power = dispatch(cand, current_, predicted).power;
-  const Watts target_power = dispatch(cand, target, predicted).power;
+  const Watts current_power = plan_.power_at(current_.counts(), predicted);
+  const Watts target_power = plan_.power_at(target.counts(), predicted);
   const Watts savings = current_power - target_power;
   if (savings <= 0.0) return current_;
 

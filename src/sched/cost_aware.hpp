@@ -20,6 +20,7 @@
 
 #include "app/migration.hpp"
 #include "core/bml_design.hpp"
+#include "core/dispatch_plan.hpp"
 #include "predict/predictor.hpp"
 #include "sim/scheduler.hpp"
 
@@ -51,6 +52,7 @@ class CostAwareScheduler final : public Scheduler {
 
  private:
   std::shared_ptr<const BmlDesign> design_;
+  DispatchPlan plan_;  // compiled from the design's candidates
   std::shared_ptr<Predictor> predictor_;
   ApplicationModel app_;
   MigrationModel migration_;

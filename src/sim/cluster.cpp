@@ -6,10 +6,15 @@
 namespace bml {
 
 Cluster::Cluster(Catalog candidates, const Combination& initial,
-                 FaultModel faults)
-    : candidates_(std::move(candidates)), faults_(faults) {
+                 FaultModel faults, std::shared_ptr<const DispatchPlan> plan)
+    : candidates_(std::move(candidates)),
+      plan_(std::move(plan)),
+      faults_(faults) {
   if (candidates_.empty())
     throw std::invalid_argument("Cluster: empty candidate catalog");
+  if (!plan_) plan_ = std::make_shared<DispatchPlan>(candidates_);
+  if (plan_->arch_kinds() != candidates_.size())
+    throw std::invalid_argument("Cluster: plan does not match catalog");
   if (faults_.boot_time_jitter < 0.0 || faults_.boot_failure_prob < 0.0 ||
       faults_.boot_failure_prob > 1.0)
     throw std::invalid_argument("Cluster: invalid fault model");
@@ -108,7 +113,7 @@ ReqRate Cluster::on_capacity() const {
 
 ClusterPower Cluster::step_power(ReqRate load) const {
   ClusterPower power;
-  power.compute = dispatch(candidates_, Combination{on_}, load).power;
+  power.compute = plan_->power_at(on_, load);
   for (std::size_t a = 0; a < candidates_.size(); ++a) {
     power.transition +=
         booting_[a] * candidates_[a].on_cost().average_power();
@@ -116,6 +121,18 @@ ClusterPower Cluster::step_power(ReqRate load) const {
         shutting_[a] * candidates_[a].off_cost().average_power();
   }
   return power;
+}
+
+Seconds Cluster::next_transition_remaining() const {
+  Seconds next = -1.0;
+  for (const SimMachine& m : machines_) {
+    if (m.state() != MachineState::kBooting &&
+        m.state() != MachineState::kShuttingDown)
+      continue;
+    if (next < 0.0 || m.transition_remaining() < next)
+      next = m.transition_remaining();
+  }
+  return next;
 }
 
 int Cluster::step(Seconds dt) {

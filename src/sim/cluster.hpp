@@ -7,11 +7,13 @@
 // dispatch over the On machines, and aggregate state snapshots.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "arch/catalog.hpp"
 #include "core/combination.hpp"
+#include "core/dispatch_plan.hpp"
 #include "sim/machine.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -54,9 +56,12 @@ class Cluster {
  public:
   /// `candidates` is the sorted candidate catalog the combinations index
   /// into; `initial` machines start On (pre-warmed). `faults` enables boot
-  /// fault injection.
+  /// fault injection. `plan` is an optional precompiled dispatch plan for
+  /// the same catalog (shared across clusters / workers); when null the
+  /// cluster compiles its own.
   explicit Cluster(Catalog candidates, const Combination& initial = {},
-                   FaultModel faults = {});
+                   FaultModel faults = {},
+                   std::shared_ptr<const DispatchPlan> plan = nullptr);
 
   [[nodiscard]] const Catalog& candidates() const { return candidates_; }
 
@@ -82,9 +87,18 @@ class Cluster {
   /// power. Load beyond capacity is dropped by the dispatcher.
   [[nodiscard]] ClusterPower step_power(ReqRate load) const;
 
-  /// Advances all machines one second; returns the number of transitions
-  /// that completed.
+  /// Advances all machines `dt` seconds; returns the number of transitions
+  /// that completed. Multi-second steps are exact: each machine's remaining
+  /// time is decremented once, which matches repeated 1 s steps bit-for-bit
+  /// as long as no intermediate completion is skipped (callers bound `dt`
+  /// by next_transition_remaining()).
   int step(Seconds dt = 1.0);
+
+  /// Smallest remaining transition time among booting / shutting-down
+  /// machines; a negative value when none are transitioning. The number of
+  /// whole seconds a per-second stepper runs before the first completion is
+  /// ceil(next_transition_remaining() - 1e-9).
+  [[nodiscard]] Seconds next_transition_remaining() const;
 
   /// Total machines ever provisioned (for reporting).
   [[nodiscard]] std::size_t machine_count() const { return machines_.size(); }
@@ -93,6 +107,7 @@ class Cluster {
   [[nodiscard]] Seconds boot_duration(std::size_t arch);
 
   Catalog candidates_;
+  std::shared_ptr<const DispatchPlan> plan_;
   FaultModel faults_;
   std::optional<Rng> fault_rng_;
   std::vector<SimMachine> machines_;

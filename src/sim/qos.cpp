@@ -13,17 +13,25 @@ double headroom_factor(QosClass qos) {
   throw std::invalid_argument("headroom_factor: unknown QoS class");
 }
 
-void QosTracker::record(ReqRate load, ReqRate capacity) {
+void QosTracker::record_span(ReqRate load, ReqRate capacity,
+                             std::int64_t seconds) {
   if (load < 0.0 || capacity < 0.0)
     throw std::invalid_argument("QosTracker: negative load or capacity");
-  stats_.total_seconds += 1;
-  stats_.offered_requests += load;
+  if (seconds < 0)
+    throw std::invalid_argument("QosTracker: negative span");
+  if (seconds == 0) return;
+  stats_.total_seconds += seconds;
+  stats_.offered_requests += load * static_cast<double>(seconds);
   const double shortfall = load - capacity;
   if (shortfall > 0.0) {
-    stats_.violation_seconds += 1;
-    stats_.unserved_requests += shortfall;
+    stats_.violation_seconds += seconds;
+    stats_.unserved_requests += shortfall * static_cast<double>(seconds);
     stats_.worst_shortfall = std::max(stats_.worst_shortfall, shortfall);
   }
+}
+
+void QosTracker::record(ReqRate load, ReqRate capacity) {
+  record_span(load, capacity, 1);
 }
 
 }  // namespace bml

@@ -59,6 +59,12 @@ class QosTracker {
   /// Records one second with `load` offered and `capacity` available.
   void record(ReqRate load, ReqRate capacity);
 
+  /// Records `seconds` consecutive seconds with constant load and capacity
+  /// in closed form — the event-driven simulator's batch path. Counters
+  /// match `seconds` repeated record() calls (up to floating-point
+  /// summation order on the request integrals).
+  void record_span(ReqRate load, ReqRate capacity, std::int64_t seconds);
+
   [[nodiscard]] const QosStats& stats() const { return stats_; }
 
  private:

@@ -36,6 +36,21 @@ class Scheduler {
     return Combination{};
   }
 
+  /// First time strictly after `now` at which decide() may return a
+  /// decision different from the one it returned at `now`, assuming the
+  /// cluster state does not change in between (it cannot while no
+  /// reconfiguration is in flight). The event-driven simulator batches
+  /// idle seconds up to (exclusive) this bound instead of consulting every
+  /// second. Schedulers whose decisions depend on per-call internal state
+  /// (hysteresis, error-injected predictions) must keep the conservative
+  /// default of now + 1, which degrades gracefully to per-second
+  /// consultation.
+  [[nodiscard]] virtual TimePoint decision_stable_until(
+      TimePoint now, const LoadTrace& trace) {
+    (void)trace;
+    return now + 1;
+  }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 

@@ -1,6 +1,8 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "util/logging.hpp"
@@ -21,132 +23,282 @@ Simulator::Simulator(Catalog candidates, SimulatorOptions options)
     : candidates_(std::move(candidates)), options_(options) {
   if (candidates_.empty())
     throw std::invalid_argument("Simulator: empty candidate catalog");
+  plan_ = std::make_shared<DispatchPlan>(candidates_);
+}
+
+Simulator::Simulator(Catalog candidates,
+                     std::shared_ptr<const DispatchPlan> plan,
+                     SimulatorOptions options)
+    : candidates_(std::move(candidates)),
+      plan_(std::move(plan)),
+      options_(options) {
+  if (candidates_.empty())
+    throw std::invalid_argument("Simulator: empty candidate catalog");
+  if (!plan_ || plan_->arch_kinds() != candidates_.size())
+    throw std::invalid_argument("Simulator: plan does not match catalog");
 }
 
 SimulationResult Simulator::run(Scheduler& scheduler,
                                 const LoadTrace& trace) const {
-  SimulationResult result;
-  result.scheduler_name = scheduler.name();
+  // Event logs are inherently per-second artifacts; everything else goes
+  // through the event-driven path.
+  if (options_.event_driven && !options_.record_events)
+    return run_event_driven(scheduler, trace);
+  return run_per_second(scheduler, trace);
+}
 
-  Combination initial = scheduler.initial_combination(trace);
-  initial.resize(candidates_.size());
-  Cluster cluster(candidates_, initial, options_.faults);
-  EnergyMeter meter(1.0);
-  QosTracker qos;
+namespace {
 
-  Combination current_target = initial;
+/// Reconfiguration bookkeeping shared by both execution strategies; the
+/// helpers below are the single copy of the decision and settle logic, so
+/// the per-second reference and the event-driven fast path cannot drift
+/// apart.
+struct ReconfigState {
+  Combination current_target;
   bool reconfiguring = false;
-  TimePoint reconfig_started = 0;
-  std::vector<int> deferred_offs(candidates_.size(), 0);
-  EventLog events(options_.event_log_capacity);
-  const bool log_events = options_.record_events;
+  TimePoint started = 0;
+  std::vector<int> deferred_offs;
+};
 
+/// Mutable state of one simulation run, shared by both execution
+/// strategies so that setup and result assembly exist exactly once.
+struct Run {
+  SimulationResult result;
+  Cluster cluster;
+  EnergyMeter meter{1.0};
+  QosTracker qos;
+  ReconfigState state;
   std::vector<double> power_samples;
   double bucket_max = 0.0;
   std::size_t bucket_fill = 0;
+};
+
+Run make_run(const Catalog& candidates, const SimulatorOptions& options,
+             std::shared_ptr<const DispatchPlan> plan, Scheduler& scheduler,
+             const LoadTrace& trace) {
+  Combination initial = scheduler.initial_combination(trace);
+  initial.resize(candidates.size());
+  Run run{SimulationResult{},
+          Cluster(candidates, initial, options.faults, std::move(plan))};
+  run.result.scheduler_name = scheduler.name();
+  run.state.current_target = std::move(initial);
+  run.state.deferred_offs.assign(candidates.size(), 0);
+  return run;
+}
+
+/// Flushes the trailing power bucket and copies the meters into the
+/// result.
+void finalize_run(Run& run, const SimulatorOptions& options) {
+  if (options.record_power_every > 0 && run.bucket_fill > 0)
+    run.power_samples.push_back(run.bucket_max);
+  SimulationResult& r = run.result;
+  r.compute_energy = run.meter.compute_energy();
+  r.reconfiguration_energy = run.meter.reconfiguration_energy();
+  r.per_day_compute = run.meter.per_day_compute();
+  r.per_day_reconfiguration = run.meter.per_day_reconfiguration();
+  r.qos = run.qos.stats();
+  if (options.record_power_every > 0)
+    r.power_series =
+        TimeSeries(std::move(run.power_samples),
+                   static_cast<Seconds>(options.record_power_every));
+}
+
+/// Applies the scheduler's decision at `now`: a target change switches
+/// machines on (and off — deferred in graceful mode) and starts a
+/// reconfiguration. `events` is null when event logging is off.
+void apply_decision(std::optional<Combination> decision, TimePoint now,
+                    const Catalog& candidates, bool graceful_off,
+                    Cluster& cluster, ReconfigState& state,
+                    SimulationResult& result, EventLog* events) {
+  if (!decision.has_value()) return;
+  decision->resize(candidates.size());
+  if (*decision == state.current_target) return;
+
+  const std::vector<int> d = delta(state.current_target, *decision);
+  bool any_on = false;
+  for (std::size_t a = 0; a < d.size(); ++a)
+    if (d[a] > 0) {
+      cluster.switch_on(a, d[a]);
+      any_on = true;
+    }
+  for (std::size_t a = 0; a < d.size(); ++a)
+    if (d[a] < 0) {
+      // Graceful mode keeps surplus machines serving until the
+      // replacements are up; otherwise they power down immediately.
+      if (graceful_off && any_on)
+        state.deferred_offs[a] += -d[a];
+      else
+        cluster.switch_off(a, -d[a]);
+    }
+  state.reconfiguring = true;
+  state.started = now;
+  ++result.reconfigurations;
+  log_debug() << "t=" << now << " reconfigure -> "
+              << to_string(candidates, *decision);
+  if (events)
+    events->record(now, EventKind::kReconfigurationStart,
+                   to_string(candidates, *decision));
+  state.current_target = *decision;
+}
+
+/// Post-step bookkeeping while a reconfiguration is in flight: once all
+/// boots drained, issues the deferred switch-offs; once those drained too,
+/// clears the flag (the next decision happens the following second).
+void settle_reconfiguration(TimePoint now, Cluster& cluster,
+                            ReconfigState& state, EventLog* events) {
+  const ClusterSnapshot snap = cluster.snapshot();
+  if (snap.booting.total_machines() != 0) return;
+  bool issued = false;
+  for (std::size_t a = 0; a < state.deferred_offs.size(); ++a)
+    if (state.deferred_offs[a] > 0) {
+      cluster.switch_off(a, state.deferred_offs[a]);
+      state.deferred_offs[a] = 0;
+      issued = true;
+    }
+  if (!issued && snap.shutting_down.total_machines() == 0) {
+    state.reconfiguring = false;  // completed; next decision at t + 1
+    if (events)
+      events->record(now, EventKind::kReconfigurationComplete,
+                     std::to_string(now - state.started + 1) + " s");
+  }
+}
+
+}  // namespace
+
+SimulationResult Simulator::run_per_second(Scheduler& scheduler,
+                                           const LoadTrace& trace) const {
+  Run run = make_run(candidates_, options_, plan_, scheduler, trace);
+  EventLog events(options_.event_log_capacity);
+  const bool log_events = options_.record_events;
+  EventLog* events_ptr = log_events ? &events : nullptr;
 
   const std::size_t n = trace.size();
   for (std::size_t t = 0; t < n; ++t) {
     const auto now = static_cast<TimePoint>(t);
 
-    if (!reconfiguring) {
-      std::optional<Combination> decision =
-          scheduler.decide(now, trace, cluster.snapshot());
-      if (decision.has_value()) {
-        decision->resize(candidates_.size());
-        if (*decision != current_target) {
-          const std::vector<int> d = delta(current_target, *decision);
-          bool any_on = false;
-          for (std::size_t a = 0; a < d.size(); ++a)
-            if (d[a] > 0) {
-              cluster.switch_on(a, d[a]);
-              any_on = true;
-            }
-          for (std::size_t a = 0; a < d.size(); ++a)
-            if (d[a] < 0) {
-              // Graceful mode keeps surplus machines serving until the
-              // replacements are up; otherwise they power down immediately.
-              if (options_.graceful_off && any_on)
-                deferred_offs[a] += -d[a];
-              else
-                cluster.switch_off(a, -d[a]);
-            }
-          reconfiguring = true;
-          reconfig_started = now;
-          ++result.reconfigurations;
-          log_debug() << "t=" << now << " reconfigure -> "
-                      << to_string(candidates_, *decision);
-          if (log_events)
-            events.record(now, EventKind::kReconfigurationStart,
-                          to_string(candidates_, *decision));
-          current_target = *decision;
-        }
-      }
-    }
+    if (!run.state.reconfiguring)
+      apply_decision(scheduler.decide(now, trace, run.cluster.snapshot()),
+                     now, candidates_, options_.graceful_off, run.cluster,
+                     run.state, run.result, events_ptr);
 
     const ReqRate load = trace.at(now);
-    const ClusterPower power = cluster.step_power(load);
-    const ReqRate capacity_now = cluster.on_capacity();
-    qos.record(load, capacity_now);
+    const ClusterPower power = run.cluster.step_power(load);
+    const ReqRate capacity_now = run.cluster.on_capacity();
+    run.qos.record(load, capacity_now);
     if (log_events && load > capacity_now)
       events.record(now, EventKind::kQosViolation,
                     std::to_string(load - capacity_now));
-    meter.add_compute_sample(power.compute);
+    run.meter.add_compute_sample(power.compute);
     if (power.transition > 0.0)
-      meter.add_reconfiguration_energy(power.transition * 1.0);
-    meter.tick();
-    if (reconfiguring) ++result.reconfiguring_seconds;
+      run.meter.add_reconfiguration_energy(power.transition * 1.0);
+    run.meter.tick();
+    if (run.state.reconfiguring) ++run.result.reconfiguring_seconds;
 
-    const int completed = cluster.step(1.0);
+    const int completed = run.cluster.step(1.0);
     if (log_events && completed > 0)
       events.record(now, EventKind::kBootComplete,
                     std::to_string(completed) + " transitions");
 
-    if (reconfiguring) {
-      const ClusterSnapshot snap = cluster.snapshot();
-      if (snap.booting.total_machines() == 0) {
-        bool issued = false;
-        for (std::size_t a = 0; a < deferred_offs.size(); ++a)
-          if (deferred_offs[a] > 0) {
-            cluster.switch_off(a, deferred_offs[a]);
-            deferred_offs[a] = 0;
-            issued = true;
-          }
-        if (!issued && snap.shutting_down.total_machines() == 0) {
-          reconfiguring = false;  // completed; next decision at t + 1
-          if (log_events)
-            events.record(now, EventKind::kReconfigurationComplete,
-                          std::to_string(now - reconfig_started + 1) + " s");
+    if (run.state.reconfiguring)
+      settle_reconfiguration(now, run.cluster, run.state, events_ptr);
+
+    run.result.peak_machines =
+        std::max(run.result.peak_machines, run.cluster.machine_count());
+
+    if (options_.record_power_every > 0) {
+      run.bucket_max =
+          std::max(run.bucket_max, power.compute + power.transition);
+      if (++run.bucket_fill == options_.record_power_every) {
+        run.power_samples.push_back(run.bucket_max);
+        run.bucket_max = 0.0;
+        run.bucket_fill = 0;
+      }
+    }
+  }
+  finalize_run(run, options_);
+  if (log_events) run.result.events = std::move(events);
+  return std::move(run.result);
+}
+
+SimulationResult Simulator::run_event_driven(Scheduler& scheduler,
+                                             const LoadTrace& trace) const {
+  Run run = make_run(candidates_, options_, plan_, scheduler, trace);
+
+  const auto n = static_cast<TimePoint>(trace.size());
+  TimePoint t = 0;
+  while (t < n) {
+    // 1. Scheduler decision, exactly as in the reference loop. While no
+    //    reconfiguration is in flight the cluster state cannot change, so
+    //    the scheduler's stability bound tells us how long the decision
+    //    (and thus the fleet) stays as it is now.
+    TimePoint stable_until = t + 1;
+    if (!run.state.reconfiguring) {
+      apply_decision(scheduler.decide(t, trace, run.cluster.snapshot()), t,
+                     candidates_, options_.graceful_off, run.cluster,
+                     run.state, run.result, nullptr);
+      if (!run.state.reconfiguring)
+        stable_until = scheduler.decision_stable_until(t, trace);
+    }
+
+    // 2. Find the next event boundary: scheduler decision change, machine
+    //    transition completion (completions land at the end of second
+    //    t + ceil(remaining) - 1), or trace value change. While a
+    //    reconfiguration with no transitions left is draining (the one
+    //    extra second before the flag clears), tick one second.
+    TimePoint span_end;
+    if (!run.state.reconfiguring) {
+      span_end = stable_until;
+    } else {
+      const Seconds remaining = run.cluster.next_transition_remaining();
+      span_end =
+          remaining >= 0.0
+              ? t + static_cast<TimePoint>(std::ceil(remaining - 1e-9))
+              : t + 1;
+    }
+    span_end = std::min(span_end, trace.next_change(t));
+    span_end = std::clamp(span_end, t + 1, n);
+    const TimePoint span = span_end - t;
+
+    // 3. Advance the span in closed form: constant fleet + constant load
+    //    means constant power and constant QoS margin.
+    const ReqRate load = trace.at(t);
+    const ClusterPower power = run.cluster.step_power(load);
+    run.qos.record_span(load, run.cluster.on_capacity(), span);
+    run.meter.add_span(power.compute, power.transition,
+                       static_cast<std::size_t>(span));
+    if (run.state.reconfiguring) run.result.reconfiguring_seconds += span;
+
+    if (options_.record_power_every > 0) {
+      const double total = power.compute + power.transition;
+      auto left = static_cast<std::size_t>(span);
+      while (left > 0) {
+        const std::size_t chunk =
+            std::min(left, options_.record_power_every - run.bucket_fill);
+        run.bucket_max = std::max(run.bucket_max, total);
+        run.bucket_fill += chunk;
+        left -= chunk;
+        if (run.bucket_fill == options_.record_power_every) {
+          run.power_samples.push_back(run.bucket_max);
+          run.bucket_max = 0.0;
+          run.bucket_fill = 0;
         }
       }
     }
 
-    result.peak_machines =
-        std::max(result.peak_machines, cluster.machine_count());
+    // 4. Machine transitions progress; completions land exactly at the
+    //    end of the span (Cluster::step is exact for multi-second steps).
+    if (run.cluster.transitioning())
+      run.cluster.step(static_cast<Seconds>(span));
 
-    if (options_.record_power_every > 0) {
-      bucket_max = std::max(bucket_max, power.compute + power.transition);
-      if (++bucket_fill == options_.record_power_every) {
-        power_samples.push_back(bucket_max);
-        bucket_max = 0.0;
-        bucket_fill = 0;
-      }
-    }
+    if (run.state.reconfiguring)
+      settle_reconfiguration(span_end - 1, run.cluster, run.state, nullptr);
+
+    run.result.peak_machines =
+        std::max(run.result.peak_machines, run.cluster.machine_count());
+    t = span_end;
   }
-  if (options_.record_power_every > 0 && bucket_fill > 0)
-    power_samples.push_back(bucket_max);
-
-  result.compute_energy = meter.compute_energy();
-  result.reconfiguration_energy = meter.reconfiguration_energy();
-  result.per_day_compute = meter.per_day_compute();
-  result.per_day_reconfiguration = meter.per_day_reconfiguration();
-  result.qos = qos.stats();
-  if (options_.record_power_every > 0)
-    result.power_series = TimeSeries(
-        std::move(power_samples),
-        static_cast<Seconds>(options_.record_power_every));
-  if (log_events) result.events = std::move(events);
-  return result;
+  finalize_run(run, options_);
+  return std::move(run.result);
 }
 
 }  // namespace bml

@@ -14,12 +14,27 @@
 // Switch-off ordering is configurable: graceful (surplus machines keep
 // serving until the replacements finish booting — no capacity dip) or
 // immediate (off actions start with the on actions — cheaper, riskier).
+//
+// Two execution strategies produce the same results:
+//   * the per-second reference loop — one tick per simulated second, the
+//     direct transcription of the paper's simulator, and the only mode
+//     that can record per-second event logs;
+//   * the event-driven fast path (default) — between events nothing in the
+//     system changes (the scheduler's decision is stable, no machine
+//     transition completes, the trace value is constant), so the simulator
+//     advances to the next event boundary in one step and accumulates
+//     energy / QoS / power-bucket state in closed form. Steady traces
+//     replay orders of magnitude faster; see bench_micro's
+//     BM_SimulatorWeek benchmarks and tests/test_simulator_fastpath.cpp
+//     for the equivalence guarantee.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/combination.hpp"
+#include "core/dispatch_plan.hpp"
 #include "power/energy_meter.hpp"
 #include "sim/cluster.hpp"
 #include "sim/event_log.hpp"
@@ -36,6 +51,13 @@ struct SimulatorOptions {
   /// Defer switch-offs until pending boots complete (default), keeping
   /// capacity through the transition.
   bool graceful_off = true;
+  /// Use the event-driven fast path: between events (scheduler decision
+  /// changes, machine transition completions, trace value changes) the
+  /// simulation advances in closed form instead of per-second ticks.
+  /// Results match the per-second reference up to floating-point summation
+  /// order (see tests/test_simulator_fastpath.cpp). Event logging always
+  /// falls back to the per-second reference path.
+  bool event_driven = true;
   /// Record the total power series downsampled by this factor (seconds per
   /// sample, max over the bucket); 0 disables recording.
   std::size_t record_power_every = 0;
@@ -73,15 +95,35 @@ struct SimulationResult {
 };
 
 /// Runs `scheduler` over `trace` on a cluster drawn from `candidates`.
+/// The candidate catalog is compiled into a DispatchPlan once at
+/// construction; run() is const and every run gets its own cluster and
+/// scratch state, so one Simulator can serve many parallel_for workers
+/// concurrently (as the experiment sweeps do).
 class Simulator {
  public:
   Simulator(Catalog candidates, SimulatorOptions options = {});
 
+  /// Shares a precompiled plan (must match `candidates`) instead of
+  /// compiling one — for sweeps that build many differently-configured
+  /// simulators over the same catalog across parallel_for workers.
+  Simulator(Catalog candidates, std::shared_ptr<const DispatchPlan> plan,
+            SimulatorOptions options = {});
+
   [[nodiscard]] SimulationResult run(Scheduler& scheduler,
                                      const LoadTrace& trace) const;
 
+  [[nodiscard]] const DispatchPlan& plan() const { return *plan_; }
+
  private:
+  /// The 1 Hz reference loop (also the event-logging mode).
+  [[nodiscard]] SimulationResult run_per_second(Scheduler& scheduler,
+                                                const LoadTrace& trace) const;
+  /// Run-length batching between events.
+  [[nodiscard]] SimulationResult run_event_driven(
+      Scheduler& scheduler, const LoadTrace& trace) const;
+
   Catalog candidates_;
+  std::shared_ptr<const DispatchPlan> plan_;
   SimulatorOptions options_;
 };
 

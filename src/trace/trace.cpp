@@ -1,11 +1,14 @@
 #include "trace/trace.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 #include "util/csv.hpp"
+#include "util/run_length.hpp"
 
 namespace bml {
 
@@ -15,6 +18,8 @@ LoadTrace::LoadTrace(std::vector<double> rates) {
       throw std::invalid_argument(
           "LoadTrace: rates must be finite and >= 0");
   series_ = TimeSeries(std::move(rates), 1.0);
+  for (std::size_t i = 1; i < series_.size(); ++i)
+    if (series_[i] != series_[i - 1]) change_points_.push_back(i);
 }
 
 ReqRate LoadTrace::at(TimePoint t) const {
@@ -29,6 +34,17 @@ ReqRate LoadTrace::max_over(TimePoint begin, TimePoint end) const {
   if (end <= begin) return 0.0;
   return series_.max_over(static_cast<std::size_t>(begin),
                           static_cast<std::size_t>(end));
+}
+
+TimePoint LoadTrace::next_change(TimePoint t) const {
+  if (t < 0) throw std::invalid_argument("LoadTrace: negative time");
+  const std::size_t n = series_.size();
+  const auto idx = static_cast<std::size_t>(t);
+  if (idx >= n) {
+    // Beyond the end the trace serves 0 forever: no further change.
+    return std::numeric_limits<TimePoint>::max();
+  }
+  return next_change_point(change_points_, idx, n, series_[n - 1]);
 }
 
 ReqRate LoadTrace::peak() const { return series_.empty() ? 0.0 : series_.max(); }

@@ -33,6 +33,13 @@ class LoadTrace {
   /// paper's look-ahead prediction primitive. Returns 0 for empty ranges.
   [[nodiscard]] ReqRate max_over(TimePoint begin, TimePoint end) const;
 
+  /// First second after `t` whose rate differs from at(t) — the run-length
+  /// primitive of the event-driven simulator. Returns size() when the rest
+  /// of the trace holds the same value (the implicit 0 beyond the end
+  /// counts as a change unless at(t) is itself 0). O(log #segments): the
+  /// change points are indexed at construction.
+  [[nodiscard]] TimePoint next_change(TimePoint t) const;
+
   [[nodiscard]] ReqRate peak() const;
   [[nodiscard]] ReqRate mean() const;
 
@@ -55,6 +62,9 @@ class LoadTrace {
 
  private:
   TimeSeries series_;
+  // Indices i with series_[i] != series_[i - 1], ascending — the segment
+  // starts of a piecewise-constant view of the trace.
+  std::vector<std::size_t> change_points_;
 };
 
 }  // namespace bml

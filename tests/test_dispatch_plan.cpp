@@ -1,0 +1,126 @@
+// DispatchPlan must reproduce dispatch() bit-for-bit: the simulator fast
+// path, the solvers and the combination table all rely on the compiled
+// plan being a drop-in replacement for the reference implementation.
+#include "core/dispatch_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "arch/catalog.hpp"
+#include "core/bml_design.hpp"
+#include "core/combination.hpp"
+
+namespace bml {
+namespace {
+
+TEST(DispatchPlan, PowerMatchesDispatchBitForBit) {
+  const Catalog catalog = real_catalog();
+  const DispatchPlan plan(catalog);
+  const BmlDesign design = BmlDesign::build(catalog);
+
+  for (double rate = 0.0; rate <= 5000.0; rate += 7.3) {
+    Combination combo = design.ideal_combination(rate);
+    combo.resize(catalog.size());
+    for (double load = 0.0; load <= rate + 50.0; load += 101.7) {
+      const Watts reference = dispatch(catalog, combo, load).power;
+      EXPECT_EQ(plan.power_at(combo.counts(), load), reference)
+          << "rate=" << rate << " load=" << load;
+    }
+  }
+}
+
+TEST(DispatchPlan, DispatchIntoMatchesDispatch) {
+  const Catalog catalog = real_catalog();
+  const DispatchPlan plan(catalog);
+
+  Combination combo;
+  combo.resize(catalog.size());
+  combo.set_count(0, 2);
+  combo.set_count(catalog.size() - 1, 5);
+
+  DispatchResult scratch;
+  for (double load : {0.0, 10.0, 500.0, 2700.0, 1e6}) {
+    const DispatchResult reference = dispatch(catalog, combo, load);
+    plan.dispatch_into(combo.counts(), load, scratch);
+    EXPECT_EQ(scratch.power, reference.power);
+    EXPECT_EQ(scratch.served, reference.served);
+    EXPECT_EQ(scratch.feasible, reference.feasible);
+    EXPECT_EQ(scratch.load_per_arch, reference.load_per_arch);
+  }
+}
+
+TEST(DispatchPlan, HandlesNarrowCountSpans) {
+  const Catalog catalog = real_catalog();
+  const DispatchPlan plan(catalog);
+
+  // A combination narrower than the catalog means zero machines of the
+  // trailing architectures — dispatch() accepts that, so must the plan.
+  const Combination narrow{std::vector<int>{1, 1}};
+  EXPECT_EQ(plan.power_at(narrow.counts(), 100.0),
+            dispatch(catalog, narrow, 100.0).power);
+}
+
+TEST(DispatchPlan, MatchesPiecewiseProfiles) {
+  // A piecewise profile with a pronounced knee: the plan must fall back to
+  // the cloned model for the partially loaded machine.
+  const ArchitectureProfile bent(
+      "bent",
+      std::vector<PowerSample>{{0.0, 10.0}, {50.0, 90.0}, {100.0, 100.0}},
+      TransitionCost{5.0, 50.0}, TransitionCost{2.0, 10.0});
+  const ArchitectureProfile linear("lin", 200.0, 20.0, 120.0,
+                                   TransitionCost{5.0, 50.0},
+                                   TransitionCost{2.0, 10.0});
+  const Catalog catalog{linear, bent};
+  const DispatchPlan plan(catalog);
+  const Combination combo{std::vector<int>{2, 3}};
+
+  for (double load = 0.0; load <= 800.0; load += 13.7)
+    EXPECT_EQ(plan.power_at(combo.counts(), load),
+              dispatch(catalog, combo, load).power)
+        << "load=" << load;
+}
+
+TEST(DispatchPlan, CapacityMatches) {
+  const Catalog catalog = real_catalog();
+  const DispatchPlan plan(catalog);
+  const Combination combo{std::vector<int>{1, 2, 0, 3, 4}};
+  EXPECT_EQ(plan.capacity_of(combo.counts()), capacity(catalog, combo));
+}
+
+TEST(CombinationTablePower, FractionalRatesEvaluateTheActualRate) {
+  // power(rate) means "the grid combination serving exactly rate": the
+  // cache only short-circuits on-grid queries, so off-grid rates (the
+  // lower-bound and ablation paths query fractional trace loads) must
+  // still match the reference dispatch at the queried rate.
+  const BmlDesign design = BmlDesign::build(real_catalog());
+  const CombinationTable* table = design.table();
+  ASSERT_NE(table, nullptr);
+  for (double rate : {0.5, 664.5, 1330.9, 2500.25, 4999.999}) {
+    Combination combo = table->combination(rate);
+    combo.resize(design.candidates().size());
+    EXPECT_EQ(table->power(rate),
+              dispatch(design.candidates(), combo, rate).power)
+        << "rate=" << rate;
+    EXPECT_LT(table->power(rate), table->power(std::ceil(rate)));
+  }
+  // On-grid queries hit the cache and agree with the reference too.
+  EXPECT_EQ(table->power(665.0),
+            dispatch(design.candidates(), table->combination(665.0), 665.0)
+                .power);
+}
+
+TEST(DispatchPlan, RejectsBadInput) {
+  const Catalog catalog = real_catalog();
+  const DispatchPlan plan(catalog);
+  const std::vector<int> too_wide(catalog.size() + 1, 1);
+  const std::vector<int> ok(catalog.size(), 1);
+  EXPECT_THROW((void)plan.power_at(too_wide, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)plan.power_at(ok, -1.0), std::invalid_argument);
+  EXPECT_THROW(DispatchPlan{Catalog{}}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bml

@@ -1,0 +1,219 @@
+// Event-driven fast path vs per-second reference: the two execution
+// strategies must agree on every reported quantity — energy (total and per
+// day), QoS statistics, reconfiguration counts and durations, peak machine
+// counts, and the downsampled power series — within floating-point
+// summation order (1e-9 relative) on synthetic and WC98-style traces,
+// including graceful-off and boot-fault scenarios.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "core/bml_design.hpp"
+#include "predict/predictor.hpp"
+#include "sched/baselines.hpp"
+#include "sched/bml_scheduler.hpp"
+#include "sched/cost_aware.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/wc98.hpp"
+
+namespace bml {
+namespace {
+
+std::shared_ptr<BmlDesign> design() {
+  static auto d = std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
+  return d;
+}
+
+void expect_close(double fast, double reference, const char* what) {
+  const double tolerance = 1e-9 * std::max(1.0, std::abs(reference));
+  EXPECT_NEAR(fast, reference, tolerance) << what;
+}
+
+/// Runs the same scenario through both paths (fresh scheduler instances —
+/// schedulers are stateful) and asserts the results are equivalent.
+void expect_equivalent(
+    const std::function<std::unique_ptr<Scheduler>()>& make_scheduler,
+    const LoadTrace& trace, SimulatorOptions options = {}) {
+  options.event_driven = true;
+  const Simulator fast_sim(design()->candidates(), options);
+  options.event_driven = false;
+  const Simulator reference_sim(design()->candidates(), options);
+
+  auto fast_scheduler = make_scheduler();
+  auto reference_scheduler = make_scheduler();
+  const SimulationResult fast = fast_sim.run(*fast_scheduler, trace);
+  const SimulationResult reference =
+      reference_sim.run(*reference_scheduler, trace);
+
+  expect_close(fast.compute_energy, reference.compute_energy,
+               "compute_energy");
+  expect_close(fast.reconfiguration_energy, reference.reconfiguration_energy,
+               "reconfiguration_energy");
+  EXPECT_EQ(fast.reconfigurations, reference.reconfigurations);
+  EXPECT_EQ(fast.reconfiguring_seconds, reference.reconfiguring_seconds);
+  EXPECT_EQ(fast.peak_machines, reference.peak_machines);
+
+  EXPECT_EQ(fast.qos.total_seconds, reference.qos.total_seconds);
+  EXPECT_EQ(fast.qos.violation_seconds, reference.qos.violation_seconds);
+  expect_close(fast.qos.unserved_requests, reference.qos.unserved_requests,
+               "unserved_requests");
+  expect_close(fast.qos.offered_requests, reference.qos.offered_requests,
+               "offered_requests");
+  expect_close(fast.qos.worst_shortfall, reference.qos.worst_shortfall,
+               "worst_shortfall");
+
+  ASSERT_EQ(fast.per_day_compute.size(), reference.per_day_compute.size());
+  for (std::size_t d = 0; d < reference.per_day_compute.size(); ++d) {
+    expect_close(fast.per_day_compute[d], reference.per_day_compute[d],
+                 "per_day_compute");
+    expect_close(fast.per_day_reconfiguration[d],
+                 reference.per_day_reconfiguration[d],
+                 "per_day_reconfiguration");
+  }
+
+  ASSERT_EQ(fast.power_series.size(), reference.power_series.size());
+  for (std::size_t i = 0; i < reference.power_series.size(); ++i)
+    expect_close(fast.power_series[i], reference.power_series[i],
+                 "power_series");
+}
+
+std::unique_ptr<Scheduler> oracle_bml() {
+  return std::make_unique<BmlScheduler>(design(),
+                                        std::make_shared<OracleMaxPredictor>());
+}
+
+TEST(SimulatorFastPath, ConstantTraceBmlOracle) {
+  expect_equivalent(oracle_bml, constant_trace(800.0, 7200.0));
+}
+
+TEST(SimulatorFastPath, StepTraceGracefulOff) {
+  const LoadTrace trace = step_trace({{200.0, 1800.0},
+                                      {2500.0, 1800.0},
+                                      {60.0, 1800.0},
+                                      {1400.0, 1800.0}});
+  SimulatorOptions options;
+  options.graceful_off = true;
+  expect_equivalent(oracle_bml, trace, options);
+}
+
+TEST(SimulatorFastPath, StepTraceImmediateOff) {
+  const LoadTrace trace = step_trace({{200.0, 1800.0},
+                                      {2500.0, 1800.0},
+                                      {60.0, 1800.0},
+                                      {1400.0, 1800.0}});
+  SimulatorOptions options;
+  options.graceful_off = false;
+  expect_equivalent(oracle_bml, trace, options);
+}
+
+TEST(SimulatorFastPath, RapidStepsInterleaveWithTransitions) {
+  // Segments much shorter than the boot durations (~189 s for the real
+  // catalog), so trace changes land in the middle of reconfigurations and
+  // the batcher has to break spans on both event kinds.
+  std::vector<StepSegment> segments;
+  for (int i = 0; i < 120; ++i)
+    segments.push_back({100.0 + 450.0 * (i % 7), 30.0});
+  expect_equivalent(oracle_bml, step_trace(segments));
+}
+
+TEST(SimulatorFastPath, NoisyDiurnalBmlOracle) {
+  DiurnalOptions options;
+  options.peak = 2000.0;
+  options.noise = 0.05;
+  options.seed = 7;
+  expect_equivalent(oracle_bml, diurnal_trace(options, 2));
+}
+
+TEST(SimulatorFastPath, WorldCupStyleTrace) {
+  WorldCupOptions options;
+  options.days = 3;
+  options.peak = 3000.0;
+  expect_equivalent(oracle_bml, worldcup_like_trace(options));
+}
+
+TEST(SimulatorFastPath, BootFaultScenario) {
+  const LoadTrace trace = step_trace(
+      {{100.0, 1200.0}, {2600.0, 1200.0}, {80.0, 1200.0}, {1900.0, 1200.0}});
+  SimulatorOptions options;
+  options.faults.boot_time_jitter = 0.3;   // fractional boot durations
+  options.faults.boot_failure_prob = 0.2;  // retried boots
+  options.faults.seed = 11;
+  expect_equivalent(oracle_bml, trace, options);
+}
+
+TEST(SimulatorFastPath, PowerSeriesRecording) {
+  const LoadTrace trace =
+      step_trace({{150.0, 900.0}, {2100.0, 900.0}, {500.0, 900.0}});
+  SimulatorOptions options;
+  options.record_power_every = 60;
+  expect_equivalent(oracle_bml, trace, options);
+}
+
+TEST(SimulatorFastPath, StaticAndPerDayBaselines) {
+  DiurnalOptions diurnal;
+  diurnal.peak = 2400.0;
+  diurnal.noise = 0.0;
+  const LoadTrace trace = diurnal_trace(diurnal, 2);
+  expect_equivalent(
+      [] {
+        return std::make_unique<StaticMaxScheduler>(design()->big(), 0);
+      },
+      trace);
+  expect_equivalent(
+      [] { return std::make_unique<PerDayScheduler>(design()->big(), 0); },
+      trace);
+}
+
+TEST(SimulatorFastPath, ReactiveSchedulerOnStepTrace) {
+  const LoadTrace trace =
+      step_trace({{90.0, 1500.0}, {1700.0, 1500.0}, {400.0, 1500.0}});
+  expect_equivalent(
+      [] { return std::make_unique<ReactiveScheduler>(design()); }, trace);
+}
+
+TEST(SimulatorFastPath, StatefulPredictorFallsBackToPerSecondConsults) {
+  // The EWMA predictor updates internal state on every call, so its
+  // stability bound stays at one second; the fast path must remain exact.
+  DiurnalOptions diurnal;
+  diurnal.peak = 1500.0;
+  diurnal.noise = 0.03;
+  diurnal.seed = 3;
+  const LoadTrace trace = diurnal_trace(diurnal, 1);
+  expect_equivalent(
+      [] {
+        return std::make_unique<BmlScheduler>(
+            design(), std::make_shared<EwmaPredictor>(0.2, 1.3));
+      },
+      trace);
+}
+
+TEST(SimulatorFastPath, CostAwareScheduler) {
+  const LoadTrace trace =
+      step_trace({{250.0, 1400.0}, {2200.0, 1400.0}, {120.0, 1400.0}});
+  expect_equivalent(
+      [] {
+        return std::make_unique<CostAwareScheduler>(
+            design(), std::make_shared<OracleMaxPredictor>());
+      },
+      trace);
+}
+
+TEST(SimulatorFastPath, EventLoggingUsesReferencePath) {
+  // record_events forces the per-second loop even when event_driven is on;
+  // the event log must be populated as before.
+  SimulatorOptions options;
+  options.record_events = true;
+  options.event_driven = true;
+  const Simulator sim(design()->candidates(), options);
+  auto scheduler = oracle_bml();
+  const SimulationResult r =
+      sim.run(*scheduler, step_trace({{100.0, 600.0}, {2000.0, 600.0}}));
+  EXPECT_GT(r.events.total(), 0u);
+}
+
+}  // namespace
+}  // namespace bml
