@@ -1,7 +1,8 @@
 // google-benchmark microbenchmarks for the library's hot paths: the
 // combination solvers, load dispatch (reference vs compiled plan), the
-// threshold computation, the oracle predictor, and end-to-end trace replay
-// (event-driven fast path vs per-second reference).
+// threshold computation, the oracle predictor, end-to-end trace replay
+// (event-driven fast path vs per-second reference), and scenario-engine
+// sweep throughput at 1 and N worker threads.
 //
 // The binary overrides global operator new/delete with a counting
 // allocator so benchmarks can report an `allocs_per_iter` counter;
@@ -16,6 +17,7 @@
 #include "core/bml_design.hpp"
 #include "core/dispatch_plan.hpp"
 #include "predict/predictor.hpp"
+#include "scenario/sweep.hpp"
 #include "sched/bml_scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "trace/synthetic.hpp"
@@ -233,6 +235,33 @@ void BM_SimulatorWeekSteadyReference(benchmark::State& state) {
   replay_week(state, /*event_driven=*/false);
 }
 BENCHMARK(BM_SimulatorWeekSteadyReference)->Unit(benchmark::kMillisecond);
+
+// Scenario-engine sweep throughput: an 8-point grid (scheduler x predictor
+// x QoS) over a short step trace, at 1 worker vs hardware concurrency.
+// items_per_second is scenarios/sec, the number that bounds how large a
+// campaign bmlsim can expand per CPU-hour.
+void BM_SweepThroughput(benchmark::State& state) {
+  ScenarioSpec spec;
+  spec.name = "bench";
+  spec.trace = "step";
+  spec.trace_params["segments"] = "200:900;2100:900;100:900";
+  spec.sweeps.push_back(SweepAxis{"scheduler", {"bml", "reactive"}});
+  spec.sweeps.push_back(SweepAxis{"predictor", {"oracle-max", "moving-max"}});
+  spec.sweeps.push_back(SweepAxis{"qos", {"tolerant", "critical"}});
+  SweepOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  std::size_t scenarios = 0;
+  for (auto _ : state) {
+    const SweepReport report = run_sweep(spec, options);
+    scenarios += report.rows.size();
+    benchmark::DoNotOptimize(report.rows.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(scenarios));
+}
+BENCHMARK(BM_SweepThroughput)
+    ->Arg(1)
+    ->Arg(0)  // 0 = hardware concurrency
+    ->Unit(benchmark::kMillisecond);
 
 void BM_WorldCupTraceGeneration(benchmark::State& state) {
   WorldCupOptions options;

@@ -20,18 +20,6 @@
 #include "sim/simulator.hpp"
 #include "trace/wc98.hpp"
 
-namespace {
-
-bml::LoadTrace load_any(const std::string& path) {
-  try {
-    return bml::LoadTrace::load(path);  // header "rate" CSV
-  } catch (const std::exception&) {
-    return bml::load_wc98(path);  // two-column per-second counts
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace bml;
   if (argc < 2) {

@@ -11,6 +11,7 @@
 #include "sched/baselines.hpp"
 #include "sched/bml_scheduler.hpp"
 #include "sched/lower_bound.hpp"
+#include "scenario/sweep.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 
@@ -128,6 +129,50 @@ double Fig5Result::max_overhead_pct() const {
                                  bml_overhead_pct.end());
 }
 
+namespace {
+
+/// Serialises every WorldCupOptions knob into scenario `trace.*`
+/// parameters, so the registry's generator reproduces the trace
+/// bit-exactly (17 significant digits round-trip any double).
+std::map<std::string, std::string> worldcup_trace_params(
+    const WorldCupOptions& o) {
+  std::map<std::string, std::string> params;
+  const auto num = [](double v) {
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+  };
+  params["days"] = std::to_string(o.days);
+  params["peak"] = num(o.peak);
+  params["base_fraction"] = num(o.base_fraction);
+  params["tournament_start_day"] = std::to_string(o.tournament_start_day);
+  params["tournament_end_day"] = std::to_string(o.tournament_end_day);
+  params["diurnal_trough"] = num(o.diurnal_trough);
+  std::string hours;
+  for (double h : o.match_hours) hours += (hours.empty() ? "" : ";") + num(h);
+  params["match_hours"] = hours;
+  params["match_boost"] = num(o.match_boost);
+  params["match_duration"] = num(o.match_duration);
+  params["news_burst_prob_per_day"] = num(o.news_burst_prob_per_day);
+  params["news_burst_min_amplitude"] = num(o.news_burst_min_amplitude);
+  params["news_burst_max_amplitude"] = num(o.news_burst_max_amplitude);
+  params["news_burst_min_duration"] = num(o.news_burst_min_duration);
+  params["news_burst_max_duration"] = num(o.news_burst_max_duration);
+  params["news_burst_ramp"] = num(o.news_burst_ramp);
+  params["micro_bursts_per_day"] = num(o.micro_bursts_per_day);
+  params["micro_burst_min_amplitude"] = num(o.micro_burst_min_amplitude);
+  params["micro_burst_max_amplitude"] = num(o.micro_burst_max_amplitude);
+  params["micro_burst_min_duration"] = num(o.micro_burst_min_duration);
+  params["micro_burst_max_duration"] = num(o.micro_burst_max_duration);
+  params["noise"] = num(o.noise);
+  params["poisson_arrivals"] = o.poisson_arrivals ? "true" : "false";
+  params["seed"] = std::to_string(o.seed);
+  return params;
+}
+
+}  // namespace
+
 Fig5Result run_fig5(const Fig5Options& options) {
   const LoadTrace trace = worldcup_like_trace(options.trace);
 
@@ -138,34 +183,39 @@ Fig5Result run_fig5(const Fig5Options& options) {
 
   Fig5Result result;
 
-  const Simulator simulator(design->candidates());
+  // The figure's three simulated scenarios, expressed as data and executed
+  // by the scenario engine: Big-Medium-Little (the pro-active scheduler,
+  // paper's window), UpperBound PerDay (homogeneous Big fleet resized at
+  // midnight), and UpperBound Global (constant fleet for the global peak).
+  ScenarioSpec spec;
+  spec.name = "fig5";
+  spec.trace = "worldcup_like";
+  spec.trace_params = worldcup_trace_params(options.trace);
+  spec.sweeps.push_back(
+      SweepAxis{"scheduler", {"bml", "per-day", "static-max"}});
+  SweepOptions sweep_options;
+  sweep_options.keep_results = true;
+  // The lower bound needed the trace anyway; share it so the three
+  // scenarios replay it instead of regenerating 87 days each.
+  sweep_options.shared_trace = &trace;
 
-  // The four scenarios are independent; run them fork-join in parallel.
+  // The analytic lower bound (ideal combination every second, no On/Off
+  // cost) is independent of the sweep; run them fork-join in parallel.
+  SweepReport report;
   parallel_invoke({
-      // LowerBound Theoretical: ideal combination every second, no
-      // On/Off cost.
-      [&] { result.lower_bound = theoretical_lower_bound_per_day(*design,
-                                                                 trace); },
-      // Big-Medium-Little: the pro-active scheduler, paper's window.
       [&] {
-        BmlScheduler scheduler(design,
-                               std::make_shared<OracleMaxPredictor>());
-        result.bml_sim = simulator.run(scheduler, trace);
-        result.bml = result.bml_sim.per_day_total();
+        result.lower_bound =
+            theoretical_lower_bound_per_day(*design, trace);
       },
-      // UpperBound PerDay: homogeneous Big fleet resized at midnight.
-      [&] {
-        PerDayScheduler scheduler(design->big(), 0);
-        result.per_day_sim = simulator.run(scheduler, trace);
-        result.per_day_bound = result.per_day_sim.per_day_total();
-      },
-      // UpperBound Global: constant fleet for the global peak, always on.
-      [&] {
-        StaticMaxScheduler scheduler(design->big(), 0);
-        result.global_sim = simulator.run(scheduler, trace);
-        result.global_bound = result.global_sim.per_day_total();
-      },
+      [&] { report = run_sweep(spec, sweep_options); },
   });
+
+  result.bml_sim = std::move(report.results[0].sim);
+  result.per_day_sim = std::move(report.results[1].sim);
+  result.global_sim = std::move(report.results[2].sim);
+  result.bml = result.bml_sim.per_day_total();
+  result.per_day_bound = result.per_day_sim.per_day_total();
+  result.global_bound = result.global_sim.per_day_total();
 
   const std::size_t days =
       std::min({result.lower_bound.size(), result.bml.size(),

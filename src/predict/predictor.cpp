@@ -10,6 +10,64 @@
 
 namespace bml {
 
+namespace {
+
+/// Conservative first time strictly after `now` at which the sliding-window
+/// maximum max_over(t - lead, t - lag) may change value, found by walking
+/// the trace's piecewise-constant segments via next_change(). Two events
+/// can move the max:
+///   * a sample larger than the current max enters the window — index
+///     j >= now - lag enters at t = j + lag + 1;
+///   * the last window index attaining the max slides out — index i leaves
+///     at t = i + lead + 1 (a max of 0 cannot drop, rates are >= 0).
+/// Both walks are capped: past kMaxSegments segments the trace is too
+/// fragmented for batching to pay off and the bound degrades to now + 1,
+/// preserving per-second querying.
+TimePoint sliding_max_stable_until(const LoadTrace& trace, TimePoint now,
+                                   TimePoint lead, TimePoint lag) {
+  constexpr int kMaxSegments = 64;
+  constexpr TimePoint kNever = std::numeric_limits<TimePoint>::max();
+  const auto size = static_cast<TimePoint>(trace.size());
+  const double v = trace.max_over(now - lead, now - lag);
+
+  TimePoint leave_at = kNever;
+  if (v > 0.0) {
+    const TimePoint lo = std::max<TimePoint>(now - lead, 0);
+    const TimePoint hi = std::min(now - lag, size);
+    TimePoint last_attaining = -1;
+    int segments = 0;
+    for (TimePoint cur = lo; cur < hi;) {
+      if (++segments > kMaxSegments) return now + 1;
+      const TimePoint seg_end = std::min(trace.next_change(cur), hi);
+      if (trace.at(cur) == v) last_attaining = seg_end - 1;
+      cur = seg_end;
+    }
+    if (last_attaining >= 0) leave_at = last_attaining + lead + 1;
+  }
+
+  // Samples beyond the trace end are the implicit 0, which never exceeds a
+  // non-negative max, so the scan stops at the trace end. Bailing out at
+  // the segment cap is still sound: every sample walked so far was <= v.
+  TimePoint enter_at = kNever;
+  int segments = 0;
+  for (TimePoint cur = std::max<TimePoint>(now - lag, 0);
+       cur < size && cur + lag + 1 < leave_at;) {
+    if (trace.at(cur) > v) {
+      enter_at = cur + lag + 1;
+      break;
+    }
+    if (++segments > kMaxSegments) {
+      enter_at = cur + lag + 1;
+      break;
+    }
+    cur = trace.next_change(cur);
+  }
+
+  return std::max(std::min(enter_at, leave_at), now + 1);
+}
+
+}  // namespace
+
 void OracleMaxPredictor::rebuild_cache(const LoadTrace& trace,
                                        Seconds horizon) {
   const std::size_t n = trace.size();
@@ -85,6 +143,13 @@ ReqRate MovingMaxPredictor::predict(const LoadTrace& trace, TimePoint now,
                                     Seconds /*horizon*/) {
   const TimePoint begin = now - static_cast<TimePoint>(window_);
   return trace.max_over(begin, now);
+}
+
+TimePoint MovingMaxPredictor::stable_until(const LoadTrace& trace,
+                                           TimePoint now,
+                                           Seconds /*horizon*/) {
+  return sliding_max_stable_until(trace, now,
+                                  static_cast<TimePoint>(window_), 0);
 }
 
 EwmaPredictor::EwmaPredictor(double alpha, double headroom)
@@ -179,6 +244,27 @@ ReqRate SeasonalPredictor::predict(const LoadTrace& trace, TimePoint now,
   if (recent_yesterday > 0.0 && recent > 0.0)
     growth = std::clamp(recent / recent_yesterday, 0.5, 3.0);
   return headroom_ * growth * seasonal;
+}
+
+TimePoint SeasonalPredictor::stable_until(const LoadTrace& trace,
+                                          TimePoint now, Seconds horizon) {
+  if (horizon <= 0.0)
+    throw std::invalid_argument("SeasonalPredictor: horizon must be > 0");
+  const auto period = static_cast<TimePoint>(period_);
+  const auto h = static_cast<TimePoint>(horizon);
+  if (now < period) {
+    // Warm-up branch is the trailing-window max; the formula itself
+    // switches at `period`, so never claim stability past it.
+    return std::min(sliding_max_stable_until(trace, now, h, 0), period);
+  }
+  // The forecast is a deterministic function of three windowed maxima; it
+  // is stable while all three are.
+  const TimePoint seasonal =
+      sliding_max_stable_until(trace, now, period, period - h);
+  const TimePoint recent = sliding_max_stable_until(trace, now, 3600, 0);
+  const TimePoint recent_yesterday =
+      sliding_max_stable_until(trace, now, period + 3600, period);
+  return std::min({seasonal, recent, recent_yesterday});
 }
 
 ErrorInjectingPredictor::ErrorInjectingPredictor(

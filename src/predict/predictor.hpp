@@ -91,6 +91,12 @@ class MovingMaxPredictor final : public Predictor {
   explicit MovingMaxPredictor(Seconds window);
   [[nodiscard]] ReqRate predict(const LoadTrace& trace, TimePoint now,
                                 Seconds horizon) override;
+  /// The trailing-window max is a pure function of the trace, so a
+  /// conservative change bound follows from walking the trace's
+  /// change-point segments (see sliding_max_stable_until); noisy spans
+  /// degrade gracefully to now + 1.
+  [[nodiscard]] TimePoint stable_until(const LoadTrace& trace, TimePoint now,
+                                       Seconds horizon) override;
   [[nodiscard]] std::string name() const override { return "moving-max"; }
 
  private:
@@ -139,6 +145,11 @@ class SeasonalPredictor final : public Predictor {
                              double headroom = 1.1);
   [[nodiscard]] ReqRate predict(const LoadTrace& trace, TimePoint now,
                                 Seconds horizon) override;
+  /// Pure function of the trace: stable while the three windowed maxima
+  /// the forecast is built from (seasonal window, trailing hour, same hour
+  /// yesterday) are all stable, and never past the warm-up/period switch.
+  [[nodiscard]] TimePoint stable_until(const LoadTrace& trace, TimePoint now,
+                                       Seconds horizon) override;
   [[nodiscard]] std::string name() const override { return "seasonal"; }
 
  private:

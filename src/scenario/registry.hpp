@@ -1,0 +1,101 @@
+// The component registry: name -> factory for every catalog, trace
+// generator, scheduler, and predictor the library ships, so a ScenarioSpec
+// is fully data-driven — composing a new experiment is editing text, not
+// writing a C++ main.
+//
+// Registered names and their parameters (defaults in parentheses):
+//
+//   catalogs
+//     real           the five Table I machines
+//     illustrative   the A/B/C/D architectures of Fig. 1
+//     file           file=<path to catalog CSV>
+//
+//   traces — every generator takes seed (= spec seed) where noise applies
+//     constant       rate(100), duration(3600)
+//     step           segments, as rate:duration;rate:duration;...
+//     diurnal        days(1), peak(1000), trough_fraction(0.25),
+//                    peak_hour(18), noise(0.02)
+//     flash_crowd    base(50), burst_peak(2000), duration(3600),
+//                    burst_start(1200), ramp(120), hold(600)
+//     worldcup_like  days(87), peak(5200) and every other WorldCupOptions
+//                    knob under its field name; match_hours as a
+//                    ;-separated list
+//     file           file=<path>, origin(0) — CSV or WC98 via load_any
+//
+//   predictors — any of them takes error_sigma(0), error_bias(0),
+//   error_seed(= spec seed); a non-zero sigma/bias wraps the predictor in
+//   ErrorInjectingPredictor
+//     oracle-max     the paper's emulated look-ahead window
+//     last-value
+//     moving-max     window(378)
+//     ewma           alpha(0.3), headroom(1.2)
+//     linear-trend   window(600)
+//     seasonal       period(86400), headroom(1.1)
+//
+//   schedulers
+//     bml            window(0 = 2x longest On); uses the spec predictor
+//                    and qos class
+//     cost-aware     window(0), payback_window(0); uses the spec predictor
+//     reactive       headroom(1)
+//     hysteresis     hold(300), window(0) — BML wrapped in scale-down
+//                    damping; uses the spec predictor and qos class
+//     static-max     UpperBound Global: constant homogeneous Big fleet
+//     per-day        UpperBound PerDay: Big fleet resized at midnight
+//
+// Unknown component names and unknown or malformed parameters throw
+// std::runtime_error naming the component, the offending key, and the
+// accepted names.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/catalog.hpp"
+#include "core/bml_design.hpp"
+#include "predict/predictor.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "sim/qos.hpp"
+#include "sim/scheduler.hpp"
+#include "trace/trace.hpp"
+
+namespace bml {
+
+/// One registry entry for `bmlsim list` style reporting.
+struct ComponentInfo {
+  std::string name;
+  std::string summary;
+};
+
+[[nodiscard]] std::vector<ComponentInfo> catalog_components();
+[[nodiscard]] std::vector<ComponentInfo> trace_components();
+[[nodiscard]] std::vector<ComponentInfo> predictor_components();
+[[nodiscard]] std::vector<ComponentInfo> scheduler_components();
+
+/// Builds the named catalog. Throws std::runtime_error on unknown names or
+/// parameters.
+[[nodiscard]] Catalog make_catalog(
+    const std::string& name,
+    const std::map<std::string, std::string>& params);
+
+/// Builds the named trace; generators with randomness default their seed
+/// to `seed`.
+[[nodiscard]] LoadTrace make_trace(
+    const std::string& name, const std::map<std::string, std::string>& params,
+    std::uint64_t seed);
+
+/// Builds the named predictor (possibly error-wrapped, see file comment).
+[[nodiscard]] std::shared_ptr<Predictor> make_predictor(
+    const std::string& name, const std::map<std::string, std::string>& params,
+    std::uint64_t seed);
+
+/// Builds the named scheduler over `design`; `predictor` feeds the
+/// prediction-driven ones and is ignored by the upper-bound baselines.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    const std::string& name, const std::map<std::string, std::string>& params,
+    std::shared_ptr<const BmlDesign> design,
+    std::shared_ptr<Predictor> predictor, QosClass qos);
+
+}  // namespace bml

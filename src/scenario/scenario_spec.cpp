@@ -1,0 +1,213 @@
+#include "scenario/scenario_spec.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace bml {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const std::size_t start = s.find_first_not_of(" \t\r");
+  if (start == std::string::npos) return "";
+  const std::size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(start, end - start + 1);
+}
+
+bool parse_bool(const std::string& key, const std::string& value) {
+  if (value == "true") return true;
+  if (value == "false") return false;
+  throw std::runtime_error("scenario: " + key + " must be true or false, got '" +
+                           value + "'");
+}
+
+std::uint64_t parse_seed(const std::string& key, const std::string& value) {
+  const std::int64_t v = parse_int(value);
+  if (v < 0)
+    throw std::runtime_error("scenario: " + key + " must be >= 0");
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_fraction(const std::string& key, const std::string& value) {
+  const double v = parse_double(value);
+  if (v < 0.0)
+    throw std::runtime_error("scenario: " + key + " must be >= 0");
+  return v;
+}
+
+}  // namespace
+
+void ScenarioSpec::set(const std::string& key, const std::string& value) {
+  if (key == "name") {
+    name = value;
+  } else if (key == "catalog") {
+    catalog = value;
+  } else if (key == "trace") {
+    trace = value;
+  } else if (key == "scheduler") {
+    scheduler = value;
+  } else if (key == "predictor") {
+    predictor = value;
+  } else if (key == "design.max_rate") {
+    if (value != "trace-peak" && value != "default")
+      (void)parse_double(value);  // numbers validate now, fail loudly here
+    design_max_rate = value;
+  } else if (key == "design.solver") {
+    if (value != "greedy" && value != "exact-dp")
+      throw std::runtime_error(
+          "scenario: design.solver must be greedy or exact-dp, got '" + value +
+          "'");
+    design_solver = value;
+  } else if (key == "qos") {
+    if (value != "tolerant" && value != "critical")
+      throw std::runtime_error(
+          "scenario: qos must be tolerant or critical, got '" + value + "'");
+    qos = value;
+  } else if (key == "graceful_off") {
+    graceful_off = parse_bool(key, value);
+  } else if (key == "event_driven") {
+    event_driven = parse_bool(key, value);
+  } else if (key == "faults.boot_time_jitter") {
+    boot_time_jitter = parse_fraction(key, value);
+  } else if (key == "faults.boot_failure_prob") {
+    boot_failure_prob = parse_fraction(key, value);
+  } else if (key == "seed") {
+    seed = parse_seed(key, value);
+  } else if (key.starts_with("catalog.")) {
+    catalog_params[key.substr(8)] = value;
+  } else if (key.starts_with("trace.")) {
+    trace_params[key.substr(6)] = value;
+  } else if (key.starts_with("scheduler.")) {
+    scheduler_params[key.substr(10)] = value;
+  } else if (key.starts_with("predictor.")) {
+    predictor_params[key.substr(10)] = value;
+  } else {
+    throw std::runtime_error("scenario: unknown key '" + key + "'");
+  }
+}
+
+ScenarioSpec parse_scenario(const std::string& text) {
+  ScenarioSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::string body = trim(line);
+    if (body.empty()) continue;
+
+    bool is_sweep = false;
+    if (body.starts_with("sweep ") || body.starts_with("sweep\t")) {
+      is_sweep = true;
+      body = trim(body.substr(6));
+    }
+
+    const std::size_t eq = body.find('=');
+    if (eq == std::string::npos)
+      throw std::runtime_error("scenario: line " + std::to_string(line_number) +
+                               ": expected 'key = value'");
+    const std::string key = trim(body.substr(0, eq));
+    const std::string value = trim(body.substr(eq + 1));
+    if (key.empty())
+      throw std::runtime_error("scenario: line " + std::to_string(line_number) +
+                               ": empty key");
+    try {
+      if (is_sweep) {
+        SweepAxis axis{key, {}};
+        std::istringstream values(value);
+        std::string v;
+        while (std::getline(values, v, ',')) {
+          v = trim(v);
+          if (!v.empty()) axis.values.push_back(v);
+        }
+        if (axis.values.empty())
+          throw std::runtime_error("scenario: sweep axis '" + key +
+                                   "' has no values");
+        for (const SweepAxis& existing : spec.sweeps)
+          if (existing.key == key)
+            throw std::runtime_error("scenario: duplicate sweep axis '" + key +
+                                     "'");
+        // Every axis value must be assignable; probing now surfaces typos
+        // at parse time instead of mid-sweep.
+        for (const std::string& candidate : axis.values) {
+          ScenarioSpec probe = spec;
+          probe.set(key, candidate);
+        }
+        spec.sweeps.push_back(std::move(axis));
+      } else {
+        spec.set(key, value);
+      }
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error(std::string(e.what()) + " (line " +
+                               std::to_string(line_number) + ")");
+    }
+  }
+  return spec;
+}
+
+namespace {
+
+void write_params(std::ostringstream& os, const std::string& prefix,
+                  const std::map<std::string, std::string>& params) {
+  for (const auto& [key, value] : params)
+    os << prefix << '.' << key << " = " << value << '\n';
+}
+
+}  // namespace
+
+std::string write_scenario(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  os << "name = " << spec.name << '\n';
+  os << "catalog = " << spec.catalog << '\n';
+  write_params(os, "catalog", spec.catalog_params);
+  os << "trace = " << spec.trace << '\n';
+  write_params(os, "trace", spec.trace_params);
+  os << "scheduler = " << spec.scheduler << '\n';
+  write_params(os, "scheduler", spec.scheduler_params);
+  os << "predictor = " << spec.predictor << '\n';
+  write_params(os, "predictor", spec.predictor_params);
+  os << "design.max_rate = " << spec.design_max_rate << '\n';
+  os << "design.solver = " << spec.design_solver << '\n';
+  os << "qos = " << spec.qos << '\n';
+  os << "graceful_off = " << (spec.graceful_off ? "true" : "false") << '\n';
+  os << "event_driven = " << (spec.event_driven ? "true" : "false") << '\n';
+  std::ostringstream numbers;
+  numbers.precision(17);
+  numbers << "faults.boot_time_jitter = " << spec.boot_time_jitter << '\n'
+          << "faults.boot_failure_prob = " << spec.boot_failure_prob << '\n';
+  os << numbers.str();
+  os << "seed = " << spec.seed << '\n';
+  for (const SweepAxis& axis : spec.sweeps) {
+    os << "sweep " << axis.key << " = ";
+    for (std::size_t i = 0; i < axis.values.size(); ++i) {
+      if (i > 0) os << ',';
+      os << axis.values[i];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+ScenarioSpec load_scenario(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("load_scenario: cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_scenario(buffer.str());
+}
+
+void save_scenario(const ScenarioSpec& spec,
+                   const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("save_scenario: cannot open " + path.string());
+  out << write_scenario(spec);
+}
+
+}  // namespace bml

@@ -1,0 +1,108 @@
+// Declarative scenario specifications — the data model of the scenario
+// engine.
+//
+// A ScenarioSpec describes one complete simulation: which catalog, which
+// trace generator with which parameters, which scheduler and predictor,
+// QoS class, fault knobs, and the seed. Specs are plain text (`.scn`
+// files): one `key = value` per line, '#' comments, in the same austere
+// style as util/csv — no quoting, no sections, strict errors with line
+// context. `sweep key = a,b,c` lines declare grid axes that the sweep
+// runner (scenario/sweep.hpp) expands into the cartesian product of
+// scenarios.
+//
+//     # three-axis example
+//     name = demo
+//     catalog = real
+//     trace = diurnal
+//     trace.days = 1
+//     trace.peak = 1500
+//     scheduler = bml
+//     predictor = oracle-max
+//     sweep trace.peak = 500,1500,3000
+//     sweep predictor = oracle-max,moving-max
+//     sweep scheduler = bml,reactive
+//
+// Component names and their parameters are resolved by the registry
+// (scenario/registry.hpp); the spec layer only routes keys and validates
+// the typed top-level fields, so unknown *parameter* values fail at build
+// time with the component's context while unknown *keys* fail at parse
+// time.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bml {
+
+/// One grid axis of a sweep: `key` takes each of `values` in order.
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+
+  friend bool operator==(const SweepAxis&, const SweepAxis&) = default;
+};
+
+/// Everything needed to run one simulation, as data. Component parameters
+/// are kept as ordered string maps and interpreted by the registry, which
+/// rejects unknown or malformed entries when the scenario is built.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  /// Catalog registry name (`real`, `illustrative`, `file`).
+  std::string catalog = "real";
+  std::map<std::string, std::string> catalog_params;
+  /// Trace generator registry name (`constant`, `step`, `diurnal`,
+  /// `flash_crowd`, `worldcup_like`, `file`).
+  std::string trace = "constant";
+  std::map<std::string, std::string> trace_params;
+  /// Scheduler registry name (`bml`, `cost-aware`, `reactive`,
+  /// `hysteresis`, `static-max`, `per-day`).
+  std::string scheduler = "bml";
+  std::map<std::string, std::string> scheduler_params;
+  /// Predictor registry name (`oracle-max`, `last-value`, `moving-max`,
+  /// `ewma`, `linear-trend`, `seasonal`).
+  std::string predictor = "oracle-max";
+  std::map<std::string, std::string> predictor_params;
+  /// Design sizing: `trace-peak` (default; max_rate = max(trace peak, 1)),
+  /// `default` (4x Big), or a number.
+  std::string design_max_rate = "trace-peak";
+  /// Final-step solver: `greedy` (the paper's algorithm) or `exact-dp`.
+  std::string design_solver = "greedy";
+  /// QoS class: `tolerant` or `critical`.
+  std::string qos = "tolerant";
+  /// SimulatorOptions knobs.
+  bool graceful_off = true;
+  bool event_driven = true;
+  /// Boot-path fault injection (sim/cluster.hpp FaultModel).
+  double boot_time_jitter = 0.0;
+  double boot_failure_prob = 0.0;
+  /// Master seed: trace generators and fault injection derive theirs from
+  /// it unless overridden per component (`trace.seed`, ...).
+  std::uint64_t seed = 1;
+  /// Grid axes, expanded by expand_sweep() in declaration order (first
+  /// axis outermost).
+  std::vector<SweepAxis> sweeps;
+
+  /// Routes one `key = value` assignment to the field or component
+  /// parameter map it names; throws std::runtime_error on unknown keys or
+  /// malformed typed values. This is also how sweep axes apply their
+  /// values, so anything parseable is sweepable.
+  void set(const std::string& key, const std::string& value);
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// Parses `.scn` text; throws std::runtime_error with line context.
+[[nodiscard]] ScenarioSpec parse_scenario(const std::string& text);
+
+/// Canonical text form; parse_scenario(write_scenario(s)) == s.
+[[nodiscard]] std::string write_scenario(const ScenarioSpec& spec);
+
+/// File variants of the above.
+[[nodiscard]] ScenarioSpec load_scenario(const std::filesystem::path& path);
+void save_scenario(const ScenarioSpec& spec,
+                   const std::filesystem::path& path);
+
+}  // namespace bml

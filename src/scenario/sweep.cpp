@@ -1,0 +1,230 @@
+#include "scenario/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "scenario/registry.hpp"
+#include "util/csv.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+
+namespace bml {
+
+namespace {
+
+double elapsed_seconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+/// Numeric cell formatting shared with CsvWriter (12 significant digits).
+std::string csv_num(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+ReqRate design_max_rate(const ScenarioSpec& spec, const LoadTrace& trace) {
+  if (spec.design_max_rate == "trace-peak")
+    return std::max(trace.peak(), 1.0);
+  if (spec.design_max_rate == "default") return 0.0;
+  return parse_double(spec.design_max_rate);
+}
+
+/// Applies one grid point to a copy of the base spec and names it after
+/// its coordinates.
+ScenarioSpec grid_point(const ScenarioSpec& base,
+                        const std::vector<std::string>& values) {
+  ScenarioSpec spec = base;
+  spec.sweeps.clear();
+  std::string suffix;
+  for (std::size_t a = 0; a < base.sweeps.size(); ++a) {
+    spec.set(base.sweeps[a].key, values[a]);
+    suffix += (a == 0 ? "[" : ",") + base.sweeps[a].key + "=" + values[a];
+  }
+  if (!suffix.empty()) spec.name += suffix + "]";
+  return spec;
+}
+
+/// Axis values of grid index `i`, first axis outermost.
+std::vector<std::string> grid_values(const ScenarioSpec& spec,
+                                     std::size_t i) {
+  std::vector<std::string> values(spec.sweeps.size());
+  std::size_t stride = 1;
+  for (std::size_t a = spec.sweeps.size(); a-- > 0;) {
+    const std::vector<std::string>& axis = spec.sweeps[a].values;
+    values[a] = axis[(i / stride) % axis.size()];
+    stride *= axis.size();
+  }
+  return values;
+}
+
+std::size_t grid_size(const ScenarioSpec& spec) {
+  std::size_t n = 1;
+  for (const SweepAxis& axis : spec.sweeps) n *= axis.values.size();
+  return n;
+}
+
+}  // namespace
+
+namespace {
+
+ScenarioResult run_scenario_impl(const ScenarioSpec& spec,
+                                 const LoadTrace* shared_trace) {
+  const auto start = std::chrono::steady_clock::now();
+  ScenarioResult result;
+  result.spec = spec;
+
+  const Catalog catalog = make_catalog(spec.catalog, spec.catalog_params);
+  const LoadTrace own_trace =
+      shared_trace ? LoadTrace{}
+                   : make_trace(spec.trace, spec.trace_params, spec.seed);
+  const LoadTrace& trace = shared_trace ? *shared_trace : own_trace;
+
+  BmlDesignOptions design_options;
+  design_options.max_rate = design_max_rate(spec, trace);
+  design_options.solver = spec.design_solver == "exact-dp"
+                              ? SolverKind::kExactDp
+                              : SolverKind::kGreedyThreshold;
+  auto design =
+      std::make_shared<BmlDesign>(BmlDesign::build(catalog, design_options));
+
+  const QosClass qos =
+      spec.qos == "critical" ? QosClass::kCritical : QosClass::kTolerant;
+  std::shared_ptr<Predictor> predictor =
+      make_predictor(spec.predictor, spec.predictor_params, spec.seed);
+  std::unique_ptr<Scheduler> scheduler = make_scheduler(
+      spec.scheduler, spec.scheduler_params, design, std::move(predictor), qos);
+
+  SimulatorOptions options;
+  options.graceful_off = spec.graceful_off;
+  options.event_driven = spec.event_driven;
+  options.faults.boot_time_jitter = spec.boot_time_jitter;
+  options.faults.boot_failure_prob = spec.boot_failure_prob;
+  options.faults.seed = spec.seed;
+
+  const Simulator simulator(design->candidates(), options);
+  result.sim = simulator.run(*scheduler, trace);
+  result.trace_duration = trace.duration();
+  result.wall_seconds = elapsed_seconds(start);
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  return run_scenario_impl(spec, nullptr);
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const LoadTrace& trace) {
+  return run_scenario_impl(spec, &trace);
+}
+
+std::vector<ScenarioSpec> expand_sweep(const ScenarioSpec& spec) {
+  const std::size_t n = grid_size(spec);
+  std::vector<ScenarioSpec> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(grid_point(spec, grid_values(spec, i)));
+  return out;
+}
+
+SweepReport run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  SweepReport report;
+  report.threads =
+      options.threads == 0 ? default_parallelism() : options.threads;
+  for (const SweepAxis& axis : spec.sweeps) {
+    if (options.shared_trace &&
+        (axis.key == "trace" || axis.key.starts_with("trace.")))
+      throw std::runtime_error(
+          "run_sweep: axis '" + axis.key +
+          "' conflicts with the shared trace (every scenario replays it)");
+    report.axis_keys.push_back(axis.key);
+  }
+
+  const std::size_t n = grid_size(spec);
+  report.rows.resize(n);
+  if (options.keep_results) report.results.resize(n);
+
+  parallel_for(
+      n,
+      [&](std::size_t i) {
+        const std::vector<std::string> values = grid_values(spec, i);
+        ScenarioResult result =
+            run_scenario_impl(grid_point(spec, values), options.shared_trace);
+
+        SweepRow& row = report.rows[i];
+        row.scenario = result.spec.name;
+        row.axis_values = values;
+        row.scheduler = result.sim.scheduler_name;
+        row.total_energy = result.sim.total_energy();
+        row.compute_energy = result.sim.compute_energy;
+        row.reconfiguration_energy = result.sim.reconfiguration_energy;
+        row.reconfigurations = result.sim.reconfigurations;
+        row.qos_violation_seconds = result.sim.qos.violation_seconds;
+        row.served_fraction = result.sim.qos.served_fraction();
+        row.mean_power = result.trace_duration > 0.0
+                             ? result.sim.total_energy() / result.trace_duration
+                             : 0.0;
+        row.peak_machines = result.sim.peak_machines;
+        row.wall_seconds = result.wall_seconds;
+        if (options.keep_results) report.results[i] = std::move(result);
+      },
+      report.threads);
+
+  report.wall_seconds = elapsed_seconds(start);
+  return report;
+}
+
+std::string SweepReport::to_csv() const {
+  CsvWriter writer;
+  std::vector<std::string> header{"scenario"};
+  for (const std::string& key : axis_keys) header.push_back(key);
+  // `scheduler_name` is the resolved Scheduler::name() (e.g.
+  // "bml(oracle-max)"), distinct from a possible `scheduler` axis column.
+  for (const char* column :
+       {"scheduler_name", "total_energy_j", "compute_energy_j",
+        "reconfiguration_energy_j", "reconfigurations", "qos_violation_s",
+        "served_fraction", "mean_power_w", "peak_machines"})
+    header.emplace_back(column);
+  writer.set_header(std::move(header));
+
+  for (const SweepRow& row : rows) {
+    std::vector<std::string> cells{row.scenario};
+    for (const std::string& value : row.axis_values) cells.push_back(value);
+    cells.push_back(row.scheduler);
+    cells.push_back(csv_num(row.total_energy));
+    cells.push_back(csv_num(row.compute_energy));
+    cells.push_back(csv_num(row.reconfiguration_energy));
+    cells.push_back(std::to_string(row.reconfigurations));
+    cells.push_back(std::to_string(row.qos_violation_seconds));
+    cells.push_back(csv_num(row.served_fraction));
+    cells.push_back(csv_num(row.mean_power));
+    cells.push_back(std::to_string(row.peak_machines));
+    writer.add_row(std::move(cells));
+  }
+  return writer.to_string();
+}
+
+std::string SweepReport::summary_table() const {
+  AsciiTable table({"scenario", "energy (kWh)", "mean W", "reconfig",
+                    "QoS viol (s)", "served %", "machines", "wall (ms)"});
+  for (const SweepRow& row : rows)
+    table.add_row({row.scenario, AsciiTable::num(joules_to_kwh(row.total_energy)),
+                   AsciiTable::num(row.mean_power, 1),
+                   std::to_string(row.reconfigurations),
+                   std::to_string(row.qos_violation_seconds),
+                   AsciiTable::num(100.0 * row.served_fraction, 3),
+                   std::to_string(row.peak_machines),
+                   AsciiTable::num(1000.0 * row.wall_seconds, 1)});
+  return table.render();
+}
+
+}  // namespace bml

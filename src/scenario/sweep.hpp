@@ -1,0 +1,108 @@
+// The scenario engine's execution layer: run one ScenarioSpec, or expand
+// its `sweep` axes into a grid and run the whole list in parallel.
+//
+// Every scenario is self-contained — its own catalog, design, trace,
+// scheduler, and cluster — so the sweep runner is embarrassingly parallel
+// over parallel_for workers, and results are bit-identical regardless of
+// thread count: rows land at their scenario's grid index, and each
+// scenario's arithmetic never depends on its neighbours. SweepReport's CSV
+// export is therefore byte-stable across --threads values (wall-clock
+// timings are reported on the console only, never in the CSV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_spec.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// One fully built and executed scenario.
+struct ScenarioResult {
+  /// The resolved spec (sweep values applied, axes cleared).
+  ScenarioSpec spec;
+  SimulationResult sim;
+  /// Duration of the replayed trace (s).
+  Seconds trace_duration = 0.0;
+  /// Build + replay wall time of this scenario (s).
+  double wall_seconds = 0.0;
+};
+
+/// Builds every component of `spec` through the registry and replays the
+/// simulation. Throws std::runtime_error on unresolvable specs.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// As above, but replays `trace` instead of building the spec's trace
+/// generator — for callers that already hold the workload (a loaded
+/// recording, the analytic stage of an experiment) and fan a grid out over
+/// it without regenerating or re-reading it per scenario. The spec's
+/// `trace` fields are carried along as metadata but not consulted.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
+                                          const LoadTrace& trace);
+
+/// Expands the spec's sweep axes into the cartesian product of scenarios
+/// (first axis outermost), naming each `base[k1=v1,k2=v2,...]`. A spec
+/// without axes expands to itself. Invalid axis values surface here, before
+/// anything runs.
+[[nodiscard]] std::vector<ScenarioSpec> expand_sweep(const ScenarioSpec& spec);
+
+/// Aggregate metrics of one scenario — the sweep's unit of reporting.
+struct SweepRow {
+  std::string scenario;
+  /// Axis values of this grid point, parallel to SweepReport::axis_keys.
+  std::vector<std::string> axis_values;
+  std::string scheduler;
+  Joules total_energy = 0.0;
+  Joules compute_energy = 0.0;
+  Joules reconfiguration_energy = 0.0;
+  int reconfigurations = 0;
+  std::int64_t qos_violation_seconds = 0;
+  /// Fraction of offered requests served, in [0, 1].
+  double served_fraction = 1.0;
+  /// total_energy / trace duration (W).
+  Watts mean_power = 0.0;
+  std::size_t peak_machines = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Everything a sweep produces.
+struct SweepReport {
+  std::vector<std::string> axis_keys;
+  std::vector<SweepRow> rows;
+  /// Full per-scenario results, parallel to rows (kept only when
+  /// SweepOptions::keep_results).
+  std::vector<ScenarioResult> results;
+  /// Whole-sweep wall time (s).
+  double wall_seconds = 0.0;
+  unsigned threads = 1;
+
+  /// Deterministic CSV of the rows: scenario, axis columns, metrics.
+  /// Excludes wall-clock timings, so the bytes are identical across thread
+  /// counts.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Console summary rendered with util/table.
+  [[nodiscard]] std::string summary_table() const;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Retain every ScenarioResult (per-day series, power series, ...) in
+  /// SweepReport::results.
+  bool keep_results = false;
+  /// Replay this trace in every scenario instead of running each one's
+  /// trace generator (see the run_scenario overload). The sweep must not
+  /// declare `trace`/`trace.*` axes — run_sweep throws if it does. The
+  /// pointee must outlive the call.
+  const LoadTrace* shared_trace = nullptr;
+};
+
+/// Expands and runs the grid; rows are ordered by grid index.
+[[nodiscard]] SweepReport run_sweep(const ScenarioSpec& spec,
+                                    const SweepOptions& options = {});
+
+}  // namespace bml

@@ -1,6 +1,7 @@
 #include "sched/bml_scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace bml {
@@ -42,7 +43,26 @@ std::optional<Combination> BmlScheduler::decide(
 
 TimePoint BmlScheduler::decision_stable_until(TimePoint now,
                                               const LoadTrace& trace) {
-  return predictor_->stable_until(trace, now, window_);
+  TimePoint t = predictor_->stable_until(trace, now, window_);
+  if (t <= now + 1) return t;
+  // Decision-level extension: the decision is the *table index* of the
+  // prediction, so a changing prediction that maps to the same combination
+  // does not end the stable span. Probing predict() at future times is only
+  // valid for pure predictors — exactly those that advertise multi-second
+  // stability above; stateful ones return now + 1 and never reach this
+  // loop.
+  constexpr int kMaxHops = 64;
+  constexpr TimePoint kNever = std::numeric_limits<TimePoint>::max();
+  const Combination current =
+      design_->ideal_combination(target_rate(trace, now));
+  for (int hop = 0; hop < kMaxHops && t < kNever; ++hop) {
+    if (design_->ideal_combination(target_rate(trace, t)) != current)
+      return t;
+    const TimePoint next = predictor_->stable_until(trace, t, window_);
+    if (next <= t) break;  // defensive: stability contract violation
+    t = next;
+  }
+  return t;
 }
 
 Combination BmlScheduler::initial_combination(const LoadTrace& trace) {

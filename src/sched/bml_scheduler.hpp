@@ -35,7 +35,10 @@ class BmlScheduler final : public Scheduler {
       const ClusterSnapshot& snapshot) override;
 
   /// The decision is a pure function of the predicted rate, so it is
-  /// stable for as long as the predictor's output is.
+  /// stable for as long as the predictor's output is — and longer: when
+  /// the predictor advertises real (multi-second) stability it is pure, so
+  /// consecutive stability segments whose predictions map to the same
+  /// combination table index are merged into one span.
   [[nodiscard]] TimePoint decision_stable_until(
       TimePoint now, const LoadTrace& trace) override;
 

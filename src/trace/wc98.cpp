@@ -1,5 +1,6 @@
 #include "trace/wc98.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -75,6 +76,34 @@ void save_wc98(const LoadTrace& trace, const std::filesystem::path& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("save_wc98: cannot open " + path.string());
   out << format_wc98(trace);
+}
+
+LoadTrace load_any(const std::filesystem::path& path, TimePoint origin) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_any: cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  // Sniff the first meaningful line: the CSV trace format carries a header
+  // with a `rate` column (possibly among others); the WC98 format starts
+  // with a number.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const std::vector<std::string> cells = split_csv_line(line);
+    if (std::find(cells.begin(), cells.end(), "rate") != cells.end()) {
+      if (origin != 0)
+        throw std::runtime_error(
+            "load_any: origin offsets apply to the WC98 format only");
+      return LoadTrace::from_csv(text);
+    }
+    break;
+  }
+  return parse_wc98(text, origin);
 }
 
 }  // namespace bml

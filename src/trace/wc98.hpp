@@ -34,4 +34,12 @@ namespace bml {
 
 void save_wc98(const LoadTrace& trace, const std::filesystem::path& path);
 
+/// Loads a trace from either on-disk format, sniffing the first
+/// non-comment line: a `rate` header selects the 1-column CSV of
+/// LoadTrace::from_csv, anything else the sparse two-column WC98 format
+/// above. The scenario engine's `trace = file` generator replays arbitrary
+/// recorded workloads through this.
+[[nodiscard]] LoadTrace load_any(const std::filesystem::path& path,
+                                 TimePoint origin = 0);
+
 }  // namespace bml

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "trace/synthetic.hpp"
 
 namespace bml {
@@ -146,6 +149,66 @@ TEST(ErrorInjectingPredictor, Validation) {
   EXPECT_THROW(ErrorInjectingPredictor(std::make_unique<OracleMaxPredictor>(),
                                        -0.1, 0.0, 1),
                std::invalid_argument);
+}
+
+// Property behind the event-driven fast path: predict() must be constant
+// on [now, stable_until(now)) — verified brute force against per-second
+// queries. Both predictors under test are pure, so probing them at every
+// second is side-effect free.
+void expect_stability_sound(Predictor& p, const LoadTrace& trace,
+                            Seconds horizon) {
+  const auto n = static_cast<TimePoint>(trace.size());
+  for (TimePoint now = 0; now < n;) {
+    const TimePoint stable = p.stable_until(trace, now, horizon);
+    ASSERT_GT(stable, now) << "stable_until must advance, t=" << now;
+    const double value = p.predict(trace, now, horizon);
+    const TimePoint end = std::min(stable, n + 10);
+    for (TimePoint t = now + 1; t < end; ++t)
+      ASSERT_DOUBLE_EQ(p.predict(trace, t, horizon), value)
+          << "span [" << now << ", " << stable << ") broke at t=" << t;
+    now = end;
+  }
+}
+
+TEST(MovingMaxPredictor, StableUntilIsSoundOnStepTrace) {
+  const LoadTrace trace = step_trace({{40.0, 300.0},
+                                      {900.0, 200.0},
+                                      {900.0, 100.0},
+                                      {30.0, 400.0},
+                                      {0.0, 150.0},
+                                      {500.0, 250.0}});
+  MovingMaxPredictor p(120.0);
+  expect_stability_sound(p, trace, 60.0);
+}
+
+TEST(MovingMaxPredictor, StableUntilIsSoundOnSpikyTrace) {
+  std::vector<double> rates(600, 10.0);
+  rates[50] = 800.0;            // isolated spike enters and leaves the window
+  rates[51] = 800.0;
+  for (int i = 300; i < 310; ++i) rates[i] = 200.0 + i;  // noisy burst
+  MovingMaxPredictor p(90.0);
+  expect_stability_sound(p, LoadTrace(rates), 30.0);
+}
+
+TEST(MovingMaxPredictor, StableForeverOnceTraceDrained) {
+  const LoadTrace trace = step_trace({{700.0, 100.0}, {0.0, 100.0}});
+  MovingMaxPredictor p(50.0);
+  // Far beyond the end the window holds only implicit zeros.
+  EXPECT_EQ(p.stable_until(trace, 1000, 30.0),
+            std::numeric_limits<TimePoint>::max());
+}
+
+TEST(SeasonalPredictor, StableUntilIsSoundAcrossPeriods) {
+  // Two short "days" of a staircase plus a third with a growth spike, with
+  // a period small enough that the warm-up branch, the period switch and
+  // the growth-ratio windows are all exercised.
+  std::vector<StepSegment> segments;
+  for (int day = 0; day < 3; ++day)
+    for (int hour = 0; hour < 6; ++hour)
+      segments.push_back({50.0 + 40.0 * hour * (day + 1), 100.0});
+  const LoadTrace trace = step_trace(segments);
+  SeasonalPredictor p(/*period=*/600.0, /*headroom=*/1.1);
+  expect_stability_sound(p, trace, 50.0);
 }
 
 // Property: the oracle prediction always covers the true load at every

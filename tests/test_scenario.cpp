@@ -1,0 +1,365 @@
+// Tests for scenario/: spec parse/write round-trips, error paths through
+// the registry, single-scenario runs, and sweep-grid determinism across
+// thread counts.
+#include "scenario/scenario_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "predict/predictor.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
+#include "sched/bml_scheduler.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/wc98.hpp"
+
+namespace bml {
+namespace {
+
+constexpr const char* kDemoSpec = R"(# demo
+name = demo
+catalog = real
+trace = diurnal
+trace.days = 2
+trace.peak = 1200.5
+scheduler = bml
+scheduler.window = 400
+predictor = moving-max
+predictor.window = 200
+qos = critical
+graceful_off = false
+faults.boot_time_jitter = 0.25
+seed = 42
+sweep trace.peak = 500,1000
+sweep predictor = oracle-max,moving-max
+)";
+
+TEST(ScenarioSpec, ParseReadsEveryField) {
+  const ScenarioSpec spec = parse_scenario(kDemoSpec);
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.catalog, "real");
+  EXPECT_EQ(spec.trace, "diurnal");
+  EXPECT_EQ(spec.trace_params.at("days"), "2");
+  EXPECT_EQ(spec.trace_params.at("peak"), "1200.5");
+  EXPECT_EQ(spec.scheduler, "bml");
+  EXPECT_EQ(spec.scheduler_params.at("window"), "400");
+  EXPECT_EQ(spec.predictor, "moving-max");
+  EXPECT_EQ(spec.qos, "critical");
+  EXPECT_FALSE(spec.graceful_off);
+  EXPECT_TRUE(spec.event_driven);
+  EXPECT_DOUBLE_EQ(spec.boot_time_jitter, 0.25);
+  EXPECT_EQ(spec.seed, 42u);
+  ASSERT_EQ(spec.sweeps.size(), 2u);
+  EXPECT_EQ(spec.sweeps[0].key, "trace.peak");
+  EXPECT_EQ(spec.sweeps[0].values, (std::vector<std::string>{"500", "1000"}));
+  EXPECT_EQ(spec.sweeps[1].key, "predictor");
+}
+
+TEST(ScenarioSpec, WriteParseRoundTrip) {
+  const ScenarioSpec spec = parse_scenario(kDemoSpec);
+  const std::string text = write_scenario(spec);
+  EXPECT_EQ(parse_scenario(text), spec);
+  // The canonical form is a fixed point.
+  EXPECT_EQ(write_scenario(parse_scenario(text)), text);
+}
+
+TEST(ScenarioSpec, DefaultSpecRoundTrips) {
+  const ScenarioSpec spec;
+  EXPECT_EQ(parse_scenario(write_scenario(spec)), spec);
+}
+
+TEST(ScenarioSpec, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "bml_scenario_rt.scn";
+  const ScenarioSpec spec = parse_scenario(kDemoSpec);
+  save_scenario(spec, path);
+  EXPECT_EQ(load_scenario(path), spec);
+  std::filesystem::remove(path);
+}
+
+TEST(ScenarioSpec, UnknownKeyThrowsWithLineContext) {
+  try {
+    (void)parse_scenario("name = x\nbogus_key = 1\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus_key"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ScenarioSpec, BadValuesThrow) {
+  EXPECT_THROW((void)parse_scenario("graceful_off = maybe\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("seed = -3\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("qos = best-effort\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("design.solver = magic\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("design.max_rate = fast\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("faults.boot_time_jitter = nan\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("name\n"),
+               std::runtime_error);  // no '='
+  EXPECT_THROW((void)parse_scenario("sweep qos = tolerant,bogus\n"),
+               std::runtime_error);  // axis values are probed at parse time
+  EXPECT_THROW((void)parse_scenario("sweep trace.peak = \n"),
+               std::runtime_error);  // empty axis
+  EXPECT_THROW(
+      (void)parse_scenario("sweep seed = 1,2\nsweep seed = 3,4\n"),
+      std::runtime_error);  // duplicate axis
+}
+
+TEST(Registry, UnknownComponentsListAlternatives) {
+  try {
+    (void)make_trace("sinusoid", {}, 1);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("diurnal"), std::string::npos);
+  }
+  EXPECT_THROW((void)make_catalog("imaginary", {}), std::runtime_error);
+  EXPECT_THROW((void)make_predictor("psychic", {}, 1), std::runtime_error);
+  auto design = std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
+  EXPECT_THROW((void)make_scheduler("optimal", {}, design,
+                                    std::make_shared<OracleMaxPredictor>(),
+                                    QosClass::kTolerant),
+               std::runtime_error);
+}
+
+TEST(Registry, UnknownParameterThrows) {
+  try {
+    (void)make_trace("constant", {{"rate", "10"}, {"peek", "20"}}, 1);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("peek"), std::string::npos);
+  }
+}
+
+TEST(Registry, BadParameterValueThrows) {
+  try {
+    (void)make_trace("constant", {{"rate", "fast"}}, 1);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rate"), std::string::npos);
+  }
+}
+
+TEST(Registry, NegativeCountsAreErrorsNotWraps) {
+  try {
+    (void)make_trace("diurnal", {{"days", "-1"}}, 1);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("days"), std::string::npos);
+  }
+  EXPECT_THROW(
+      (void)make_trace("worldcup_like", {{"tournament_start_day", "-4"}}, 1),
+      std::runtime_error);
+  EXPECT_THROW((void)make_predictor("oracle-max", {{"error_seed", "-2"}}, 1),
+               std::runtime_error);
+}
+
+TEST(Registry, BuildsEveryListedComponent) {
+  auto design = std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
+  for (const ComponentInfo& info : trace_components()) {
+    if (info.name == "file") continue;  // needs a path, covered below
+    std::map<std::string, std::string> params;
+    if (info.name == "step") params["segments"] = "100:60;200:60";
+    EXPECT_GT(make_trace(info.name, params, 1).size(), 0u) << info.name;
+  }
+  for (const ComponentInfo& info : predictor_components())
+    EXPECT_NE(make_predictor(info.name, {}, 1), nullptr) << info.name;
+  for (const ComponentInfo& info : scheduler_components())
+    EXPECT_NE(make_scheduler(info.name, {}, design,
+                             std::make_shared<OracleMaxPredictor>(),
+                             QosClass::kTolerant),
+              nullptr)
+        << info.name;
+  for (const ComponentInfo& info : catalog_components()) {
+    if (info.name == "file") continue;
+    EXPECT_FALSE(make_catalog(info.name, {}).empty()) << info.name;
+  }
+}
+
+TEST(Registry, ErrorParamsWrapAnyPredictor) {
+  auto p = make_predictor("oracle-max", {{"error_sigma", "0.1"}}, 7);
+  EXPECT_EQ(p->name(), "oracle-max+error");
+}
+
+TEST(Registry, TraceFileLoadsBothFormats) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto csv = dir / "bml_scn_trace.csv";
+  const auto wc = dir / "bml_scn_trace.wc98";
+  const LoadTrace trace({3.0, 0.0, 7.5, 7.5});
+  trace.save(csv);
+  save_wc98(trace, wc);
+  for (const auto& path : {csv, wc}) {
+    const LoadTrace loaded =
+        make_trace("file", {{"file", path.string()}}, 1);
+    ASSERT_EQ(loaded.size(), trace.size()) << path;
+    for (TimePoint t = 0; t < 4; ++t)
+      EXPECT_DOUBLE_EQ(loaded.at(t), trace.at(t)) << path << " t=" << t;
+  }
+  std::filesystem::remove(csv);
+  std::filesystem::remove(wc);
+}
+
+TEST(Registry, TraceFileAcceptsMultiColumnCsv) {
+  // load_any must route any CSV *containing* a rate column to the CSV
+  // parser, not just the single-column form.
+  const auto path =
+      std::filesystem::temp_directory_path() / "bml_scn_multi.csv";
+  {
+    std::ofstream out(path);
+    out << "day,rate\n0,3\n0,0\n1,7.5\n";
+  }
+  const LoadTrace loaded = make_trace("file", {{"file", path.string()}}, 1);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.at(2), 7.5);
+  std::filesystem::remove(path);
+}
+
+TEST(RunScenario, MatchesHandBuiltSimulation) {
+  ScenarioSpec spec;
+  spec.name = "hand";
+  spec.trace = "step";
+  spec.trace_params["segments"] = "200:1800;2500:1800;60:1800";
+  spec.seed = 5;
+  const ScenarioResult result = run_scenario(spec);
+
+  const LoadTrace trace = step_trace(
+      {{200.0, 1800.0}, {2500.0, 1800.0}, {60.0, 1800.0}});
+  auto design = std::make_shared<BmlDesign>(BmlDesign::build(
+      real_catalog(), {.max_rate = std::max(trace.peak(), 1.0)}));
+  const Simulator simulator(design->candidates());
+  BmlScheduler scheduler(design, std::make_shared<OracleMaxPredictor>());
+  const SimulationResult expected = simulator.run(scheduler, trace);
+
+  EXPECT_EQ(result.sim.scheduler_name, expected.scheduler_name);
+  EXPECT_DOUBLE_EQ(result.sim.compute_energy, expected.compute_energy);
+  EXPECT_DOUBLE_EQ(result.sim.reconfiguration_energy,
+                   expected.reconfiguration_energy);
+  EXPECT_EQ(result.sim.reconfigurations, expected.reconfigurations);
+  EXPECT_EQ(result.sim.peak_machines, expected.peak_machines);
+  EXPECT_DOUBLE_EQ(result.trace_duration, trace.duration());
+}
+
+TEST(ExpandSweep, CartesianProductInAxisOrder) {
+  ScenarioSpec spec = parse_scenario(kDemoSpec);
+  const std::vector<ScenarioSpec> grid = expand_sweep(spec);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid[0].trace_params.at("peak"), "500");
+  EXPECT_EQ(grid[0].predictor, "oracle-max");
+  EXPECT_EQ(grid[1].trace_params.at("peak"), "500");
+  EXPECT_EQ(grid[1].predictor, "moving-max");
+  EXPECT_EQ(grid[3].trace_params.at("peak"), "1000");
+  EXPECT_EQ(grid[3].predictor, "moving-max");
+  EXPECT_EQ(grid[0].name,
+            "demo[trace.peak=500,predictor=oracle-max]");
+  for (const ScenarioSpec& g : grid) EXPECT_TRUE(g.sweeps.empty());
+  // Untouched fields carry over.
+  EXPECT_EQ(grid[2].scheduler_params.at("window"), "400");
+}
+
+/// The acceptance grid: 3 axes, >= 24 scenarios, byte-identical CSV across
+/// thread counts. Short step traces keep the whole grid under a second.
+ScenarioSpec determinism_grid() {
+  ScenarioSpec spec;
+  spec.name = "grid";
+  spec.trace = "step";
+  spec.trace_params["segments"] = "150:900;2300:900;80:900";
+  spec.sweeps.push_back(
+      SweepAxis{"scheduler", {"bml", "reactive", "static-max"}});
+  spec.sweeps.push_back(
+      SweepAxis{"predictor", {"oracle-max", "moving-max"}});
+  spec.sweeps.push_back(SweepAxis{"trace.segments",
+                                  {"150:900;2300:900;80:900",
+                                   "900:600;90:600;1800:600",
+                                   "60:300;700:300;60:300;700:300"}});
+  spec.sweeps.push_back(SweepAxis{"qos", {"tolerant", "critical"}});
+  return spec;
+}
+
+TEST(RunSweep, CsvIsByteIdenticalAcrossThreadCounts) {
+  const ScenarioSpec spec = determinism_grid();
+  ASSERT_GE(expand_sweep(spec).size(), 24u);
+
+  SweepOptions serial;
+  serial.threads = 1;
+  const SweepReport one = run_sweep(spec, serial);
+  SweepOptions parallel;
+  parallel.threads = 8;
+  const SweepReport eight = run_sweep(spec, parallel);
+
+  ASSERT_EQ(one.rows.size(), 36u);
+  EXPECT_EQ(one.to_csv(), eight.to_csv());
+  EXPECT_EQ(one.threads, 1u);
+  EXPECT_EQ(eight.threads, 8u);
+}
+
+TEST(RunSweep, RowsCarryAxisValuesAndMetrics) {
+  ScenarioSpec spec;
+  spec.name = "mini";
+  spec.trace = "constant";
+  spec.trace_params["rate"] = "400";
+  spec.trace_params["duration"] = "1200";
+  spec.sweeps.push_back(SweepAxis{"scheduler", {"bml", "static-max"}});
+  SweepOptions options;
+  options.threads = 2;
+  options.keep_results = true;
+  const SweepReport report = run_sweep(spec, options);
+
+  ASSERT_EQ(report.rows.size(), 2u);
+  ASSERT_EQ(report.results.size(), 2u);
+  EXPECT_EQ(report.axis_keys, std::vector<std::string>{"scheduler"});
+  const SweepRow& bml_row = report.rows[0];
+  EXPECT_EQ(bml_row.axis_values, std::vector<std::string>{"bml"});
+  EXPECT_EQ(bml_row.scheduler, "bml(oracle-max)");
+  EXPECT_GT(bml_row.total_energy, 0.0);
+  EXPECT_DOUBLE_EQ(bml_row.total_energy,
+                   bml_row.compute_energy + bml_row.reconfiguration_energy);
+  EXPECT_DOUBLE_EQ(bml_row.mean_power, bml_row.total_energy / 1200.0);
+  EXPECT_GT(bml_row.peak_machines, 0u);
+  // The always-on Big fleet burns more than BML at 400 req/s.
+  EXPECT_GT(report.rows[1].total_energy, bml_row.total_energy);
+  // Console summary renders one line per scenario.
+  const std::string table = report.summary_table();
+  EXPECT_NE(table.find("mini[scheduler=bml]"), std::string::npos);
+  EXPECT_NE(table.find("mini[scheduler=static-max]"), std::string::npos);
+}
+
+TEST(RunSweep, SharedTraceMatchesPerScenarioGeneration) {
+  ScenarioSpec spec;
+  spec.name = "shared";
+  spec.trace = "step";
+  spec.trace_params["segments"] = "180:900;2100:900;70:900";
+  spec.sweeps.push_back(SweepAxis{"scheduler", {"bml", "per-day"}});
+
+  SweepOptions regenerate;
+  regenerate.threads = 2;
+  const SweepReport generated = run_sweep(spec, regenerate);
+
+  const LoadTrace trace = step_trace(
+      {{180.0, 900.0}, {2100.0, 900.0}, {70.0, 900.0}});
+  SweepOptions shared = regenerate;
+  shared.shared_trace = &trace;
+  const SweepReport replayed = run_sweep(spec, shared);
+  EXPECT_EQ(generated.to_csv(), replayed.to_csv());
+
+  // Trace axes contradict a shared trace.
+  ScenarioSpec conflicting = spec;
+  conflicting.sweeps.push_back(SweepAxis{"trace.segments", {"10:60"}});
+  EXPECT_THROW((void)run_sweep(conflicting, shared), std::runtime_error);
+}
+
+TEST(RunSweep, UnresolvableSpecThrows) {
+  ScenarioSpec spec;
+  spec.trace = "file";  // missing file parameter
+  EXPECT_THROW((void)run_scenario(spec), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bml

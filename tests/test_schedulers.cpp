@@ -1,6 +1,7 @@
 // Tests for sched/: BmlScheduler decisions, baselines, hysteresis.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "sched/baselines.hpp"
@@ -59,6 +60,49 @@ TEST(BmlScheduler, CriticalQosAddsHeadroom) {
 TEST(BmlScheduler, NameIncludesPredictor) {
   BmlScheduler scheduler(design(), std::make_shared<OracleMaxPredictor>());
   EXPECT_EQ(scheduler.name(), "bml(oracle-max)");
+}
+
+TEST(BmlScheduler, DecisionStableUntilMergesSameCombinationSpans) {
+  // A falling staircase whose steps stay inside one combination-table
+  // band: the window-max prediction changes at every plateau, the decision
+  // does not, so the stability bound must jump several plateaus at once.
+  // Find a band wide enough for the 6 req/s wiggle first (the littlest
+  // machine serves 9 req/s, so such bands exist).
+  double base = 500.0;
+  while (design()->ideal_combination(base) !=
+         design()->ideal_combination(base + 6.0))
+    base += 1.0;
+  std::vector<StepSegment> segments;
+  for (int i = 0; i < 4; ++i)
+    segments.push_back({base + 6.0 - 2.0 * i, 400.0});
+  segments.push_back({2800.0, 600.0});
+  const LoadTrace trace = step_trace(segments);
+
+  BmlScheduler scheduler(design(), std::make_shared<OracleMaxPredictor>());
+  const ClusterSnapshot snapshot;
+
+  // Soundness: decide() is constant over every claimed span.
+  for (TimePoint now = 0; now < static_cast<TimePoint>(trace.size());) {
+    const TimePoint stable = scheduler.decision_stable_until(now, trace);
+    ASSERT_GT(stable, now);
+    const auto decision = scheduler.decide(now, trace, snapshot);
+    const TimePoint end =
+        std::min(stable, static_cast<TimePoint>(trace.size()));
+    for (TimePoint t = now + 1; t < end; ++t)
+      ASSERT_EQ(scheduler.decide(t, trace, snapshot), decision)
+          << "span [" << now << ", " << stable << ") broke at t=" << t;
+    now = end;
+  }
+
+  // Strength: from t = 0 the prediction drops at every plateau start, but
+  // the decision only changes when the 2800 req/s step enters the oracle
+  // window — the bound must clear several plateaus at once.
+  const TimePoint bound = scheduler.decision_stable_until(0, trace);
+  OracleMaxPredictor oracle;
+  const TimePoint prediction_bound =
+      oracle.stable_until(trace, 0, scheduler.window());
+  EXPECT_GT(bound, prediction_bound);
+  EXPECT_GE(bound, 800);
 }
 
 TEST(BmlScheduler, Validation) {

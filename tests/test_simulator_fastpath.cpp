@@ -175,6 +175,48 @@ TEST(SimulatorFastPath, ReactiveSchedulerOnStepTrace) {
       [] { return std::make_unique<ReactiveScheduler>(design()); }, trace);
 }
 
+TEST(SimulatorFastPath, MovingMaxPredictorBatches) {
+  // Reactive moving-max now advertises real stability (pure function of
+  // the trace); the fast path must stay exact while batching on it.
+  const LoadTrace trace = step_trace({{150.0, 1500.0},
+                                      {2400.0, 1200.0},
+                                      {2300.0, 600.0},
+                                      {90.0, 1800.0},
+                                      {1200.0, 900.0}});
+  expect_equivalent(
+      [] {
+        return std::make_unique<BmlScheduler>(
+            design(), std::make_shared<MovingMaxPredictor>(378.0));
+      },
+      trace);
+}
+
+TEST(SimulatorFastPath, SeasonalPredictorBatches) {
+  DiurnalOptions diurnal;
+  diurnal.peak = 2000.0;
+  diurnal.noise = 0.0;
+  const LoadTrace trace = diurnal_trace(diurnal, 2);
+  expect_equivalent(
+      [] {
+        return std::make_unique<BmlScheduler>(
+            design(), std::make_shared<SeasonalPredictor>());
+      },
+      trace);
+}
+
+TEST(SimulatorFastPath, DecisionLevelStabilityStaysExact) {
+  // Wiggles small enough that consecutive window maxima map to the same
+  // combination: the decision-level bound merges those spans; results must
+  // match the per-second reference regardless.
+  std::vector<StepSegment> segments;
+  for (int i = 0; i < 60; ++i)
+    segments.push_back({1000.0 + 7.0 * (i % 5), 120.0});
+  segments.push_back({2600.0, 1200.0});
+  for (int i = 0; i < 30; ++i)
+    segments.push_back({140.0 + 3.0 * (i % 4), 90.0});
+  expect_equivalent(oracle_bml, step_trace(segments));
+}
+
 TEST(SimulatorFastPath, StatefulPredictorFallsBackToPerSecondConsults) {
   // The EWMA predictor updates internal state on every call, so its
   // stability bound stays at one second; the fast path must remain exact.

@@ -1,0 +1,166 @@
+// bmlsim — the scenario engine's command-line front end.
+//
+//   bmlsim run <spec.scn>  [--csv FILE] [--per-day]
+//       Run one scenario and print its summary (per-day energies with
+//       --per-day); --csv dumps the single-row sweep CSV.
+//
+//   bmlsim sweep <spec.scn> [--threads N] [--csv FILE]
+//       Expand the spec's `sweep` axes into the grid, run it in parallel,
+//       print the summary table, and optionally write the CSV. The CSV
+//       bytes are identical for every --threads value.
+//
+//   bmlsim list
+//       Print every registered catalog, trace generator, scheduler, and
+//       predictor with its parameters.
+//
+//   bmlsim print <spec.scn>
+//       Parse a spec and echo its canonical form (a format round-trip).
+//
+// Exit codes: 0 success, 1 usage error, 2 spec/runtime error.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "scenario/sweep.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace bml;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s run <spec.scn> [--csv FILE] [--per-day]\n"
+               "       %s sweep <spec.scn> [--threads N] [--csv FILE]\n"
+               "       %s list\n"
+               "       %s print <spec.scn>\n",
+               argv0, argv0, argv0, argv0);
+  return 1;
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << text;
+}
+
+void print_components(const char* title,
+                      const std::vector<ComponentInfo>& components) {
+  std::printf("%s\n", title);
+  for (const ComponentInfo& c : components)
+    std::printf("  %-14s %s\n", c.name.c_str(), c.summary.c_str());
+}
+
+int cmd_list() {
+  print_components("catalogs", catalog_components());
+  print_components("traces", trace_components());
+  print_components("schedulers", scheduler_components());
+  print_components("predictors", predictor_components());
+  return 0;
+}
+
+int cmd_print(const std::string& path) {
+  std::fputs(write_scenario(load_scenario(path)).c_str(), stdout);
+  return 0;
+}
+
+int cmd_run(const std::string& path, const std::string& csv_path,
+            bool per_day) {
+  const ScenarioSpec spec = load_scenario(path);
+  if (!spec.sweeps.empty())
+    std::fprintf(stderr,
+                 "note: spec declares %zu sweep axes; `run` executes the "
+                 "base point only (use `sweep`)\n",
+                 spec.sweeps.size());
+
+  ScenarioSpec base = spec;
+  base.sweeps.clear();
+  SweepOptions options;
+  options.threads = 1;
+  options.keep_results = true;
+  const SweepReport report = run_sweep(base, options);
+  std::fputs(report.summary_table().c_str(), stdout);
+
+  const SimulationResult& sim = report.results.front().sim;
+  std::printf("\nscheduler %s: %.3f kWh compute + %.3f kWh reconfiguration "
+              "over %d reconfigurations\n",
+              sim.scheduler_name.c_str(), joules_to_kwh(sim.compute_energy),
+              joules_to_kwh(sim.reconfiguration_energy), sim.reconfigurations);
+  if (per_day) {
+    AsciiTable table({"day", "compute (kWh)", "reconfig (kWh)"});
+    for (std::size_t d = 0; d < sim.per_day_compute.size(); ++d)
+      table.add_row({std::to_string(d),
+                     AsciiTable::num(joules_to_kwh(sim.per_day_compute[d]), 3),
+                     AsciiTable::num(
+                         joules_to_kwh(sim.per_day_reconfiguration[d]), 3)});
+    std::fputs(table.render().c_str(), stdout);
+  }
+  if (!csv_path.empty()) {
+    write_text_file(csv_path, report.to_csv());
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(const std::string& path, unsigned threads,
+              const std::string& csv_path) {
+  const ScenarioSpec spec = load_scenario(path);
+  SweepOptions options;
+  options.threads = threads;
+  const SweepReport report = run_sweep(spec, options);
+  std::fputs(report.summary_table().c_str(), stdout);
+  std::printf("%zu scenarios on %u threads in %.2f s\n", report.rows.size(),
+              report.threads, report.wall_seconds);
+  if (!csv_path.empty()) {
+    write_text_file(csv_path, report.to_csv());
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string command = argv[1];
+
+  std::string spec_path;
+  std::string csv_path;
+  unsigned threads = 0;
+  bool per_day = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv" && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      try {
+        threads = static_cast<unsigned>(parse_int(argv[++i]));
+      } catch (const std::exception&) {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--per-day") {
+      per_day = true;
+    } else if (!arg.starts_with("--") && spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    if (command == "list") return cmd_list();
+    if (spec_path.empty()) return usage(argv[0]);
+    if (command == "print") return cmd_print(spec_path);
+    if (command == "run") return cmd_run(spec_path, csv_path, per_day);
+    if (command == "sweep") return cmd_sweep(spec_path, threads, csv_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bmlsim: %s\n", e.what());
+    return 2;
+  }
+  return usage(argv[0]);
+}
