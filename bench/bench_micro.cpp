@@ -191,6 +191,46 @@ void BM_SimulatorDay(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorDay)->Unit(benchmark::kMillisecond);
 
+// Three colocated applications (diurnal + worldcup + steady) replayed for
+// one day through the multi-workload layer: the per-app attribution and
+// coordinator-merge overhead on top of BM_SimulatorDay. Traces and
+// schedulers are built once and passed as non-owning views, so the loop
+// times the replay itself (the oracle schedulers carry only the
+// predictor's per-trace cache, as in the replay_week benchmarks).
+// items_per_second counts app-trace-seconds (3 x 86400 per iteration).
+void BM_MultiAppSimulatorDay(benchmark::State& state) {
+  auto d = std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
+  DiurnalOptions diurnal;
+  diurnal.peak = 1500.0;
+  diurnal.noise = 0.0;
+  WorldCupOptions worldcup;
+  worldcup.days = 1;
+  worldcup.peak = 3000.0;
+  const LoadTrace traces[] = {diurnal_trace(diurnal, 1),
+                              worldcup_like_trace(worldcup),
+                              constant_trace(400.0, 86'400.0)};
+  const std::string names[] = {"web", "worldcup", "batch"};
+  const Simulator simulator(d->candidates());
+  std::vector<std::unique_ptr<BmlScheduler>> schedulers;
+  std::vector<Simulator::WorkloadView> views;
+  std::int64_t seconds_per_iter = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    schedulers.push_back(std::make_unique<BmlScheduler>(
+        d, std::make_shared<OracleMaxPredictor>()));
+    views.push_back(Simulator::WorkloadView{&names[i], &traces[i],
+                                            schedulers[i].get(),
+                                            QosClass::kTolerant, 1.0});
+    seconds_per_iter += static_cast<std::int64_t>(traces[i].size());
+  }
+  benchmark::DoNotOptimize(simulator.run(views));  // warm predictor caches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run(views));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          seconds_per_iter);
+}
+BENCHMARK(BM_MultiAppSimulatorDay)->Unit(benchmark::kMillisecond);
+
 /// Seven days of a steady (piecewise-constant) load: a 24-level staircase
 /// per day, repeated — the shape of a planned-capacity workload. This is
 /// the scenario where run-length batching shines.

@@ -1,0 +1,78 @@
+// The multi-tenant workload layer.
+//
+// The paper evaluates one web application against one Big/Medium/Little
+// cluster; a production pool serves many applications at once, each with
+// its own trace, predictor, scheduler, and QoS target. A Workload bundles
+// one application's complete per-app stack; the Simulator replays a set of
+// them against one shared Cluster (sim/simulator.hpp), with a coordinator
+// (sched/coordinator.hpp) merging the per-app ideal combinations into one
+// cluster-wide reconfiguration decision and the served load split back per
+// app so QoS and energy are attributed to the application that caused
+// them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "power/energy_meter.hpp"
+#include "sim/qos.hpp"
+#include "sim/scheduler.hpp"
+#include "trace/trace.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// One application sharing the cluster: its trace, its scheduler (which
+/// carries the predictor and QoS headroom), and its capacity share weight.
+struct Workload {
+  std::string name = "app";
+  LoadTrace trace;
+  std::unique_ptr<Scheduler> scheduler;
+  /// QoS class of the application (informational at this layer — the
+  /// scheduler applies the headroom; per-app reports echo it).
+  QosClass qos = QosClass::kTolerant;
+  /// Relative capacity share under the partitioned coordinator (weights
+  /// are normalised across workloads; ignored by the sum coordinator).
+  double share = 1.0;
+};
+
+/// Per-application slice of a multi-workload simulation: QoS against the
+/// app's capacity allocation, and the app's share of compute /
+/// reconfiguration energy.
+///
+/// Attribution rules (see Simulator):
+///   * capacity is allocated load-proportionally each second
+///     (Cluster::split_capacity), so an app is only "violated" when its
+///     fair share fell short of its own offered load;
+///   * compute power (idle included) is attributed by the same load
+///     shares — an idle app colocated with a busy one pays nothing while
+///     it offers nothing (equal split when no app offers load);
+///   * reconfiguration power is attributed by each app's share of the
+///     currently provisioned target capacity, so boot/shutdown energy
+///     follows the app whose demand provisioned the machines.
+struct WorkloadResult {
+  std::string name;
+  std::string scheduler_name;
+  QosClass qos = QosClass::kTolerant;
+  QosStats qos_stats;
+  Joules compute_energy = 0.0;
+  Joules reconfiguration_energy = 0.0;
+
+  [[nodiscard]] Joules total_energy() const {
+    return compute_energy + reconfiguration_energy;
+  }
+};
+
+/// Element-wise sum of the workloads' traces — the aggregate demand the
+/// shared cluster must be designed for. The result spans the longest
+/// trace; shorter traces contribute 0 beyond their end. A single workload
+/// returns a copy of its trace (no arithmetic), so design sizing on the
+/// sum is bit-identical to single-app sizing.
+[[nodiscard]] LoadTrace combined_trace(const std::vector<Workload>& workloads);
+
+/// As above over non-owning pointers (all non-null).
+[[nodiscard]] LoadTrace combined_trace(
+    const std::vector<const LoadTrace*>& traces);
+
+}  // namespace bml

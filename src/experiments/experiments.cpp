@@ -226,4 +226,64 @@ Fig5Result run_fig5(const Fig5Options& options) {
   return result;
 }
 
+// ------------------------------------------------------------- Colocation
+
+Joules ColocationResult::isolated_total() const {
+  Joules total = 0.0;
+  for (const SimulationResult& r : isolated) total += r.total_energy();
+  return total;
+}
+
+ColocationResult run_colocation(std::size_t days, std::uint64_t seed) {
+  if (days == 0) throw std::invalid_argument("run_colocation: days == 0");
+  const Catalog catalog = real_catalog();
+
+  DiurnalOptions diurnal;
+  diurnal.peak = 1500.0;
+  diurnal.noise = 0.02;
+  diurnal.seed = seed;
+  LoadTrace frontend = diurnal_trace(diurnal, days);
+  LoadTrace batch =
+      constant_trace(400.0, static_cast<double>(days) * 86'400.0);
+
+  const auto make_workloads = [&](std::shared_ptr<const BmlDesign> design) {
+    std::vector<Workload> workloads;
+    Workload web;
+    web.name = "frontend";
+    web.trace = frontend;
+    web.scheduler = std::make_unique<BmlScheduler>(
+        design, std::make_shared<OracleMaxPredictor>());
+    workloads.push_back(std::move(web));
+    Workload steady;
+    steady.name = "batch";
+    steady.trace = batch;
+    steady.scheduler = std::make_unique<BmlScheduler>(
+        design, std::make_shared<OracleMaxPredictor>());
+    workloads.push_back(std::move(steady));
+    return workloads;
+  };
+
+  ColocationResult result;
+  {
+    // Shared pool, designed for the aggregate demand.
+    const ReqRate peak =
+        combined_trace(std::vector<const LoadTrace*>{&frontend, &batch})
+            .peak();
+    auto design = std::make_shared<BmlDesign>(
+        BmlDesign::build(catalog, {.max_rate = std::max(peak, 1.0)}));
+    const Simulator simulator(design->candidates());
+    std::vector<Workload> workloads = make_workloads(design);
+    result.colocated = simulator.run(workloads);
+  }
+  for (const LoadTrace* trace : {&frontend, &batch}) {
+    // One dedicated cluster per app, each sized for its own peak.
+    auto design = std::make_shared<BmlDesign>(BmlDesign::build(
+        catalog, {.max_rate = std::max(trace->peak(), 1.0)}));
+    const Simulator simulator(design->candidates());
+    BmlScheduler scheduler(design, std::make_shared<OracleMaxPredictor>());
+    result.isolated.push_back(simulator.run(scheduler, *trace));
+  }
+  return result;
+}
+
 }  // namespace bml

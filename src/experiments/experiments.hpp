@@ -11,6 +11,10 @@
 //   Fig. 3   — run_fig3     measured power/perf curves (real catalog)
 //   Fig. 4   — run_fig4     ideal BML combination curve vs Big / BML-linear
 //   Fig. 5   — run_fig5     World-Cup evaluation vs lower & upper bounds
+//
+// Beyond the paper: run_colocation compares two applications sharing one
+// BML pool (the multi-tenant workload layer) against each running on its
+// own dedicated cluster.
 #pragma once
 
 #include <string>
@@ -126,5 +130,28 @@ struct Fig5Result {
 };
 
 [[nodiscard]] Fig5Result run_fig5(const Fig5Options& options = {});
+
+// ------------------------------------------------------------- Colocation
+
+/// Multi-tenant demonstration: a diurnal web frontend and a steady batch
+/// service, (a) colocated on one shared cluster through the workload
+/// layer (sum coordinator) and (b) each on its own dedicated cluster.
+/// Colocation pools the On machines, so the dispatcher fills the shared
+/// fleet's cheapest slopes with both apps' traffic.
+struct ColocationResult {
+  /// Shared-cluster run with per-app attribution.
+  MultiSimulationResult colocated;
+  /// One dedicated-cluster run per application (same order as
+  /// colocated.apps).
+  std::vector<SimulationResult> isolated;
+
+  [[nodiscard]] Joules colocated_total() const {
+    return colocated.total.total_energy();
+  }
+  [[nodiscard]] Joules isolated_total() const;
+};
+
+[[nodiscard]] ColocationResult run_colocation(std::size_t days = 1,
+                                              std::uint64_t seed = 7);
 
 }  // namespace bml

@@ -42,6 +42,11 @@
 //     static-max     UpperBound Global: constant homogeneous Big fleet
 //     per-day        UpperBound PerDay: Big fleet resized at midnight
 //
+// Multi-tenant specs (`[app]` sections, scenario/scenario_spec.hpp) build
+// one trace + predictor + scheduler stack per application through these
+// same factories; the sweep runner turns each section into a Workload
+// (app/workload.hpp) over the shared design.
+//
 // Unknown component names and unknown or malformed parameters throw
 // std::runtime_error naming the component, the offending key, and the
 // accepted names.

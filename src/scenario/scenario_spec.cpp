@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sched/coordinator.hpp"
+#include "sim/qos.hpp"
 #include "util/csv.hpp"
 
 namespace bml {
@@ -40,7 +42,73 @@ double parse_fraction(const std::string& key, const std::string& value) {
 
 }  // namespace
 
+void AppSpec::set(const std::string& key, const std::string& value) {
+  if (key == "name") {
+    name = value;
+  } else if (key == "trace") {
+    trace = value;
+  } else if (key == "scheduler") {
+    scheduler = value;
+  } else if (key == "predictor") {
+    predictor = value;
+  } else if (key == "qos") {
+    (void)parse_qos_class(value);  // validate now, fail loudly here
+    qos = value;
+  } else if (key == "share") {
+    const double v = parse_double(value);
+    if (!(v > 0.0))
+      throw std::runtime_error("scenario: app share must be > 0");
+    share = v;
+  } else if (key.starts_with("trace.")) {
+    trace_params[key.substr(6)] = value;
+  } else if (key.starts_with("scheduler.")) {
+    scheduler_params[key.substr(10)] = value;
+  } else if (key.starts_with("predictor.")) {
+    predictor_params[key.substr(10)] = value;
+  } else {
+    throw std::runtime_error("scenario: unknown app key '" + key + "'");
+  }
+}
+
+namespace {
+
+/// Splits an `app<i>.<rest>` sweep/assignment key; returns false when the
+/// key does not use the app prefix at all, throws when it does but the
+/// index is malformed.
+bool split_app_key(const std::string& key, std::size_t& index,
+                   std::string& rest) {
+  if (!key.starts_with("app")) return false;
+  std::size_t pos = 3;
+  if (pos >= key.size() || key[pos] < '0' || key[pos] > '9') return false;
+  std::size_t value = 0;
+  while (pos < key.size() && key[pos] >= '0' && key[pos] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(key[pos] - '0');
+    ++pos;
+  }
+  if (pos >= key.size() || key[pos] != '.')
+    throw std::runtime_error("scenario: app key '" + key +
+                             "' must be app<i>.<key>");
+  index = value;
+  rest = key.substr(pos + 1);
+  return true;
+}
+
+}  // namespace
+
 void ScenarioSpec::set(const std::string& key, const std::string& value) {
+  {
+    std::size_t app_index = 0;
+    std::string app_key;
+    if (split_app_key(key, app_index, app_key)) {
+      if (app_index >= apps.size())
+        throw std::runtime_error(
+            "scenario: key '" + key + "' addresses app " +
+            std::to_string(app_index) + " but the spec declares " +
+            std::to_string(apps.size()) + " [app] section(s)");
+      apps[app_index].set(app_key, value);
+      return;
+    }
+  }
   if (key == "name") {
     name = value;
   } else if (key == "catalog") {
@@ -62,9 +130,7 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
           "'");
     design_solver = value;
   } else if (key == "qos") {
-    if (value != "tolerant" && value != "critical")
-      throw std::runtime_error(
-          "scenario: qos must be tolerant or critical, got '" + value + "'");
+    (void)parse_qos_class(value);  // validate now, fail loudly here
     qos = value;
   } else if (key == "graceful_off") {
     graceful_off = parse_bool(key, value);
@@ -76,6 +142,13 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
     boot_failure_prob = parse_fraction(key, value);
   } else if (key == "seed") {
     seed = parse_seed(key, value);
+  } else if (key == "coordinator") {
+    (void)parse_coordinator_mode(value);  // validate now, fail loudly here
+    coordinator = value;
+  } else if (key == "coordinator.budget") {
+    if (value != "design-max")
+      (void)parse_double(value);  // numbers validate now, fail loudly here
+    coordinator_budget = value;
   } else if (key.starts_with("catalog.")) {
     catalog_params[key.substr(8)] = value;
   } else if (key.starts_with("trace.")) {
@@ -94,12 +167,25 @@ ScenarioSpec parse_scenario(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   std::size_t line_number = 0;
+  // Index of the [app] section the cursor is in; top level until the
+  // first section.
+  std::ptrdiff_t current_app = -1;
   while (std::getline(in, line)) {
     ++line_number;
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::string body = trim(line);
     if (body.empty()) continue;
+
+    if (body == "[app]") {
+      spec.apps.emplace_back();
+      current_app = static_cast<std::ptrdiff_t>(spec.apps.size()) - 1;
+      continue;
+    }
+    if (body.starts_with("[") && body.ends_with("]"))
+      throw std::runtime_error("scenario: line " + std::to_string(line_number) +
+                               ": unknown section '" + body +
+                               "' (only [app] is supported)");
 
     bool is_sweep = false;
     if (body.starts_with("sweep ") || body.starts_with("sweep\t")) {
@@ -139,6 +225,8 @@ ScenarioSpec parse_scenario(const std::string& text) {
           probe.set(key, candidate);
         }
         spec.sweeps.push_back(std::move(axis));
+      } else if (current_app >= 0) {
+        spec.apps[static_cast<std::size_t>(current_app)].set(key, value);
       } else {
         spec.set(key, value);
       }
@@ -182,6 +270,23 @@ std::string write_scenario(const ScenarioSpec& spec) {
           << "faults.boot_failure_prob = " << spec.boot_failure_prob << '\n';
   os << numbers.str();
   os << "seed = " << spec.seed << '\n';
+  os << "coordinator = " << spec.coordinator << '\n';
+  os << "coordinator.budget = " << spec.coordinator_budget << '\n';
+  for (const AppSpec& app : spec.apps) {
+    os << "[app]\n";
+    if (!app.name.empty()) os << "name = " << app.name << '\n';
+    os << "trace = " << app.trace << '\n';
+    write_params(os, "trace", app.trace_params);
+    os << "scheduler = " << app.scheduler << '\n';
+    write_params(os, "scheduler", app.scheduler_params);
+    os << "predictor = " << app.predictor << '\n';
+    write_params(os, "predictor", app.predictor_params);
+    os << "qos = " << app.qos << '\n';
+    std::ostringstream share;
+    share.precision(17);
+    share << "share = " << app.share << '\n';
+    os << share.str();
+  }
   for (const SweepAxis& axis : spec.sweeps) {
     os << "sweep " << axis.key << " = ";
     for (std::size_t i = 0; i < axis.values.size(); ++i) {

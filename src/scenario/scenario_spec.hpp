@@ -22,6 +22,30 @@
 //     sweep predictor = oracle-max,moving-max
 //     sweep scheduler = bml,reactive
 //
+// Multi-tenant scenarios declare repeatable `[app]` sections after the
+// top-level keys, one per colocated application. Each section carries its
+// own trace / scheduler / predictor stack, QoS class and capacity share;
+// the `coordinator` key selects how per-app proposals merge into the
+// cluster decision (`sum` or `partitioned`, see sched/coordinator.hpp).
+// Sweep axes address app fields as `app<i>.<key>` (e.g. `sweep
+// app0.trace.peak = 500,1000`); sweep lines must come after the sections
+// they address. A spec without `[app]` sections is the classic single-app
+// experiment (the top-level trace/scheduler/predictor/qos describe the
+// one workload), and a spec with exactly one `[app]` section is
+// equivalent to it — bit-for-bit, see tests/test_multi_workload.cpp.
+//
+//     [app]
+//     name = frontend
+//     trace = diurnal
+//     trace.peak = 1500
+//     qos = critical
+//     share = 2
+//     [app]
+//     name = batch
+//     trace = constant
+//     trace.rate = 400
+//     predictor = moving-max
+//
 // Component names and their parameters are resolved by the registry
 // (scenario/registry.hpp); the spec layer only routes keys and validates
 // the typed top-level fields, so unknown *parameter* values fail at build
@@ -43,6 +67,30 @@ struct SweepAxis {
   std::vector<std::string> values;
 
   friend bool operator==(const SweepAxis&, const SweepAxis&) = default;
+};
+
+/// One application of a multi-tenant scenario (an `[app]` section): its
+/// own trace / scheduler / predictor stack, QoS class and capacity share.
+struct AppSpec {
+  /// Application name (per-app result rows / CSV columns); empty picks
+  /// "app<index>" at build time.
+  std::string name;
+  std::string trace = "constant";
+  std::map<std::string, std::string> trace_params;
+  std::string scheduler = "bml";
+  std::map<std::string, std::string> scheduler_params;
+  std::string predictor = "oracle-max";
+  std::map<std::string, std::string> predictor_params;
+  /// QoS class: `tolerant` or `critical`.
+  std::string qos = "tolerant";
+  /// Capacity share weight under the partitioned coordinator (> 0).
+  double share = 1.0;
+
+  /// Routes one section-local `key = value` assignment; throws
+  /// std::runtime_error on unknown keys or malformed typed values.
+  void set(const std::string& key, const std::string& value);
+
+  friend bool operator==(const AppSpec&, const AppSpec&) = default;
 };
 
 /// Everything needed to run one simulation, as data. Component parameters
@@ -81,8 +129,19 @@ struct ScenarioSpec {
   /// Master seed: trace generators and fault injection derive theirs from
   /// it unless overridden per component (`trace.seed`, ...).
   std::uint64_t seed = 1;
+  /// How per-app proposals merge into the cluster-wide decision: `sum`
+  /// (baseline) or `partitioned` (clamp each app to its capacity share;
+  /// see sched/coordinator.hpp).
+  std::string coordinator = "sum";
+  /// Partitioned-mode capacity budget (req/s): a number, or `design-max`
+  /// (the built design's max rate).
+  std::string coordinator_budget = "design-max";
+  /// Colocated applications (`[app]` sections). Empty = the classic
+  /// single-app experiment described by the top-level trace / scheduler /
+  /// predictor / qos fields.
+  std::vector<AppSpec> apps;
   /// Grid axes, expanded by expand_sweep() in declaration order (first
-  /// axis outermost).
+  /// axis outermost). Axis keys may address app fields as `app<i>.<key>`.
   std::vector<SweepAxis> sweeps;
 
   /// Routes one `key = value` assignment to the field or component

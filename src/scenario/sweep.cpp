@@ -4,6 +4,7 @@
 #include <chrono>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "scenario/registry.hpp"
@@ -29,9 +30,17 @@ std::string csv_num(double v) {
   return os.str();
 }
 
-ReqRate design_max_rate(const ScenarioSpec& spec, const LoadTrace& trace) {
-  if (spec.design_max_rate == "trace-peak")
-    return std::max(trace.peak(), 1.0);
+ReqRate design_max_rate(const ScenarioSpec& spec,
+                        const std::vector<const LoadTrace*>& traces) {
+  if (spec.design_max_rate == "trace-peak") {
+    // The shared cluster is designed for the aggregate demand: the peak
+    // of the element-wise trace sum. A single app sums to its own trace,
+    // which keeps single-app sizing bit-identical to the pre-multi-tenant
+    // engine.
+    const ReqRate peak = traces.size() == 1 ? traces.front()->peak()
+                                            : combined_trace(traces).peak();
+    return std::max(peak, 1.0);
+  }
   if (spec.design_max_rate == "default") return 0.0;
   return parse_double(spec.design_max_rate);
 }
@@ -70,6 +79,19 @@ std::size_t grid_size(const ScenarioSpec& spec) {
   return n;
 }
 
+/// True when a sweep axis addresses a trace field — top-level
+/// (`trace`, `trace.*`) or app-scoped (`app<i>.trace`, `app<i>.trace.*`)
+/// — i.e. an axis a shared trace would silently override.
+bool is_trace_axis(const std::string& key) {
+  std::string_view k = key;
+  if (k.starts_with("app")) {
+    std::size_t pos = 3;
+    while (pos < k.size() && k[pos] >= '0' && k[pos] <= '9') ++pos;
+    if (pos > 3 && pos < k.size() && k[pos] == '.') k.remove_prefix(pos + 1);
+  }
+  return k == "trace" || k.starts_with("trace.");
+}
+
 }  // namespace
 
 namespace {
@@ -81,36 +103,97 @@ ScenarioResult run_scenario_impl(const ScenarioSpec& spec,
   result.spec = spec;
 
   const Catalog catalog = make_catalog(spec.catalog, spec.catalog_params);
-  const LoadTrace own_trace =
-      shared_trace ? LoadTrace{}
-                   : make_trace(spec.trace, spec.trace_params, spec.seed);
-  const LoadTrace& trace = shared_trace ? *shared_trace : own_trace;
+
+  // Effective app list: the `[app]` sections, or the classic single app
+  // described by the top-level trace / scheduler / predictor / qos fields.
+  std::vector<AppSpec> apps;
+  if (spec.apps.empty()) {
+    AppSpec app;
+    app.trace = spec.trace;
+    app.trace_params = spec.trace_params;
+    app.scheduler = spec.scheduler;
+    app.scheduler_params = spec.scheduler_params;
+    app.predictor = spec.predictor;
+    app.predictor_params = spec.predictor_params;
+    app.qos = spec.qos;
+    apps.push_back(std::move(app));
+  } else {
+    apps = spec.apps;
+  }
+  if (shared_trace && apps.size() > 1)
+    throw std::runtime_error(
+        "run_scenario: a shared trace requires a single-workload spec");
+
+  // Each [app] section gets its own random stream derived from the master
+  // seed (golden-ratio stepping), otherwise identically-configured tenants
+  // would replay byte-identical noise and bias colocation results. App 0
+  // keeps the master seed itself, which pins single-[app] equivalence;
+  // per-section `trace.seed` / `predictor.error_seed` still override.
+  const auto app_seed = [&spec](std::size_t i) {
+    // Masked to 63 bits: seeds round-trip through the registry's
+    // non-negative integer parameters.
+    return (spec.seed + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(i)) &
+           0x7FFF'FFFF'FFFF'FFFFULL;
+  };
+
+  std::vector<std::string> names(apps.size());
+  std::vector<LoadTrace> own_traces;
+  own_traces.reserve(apps.size());
+  std::vector<const LoadTrace*> traces(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    names[i] =
+        apps[i].name.empty() ? "app" + std::to_string(i) : apps[i].name;
+    if (shared_trace) {
+      traces[i] = shared_trace;
+    } else {
+      own_traces.push_back(
+          make_trace(apps[i].trace, apps[i].trace_params, app_seed(i)));
+      traces[i] = &own_traces.back();
+    }
+  }
 
   BmlDesignOptions design_options;
-  design_options.max_rate = design_max_rate(spec, trace);
+  design_options.max_rate = design_max_rate(spec, traces);
   design_options.solver = spec.design_solver == "exact-dp"
                               ? SolverKind::kExactDp
                               : SolverKind::kGreedyThreshold;
   auto design =
       std::make_shared<BmlDesign>(BmlDesign::build(catalog, design_options));
 
-  const QosClass qos =
-      spec.qos == "critical" ? QosClass::kCritical : QosClass::kTolerant;
-  std::shared_ptr<Predictor> predictor =
-      make_predictor(spec.predictor, spec.predictor_params, spec.seed);
-  std::unique_ptr<Scheduler> scheduler = make_scheduler(
-      spec.scheduler, spec.scheduler_params, design, std::move(predictor), qos);
+  std::vector<QosClass> qos(apps.size());
+  std::vector<std::unique_ptr<Scheduler>> schedulers;
+  schedulers.reserve(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    qos[i] = parse_qos_class(apps[i].qos);
+    std::shared_ptr<Predictor> predictor = make_predictor(
+        apps[i].predictor, apps[i].predictor_params, app_seed(i));
+    schedulers.push_back(make_scheduler(apps[i].scheduler,
+                                        apps[i].scheduler_params, design,
+                                        std::move(predictor), qos[i]));
+  }
 
   SimulatorOptions options;
   options.graceful_off = spec.graceful_off;
   options.event_driven = spec.event_driven;
+  options.coordinator = parse_coordinator_mode(spec.coordinator);
+  options.coordinator_budget = spec.coordinator_budget == "design-max"
+                                   ? design->max_rate()
+                                   : parse_double(spec.coordinator_budget);
   options.faults.boot_time_jitter = spec.boot_time_jitter;
   options.faults.boot_failure_prob = spec.boot_failure_prob;
   options.faults.seed = spec.seed;
 
   const Simulator simulator(design->candidates(), options);
-  result.sim = simulator.run(*scheduler, trace);
-  result.trace_duration = trace.duration();
+  std::vector<Simulator::WorkloadView> views;
+  views.reserve(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i)
+    views.push_back(Simulator::WorkloadView{
+        &names[i], traces[i], schedulers[i].get(), qos[i], apps[i].share});
+  MultiSimulationResult multi = simulator.run(views);
+  result.sim = std::move(multi.total);
+  result.apps = std::move(multi.apps);
+  for (const LoadTrace* t : traces)
+    result.trace_duration = std::max(result.trace_duration, t->duration());
   result.wall_seconds = elapsed_seconds(start);
   return result;
 }
@@ -141,11 +224,21 @@ SweepReport run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
   report.threads =
       options.threads == 0 ? default_parallelism() : options.threads;
   for (const SweepAxis& axis : spec.sweeps) {
-    if (options.shared_trace &&
-        (axis.key == "trace" || axis.key.starts_with("trace.")))
+    if (options.shared_trace && is_trace_axis(axis.key))
       throw std::runtime_error(
           "run_sweep: axis '" + axis.key +
           "' conflicts with the shared trace (every scenario replays it)");
+    // With [app] sections the top-level workload fields are ignored —
+    // sweeping one would expand a grid whose rows are all identical.
+    if (!spec.apps.empty())
+      for (const char* ignored : {"trace", "scheduler", "predictor", "qos"})
+        if (axis.key == ignored ||
+            axis.key.starts_with(std::string(ignored) + "."))
+          throw std::runtime_error(
+              "run_sweep: axis '" + axis.key +
+              "' addresses the top-level workload fields, which [app] "
+              "sections replace; sweep app<i>." +
+              axis.key + " instead");
     report.axis_keys.push_back(axis.key);
   }
 
@@ -174,6 +267,12 @@ SweepReport run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
                              ? result.sim.total_energy() / result.trace_duration
                              : 0.0;
         row.peak_machines = result.sim.peak_machines;
+        row.apps.reserve(result.apps.size());
+        for (const WorkloadResult& app : result.apps)
+          row.apps.push_back(SweepAppRow{
+              app.name, app.compute_energy, app.reconfiguration_energy,
+              app.qos_stats.violation_seconds,
+              app.qos_stats.served_fraction()});
         row.wall_seconds = result.wall_seconds;
         if (options.keep_results) report.results[i] = std::move(result);
       },
@@ -184,6 +283,13 @@ SweepReport run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
 }
 
 std::string SweepReport::to_csv() const {
+  // Per-app column groups only appear for genuinely multi-tenant sweeps:
+  // a single-app sweep (including single-[app] specs) keeps the classic
+  // column set, byte-for-byte.
+  std::size_t max_apps = 0;
+  for (const SweepRow& row : rows) max_apps = std::max(max_apps, row.apps.size());
+  const bool per_app = max_apps >= 2;
+
   CsvWriter writer;
   std::vector<std::string> header{"scenario"};
   for (const std::string& key : axis_keys) header.push_back(key);
@@ -194,6 +300,14 @@ std::string SweepReport::to_csv() const {
         "reconfiguration_energy_j", "reconfigurations", "qos_violation_s",
         "served_fraction", "mean_power_w", "peak_machines"})
     header.emplace_back(column);
+  if (per_app)
+    for (std::size_t i = 0; i < max_apps; ++i) {
+      const std::string prefix = "app" + std::to_string(i) + "_";
+      for (const char* column :
+           {"name", "compute_energy_j", "reconfiguration_energy_j",
+            "qos_violation_s", "served_fraction"})
+        header.push_back(prefix + column);
+    }
   writer.set_header(std::move(header));
 
   for (const SweepRow& row : rows) {
@@ -208,6 +322,19 @@ std::string SweepReport::to_csv() const {
     cells.push_back(csv_num(row.served_fraction));
     cells.push_back(csv_num(row.mean_power));
     cells.push_back(std::to_string(row.peak_machines));
+    if (per_app)
+      for (std::size_t i = 0; i < max_apps; ++i) {
+        if (i < row.apps.size()) {
+          const SweepAppRow& app = row.apps[i];
+          cells.push_back(app.name);
+          cells.push_back(csv_num(app.compute_energy));
+          cells.push_back(csv_num(app.reconfiguration_energy));
+          cells.push_back(std::to_string(app.qos_violation_seconds));
+          cells.push_back(csv_num(app.served_fraction));
+        } else {
+          cells.insert(cells.end(), 5, "");
+        }
+      }
     writer.add_row(std::move(cells));
   }
   return writer.to_string();

@@ -25,7 +25,10 @@ struct ScenarioResult {
   /// The resolved spec (sweep values applied, axes cleared).
   ScenarioSpec spec;
   SimulationResult sim;
-  /// Duration of the replayed trace (s).
+  /// Per-application slices (one per `[app]` section; a single entry for
+  /// classic single-app specs).
+  std::vector<WorkloadResult> apps;
+  /// Duration of the replayed trace (s; the longest app trace).
   Seconds trace_duration = 0.0;
   /// Build + replay wall time of this scenario (s).
   double wall_seconds = 0.0;
@@ -49,6 +52,15 @@ struct ScenarioResult {
 /// anything runs.
 [[nodiscard]] std::vector<ScenarioSpec> expand_sweep(const ScenarioSpec& spec);
 
+/// Per-application metrics of one sweep row.
+struct SweepAppRow {
+  std::string name;
+  Joules compute_energy = 0.0;
+  Joules reconfiguration_energy = 0.0;
+  std::int64_t qos_violation_seconds = 0;
+  double served_fraction = 1.0;
+};
+
 /// Aggregate metrics of one scenario — the sweep's unit of reporting.
 struct SweepRow {
   std::string scenario;
@@ -65,6 +77,8 @@ struct SweepRow {
   /// total_energy / trace duration (W).
   Watts mean_power = 0.0;
   std::size_t peak_machines = 0;
+  /// Per-app attribution, parallel to the scenario's app list.
+  std::vector<SweepAppRow> apps;
   double wall_seconds = 0.0;
 };
 
@@ -80,8 +94,10 @@ struct SweepReport {
   unsigned threads = 1;
 
   /// Deterministic CSV of the rows: scenario, axis columns, metrics.
-  /// Excludes wall-clock timings, so the bytes are identical across thread
-  /// counts.
+  /// Multi-app sweeps (any row with >= 2 apps) append per-app column
+  /// groups (app<i>_name, app<i>_compute_energy_j, ...); single-app
+  /// sweeps keep the classic column set byte-for-byte. Excludes
+  /// wall-clock timings, so the bytes are identical across thread counts.
   [[nodiscard]] std::string to_csv() const;
 
   /// Console summary rendered with util/table.

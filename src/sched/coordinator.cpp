@@ -1,0 +1,77 @@
+#include "sched/coordinator.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace bml {
+
+const char* to_string(CoordinatorMode mode) {
+  switch (mode) {
+    case CoordinatorMode::kSum: return "sum";
+    case CoordinatorMode::kPartitioned: return "partitioned";
+  }
+  return "?";
+}
+
+CoordinatorMode parse_coordinator_mode(const std::string& name) {
+  if (name == "sum") return CoordinatorMode::kSum;
+  if (name == "partitioned") return CoordinatorMode::kPartitioned;
+  throw std::runtime_error("coordinator must be sum or partitioned, got '" +
+                           name + "'");
+}
+
+Coordinator::Coordinator(const Catalog& candidates, CoordinatorMode mode,
+                         std::vector<double> shares, ReqRate budget)
+    : candidates_(&candidates),
+      mode_(mode),
+      shares_(std::move(shares)),
+      budget_(budget) {
+  if (shares_.empty())
+    throw std::invalid_argument("Coordinator: no workloads");
+  for (double s : shares_) {
+    if (!(s > 0.0))
+      throw std::invalid_argument("Coordinator: shares must be > 0");
+    share_total_ += s;
+  }
+}
+
+ReqRate Coordinator::capacity_cap(std::size_t i) const {
+  if (i >= shares_.size())
+    throw std::out_of_range("Coordinator: app index out of range");
+  if (mode_ != CoordinatorMode::kPartitioned || budget_ <= 0.0)
+    return std::numeric_limits<ReqRate>::infinity();
+  return budget_ * (shares_[i] / share_total_);
+}
+
+Combination Coordinator::merge(const std::vector<Combination>& proposals,
+                               std::vector<Combination>& contributions) const {
+  if (proposals.size() != shares_.size())
+    throw std::invalid_argument(
+        "Coordinator: proposal count does not match workload count");
+  const std::size_t kinds = candidates_->size();
+  contributions = proposals;
+  for (std::size_t i = 0; i < contributions.size(); ++i) {
+    Combination& c = contributions[i];
+    if (c.counts().size() > kinds)
+      throw std::invalid_argument("Coordinator: proposal too wide");
+    c.resize(kinds);
+    const ReqRate cap = capacity_cap(i);
+    if (cap == std::numeric_limits<ReqRate>::infinity()) continue;
+    // Trim the proposal to the app's capacity share: drop machines from
+    // the largest architecture down (candidates are sorted by descending
+    // max_perf), one at a time — deterministic and fastest to converge.
+    ReqRate have = capacity(*candidates_, c);
+    for (std::size_t a = 0; a < kinds && have > cap; ++a)
+      while (c.count(a) > 0 && have > cap) {
+        c.add(a, -1);
+        have -= (*candidates_)[a].max_perf();
+      }
+  }
+  Combination merged;
+  merged.resize(kinds);
+  for (const Combination& c : contributions)
+    for (std::size_t a = 0; a < kinds; ++a) merged.add(a, c.count(a));
+  return merged;
+}
+
+}  // namespace bml

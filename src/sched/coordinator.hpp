@@ -1,0 +1,78 @@
+// The reconfiguration coordinator: merges per-workload ideal combinations
+// into one cluster-wide decision.
+//
+// Each application's scheduler keeps proposing the combination that would
+// serve *its* predicted load in isolation; the cluster can only converge to
+// one fleet. Two merge policies:
+//
+//   * kSum (baseline) — the cluster target is the element-wise sum of the
+//     per-app proposals. Every app gets exactly the machines its scheduler
+//     asked for; total capacity grows with colocation. With one workload
+//     this is the identity, which is what pins the single-app regression.
+//
+//   * kPartitioned — the pool is capacity-limited: each app's proposal is
+//     clamped so its capacity does not exceed its share of the budget
+//     (share weights normalised across apps), then summed. Clamping
+//     removes machines from the largest architecture first (catalog order:
+//     candidates are sorted by descending max_perf), one machine at a
+//     time, so the trim is deterministic and sheds capacity fastest.
+//
+// merge() is a pure function of the proposals, so the event-driven
+// simulator can intersect per-workload decision-stability spans: while no
+// app's proposal changes, the merged decision cannot change either.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/catalog.hpp"
+#include "core/combination.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+enum class CoordinatorMode {
+  kSum,          // sum-of-combinations baseline
+  kPartitioned,  // clamp each app to its capacity share of the budget
+};
+
+[[nodiscard]] const char* to_string(CoordinatorMode mode);
+
+/// Parses a coordinator mode name (`sum` | `partitioned`) — the single
+/// validation point for spec layers; throws std::runtime_error naming the
+/// accepted values otherwise.
+[[nodiscard]] CoordinatorMode parse_coordinator_mode(const std::string& name);
+
+class Coordinator {
+ public:
+  /// `shares` are the per-app weights (one per workload, all > 0; only
+  /// consulted in partitioned mode). `budget` is the total cluster
+  /// capacity (req/s) partitioned among the apps; <= 0 disables the clamp
+  /// (partitioned degenerates to sum).
+  Coordinator(const Catalog& candidates, CoordinatorMode mode,
+              std::vector<double> shares, ReqRate budget);
+
+  /// Merges one proposal per app (width <= candidate count; resized
+  /// internally) into the cluster-wide target. `contributions` receives
+  /// each app's post-clamp combination — the slice of the merged fleet
+  /// attributed to that app (reconfiguration-energy attribution keys off
+  /// these).
+  [[nodiscard]] Combination merge(const std::vector<Combination>& proposals,
+                                  std::vector<Combination>& contributions) const;
+
+  /// Capacity cap of app `i` under the partitioned policy;
+  /// +infinity in sum mode or with no budget.
+  [[nodiscard]] ReqRate capacity_cap(std::size_t i) const;
+
+  [[nodiscard]] CoordinatorMode mode() const { return mode_; }
+  [[nodiscard]] std::size_t apps() const { return shares_.size(); }
+
+ private:
+  const Catalog* candidates_;
+  CoordinatorMode mode_;
+  std::vector<double> shares_;
+  double share_total_ = 0.0;
+  ReqRate budget_;
+};
+
+}  // namespace bml

@@ -24,6 +24,7 @@ Cluster::Cluster(Catalog candidates, const Combination& initial,
   on_.assign(candidates_.size(), 0);
   booting_.assign(candidates_.size(), 0);
   shutting_.assign(candidates_.size(), 0);
+  off_free_.assign(candidates_.size(), {});
   for (std::size_t arch = 0; arch < initial.counts().size(); ++arch)
     for (int i = 0; i < initial.counts()[arch]; ++i) {
       machines_.emplace_back(arch, MachineState::kOn);
@@ -49,16 +50,16 @@ void Cluster::switch_on(std::size_t arch, int n) {
     throw std::invalid_argument("Cluster: arch index out of range");
   if (n < 0) throw std::invalid_argument("Cluster: n must be >= 0");
   int remaining = n;
-  for (SimMachine& m : machines_) {
-    if (remaining == 0) break;
-    if (m.arch_index() == arch && m.state() == MachineState::kOff) {
-      m.request_on(candidates_[arch], boot_duration(arch));
-      --remaining;
-      if (m.state() == MachineState::kOn)
-        ++on_[arch];  // zero-duration boot
-      else
-        ++booting_[arch];
-    }
+  std::vector<std::size_t>& parked = off_free_[arch];
+  while (remaining > 0 && !parked.empty()) {
+    SimMachine& m = machines_[parked.back()];
+    parked.pop_back();
+    m.request_on(candidates_[arch], boot_duration(arch));
+    --remaining;
+    if (m.state() == MachineState::kOn)
+      ++on_[arch];  // zero-duration boot
+    else
+      ++booting_[arch];
   }
   while (remaining-- > 0) {
     machines_.emplace_back(arch, MachineState::kOff);
@@ -75,13 +76,16 @@ void Cluster::switch_off(std::size_t arch, int n) {
     throw std::invalid_argument("Cluster: arch index out of range");
   if (n < 0) throw std::invalid_argument("Cluster: n must be >= 0");
   int remaining = n;
-  for (SimMachine& m : machines_) {
-    if (remaining == 0) break;
+  for (std::size_t i = 0; i < machines_.size() && remaining > 0; ++i) {
+    SimMachine& m = machines_[i];
     if (m.arch_index() == arch && m.state() == MachineState::kOn) {
       m.request_off(candidates_[arch]);
       --remaining;
       --on_[arch];
-      if (m.state() != MachineState::kOff) ++shutting_[arch];
+      if (m.state() != MachineState::kOff)
+        ++shutting_[arch];
+      else
+        off_free_[arch].push_back(i);  // zero-duration shutdown
     }
   }
   if (remaining > 0)
@@ -123,6 +127,20 @@ ClusterPower Cluster::step_power(ReqRate load) const {
   return power;
 }
 
+void Cluster::split_capacity(const std::vector<ReqRate>& loads, ReqRate total,
+                             std::vector<ReqRate>& alloc) const {
+  const std::size_t n = loads.size();
+  alloc.resize(n);
+  if (n == 0) return;
+  const ReqRate cap = on_capacity();
+  if (total > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) alloc[i] = cap * (loads[i] / total);
+  } else {
+    const double equal = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) alloc[i] = cap * equal;
+  }
+}
+
 Seconds Cluster::next_transition_remaining() const {
   Seconds next = -1.0;
   for (const SimMachine& m : machines_) {
@@ -138,7 +156,8 @@ Seconds Cluster::next_transition_remaining() const {
 int Cluster::step(Seconds dt) {
   if (!transitioning()) return 0;
   int completed = 0;
-  for (SimMachine& m : machines_) {
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    SimMachine& m = machines_[i];
     const MachineState before = m.state();
     if (m.step(dt)) {
       ++completed;
@@ -148,6 +167,7 @@ int Cluster::step(Seconds dt) {
         ++on_[a];
       } else {
         --shutting_[a];
+        off_free_[a].push_back(i);
       }
     }
   }

@@ -87,6 +87,17 @@ class Cluster {
   /// power. Load beyond capacity is dropped by the dispatcher.
   [[nodiscard]] ClusterPower step_power(ReqRate load) const;
 
+  /// Splits the On capacity across colocated workloads: `loads` are the
+  /// per-app offered rates, `total` their sum, and `alloc` (resized)
+  /// receives each app's capacity allocation. Capacity is divided
+  /// load-proportionally — when the cluster is overloaded every app's
+  /// shortfall is proportional to its demand — and equally when no load is
+  /// offered. A single workload is allocated the whole capacity exactly
+  /// (load / total == 1.0), which the multi-workload simulator's
+  /// single-app regression pin relies on.
+  void split_capacity(const std::vector<ReqRate>& loads, ReqRate total,
+                      std::vector<ReqRate>& alloc) const;
+
   /// Advances all machines `dt` seconds; returns the number of transitions
   /// that completed. Multi-second steps are exact: each machine's remaining
   /// time is decremented once, which matches repeated 1 s steps bit-for-bit
@@ -116,6 +127,12 @@ class Cluster {
   std::vector<int> on_;
   std::vector<int> booting_;
   std::vector<int> shutting_;
+  // Per-architecture free lists of Off machines (indexes into machines_),
+  // so switch_on reuses parked machines in O(1) per machine instead of
+  // scanning the whole fleet. Off machines only ever appear through a
+  // completed (or instantaneous) shutdown and only leave through
+  // switch_on, so the lists are exact.
+  std::vector<std::vector<std::size_t>> off_free_;
 };
 
 }  // namespace bml

@@ -13,6 +13,13 @@ double headroom_factor(QosClass qos) {
   throw std::invalid_argument("headroom_factor: unknown QoS class");
 }
 
+QosClass parse_qos_class(const std::string& name) {
+  if (name == "tolerant") return QosClass::kTolerant;
+  if (name == "critical") return QosClass::kCritical;
+  throw std::runtime_error("qos must be tolerant or critical, got '" + name +
+                           "'");
+}
+
 void QosTracker::record_span(ReqRate load, ReqRate capacity,
                              std::int64_t seconds) {
   if (load < 0.0 || capacity < 0.0)

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "util/units.hpp"
 
@@ -24,6 +25,11 @@ enum class QosClass {
 /// safety margin above the instantaneous load; tolerant ones accept running
 /// at the edge.
 [[nodiscard]] double headroom_factor(QosClass qos);
+
+/// Parses a QoS class name (`tolerant` | `critical`) — the single
+/// validation point for every spec layer; throws std::runtime_error
+/// naming the accepted values otherwise.
+[[nodiscard]] QosClass parse_qos_class(const std::string& name);
 
 /// Aggregated QoS statistics over a simulation.
 struct QosStats {

@@ -40,11 +40,44 @@ Simulator::Simulator(Catalog candidates,
 
 SimulationResult Simulator::run(Scheduler& scheduler,
                                 const LoadTrace& trace) const {
+  static const std::string kSingleAppName = "app";
+  const std::vector<WorkloadView> views{WorkloadView{
+      &kSingleAppName, &trace, &scheduler, QosClass::kTolerant, 1.0}};
+  MultiSimulationResult multi = run_views(views);
+  return std::move(multi.total);
+}
+
+MultiSimulationResult Simulator::run(std::vector<Workload>& workloads) const {
+  if (workloads.empty())
+    throw std::invalid_argument("Simulator: no workloads");
+  std::vector<WorkloadView> views;
+  views.reserve(workloads.size());
+  for (Workload& w : workloads) {
+    if (!w.scheduler)
+      throw std::invalid_argument("Simulator: workload '" + w.name +
+                                  "' has no scheduler");
+    views.push_back(
+        WorkloadView{&w.name, &w.trace, w.scheduler.get(), w.qos, w.share});
+  }
+  return run_views(views);
+}
+
+MultiSimulationResult Simulator::run(
+    const std::vector<WorkloadView>& views) const {
+  if (views.empty()) throw std::invalid_argument("Simulator: no workloads");
+  for (const WorkloadView& v : views)
+    if (!v.name || !v.trace || !v.scheduler)
+      throw std::invalid_argument("Simulator: null workload view field");
+  return run_views(views);
+}
+
+MultiSimulationResult Simulator::run_views(
+    const std::vector<WorkloadView>& views) const {
   // Event logs are inherently per-second artifacts; everything else goes
   // through the event-driven path.
   if (options_.event_driven && !options_.record_events)
-    return run_event_driven(scheduler, trace);
-  return run_per_second(scheduler, trace);
+    return run_event_driven(views);
+  return run_per_second(views);
 }
 
 namespace {
@@ -61,34 +94,98 @@ struct ReconfigState {
 };
 
 /// Mutable state of one simulation run, shared by both execution
-/// strategies so that setup and result assembly exist exactly once.
+/// strategies so that setup and result assembly exist exactly once. The
+/// per-app vectors are parallel to the workload views.
 struct Run {
+  Run(Cluster cluster_in, Coordinator coordinator_in)
+      : cluster(std::move(cluster_in)),
+        coordinator(std::move(coordinator_in)) {}
+
   SimulationResult result;
   Cluster cluster;
+  Coordinator coordinator;
   EnergyMeter meter{1.0};
   QosTracker qos;
   ReconfigState state;
+  /// Last proposal returned by each app's scheduler (its initial
+  /// combination until the first real decision).
+  std::vector<Combination> proposals;
+  /// Post-clamp slice of the current cluster target attributed to each
+  /// app (see Coordinator::merge).
+  std::vector<Combination> contributions;
+  std::vector<Combination> contributions_scratch;
+  /// Reconfiguration-power attribution weights, derived from the
+  /// contributions' capacities (equal split when all are empty).
+  std::vector<double> transition_shares;
+  std::vector<EnergyMeter> app_meters;
+  std::vector<QosTracker> app_qos;
+  /// Scratch: per-app offered load / capacity allocation this span.
+  std::vector<ReqRate> loads;
+  std::vector<ReqRate> alloc;
   std::vector<double> power_samples;
   double bucket_max = 0.0;
   std::size_t bucket_fill = 0;
 };
 
+using WorkloadView = Simulator::WorkloadView;
+
+void update_transition_shares(const Catalog& candidates, Run& run) {
+  double total = 0.0;
+  for (const Combination& c : run.contributions)
+    total += capacity(candidates, c);
+  const auto n = static_cast<double>(run.contributions.size());
+  for (std::size_t i = 0; i < run.contributions.size(); ++i)
+    run.transition_shares[i] =
+        total > 0.0 ? capacity(candidates, run.contributions[i]) / total
+                    : 1.0 / n;
+}
+
 Run make_run(const Catalog& candidates, const SimulatorOptions& options,
-             std::shared_ptr<const DispatchPlan> plan, Scheduler& scheduler,
-             const LoadTrace& trace) {
-  Combination initial = scheduler.initial_combination(trace);
-  initial.resize(candidates.size());
-  Run run{SimulationResult{},
-          Cluster(candidates, initial, options.faults, std::move(plan))};
-  run.result.scheduler_name = scheduler.name();
+             std::shared_ptr<const DispatchPlan> plan,
+             const std::vector<WorkloadView>& views) {
+  const std::size_t kinds = candidates.size();
+  std::vector<double> shares;
+  shares.reserve(views.size());
+  for (const WorkloadView& v : views) shares.push_back(v.share);
+  Coordinator coordinator(candidates, options.coordinator, std::move(shares),
+                          options.coordinator_budget);
+
+  std::vector<Combination> proposals;
+  proposals.reserve(views.size());
+  for (const WorkloadView& v : views) {
+    Combination c = v.scheduler->initial_combination(*v.trace);
+    c.resize(kinds);
+    proposals.push_back(std::move(c));
+  }
+  std::vector<Combination> contributions;
+  Combination initial = coordinator.merge(proposals, contributions);
+
+  Run run(Cluster(candidates, initial, options.faults, std::move(plan)),
+          std::move(coordinator));
+  std::string joined;
+  for (const WorkloadView& v : views) {
+    if (!joined.empty()) joined += '+';
+    joined += v.scheduler->name();
+  }
+  run.result.scheduler_name = std::move(joined);
   run.state.current_target = std::move(initial);
-  run.state.deferred_offs.assign(candidates.size(), 0);
+  run.state.deferred_offs.assign(kinds, 0);
+  run.proposals = std::move(proposals);
+  run.contributions = std::move(contributions);
+  run.transition_shares.assign(views.size(), 0.0);
+  update_transition_shares(candidates, run);
+  run.app_meters.assign(views.size(), EnergyMeter(1.0));
+  run.app_qos.resize(views.size());
+  run.loads.assign(views.size(), 0.0);
+  run.alloc.assign(views.size(), 0.0);
   return run;
 }
 
-/// Flushes the trailing power bucket and copies the meters into the
-/// result.
-void finalize_run(Run& run, const SimulatorOptions& options) {
+/// Flushes the trailing power bucket and copies the cluster-wide and
+/// per-app meters into the result.
+void finalize_run(Run& run, const SimulatorOptions& options,
+                  const std::vector<WorkloadView>& views,
+                  MultiSimulationResult& out) {
   if (options.record_power_every > 0 && run.bucket_fill > 0)
     run.power_samples.push_back(run.bucket_max);
   SimulationResult& r = run.result;
@@ -101,20 +198,29 @@ void finalize_run(Run& run, const SimulatorOptions& options) {
     r.power_series =
         TimeSeries(std::move(run.power_samples),
                    static_cast<Seconds>(options.record_power_every));
+  out.total = std::move(run.result);
+  out.apps.resize(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    WorkloadResult& app = out.apps[i];
+    app.name = *views[i].name;
+    app.scheduler_name = views[i].scheduler->name();
+    app.qos = views[i].qos;
+    app.qos_stats = run.app_qos[i].stats();
+    app.compute_energy = run.app_meters[i].compute_energy();
+    app.reconfiguration_energy = run.app_meters[i].reconfiguration_energy();
+  }
 }
 
-/// Applies the scheduler's decision at `now`: a target change switches
-/// machines on (and off — deferred in graceful mode) and starts a
-/// reconfiguration. `events` is null when event logging is off.
-void apply_decision(std::optional<Combination> decision, TimePoint now,
+/// Applies the merged decision at `now`: a target change switches machines
+/// on (and off — deferred in graceful mode) and starts a reconfiguration.
+/// `events` is null when event logging is off.
+void apply_decision(Combination decision, TimePoint now,
                     const Catalog& candidates, bool graceful_off,
                     Cluster& cluster, ReconfigState& state,
                     SimulationResult& result, EventLog* events) {
-  if (!decision.has_value()) return;
-  decision->resize(candidates.size());
-  if (*decision == state.current_target) return;
+  if (decision == state.current_target) return;
 
-  const std::vector<int> d = delta(state.current_target, *decision);
+  const std::vector<int> d = delta(state.current_target, decision);
   bool any_on = false;
   for (std::size_t a = 0; a < d.size(); ++a)
     if (d[a] > 0) {
@@ -134,11 +240,40 @@ void apply_decision(std::optional<Combination> decision, TimePoint now,
   state.started = now;
   ++result.reconfigurations;
   log_debug() << "t=" << now << " reconfigure -> "
-              << to_string(candidates, *decision);
+              << to_string(candidates, decision);
   if (events)
     events->record(now, EventKind::kReconfigurationStart,
-                   to_string(candidates, *decision));
-  state.current_target = *decision;
+                   to_string(candidates, decision));
+  state.current_target = std::move(decision);
+}
+
+/// Consults every app's scheduler at `now` and applies the coordinator's
+/// merged decision. A scheduler returning std::nullopt keeps its previous
+/// proposal; when no proposal changed, the merged target cannot have
+/// changed either and the merge is skipped.
+void consult_and_apply(const std::vector<WorkloadView>& views, TimePoint now,
+                       const Catalog& candidates, bool graceful_off, Run& run,
+                       EventLog* events) {
+  const ClusterSnapshot snap = run.cluster.snapshot();
+  bool any_new = false;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    std::optional<Combination> d =
+        views[i].scheduler->decide(now, *views[i].trace, snap);
+    if (d.has_value()) {
+      d->resize(candidates.size());
+      if (*d != run.proposals[i]) {
+        run.proposals[i] = std::move(*d);
+        any_new = true;
+      }
+    }
+  }
+  if (!any_new) return;
+  Combination merged =
+      run.coordinator.merge(run.proposals, run.contributions_scratch);
+  run.contributions.swap(run.contributions_scratch);
+  update_transition_shares(candidates, run);
+  apply_decision(std::move(merged), now, candidates, graceful_off,
+                 run.cluster, run.state, run.result, events);
 }
 
 /// Post-step bookkeeping while a reconfiguration is in flight: once all
@@ -163,25 +298,60 @@ void settle_reconfiguration(TimePoint now, Cluster& cluster,
   }
 }
 
+/// Sums this span's per-app loads into `run.loads`; returns the total.
+ReqRate gather_loads(const std::vector<WorkloadView>& views, TimePoint now,
+                     Run& run) {
+  ReqRate total = 0.0;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    run.loads[i] = views[i].trace->at(now);
+    total += run.loads[i];
+  }
+  return total;
+}
+
+/// Per-app QoS and energy attribution for a constant-load span (1 s in
+/// the reference loop). Only touches per-app accumulators — the
+/// cluster-wide aggregates are recorded by the callers, unchanged from
+/// the single-workload simulator.
+void attribute_span(const std::vector<WorkloadView>& views, Run& run,
+                    ReqRate total_load, const ClusterPower& power,
+                    TimePoint span) {
+  run.cluster.split_capacity(run.loads, total_load, run.alloc);
+  const auto n = static_cast<double>(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    run.app_qos[i].record_span(run.loads[i], run.alloc[i], span);
+    const double compute_share =
+        total_load > 0.0 ? run.loads[i] / total_load : 1.0 / n;
+    run.app_meters[i].add_span(power.compute * compute_share,
+                               power.transition * run.transition_shares[i],
+                               static_cast<std::size_t>(span));
+  }
+}
+
+std::size_t longest_trace(const std::vector<WorkloadView>& views) {
+  std::size_t n = 0;
+  for (const WorkloadView& v : views) n = std::max(n, v.trace->size());
+  return n;
+}
+
 }  // namespace
 
-SimulationResult Simulator::run_per_second(Scheduler& scheduler,
-                                           const LoadTrace& trace) const {
-  Run run = make_run(candidates_, options_, plan_, scheduler, trace);
+MultiSimulationResult Simulator::run_per_second(
+    const std::vector<WorkloadView>& views) const {
+  Run run = make_run(candidates_, options_, plan_, views);
   EventLog events(options_.event_log_capacity);
   const bool log_events = options_.record_events;
   EventLog* events_ptr = log_events ? &events : nullptr;
 
-  const std::size_t n = trace.size();
+  const std::size_t n = longest_trace(views);
   for (std::size_t t = 0; t < n; ++t) {
     const auto now = static_cast<TimePoint>(t);
 
     if (!run.state.reconfiguring)
-      apply_decision(scheduler.decide(now, trace, run.cluster.snapshot()),
-                     now, candidates_, options_.graceful_off, run.cluster,
-                     run.state, run.result, events_ptr);
+      consult_and_apply(views, now, candidates_, options_.graceful_off, run,
+                        events_ptr);
 
-    const ReqRate load = trace.at(now);
+    const ReqRate load = gather_loads(views, now, run);
     const ClusterPower power = run.cluster.step_power(load);
     const ReqRate capacity_now = run.cluster.on_capacity();
     run.qos.record(load, capacity_now);
@@ -192,6 +362,7 @@ SimulationResult Simulator::run_per_second(Scheduler& scheduler,
     if (power.transition > 0.0)
       run.meter.add_reconfiguration_energy(power.transition * 1.0);
     run.meter.tick();
+    attribute_span(views, run, load, power, 1);
     if (run.state.reconfiguring) ++run.result.reconfiguring_seconds;
 
     const int completed = run.cluster.step(1.0);
@@ -215,35 +386,42 @@ SimulationResult Simulator::run_per_second(Scheduler& scheduler,
       }
     }
   }
-  finalize_run(run, options_);
-  if (log_events) run.result.events = std::move(events);
-  return std::move(run.result);
+  MultiSimulationResult out;
+  finalize_run(run, options_, views, out);
+  if (log_events) out.total.events = std::move(events);
+  return out;
 }
 
-SimulationResult Simulator::run_event_driven(Scheduler& scheduler,
-                                             const LoadTrace& trace) const {
-  Run run = make_run(candidates_, options_, plan_, scheduler, trace);
+MultiSimulationResult Simulator::run_event_driven(
+    const std::vector<WorkloadView>& views) const {
+  Run run = make_run(candidates_, options_, plan_, views);
 
-  const auto n = static_cast<TimePoint>(trace.size());
+  const auto n = static_cast<TimePoint>(longest_trace(views));
   TimePoint t = 0;
   while (t < n) {
-    // 1. Scheduler decision, exactly as in the reference loop. While no
+    // 1. Scheduler decisions, exactly as in the reference loop. While no
     //    reconfiguration is in flight the cluster state cannot change, so
-    //    the scheduler's stability bound tells us how long the decision
-    //    (and thus the fleet) stays as it is now.
+    //    the intersection of the schedulers' stability bounds tells us how
+    //    long the merged decision (and thus the fleet) stays as it is now.
     TimePoint stable_until = t + 1;
     if (!run.state.reconfiguring) {
-      apply_decision(scheduler.decide(t, trace, run.cluster.snapshot()), t,
-                     candidates_, options_.graceful_off, run.cluster,
-                     run.state, run.result, nullptr);
-      if (!run.state.reconfiguring)
-        stable_until = scheduler.decision_stable_until(t, trace);
+      consult_and_apply(views, t, candidates_, options_.graceful_off, run,
+                        nullptr);
+      if (!run.state.reconfiguring) {
+        stable_until =
+            views.front().scheduler->decision_stable_until(t,
+                                                           *views.front().trace);
+        for (std::size_t i = 1; i < views.size(); ++i)
+          stable_until = std::min(
+              stable_until,
+              views[i].scheduler->decision_stable_until(t, *views[i].trace));
+      }
     }
 
-    // 2. Find the next event boundary: scheduler decision change, machine
-    //    transition completion (completions land at the end of second
-    //    t + ceil(remaining) - 1), or trace value change. While a
-    //    reconfiguration with no transitions left is draining (the one
+    // 2. Find the next event boundary: any scheduler's decision change,
+    //    machine transition completion (completions land at the end of
+    //    second t + ceil(remaining) - 1), or any trace value change. While
+    //    a reconfiguration with no transitions left is draining (the one
     //    extra second before the flag clears), tick one second.
     TimePoint span_end;
     if (!run.state.reconfiguring) {
@@ -255,17 +433,19 @@ SimulationResult Simulator::run_event_driven(Scheduler& scheduler,
               ? t + static_cast<TimePoint>(std::ceil(remaining - 1e-9))
               : t + 1;
     }
-    span_end = std::min(span_end, trace.next_change(t));
+    for (const WorkloadView& v : views)
+      span_end = std::min(span_end, v.trace->next_change(t));
     span_end = std::clamp(span_end, t + 1, n);
     const TimePoint span = span_end - t;
 
-    // 3. Advance the span in closed form: constant fleet + constant load
-    //    means constant power and constant QoS margin.
-    const ReqRate load = trace.at(t);
+    // 3. Advance the span in closed form: constant fleet + constant loads
+    //    means constant power and constant per-app QoS margins.
+    const ReqRate load = gather_loads(views, t, run);
     const ClusterPower power = run.cluster.step_power(load);
     run.qos.record_span(load, run.cluster.on_capacity(), span);
     run.meter.add_span(power.compute, power.transition,
                        static_cast<std::size_t>(span));
+    attribute_span(views, run, load, power, span);
     if (run.state.reconfiguring) run.result.reconfiguring_seconds += span;
 
     if (options_.record_power_every > 0) {
@@ -297,8 +477,9 @@ SimulationResult Simulator::run_event_driven(Scheduler& scheduler,
         std::max(run.result.peak_machines, run.cluster.machine_count());
     t = span_end;
   }
-  finalize_run(run, options_);
-  return std::move(run.result);
+  MultiSimulationResult out;
+  finalize_run(run, options_, views, out);
+  return out;
 }
 
 }  // namespace bml

@@ -1,15 +1,29 @@
 // The discrete-time data center simulator.
 //
-// Replays a load trace at 1 Hz against a cluster driven by a Scheduler,
-// mirroring the Python simulator of Section V-C:
-//   * the scheduler is consulted every second while idle;
-//   * a decision that changes the target combination starts a
-//     reconfiguration, during which no further decision is taken;
-//   * the next decision happens at the second following reconfiguration
-//     completion ("the next prediction window starts from reconfiguration
-//     completion time");
+// Replays the load of one or more applications at 1 Hz against a shared
+// cluster, mirroring (and generalising) the Python simulator of Section
+// V-C:
+//   * every application (Workload) carries its own trace, scheduler,
+//     predictor and QoS class; each scheduler is consulted every second
+//     while idle and proposes the combination that would serve its own
+//     predicted load;
+//   * a Coordinator (sched/coordinator.hpp) merges the per-app proposals
+//     into one cluster-wide target — sum-of-combinations by default, or
+//     clamped to per-app capacity shares in partitioned mode;
+//   * a merged decision that changes the target starts a reconfiguration,
+//     during which no further decision is taken; the next decision happens
+//     at the second following reconfiguration completion ("the next
+//     prediction window starts from reconfiguration completion time");
 //   * compute energy (serving machines) and reconfiguration energy (boot /
-//     shutdown) are metered separately and aggregated per day.
+//     shutdown) are metered separately and aggregated per day — both for
+//     the cluster and attributed per application (load-proportional
+//     capacity and compute-power splits, provisioned-share reconfiguration
+//     splits; see app/workload.hpp for the attribution rules).
+//
+// The single-workload run(Scheduler&, trace) API is the N = 1 case of the
+// same core loop: the sum coordinator is the identity for one app, so the
+// refactor is regression-pinned — single-app results are bit-for-bit what
+// the pre-multi-tenant simulator produced.
 //
 // Switch-off ordering is configurable: graceful (surplus machines keep
 // serving until the replacements finish booting — no capacity dip) or
@@ -20,22 +34,25 @@
 //     direct transcription of the paper's simulator, and the only mode
 //     that can record per-second event logs;
 //   * the event-driven fast path (default) — between events nothing in the
-//     system changes (the scheduler's decision is stable, no machine
-//     transition completes, the trace value is constant), so the simulator
+//     system changes (every scheduler's decision is stable, no machine
+//     transition completes, no trace value changes), so the simulator
 //     advances to the next event boundary in one step and accumulates
-//     energy / QoS / power-bucket state in closed form. Steady traces
+//     energy / QoS / power-bucket state in closed form. Multi-workload
+//     spans intersect the per-workload stability bounds. Steady traces
 //     replay orders of magnitude faster; see bench_micro's
-//     BM_SimulatorWeek benchmarks and tests/test_simulator_fastpath.cpp
-//     for the equivalence guarantee.
+//     BM_SimulatorWeek benchmarks, tests/test_simulator_fastpath.cpp and
+//     tests/test_multi_workload.cpp for the equivalence guarantee.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "app/workload.hpp"
 #include "core/combination.hpp"
 #include "core/dispatch_plan.hpp"
 #include "power/energy_meter.hpp"
+#include "sched/coordinator.hpp"
 #include "sim/cluster.hpp"
 #include "sim/event_log.hpp"
 #include "sim/qos.hpp"
@@ -58,6 +75,13 @@ struct SimulatorOptions {
   /// order (see tests/test_simulator_fastpath.cpp). Event logging always
   /// falls back to the per-second reference path.
   bool event_driven = true;
+  /// How per-workload proposals merge into the cluster target
+  /// (multi-workload runs; irrelevant at N = 1 where both modes are the
+  /// identity unless a budget clamps the single app).
+  CoordinatorMode coordinator = CoordinatorMode::kSum;
+  /// Total capacity budget (req/s) split across workloads by their share
+  /// weights in partitioned mode; <= 0 leaves proposals unclamped.
+  ReqRate coordinator_budget = 0.0;
   /// Record the total power series downsampled by this factor (seconds per
   /// sample, max over the bucket); 0 disables recording.
   std::size_t record_power_every = 0;
@@ -69,7 +93,7 @@ struct SimulatorOptions {
   std::size_t event_log_capacity = 4096;
 };
 
-/// Everything a simulation run produces.
+/// Everything a simulation run produces (cluster-wide aggregates).
 struct SimulationResult {
   std::string scheduler_name;
   Joules compute_energy = 0.0;
@@ -94,13 +118,31 @@ struct SimulationResult {
   [[nodiscard]] std::vector<Joules> per_day_total() const;
 };
 
-/// Runs `scheduler` over `trace` on a cluster drawn from `candidates`.
-/// The candidate catalog is compiled into a DispatchPlan once at
-/// construction; run() is const and every run gets its own cluster and
-/// scratch state, so one Simulator can serve many parallel_for workers
-/// concurrently (as the experiment sweeps do).
+/// A multi-workload run: the cluster-wide aggregates plus one attributed
+/// slice per application (parallel to the workloads passed to run()).
+struct MultiSimulationResult {
+  SimulationResult total;
+  std::vector<WorkloadResult> apps;
+};
+
+/// Runs workloads over a cluster drawn from `candidates`. The candidate
+/// catalog is compiled into a DispatchPlan once at construction; run() is
+/// const and every run gets its own cluster and scratch state, so one
+/// Simulator can serve many parallel_for workers concurrently (as the
+/// experiment sweeps do).
 class Simulator {
  public:
+  /// Non-owning per-workload view the core loops operate on (public so the
+  /// implementation helpers can name it; not part of the stable API —
+  /// callers pass Workload or Scheduler+trace).
+  struct WorkloadView {
+    const std::string* name;
+    const LoadTrace* trace;
+    Scheduler* scheduler;
+    QosClass qos;
+    double share;
+  };
+
   Simulator(Catalog candidates, SimulatorOptions options = {});
 
   /// Shares a precompiled plan (must match `candidates`) instead of
@@ -109,18 +151,35 @@ class Simulator {
   Simulator(Catalog candidates, std::shared_ptr<const DispatchPlan> plan,
             SimulatorOptions options = {});
 
+  /// Single-workload replay — the N = 1 case of run(workloads), kept as
+  /// the primary API for the paper's experiments. Bit-for-bit identical to
+  /// the pre-multi-tenant simulator.
   [[nodiscard]] SimulationResult run(Scheduler& scheduler,
                                      const LoadTrace& trace) const;
+
+  /// Replays N workloads against one shared cluster. Schedulers are
+  /// stateful, hence the non-const workloads. Throws on an empty list or a
+  /// workload without a scheduler.
+  [[nodiscard]] MultiSimulationResult run(
+      std::vector<Workload>& workloads) const;
+
+  /// As above over non-owning views — for callers (the scenario engine)
+  /// that hold traces and schedulers elsewhere and must not copy them per
+  /// run. Every pointer must be non-null and outlive the call.
+  [[nodiscard]] MultiSimulationResult run(
+      const std::vector<WorkloadView>& views) const;
 
   [[nodiscard]] const DispatchPlan& plan() const { return *plan_; }
 
  private:
+  [[nodiscard]] MultiSimulationResult run_views(
+      const std::vector<WorkloadView>& views) const;
   /// The 1 Hz reference loop (also the event-logging mode).
-  [[nodiscard]] SimulationResult run_per_second(Scheduler& scheduler,
-                                                const LoadTrace& trace) const;
+  [[nodiscard]] MultiSimulationResult run_per_second(
+      const std::vector<WorkloadView>& views) const;
   /// Run-length batching between events.
-  [[nodiscard]] SimulationResult run_event_driven(
-      Scheduler& scheduler, const LoadTrace& trace) const;
+  [[nodiscard]] MultiSimulationResult run_event_driven(
+      const std::vector<WorkloadView>& views) const;
 
   Catalog candidates_;
   std::shared_ptr<const DispatchPlan> plan_;

@@ -105,6 +105,28 @@ TEST(Cluster, CountersMatchAfterManyOperations) {
                    2 * 1331.0 + 1 * 33.0 + 6 * 9.0);
 }
 
+TEST(Cluster, SwitchOnReusesOffMachinesAcrossCycles) {
+  // Off machines park on per-arch free lists; repeated on/off cycles must
+  // re-light them instead of provisioning new ones, keeping the fleet (and
+  // peak_machines reports) bounded by the high-water mark.
+  Cluster cluster(candidates());
+  cluster.switch_on(2, 4);  // raspberries
+  for (int s = 0; s < 200; ++s) cluster.step();
+  EXPECT_EQ(cluster.snapshot().on, Combination({0, 0, 4}));
+  const std::size_t provisioned = cluster.machine_count();
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    cluster.switch_off(2, 3);
+    for (int s = 0; s < 200; ++s) cluster.step();
+    cluster.switch_on(2, 3);
+    for (int s = 0; s < 200; ++s) cluster.step();
+    EXPECT_EQ(cluster.machine_count(), provisioned) << "cycle " << cycle;
+    EXPECT_EQ(cluster.snapshot().on, Combination({0, 0, 4}));
+  }
+  // Asking beyond the parked pool still provisions fresh machines.
+  cluster.switch_on(2, 2);
+  EXPECT_EQ(cluster.machine_count(), provisioned + 2);
+}
+
 TEST(Cluster, ZeroCountCommandsAreNoOps) {
   Cluster cluster(candidates(), Combination({1, 0, 0}));
   cluster.switch_on(1, 0);

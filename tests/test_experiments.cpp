@@ -115,6 +115,27 @@ TEST(Fig5, QuickRunReproducesOrderingAndQos) {
   EXPECT_GE(r.max_overhead_pct(), r.mean_overhead_pct());
 }
 
+TEST(Colocation, SharedPoolAttributesBothAppsAndSavesEnergy) {
+  const ColocationResult r = run_colocation(1, 7);
+  ASSERT_EQ(r.colocated.apps.size(), 2u);
+  ASSERT_EQ(r.isolated.size(), 2u);
+  EXPECT_EQ(r.colocated.apps[0].name, "frontend");
+  EXPECT_EQ(r.colocated.apps[1].name, "batch");
+  EXPECT_GT(r.colocated.apps[0].compute_energy, 0.0);
+  EXPECT_GT(r.colocated.apps[1].compute_energy, 0.0);
+  EXPECT_GT(r.colocated_total(), 0.0);
+  EXPECT_GT(r.isolated_total(), 0.0);
+  // Per-app shares sum back to the shared cluster's totals.
+  EXPECT_NEAR(
+      r.colocated.apps[0].compute_energy + r.colocated.apps[1].compute_energy,
+      r.colocated.total.compute_energy,
+      1e-9 * r.colocated.total.compute_energy);
+  // Pooling the fleet cannot do much worse than dedicated clusters (the
+  // dispatcher fills the shared machines' cheapest slopes with both apps'
+  // traffic); allow a small tolerance for reconfiguration timing.
+  EXPECT_LT(r.colocated_total(), 1.10 * r.isolated_total());
+}
+
 TEST(Fig5, StaticFleetNeverReconfigures) {
   Fig5Options options;
   options.trace.days = 1;

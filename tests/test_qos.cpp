@@ -48,5 +48,42 @@ TEST(QosTracker, RejectsNegativeInputs) {
   EXPECT_THROW((void)tracker.record(1.0, -5.0), std::invalid_argument);
 }
 
+TEST(QosTracker, SpanAccountingMatchesPerSecondAcrossCapacityBoundary) {
+  // The event-driven simulator batches whole violation (and recovery)
+  // phases into single record_span calls; the sequence below crosses the
+  // load > capacity boundary in both directions. Integer counters must
+  // match the per-second tracker exactly, the integrals bit-for-bit here
+  // (identical multiplication-free-vs-repeated-add is not required by the
+  // contract, but each span is one multiply so totals stay within 1e-9).
+  const struct {
+    ReqRate load, capacity;
+    std::int64_t seconds;
+  } phases[] = {
+      {500.0, 800.0, 120},  // healthy
+      {900.0, 800.0, 37},   // violation span (boot in flight)
+      {900.0, 1200.0, 60},  // boot completed mid-demand: healthy again
+      {50.0, 0.0, 5},       // everything off: total shortfall
+  };
+
+  QosTracker span_tracker;
+  QosTracker per_second;
+  for (const auto& p : phases) {
+    span_tracker.record_span(p.load, p.capacity, p.seconds);
+    for (std::int64_t s = 0; s < p.seconds; ++s)
+      per_second.record(p.load, p.capacity);
+  }
+
+  const QosStats& a = span_tracker.stats();
+  const QosStats& b = per_second.stats();
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.violation_seconds, b.violation_seconds);
+  EXPECT_EQ(a.violation_seconds, 42);
+  EXPECT_DOUBLE_EQ(a.worst_shortfall, b.worst_shortfall);
+  EXPECT_NEAR(a.unserved_requests, b.unserved_requests,
+              1e-9 * b.unserved_requests);
+  EXPECT_NEAR(a.offered_requests, b.offered_requests,
+              1e-9 * b.offered_requests);
+}
+
 }  // namespace
 }  // namespace bml

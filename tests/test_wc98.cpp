@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 namespace bml {
 namespace {
 
@@ -53,6 +56,40 @@ TEST(FormatWc98, RoundTripSkipsZeros) {
   for (std::size_t i = 0; i < 5; ++i)
     EXPECT_DOUBLE_EQ(parsed.at(static_cast<TimePoint>(i)),
                      original.at(static_cast<TimePoint>(i)));
+}
+
+TEST(ParseWc98, ToleratesCrlfAndTrailingBlankLines) {
+  // Recorded traces shipped from other systems often carry CRLF line
+  // endings and end in blank lines; both must parse as if absent.
+  const LoadTrace parsed =
+      parse_wc98("0 3\r\n2,7.5\r\n# comment\r\n\r\n\r\n");
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed.at(0), 3.0);
+  EXPECT_DOUBLE_EQ(parsed.at(1), 0.0);
+  EXPECT_DOUBLE_EQ(parsed.at(2), 7.5);
+}
+
+TEST(LoadAny, ToleratesCrlfAndTrailingBlankLinesInBothFormats) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto csv = dir / "bml_crlf_trace.csv";
+  const auto wc = dir / "bml_crlf_trace.wc98";
+  {
+    std::ofstream out(csv, std::ios::binary);
+    out << "rate\r\n3\r\n0\r\n7.5\r\n\r\n\r\n";
+  }
+  {
+    std::ofstream out(wc, std::ios::binary);
+    out << "0 3\r\n2 7.5\r\n\r\n";
+  }
+  for (const auto& path : {csv, wc}) {
+    const LoadTrace loaded = load_any(path);
+    ASSERT_EQ(loaded.size(), 3u) << path;
+    EXPECT_DOUBLE_EQ(loaded.at(0), 3.0) << path;
+    EXPECT_DOUBLE_EQ(loaded.at(1), 0.0) << path;
+    EXPECT_DOUBLE_EQ(loaded.at(2), 7.5) << path;
+  }
+  std::filesystem::remove(csv);
+  std::filesystem::remove(wc);
 }
 
 TEST(Wc98File, SaveAndLoad) {

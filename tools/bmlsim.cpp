@@ -2,7 +2,9 @@
 //
 //   bmlsim run <spec.scn>  [--csv FILE] [--per-day]
 //       Run one scenario and print its summary (per-day energies with
-//       --per-day); --csv dumps the single-row sweep CSV.
+//       --per-day); --csv dumps the single-row sweep CSV. Multi-tenant
+//       specs ([app] sections) additionally print the per-application
+//       energy / QoS attribution table.
 //
 //   bmlsim sweep <spec.scn> [--threads N] [--csv FILE]
 //       Expand the spec's `sweep` axes into the grid, run it in parallel,
@@ -91,6 +93,19 @@ int cmd_run(const std::string& path, const std::string& csv_path,
               "over %d reconfigurations\n",
               sim.scheduler_name.c_str(), joules_to_kwh(sim.compute_energy),
               joules_to_kwh(sim.reconfiguration_energy), sim.reconfigurations);
+  const std::vector<WorkloadResult>& apps = report.results.front().apps;
+  if (apps.size() >= 2) {
+    AsciiTable per_app({"app", "scheduler", "compute (kWh)",
+                        "reconfig (kWh)", "QoS viol (s)", "served %"});
+    for (const WorkloadResult& app : apps)
+      per_app.add_row(
+          {app.name, app.scheduler_name,
+           AsciiTable::num(joules_to_kwh(app.compute_energy), 3),
+           AsciiTable::num(joules_to_kwh(app.reconfiguration_energy), 3),
+           std::to_string(app.qos_stats.violation_seconds),
+           AsciiTable::num(100.0 * app.qos_stats.served_fraction(), 3)});
+    std::fputs(per_app.render().c_str(), stdout);
+  }
   if (per_day) {
     AsciiTable table({"day", "compute (kWh)", "reconfig (kWh)"});
     for (std::size_t d = 0; d < sim.per_day_compute.size(); ++d)
