@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <memory>
 #include <new>
+#include <string>
+#include <vector>
 
 #include "core/bml_design.hpp"
 #include "core/dispatch_plan.hpp"
@@ -245,20 +247,40 @@ LoadTrace steady_week_trace() {
   return step_trace(segments);
 }
 
-void replay_week(benchmark::State& state, bool event_driven) {
+/// Seven days of a per-second-varying World-Cup-style replay: Poisson
+/// arrivals change the rate (almost) every second, the regime of the
+/// paper's real recorded workloads — and the trace-granularity limiter the
+/// decision-granular simulator removes. Peak sized so the BML fleet
+/// actually reconfigures over the week.
+LoadTrace noisy_week_trace() {
+  WorldCupOptions options;
+  options.days = 7;
+  options.peak = 3000.0;
+  options.tournament_start_day = 2;
+  options.tournament_end_day = 6;
+  return worldcup_like_trace(options);
+}
+
+void replay_week(benchmark::State& state, const LoadTrace& trace,
+                 bool event_driven) {
   auto d = std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
-  const LoadTrace trace = steady_week_trace();
   SimulatorOptions options;
   options.event_driven = event_driven;
   const Simulator simulator(d->candidates(), options);
   // The oracle BML scheduler carries no cross-run state besides the
   // predictor's per-trace window-max cache; constructing it once (and
   // warming the cache with one run) keeps the measurement on the replay
-  // itself rather than on the O(trace) cache build.
+  // itself rather than on the O(trace) cache build. The trace is likewise
+  // compiled once and shared across runs via the view, as the sweep
+  // runner does across a grid (the per-second reference ignores it).
   BmlScheduler scheduler(d, std::make_shared<OracleMaxPredictor>());
-  benchmark::DoNotOptimize(simulator.run(scheduler, trace));
+  const CompiledTrace compiled(trace);
+  const std::string name = "app";
+  const std::vector<Simulator::WorkloadView> views{Simulator::WorkloadView{
+      &name, &trace, &scheduler, QosClass::kTolerant, 1.0, &compiled}};
+  benchmark::DoNotOptimize(simulator.run(views));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(simulator.run(scheduler, trace));
+    benchmark::DoNotOptimize(simulator.run(views));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(trace.size()));
@@ -267,14 +289,27 @@ void replay_week(benchmark::State& state, bool event_driven) {
 // Event-driven fast path vs per-second reference on the same 7-day steady
 // trace; the items_per_second ratio is the replay speedup.
 void BM_SimulatorWeekSteadyEventDriven(benchmark::State& state) {
-  replay_week(state, /*event_driven=*/true);
+  replay_week(state, steady_week_trace(), /*event_driven=*/true);
 }
 BENCHMARK(BM_SimulatorWeekSteadyEventDriven)->Unit(benchmark::kMillisecond);
 
 void BM_SimulatorWeekSteadyReference(benchmark::State& state) {
-  replay_week(state, /*event_driven=*/false);
+  replay_week(state, steady_week_trace(), /*event_driven=*/false);
 }
 BENCHMARK(BM_SimulatorWeekSteadyReference)->Unit(benchmark::kMillisecond);
+
+// The same pair on the noisy 7-day WC98-style replay — the benchmark that
+// tracks the decision-granular batching this library optimises for (CI
+// fails when the event-driven path drops below 10x the reference here).
+void BM_SimulatorWeekNoisyEventDriven(benchmark::State& state) {
+  replay_week(state, noisy_week_trace(), /*event_driven=*/true);
+}
+BENCHMARK(BM_SimulatorWeekNoisyEventDriven)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorWeekNoisyReference(benchmark::State& state) {
+  replay_week(state, noisy_week_trace(), /*event_driven=*/false);
+}
+BENCHMARK(BM_SimulatorWeekNoisyReference)->Unit(benchmark::kMillisecond);
 
 // Scenario-engine sweep throughput: an 8-point grid (scheduler x predictor
 // x QoS) over a short step trace, at 1 worker vs hardware concurrency.
@@ -303,6 +338,34 @@ BENCHMARK(BM_SweepThroughput)
     ->Arg(0)  // 0 = hardware concurrency
     ->Unit(benchmark::kMillisecond);
 
+// Sweep throughput when the shared-build cache engages: none of the axes
+// touch catalog / design / trace / seed inputs, so the CombinationTable,
+// DispatchPlan and compiled trace are built once for the whole 12-point
+// grid instead of once per scenario. A noisy day-long trace makes the
+// per-scenario build the dominant cost the cache removes.
+void BM_SweepSharedBuildThroughput(benchmark::State& state) {
+  ScenarioSpec spec;
+  spec.name = "bench-shared";
+  spec.trace = "worldcup_like";
+  spec.trace_params["days"] = "1";
+  spec.trace_params["peak"] = "2500";
+  spec.trace_params["tournament_start_day"] = "0";
+  spec.trace_params["tournament_end_day"] = "1";
+  spec.sweeps.push_back(SweepAxis{"scheduler", {"bml", "reactive", "per-day"}});
+  spec.sweeps.push_back(SweepAxis{"predictor", {"oracle-max", "moving-max"}});
+  spec.sweeps.push_back(SweepAxis{"qos", {"tolerant", "critical"}});
+  SweepOptions options;
+  options.threads = 1;
+  std::size_t scenarios = 0;
+  for (auto _ : state) {
+    const SweepReport report = run_sweep(spec, options);
+    scenarios += report.rows.size();
+    benchmark::DoNotOptimize(report.rows.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(scenarios));
+}
+BENCHMARK(BM_SweepSharedBuildThroughput)->Unit(benchmark::kMillisecond);
+
 void BM_WorldCupTraceGeneration(benchmark::State& state) {
   WorldCupOptions options;
   options.days = static_cast<std::size_t>(state.range(0));
@@ -315,4 +378,24 @@ void BM_WorldCupTraceGeneration(benchmark::State& state) {
 BENCHMARK(BM_WorldCupTraceGeneration)->Arg(1)->Arg(7)
     ->Unit(benchmark::kMillisecond);
 
+// How *this binary* was compiled. google-benchmark's own
+// `library_build_type` context key reports how the (system) benchmark
+// library was built, which says nothing about the code under test —
+// bench/run_bench.sh asserts on this key instead before recording
+// BENCH_micro.json.
+#if defined(NDEBUG) && (defined(__OPTIMIZE__) || defined(_MSC_VER))
+constexpr const char kBmlBuildType[] = "release";
+#else
+constexpr const char kBmlBuildType[] = "debug";
+#endif
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("bml_build_type", kBmlBuildType);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,25 +5,44 @@
 #
 #   bench/run_bench.sh [build-dir] [extra google-benchmark args...]
 #
-# The build directory defaults to ./build and must already contain a
-# compiled bench_micro (cmake -B build -S . && cmake --build build -j).
+# The build directory defaults to ./build-bench, a dedicated Release tree
+# this script configures (and builds) itself — benchmark numbers recorded
+# from unoptimised builds are worse than useless, so the script refuses to
+# write BENCH_micro.json unless the benchmark context reports a release
+# build of the code under test (the bml_build_type key bench_micro stamps;
+# google-benchmark's own library_build_type only describes how the system
+# benchmark library was compiled).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-${repo_root}/build}"
+build_dir="${1:-${repo_root}/build-bench}"
 shift || true
 
 bench="${build_dir}/bench_micro"
 if [[ ! -x "${bench}" ]]; then
-  echo "error: ${bench} not found — build the project first:" >&2
-  echo "  cmake -B build -S . && cmake --build build -j" >&2
-  exit 1
+  echo "configuring Release benchmark build in ${build_dir}" >&2
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" --target bench_micro -j "$(nproc)"
 fi
 
 out="${repo_root}/BENCH_micro.json"
+tmp="$(mktemp)"
+trap 'rm -f "${tmp}"' EXIT
 "${bench}" \
   --benchmark_format=json \
-  --benchmark_out="${out}" \
+  --benchmark_out="${tmp}" \
   --benchmark_out_format=json \
   "$@" >/dev/null
+
+# Refuse to record numbers from a debug build of the code under test.
+if ! grep -q '"bml_build_type": "release"' "${tmp}"; then
+  echo "error: benchmark context does not report a release build:" >&2
+  grep '"bml_build_type"\|"library_build_type"' "${tmp}" >&2 || true
+  echo "rebuild with -DCMAKE_BUILD_TYPE=Release (or point the script at a" >&2
+  echo "Release build dir) before recording BENCH_micro.json" >&2
+  exit 1
+fi
+
+mv "${tmp}" "${out}"
+trap - EXIT
 echo "wrote ${out}"

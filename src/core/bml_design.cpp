@@ -129,9 +129,12 @@ BmlDesign BmlDesign::build(const Catalog& input, BmlDesignOptions options) {
       break;
   }
 
-  if (options.build_table)
+  if (options.build_table) {
     design.table_ =
         std::make_shared<CombinationTable>(*design.solver_, design.max_rate_);
+    design.decision_thresholds_ =
+        std::make_shared<DecisionThresholds>(*design.table_);
+  }
 
   return design;
 }

@@ -21,6 +21,7 @@
 #include "core/combination.hpp"
 #include "core/combination_table.hpp"
 #include "core/crossing.hpp"
+#include "core/decision_thresholds.hpp"
 #include "core/solver.hpp"
 #include "util/units.hpp"
 
@@ -87,6 +88,14 @@ class BmlDesign {
   [[nodiscard]] const CombinationSolver& solver() const { return *solver_; }
   [[nodiscard]] const CombinationTable* table() const { return table_.get(); }
 
+  /// Compiled decision cut-points of the table — null when the design was
+  /// built without a table. Schedulers use it to answer "when does the
+  /// ideal combination for this (clamped) rate change" without comparing
+  /// Combinations; see core/decision_thresholds.hpp.
+  [[nodiscard]] const DecisionThresholds* decision_thresholds() const {
+    return decision_thresholds_.get();
+  }
+
   /// Fig. 4 reference line built from this design's Little idle power and
   /// Big peak point.
   [[nodiscard]] BmlLinearReference linear_reference() const;
@@ -107,6 +116,7 @@ class BmlDesign {
   ReqRate max_rate_ = 0.0;
   std::shared_ptr<CombinationSolver> solver_;
   std::shared_ptr<CombinationTable> table_;
+  std::shared_ptr<DecisionThresholds> decision_thresholds_;
 };
 
 }  // namespace bml

@@ -1,6 +1,7 @@
 #include "core/combination_table.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <functional>
 #include <stdexcept>
@@ -10,9 +11,20 @@
 
 namespace bml {
 
+namespace {
+
+std::atomic<std::uint64_t> g_tables_built{0};
+
+}  // namespace
+
+std::uint64_t CombinationTable::built_count() {
+  return g_tables_built.load(std::memory_order_relaxed);
+}
+
 CombinationTable::CombinationTable(const CombinationSolver& solver,
                                    ReqRate max_rate)
     : candidates_(solver.candidates()), plan_(candidates_) {
+  g_tables_built.fetch_add(1, std::memory_order_relaxed);
   if (max_rate < 0.0)
     throw std::invalid_argument("CombinationTable: max_rate must be >= 0");
   const auto n = static_cast<std::size_t>(std::ceil(max_rate)) + 1;

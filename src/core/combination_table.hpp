@@ -11,6 +11,7 @@
 // approaches it".
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "arch/catalog.hpp"
@@ -46,6 +47,18 @@ class CombinationTable {
   /// Number of distinct combinations in the table — the size of the
   /// reconfiguration state space.
   [[nodiscard]] std::size_t distinct_combinations() const;
+
+  /// Dense-grid accessors for compilers of derived structures
+  /// (core/decision_thresholds.hpp): entry `i` answers rate i exactly.
+  [[nodiscard]] std::size_t grid_size() const { return entries_.size(); }
+  [[nodiscard]] const Combination& grid_entry(std::size_t i) const {
+    return entries_[i];
+  }
+
+  /// Process-wide count of tables ever constructed — a probe for tests
+  /// asserting build caching (a sweep over non-catalog axes must build its
+  /// table exactly once; see scenario/sweep.hpp).
+  [[nodiscard]] static std::uint64_t built_count();
 
  private:
   [[nodiscard]] std::size_t index_for(ReqRate rate) const;

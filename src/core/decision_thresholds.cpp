@@ -1,0 +1,23 @@
+#include "core/decision_thresholds.hpp"
+
+#include <stdexcept>
+
+#include "core/combination_table.hpp"
+
+namespace bml {
+
+DecisionThresholds::DecisionThresholds(const CombinationTable& table)
+    : max_rate_(table.max_rate()) {
+  const std::size_t n = table.grid_size();
+  for (std::size_t i = 1; i < n; ++i)
+    if (table.grid_entry(i) != table.grid_entry(i - 1))
+      cuts_.push_back(static_cast<double>(i));
+}
+
+double DecisionThresholds::grid_index(ReqRate rate) const {
+  if (rate < 0.0)
+    throw std::invalid_argument("DecisionThresholds: rate must be >= 0");
+  return std::ceil(rate < max_rate_ ? rate : max_rate_);
+}
+
+}  // namespace bml

@@ -85,6 +85,65 @@ Watts DispatchPlan::power_at(std::span<const int> counts,
   return evaluate(counts, rate, nullptr, nullptr);
 }
 
+void DispatchPlan::compile_fleet(std::span<const int> counts,
+                                 FleetPowerCurve& out) const {
+  if (counts.size() > arch_kinds())
+    throw std::invalid_argument(
+        "DispatchPlan: more architecture kinds than candidates");
+  out.active_.clear();
+  for (std::size_t arch : order_) {
+    if (arch >= counts.size()) continue;
+    const int n = counts[arch];
+    if (n == 0) continue;
+    FleetPowerCurve::Active a;
+    a.perf = max_perf_[arch];
+    a.capacity = n * a.perf;
+    a.max_power = max_power_[arch];
+    a.idle = idle_[arch];
+    a.slope = slope_[arch];
+    a.model = models_[arch].get();
+    a.count = n;
+    a.linear = linear_[arch];
+    out.active_.push_back(a);
+  }
+  // Affine piece table: walk machines in dispatch order; the piece where
+  // machine j of arch a is the partial one has
+  //   power(rate) = pre_full + j*max_power                 (full machines)
+  //               + idle + slope*(rate - prefix_cap - j*perf)  (partial)
+  //               + (count-j-1)*idle + post_idle           (idle machines)
+  // which is affine in rate. Stops at the first piecewise-model arch
+  // (its curve is not affine) and at kMaxPieces; rates past the table
+  // fall back to the general loop above.
+  out.pieces_.clear();
+  out.hint_ = 0;
+  Watts post_idle = 0.0;
+  for (const FleetPowerCurve::Active& a : out.active_)
+    post_idle += a.count * a.idle;
+  ReqRate prefix_cap = 0.0;
+  Watts pre_full = 0.0;
+  for (const FleetPowerCurve::Active& a : out.active_) {
+    post_idle -= a.count * a.idle;
+    if (!a.linear) break;
+    bool capped = false;
+    for (int j = 0; j < a.count; ++j) {
+      if (out.pieces_.size() >= FleetPowerCurve::kMaxPieces) {
+        capped = true;
+        break;
+      }
+      FleetPowerCurve::Piece piece;
+      piece.bound = prefix_cap + (j + 1) * a.perf;
+      piece.slope = a.slope;
+      piece.base = pre_full + j * a.max_power + a.idle -
+                   a.slope * (prefix_cap + j * a.perf) +
+                   (a.count - j - 1) * a.idle + post_idle;
+      out.pieces_.push_back(piece);
+    }
+    if (capped) break;
+    prefix_cap += a.capacity;
+    pre_full += a.count * a.max_power;
+  }
+}
+
 void DispatchPlan::dispatch_into(std::span<const int> counts, ReqRate rate,
                                  DispatchResult& out) const {
   out.load_per_arch.assign(counts.size(), 0.0);

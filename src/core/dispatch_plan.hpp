@@ -31,6 +31,103 @@
 
 namespace bml {
 
+/// A power curve compiled for one fixed fleet (machine counts): the
+/// event-driven simulator evaluates compute power once per trace segment
+/// while the fleet is constant. DispatchPlan::compile_fleet bakes two
+/// forms out of the fleet:
+///   * an affine piece table with one breakpoint per machine (dispatch
+///     fills machine by machine, so power is piecewise linear in the
+///     load): power(rate) = base_k + slope_k * rate inside piece k. The
+///     cursor-hinted lookup costs a couple of compares for the noisy
+///     loads the simulator feeds it — no division, no loop. The table
+///     stops at the first non-linear (piecewise PowerModel) architecture
+///     and is capped at kMaxPieces; and
+///   * the active (non-zero-count) architectures in dispatch order, the
+///     general loop for rates past the table.
+/// Results match DispatchPlan::power_at for the same counts within
+/// floating-point reassociation distance — a few ulp, from the pieces'
+/// refactored sums (asserted at 1e-12 relative by
+/// tests/test_dispatch_plan.cpp); the general loop performs the same
+/// operations in the same order, merely skipping exact no-ops
+/// (zero-count architectures, += 0.0 products). That sits far inside the
+/// simulator's 1e-9 equivalence contract, and no integer counter depends
+/// on power values.
+/// The curve borrows the plan's piecewise PowerModels — it must not
+/// outlive the DispatchPlan that compiled it.
+class FleetPowerCurve {
+ public:
+  FleetPowerCurve() = default;
+
+  /// Power of the compiled fleet serving `rate` (negative rates are the
+  /// caller's bug; the simulator's loads are validated non-negative).
+  /// Amortised O(1) for the simulator's access pattern (consecutive loads
+  /// land in the same or a neighbouring piece — the hint tracks it).
+  [[nodiscard]] Watts power_at(ReqRate rate) const {
+    if (rate > 0.0 && !pieces_.empty() && rate < pieces_.back().bound) {
+      std::size_t k = hint_;
+      if (k >= pieces_.size()) k = 0;
+      while (rate >= pieces_[k].bound) ++k;
+      while (k > 0 && rate < pieces_[k - 1].bound) --k;
+      hint_ = k;
+      return pieces_[k].base + pieces_[k].slope * rate;
+    }
+    ReqRate remaining = rate;
+    Watts power = 0.0;
+    for (const Active& a : active_) {
+      if (remaining > 0.0) {
+        const ReqRate assigned =
+            remaining < a.capacity ? remaining : a.capacity;
+        remaining -= assigned;
+        const int full = static_cast<int>(assigned / a.perf);
+        const ReqRate partial = assigned - full * a.perf;
+        power += full * a.max_power;
+        const int idle_machines = a.count - full - (partial > 0.0 ? 1 : 0);
+        if (partial > 0.0) {
+          if (a.linear) {
+            const ReqRate r = partial > a.perf ? a.perf : partial;
+            power += a.idle + a.slope * r;
+          } else {
+            power += a.model->power_at(partial);
+          }
+        }
+        power += idle_machines * a.idle;
+      } else {
+        // Exactly what the reference loop adds once remaining hit 0.0.
+        power += a.count * a.idle;
+      }
+    }
+    return power;
+  }
+
+ private:
+  friend class DispatchPlan;
+  struct Active {
+    ReqRate perf = 0.0;
+    ReqRate capacity = 0.0;  // count * perf
+    Watts max_power = 0.0;
+    Watts idle = 0.0;
+    double slope = 0.0;  // valid when linear
+    const PowerModel* model = nullptr;  // piecewise only
+    int count = 0;
+    char linear = 0;
+  };
+  std::vector<Active> active_;
+
+  /// Affine piece k covers rate in [pieces_[k-1].bound, pieces_[k].bound)
+  /// (piece 0 starts just above 0): j machines of the piece's
+  /// architecture fully loaded, one partial, everything later idle.
+  struct Piece {
+    ReqRate bound = 0.0;  // exclusive upper bound of this piece
+    Watts base = 0.0;
+    double slope = 0.0;
+  };
+  static constexpr std::size_t kMaxPieces = 64;
+  std::vector<Piece> pieces_;
+  /// Last piece hit — consecutive noisy loads cluster, so the next lookup
+  /// starts where the previous one ended (mutable: a cache, not state).
+  mutable std::size_t hint_ = 0;
+};
+
 /// Immutable compiled form of a candidate catalog for power evaluation.
 class DispatchPlan {
  public:
@@ -54,6 +151,12 @@ class DispatchPlan {
 
   /// Serving capacity of the combination, req/s.
   [[nodiscard]] ReqRate capacity_of(std::span<const int> counts) const;
+
+  /// Compiles the fleet `counts` into `out` (reusing its storage). See
+  /// FleetPowerCurve: out.power_at(rate) matches power_at(counts, rate)
+  /// within a few ulp (the affine pieces refactor the sum), and `out`
+  /// borrows this plan's piecewise models.
+  void compile_fleet(std::span<const int> counts, FleetPowerCurve& out) const;
 
   [[nodiscard]] ReqRate max_perf(std::size_t arch) const {
     return max_perf_[arch];

@@ -11,33 +11,41 @@ EnergyMeter::EnergyMeter(Seconds step) : step_(step) {
     throw std::invalid_argument("EnergyMeter: step must be positive");
 }
 
-void EnergyMeter::ensure_day() {
-  const auto day = static_cast<std::size_t>(
-      step_ * static_cast<double>(ticks_) / static_cast<double>(kSecondsPerDay));
-  while (day_compute_.size() <= day) {
+std::size_t EnergyMeter::refresh_day() {
+  if (ticks_ >= day_end_tick_) {
+    current_day_ = static_cast<std::size_t>(step_ *
+                                            static_cast<double>(ticks_) /
+                                            static_cast<double>(kSecondsPerDay));
+    // First tick attributed to the next day: ceil(day_end / step). Always
+    // > ticks_ (ticks_ still maps to current_day_), which keeps the chunk
+    // arithmetic below positive for any step size.
+    const double day_end = (static_cast<double>(current_day_) + 1.0) *
+                           static_cast<double>(kSecondsPerDay);
+    day_end_tick_ =
+        std::max(static_cast<std::size_t>(std::ceil(day_end / step_)),
+                 ticks_ + 1);
+  }
+  while (day_compute_.size() <= current_day_) {
     day_compute_.push_back(0.0);
     day_reconf_.push_back(0.0);
   }
+  return current_day_;
 }
 
 void EnergyMeter::add_compute_sample(Watts power) {
   if (power < 0.0)
     throw std::invalid_argument("EnergyMeter: negative power sample");
-  ensure_day();
+  const std::size_t day = refresh_day();
   const Joules e = power * step_;
   compute_energy_ += e;
-  const auto day = static_cast<std::size_t>(
-      step_ * static_cast<double>(ticks_) / static_cast<double>(kSecondsPerDay));
   day_compute_[day] += e;
 }
 
 void EnergyMeter::add_reconfiguration_energy(Joules energy) {
   if (energy < 0.0)
     throw std::invalid_argument("EnergyMeter: negative reconfiguration energy");
-  ensure_day();
+  const std::size_t day = refresh_day();
   reconf_energy_ += energy;
-  const auto day = static_cast<std::size_t>(
-      step_ * static_cast<double>(ticks_) / static_cast<double>(kSecondsPerDay));
   day_reconf_[day] += energy;
 }
 
@@ -50,19 +58,8 @@ void EnergyMeter::add_span(Watts compute, Watts transition,
   if (transition < 0.0)
     throw std::invalid_argument("EnergyMeter: negative reconfiguration energy");
   while (seconds > 0) {
-    ensure_day();
-    const auto day = static_cast<std::size_t>(
-        step_ * static_cast<double>(ticks_) /
-        static_cast<double>(kSecondsPerDay));
-    // First tick attributed to the next day: ceil(day_end / step). Always
-    // > ticks_ (ticks_ still maps to `day`), so chunk >= 1 and the loop
-    // terminates for any step size.
-    const double day_end =
-        (static_cast<double>(day) + 1.0) * static_cast<double>(kSecondsPerDay);
-    const auto next_day_tick =
-        static_cast<std::size_t>(std::ceil(day_end / step_));
-    const std::size_t chunk =
-        std::min(seconds, std::max<std::size_t>(next_day_tick - ticks_, 1));
+    const std::size_t day = refresh_day();
+    const std::size_t chunk = std::min(seconds, day_end_tick_ - ticks_);
     const Joules compute_e = compute * step_ * static_cast<double>(chunk);
     const Joules transition_e =
         transition * step_ * static_cast<double>(chunk);

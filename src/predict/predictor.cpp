@@ -134,6 +134,16 @@ ReqRate LastValuePredictor::predict(const LoadTrace& trace, TimePoint now,
   return trace.at(now - 1);
 }
 
+TimePoint LastValuePredictor::stable_until(const LoadTrace& trace,
+                                           TimePoint now,
+                                           Seconds /*horizon*/) {
+  // predict(t) reads at(t - 1): it changes one second after the trace does.
+  if (now <= 0) return now + 1;  // 0 until at(0) enters the history
+  const TimePoint change = trace.next_change(now - 1);
+  if (change == std::numeric_limits<TimePoint>::max()) return change;
+  return change + 1;
+}
+
 MovingMaxPredictor::MovingMaxPredictor(Seconds window) : window_(window) {
   if (window_ <= 0.0)
     throw std::invalid_argument("MovingMaxPredictor: window must be > 0");

@@ -44,6 +44,15 @@ class Predictor {
     return now + 1;
   }
 
+  /// True when predict() is a pure function of (trace, now, horizon): no
+  /// internal state is read or written, so callers may probe *future* time
+  /// points without corrupting the predictor. This is what lets the
+  /// schedulers' decision-level stability walk continue across a
+  /// stable_until of now + 1 (a pure predictor whose value genuinely
+  /// changes next second) — the per-second limiter on noisy traces.
+  /// Stateful predictors (EWMA, error injection) must keep the default.
+  [[nodiscard]] virtual bool pure() const { return false; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -59,6 +68,7 @@ class OracleMaxPredictor final : public Predictor {
   /// alongside the cache.
   [[nodiscard]] TimePoint stable_until(const LoadTrace& trace, TimePoint now,
                                        Seconds horizon) override;
+  [[nodiscard]] bool pure() const override { return true; }
   [[nodiscard]] std::string name() const override { return "oracle-max"; }
 
  private:
@@ -81,6 +91,11 @@ class LastValuePredictor final : public Predictor {
  public:
   [[nodiscard]] ReqRate predict(const LoadTrace& trace, TimePoint now,
                                 Seconds horizon) override;
+  /// The prediction tracks at(now - 1): stable until one second after the
+  /// trace's next change.
+  [[nodiscard]] TimePoint stable_until(const LoadTrace& trace, TimePoint now,
+                                       Seconds horizon) override;
+  [[nodiscard]] bool pure() const override { return true; }
   [[nodiscard]] std::string name() const override { return "last-value"; }
 };
 
@@ -97,6 +112,7 @@ class MovingMaxPredictor final : public Predictor {
   /// degrade gracefully to now + 1.
   [[nodiscard]] TimePoint stable_until(const LoadTrace& trace, TimePoint now,
                                        Seconds horizon) override;
+  [[nodiscard]] bool pure() const override { return true; }
   [[nodiscard]] std::string name() const override { return "moving-max"; }
 
  private:
@@ -127,6 +143,10 @@ class LinearTrendPredictor final : public Predictor {
   explicit LinearTrendPredictor(Seconds window);
   [[nodiscard]] ReqRate predict(const LoadTrace& trace, TimePoint now,
                                 Seconds horizon) override;
+  /// Pure function of the trailing window (no internal state), though the
+  /// fit changes almost every second — stable_until keeps the now + 1
+  /// default and the schedulers' decision-level walk does the merging.
+  [[nodiscard]] bool pure() const override { return true; }
   [[nodiscard]] std::string name() const override { return "linear-trend"; }
 
  private:
@@ -150,6 +170,7 @@ class SeasonalPredictor final : public Predictor {
   /// yesterday) are all stable, and never past the warm-up/period switch.
   [[nodiscard]] TimePoint stable_until(const LoadTrace& trace, TimePoint now,
                                        Seconds horizon) override;
+  [[nodiscard]] bool pure() const override { return true; }
   [[nodiscard]] std::string name() const override { return "seasonal"; }
 
  private:

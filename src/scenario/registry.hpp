@@ -47,6 +47,19 @@
 // same factories; the sweep runner turns each section into a Workload
 // (app/workload.hpp) over the shared design.
 //
+// Build sharing across sweeps: every component above is rebuilt per
+// scenario *unless* none of the sweep axes name a build input — `catalog`
+// / `catalog.*`, `design.*`, `seed`, or any trace field (`trace`,
+// `trace.*`, `app<i>.trace*`). In that case the sweep runner builds the
+// catalog, the traces, their compiled RLE forms (sim/compiled_trace.hpp),
+// the BmlDesign — including the CombinationTable and its
+// DecisionThresholds (core/decision_thresholds.hpp, the sorted load
+// cut-points behind decision-granular fast-path spans) — and the
+// DispatchPlan exactly once, sharing the immutable results across all
+// grid points and worker threads (asserted by the CombinationTable
+// build-count probe in tests/test_scenario.cpp). Schedulers and
+// predictors are stateful and always constructed per scenario.
+//
 // Unknown component names and unknown or malformed parameters throw
 // std::runtime_error naming the component, the offending key, and the
 // accepted names.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
@@ -96,69 +97,98 @@ bool is_trace_axis(const std::string& key) {
 
 namespace {
 
-ScenarioResult run_scenario_impl(const ScenarioSpec& spec,
-                                 const LoadTrace* shared_trace) {
-  const auto start = std::chrono::steady_clock::now();
+/// Per-app random stream derived from the master seed (golden-ratio
+/// stepping), otherwise identically-configured tenants would replay
+/// byte-identical noise and bias colocation results. App 0 keeps the
+/// master seed itself, which pins single-[app] equivalence; per-section
+/// `trace.seed` / `predictor.error_seed` still override. Masked to 63
+/// bits: seeds round-trip through the registry's non-negative integer
+/// parameters.
+std::uint64_t app_seed(const ScenarioSpec& spec, std::size_t i) {
+  return (spec.seed + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(i)) &
+         0x7FFF'FFFF'FFFF'FFFFULL;
+}
+
+/// Effective app list: the `[app]` sections, or the classic single app
+/// described by the top-level trace / scheduler / predictor / qos fields.
+std::vector<AppSpec> effective_apps(const ScenarioSpec& spec) {
+  if (!spec.apps.empty()) return spec.apps;
+  AppSpec app;
+  app.trace = spec.trace;
+  app.trace_params = spec.trace_params;
+  app.scheduler = spec.scheduler;
+  app.scheduler_params = spec.scheduler_params;
+  app.predictor = spec.predictor;
+  app.predictor_params = spec.predictor_params;
+  app.qos = spec.qos;
+  return {std::move(app)};
+}
+
+/// The expensive immutable artifacts of a scenario: catalog, traces (and
+/// their compiled RLE forms), the design (with its CombinationTable /
+/// DecisionThresholds), and the dispatch plan. Everything here is
+/// read-only after construction, so a sweep whose axes don't touch the
+/// inputs of any of these builds one ScenarioBuild and shares it across
+/// all grid points and worker threads; the remaining per-scenario state
+/// (schedulers, predictors, cluster, meters) is constructed per run.
+struct ScenarioBuild {
+  // `traces` points into `own_traces` (or at the caller's shared trace):
+  // copying or moving would dangle it, so neither is allowed.
+  ScenarioBuild(const ScenarioBuild&) = delete;
+  ScenarioBuild& operator=(const ScenarioBuild&) = delete;
+
+  ScenarioBuild(const ScenarioSpec& spec, const LoadTrace* shared_trace) {
+    catalog = make_catalog(spec.catalog, spec.catalog_params);
+    const std::vector<AppSpec> apps = effective_apps(spec);
+    if (shared_trace && apps.size() > 1)
+      throw std::runtime_error(
+          "run_scenario: a shared trace requires a single-workload spec");
+
+    own_traces.reserve(apps.size());
+    traces.resize(apps.size());
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      if (shared_trace) {
+        traces[i] = shared_trace;
+      } else {
+        own_traces.push_back(
+            make_trace(apps[i].trace, apps[i].trace_params, app_seed(spec, i)));
+        traces[i] = &own_traces.back();
+      }
+    }
+    compiled.reserve(traces.size());
+    for (const LoadTrace* t : traces) compiled.emplace_back(*t);
+
+    BmlDesignOptions design_options;
+    design_options.max_rate = design_max_rate(spec, traces);
+    design_options.solver = spec.design_solver == "exact-dp"
+                                ? SolverKind::kExactDp
+                                : SolverKind::kGreedyThreshold;
+    design =
+        std::make_shared<BmlDesign>(BmlDesign::build(catalog, design_options));
+    plan = std::make_shared<DispatchPlan>(design->candidates());
+  }
+
+  Catalog catalog;
+  std::vector<LoadTrace> own_traces;
+  std::vector<const LoadTrace*> traces;  // parallel to the app list
+  std::vector<CompiledTrace> compiled;   // parallel to `traces`
+  std::shared_ptr<const BmlDesign> design;
+  std::shared_ptr<const DispatchPlan> plan;
+};
+
+/// Executes `spec` over a (possibly shared) prebuilt ScenarioBuild. Only
+/// per-scenario state is constructed here; `start` is when this scenario's
+/// work began (including its build when it was not shared).
+ScenarioResult run_built(const ScenarioSpec& spec, const ScenarioBuild& build,
+                         std::chrono::steady_clock::time_point start) {
   ScenarioResult result;
   result.spec = spec;
 
-  const Catalog catalog = make_catalog(spec.catalog, spec.catalog_params);
-
-  // Effective app list: the `[app]` sections, or the classic single app
-  // described by the top-level trace / scheduler / predictor / qos fields.
-  std::vector<AppSpec> apps;
-  if (spec.apps.empty()) {
-    AppSpec app;
-    app.trace = spec.trace;
-    app.trace_params = spec.trace_params;
-    app.scheduler = spec.scheduler;
-    app.scheduler_params = spec.scheduler_params;
-    app.predictor = spec.predictor;
-    app.predictor_params = spec.predictor_params;
-    app.qos = spec.qos;
-    apps.push_back(std::move(app));
-  } else {
-    apps = spec.apps;
-  }
-  if (shared_trace && apps.size() > 1)
-    throw std::runtime_error(
-        "run_scenario: a shared trace requires a single-workload spec");
-
-  // Each [app] section gets its own random stream derived from the master
-  // seed (golden-ratio stepping), otherwise identically-configured tenants
-  // would replay byte-identical noise and bias colocation results. App 0
-  // keeps the master seed itself, which pins single-[app] equivalence;
-  // per-section `trace.seed` / `predictor.error_seed` still override.
-  const auto app_seed = [&spec](std::size_t i) {
-    // Masked to 63 bits: seeds round-trip through the registry's
-    // non-negative integer parameters.
-    return (spec.seed + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(i)) &
-           0x7FFF'FFFF'FFFF'FFFFULL;
-  };
-
+  const std::vector<AppSpec> apps = effective_apps(spec);
   std::vector<std::string> names(apps.size());
-  std::vector<LoadTrace> own_traces;
-  own_traces.reserve(apps.size());
-  std::vector<const LoadTrace*> traces(apps.size());
-  for (std::size_t i = 0; i < apps.size(); ++i) {
+  for (std::size_t i = 0; i < apps.size(); ++i)
     names[i] =
         apps[i].name.empty() ? "app" + std::to_string(i) : apps[i].name;
-    if (shared_trace) {
-      traces[i] = shared_trace;
-    } else {
-      own_traces.push_back(
-          make_trace(apps[i].trace, apps[i].trace_params, app_seed(i)));
-      traces[i] = &own_traces.back();
-    }
-  }
-
-  BmlDesignOptions design_options;
-  design_options.max_rate = design_max_rate(spec, traces);
-  design_options.solver = spec.design_solver == "exact-dp"
-                              ? SolverKind::kExactDp
-                              : SolverKind::kGreedyThreshold;
-  auto design =
-      std::make_shared<BmlDesign>(BmlDesign::build(catalog, design_options));
 
   std::vector<QosClass> qos(apps.size());
   std::vector<std::unique_ptr<Scheduler>> schedulers;
@@ -166,9 +196,9 @@ ScenarioResult run_scenario_impl(const ScenarioSpec& spec,
   for (std::size_t i = 0; i < apps.size(); ++i) {
     qos[i] = parse_qos_class(apps[i].qos);
     std::shared_ptr<Predictor> predictor = make_predictor(
-        apps[i].predictor, apps[i].predictor_params, app_seed(i));
+        apps[i].predictor, apps[i].predictor_params, app_seed(spec, i));
     schedulers.push_back(make_scheduler(apps[i].scheduler,
-                                        apps[i].scheduler_params, design,
+                                        apps[i].scheduler_params, build.design,
                                         std::move(predictor), qos[i]));
   }
 
@@ -177,25 +207,43 @@ ScenarioResult run_scenario_impl(const ScenarioSpec& spec,
   options.event_driven = spec.event_driven;
   options.coordinator = parse_coordinator_mode(spec.coordinator);
   options.coordinator_budget = spec.coordinator_budget == "design-max"
-                                   ? design->max_rate()
+                                   ? build.design->max_rate()
                                    : parse_double(spec.coordinator_budget);
   options.faults.boot_time_jitter = spec.boot_time_jitter;
   options.faults.boot_failure_prob = spec.boot_failure_prob;
   options.faults.seed = spec.seed;
 
-  const Simulator simulator(design->candidates(), options);
+  const Simulator simulator(build.design->candidates(), build.plan, options);
   std::vector<Simulator::WorkloadView> views;
   views.reserve(apps.size());
   for (std::size_t i = 0; i < apps.size(); ++i)
     views.push_back(Simulator::WorkloadView{
-        &names[i], traces[i], schedulers[i].get(), qos[i], apps[i].share});
+        &names[i], build.traces[i], schedulers[i].get(), qos[i],
+        apps[i].share, &build.compiled[i]});
   MultiSimulationResult multi = simulator.run(views);
   result.sim = std::move(multi.total);
   result.apps = std::move(multi.apps);
-  for (const LoadTrace* t : traces)
+  for (const LoadTrace* t : build.traces)
     result.trace_duration = std::max(result.trace_duration, t->duration());
   result.wall_seconds = elapsed_seconds(start);
   return result;
+}
+
+ScenarioResult run_scenario_impl(const ScenarioSpec& spec,
+                                 const LoadTrace* shared_trace) {
+  const auto start = std::chrono::steady_clock::now();
+  const ScenarioBuild build(spec, shared_trace);
+  return run_built(spec, build, start);
+}
+
+/// True when a sweep axis addresses an input of ScenarioBuild — catalog or
+/// design parameters, the master seed (trace generation and fault noise
+/// derive from it), or any trace field. Such an axis forces per-scenario
+/// builds; every other axis (scheduler, predictor, qos, coordinator,
+/// fault knobs, app shares, ...) leaves the build shareable.
+bool axis_blocks_shared_build(const std::string& key) {
+  return key == "catalog" || key.starts_with("catalog.") ||
+         key.starts_with("design.") || key == "seed" || is_trace_axis(key);
 }
 
 }  // namespace
@@ -246,12 +294,29 @@ SweepReport run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
   report.rows.resize(n);
   if (options.keep_results) report.results.resize(n);
 
+  // Build caching: when no axis touches a catalog / design / trace / seed
+  // input, every grid point needs the exact same catalog, traces, design
+  // (CombinationTable + DecisionThresholds), dispatch plan and compiled
+  // traces — build them once here and share the immutable result across
+  // all worker threads instead of rebuilding per scenario. Axes that do
+  // touch build inputs fall back to the per-scenario build.
+  bool shareable = true;
+  for (const SweepAxis& axis : spec.sweeps)
+    if (axis_blocks_shared_build(axis.key)) shareable = false;
+  std::optional<ScenarioBuild> shared_build;
+  if (shareable) shared_build.emplace(spec, options.shared_trace);
+
   parallel_for(
       n,
       [&](std::size_t i) {
+        const auto scenario_start = std::chrono::steady_clock::now();
         const std::vector<std::string> values = grid_values(spec, i);
         ScenarioResult result =
-            run_scenario_impl(grid_point(spec, values), options.shared_trace);
+            shared_build.has_value()
+                ? run_built(grid_point(spec, values), *shared_build,
+                            scenario_start)
+                : run_scenario_impl(grid_point(spec, values),
+                                    options.shared_trace);
 
         SweepRow& row = report.rows[i];
         row.scenario = result.spec.name;

@@ -1,5 +1,6 @@
 #include "sched/baselines.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -105,7 +106,26 @@ std::optional<Combination> ReactiveScheduler::decide(
 
 TimePoint ReactiveScheduler::decision_stable_until(TimePoint now,
                                                    const LoadTrace& trace) {
-  return trace.next_change(now);
+  constexpr TimePoint kNever = std::numeric_limits<TimePoint>::max();
+  const DecisionThresholds* cuts = design_->decision_thresholds();
+  if (cuts == nullptr) return trace.next_change(now);
+  // The decision is the threshold bucket of the instantaneous load: walk
+  // the trace's run-length segments until one leaves the current bucket.
+  // On a noisy trace whose wiggles stay inside one bucket this merges what
+  // used to be per-second spans. Stopping at the hop cap is sound — every
+  // segment walked so far stayed in the bucket.
+  constexpr int kMaxHops = 4096;
+  const ReqRate max_rate = design_->max_rate();
+  const auto bucket = [&](TimePoint t) {
+    return cuts->index_for(std::min(trace.at(t) * headroom_, max_rate));
+  };
+  const std::size_t current = bucket(now);
+  TimePoint t = trace.next_change(now);
+  for (int hop = 0; hop < kMaxHops && t < kNever; ++hop) {
+    if (bucket(t) != current) return t;
+    t = trace.next_change(t);
+  }
+  return t;
 }
 
 Combination ReactiveScheduler::initial_combination(const LoadTrace& trace) {

@@ -44,15 +44,37 @@ std::optional<Combination> BmlScheduler::decide(
 TimePoint BmlScheduler::decision_stable_until(TimePoint now,
                                               const LoadTrace& trace) {
   TimePoint t = predictor_->stable_until(trace, now, window_);
-  if (t <= now + 1) return t;
-  // Decision-level extension: the decision is the *table index* of the
-  // prediction, so a changing prediction that maps to the same combination
-  // does not end the stable span. Probing predict() at future times is only
-  // valid for pure predictors — exactly those that advertise multi-second
-  // stability above; stateful ones return now + 1 and never reach this
-  // loop.
-  constexpr int kMaxHops = 64;
+  // Probing predict() at future times is only valid for pure predictors;
+  // stateful ones (EWMA, error injection) would corrupt their state, so
+  // they keep the predictor-level bound (the conservative now + 1).
+  if (!predictor_->pure()) return t;
   constexpr TimePoint kNever = std::numeric_limits<TimePoint>::max();
+
+  const DecisionThresholds* cuts = design_->decision_thresholds();
+  if (cuts != nullptr) {
+    // Decision-level extension: the decision is the threshold *bucket* of
+    // the prediction, so a changing prediction whose values stay inside
+    // one bucket does not end the stable span — this is what removes the
+    // per-second limiter on noisy traces. Each hop advances one of the
+    // predictor's stability segments (a single second when the predictor
+    // cannot advertise more) and costs one predict() plus one upper_bound;
+    // the hop cap only bounds a single call, and stopping early is sound
+    // because every probed point so far stayed in the current bucket.
+    constexpr int kMaxHops = 4096;
+    const std::size_t current = cuts->index_for(target_rate(trace, now));
+    for (int hop = 0; hop < kMaxHops && t < kNever; ++hop) {
+      if (!cuts->same_bucket(target_rate(trace, t), current)) return t;
+      const TimePoint next = predictor_->stable_until(trace, t, window_);
+      if (next <= t) break;  // defensive: stability contract violation
+      t = next;
+    }
+    return t;
+  }
+
+  // Designs built without a table fall back to comparing materialised
+  // combinations across advertised stability segments only.
+  if (t <= now + 1) return t;
+  constexpr int kMaxHops = 64;
   const Combination current =
       design_->ideal_combination(target_rate(trace, now));
   for (int hop = 0; hop < kMaxHops && t < kNever; ++hop) {

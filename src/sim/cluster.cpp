@@ -45,6 +45,11 @@ Seconds Cluster::boot_duration(std::size_t arch) {
   return duration;
 }
 
+void Cluster::note_transition(Seconds remaining) {
+  if (next_transition_min_ < 0.0 || remaining < next_transition_min_)
+    next_transition_min_ = remaining;
+}
+
 void Cluster::switch_on(std::size_t arch, int n) {
   if (arch >= candidates_.size())
     throw std::invalid_argument("Cluster: arch index out of range");
@@ -56,18 +61,22 @@ void Cluster::switch_on(std::size_t arch, int n) {
     parked.pop_back();
     m.request_on(candidates_[arch], boot_duration(arch));
     --remaining;
-    if (m.state() == MachineState::kOn)
+    if (m.state() == MachineState::kOn) {
       ++on_[arch];  // zero-duration boot
-    else
+    } else {
       ++booting_[arch];
+      note_transition(m.transition_remaining());
+    }
   }
   while (remaining-- > 0) {
     machines_.emplace_back(arch, MachineState::kOff);
     machines_.back().request_on(candidates_[arch], boot_duration(arch));
-    if (machines_.back().state() == MachineState::kOn)
+    if (machines_.back().state() == MachineState::kOn) {
       ++on_[arch];
-    else
+    } else {
       ++booting_[arch];
+      note_transition(machines_.back().transition_remaining());
+    }
   }
 }
 
@@ -82,10 +91,12 @@ void Cluster::switch_off(std::size_t arch, int n) {
       m.request_off(candidates_[arch]);
       --remaining;
       --on_[arch];
-      if (m.state() != MachineState::kOff)
+      if (m.state() != MachineState::kOff) {
         ++shutting_[arch];
-      else
+        note_transition(m.transition_remaining());
+      } else {
         off_free_[arch].push_back(i);  // zero-duration shutdown
+      }
     }
   }
   if (remaining > 0)
@@ -115,47 +126,52 @@ ReqRate Cluster::on_capacity() const {
   return total;
 }
 
-ClusterPower Cluster::step_power(ReqRate load) const {
-  ClusterPower power;
-  power.compute = plan_->power_at(on_, load);
+Watts Cluster::compute_power(ReqRate load) const {
+  return plan_->power_at(on_, load);
+}
+
+void Cluster::compile_power_curve(FleetPowerCurve& out) const {
+  plan_->compile_fleet(on_, out);
+}
+
+Watts Cluster::transition_power() const {
+  Watts transition = 0.0;
   for (std::size_t a = 0; a < candidates_.size(); ++a) {
-    power.transition +=
-        booting_[a] * candidates_[a].on_cost().average_power();
-    power.transition +=
-        shutting_[a] * candidates_[a].off_cost().average_power();
+    transition += booting_[a] * candidates_[a].on_cost().average_power();
+    transition += shutting_[a] * candidates_[a].off_cost().average_power();
   }
-  return power;
+  return transition;
+}
+
+ClusterPower Cluster::step_power(ReqRate load) const {
+  return ClusterPower{compute_power(load), transition_power()};
 }
 
 void Cluster::split_capacity(const std::vector<ReqRate>& loads, ReqRate total,
                              std::vector<ReqRate>& alloc) const {
+  split_capacity(loads, total, on_capacity(), alloc);
+}
+
+void Cluster::split_capacity(const std::vector<ReqRate>& loads, ReqRate total,
+                             ReqRate capacity, std::vector<ReqRate>& alloc) {
   const std::size_t n = loads.size();
   alloc.resize(n);
   if (n == 0) return;
-  const ReqRate cap = on_capacity();
   if (total > 0.0) {
-    for (std::size_t i = 0; i < n; ++i) alloc[i] = cap * (loads[i] / total);
+    for (std::size_t i = 0; i < n; ++i)
+      alloc[i] = capacity * (loads[i] / total);
   } else {
     const double equal = 1.0 / static_cast<double>(n);
-    for (std::size_t i = 0; i < n; ++i) alloc[i] = cap * equal;
+    for (std::size_t i = 0; i < n; ++i) alloc[i] = capacity * equal;
   }
-}
-
-Seconds Cluster::next_transition_remaining() const {
-  Seconds next = -1.0;
-  for (const SimMachine& m : machines_) {
-    if (m.state() != MachineState::kBooting &&
-        m.state() != MachineState::kShuttingDown)
-      continue;
-    if (next < 0.0 || m.transition_remaining() < next)
-      next = m.transition_remaining();
-  }
-  return next;
 }
 
 int Cluster::step(Seconds dt) {
   if (!transitioning()) return 0;
   int completed = 0;
+  // The machine loop doubles as the incremental-minimum refresh: every
+  // surviving transition was decremented by dt, and completions drop out.
+  Seconds next = -1.0;
   for (std::size_t i = 0; i < machines_.size(); ++i) {
     SimMachine& m = machines_[i];
     const MachineState before = m.state();
@@ -169,8 +185,13 @@ int Cluster::step(Seconds dt) {
         --shutting_[a];
         off_free_[a].push_back(i);
       }
+    } else if (m.state() == MachineState::kBooting ||
+               m.state() == MachineState::kShuttingDown) {
+      if (next < 0.0 || m.transition_remaining() < next)
+        next = m.transition_remaining();
     }
   }
+  next_transition_min_ = next;
   return completed;
 }
 

@@ -87,6 +87,18 @@ class Cluster {
   /// power. Load beyond capacity is dropped by the dispatcher.
   [[nodiscard]] ClusterPower step_power(ReqRate load) const;
 
+  /// The two step_power channels separately — for span loops over a fixed
+  /// fleet, where the transition component is constant and only the
+  /// load-dependent compute component needs re-evaluating per trace run.
+  [[nodiscard]] Watts compute_power(ReqRate load) const;
+  [[nodiscard]] Watts transition_power() const;
+
+  /// Compiles the current On fleet into `out` (see FleetPowerCurve):
+  /// out.power_at(load) matches compute_power(load) within a few ulp
+  /// while the fleet does not change. `out` borrows the cluster's
+  /// dispatch plan.
+  void compile_power_curve(FleetPowerCurve& out) const;
+
   /// Splits the On capacity across colocated workloads: `loads` are the
   /// per-app offered rates, `total` their sum, and `alloc` (resized)
   /// receives each app's capacity allocation. Capacity is divided
@@ -98,6 +110,12 @@ class Cluster {
   void split_capacity(const std::vector<ReqRate>& loads, ReqRate total,
                       std::vector<ReqRate>& alloc) const;
 
+  /// The split rule itself with the capacity supplied by the caller — the
+  /// simulator hoists on_capacity() out of fixed-fleet span loops. The
+  /// member overload above delegates here, so the policy has one copy.
+  static void split_capacity(const std::vector<ReqRate>& loads, ReqRate total,
+                             ReqRate capacity, std::vector<ReqRate>& alloc);
+
   /// Advances all machines `dt` seconds; returns the number of transitions
   /// that completed. Multi-second steps are exact: each machine's remaining
   /// time is decremented once, which matches repeated 1 s steps bit-for-bit
@@ -108,14 +126,20 @@ class Cluster {
   /// Smallest remaining transition time among booting / shutting-down
   /// machines; a negative value when none are transitioning. The number of
   /// whole seconds a per-second stepper runs before the first completion is
-  /// ceil(next_transition_remaining() - 1e-9).
-  [[nodiscard]] Seconds next_transition_remaining() const;
+  /// ceil(next_transition_remaining() - 1e-9). O(1): the minimum is
+  /// maintained incrementally by switch_on / switch_off / step instead of
+  /// scanning the fleet — this runs on every fast-path span.
+  [[nodiscard]] Seconds next_transition_remaining() const {
+    return next_transition_min_;
+  }
 
   /// Total machines ever provisioned (for reporting).
   [[nodiscard]] std::size_t machine_count() const { return machines_.size(); }
 
  private:
   [[nodiscard]] Seconds boot_duration(std::size_t arch);
+  /// Folds a newly started transition into next_transition_min_.
+  void note_transition(Seconds remaining);
 
   Catalog candidates_;
   std::shared_ptr<const DispatchPlan> plan_;
@@ -127,6 +151,11 @@ class Cluster {
   std::vector<int> on_;
   std::vector<int> booting_;
   std::vector<int> shutting_;
+  // Smallest transition_remaining() among transitioning machines, -1 when
+  // none — kept in sync by switch_on/switch_off (new transitions) and
+  // step (uniform decrement + completions, recomputed inside the existing
+  // machine loop at no extra pass).
+  Seconds next_transition_min_ = -1.0;
   // Per-architecture free lists of Off machines (indexes into machines_),
   // so switch_on reuses parked machines in O(1) per machine instead of
   // scanning the whole fleet. Off machines only ever appear through a

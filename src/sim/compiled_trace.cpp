@@ -1,0 +1,43 @@
+#include "sim/compiled_trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bml {
+
+CompiledTrace::CompiledTrace(const LoadTrace& trace)
+    : size_(static_cast<TimePoint>(trace.size())) {
+  if (trace.empty()) return;
+  const TimeSeries& series = trace.series();
+  const std::vector<std::size_t>& changes = trace.change_points();
+  segments_.reserve(changes.size() + 1);
+  segments_.push_back(Segment{0, series[0]});
+  for (std::size_t c : changes)
+    segments_.push_back(Segment{static_cast<TimePoint>(c), series[c]});
+}
+
+void CompiledTrace::throw_negative_time() {
+  throw std::invalid_argument("CompiledTrace: negative time");
+}
+
+std::size_t CompiledTrace::segment_index(TimePoint t) const {
+  // Last segment whose start is <= t.
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](TimePoint lhs, const Segment& rhs) { return lhs < rhs.start; });
+  return static_cast<std::size_t>(it - segments_.begin()) - 1;
+}
+
+ReqRate CompiledTrace::value_at(TimePoint t) const {
+  if (t < 0) throw_negative_time();
+  if (t >= size_) return 0.0;
+  return segments_[segment_index(t)].value;
+}
+
+TimePoint CompiledTrace::next_change(TimePoint t) const {
+  if (t < 0) throw_negative_time();
+  if (t >= size_) return kNeverChanges;  // 0 forever
+  return run_end(segment_index(t));
+}
+
+}  // namespace bml

@@ -1,0 +1,114 @@
+// Compiled traces: the run-length form the event-driven simulator walks.
+//
+// A LoadTrace answers point queries (`at`, `next_change`) in O(log
+// #segments); that is fine for occasional lookups but the decision-granular
+// simulator iterates *every* constant-value run of the trace inside each
+// batched span. CompiledTrace materialises, once per trace, the
+// piecewise-constant view as flat (start, value) arrays plus a cursor API
+// so a monotone walk over the runs costs amortised O(1) per run — no
+// binary searches, no virtual dispatch, no TimeSeries indirection in the
+// hot loop.
+//
+// The compiled form is immutable and self-contained (values are copied),
+// so one CompiledTrace can be shared across parallel_for sweep workers the
+// same way DispatchPlan is; the sweep runner compiles shared traces once
+// per sweep instead of once per scenario.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// Immutable run-length (RLE) form of a LoadTrace.
+class CompiledTrace {
+ public:
+  /// One maximal constant-value run; it covers [start, next segment's
+  /// start) — the last segment runs to size().
+  struct Segment {
+    TimePoint start;
+    ReqRate value;
+  };
+
+  /// The value at a time point together with the end of its constant run
+  /// (`end` is the first strictly later time whose value differs;
+  /// std::numeric_limits<TimePoint>::max() when the value holds forever).
+  struct Run {
+    ReqRate value;
+    TimePoint end;
+  };
+
+  /// Walk state for run_at(); value-initialised cursors start at the
+  /// front. One cursor per concurrent walker (cursors are cheap).
+  struct Cursor {
+    std::size_t seg = 0;
+  };
+
+  CompiledTrace() = default;
+  /// Compiles `trace` (O(#segments), reusing the trace's change-point
+  /// index). The compiled form does not reference the trace afterwards.
+  explicit CompiledTrace(const LoadTrace& trace);
+
+  /// Total trace length in seconds (== LoadTrace::size()).
+  [[nodiscard]] TimePoint size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+  [[nodiscard]] const std::vector<Segment>& segments() const {
+    return segments_;
+  }
+
+  /// Rate at `t`; 0 at or beyond the end (mirrors LoadTrace::at, values
+  /// are bit-identical). O(log #segments).
+  [[nodiscard]] ReqRate value_at(TimePoint t) const;
+
+  /// First second after `t` whose value differs from value_at(t); same
+  /// contract as LoadTrace::next_change (the implicit 0 beyond the end
+  /// counts as a change unless the tail already holds 0, in which case the
+  /// result is "never"). O(log #segments).
+  [[nodiscard]] TimePoint next_change(TimePoint t) const;
+
+  /// Value and run end at `t`, amortised O(1) across a walk with
+  /// non-decreasing `t` (the cursor re-seats itself by binary search when
+  /// `t` moved backwards). Throws std::invalid_argument on negative `t`.
+  /// Inline: this is the event-driven simulator's innermost call, executed
+  /// once per trace segment.
+  [[nodiscard]] Run run_at(Cursor& cursor, TimePoint t) const {
+    if (t < 0) throw_negative_time();
+    if (t >= size_) return Run{0.0, kNeverChanges};
+    if (cursor.seg >= segments_.size() || segments_[cursor.seg].start > t) {
+      cursor.seg = segment_index(t);  // walked backwards (or stale cursor)
+    } else {
+      while (cursor.seg + 1 < segments_.size() &&
+             segments_[cursor.seg + 1].start <= t)
+        ++cursor.seg;
+    }
+    return Run{segments_[cursor.seg].value, run_end(cursor.seg)};
+  }
+
+ private:
+  /// "The value holds forever" sentinel.
+  static constexpr TimePoint kNeverChanges =
+      std::numeric_limits<TimePoint>::max();
+
+  [[noreturn]] static void throw_negative_time();
+
+  /// Index of the segment containing `t` (requires 0 <= t < size_).
+  [[nodiscard]] std::size_t segment_index(TimePoint t) const;
+
+  /// End of segment `seg`'s constant run under the tail rule above.
+  [[nodiscard]] TimePoint run_end(std::size_t seg) const {
+    if (seg + 1 < segments_.size()) return segments_[seg + 1].start;
+    // Last stored segment: beyond the end the trace serves the implicit 0,
+    // which only counts as a change when the tail value is non-zero.
+    return segments_[seg].value == 0.0 ? kNeverChanges : size_;
+  }
+
+  std::vector<Segment> segments_;
+  TimePoint size_ = 0;
+};
+
+}  // namespace bml

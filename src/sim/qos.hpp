@@ -8,12 +8,33 @@
 // factor.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "util/units.hpp"
 
 namespace bml {
+
+/// One constant-load run of a piecewise-constant span (see
+/// QosTracker::record_runs).
+struct LoadRun {
+  ReqRate load = 0.0;
+  std::int64_t seconds = 0;
+};
+
+/// Aggregated totals of one span, accumulated by a caller that fused the
+/// per-run QoS arithmetic into its own segment walk (the event-driven
+/// simulator's single-workload fast path). Fields mirror what
+/// record_runs would have accumulated for the same runs.
+struct QosSpanTotals {
+  std::int64_t seconds = 0;
+  std::int64_t violation_seconds = 0;
+  double offered = 0.0;
+  double unserved = 0.0;
+  ReqRate worst_shortfall = 0.0;
+};
 
 /// Application QoS classes from Section III of the paper.
 enum class QosClass {
@@ -70,6 +91,60 @@ class QosTracker {
   /// match `seconds` repeated record() calls (up to floating-point
   /// summation order on the request integrals).
   void record_span(ReqRate load, ReqRate capacity, std::int64_t seconds);
+
+  /// Piecewise-constant span kernel: records every run of `runs` against a
+  /// constant `capacity` in one call — the varying-load counterpart of
+  /// record_span for spans where the fleet is fixed but the trace is not.
+  /// Accumulates locally and flushes once (this runs once per event-driven
+  /// span with one entry per trace segment). Integer counters are exact;
+  /// request integrals match per-second recording up to floating-point
+  /// summation order.
+  ///
+  /// `runs` is any range whose elements expose `load` and `seconds`
+  /// members — LoadRun is the canonical element; the simulator passes its
+  /// fused per-segment scratch rows directly so this loop inlines into
+  /// the span walk.
+  template <typename Runs>
+  void record_runs(const Runs& runs, ReqRate capacity) {
+    if (capacity < 0.0)
+      throw std::invalid_argument("QosTracker: negative load or capacity");
+    std::int64_t total = 0;
+    std::int64_t violation = 0;
+    double offered = 0.0;
+    double unserved = 0.0;
+    ReqRate worst = 0.0;
+    for (const auto& run : runs) {
+      if (run.load < 0.0)
+        throw std::invalid_argument("QosTracker: negative load or capacity");
+      if (run.seconds < 0)
+        throw std::invalid_argument("QosTracker: negative span");
+      if (run.seconds == 0) continue;  // a 0 s run must not touch worst_
+      total += run.seconds;
+      offered += run.load * static_cast<double>(run.seconds);
+      const double shortfall = run.load - capacity;
+      if (shortfall > 0.0) {
+        violation += run.seconds;
+        unserved += shortfall * static_cast<double>(run.seconds);
+        if (shortfall > worst) worst = shortfall;
+      }
+    }
+    stats_.total_seconds += total;
+    stats_.violation_seconds += violation;
+    stats_.offered_requests += offered;
+    stats_.unserved_requests += unserved;
+    stats_.worst_shortfall = std::max(stats_.worst_shortfall, worst);
+  }
+
+  /// Folds caller-accumulated span totals in (the fully fused counterpart
+  /// of record_runs — see QosSpanTotals).
+  void record_totals(const QosSpanTotals& totals) {
+    stats_.total_seconds += totals.seconds;
+    stats_.violation_seconds += totals.violation_seconds;
+    stats_.offered_requests += totals.offered;
+    stats_.unserved_requests += totals.unserved;
+    stats_.worst_shortfall =
+        std::max(stats_.worst_shortfall, totals.worst_shortfall);
+  }
 
   [[nodiscard]] const QosStats& stats() const { return stats_; }
 

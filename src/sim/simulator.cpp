@@ -122,6 +122,17 @@ struct Run {
   /// Scratch: per-app offered load / capacity allocation this span.
   std::vector<ReqRate> loads;
   std::vector<ReqRate> alloc;
+  /// Scratch for the event-driven path: the constant-value sub-runs of the
+  /// current span (one row per trace segment — load for the QoS kernel,
+  /// compute power for the energy kernel), and the On fleet's compiled
+  /// power curve (fixed within a span).
+  struct SegmentRun {
+    ReqRate load;
+    Watts compute;
+    TimePoint seconds;
+  };
+  std::vector<SegmentRun> span_runs;
+  FleetPowerCurve power_curve;
   std::vector<double> power_samples;
   double bucket_max = 0.0;
   std::size_t bucket_fill = 0;
@@ -312,12 +323,14 @@ ReqRate gather_loads(const std::vector<WorkloadView>& views, TimePoint now,
 /// Per-app QoS and energy attribution for a constant-load span (1 s in
 /// the reference loop). Only touches per-app accumulators — the
 /// cluster-wide aggregates are recorded by the callers, unchanged from
-/// the single-workload simulator.
+/// the single-workload simulator. `capacity` is the caller's On capacity
+/// for the span (constant across a fixed-fleet span, so hoisted into the
+/// capacity-parameterized Cluster::split_capacity overload).
 void attribute_span(const std::vector<WorkloadView>& views, Run& run,
                     ReqRate total_load, const ClusterPower& power,
-                    TimePoint span) {
-  run.cluster.split_capacity(run.loads, total_load, run.alloc);
+                    TimePoint span, ReqRate capacity) {
   const auto n = static_cast<double>(views.size());
+  Cluster::split_capacity(run.loads, total_load, capacity, run.alloc);
   for (std::size_t i = 0; i < views.size(); ++i) {
     run.app_qos[i].record_span(run.loads[i], run.alloc[i], span);
     const double compute_share =
@@ -332,6 +345,134 @@ std::size_t longest_trace(const std::vector<WorkloadView>& views) {
   std::size_t n = 0;
   for (const WorkloadView& v : views) n = std::max(n, v.trace->size());
   return n;
+}
+
+/// Advances [begin, end) with a fixed fleet (no transition completes and no
+/// decision is applied inside): walks the intersection of the workloads'
+/// compiled-trace runs, so a span over a per-second-noisy trace costs one
+/// iteration per constant-value sub-run instead of one per second. Each
+/// sub-run's power / QoS / per-app attribution is closed-form; the
+/// cluster-wide piecewise kernels (EnergyMeter::add_runs,
+/// QosTracker::record_runs) and the power bucketing then each consume the
+/// whole run list in one call.
+void advance_span(const std::vector<WorkloadView>& views, Run& run,
+                  const std::vector<const CompiledTrace*>& compiled,
+                  std::vector<CompiledTrace::Cursor>& cursors,
+                  TimePoint begin, TimePoint end,
+                  const SimulatorOptions& options) {
+  run.span_runs.clear();
+  // Fixed fleet for the whole span: capacity and transition power are
+  // constant, and the compute power is the compiled fleet curve of the
+  // per-run load (within a few ulp of Cluster::compute_power — inside
+  // the 1e-9 equivalence contract).
+  const ReqRate capacity_now = run.cluster.on_capacity();
+  const Watts transition = run.cluster.transition_power();
+  run.cluster.compile_power_curve(run.power_curve);
+
+  // Kernel flushes happen in L1-sized chunks: a quiet day can be one span
+  // of 86400 per-second runs, and producing the whole list before walking
+  // it twice (QoS kernel, energy kernel) would stream megabytes through
+  // the cache instead of kilobytes. Chunk boundaries only affect
+  // floating-point summation order; day attribution is unaffected (spans
+  // never straddle days — the caller clamps them).
+  constexpr std::size_t kFlushChunk = 512;
+  const auto flush = [&run, &options, capacity_now, transition] {
+    if (run.span_runs.empty()) return;
+    run.qos.record_runs(run.span_runs, capacity_now);
+    run.meter.add_runs(run.span_runs, transition);
+    if (options.record_power_every > 0) {
+      for (const Run::SegmentRun& sr : run.span_runs) {
+        const double total_power = sr.compute + transition;
+        auto left = static_cast<std::size_t>(sr.seconds);
+        while (left > 0) {
+          const std::size_t chunk =
+              std::min(left, options.record_power_every - run.bucket_fill);
+          run.bucket_max = std::max(run.bucket_max, total_power);
+          run.bucket_fill += chunk;
+          left -= chunk;
+          if (run.bucket_fill == options.record_power_every) {
+            run.power_samples.push_back(run.bucket_max);
+            run.bucket_max = 0.0;
+            run.bucket_fill = 0;
+          }
+        }
+      }
+    }
+    run.span_runs.clear();
+  };
+
+  // Single-workload runs skip per-run attribution entirely: with one app
+  // the capacity, compute and transition shares are all exactly 1.0, so
+  // the per-app accumulators would replay the cluster-wide streams
+  // bit-for-bit — run_event_driven copies them at the end instead.
+  if (views.size() == 1 && options.record_power_every == 0) {
+    // Fully fused single-workload walk — the innermost loop of the whole
+    // simulator on noisy traces. QoS totals and the compute-energy
+    // integral accumulate in registers and flush once per span through
+    // the aggregate kernels; no scratch rows, no second pass. (The meter
+    // runs at step 1.0, so power * seconds is the integrated energy.)
+    const CompiledTrace& trace = *compiled[0];
+    CompiledTrace::Cursor& cursor = cursors[0];
+    QosSpanTotals totals;
+    Joules compute_e = 0.0;
+    TimePoint cur = begin;
+    while (cur < end) {
+      const CompiledTrace::Run r = trace.run_at(cursor, cur);
+      const TimePoint sub_end = r.end < end ? r.end : end;
+      const TimePoint len = sub_end - cur;
+      const auto seconds = static_cast<double>(len);
+      totals.seconds += len;
+      totals.offered += r.value * seconds;
+      if (r.value > capacity_now) {
+        const double shortfall = r.value - capacity_now;
+        totals.violation_seconds += len;
+        totals.unserved += shortfall * seconds;
+        if (shortfall > totals.worst_shortfall)
+          totals.worst_shortfall = shortfall;
+      }
+      compute_e += run.power_curve.power_at(r.value) * seconds;
+      cur = sub_end;
+    }
+    run.qos.record_totals(totals);
+    run.meter.add_integrated_span(compute_e, transition,
+                                  static_cast<std::size_t>(totals.seconds));
+    return;
+  }
+  if (views.size() == 1) {
+    // Single-workload with power recording: the bucketing needs per-run
+    // powers, so go through the scratch rows and the run kernels.
+    const CompiledTrace& trace = *compiled[0];
+    CompiledTrace::Cursor& cursor = cursors[0];
+    TimePoint cur = begin;
+    while (cur < end) {
+      const CompiledTrace::Run r = trace.run_at(cursor, cur);
+      const TimePoint sub_end = r.end < end ? r.end : end;
+      run.span_runs.push_back(Run::SegmentRun{
+          r.value, run.power_curve.power_at(r.value), sub_end - cur});
+      if (run.span_runs.size() == kFlushChunk) flush();
+      cur = sub_end;
+    }
+  } else {
+    TimePoint cur = begin;
+    while (cur < end) {
+      TimePoint sub_end = end;
+      ReqRate total = 0.0;
+      for (std::size_t i = 0; i < views.size(); ++i) {
+        const CompiledTrace::Run r = compiled[i]->run_at(cursors[i], cur);
+        run.loads[i] = r.value;
+        total += r.value;
+        if (r.end < sub_end) sub_end = r.end;
+      }
+      const TimePoint len = sub_end - cur;
+      const Watts compute = run.power_curve.power_at(total);
+      run.span_runs.push_back(Run::SegmentRun{total, compute, len});
+      if (run.span_runs.size() == kFlushChunk) flush();
+      attribute_span(views, run, total, ClusterPower{compute, transition},
+                     len, capacity_now);
+      cur = sub_end;
+    }
+  }
+  flush();
 }
 
 }  // namespace
@@ -362,7 +503,7 @@ MultiSimulationResult Simulator::run_per_second(
     if (power.transition > 0.0)
       run.meter.add_reconfiguration_energy(power.transition * 1.0);
     run.meter.tick();
-    attribute_span(views, run, load, power, 1);
+    attribute_span(views, run, load, power, 1, capacity_now);
     if (run.state.reconfiguring) ++run.result.reconfiguring_seconds;
 
     const int completed = run.cluster.step(1.0);
@@ -396,6 +537,22 @@ MultiSimulationResult Simulator::run_event_driven(
     const std::vector<WorkloadView>& views) const {
   Run run = make_run(candidates_, options_, plan_, views);
 
+  // Compiled (RLE) form of every trace: supplied by the caller (sweeps
+  // share one compilation across all scenarios and worker threads) or
+  // compiled here once per run.
+  std::vector<CompiledTrace> owned;
+  owned.reserve(views.size());
+  std::vector<const CompiledTrace*> compiled(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    if (views[i].compiled != nullptr) {
+      compiled[i] = views[i].compiled;
+    } else {
+      owned.emplace_back(*views[i].trace);
+      compiled[i] = &owned.back();
+    }
+  }
+  std::vector<CompiledTrace::Cursor> cursors(views.size());
+
   const auto n = static_cast<TimePoint>(longest_trace(views));
   TimePoint t = 0;
   while (t < n) {
@@ -418,11 +575,13 @@ MultiSimulationResult Simulator::run_event_driven(
       }
     }
 
-    // 2. Find the next event boundary: any scheduler's decision change,
-    //    machine transition completion (completions land at the end of
-    //    second t + ceil(remaining) - 1), or any trace value change. While
-    //    a reconfiguration with no transitions left is draining (the one
-    //    extra second before the flag clears), tick one second.
+    // 2. Find the next event boundary: any scheduler's decision change, or
+    //    a machine transition completion (completions land at the end of
+    //    second t + ceil(remaining) - 1). While a reconfiguration with no
+    //    transitions left is draining (the one extra second before the
+    //    flag clears), tick one second. Trace value changes do NOT bound
+    //    the span — the simulator advances at decision granularity and the
+    //    varying load is integrated run-by-run below.
     TimePoint span_end;
     if (!run.state.reconfiguring) {
       span_end = stable_until;
@@ -433,37 +592,17 @@ MultiSimulationResult Simulator::run_event_driven(
               ? t + static_cast<TimePoint>(std::ceil(remaining - 1e-9))
               : t + 1;
     }
-    for (const WorkloadView& v : views)
-      span_end = std::min(span_end, v.trace->next_change(t));
+    // Clamping spans at day boundaries costs at most one extra span per
+    // simulated day and lets EnergyMeter::add_runs fuse every sub-run of
+    // a span into one day bucket instead of chunk-splitting per run.
+    span_end = std::min(span_end, (t / kSecondsPerDay + 1) * kSecondsPerDay);
     span_end = std::clamp(span_end, t + 1, n);
     const TimePoint span = span_end - t;
 
-    // 3. Advance the span in closed form: constant fleet + constant loads
-    //    means constant power and constant per-app QoS margins.
-    const ReqRate load = gather_loads(views, t, run);
-    const ClusterPower power = run.cluster.step_power(load);
-    run.qos.record_span(load, run.cluster.on_capacity(), span);
-    run.meter.add_span(power.compute, power.transition,
-                       static_cast<std::size_t>(span));
-    attribute_span(views, run, load, power, span);
+    // 3. Advance the span in closed form: the fleet is constant, so each
+    //    constant-load sub-run has constant power and QoS margins.
+    advance_span(views, run, compiled, cursors, t, span_end, options_);
     if (run.state.reconfiguring) run.result.reconfiguring_seconds += span;
-
-    if (options_.record_power_every > 0) {
-      const double total = power.compute + power.transition;
-      auto left = static_cast<std::size_t>(span);
-      while (left > 0) {
-        const std::size_t chunk =
-            std::min(left, options_.record_power_every - run.bucket_fill);
-        run.bucket_max = std::max(run.bucket_max, total);
-        run.bucket_fill += chunk;
-        left -= chunk;
-        if (run.bucket_fill == options_.record_power_every) {
-          run.power_samples.push_back(run.bucket_max);
-          run.bucket_max = 0.0;
-          run.bucket_fill = 0;
-        }
-      }
-    }
 
     // 4. Machine transitions progress; completions land exactly at the
     //    end of the span (Cluster::step is exact for multi-second steps).
@@ -476,6 +615,13 @@ MultiSimulationResult Simulator::run_event_driven(
     run.result.peak_machines =
         std::max(run.result.peak_machines, run.cluster.machine_count());
     t = span_end;
+  }
+  // Single-workload runs: the per-app streams are exactly the cluster-wide
+  // streams (every share is 1.0), so advance_span skipped them — install
+  // the aggregates as the app slice.
+  if (views.size() == 1) {
+    run.app_qos[0] = run.qos;
+    run.app_meters[0] = run.meter;
   }
   MultiSimulationResult out;
   finalize_run(run, options_, views, out);

@@ -33,14 +33,19 @@
 //   * the per-second reference loop — one tick per simulated second, the
 //     direct transcription of the paper's simulator, and the only mode
 //     that can record per-second event logs;
-//   * the event-driven fast path (default) — between events nothing in the
-//     system changes (every scheduler's decision is stable, no machine
-//     transition completes, no trace value changes), so the simulator
-//     advances to the next event boundary in one step and accumulates
-//     energy / QoS / power-bucket state in closed form. Multi-workload
-//     spans intersect the per-workload stability bounds. Steady traces
-//     replay orders of magnitude faster; see bench_micro's
-//     BM_SimulatorWeek benchmarks, tests/test_simulator_fastpath.cpp and
+//   * the event-driven fast path (default) — the simulator advances at
+//     *decision* granularity: a span lasts until some scheduler's decision
+//     may change or a machine transition completes. Trace value changes do
+//     NOT break spans; inside a span the fleet is fixed, so the varying
+//     load is integrated by walking the traces' compiled run-length
+//     segments (sim/compiled_trace.hpp) and feeding the piecewise-constant
+//     kernels (EnergyMeter::add_runs, QosTracker::record_runs, power
+//     bucketing) — a per-second-noisy trace whose values stay inside one
+//     decision-threshold bucket (core/decision_thresholds.hpp) costs zero
+//     scheduler evaluations. Multi-workload spans intersect the
+//     per-workload stability bounds and per-app trace runs. Steady *and*
+//     noisy traces replay orders of magnitude faster; see bench_micro's
+//     BM_SimulatorWeek* benchmarks, tests/test_simulator_fastpath.cpp and
 //     tests/test_multi_workload.cpp for the equivalence guarantee.
 #pragma once
 
@@ -54,6 +59,7 @@
 #include "power/energy_meter.hpp"
 #include "sched/coordinator.hpp"
 #include "sim/cluster.hpp"
+#include "sim/compiled_trace.hpp"
 #include "sim/event_log.hpp"
 #include "sim/qos.hpp"
 #include "sim/scheduler.hpp"
@@ -141,6 +147,10 @@ class Simulator {
     Scheduler* scheduler;
     QosClass qos;
     double share;
+    /// Optional precompiled RLE form of `trace` (must be compiled from the
+    /// same trace). Sweeps pass one shared compilation across scenarios;
+    /// when null the event-driven path compiles its own once per run.
+    const CompiledTrace* compiled = nullptr;
   };
 
   Simulator(Catalog candidates, SimulatorOptions options = {});

@@ -54,6 +54,13 @@ class LoadTrace {
 
   [[nodiscard]] const TimeSeries& series() const { return series_; }
 
+  /// Indices i with series[i] != series[i - 1], ascending — the segment
+  /// starts of the piecewise-constant view. Consumed by
+  /// sim/compiled_trace.hpp to build the RLE form in O(#segments).
+  [[nodiscard]] const std::vector<std::size_t>& change_points() const {
+    return change_points_;
+  }
+
   /// CSV round-trip: single `rate` column, one row per second.
   [[nodiscard]] std::string to_csv() const;
   [[nodiscard]] static LoadTrace from_csv(const std::string& text);

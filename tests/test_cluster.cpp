@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/candidate_filter.hpp"
 
 namespace bml {
@@ -125,6 +127,64 @@ TEST(Cluster, SwitchOnReusesOffMachinesAcrossCycles) {
   // Asking beyond the parked pool still provisions fresh machines.
   cluster.switch_on(2, 2);
   EXPECT_EQ(cluster.machine_count(), provisioned + 2);
+}
+
+TEST(Cluster, NextTransitionRemainingMaintainedIncrementally) {
+  // next_transition_remaining is O(1) off an incrementally maintained
+  // minimum; this mirrors the fleet with a hand-kept list of remaining
+  // times through on/off commands, partial steps, and completions.
+  const Catalog c = candidates();
+  Cluster cluster(c, Combination({0, 2, 0}));
+  std::vector<Seconds> mirror;
+
+  const auto expected_min = [&]() -> Seconds {
+    Seconds next = -1.0;
+    for (Seconds r : mirror)
+      if (next < 0.0 || r < next) next = r;
+    return next;
+  };
+  const auto advance = [&](Seconds dt) {
+    cluster.step(dt);
+    std::vector<Seconds> kept;
+    for (Seconds r : mirror)
+      if (r - dt > 1e-9) kept.push_back(r - dt);
+    mirror = std::move(kept);
+  };
+
+  EXPECT_LT(cluster.next_transition_remaining(), 0.0);
+
+  cluster.switch_on(2, 1);
+  mirror.push_back(c[2].on_cost().duration);
+  EXPECT_DOUBLE_EQ(cluster.next_transition_remaining(), expected_min());
+
+  cluster.switch_on(1, 1);  // provisions a fresh chromebook (12 s boot)
+  mirror.push_back(c[1].on_cost().duration);
+  EXPECT_DOUBLE_EQ(cluster.next_transition_remaining(), expected_min());
+
+  cluster.switch_off(1, 1);  // one of the initially-On chromebooks
+  mirror.push_back(c[1].off_cost().duration);
+  EXPECT_DOUBLE_EQ(cluster.next_transition_remaining(), expected_min());
+
+  // Step through every completion; after each step the cached minimum must
+  // re-derive to the smallest *surviving* transition.
+  int guard = 0;
+  while (cluster.transitioning() && ++guard < 1000) {
+    advance(1.0);
+    EXPECT_DOUBLE_EQ(cluster.next_transition_remaining(), expected_min());
+  }
+  EXPECT_TRUE(mirror.empty());
+  EXPECT_LT(cluster.next_transition_remaining(), 0.0);
+
+  // A multi-second step bounded by the reported minimum is exact too.
+  cluster.switch_on(0, 1);
+  mirror.push_back(c[0].on_cost().duration);
+  const Seconds bound = cluster.next_transition_remaining();
+  EXPECT_DOUBLE_EQ(bound, expected_min());
+  advance(bound / 2.0);
+  EXPECT_DOUBLE_EQ(cluster.next_transition_remaining(), expected_min());
+  advance(bound / 2.0);
+  EXPECT_FALSE(cluster.transitioning());
+  EXPECT_LT(cluster.next_transition_remaining(), 0.0);
 }
 
 TEST(Cluster, ZeroCountCommandsAreNoOps) {

@@ -1,0 +1,102 @@
+// CompiledTrace must be an exact run-length mirror of its LoadTrace:
+// identical values, identical next-change semantics (including the
+// implicit-zero tail rule), and a cursor walk that agrees with point
+// queries whether it moves forward second-by-second, jumps across runs,
+// or is re-seated backwards.
+#include "sim/compiled_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "trace/synthetic.hpp"
+#include "trace/trace.hpp"
+
+namespace bml {
+namespace {
+
+constexpr TimePoint kNever = std::numeric_limits<TimePoint>::max();
+
+void expect_mirrors(const LoadTrace& trace) {
+  const CompiledTrace compiled(trace);
+  ASSERT_EQ(compiled.size(), static_cast<TimePoint>(trace.size()));
+  CompiledTrace::Cursor cursor;
+  for (TimePoint t = 0; t < compiled.size() + 3; ++t) {
+    EXPECT_EQ(compiled.value_at(t), trace.at(t)) << "t=" << t;
+    EXPECT_EQ(compiled.next_change(t), trace.next_change(t)) << "t=" << t;
+    const CompiledTrace::Run run = compiled.run_at(cursor, t);
+    EXPECT_EQ(run.value, trace.at(t)) << "t=" << t;
+    EXPECT_EQ(run.end, trace.next_change(t)) << "t=" << t;
+  }
+}
+
+TEST(CompiledTrace, MirrorsStepTrace) {
+  expect_mirrors(step_trace({{100.0, 5.0}, {250.0, 3.0}, {100.0, 4.0}}));
+}
+
+TEST(CompiledTrace, MirrorsNoisyTrace) {
+  DiurnalOptions options;
+  options.peak = 900.0;
+  options.noise = 0.3;  // changes (nearly) every second
+  options.seed = 5;
+  expect_mirrors(diurnal_trace(options, 1));
+}
+
+TEST(CompiledTrace, MirrorsConstantTrace) {
+  expect_mirrors(constant_trace(42.0, 10.0));
+}
+
+TEST(CompiledTrace, ZeroTailNeverChanges) {
+  const LoadTrace trace = step_trace({{10.0, 4.0}, {0.0, 4.0}});
+  const CompiledTrace compiled(trace);
+  // Inside the zero tail the implicit 0 beyond the end is not a change.
+  EXPECT_EQ(compiled.next_change(5), kNever);
+  CompiledTrace::Cursor cursor;
+  EXPECT_EQ(compiled.run_at(cursor, 5).end, kNever);
+}
+
+TEST(CompiledTrace, NonZeroTailChangesAtEnd) {
+  const LoadTrace trace = constant_trace(7.0, 6.0);
+  const CompiledTrace compiled(trace);
+  EXPECT_EQ(compiled.next_change(2), static_cast<TimePoint>(trace.size()));
+}
+
+TEST(CompiledTrace, EmptyTrace) {
+  const CompiledTrace compiled((LoadTrace()));
+  EXPECT_TRUE(compiled.empty());
+  EXPECT_EQ(compiled.segment_count(), 0u);
+  EXPECT_EQ(compiled.value_at(0), 0.0);
+  EXPECT_EQ(compiled.next_change(0), kNever);
+  CompiledTrace::Cursor cursor;
+  EXPECT_EQ(compiled.run_at(cursor, 0).value, 0.0);
+}
+
+TEST(CompiledTrace, CursorJumpsAndBackwardsReseat) {
+  const LoadTrace trace = step_trace(
+      {{10.0, 100.0}, {20.0, 100.0}, {30.0, 100.0}, {40.0, 100.0}});
+  const CompiledTrace compiled(trace);
+  CompiledTrace::Cursor cursor;
+  EXPECT_EQ(compiled.run_at(cursor, 350).value, 40.0);  // long forward jump
+  EXPECT_EQ(compiled.run_at(cursor, 50).value, 10.0);   // backwards re-seat
+  EXPECT_EQ(compiled.run_at(cursor, 150).value, 20.0);
+  EXPECT_EQ(compiled.run_at(cursor, 150).end, 200);
+}
+
+TEST(CompiledTrace, SegmentCountMatchesChangePoints) {
+  const LoadTrace trace = step_trace({{5.0, 2.0}, {6.0, 2.0}, {5.0, 2.0}});
+  const CompiledTrace compiled(trace);
+  EXPECT_EQ(compiled.segment_count(), trace.change_points().size() + 1);
+  EXPECT_EQ(compiled.segments().front().start, 0);
+  EXPECT_EQ(compiled.segments().front().value, 5.0);
+}
+
+TEST(CompiledTrace, NegativeTimeThrows) {
+  const CompiledTrace compiled(constant_trace(1.0, 5.0));
+  CompiledTrace::Cursor cursor;
+  EXPECT_THROW((void)compiled.value_at(-1), std::invalid_argument);
+  EXPECT_THROW((void)compiled.next_change(-1), std::invalid_argument);
+  EXPECT_THROW((void)compiled.run_at(cursor, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bml

@@ -1,0 +1,79 @@
+// DecisionThresholds must partition the rate axis exactly as the
+// CombinationTable's entries do: equal bucket indices <=> equal adjacent
+// combination runs, with the table's round-up-to-grid lookup rule and a
+// clamp into the last bucket beyond max_rate.
+#include "core/decision_thresholds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/bml_design.hpp"
+#include "trace/synthetic.hpp"
+
+namespace bml {
+namespace {
+
+const BmlDesign& design() {
+  static const BmlDesign d = BmlDesign::build(real_catalog());
+  return d;
+}
+
+TEST(DecisionThresholds, BuiltAlongsideTheTable) {
+  ASSERT_NE(design().table(), nullptr);
+  ASSERT_NE(design().decision_thresholds(), nullptr);
+  EXPECT_EQ(design().decision_thresholds()->max_rate(), design().max_rate());
+}
+
+TEST(DecisionThresholds, BucketChangesExactlyWhereTheTableEntryDoes) {
+  const CombinationTable& table = *design().table();
+  const DecisionThresholds thresholds(table);
+  std::size_t expected = 0;
+  EXPECT_EQ(thresholds.index_for(0.0), 0u);
+  for (std::size_t g = 1; g < table.grid_size(); ++g) {
+    if (table.grid_entry(g) != table.grid_entry(g - 1)) ++expected;
+    EXPECT_EQ(thresholds.index_for(static_cast<ReqRate>(g)), expected)
+        << "grid rate " << g;
+  }
+  EXPECT_EQ(thresholds.bucket_count(), expected + 1);
+}
+
+TEST(DecisionThresholds, FractionalRatesRoundUpLikeTheTable) {
+  const DecisionThresholds& thresholds = *design().decision_thresholds();
+  const CombinationTable& table = *design().table();
+  for (double rate : {0.25, 17.5, 99.999, 1234.5, 2500.0001}) {
+    EXPECT_EQ(thresholds.index_for(rate),
+              thresholds.index_for(std::ceil(rate)))
+        << rate;
+    // Same bucket <=> same combination for a rate and its grid round-up.
+    EXPECT_EQ(table.combination(rate), table.combination(std::ceil(rate)));
+  }
+}
+
+TEST(DecisionThresholds, SameBucketImpliesSameCombination) {
+  const DecisionThresholds& thresholds = *design().decision_thresholds();
+  const CombinationTable& table = *design().table();
+  const double step = table.max_rate() / 997.0;
+  for (double a = 0.0; a + step <= table.max_rate(); a += step) {
+    if (thresholds.index_for(a) == thresholds.index_for(a + step))
+      EXPECT_EQ(table.combination(a), table.combination(a + step)) << a;
+  }
+}
+
+TEST(DecisionThresholds, ClampsBeyondMaxRateIntoLastBucket) {
+  const DecisionThresholds& thresholds = *design().decision_thresholds();
+  EXPECT_EQ(thresholds.index_for(thresholds.max_rate() * 10.0),
+            thresholds.index_for(thresholds.max_rate()));
+  EXPECT_TRUE(thresholds.same_bucket(thresholds.max_rate() * 2.0,
+                                     thresholds.index_for(
+                                         thresholds.max_rate())));
+}
+
+TEST(DecisionThresholds, NegativeRateThrows) {
+  EXPECT_THROW((void)design().decision_thresholds()->index_for(-1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bml

@@ -83,6 +83,68 @@ TEST(DispatchPlan, MatchesPiecewiseProfiles) {
         << "load=" << load;
 }
 
+TEST(FleetPowerCurve, MatchesPowerAtWithinReassociation) {
+  // The compiled fleet curve may refactor each affine piece's sum, so the
+  // contract is 1e-12 relative (far inside the simulator's 1e-9), across
+  // fleets, loads, and exact machine boundaries.
+  const Catalog catalog = real_catalog();
+  const DispatchPlan plan(catalog);
+  const BmlDesign design = BmlDesign::build(catalog);
+
+  FleetPowerCurve curve;
+  for (double rate : {0.0, 9.0, 140.0, 800.0, 2500.0, 4800.0}) {
+    Combination combo = design.ideal_combination(rate);
+    combo.resize(catalog.size());
+    plan.compile_fleet(combo.counts(), curve);
+    const auto expect_matches = [&](double load) {
+      const Watts reference = plan.power_at(combo.counts(), load);
+      const double tolerance = 1e-12 * std::max(1.0, std::abs(reference));
+      EXPECT_NEAR(curve.power_at(load), reference, tolerance)
+          << "rate=" << rate << " load=" << load;
+    };
+    for (double load = 0.0; load <= rate + 100.0; load += 3.7)
+      expect_matches(load);
+    // Exact machine boundaries of every architecture.
+    for (std::size_t a = 0; a < catalog.size(); ++a)
+      for (int j = 1; j <= combo.counts()[a]; ++j)
+        expect_matches(j * catalog[a].max_perf());
+    expect_matches(capacity(catalog, combo));
+    expect_matches(capacity(catalog, combo) + 500.0);  // beyond capacity
+  }
+}
+
+TEST(FleetPowerCurve, MatchesPowerAtWithPiecewiseProfiles) {
+  // Non-linear (piecewise-model) architectures end the affine table; the
+  // general loop must take over and agree with the plan.
+  const ArchitectureProfile bent(
+      "bent",
+      std::vector<PowerSample>{{0.0, 10.0}, {50.0, 90.0}, {100.0, 100.0}},
+      TransitionCost{5.0, 50.0}, TransitionCost{2.0, 10.0});
+  const ArchitectureProfile linear("lin", 200.0, 20.0, 120.0,
+                                   TransitionCost{5.0, 50.0},
+                                   TransitionCost{2.0, 10.0});
+  const Catalog catalog{linear, bent};
+  const DispatchPlan plan(catalog);
+  const Combination combo{std::vector<int>{2, 3}};
+  FleetPowerCurve curve;
+  plan.compile_fleet(combo.counts(), curve);
+  for (double load = 0.0; load <= 800.0; load += 13.7) {
+    const Watts reference = plan.power_at(combo.counts(), load);
+    const double tolerance = 1e-12 * std::max(1.0, std::abs(reference));
+    EXPECT_NEAR(curve.power_at(load), reference, tolerance) << load;
+  }
+}
+
+TEST(FleetPowerCurve, EmptyFleetIsAllZero) {
+  const Catalog catalog = real_catalog();
+  const DispatchPlan plan(catalog);
+  const std::vector<int> none(catalog.size(), 0);
+  FleetPowerCurve curve;
+  plan.compile_fleet(none, curve);
+  EXPECT_EQ(curve.power_at(0.0), 0.0);
+  EXPECT_EQ(curve.power_at(1234.5), 0.0);
+}
+
 TEST(DispatchPlan, CapacityMatches) {
   const Catalog catalog = real_catalog();
   const DispatchPlan plan(catalog);

@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
+#include "util/units.hpp"
+
 namespace bml {
 namespace {
 
@@ -68,6 +73,73 @@ TEST(EnergyMeter, Validation) {
   EnergyMeter meter;
   EXPECT_THROW(meter.add_compute_sample(-1.0), std::invalid_argument);
   EXPECT_THROW(meter.add_reconfiguration_energy(-1.0), std::invalid_argument);
+}
+
+TEST(EnergyMeter, AddRunsMatchesPerRunAddSpan) {
+  // The piecewise kernel must match run-by-run add_span accumulation,
+  // including runs that straddle day boundaries (the chunked fallback).
+  const std::vector<PowerRun> runs{
+      {40.0, 1000}, {75.0, static_cast<std::size_t>(kSecondsPerDay)},
+      {10.0, 5},    {0.0, 200},
+      {33.5, static_cast<std::size_t>(kSecondsPerDay) / 2}};
+  EnergyMeter kernel(1.0);
+  EnergyMeter reference(1.0);
+  kernel.add_runs(runs, 3.25);
+  for (const PowerRun& run : runs)
+    reference.add_span(run.compute, 3.25, run.seconds);
+
+  EXPECT_NEAR(kernel.compute_energy(), reference.compute_energy(), 1e-9);
+  EXPECT_DOUBLE_EQ(kernel.reconfiguration_energy(),
+                   reference.reconfiguration_energy());
+  EXPECT_DOUBLE_EQ(kernel.elapsed(), reference.elapsed());
+  ASSERT_EQ(kernel.per_day_compute().size(),
+            reference.per_day_compute().size());
+  for (std::size_t d = 0; d < reference.per_day_compute().size(); ++d) {
+    EXPECT_NEAR(kernel.per_day_compute()[d], reference.per_day_compute()[d],
+                1e-9)
+        << "day " << d;
+    EXPECT_NEAR(kernel.per_day_reconfiguration()[d],
+                reference.per_day_reconfiguration()[d], 1e-9)
+        << "day " << d;
+  }
+}
+
+TEST(EnergyMeter, AddRunsRejectsNegativeSignedSeconds) {
+  // The kernel accepts any run shape; signed lengths must be validated
+  // instead of wrapping through the unsigned fused-batch arithmetic.
+  struct SignedRun {
+    double compute;
+    long long seconds;
+  };
+  EnergyMeter meter(1.0);
+  EXPECT_THROW(meter.add_runs(std::vector<SignedRun>{{10.0, -5}}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(meter.add_runs(std::vector<SignedRun>{{-10.0, 5}}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(EnergyMeter, AddIntegratedSpanMatchesAddSpan) {
+  EnergyMeter fused(1.0);
+  EnergyMeter reference(1.0);
+  // 100 s at 42 W: the caller pre-integrated 4200 J.
+  fused.add_integrated_span(42.0 * 100.0, 5.0, 100);
+  reference.add_span(42.0, 5.0, 100);
+  EXPECT_DOUBLE_EQ(fused.compute_energy(), reference.compute_energy());
+  EXPECT_DOUBLE_EQ(fused.reconfiguration_energy(),
+                   reference.reconfiguration_energy());
+  EXPECT_DOUBLE_EQ(fused.elapsed(), reference.elapsed());
+}
+
+TEST(EnergyMeter, AddIntegratedSpanRejectsDayStraddle) {
+  EnergyMeter meter(1.0);
+  meter.add_span(10.0, 0.0, 100);  // now 100 s into day 0
+  EXPECT_THROW(meter.add_integrated_span(
+                   1.0, 0.0, static_cast<std::size_t>(kSecondsPerDay)),
+               std::logic_error);
+  EXPECT_THROW(meter.add_integrated_span(-1.0, 0.0, 10),
+               std::invalid_argument);
+  EXPECT_THROW(meter.add_integrated_span(1.0, -1.0, 10),
+               std::invalid_argument);
 }
 
 TEST(EnergyMeter, PerDaySumsMatchTotals) {

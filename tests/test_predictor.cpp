@@ -190,6 +190,71 @@ TEST(MovingMaxPredictor, StableUntilIsSoundOnSpikyTrace) {
   expect_stability_sound(p, LoadTrace(rates), 30.0);
 }
 
+/// `n_alternating` one-second segments (1, 2, 1, 2, ...) followed by a
+/// zero tail — every second in the alternating prefix is its own
+/// run-length segment, which pins the 64-segment walk cap exactly.
+LoadTrace alternating_then_zero(int n_alternating, Seconds tail) {
+  std::vector<StepSegment> segments;
+  for (int i = 0; i < n_alternating; ++i)
+    segments.push_back({i % 2 == 1 ? 2.0 : 1.0, 1.0});
+  segments.push_back({0.0, tail});
+  return step_trace(segments);
+}
+
+TEST(MovingMaxPredictor, SegmentCapBoundaryExactly64SegmentsBatches) {
+  // Window [0, 64) holds exactly 64 segments: the walk completes and the
+  // bound is real — the trailing max stays 2 until the last 2 (t = 63)
+  // slides out of the window at t = 63 + 64 + 1 = 128.
+  MovingMaxPredictor p(64.0);
+  const LoadTrace trace = alternating_then_zero(64, 300.0);
+  EXPECT_EQ(p.stable_until(trace, 64, 1.0), 128);
+}
+
+TEST(MovingMaxPredictor, SegmentCapBoundary65SegmentsDegradesToPerSecond) {
+  // One segment past the cap: the walk bails out and the bound degrades
+  // gracefully to now + 1 (per-second querying).
+  MovingMaxPredictor p(65.0);
+  const LoadTrace trace = alternating_then_zero(65, 300.0);
+  EXPECT_EQ(p.stable_until(trace, 65, 1.0), 66);
+}
+
+TEST(MovingMaxPredictor, StableUntilIsSoundOnNoisyTrace) {
+  // A per-second-varying window (hundreds of segments): the cap forces
+  // now + 1 in the noisy stretches, which must still be sound.
+  DiurnalOptions options;
+  options.peak = 400.0;
+  options.noise = 0.3;
+  options.seed = 13;
+  LoadTrace day = diurnal_trace(options, 1);
+  std::vector<double> rates;
+  for (std::size_t t = 0; t < 900; ++t)
+    rates.push_back(day.at(static_cast<TimePoint>(t)));
+  MovingMaxPredictor p(90.0);
+  expect_stability_sound(p, LoadTrace(rates), 30.0);
+}
+
+TEST(SeasonalPredictor, StableUntilIsSoundOnNoisyTrace) {
+  DiurnalOptions options;
+  options.peak = 300.0;
+  options.noise = 0.25;
+  options.seed = 19;
+  LoadTrace day = diurnal_trace(options, 1);
+  std::vector<double> rates;
+  for (std::size_t t = 0; t < 1500; ++t)
+    rates.push_back(day.at(static_cast<TimePoint>(t)));
+  SeasonalPredictor p(/*period=*/600.0, /*headroom=*/1.1);
+  expect_stability_sound(p, LoadTrace(rates), 50.0);
+}
+
+TEST(LastValuePredictor, StableUntilTracksTraceChanges) {
+  const LoadTrace trace = step_trace({{10.0, 5.0}, {20.0, 5.0}});
+  LastValuePredictor p;
+  // predict(t) reads at(t - 1): the value observed at t = 3 (10.0) holds
+  // until one second after the trace steps at t = 5.
+  EXPECT_EQ(p.stable_until(trace, 3, 1.0), 6);
+  expect_stability_sound(p, trace, 1.0);
+}
+
 TEST(MovingMaxPredictor, StableForeverOnceTraceDrained) {
   const LoadTrace trace = step_trace({{700.0, 100.0}, {0.0, 100.0}});
   MovingMaxPredictor p(50.0);

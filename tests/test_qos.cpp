@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 namespace bml {
 namespace {
 
@@ -46,6 +49,75 @@ TEST(QosTracker, RejectsNegativeInputs) {
   QosTracker tracker;
   EXPECT_THROW((void)tracker.record(-1.0, 5.0), std::invalid_argument);
   EXPECT_THROW((void)tracker.record(1.0, -5.0), std::invalid_argument);
+}
+
+TEST(QosTracker, RecordRunsMatchesPerRunRecordSpan) {
+  const std::vector<LoadRun> runs{
+      {500.0, 120}, {900.0, 37}, {0.0, 60}, {810.5, 1}, {799.99, 9}};
+  const ReqRate capacity = 800.0;
+  QosTracker kernel;
+  QosTracker reference;
+  kernel.record_runs(runs, capacity);
+  for (const LoadRun& run : runs)
+    reference.record_span(run.load, capacity, run.seconds);
+
+  EXPECT_EQ(kernel.stats().total_seconds, reference.stats().total_seconds);
+  EXPECT_EQ(kernel.stats().violation_seconds,
+            reference.stats().violation_seconds);
+  EXPECT_DOUBLE_EQ(kernel.stats().worst_shortfall,
+                   reference.stats().worst_shortfall);
+  EXPECT_NEAR(kernel.stats().offered_requests,
+              reference.stats().offered_requests, 1e-9);
+  EXPECT_NEAR(kernel.stats().unserved_requests,
+              reference.stats().unserved_requests, 1e-9);
+}
+
+TEST(QosTracker, RecordRunsValidatesInputs) {
+  QosTracker tracker;
+  EXPECT_THROW(tracker.record_runs(std::vector<LoadRun>{{-1.0, 5}}, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(tracker.record_runs(std::vector<LoadRun>{{1.0, -5}}, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(tracker.record_runs(std::vector<LoadRun>{{1.0, 5}}, -1.0),
+               std::invalid_argument);
+  // A zero-length run must not touch worst_shortfall.
+  tracker.record_runs(std::vector<LoadRun>{{500.0, 0}}, 10.0);
+  EXPECT_EQ(tracker.stats().worst_shortfall, 0.0);
+  EXPECT_EQ(tracker.stats().total_seconds, 0);
+}
+
+TEST(QosTracker, RecordTotalsFoldsAggregates) {
+  QosTracker via_totals;
+  QosTracker reference;
+  QosSpanTotals totals;
+  const struct {
+    ReqRate load;
+    std::int64_t seconds;
+  } runs[] = {{500.0, 100}, {900.0, 10}, {850.0, 3}};
+  const ReqRate capacity = 800.0;
+  for (const auto& r : runs) {
+    reference.record_span(r.load, capacity, r.seconds);
+    totals.seconds += r.seconds;
+    totals.offered += r.load * static_cast<double>(r.seconds);
+    if (r.load > capacity) {
+      const double shortfall = r.load - capacity;
+      totals.violation_seconds += r.seconds;
+      totals.unserved += shortfall * static_cast<double>(r.seconds);
+      if (shortfall > totals.worst_shortfall)
+        totals.worst_shortfall = shortfall;
+    }
+  }
+  via_totals.record_totals(totals);
+  EXPECT_EQ(via_totals.stats().total_seconds,
+            reference.stats().total_seconds);
+  EXPECT_EQ(via_totals.stats().violation_seconds,
+            reference.stats().violation_seconds);
+  EXPECT_DOUBLE_EQ(via_totals.stats().worst_shortfall,
+                   reference.stats().worst_shortfall);
+  EXPECT_NEAR(via_totals.stats().offered_requests,
+              reference.stats().offered_requests, 1e-9);
+  EXPECT_NEAR(via_totals.stats().unserved_requests,
+              reference.stats().unserved_requests, 1e-9);
 }
 
 TEST(QosTracker, SpanAccountingMatchesPerSecondAcrossCapacityBoundary) {

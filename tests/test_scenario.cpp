@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -489,6 +490,74 @@ TEST(RunSweep, SharedTraceMatchesPerScenarioGeneration) {
   ScenarioSpec conflicting = spec;
   conflicting.sweeps.push_back(SweepAxis{"trace.segments", {"10:60"}});
   EXPECT_THROW((void)run_sweep(conflicting, shared), std::runtime_error);
+}
+
+TEST(RunSweep, NonBuildAxesShareOneBuild) {
+  // None of these axes touch catalog / design / trace / seed inputs, so
+  // the whole 8-point grid must build exactly one CombinationTable (the
+  // build-count probe) and every row must still match an individually run
+  // scenario.
+  ScenarioSpec spec;
+  spec.name = "cache";
+  spec.trace = "step";
+  spec.trace_params["segments"] = "150:600;1900:600;90:600";
+  spec.sweeps.push_back(SweepAxis{"scheduler", {"bml", "reactive"}});
+  spec.sweeps.push_back(SweepAxis{"predictor", {"oracle-max", "moving-max"}});
+  spec.sweeps.push_back(SweepAxis{"qos", {"tolerant", "critical"}});
+
+  const std::uint64_t before = CombinationTable::built_count();
+  SweepOptions options;
+  options.threads = 4;
+  const SweepReport report = run_sweep(spec, options);
+  EXPECT_EQ(CombinationTable::built_count() - before, 1u);
+  ASSERT_EQ(report.rows.size(), 8u);
+
+  const std::vector<ScenarioSpec> points = expand_sweep(spec);
+  ASSERT_EQ(points.size(), report.rows.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScenarioResult solo = run_scenario(points[i]);
+    EXPECT_EQ(report.rows[i].scenario, solo.spec.name);
+    EXPECT_DOUBLE_EQ(report.rows[i].total_energy, solo.sim.total_energy());
+    EXPECT_DOUBLE_EQ(report.rows[i].compute_energy, solo.sim.compute_energy);
+    EXPECT_EQ(report.rows[i].reconfigurations, solo.sim.reconfigurations);
+    EXPECT_EQ(report.rows[i].qos_violation_seconds,
+              solo.sim.qos.violation_seconds);
+  }
+}
+
+TEST(RunSweep, BuildAxesFallBackToPerScenarioBuilds) {
+  ScenarioSpec spec;
+  spec.name = "nocache";
+  spec.trace = "constant";
+  spec.trace_params["rate"] = "300";
+  spec.trace_params["duration"] = "600";
+  spec.sweeps.push_back(SweepAxis{"design.max_rate", {"1000", "2000"}});
+
+  const std::uint64_t before = CombinationTable::built_count();
+  SweepOptions options;
+  options.threads = 1;
+  const SweepReport report = run_sweep(spec, options);
+  ASSERT_EQ(report.rows.size(), 2u);
+  // A design axis changes the table itself: one build per grid point.
+  EXPECT_EQ(CombinationTable::built_count() - before, 2u);
+}
+
+TEST(RunSweep, TraceAndSeedAxesAlsoBlockSharing) {
+  ScenarioSpec spec;
+  spec.name = "noisy";
+  spec.trace = "diurnal";
+  spec.trace_params["days"] = "1";
+  spec.trace_params["peak"] = "500";
+  spec.sweeps.push_back(SweepAxis{"seed", {"1", "2"}});
+
+  const std::uint64_t before = CombinationTable::built_count();
+  const SweepReport report = run_sweep(spec, SweepOptions{.threads = 1});
+  ASSERT_EQ(report.rows.size(), 2u);
+  // The seed feeds trace generation (and trace-peak design sizing): the
+  // build must not be shared.
+  EXPECT_EQ(CombinationTable::built_count() - before, 2u);
+  // Different seeds really did produce different workloads.
+  EXPECT_NE(report.rows[0].total_energy, report.rows[1].total_energy);
 }
 
 TEST(RunSweep, UnresolvableSpecThrows) {

@@ -11,6 +11,8 @@
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/bml_design.hpp"
 #include "predict/predictor.hpp"
@@ -133,6 +135,140 @@ TEST(SimulatorFastPath, WorldCupStyleTrace) {
   options.days = 3;
   options.peak = 3000.0;
   expect_equivalent(oracle_bml, worldcup_like_trace(options));
+}
+
+/// Two days of per-second-varying WC98-style replay (Poisson arrivals, a
+/// tournament day included): the regime where decision-granular batching
+/// must stay exact while the trace changes every second.
+LoadTrace noisy_worldcup_trace() {
+  WorldCupOptions options;
+  options.days = 2;
+  options.peak = 3000.0;
+  options.tournament_start_day = 1;
+  options.tournament_end_day = 2;
+  return worldcup_like_trace(options);
+}
+
+TEST(SimulatorFastPath, NoisyWorldCupReplay) {
+  expect_equivalent(oracle_bml, noisy_worldcup_trace());
+}
+
+TEST(SimulatorFastPath, NoisyWorldCupImmediateOff) {
+  SimulatorOptions options;
+  options.graceful_off = false;
+  expect_equivalent(oracle_bml, noisy_worldcup_trace(), options);
+}
+
+TEST(SimulatorFastPath, NoisyWorldCupWithBootFaults) {
+  SimulatorOptions options;
+  options.faults.boot_time_jitter = 0.3;
+  options.faults.boot_failure_prob = 0.2;
+  options.faults.seed = 17;
+  expect_equivalent(oracle_bml, noisy_worldcup_trace(), options);
+}
+
+TEST(SimulatorFastPath, NoisyWorldCupPowerSeriesRecording) {
+  SimulatorOptions options;
+  options.record_power_every = 60;
+  expect_equivalent(oracle_bml, noisy_worldcup_trace(), options);
+}
+
+TEST(SimulatorFastPath, NoisyWorldCupReactiveScheduler) {
+  expect_equivalent(
+      [] { return std::make_unique<ReactiveScheduler>(design()); },
+      noisy_worldcup_trace());
+}
+
+TEST(SimulatorFastPath, NoisyWorldCupMovingMaxPredictor) {
+  expect_equivalent(
+      [] {
+        return std::make_unique<BmlScheduler>(
+            design(), std::make_shared<MovingMaxPredictor>(378.0));
+      },
+      noisy_worldcup_trace());
+}
+
+TEST(SimulatorFastPath, NoisyDiurnalSeasonalPredictor) {
+  DiurnalOptions diurnal;
+  diurnal.peak = 2000.0;
+  diurnal.noise = 0.15;
+  diurnal.seed = 23;
+  expect_equivalent(
+      [] {
+        return std::make_unique<BmlScheduler>(
+            design(), std::make_shared<SeasonalPredictor>());
+      },
+      diurnal_trace(diurnal, 2));
+}
+
+TEST(SimulatorFastPath, NoisyDiurnalLastValuePredictor) {
+  DiurnalOptions diurnal;
+  diurnal.peak = 1800.0;
+  diurnal.noise = 0.1;
+  diurnal.seed = 29;
+  expect_equivalent(
+      [] {
+        return std::make_unique<BmlScheduler>(
+            design(), std::make_shared<LastValuePredictor>());
+      },
+      diurnal_trace(diurnal, 1));
+}
+
+TEST(SimulatorFastPath, MultiAppNoisyTraces) {
+  // Three per-second-noisy workloads against one shared cluster: the span
+  // walk must intersect per-app runs exactly.
+  DiurnalOptions web;
+  web.peak = 1200.0;
+  web.noise = 0.2;
+  web.seed = 3;
+  DiurnalOptions api;
+  api.peak = 900.0;
+  api.noise = 0.25;
+  api.peak_hour = 6.0;
+  api.seed = 4;
+  const LoadTrace traces[] = {diurnal_trace(web, 1), diurnal_trace(api, 1),
+                              noisy_worldcup_trace()};
+  const std::string names[] = {"web", "api", "worldcup"};
+
+  const auto run_with = [&](bool event_driven) {
+    SimulatorOptions options;
+    options.event_driven = event_driven;
+    const Simulator sim(design()->candidates(), options);
+    std::vector<std::unique_ptr<Scheduler>> schedulers;
+    std::vector<Simulator::WorkloadView> views;
+    for (std::size_t i = 0; i < 3; ++i) {
+      schedulers.push_back(std::make_unique<BmlScheduler>(
+          design(), std::make_shared<OracleMaxPredictor>()));
+      views.push_back(Simulator::WorkloadView{&names[i], &traces[i],
+                                              schedulers[i].get(),
+                                              QosClass::kTolerant, 1.0});
+    }
+    return sim.run(views);
+  };
+
+  const MultiSimulationResult fast = run_with(true);
+  const MultiSimulationResult reference = run_with(false);
+  expect_close(fast.total.compute_energy, reference.total.compute_energy,
+               "compute_energy");
+  expect_close(fast.total.reconfiguration_energy,
+               reference.total.reconfiguration_energy,
+               "reconfiguration_energy");
+  EXPECT_EQ(fast.total.reconfigurations, reference.total.reconfigurations);
+  EXPECT_EQ(fast.total.qos.violation_seconds,
+            reference.total.qos.violation_seconds);
+  EXPECT_EQ(fast.total.qos.total_seconds, reference.total.qos.total_seconds);
+  expect_close(fast.total.qos.unserved_requests,
+               reference.total.qos.unserved_requests, "unserved_requests");
+  ASSERT_EQ(fast.apps.size(), reference.apps.size());
+  for (std::size_t i = 0; i < reference.apps.size(); ++i) {
+    EXPECT_EQ(fast.apps[i].qos_stats.violation_seconds,
+              reference.apps[i].qos_stats.violation_seconds)
+        << names[i];
+    expect_close(fast.apps[i].compute_energy,
+                 reference.apps[i].compute_energy, names[i].c_str());
+    expect_close(fast.apps[i].reconfiguration_energy,
+                 reference.apps[i].reconfiguration_energy, names[i].c_str());
+  }
 }
 
 TEST(SimulatorFastPath, BootFaultScenario) {
