@@ -262,9 +262,8 @@ LoadTrace noisy_week_trace() {
 }
 
 void replay_week(benchmark::State& state, const LoadTrace& trace,
-                 bool event_driven) {
+                 bool event_driven, SimulatorOptions options = {}) {
   auto d = std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
-  SimulatorOptions options;
   options.event_driven = event_driven;
   const Simulator simulator(d->candidates(), options);
   // The oracle BML scheduler carries no cross-run state besides the
@@ -310,6 +309,20 @@ void BM_SimulatorWeekNoisyReference(benchmark::State& state) {
   replay_week(state, noisy_week_trace(), /*event_driven=*/false);
 }
 BENCHMARK(BM_SimulatorWeekNoisyReference)->Unit(benchmark::kMillisecond);
+
+// The steady week with an active runtime fault model (machine crashes
+// roughly every couple of hours, ~15 min mean repairs): every failure and
+// repair is a first-class fast-path event plus a self-healing
+// reconfiguration, so this tracks the span-batching overhead of the
+// availability subsystem against BM_SimulatorWeekSteadyEventDriven.
+void BM_SimulatorWeekFaulty(benchmark::State& state) {
+  SimulatorOptions options;
+  options.faults.mtbf = 7200.0;
+  options.faults.mttr = 900.0;
+  options.faults.seed = 7;
+  replay_week(state, steady_week_trace(), /*event_driven=*/true, options);
+}
+BENCHMARK(BM_SimulatorWeekFaulty)->Unit(benchmark::kMillisecond);
 
 // Scenario-engine sweep throughput: an 8-point grid (scheduler x predictor
 // x QoS) over a short step trace, at 1 worker vs hardware concurrency.

@@ -22,8 +22,10 @@ bench="${build_dir}/bench_micro"
 if [[ ! -x "${bench}" ]]; then
   echo "configuring Release benchmark build in ${build_dir}" >&2
   cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-  cmake --build "${build_dir}" --target bench_micro -j "$(nproc)"
 fi
+# Always (re)build: recording numbers from a stale binary silently drops
+# newly added benchmarks; an up-to-date incremental build is a no-op.
+cmake --build "${build_dir}" --target bench_micro -j "$(nproc)"
 
 out="${repo_root}/BENCH_micro.json"
 tmp="$(mktemp)"

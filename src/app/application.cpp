@@ -10,7 +10,7 @@ std::string to_string(StateKind kind) {
     case StateKind::kSoftState: return "soft-state";
     case StateKind::kStateful: return "stateful";
   }
-  return "?";
+  throw std::logic_error("to_string(StateKind): invalid kind");
 }
 
 void ApplicationModel::validate() const {

@@ -11,6 +11,7 @@
 // them.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,6 +36,15 @@ struct Workload {
   /// Relative capacity share under the partitioned coordinator (weights
   /// are normalised across workloads; ignored by the sum coordinator).
   double share = 1.0;
+  /// Fault-domain name for runtime faults (FaultModel::mtbf). Workloads
+  /// naming the same domain share one crash/repair process and fail
+  /// together; the empty default gives the workload its own private
+  /// domain, so colocated apps fail independently out of the box. A
+  /// failure strike in a domain only fells machines that domain's
+  /// coordinator contributions entitle it to, and availability /
+  /// lost-capacity accounting is kept per domain (every app in a domain
+  /// reports the domain's numbers).
+  std::string fault_domain;
 };
 
 /// Per-application slice of a multi-workload simulation: QoS against the
@@ -50,7 +60,14 @@ struct Workload {
 ///     it offers nothing (equal split when no app offers load);
 ///   * reconfiguration power is attributed by each app's share of the
 ///     currently provisioned target capacity, so boot/shutdown energy
-///     follows the app whose demand provisioned the machines.
+///     follows the app whose demand provisioned the machines;
+///   * runtime-fault accounting is per fault domain (Workload::
+///     fault_domain): `failures` counts the strikes that actually felled
+///     one of the domain's machines, `availability` is the fraction of
+///     simulated seconds the domain had no machine down, and
+///     `lost_capacity` integrates the felled machines' serving capacity
+///     over their downtime (req·s). Apps sharing a domain report the same
+///     domain-level numbers.
 struct WorkloadResult {
   std::string name;
   std::string scheduler_name;
@@ -58,6 +75,13 @@ struct WorkloadResult {
   QosStats qos_stats;
   Joules compute_energy = 0.0;
   Joules reconfiguration_energy = 0.0;
+  /// Runtime-fault slice of the app's fault domain (defaults describe a
+  /// fault-free run).
+  int failures = 0;
+  std::int64_t unavailable_seconds = 0;
+  double availability = 1.0;
+  /// Integral of failed capacity over downtime, req·s.
+  double lost_capacity = 0.0;
 
   [[nodiscard]] Joules total_energy() const {
     return compute_energy + reconfiguration_energy;

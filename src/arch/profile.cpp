@@ -60,7 +60,7 @@ std::string to_string(Role role) {
     case Role::kBig: return "Big";
     case Role::kUnassigned: return "Unassigned";
   }
-  return "?";
+  throw std::logic_error("to_string(Role): invalid role");
 }
 
 }  // namespace bml

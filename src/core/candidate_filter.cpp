@@ -12,7 +12,7 @@ std::string to_string(RemovalReason reason) {
     case RemovalReason::kNeverPreferable:
       return "never preferable to combinations of smaller architectures";
   }
-  return "?";
+  throw std::logic_error("to_string(RemovalReason): invalid reason");
 }
 
 FilterResult filter_candidates(const Catalog& input) {

@@ -11,7 +11,7 @@ std::string to_string(ProfileParameter parameter) {
     case ProfileParameter::kMaxPower: return "max-power";
     case ProfileParameter::kMaxPerf: return "max-perf";
   }
-  return "?";
+  throw std::logic_error("to_string(ProfileParameter): invalid parameter");
 }
 
 Catalog perturb_catalog(const Catalog& catalog, const std::string& machine,

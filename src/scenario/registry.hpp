@@ -47,6 +47,21 @@
 // same factories; the sweep runner turns each section into a Workload
 // (app/workload.hpp) over the shared design.
 //
+// Fault keys (sim/cluster.hpp FaultModel; all sweepable):
+//   faults.boot_time_jitter(0)   boot-duration noise sigma
+//   faults.boot_failure_prob(0)  probability a boot fails and retries
+//   faults.mtbf(0)               mean seconds between runtime failure
+//                                strikes per fault domain per arch
+//                                (0 = no runtime faults)
+//   faults.mttr(0)               mean repair seconds (min 1 s)
+//   faults.seed(= spec seed)     fault-stream seed override
+//   app<i>.fault_domain("")      groups [app] sections into shared fault
+//                                domains; empty = the app's own private
+//                                domain (per-app failures out of the box)
+// Runtime faults make sweeps report machine_failures / availability /
+// lost-capacity columns (cluster-wide and per app; see
+// scenario/sweep.hpp).
+//
 // Build sharing across sweeps: every component above is rebuilt per
 // scenario *unless* none of the sweep axes name a build input — `catalog`
 // / `catalog.*`, `design.*`, `seed`, or any trace field (`trace`,
@@ -58,7 +73,9 @@
 // DispatchPlan exactly once, sharing the immutable results across all
 // grid points and worker threads (asserted by the CombinationTable
 // build-count probe in tests/test_scenario.cpp). Schedulers and
-// predictors are stateful and always constructed per scenario.
+// predictors are stateful and always constructed per scenario. The
+// `faults.*` keys are runtime-only (seed-bearing, but consumed by the
+// simulator, never by the build), so fault axes keep the shared build.
 //
 // Unknown component names and unknown or malformed parameters throw
 // std::runtime_error naming the component, the offending key, and the

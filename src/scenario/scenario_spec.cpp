@@ -26,15 +26,35 @@ bool parse_bool(const std::string& key, const std::string& value) {
                            value + "'");
 }
 
+/// Strict numeric parsing that names the offending key. The underlying
+/// parse_double / parse_int (util/csv.hpp) require the whole token to be
+/// consumed — `3x` is an error, never silently `3` — but their messages
+/// only carry the value; spec errors must say which key held it.
+double parse_number(const std::string& key, const std::string& value) {
+  try {
+    return parse_double(value);
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error("scenario: " + key + " must be a number, got '" +
+                             value + "'");
+  }
+}
+
 std::uint64_t parse_seed(const std::string& key, const std::string& value) {
-  const std::int64_t v = parse_int(value);
+  std::int64_t v = 0;
+  try {
+    v = parse_int(value);
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error("scenario: " + key +
+                             " must be a non-negative integer, got '" + value +
+                             "'");
+  }
   if (v < 0)
     throw std::runtime_error("scenario: " + key + " must be >= 0");
   return static_cast<std::uint64_t>(v);
 }
 
 double parse_fraction(const std::string& key, const std::string& value) {
-  const double v = parse_double(value);
+  const double v = parse_number(key, value);
   if (v < 0.0)
     throw std::runtime_error("scenario: " + key + " must be >= 0");
   return v;
@@ -55,10 +75,12 @@ void AppSpec::set(const std::string& key, const std::string& value) {
     (void)parse_qos_class(value);  // validate now, fail loudly here
     qos = value;
   } else if (key == "share") {
-    const double v = parse_double(value);
+    const double v = parse_number("app share", value);
     if (!(v > 0.0))
       throw std::runtime_error("scenario: app share must be > 0");
     share = v;
+  } else if (key == "fault_domain") {
+    fault_domain = value;
   } else if (key.starts_with("trace.")) {
     trace_params[key.substr(6)] = value;
   } else if (key.starts_with("scheduler.")) {
@@ -121,7 +143,7 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
     predictor = value;
   } else if (key == "design.max_rate") {
     if (value != "trace-peak" && value != "default")
-      (void)parse_double(value);  // numbers validate now, fail loudly here
+      (void)parse_number(key, value);  // numbers validate now, fail loudly
     design_max_rate = value;
   } else if (key == "design.solver") {
     if (value != "greedy" && value != "exact-dp")
@@ -140,6 +162,12 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
     boot_time_jitter = parse_fraction(key, value);
   } else if (key == "faults.boot_failure_prob") {
     boot_failure_prob = parse_fraction(key, value);
+  } else if (key == "faults.mtbf") {
+    fault_mtbf = parse_fraction(key, value);
+  } else if (key == "faults.mttr") {
+    fault_mttr = parse_fraction(key, value);
+  } else if (key == "faults.seed") {
+    fault_seed = static_cast<std::int64_t>(parse_seed(key, value));
   } else if (key == "seed") {
     seed = parse_seed(key, value);
   } else if (key == "coordinator") {
@@ -147,7 +175,7 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
     coordinator = value;
   } else if (key == "coordinator.budget") {
     if (value != "design-max")
-      (void)parse_double(value);  // numbers validate now, fail loudly here
+      (void)parse_number(key, value);  // numbers validate now, fail loudly
     coordinator_budget = value;
   } else if (key.starts_with("catalog.")) {
     catalog_params[key.substr(8)] = value;
@@ -267,8 +295,11 @@ std::string write_scenario(const ScenarioSpec& spec) {
   std::ostringstream numbers;
   numbers.precision(17);
   numbers << "faults.boot_time_jitter = " << spec.boot_time_jitter << '\n'
-          << "faults.boot_failure_prob = " << spec.boot_failure_prob << '\n';
+          << "faults.boot_failure_prob = " << spec.boot_failure_prob << '\n'
+          << "faults.mtbf = " << spec.fault_mtbf << '\n'
+          << "faults.mttr = " << spec.fault_mttr << '\n';
   os << numbers.str();
+  if (spec.fault_seed >= 0) os << "faults.seed = " << spec.fault_seed << '\n';
   os << "seed = " << spec.seed << '\n';
   os << "coordinator = " << spec.coordinator << '\n';
   os << "coordinator.budget = " << spec.coordinator_budget << '\n';
@@ -286,6 +317,8 @@ std::string write_scenario(const ScenarioSpec& spec) {
     share.precision(17);
     share << "share = " << app.share << '\n';
     os << share.str();
+    if (!app.fault_domain.empty())
+      os << "fault_domain = " << app.fault_domain << '\n';
   }
   for (const SweepAxis& axis : spec.sweeps) {
     os << "sweep " << axis.key << " = ";

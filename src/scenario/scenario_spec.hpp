@@ -24,7 +24,8 @@
 //
 // Multi-tenant scenarios declare repeatable `[app]` sections after the
 // top-level keys, one per colocated application. Each section carries its
-// own trace / scheduler / predictor stack, QoS class and capacity share;
+// own trace / scheduler / predictor stack, QoS class, capacity share and
+// runtime fault domain (`fault_domain`; see the `faults.*` keys below);
 // the `coordinator` key selects how per-app proposals merge into the
 // cluster decision (`sum` or `partitioned`, see sched/coordinator.hpp).
 // Sweep axes address app fields as `app<i>.<key>` (e.g. `sweep
@@ -85,6 +86,10 @@ struct AppSpec {
   std::string qos = "tolerant";
   /// Capacity share weight under the partitioned coordinator (> 0).
   double share = 1.0;
+  /// Runtime-fault domain name (`fault_domain` key): apps naming the same
+  /// domain share one crash/repair process; empty = the app's own private
+  /// domain (see app/workload.hpp).
+  std::string fault_domain;
 
   /// Routes one section-local `key = value` assignment; throws
   /// std::runtime_error on unknown keys or malformed typed values.
@@ -123,11 +128,23 @@ struct ScenarioSpec {
   /// SimulatorOptions knobs.
   bool graceful_off = true;
   bool event_driven = true;
-  /// Boot-path fault injection (sim/cluster.hpp FaultModel).
+  /// Fault injection (sim/cluster.hpp FaultModel): the boot-path channel
+  /// (`faults.boot_time_jitter`, `faults.boot_failure_prob`) and the
+  /// runtime crash/repair channel (`faults.mtbf`, `faults.mttr` — mean
+  /// seconds between failure strikes per fault domain per architecture,
+  /// and mean repair seconds; 0 disables).
   double boot_time_jitter = 0.0;
   double boot_failure_prob = 0.0;
+  double fault_mtbf = 0.0;
+  double fault_mttr = 0.0;
+  /// Fault seed override (`faults.seed`, >= 0); -1 inherits the master
+  /// seed. Faults are runtime-only inputs, so sweeping `faults.seed` does
+  /// not force per-scenario catalog/trace/design rebuilds the way a
+  /// `seed` axis does.
+  std::int64_t fault_seed = -1;
   /// Master seed: trace generators and fault injection derive theirs from
-  /// it unless overridden per component (`trace.seed`, ...).
+  /// it unless overridden per component (`trace.seed`, `faults.seed`,
+  /// ...).
   std::uint64_t seed = 1;
   /// How per-app proposals merge into the cluster-wide decision: `sum`
   /// (baseline) or `partitioned` (clamp each app to its capacity share;

@@ -211,7 +211,11 @@ ScenarioResult run_built(const ScenarioSpec& spec, const ScenarioBuild& build,
                                    : parse_double(spec.coordinator_budget);
   options.faults.boot_time_jitter = spec.boot_time_jitter;
   options.faults.boot_failure_prob = spec.boot_failure_prob;
-  options.faults.seed = spec.seed;
+  options.faults.mtbf = spec.fault_mtbf;
+  options.faults.mttr = spec.fault_mttr;
+  options.faults.seed = spec.fault_seed >= 0
+                            ? static_cast<std::uint64_t>(spec.fault_seed)
+                            : spec.seed;
 
   const Simulator simulator(build.design->candidates(), build.plan, options);
   std::vector<Simulator::WorkloadView> views;
@@ -219,7 +223,7 @@ ScenarioResult run_built(const ScenarioSpec& spec, const ScenarioBuild& build,
   for (std::size_t i = 0; i < apps.size(); ++i)
     views.push_back(Simulator::WorkloadView{
         &names[i], build.traces[i], schedulers[i].get(), qos[i],
-        apps[i].share, &build.compiled[i]});
+        apps[i].share, &build.compiled[i], &apps[i].fault_domain});
   MultiSimulationResult multi = simulator.run(views);
   result.sim = std::move(multi.total);
   result.apps = std::move(multi.apps);
@@ -240,7 +244,12 @@ ScenarioResult run_scenario_impl(const ScenarioSpec& spec,
 /// design parameters, the master seed (trace generation and fault noise
 /// derive from it), or any trace field. Such an axis forces per-scenario
 /// builds; every other axis (scheduler, predictor, qos, coordinator,
-/// fault knobs, app shares, ...) leaves the build shareable.
+/// fault knobs, app shares, ...) leaves the build shareable. The fault
+/// model is seed-bearing but runtime-only — `faults.*` axes (including
+/// `faults.seed`) never touch the catalog / traces / design, so the
+/// shared build stays correct under fault sweeps; only the master `seed`
+/// axis (which fault seeds default to) blocks sharing, because it also
+/// feeds trace generation.
 bool axis_blocks_shared_build(const std::string& key) {
   return key == "catalog" || key.starts_with("catalog.") ||
          key.starts_with("design.") || key == "seed" || is_trace_axis(key);
@@ -332,12 +341,17 @@ SweepReport run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
                              ? result.sim.total_energy() / result.trace_duration
                              : 0.0;
         row.peak_machines = result.sim.peak_machines;
+        row.faults_enabled = result.spec.fault_mtbf > 0.0;
+        row.machine_failures = result.sim.machine_failures;
+        row.availability = result.sim.availability;
+        row.lost_capacity = result.sim.lost_capacity;
         row.apps.reserve(result.apps.size());
         for (const WorkloadResult& app : result.apps)
           row.apps.push_back(SweepAppRow{
               app.name, app.compute_energy, app.reconfiguration_energy,
               app.qos_stats.violation_seconds,
-              app.qos_stats.served_fraction()});
+              app.qos_stats.served_fraction(), app.availability,
+              app.lost_capacity});
         row.wall_seconds = result.wall_seconds;
         if (options.keep_results) report.results[i] = std::move(result);
       },
@@ -350,10 +364,18 @@ SweepReport run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
 std::string SweepReport::to_csv() const {
   // Per-app column groups only appear for genuinely multi-tenant sweeps:
   // a single-app sweep (including single-[app] specs) keeps the classic
-  // column set, byte-for-byte.
+  // column set, byte-for-byte. Fault columns likewise only appear when
+  // some row *configured* runtime faults — gating on configuration, not
+  // outcome, keeps the schema a function of the spec (a faulty config
+  // that happens to land zero failures still reports its columns).
   std::size_t max_apps = 0;
-  for (const SweepRow& row : rows) max_apps = std::max(max_apps, row.apps.size());
+  bool faulty = false;
+  for (const SweepRow& row : rows) {
+    max_apps = std::max(max_apps, row.apps.size());
+    faulty = faulty || row.faults_enabled;
+  }
   const bool per_app = max_apps >= 2;
+  const std::size_t app_columns = faulty ? 7 : 5;
 
   CsvWriter writer;
   std::vector<std::string> header{"scenario"};
@@ -365,6 +387,10 @@ std::string SweepReport::to_csv() const {
         "reconfiguration_energy_j", "reconfigurations", "qos_violation_s",
         "served_fraction", "mean_power_w", "peak_machines"})
     header.emplace_back(column);
+  if (faulty)
+    for (const char* column :
+         {"machine_failures", "availability", "lost_capacity_req_s"})
+      header.emplace_back(column);
   if (per_app)
     for (std::size_t i = 0; i < max_apps; ++i) {
       const std::string prefix = "app" + std::to_string(i) + "_";
@@ -372,6 +398,9 @@ std::string SweepReport::to_csv() const {
            {"name", "compute_energy_j", "reconfiguration_energy_j",
             "qos_violation_s", "served_fraction"})
         header.push_back(prefix + column);
+      if (faulty)
+        for (const char* column : {"availability", "lost_capacity_req_s"})
+          header.push_back(prefix + column);
     }
   writer.set_header(std::move(header));
 
@@ -387,6 +416,11 @@ std::string SweepReport::to_csv() const {
     cells.push_back(csv_num(row.served_fraction));
     cells.push_back(csv_num(row.mean_power));
     cells.push_back(std::to_string(row.peak_machines));
+    if (faulty) {
+      cells.push_back(std::to_string(row.machine_failures));
+      cells.push_back(csv_num(row.availability));
+      cells.push_back(csv_num(row.lost_capacity));
+    }
     if (per_app)
       for (std::size_t i = 0; i < max_apps; ++i) {
         if (i < row.apps.size()) {
@@ -396,8 +430,12 @@ std::string SweepReport::to_csv() const {
           cells.push_back(csv_num(app.reconfiguration_energy));
           cells.push_back(std::to_string(app.qos_violation_seconds));
           cells.push_back(csv_num(app.served_fraction));
+          if (faulty) {
+            cells.push_back(csv_num(app.availability));
+            cells.push_back(csv_num(app.lost_capacity));
+          }
         } else {
-          cells.insert(cells.end(), 5, "");
+          cells.insert(cells.end(), app_columns, "");
         }
       }
     writer.add_row(std::move(cells));

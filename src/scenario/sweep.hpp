@@ -59,6 +59,10 @@ struct SweepAppRow {
   Joules reconfiguration_energy = 0.0;
   std::int64_t qos_violation_seconds = 0;
   double served_fraction = 1.0;
+  /// Runtime-fault slice of the app's fault domain (CSV columns appear
+  /// only when some row in the sweep enables runtime faults).
+  double availability = 1.0;
+  double lost_capacity = 0.0;
 };
 
 /// Aggregate metrics of one scenario — the sweep's unit of reporting.
@@ -77,6 +81,15 @@ struct SweepRow {
   /// total_energy / trace duration (W).
   Watts mean_power = 0.0;
   std::size_t peak_machines = 0;
+  /// Runtime-fault aggregates; `faults_enabled` records whether this
+  /// row's *configuration* had a runtime fault channel (faults.mtbf > 0),
+  /// which — not the outcome — gates the fault CSV columns, so the CSV
+  /// schema is a function of the spec alone. Zero-rate sweeps keep the
+  /// classic column set byte-for-byte.
+  bool faults_enabled = false;
+  int machine_failures = 0;
+  double availability = 1.0;
+  double lost_capacity = 0.0;
   /// Per-app attribution, parallel to the scenario's app list.
   std::vector<SweepAppRow> apps;
   double wall_seconds = 0.0;
@@ -96,8 +109,13 @@ struct SweepReport {
   /// Deterministic CSV of the rows: scenario, axis columns, metrics.
   /// Multi-app sweeps (any row with >= 2 apps) append per-app column
   /// groups (app<i>_name, app<i>_compute_energy_j, ...); single-app
-  /// sweeps keep the classic column set byte-for-byte. Excludes
-  /// wall-clock timings, so the bytes are identical across thread counts.
+  /// sweeps keep the classic column set byte-for-byte. Sweeps with a
+  /// runtime fault channel configured on any row (faults.mtbf > 0) append
+  /// machine_failures / availability / lost_capacity_req_s cluster
+  /// columns, and availability / lost-capacity per-app columns inside the
+  /// app groups; zero-rate fault configs keep the fault-free schema
+  /// byte-for-byte. Excludes wall-clock timings, so the bytes are
+  /// identical across thread counts.
   [[nodiscard]] std::string to_csv() const;
 
   /// Console summary rendered with util/table.

@@ -10,7 +10,9 @@ const char* to_string(CoordinatorMode mode) {
     case CoordinatorMode::kSum: return "sum";
     case CoordinatorMode::kPartitioned: return "partitioned";
   }
-  return "?";
+  // Unreachable for valid enum values; a corrupted mode must not leak a
+  // placeholder into CSV/report output.
+  throw std::logic_error("to_string(CoordinatorMode): invalid mode");
 }
 
 CoordinatorMode parse_coordinator_mode(const std::string& name) {
@@ -57,15 +59,32 @@ Combination Coordinator::merge(const std::vector<Combination>& proposals,
     c.resize(kinds);
     const ReqRate cap = capacity_cap(i);
     if (cap == std::numeric_limits<ReqRate>::infinity()) continue;
-    // Trim the proposal to the app's capacity share: drop machines from
-    // the largest architecture down (candidates are sorted by descending
-    // max_perf), one at a time — deterministic and fastest to converge.
+    // Trim the proposal to the app's capacity share, one machine at a
+    // time. When a single removal can already land under the cap, drop
+    // the *smallest* architecture that suffices (candidates are sorted by
+    // descending max_perf, so scan from the back) — the old
+    // largest-arch-first final step could overshoot by nearly one Big
+    // machine when shedding a Little would have done. While no single
+    // removal suffices, keep shedding largest-first (fastest to
+    // converge). Deterministic either way.
     ReqRate have = capacity(*candidates_, c);
-    for (std::size_t a = 0; a < kinds && have > cap; ++a)
-      while (c.count(a) > 0 && have > cap) {
-        c.add(a, -1);
-        have -= (*candidates_)[a].max_perf();
-      }
+    while (have > cap) {
+      std::size_t pick = kinds;
+      for (std::size_t a = kinds; a-- > 0;)
+        if (c.count(a) > 0 && have - (*candidates_)[a].max_perf() <= cap) {
+          pick = a;  // smallest arch whose removal satisfies the cap
+          break;
+        }
+      if (pick == kinds)
+        for (std::size_t a = 0; a < kinds; ++a)
+          if (c.count(a) > 0) {
+            pick = a;  // largest available arch sheds capacity fastest
+            break;
+          }
+      if (pick == kinds) break;  // nothing left to remove
+      c.add(pick, -1);
+      have -= (*candidates_)[pick].max_perf();
+    }
   }
   Combination merged;
   merged.resize(kinds);

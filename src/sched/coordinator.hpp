@@ -13,9 +13,12 @@
 //   * kPartitioned — the pool is capacity-limited: each app's proposal is
 //     clamped so its capacity does not exceed its share of the budget
 //     (share weights normalised across apps), then summed. Clamping
-//     removes machines from the largest architecture first (catalog order:
-//     candidates are sorted by descending max_perf), one machine at a
-//     time, so the trim is deterministic and sheds capacity fastest.
+//     removes one machine at a time: while no single removal can land
+//     under the cap, from the largest architecture first (catalog order:
+//     candidates are sorted by descending max_perf — sheds capacity
+//     fastest); for the final step, from the smallest architecture whose
+//     removal satisfies the cap (so the trim never overshoots by a large
+//     machine when dropping a small one suffices). Deterministic.
 //
 // merge() is a pure function of the proposals, so the event-driven
 // simulator can intersect per-workload decision-stability spans: while no

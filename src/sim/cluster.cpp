@@ -16,14 +16,24 @@ Cluster::Cluster(Catalog candidates, const Combination& initial,
   if (plan_->arch_kinds() != candidates_.size())
     throw std::invalid_argument("Cluster: plan does not match catalog");
   if (faults_.boot_time_jitter < 0.0 || faults_.boot_failure_prob < 0.0 ||
-      faults_.boot_failure_prob > 1.0)
+      faults_.boot_failure_prob > 1.0 || faults_.mtbf < 0.0 ||
+      faults_.mttr < 0.0)
     throw std::invalid_argument("Cluster: invalid fault model");
+  if (faults_.mtbf_per_arch.size() > candidates_.size() ||
+      faults_.mttr_per_arch.size() > candidates_.size())
+    throw std::invalid_argument(
+        "Cluster: per-arch fault overrides wider than the catalog");
+  for (Seconds m : faults_.mtbf_per_arch)
+    if (m < 0.0) throw std::invalid_argument("Cluster: invalid fault model");
+  for (Seconds m : faults_.mttr_per_arch)
+    if (m < 0.0) throw std::invalid_argument("Cluster: invalid fault model");
   if (faults_.active()) fault_rng_.emplace(faults_.seed);
   if (initial.counts().size() > candidates_.size())
     throw std::invalid_argument("Cluster: initial combination too wide");
   on_.assign(candidates_.size(), 0);
   booting_.assign(candidates_.size(), 0);
   shutting_.assign(candidates_.size(), 0);
+  failed_.assign(candidates_.size(), 0);
   off_free_.assign(candidates_.size(), {});
   for (std::size_t arch = 0; arch < initial.counts().size(); ++arch)
     for (int i = 0; i < initial.counts()[arch]; ++i) {
@@ -104,11 +114,46 @@ void Cluster::switch_off(std::size_t arch, int n) {
         "Cluster: asked to switch off more machines than are On");
 }
 
+bool Cluster::fail_one(std::size_t arch) {
+  if (arch >= candidates_.size())
+    throw std::invalid_argument("Cluster: arch index out of range");
+  if (on_[arch] == 0) return false;
+  for (SimMachine& m : machines_)
+    if (m.arch_index() == arch && m.state() == MachineState::kOn) {
+      m.fail();
+      --on_[arch];
+      ++failed_[arch];
+      return true;
+    }
+  return false;  // unreachable while on_ stays in sync with the FSMs
+}
+
+void Cluster::repair_one(std::size_t arch) {
+  if (arch >= candidates_.size())
+    throw std::invalid_argument("Cluster: arch index out of range");
+  for (std::size_t i = 0; i < machines_.size(); ++i)
+    if (machines_[i].arch_index() == arch &&
+        machines_[i].state() == MachineState::kFailed) {
+      machines_[i].repair();
+      --failed_[arch];
+      off_free_[arch].push_back(i);
+      return;
+    }
+  throw std::logic_error("Cluster: no Failed machine of this arch to repair");
+}
+
+int Cluster::failed_count() const {
+  int total = 0;
+  for (int f : failed_) total += f;
+  return total;
+}
+
 ClusterSnapshot Cluster::snapshot() const {
   ClusterSnapshot snap;
   snap.on = Combination{on_};
   snap.booting = Combination{booting_};
   snap.shutting_down = Combination{shutting_};
+  snap.failed = Combination{failed_};
   snap.on_capacity = capacity(candidates_, snap.on);
   return snap;
 }

@@ -20,18 +20,67 @@
 
 namespace bml {
 
-/// Boot-path fault injection: real machines do not boot in exactly the
-/// profiled time, and sometimes a boot fails and is retried. Durations are
-/// multiplied by max(0.25, 1 + N(0, jitter)); with probability
-/// `boot_failure_prob` one extra nominal boot duration is added (the
-/// retry). Deterministic per seed.
+/// Fault injection, two independent channels sharing one seed:
+///
+///   * boot path — real machines do not boot in exactly the profiled time,
+///     and sometimes a boot fails and is retried. Durations are multiplied
+///     by max(0.25, 1 + N(0, jitter)); with probability `boot_failure_prob`
+///     one extra nominal boot duration is added (the retry).
+///
+///   * runtime crash/repair — machines that are On can crash and be
+///     repaired. Each (fault domain, architecture) pair runs its own
+///     renewal process: failure strikes arrive with exponential
+///     inter-arrival times of mean `mtbf` seconds, each paired with an
+///     exponential repair duration of mean `mttr` seconds (both quantised
+///     to whole seconds, minimum 1 s). A strike fells one On machine of
+///     that architecture in that domain (On -> Failed: it stops serving
+///     and draws no power); strikes that find no machine to kill are
+///     dropped. Repairs return the machine to Off. The strike timeline is
+///     drawn independently of cluster state, so the process is
+///     deterministic per seed regardless of execution strategy or sweep
+///     thread count (see sim/fault_timeline.hpp, which owns the clocks —
+///     the Cluster only applies fail/repair transitions).
+///
+/// Per-arch overrides replace the scalar means for the architectures they
+/// name (catalog order, <= 0 entries fall back to the scalar).
+/// Deterministic per seed.
 struct FaultModel {
   double boot_time_jitter = 0.0;
   double boot_failure_prob = 0.0;
+  /// Mean seconds between runtime failure strikes per fault domain per
+  /// architecture; 0 disables runtime faults.
+  Seconds mtbf = 0.0;
+  /// Mean repair duration in seconds (0 = minimum 1 s repairs).
+  Seconds mttr = 0.0;
+  /// Optional per-architecture overrides, indexed in catalog order; <= 0
+  /// (or missing) entries use the scalars above.
+  std::vector<Seconds> mtbf_per_arch;
+  std::vector<Seconds> mttr_per_arch;
   std::uint64_t seed = 1;
 
+  /// Boot-path channel enabled?
   [[nodiscard]] bool active() const {
     return boot_time_jitter > 0.0 || boot_failure_prob > 0.0;
+  }
+
+  /// Runtime crash/repair channel enabled?
+  [[nodiscard]] bool runtime_active() const {
+    if (mtbf > 0.0) return true;
+    for (Seconds m : mtbf_per_arch)
+      if (m > 0.0) return true;
+    return false;
+  }
+
+  /// Effective per-arch means (override, else scalar).
+  [[nodiscard]] Seconds arch_mtbf(std::size_t arch) const {
+    return arch < mtbf_per_arch.size() && mtbf_per_arch[arch] > 0.0
+               ? mtbf_per_arch[arch]
+               : mtbf;
+  }
+  [[nodiscard]] Seconds arch_mttr(std::size_t arch) const {
+    return arch < mttr_per_arch.size() && mttr_per_arch[arch] > 0.0
+               ? mttr_per_arch[arch]
+               : mttr;
   }
 };
 
@@ -40,6 +89,8 @@ struct ClusterSnapshot {
   Combination on;
   Combination booting;
   Combination shutting_down;
+  /// Machines felled by runtime faults, awaiting repair.
+  Combination failed;
   /// Serving capacity of the On machines, req/s.
   ReqRate on_capacity = 0.0;
 };
@@ -72,6 +123,24 @@ class Cluster {
   /// Starts shutting down `n` On machines of architecture `arch`. Throws
   /// std::logic_error when fewer than `n` are On.
   void switch_off(std::size_t arch, int n);
+
+  /// Runtime fault: fells one On machine of `arch` (On -> Failed — it
+  /// stops serving and draws no power until repaired). Returns false when
+  /// no machine of that architecture is On. The repair clock lives in the
+  /// caller's fault timeline; repair_one applies the completed repair.
+  bool fail_one(std::size_t arch);
+
+  /// Completes a repair: one Failed machine of `arch` goes Off (and back
+  /// onto the reuse free list). Throws std::logic_error when none is
+  /// Failed.
+  void repair_one(std::size_t arch);
+
+  /// On machines of one architecture (the fault path's cheap gate; the
+  /// full per-state picture is snapshot()).
+  [[nodiscard]] int on_count(std::size_t arch) const { return on_.at(arch); }
+
+  /// Machines currently Failed, all architectures.
+  [[nodiscard]] int failed_count() const;
 
   /// Current counts per state.
   [[nodiscard]] ClusterSnapshot snapshot() const;
@@ -151,6 +220,7 @@ class Cluster {
   std::vector<int> on_;
   std::vector<int> booting_;
   std::vector<int> shutting_;
+  std::vector<int> failed_;
   // Smallest transition_remaining() among transitioning machines, -1 when
   // none — kept in sync by switch_on/switch_off (new transitions) and
   // step (uniform decrement + completions, recomputed inside the existing

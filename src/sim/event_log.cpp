@@ -6,7 +6,7 @@
 namespace bml {
 
 namespace {
-constexpr std::size_t kKindCount = 5;
+constexpr std::size_t kKindCount = 7;
 }
 
 const char* to_string(EventKind kind) {
@@ -17,8 +17,10 @@ const char* to_string(EventKind kind) {
     case EventKind::kBootComplete: return "boot-complete";
     case EventKind::kShutdownComplete: return "shutdown-complete";
     case EventKind::kQosViolation: return "qos-violation";
+    case EventKind::kMachineFailure: return "machine-failure";
+    case EventKind::kMachineRepair: return "machine-repair";
   }
-  return "?";
+  throw std::logic_error("to_string(EventKind): invalid kind");
 }
 
 EventLog::EventLog(std::size_t capacity)

@@ -23,6 +23,8 @@ enum class EventKind {
   kBootComplete,
   kShutdownComplete,
   kQosViolation,
+  kMachineFailure,
+  kMachineRepair,
 };
 
 [[nodiscard]] const char* to_string(EventKind kind);
@@ -32,6 +34,7 @@ enum class EventKind {
 ///   reconfiguration complete — seconds it took
 ///   boot/shutdown complete   — architecture name
 ///   QoS violation            — shortfall in req/s
+///   machine failure / repair — architecture name
 struct SimEvent {
   TimePoint time = 0;
   EventKind kind = EventKind::kReconfigurationStart;

@@ -1,0 +1,92 @@
+#include "sim/fault_timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bml {
+
+namespace {
+
+/// Exponential draw with mean `mean`, quantised to whole seconds with a
+/// 1 s floor — fault events must land on the 1 Hz grid both execution
+/// strategies share, and a 0 s gap/repair would be degenerate. Clamped
+/// far beyond any simulated horizon so the cast can never overflow.
+TimePoint exponential_seconds(Rng& rng, Seconds mean) {
+  const double u = rng.uniform(0.0, 1.0);  // in [0, 1), so 1 - u in (0, 1]
+  const double draw = std::min(-mean * std::log(1.0 - u), 1.0e15);
+  return std::max<TimePoint>(1, static_cast<TimePoint>(std::ceil(draw)));
+}
+
+}  // namespace
+
+FaultTimeline::FaultTimeline(const FaultModel& model, std::size_t arch_kinds,
+                             std::size_t domains) {
+  if (!model.runtime_active()) return;
+  streams_.reserve(domains * arch_kinds);
+  for (std::size_t d = 0; d < domains; ++d)
+    for (std::size_t a = 0; a < arch_kinds; ++a) {
+      const Seconds mtbf = model.arch_mtbf(a);
+      if (mtbf <= 0.0) continue;
+      const auto key = static_cast<std::uint64_t>(d * arch_kinds + a + 1);
+      Stream stream{Rng(model.seed + 0x9E3779B97F4A7C15ULL * key),
+                    mtbf,
+                    model.arch_mttr(a),
+                    d,
+                    a,
+                    0,
+                    0};
+      advance(stream);
+      streams_.push_back(std::move(stream));
+    }
+}
+
+void FaultTimeline::advance(Stream& stream) {
+  stream.next_strike += exponential_seconds(stream.rng, stream.mtbf);
+  stream.next_repair_duration = exponential_seconds(stream.rng, stream.mttr);
+}
+
+TimePoint FaultTimeline::next_event() const {
+  TimePoint next = repairs_.empty() ? kNever : repairs_.front().time;
+  for (const Stream& stream : streams_)
+    next = std::min(next, stream.next_strike);
+  return next;
+}
+
+std::optional<FaultEvent> FaultTimeline::pop(TimePoint now) {
+  // Repairs win ties with failure strikes (a repaired machine still comes
+  // back Off, so the order is conventional — what matters is that it is
+  // fixed and shared by both execution strategies).
+  const bool repair_due = !repairs_.empty() && repairs_.front().time <= now;
+  Stream* best = nullptr;
+  for (Stream& stream : streams_) {
+    if (stream.next_strike > now) continue;
+    if (best == nullptr || stream.next_strike < best->next_strike) best = &stream;
+    // Streams are scanned in (domain, arch) order, so on time ties the
+    // first hit already is the canonical winner.
+  }
+  if (repair_due &&
+      (best == nullptr || repairs_.front().time <= best->next_strike)) {
+    const Repair repair = repairs_.front();
+    repairs_.erase(repairs_.begin());
+    return FaultEvent{repair.time, repair.domain, repair.arch, true, 0};
+  }
+  if (best == nullptr) return std::nullopt;
+  const FaultEvent event{best->next_strike, best->domain, best->arch, false,
+                         best->next_repair_duration};
+  advance(*best);
+  return event;
+}
+
+void FaultTimeline::schedule_repair(TimePoint completion, std::size_t domain,
+                                    std::size_t arch) {
+  const Repair repair{completion, domain, arch};
+  const auto pos = std::upper_bound(
+      repairs_.begin(), repairs_.end(), repair, [](const Repair& x, const Repair& y) {
+        if (x.time != y.time) return x.time < y.time;
+        if (x.domain != y.domain) return x.domain < y.domain;
+        return x.arch < y.arch;
+      });
+  repairs_.insert(pos, repair);
+}
+
+}  // namespace bml

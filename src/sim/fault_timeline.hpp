@@ -1,0 +1,100 @@
+// Runtime fault timeline: the clocks behind FaultModel's crash/repair
+// channel (sim/cluster.hpp).
+//
+// Each (fault domain, architecture) pair owns an independent renewal
+// process seeded from the fault seed: failure strikes arrive with
+// exponential inter-arrival times of mean MTBF, and every strike carries a
+// pre-drawn exponential repair duration of mean MTTR (both quantised to
+// whole seconds, minimum 1 s). The strike times and repair durations are
+// functions of the seed alone — never of cluster state — so the timeline
+// is bit-identical between the per-second reference loop and the
+// event-driven fast path, and across sweep thread counts. Whether a strike
+// actually fells a machine is decided by the caller (the simulator gates
+// on the domain's entitlement and the cluster's On counts); a dropped
+// strike still consumed its draws, keeping the stream state-independent.
+//
+// The timeline is also the fast path's event source: next_event() bounds
+// event-driven spans exactly like Cluster::next_transition_remaining, so
+// no failure or repair ever lands inside a batched span.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+/// One due fault event, popped in deterministic order (time, repairs
+/// before failures, then domain, then arch).
+struct FaultEvent {
+  TimePoint time = 0;
+  std::size_t domain = 0;
+  std::size_t arch = 0;
+  /// true = a repair completion; false = a failure strike.
+  bool repair = false;
+  /// Failure strikes only: the pre-drawn repair duration the caller
+  /// schedules if (and only if) the strike fells a machine.
+  TimePoint repair_seconds = 0;
+};
+
+class FaultTimeline {
+ public:
+  /// Sentinel for "no event pending".
+  static constexpr TimePoint kNever = std::numeric_limits<TimePoint>::max();
+
+  /// Inactive timeline (no runtime faults configured).
+  FaultTimeline() = default;
+
+  /// One stream per (domain, arch) whose effective MTBF is > 0. Streams
+  /// are seeded `model.seed + golden_ratio * (domain * arch_kinds + arch
+  /// + 1)` so domains fail independently and reordering workloads between
+  /// domains does not perturb unrelated streams.
+  FaultTimeline(const FaultModel& model, std::size_t arch_kinds,
+                std::size_t domains);
+
+  [[nodiscard]] bool active() const { return !streams_.empty(); }
+
+  /// Time of the earliest pending failure strike or repair completion;
+  /// kNever when none. Events are always strictly in the future of the
+  /// last pop() point.
+  [[nodiscard]] TimePoint next_event() const;
+
+  /// Pops the earliest event due at or before `now` (std::nullopt when
+  /// none). Popping a failure strike advances its stream (the next strike
+  /// and its repair duration are drawn immediately, unconditionally).
+  [[nodiscard]] std::optional<FaultEvent> pop(TimePoint now);
+
+  /// Registers a landed failure's repair completion at `completion`.
+  void schedule_repair(TimePoint completion, std::size_t domain,
+                       std::size_t arch);
+
+ private:
+  struct Stream {
+    Rng rng;
+    Seconds mtbf;
+    Seconds mttr;
+    std::size_t domain;
+    std::size_t arch;
+    TimePoint next_strike;
+    TimePoint next_repair_duration;
+  };
+  struct Repair {
+    TimePoint time;
+    std::size_t domain;
+    std::size_t arch;
+  };
+
+  /// Draws the stream's next strike gap and repair duration.
+  static void advance(Stream& stream);
+
+  std::vector<Stream> streams_;
+  /// Pending repair completions, kept sorted by (time, domain, arch).
+  std::vector<Repair> repairs_;
+};
+
+}  // namespace bml

@@ -10,8 +10,9 @@ const char* to_string(MachineState state) {
     case MachineState::kBooting: return "Booting";
     case MachineState::kOn: return "On";
     case MachineState::kShuttingDown: return "ShuttingDown";
+    case MachineState::kFailed: return "Failed";
   }
-  return "?";
+  throw std::logic_error("to_string(MachineState): invalid state");
 }
 
 SimMachine::SimMachine(std::size_t arch_index, MachineState initial)
@@ -49,6 +50,20 @@ void SimMachine::request_off(const ArchitectureProfile& profile) {
   remaining_ = profile.off_cost().duration;
 }
 
+void SimMachine::fail() {
+  if (state_ != MachineState::kOn)
+    throw std::logic_error("SimMachine: fail requires On state");
+  state_ = MachineState::kFailed;
+  remaining_ = 0.0;
+}
+
+void SimMachine::repair() {
+  if (state_ != MachineState::kFailed)
+    throw std::logic_error("SimMachine: repair requires Failed state");
+  state_ = MachineState::kOff;
+  remaining_ = 0.0;
+}
+
 Watts SimMachine::transition_power(const ArchitectureProfile& profile) const {
   switch (state_) {
     case MachineState::kBooting:
@@ -57,6 +72,7 @@ Watts SimMachine::transition_power(const ArchitectureProfile& profile) const {
       return profile.off_cost().average_power();
     case MachineState::kOff:
     case MachineState::kOn:
+    case MachineState::kFailed:  // dead machines draw nothing
       return 0.0;
   }
   return 0.0;
@@ -64,7 +80,8 @@ Watts SimMachine::transition_power(const ArchitectureProfile& profile) const {
 
 bool SimMachine::step(Seconds dt) {
   if (dt <= 0.0) throw std::invalid_argument("SimMachine: dt must be > 0");
-  if (state_ == MachineState::kOff || state_ == MachineState::kOn)
+  if (state_ == MachineState::kOff || state_ == MachineState::kOn ||
+      state_ == MachineState::kFailed)
     return false;
   remaining_ -= dt;
   if (remaining_ > 1e-9) return false;

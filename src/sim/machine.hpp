@@ -1,16 +1,23 @@
 // Machine finite-state machine.
 //
-// Every physical machine is Off, Booting, On, or ShuttingDown. Transition
-// durations and energies come from its architecture profile (Table I: Ont,
-// OnE, Offt, OffE). Transition energy is spread uniformly over the
-// transition so that per-second accounting integrates to the measured
-// totals exactly.
+// Every physical machine is Off, Booting, On, ShuttingDown, or Failed.
+// Transition durations and energies come from its architecture profile
+// (Table I: Ont, OnE, Offt, OffE). Transition energy is spread uniformly
+// over the transition so that per-second accounting integrates to the
+// measured totals exactly.
 //
 //          request_on              boot done
 //   Off ---------------> Booting ------------> On
-//    ^                                          |
+//    ^  ^                                       |
+//    |  |     repair                fail        |
+//    |  +------------- Failed <-----------------+
 //    |        off done               request_off|
 //    +----------------- ShuttingDown <----------+
+//
+// A Failed machine is dead: it serves no load and draws no power. Repair
+// scheduling (when the fail/repair pair happens) lives above the FSM — the
+// runtime fault timeline (sim/fault_timeline.hpp) owns the clocks, the
+// machine only records the state.
 #pragma once
 
 #include <cstddef>
@@ -20,7 +27,7 @@
 
 namespace bml {
 
-enum class MachineState { kOff, kBooting, kOn, kShuttingDown };
+enum class MachineState { kOff, kBooting, kOn, kShuttingDown, kFailed };
 
 [[nodiscard]] const char* to_string(MachineState state);
 
@@ -53,6 +60,16 @@ class SimMachine {
   /// On -> ShuttingDown. Throws std::logic_error from any other state.
   /// A zero-duration shutdown completes immediately (machine goes Off).
   void request_off(const ArchitectureProfile& profile);
+
+  /// On -> Failed (a runtime crash). Throws std::logic_error from any
+  /// other state. The machine stops serving immediately; it stays Failed
+  /// until repair() — the repair clock is owned by the fault timeline.
+  void fail();
+
+  /// Failed -> Off (repair completed; the machine is usable again but
+  /// powered down — the scheduler must boot it like any Off machine).
+  /// Throws std::logic_error from any other state.
+  void repair();
 
   /// Power drawn this second by transition activity (0 when Off or On; the
   /// On-state power is computed by load dispatch at the cluster level).

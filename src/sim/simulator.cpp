@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <stdexcept>
 
+#include "sim/fault_timeline.hpp"
 #include "util/logging.hpp"
 
 namespace bml {
@@ -56,8 +58,8 @@ MultiSimulationResult Simulator::run(std::vector<Workload>& workloads) const {
     if (!w.scheduler)
       throw std::invalid_argument("Simulator: workload '" + w.name +
                                   "' has no scheduler");
-    views.push_back(
-        WorkloadView{&w.name, &w.trace, w.scheduler.get(), w.qos, w.share});
+    views.push_back(WorkloadView{&w.name, &w.trace, w.scheduler.get(), w.qos,
+                                 w.share, nullptr, &w.fault_domain});
   }
   return run_views(views);
 }
@@ -91,6 +93,39 @@ struct ReconfigState {
   bool reconfiguring = false;
   TimePoint started = 0;
   std::vector<int> deferred_offs;
+};
+
+/// Runtime-fault state of one run: the event timeline plus per-domain
+/// bookkeeping. Present only when FaultModel::runtime_active(). All of it
+/// is driven by the shared apply/account helpers, so the per-second
+/// reference and the event-driven fast path see the exact same failure
+/// history.
+struct FaultRun {
+  FaultTimeline timeline;
+  /// Workload index -> fault-domain index (views sharing a
+  /// WorkloadView::fault_domain name share an index; unnamed views get
+  /// private domains).
+  std::vector<std::size_t> domain_of;
+  std::size_t domains = 0;
+  /// Currently failed machines per [domain][arch], and integer per-domain
+  /// / cluster totals — downtime gating keys off these counts, never off
+  /// the capacity doubles (whose incremental sums can retain a rounding
+  /// residue after every machine is repaired).
+  std::vector<std::vector<int>> failed;
+  std::vector<int> failed_machines;
+  int total_failed_machines = 0;
+  /// Serving capacity currently down per domain (req/s) and its total;
+  /// snapped back to exactly 0 whenever the matching count reaches 0.
+  std::vector<ReqRate> failed_capacity;
+  ReqRate total_failed_capacity = 0.0;
+  /// Accounting integrals, per domain and cluster-wide (the cluster-wide
+  /// downtime is the union over domains, not the sum).
+  std::vector<TimePoint> unavailable_seconds;
+  std::vector<double> lost_capacity;
+  std::vector<int> failures;
+  TimePoint total_unavailable = 0;
+  double total_lost = 0.0;
+  int total_failures = 0;
 };
 
 /// Mutable state of one simulation run, shared by both execution
@@ -136,6 +171,9 @@ struct Run {
   std::vector<double> power_samples;
   double bucket_max = 0.0;
   std::size_t bucket_fill = 0;
+  /// Runtime crash/repair state; disengaged unless the fault model's
+  /// runtime channel is active.
+  std::optional<FaultRun> faults;
 };
 
 using WorkloadView = Simulator::WorkloadView;
@@ -189,6 +227,32 @@ Run make_run(const Catalog& candidates, const SimulatorOptions& options,
   run.app_qos.resize(views.size());
   run.loads.assign(views.size(), 0.0);
   run.alloc.assign(views.size(), 0.0);
+  if (options.faults.runtime_active()) {
+    FaultRun faults;
+    // Map views to fault domains: same non-empty name = shared domain,
+    // first-appearance order; unnamed views fail independently.
+    std::map<std::string, std::size_t> named;
+    faults.domain_of.reserve(views.size());
+    for (const WorkloadView& v : views) {
+      if (v.fault_domain == nullptr || v.fault_domain->empty()) {
+        faults.domain_of.push_back(faults.domains++);
+      } else {
+        const auto [it, inserted] =
+            named.try_emplace(*v.fault_domain, faults.domains);
+        if (inserted) ++faults.domains;
+        faults.domain_of.push_back(it->second);
+      }
+    }
+    faults.timeline =
+        FaultTimeline(options.faults, kinds, faults.domains);
+    faults.failed.assign(faults.domains, std::vector<int>(kinds, 0));
+    faults.failed_machines.assign(faults.domains, 0);
+    faults.failed_capacity.assign(faults.domains, 0.0);
+    faults.unavailable_seconds.assign(faults.domains, 0);
+    faults.lost_capacity.assign(faults.domains, 0.0);
+    faults.failures.assign(faults.domains, 0);
+    run.faults.emplace(std::move(faults));
+  }
   return run;
 }
 
@@ -209,6 +273,17 @@ void finalize_run(Run& run, const SimulatorOptions& options,
     r.power_series =
         TimeSeries(std::move(run.power_samples),
                    static_cast<Seconds>(options.record_power_every));
+  if (run.faults.has_value()) {
+    const FaultRun& fr = *run.faults;
+    r.machine_failures = fr.total_failures;
+    r.unavailable_seconds = fr.total_unavailable;
+    r.lost_capacity = fr.total_lost;
+    r.availability =
+        r.qos.total_seconds > 0
+            ? 1.0 - static_cast<double>(fr.total_unavailable) /
+                        static_cast<double>(r.qos.total_seconds)
+            : 1.0;
+  }
   out.total = std::move(run.result);
   out.apps.resize(views.size());
   for (std::size_t i = 0; i < views.size(); ++i) {
@@ -219,6 +294,18 @@ void finalize_run(Run& run, const SimulatorOptions& options,
     app.qos_stats = run.app_qos[i].stats();
     app.compute_energy = run.app_meters[i].compute_energy();
     app.reconfiguration_energy = run.app_meters[i].reconfiguration_energy();
+    if (run.faults.has_value()) {
+      const FaultRun& fr = *run.faults;
+      const std::size_t d = fr.domain_of[i];
+      app.failures = fr.failures[d];
+      app.unavailable_seconds = fr.unavailable_seconds[d];
+      app.lost_capacity = fr.lost_capacity[d];
+      app.availability =
+          app.qos_stats.total_seconds > 0
+              ? 1.0 - static_cast<double>(fr.unavailable_seconds[d]) /
+                          static_cast<double>(app.qos_stats.total_seconds)
+              : 1.0;
+    }
   }
 }
 
@@ -307,6 +394,122 @@ void settle_reconfiguration(TimePoint now, Cluster& cluster,
       events->record(now, EventKind::kReconfigurationComplete,
                      std::to_string(now - state.started + 1) + " s");
   }
+}
+
+/// Re-merges the current proposals against the surviving fleet after a
+/// failure and boots replacements for any deficit vs the merged target —
+/// the coordinator's answer to lost capacity. The merge is pure in the
+/// proposals, so the target itself is unchanged; what changes is the
+/// fleet underneath it, and the refreshed contributions / transition
+/// shares keep reconfiguration-energy attribution consistent while the
+/// replacements boot.
+void restore_after_failure(TimePoint now, const Catalog& candidates, Run& run,
+                           EventLog* events) {
+  Combination merged =
+      run.coordinator.merge(run.proposals, run.contributions_scratch);
+  run.contributions.swap(run.contributions_scratch);
+  update_transition_shares(candidates, run);
+  run.state.current_target = std::move(merged);
+
+  const ClusterSnapshot snap = run.cluster.snapshot();
+  bool any = false;
+  for (std::size_t a = 0; a < candidates.size(); ++a) {
+    // Machines already earmarked for this target: serving + booting,
+    // minus the surplus that graceful mode will switch off later.
+    const int have = snap.on.count(a) + snap.booting.count(a) -
+                     run.state.deferred_offs[a];
+    const int deficit = run.state.current_target.count(a) - have;
+    if (deficit > 0) {
+      run.cluster.switch_on(a, deficit);
+      any = true;
+    }
+  }
+  if (!any) return;
+  if (!run.state.reconfiguring) {
+    run.state.reconfiguring = true;
+    run.state.started = now;
+    ++run.result.reconfigurations;
+    if (events)
+      events->record(now, EventKind::kReconfigurationStart,
+                     "replace failed: " +
+                         to_string(candidates, run.state.current_target));
+  }
+  log_debug() << "t=" << now << " failure restore -> "
+              << to_string(candidates, run.state.current_target);
+}
+
+/// Applies every fault event due at `now` (shared verbatim by both
+/// execution strategies — the fast path guarantees events only ever land
+/// on span starts). A failure strike fells one On machine of its arch if
+/// the domain's coordinator contributions still entitle it to one; landed
+/// failures first consume a matching deferred switch-off (the surplus
+/// machine the decision was about to power down is simply dead instead),
+/// otherwise the fleet is restored against the merged target.
+void apply_fault_events(TimePoint now, const Catalog& candidates,
+                        const std::vector<WorkloadView>& views, Run& run,
+                        EventLog* events) {
+  FaultRun& fr = *run.faults;
+  bool need_restore = false;
+  while (std::optional<FaultEvent> e = fr.timeline.pop(now)) {
+    const ReqRate machine_capacity = candidates[e->arch].max_perf();
+    if (e->repair) {
+      run.cluster.repair_one(e->arch);
+      --fr.failed[e->domain][e->arch];
+      --fr.failed_machines[e->domain];
+      --fr.total_failed_machines;
+      fr.failed_capacity[e->domain] -= machine_capacity;
+      fr.total_failed_capacity -= machine_capacity;
+      // Kill any incremental-sum residue once everything is back up, so
+      // the availability integrand is exactly 0 between outages.
+      if (fr.failed_machines[e->domain] == 0)
+        fr.failed_capacity[e->domain] = 0.0;
+      if (fr.total_failed_machines == 0) fr.total_failed_capacity = 0.0;
+      if (events)
+        events->record(now, EventKind::kMachineRepair,
+                       candidates[e->arch].name());
+      continue;
+    }
+    int entitled = 0;
+    for (std::size_t i = 0; i < views.size(); ++i)
+      if (fr.domain_of[i] == e->domain)
+        entitled += run.contributions[i].count(e->arch);
+    if (fr.failed[e->domain][e->arch] >= entitled ||
+        run.cluster.on_count(e->arch) == 0)
+      continue;  // the strike found nothing of this domain's to kill
+    run.cluster.fail_one(e->arch);
+    ++fr.failed[e->domain][e->arch];
+    ++fr.failed_machines[e->domain];
+    ++fr.total_failed_machines;
+    fr.failed_capacity[e->domain] += machine_capacity;
+    fr.total_failed_capacity += machine_capacity;
+    ++fr.failures[e->domain];
+    ++fr.total_failures;
+    fr.timeline.schedule_repair(now + e->repair_seconds, e->domain, e->arch);
+    if (run.state.deferred_offs[e->arch] > 0)
+      --run.state.deferred_offs[e->arch];
+    else
+      need_restore = true;
+    if (events)
+      events->record(now, EventKind::kMachineFailure,
+                     candidates[e->arch].name());
+  }
+  if (need_restore) restore_after_failure(now, candidates, run, events);
+}
+
+/// Integrates the fault-accounting state over a span whose failure set is
+/// constant (1 s in the reference loop; a whole span on the fast path —
+/// fault events bound spans, so the set cannot change inside one).
+void account_fault_span(FaultRun& fr, TimePoint span) {
+  if (fr.total_failed_machines == 0) return;
+  for (std::size_t d = 0; d < fr.domains; ++d) {
+    if (fr.failed_machines[d] == 0) continue;
+    fr.unavailable_seconds[d] += span;
+    fr.lost_capacity[d] +=
+        fr.failed_capacity[d] * static_cast<double>(span);
+  }
+  fr.total_unavailable += span;
+  fr.total_lost +=
+      fr.total_failed_capacity * static_cast<double>(span);
 }
 
 /// Sums this span's per-app loads into `run.loads`; returns the total.
@@ -488,6 +691,13 @@ MultiSimulationResult Simulator::run_per_second(
   for (std::size_t t = 0; t < n; ++t) {
     const auto now = static_cast<TimePoint>(t);
 
+    // Fault events land at the start of the second, before any decision:
+    // the scheduler and the dispatcher see the post-failure fleet.
+    if (run.faults.has_value()) {
+      apply_fault_events(now, candidates_, views, run, events_ptr);
+      account_fault_span(*run.faults, 1);
+    }
+
     if (!run.state.reconfiguring)
       consult_and_apply(views, now, candidates_, options_.graceful_off, run,
                         events_ptr);
@@ -556,6 +766,12 @@ MultiSimulationResult Simulator::run_event_driven(
   const auto n = static_cast<TimePoint>(longest_trace(views));
   TimePoint t = 0;
   while (t < n) {
+    // 0. Fault events due now, exactly as in the reference loop. Events
+    //    can only be due at span starts: step 2 bounds every span by the
+    //    timeline's next event, so the failure set is constant inside one.
+    if (run.faults.has_value())
+      apply_fault_events(t, candidates_, views, run, nullptr);
+
     // 1. Scheduler decisions, exactly as in the reference loop. While no
     //    reconfiguration is in flight the cluster state cannot change, so
     //    the intersection of the schedulers' stability bounds tells us how
@@ -592,12 +808,20 @@ MultiSimulationResult Simulator::run_event_driven(
               ? t + static_cast<TimePoint>(std::ceil(remaining - 1e-9))
               : t + 1;
     }
+    // The next scheduled failure strike or repair completion bounds the
+    // span exactly like a machine transition: inside a span the failure
+    // set (and hence capacity, power, and the availability integrand) is
+    // constant. The timeline's events are strictly in the future of the
+    // drain in step 0, so this never shrinks the span below t + 1.
+    if (run.faults.has_value())
+      span_end = std::min(span_end, run.faults->timeline.next_event());
     // Clamping spans at day boundaries costs at most one extra span per
     // simulated day and lets EnergyMeter::add_runs fuse every sub-run of
     // a span into one day bucket instead of chunk-splitting per run.
     span_end = std::min(span_end, (t / kSecondsPerDay + 1) * kSecondsPerDay);
     span_end = std::clamp(span_end, t + 1, n);
     const TimePoint span = span_end - t;
+    if (run.faults.has_value()) account_fault_span(*run.faults, span);
 
     // 3. Advance the span in closed form: the fleet is constant, so each
     //    constant-load sub-run has constant power and QoS margins.

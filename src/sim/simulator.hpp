@@ -18,7 +18,14 @@
 //     shutdown) are metered separately and aggregated per day — both for
 //     the cluster and attributed per application (load-proportional
 //     capacity and compute-power splits, provisioned-share reconfiguration
-//     splits; see app/workload.hpp for the attribution rules).
+//     splits; see app/workload.hpp for the attribution rules);
+//   * runtime faults (FaultModel::mtbf/mttr) crash On machines and repair
+//     them on per-(fault domain, architecture) renewal processes
+//     (sim/fault_timeline.hpp). A landed failure consumes a pending
+//     deferred switch-off if one covers it, otherwise the simulator
+//     re-merges the current proposals against the surviving fleet and
+//     boots a replacement; availability and lost capacity are accounted
+//     per fault domain and reported per app (WorkloadResult).
 //
 // The single-workload run(Scheduler&, trace) API is the N = 1 case of the
 // same core loop: the sum coordinator is the identity for one app, so the
@@ -91,7 +98,14 @@ struct SimulatorOptions {
   /// Record the total power series downsampled by this factor (seconds per
   /// sample, max over the bucket); 0 disables recording.
   std::size_t record_power_every = 0;
-  /// Boot-path fault injection (jittered / retried boots).
+  /// Fault injection: boot-path jitter/retries, plus runtime crash/repair
+  /// processes (FaultModel::mtbf / mttr) with per-app fault domains
+  /// (WorkloadView::fault_domain). Runtime failures and repairs are
+  /// first-class events on the fast path — the next scheduled one bounds
+  /// a span exactly like a machine transition — and a felled machine
+  /// triggers a re-merge of the current proposals against the surviving
+  /// fleet, booting a replacement (self-healing; the felled machine
+  /// returns to the Off pool when repaired).
   FaultModel faults{};
   /// Record a structured event log (reconfigurations, transition batches,
   /// QoS violations). Bounded memory; see sim/event_log.hpp.
@@ -113,6 +127,16 @@ struct SimulationResult {
   std::int64_t reconfiguring_seconds = 0;
   /// Peak number of simultaneously provisioned machines.
   std::size_t peak_machines = 0;
+  /// Runtime-fault aggregates (FaultModel::mtbf; defaults describe a
+  /// fault-free run). `machine_failures` counts strikes that felled a
+  /// machine; `unavailable_seconds` is the time any machine was down
+  /// (union over fault domains), `availability` its complement as a
+  /// fraction of the replay, and `lost_capacity` the integral of failed
+  /// serving capacity over downtime (req·s).
+  int machine_failures = 0;
+  std::int64_t unavailable_seconds = 0;
+  double availability = 1.0;
+  double lost_capacity = 0.0;
   /// Optional downsampled total power (W), see record_power_every.
   TimeSeries power_series;
   /// Optional structured event log, see record_events.
@@ -151,6 +175,9 @@ class Simulator {
     /// same trace). Sweeps pass one shared compilation across scenarios;
     /// when null the event-driven path compiles its own once per run.
     const CompiledTrace* compiled = nullptr;
+    /// Fault-domain name for runtime faults (see Workload::fault_domain);
+    /// null or empty = the workload's own private domain.
+    const std::string* fault_domain = nullptr;
   };
 
   Simulator(Catalog candidates, SimulatorOptions options = {});

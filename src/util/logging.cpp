@@ -1,6 +1,7 @@
 #include "util/logging.hpp"
 
 #include <iostream>
+#include <stdexcept>
 
 namespace bml {
 
@@ -15,7 +16,7 @@ const char* level_name(LogLevel level) {
     case LogLevel::kError: return "ERROR";
     case LogLevel::kOff: return "OFF";
   }
-  return "?";
+  throw std::logic_error("level_name(LogLevel): invalid level");
 }
 }  // namespace
 

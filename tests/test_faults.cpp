@@ -1,4 +1,8 @@
-// Tests for boot-path fault injection (sim/cluster FaultModel).
+// Tests for fault injection (sim/cluster FaultModel): the boot-path
+// channel (jittered / retried boots) and the runtime crash/repair channel
+// (per-(domain, arch) MTBF/MTTR renewal processes, sim/fault_timeline.hpp)
+// — machine FSM transitions, timeline determinism, self-healing, and the
+// availability / lost-capacity accounting.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -6,6 +10,7 @@
 #include "core/bml_design.hpp"
 #include "predict/predictor.hpp"
 #include "sched/bml_scheduler.hpp"
+#include "sim/fault_timeline.hpp"
 #include "sim/simulator.hpp"
 #include "trace/synthetic.hpp"
 
@@ -84,6 +89,199 @@ TEST(FaultInjection, RetriesLengthenBoots) {
     ++seconds;
   }
   EXPECT_EQ(seconds, 24);
+}
+
+// ------------------------------------------------- runtime crash/repair
+
+TEST(FaultModel, RuntimeChannelActivation) {
+  FaultModel model;
+  EXPECT_FALSE(model.runtime_active());
+  model.mtbf = 3600.0;
+  EXPECT_TRUE(model.runtime_active());
+  model.mtbf = 0.0;
+  model.mtbf_per_arch = {0.0, 7200.0};
+  EXPECT_TRUE(model.runtime_active());
+  EXPECT_DOUBLE_EQ(model.arch_mtbf(1), 7200.0);
+  EXPECT_DOUBLE_EQ(model.arch_mtbf(0), 0.0);  // falls back to the scalar
+  model.mttr = 60.0;
+  EXPECT_DOUBLE_EQ(model.arch_mttr(1), 60.0);
+}
+
+TEST(FaultModel, ClusterValidatesRuntimeParameters) {
+  FaultModel bad;
+  bad.mtbf = -1.0;
+  EXPECT_THROW(Cluster(candidates(), {}, bad), std::invalid_argument);
+  FaultModel bad2;
+  bad2.mttr = -0.5;
+  EXPECT_THROW(Cluster(candidates(), {}, bad2), std::invalid_argument);
+  FaultModel bad3;
+  bad3.mtbf_per_arch.assign(candidates().size() + 1, 100.0);
+  EXPECT_THROW(Cluster(candidates(), {}, bad3), std::invalid_argument);
+  FaultModel bad4;
+  bad4.mttr_per_arch = {-3.0};
+  EXPECT_THROW(Cluster(candidates(), {}, bad4), std::invalid_argument);
+}
+
+TEST(SimMachine, FailAndRepairTransitions) {
+  SimMachine machine(0, MachineState::kOn);
+  machine.fail();
+  EXPECT_EQ(machine.state(), MachineState::kFailed);
+  EXPECT_FALSE(machine.serving());
+  EXPECT_STREQ(to_string(machine.state()), "Failed");
+  // Failed machines draw no transition power and do not advance on step.
+  const ArchitectureProfile& profile = candidates().front();
+  EXPECT_DOUBLE_EQ(machine.transition_power(profile), 0.0);
+  EXPECT_FALSE(machine.step(10.0));
+  EXPECT_EQ(machine.state(), MachineState::kFailed);
+  machine.repair();
+  EXPECT_EQ(machine.state(), MachineState::kOff);
+  // Illegal transitions throw.
+  EXPECT_THROW(machine.fail(), std::logic_error);    // Off machines cannot fail
+  EXPECT_THROW(machine.repair(), std::logic_error);  // nothing to repair
+}
+
+TEST(Cluster, FailOneAndRepairOneKeepCountsInSync) {
+  Cluster cluster(candidates(), Combination({2}));
+  const ReqRate full = cluster.on_capacity();
+  ASSERT_TRUE(cluster.fail_one(0));
+  EXPECT_EQ(cluster.on_count(0), 1);
+  EXPECT_EQ(cluster.failed_count(), 1);
+  EXPECT_LT(cluster.on_capacity(), full);
+  const ClusterSnapshot snap = cluster.snapshot();
+  EXPECT_EQ(snap.failed.count(0), 1);
+  EXPECT_EQ(snap.on.count(0), 1);
+  // Nothing of arch 1 is On: the strike misses.
+  EXPECT_FALSE(cluster.fail_one(1));
+  // Repair returns the machine to Off — and the free list reuses it.
+  cluster.repair_one(0);
+  EXPECT_EQ(cluster.failed_count(), 0);
+  const std::size_t provisioned = cluster.machine_count();
+  cluster.switch_on(0, 1);
+  EXPECT_EQ(cluster.machine_count(), provisioned);  // reused, not provisioned
+  EXPECT_THROW(cluster.repair_one(0), std::logic_error);
+}
+
+TEST(FaultTimeline, DeterministicPerSeedAndIndependentPerDomain) {
+  FaultModel model;
+  model.mtbf = 1000.0;
+  model.mttr = 300.0;
+  model.seed = 42;
+  auto drain = [](FaultTimeline timeline) {
+    std::vector<FaultEvent> events;
+    TimePoint t = 0;
+    while (events.size() < 20 && timeline.next_event() != FaultTimeline::kNever) {
+      t = timeline.next_event();
+      while (auto e = timeline.pop(t)) events.push_back(*e);
+    }
+    return events;
+  };
+  const auto a = drain(FaultTimeline(model, 2, 2));
+  const auto b = drain(FaultTimeline(model, 2, 2));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].domain, b[i].domain);
+    EXPECT_EQ(a[i].arch, b[i].arch);
+    EXPECT_EQ(a[i].repair_seconds, b[i].repair_seconds);
+  }
+  // The two domains' streams are distinct (golden-ratio seeding).
+  bool differs = false;
+  for (const FaultEvent& x : a)
+    for (const FaultEvent& y : a)
+      if (x.domain != y.domain && x.arch == y.arch && x.time != y.time)
+        differs = true;
+  EXPECT_TRUE(differs);
+  // A different seed reshuffles the timeline.
+  FaultModel other = model;
+  other.seed = 43;
+  const auto c = drain(FaultTimeline(other, 2, 2));
+  ASSERT_FALSE(c.empty());
+  EXPECT_NE(a.front().time, c.front().time);
+  // Inactive models produce no events.
+  EXPECT_EQ(FaultTimeline(FaultModel{}, 2, 2).next_event(),
+            FaultTimeline::kNever);
+}
+
+/// Shared runtime-fault scenario: steady load on the real catalog with
+/// failures frequent enough to land several times a day.
+SimulationResult run_faulty(std::uint64_t seed, bool event_driven = true) {
+  auto design =
+      std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
+  const LoadTrace trace = constant_trace(2000.0, 86'400.0);
+  SimulatorOptions options;
+  options.event_driven = event_driven;
+  options.faults.mtbf = 3600.0;
+  options.faults.mttr = 900.0;
+  options.faults.seed = seed;
+  const Simulator simulator(design->candidates(), options);
+  BmlScheduler scheduler(design, std::make_shared<OracleMaxPredictor>());
+  return simulator.run(scheduler, trace);
+}
+
+TEST(RuntimeFaults, FailuresLandRepairAndSelfHeal) {
+  const SimulationResult r = run_faulty(7);
+  EXPECT_GT(r.machine_failures, 0);
+  EXPECT_LT(r.availability, 1.0);
+  EXPECT_GT(r.availability, 0.0);
+  EXPECT_GT(r.unavailable_seconds, 0);
+  EXPECT_GT(r.lost_capacity, 0.0);
+  // Self-healing replaced felled machines: reconfigurations happened even
+  // though the load (and thus the scheduler's proposal) never changed.
+  EXPECT_GT(r.reconfigurations, 0);
+  // The replacement boots bound the outage: the service still served the
+  // overwhelming majority of requests.
+  EXPECT_GT(r.qos.served_fraction(), 0.9);
+}
+
+TEST(RuntimeFaults, IdenticalSeedIdenticalTimeline) {
+  const SimulationResult a = run_faulty(11);
+  const SimulationResult b = run_faulty(11);
+  EXPECT_EQ(a.machine_failures, b.machine_failures);
+  EXPECT_EQ(a.unavailable_seconds, b.unavailable_seconds);
+  EXPECT_EQ(a.reconfigurations, b.reconfigurations);
+  EXPECT_EQ(a.qos.violation_seconds, b.qos.violation_seconds);
+  EXPECT_EQ(a.compute_energy, b.compute_energy);  // bitwise
+  EXPECT_EQ(a.lost_capacity, b.lost_capacity);
+  const SimulationResult c = run_faulty(12);
+  EXPECT_NE(a.unavailable_seconds, c.unavailable_seconds);
+}
+
+TEST(RuntimeFaults, ZeroRateIsExactlyFaultFree) {
+  auto design =
+      std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
+  const LoadTrace trace = step_trace({{200.0, 1800.0}, {2300.0, 1800.0}});
+  SimulatorOptions faulty;
+  faulty.faults.mtbf = 0.0;  // configured struct, zero rate
+  faulty.faults.mttr = 500.0;
+  const Simulator sim_faulty(design->candidates(), faulty);
+  const Simulator sim_plain(design->candidates());
+  BmlScheduler s1(design, std::make_shared<OracleMaxPredictor>());
+  BmlScheduler s2(design, std::make_shared<OracleMaxPredictor>());
+  const SimulationResult a = sim_faulty.run(s1, trace);
+  const SimulationResult b = sim_plain.run(s2, trace);
+  EXPECT_EQ(a.compute_energy, b.compute_energy);  // bitwise
+  EXPECT_EQ(a.reconfiguration_energy, b.reconfiguration_energy);
+  EXPECT_EQ(a.machine_failures, 0);
+  EXPECT_DOUBLE_EQ(a.availability, 1.0);
+  EXPECT_EQ(a.unavailable_seconds, 0);
+}
+
+TEST(RuntimeFaults, EventLogRecordsFailuresAndRepairs) {
+  auto design =
+      std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
+  const LoadTrace trace = constant_trace(2000.0, 43'200.0);
+  SimulatorOptions options;
+  options.faults.mtbf = 1800.0;
+  options.faults.mttr = 600.0;
+  options.faults.seed = 3;
+  options.record_events = true;
+  const Simulator simulator(design->candidates(), options);
+  BmlScheduler scheduler(design, std::make_shared<OracleMaxPredictor>());
+  const SimulationResult r = simulator.run(scheduler, trace);
+  ASSERT_GT(r.machine_failures, 0);
+  EXPECT_EQ(r.events.count(EventKind::kMachineFailure),
+            static_cast<std::size_t>(r.machine_failures));
+  EXPECT_GT(r.events.count(EventKind::kMachineRepair), 0u);
 }
 
 TEST(FaultInjection, SimulationSurvivesJitterWithPaperWindow) {

@@ -237,6 +237,61 @@ TEST(Coordinator, PartitionedClampsToCapacityShares) {
             coordinator.capacity_cap(0) + 1e-9);
 }
 
+TEST(Coordinator, FinalTrimStepPicksTheSmallestSufficientArch) {
+  // Regression: the clamp used to trim largest-arch-first to the end,
+  // overshooting the cap by nearly one Big machine when dropping a
+  // smaller arch would have sufficed. With a cap of one Big plus half a
+  // Little, a proposal of {1 Big, 1 Little} must shed the Little (keeping
+  // capacity = Big <= cap), not the Big (capacity = Little, a huge
+  // overshoot).
+  const Catalog catalog = design()->candidates();
+  ASSERT_GE(catalog.size(), 2u);
+  const std::size_t little = catalog.size() - 1;
+  const ReqRate big_perf = catalog.front().max_perf();
+  const ReqRate little_perf = catalog[little].max_perf();
+  ASSERT_GT(big_perf, little_perf);
+
+  const ReqRate cap = big_perf + 0.5 * little_perf;
+  const Coordinator coordinator(catalog, CoordinatorMode::kPartitioned, {1.0},
+                                cap);
+  Combination proposal;
+  proposal.resize(catalog.size());
+  proposal.add(0, 1);
+  proposal.add(little, 1);
+  std::vector<Combination> contributions;
+  const Combination merged = coordinator.merge({proposal}, contributions);
+  EXPECT_EQ(merged.count(0), 1);
+  EXPECT_EQ(merged.count(little), 0);
+  EXPECT_DOUBLE_EQ(capacity(catalog, merged), big_perf);
+  // Determinism: the same inputs trim identically.
+  std::vector<Combination> again;
+  EXPECT_EQ(coordinator.merge({proposal}, again), merged);
+}
+
+TEST(Coordinator, TrimStillShedsLargestFirstWhileFarOverCap) {
+  // When no single removal can reach the cap the trim must still shed the
+  // largest architecture first (fastest convergence): 3 Bigs against a
+  // 1.2-Big cap end as exactly 1 Big.
+  const Catalog catalog = design()->candidates();
+  const ReqRate big_perf = catalog.front().max_perf();
+  const Coordinator coordinator(catalog, CoordinatorMode::kPartitioned, {1.0},
+                                1.2 * big_perf);
+  Combination proposal;
+  proposal.resize(catalog.size());
+  proposal.add(0, 3);
+  std::vector<Combination> contributions;
+  const Combination merged = coordinator.merge({proposal}, contributions);
+  EXPECT_EQ(merged.count(0), 1);
+  EXPECT_LE(capacity(catalog, merged), 1.2 * big_perf + 1e-9);
+}
+
+TEST(Coordinator, ToStringRejectsInvalidMode) {
+  EXPECT_STREQ(to_string(CoordinatorMode::kSum), "sum");
+  EXPECT_STREQ(to_string(CoordinatorMode::kPartitioned), "partitioned");
+  EXPECT_THROW((void)to_string(static_cast<CoordinatorMode>(99)),
+               std::logic_error);
+}
+
 TEST(Coordinator, NoBudgetDisablesTheClamp) {
   const Catalog catalog = design()->candidates();
   const Coordinator coordinator(catalog, CoordinatorMode::kPartitioned,
@@ -260,6 +315,55 @@ TEST(Coordinator, RejectsBadInputs) {
       (void)coordinator.merge({Combination({1}), Combination({1})},
                               contributions),
       std::invalid_argument);
+}
+
+// ------------------------------------------------------- fault domains
+
+TEST(MultiWorkload, FaultDomainsGroupAndIsolate) {
+  const auto make_workloads = [](const std::string& domain_a,
+                                 const std::string& domain_b) {
+    std::vector<Workload> workloads;
+    for (const std::string* domain : {&domain_a, &domain_b}) {
+      Workload w;
+      w.name = "app" + std::to_string(workloads.size());
+      w.trace = constant_trace(900.0, 86'400.0);
+      w.scheduler = std::make_unique<BmlScheduler>(
+          design(), std::make_shared<OracleMaxPredictor>());
+      w.fault_domain = *domain;
+      workloads.push_back(std::move(w));
+    }
+    return workloads;
+  };
+  SimulatorOptions options;
+  options.faults.mtbf = 2400.0;
+  options.faults.mttr = 600.0;
+  options.faults.seed = 19;
+  const Simulator sim(design()->candidates(), options);
+
+  // Same named domain: one shared crash/repair process, both apps report
+  // the identical domain slice and the cluster total counts it once.
+  auto shared = make_workloads("pool", "pool");
+  const MultiSimulationResult grouped = sim.run(shared);
+  ASSERT_GT(grouped.total.machine_failures, 0);
+  EXPECT_EQ(grouped.apps[0].failures, grouped.apps[1].failures);
+  EXPECT_EQ(grouped.apps[0].unavailable_seconds,
+            grouped.apps[1].unavailable_seconds);
+  EXPECT_EQ(grouped.apps[0].failures, grouped.total.machine_failures);
+
+  // Private (default) domains: independent processes, the cluster total
+  // is the sum of the per-domain counts and the downtime union is bounded
+  // by the per-domain sum.
+  auto isolated = make_workloads("", "");
+  const MultiSimulationResult split = sim.run(isolated);
+  ASSERT_GT(split.total.machine_failures, 0);
+  EXPECT_EQ(split.apps[0].failures + split.apps[1].failures,
+            split.total.machine_failures);
+  EXPECT_LE(split.total.unavailable_seconds,
+            split.apps[0].unavailable_seconds +
+                split.apps[1].unavailable_seconds);
+  // The domains really are distinct streams.
+  EXPECT_NE(split.apps[0].unavailable_seconds,
+            split.apps[1].unavailable_seconds);
 }
 
 // ---------------------------------------------------- capacity splitting

@@ -251,6 +251,154 @@ TEST(ScenarioSpec, AppAxisValuesAreProbedAtParseTime) {
       std::runtime_error);
 }
 
+// ------------------------------------------------------- runtime faults
+
+constexpr const char* kFaultySpec = R"(name = faulty
+seed = 9
+faults.mtbf = 3600
+faults.mttr = 600
+faults.seed = 21
+[app]
+name = web
+trace = constant
+trace.rate = 1200
+trace.duration = 43200
+fault_domain = pool
+[app]
+name = api
+trace = constant
+trace.rate = 600
+trace.duration = 43200
+fault_domain = pool
+[app]
+name = batch
+trace = constant
+trace.rate = 300
+trace.duration = 43200
+)";
+
+TEST(ScenarioSpec, ParsesFaultKeysAndRoundTrips) {
+  const ScenarioSpec spec = parse_scenario(kFaultySpec);
+  EXPECT_DOUBLE_EQ(spec.fault_mtbf, 3600.0);
+  EXPECT_DOUBLE_EQ(spec.fault_mttr, 600.0);
+  EXPECT_EQ(spec.fault_seed, 21);
+  ASSERT_EQ(spec.apps.size(), 3u);
+  EXPECT_EQ(spec.apps[0].fault_domain, "pool");
+  EXPECT_EQ(spec.apps[1].fault_domain, "pool");
+  EXPECT_EQ(spec.apps[2].fault_domain, "");
+  const std::string text = write_scenario(spec);
+  EXPECT_EQ(parse_scenario(text), spec);
+  EXPECT_EQ(write_scenario(parse_scenario(text)), text);
+  // The default spec (no fault seed) round-trips without the key.
+  const ScenarioSpec plain;
+  EXPECT_EQ(write_scenario(plain).find("faults.seed"), std::string::npos);
+  EXPECT_EQ(parse_scenario(write_scenario(plain)), plain);
+}
+
+TEST(ScenarioSpec, NumericKeysRejectTrailingGarbageNamingTheKey) {
+  // Full-token numeric parsing: "3x" must never silently parse as 3, and
+  // the error must name the offending key.
+  const std::pair<const char*, const char*> cases[] = {
+      {"faults.mtbf = 3x\n", "faults.mtbf"},
+      {"faults.mttr = 60s\n", "faults.mttr"},
+      {"faults.seed = 7q\n", "faults.seed"},
+      {"seed = 1 2\n", "seed"},
+      {"coordinator.budget = 35o0\n", "coordinator.budget"},
+      {"design.max_rate = 10x0\n", "design.max_rate"},
+      {"[app]\nshare = 2x\n", "share"},
+  };
+  for (const auto& [text, key] : cases) {
+    try {
+      (void)parse_scenario(text);
+      FAIL() << "expected std::runtime_error for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(key), std::string::npos)
+          << "error '" << e.what() << "' does not name key " << key;
+    }
+  }
+  // Sweep axis values go through the same probing.
+  try {
+    (void)parse_scenario("sweep faults.mtbf = 3600,1h\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("faults.mtbf"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_scenario("faults.mtbf = -5\n"),
+               std::runtime_error);
+}
+
+TEST(RunScenario, FaultySpecReportsPerDomainAvailability) {
+  const ScenarioResult result = run_scenario(parse_scenario(kFaultySpec));
+  ASSERT_EQ(result.apps.size(), 3u);
+  EXPECT_GT(result.sim.machine_failures, 0);
+  EXPECT_LT(result.sim.availability, 1.0);
+  // web and api share the "pool" domain; batch has its own.
+  EXPECT_EQ(result.apps[0].failures, result.apps[1].failures);
+  EXPECT_EQ(result.apps[0].unavailable_seconds,
+            result.apps[1].unavailable_seconds);
+  EXPECT_EQ(result.apps[0].failures + result.apps[2].failures,
+            result.sim.machine_failures);
+}
+
+TEST(RunSweep, FaultAxesShareOneBuildAndStayDeterministic) {
+  // faults.* axes are runtime-only: the catalog / trace / design build is
+  // shared across the whole grid even though the rows differ, and the CSV
+  // stays byte-identical across thread counts.
+  ScenarioSpec spec;
+  spec.name = "faulty-grid";
+  spec.trace = "constant";
+  spec.trace_params["rate"] = "1500";
+  spec.trace_params["duration"] = "43200";
+  spec.sweeps.push_back(SweepAxis{"faults.mtbf", {"1800", "7200"}});
+  spec.sweeps.push_back(SweepAxis{"faults.seed", {"1", "2"}});
+
+  const std::uint64_t before = CombinationTable::built_count();
+  const SweepReport one = run_sweep(spec, SweepOptions{.threads = 1});
+  EXPECT_EQ(CombinationTable::built_count() - before, 1u);
+  ASSERT_EQ(one.rows.size(), 4u);
+  for (const SweepRow& row : one.rows) {
+    EXPECT_TRUE(row.faults_enabled);
+    EXPECT_GT(row.machine_failures, 0);
+    EXPECT_LT(row.availability, 1.0);
+  }
+  // More frequent strikes cost more availability (same seed, same trace).
+  EXPECT_LT(one.rows[0].availability, one.rows[2].availability);
+  // Different fault seeds land different timelines.
+  EXPECT_NE(one.rows[0].availability, one.rows[1].availability);
+
+  const SweepReport four = run_sweep(spec, SweepOptions{.threads = 4});
+  EXPECT_EQ(one.to_csv(), four.to_csv());
+  EXPECT_NE(one.to_csv().find("machine_failures"), std::string::npos);
+  EXPECT_NE(one.to_csv().find("lost_capacity_req_s"), std::string::npos);
+}
+
+TEST(RunSweep, ZeroRateFaultConfigKeepsTheClassicCsvSchema) {
+  // A spec that never enables the runtime channel must keep the exact
+  // pre-fault column set — the CSV regression guard for downstream
+  // tooling — and an explicit zero-rate config is byte-identical to an
+  // untouched spec.
+  ScenarioSpec spec;
+  spec.name = "clean";
+  spec.trace = "constant";
+  spec.trace_params["rate"] = "400";
+  spec.trace_params["duration"] = "1200";
+  spec.sweeps.push_back(SweepAxis{"scheduler", {"bml", "reactive"}});
+  const SweepReport plain = run_sweep(spec, SweepOptions{.threads = 1});
+
+  ScenarioSpec zero = spec;
+  zero.fault_mtbf = 0.0;
+  zero.fault_mttr = 500.0;  // configured but rate 0: channel stays off
+  const SweepReport zeroed = run_sweep(zero, SweepOptions{.threads = 1});
+  EXPECT_EQ(plain.to_csv(), zeroed.to_csv());
+
+  const std::string csv = plain.to_csv();
+  const std::string header = csv.substr(0, csv.find('\n'));
+  EXPECT_EQ(header,
+            "scenario,scheduler,scheduler_name,total_energy_j,"
+            "compute_energy_j,reconfiguration_energy_j,reconfigurations,"
+            "qos_violation_s,served_fraction,mean_power_w,peak_machines");
+}
+
 TEST(Registry, UnknownComponentsListAlternatives) {
   try {
     (void)make_trace("sinusoid", {}, 1);

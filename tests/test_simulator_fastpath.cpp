@@ -58,6 +58,10 @@ void expect_equivalent(
   EXPECT_EQ(fast.reconfigurations, reference.reconfigurations);
   EXPECT_EQ(fast.reconfiguring_seconds, reference.reconfiguring_seconds);
   EXPECT_EQ(fast.peak_machines, reference.peak_machines);
+  EXPECT_EQ(fast.machine_failures, reference.machine_failures);
+  EXPECT_EQ(fast.unavailable_seconds, reference.unavailable_seconds);
+  EXPECT_EQ(fast.availability, reference.availability);
+  expect_close(fast.lost_capacity, reference.lost_capacity, "lost_capacity");
 
   EXPECT_EQ(fast.qos.total_seconds, reference.qos.total_seconds);
   EXPECT_EQ(fast.qos.violation_seconds, reference.qos.violation_seconds);
@@ -269,6 +273,136 @@ TEST(SimulatorFastPath, MultiAppNoisyTraces) {
     expect_close(fast.apps[i].reconfiguration_energy,
                  reference.apps[i].reconfiguration_energy, names[i].c_str());
   }
+}
+
+// Runtime crash/repair faults are first-class fast-path events: the next
+// scheduled failure or repair bounds a span exactly like a machine
+// transition, so the equivalence contract (bit-exact integer counters,
+// 1e-9 on the integrals) must hold with an active runtime FaultModel too.
+SimulatorOptions runtime_fault_options(std::uint64_t seed) {
+  SimulatorOptions options;
+  options.faults.mtbf = 2400.0;
+  options.faults.mttr = 700.0;
+  options.faults.seed = seed;
+  return options;
+}
+
+void expect_fault_accounting_equivalent(const SimulationResult& fast,
+                                        const SimulationResult& reference) {
+  EXPECT_EQ(fast.machine_failures, reference.machine_failures);
+  EXPECT_EQ(fast.unavailable_seconds, reference.unavailable_seconds);
+  EXPECT_EQ(fast.availability, reference.availability);  // integer-derived
+  expect_close(fast.lost_capacity, reference.lost_capacity, "lost_capacity");
+}
+
+TEST(SimulatorFastPath, RuntimeFaultsSteadyTrace) {
+  const LoadTrace trace = constant_trace(2100.0, 86'400.0);
+  const SimulatorOptions options = runtime_fault_options(5);
+
+  SimulatorOptions fast_options = options;
+  fast_options.event_driven = true;
+  SimulatorOptions reference_options = options;
+  reference_options.event_driven = false;
+  const Simulator fast_sim(design()->candidates(), fast_options);
+  const Simulator reference_sim(design()->candidates(), reference_options);
+  auto fast_scheduler = oracle_bml();
+  auto reference_scheduler = oracle_bml();
+  const SimulationResult fast = fast_sim.run(*fast_scheduler, trace);
+  const SimulationResult reference =
+      reference_sim.run(*reference_scheduler, trace);
+
+  ASSERT_GT(reference.machine_failures, 0);
+  expect_fault_accounting_equivalent(fast, reference);
+  expect_equivalent(oracle_bml, trace, options);
+}
+
+TEST(SimulatorFastPath, RuntimeFaultsNoisyWorldCup) {
+  expect_equivalent(oracle_bml, noisy_worldcup_trace(),
+                    runtime_fault_options(13));
+}
+
+TEST(SimulatorFastPath, RuntimeFaultsWithBootFaultsAndImmediateOff) {
+  SimulatorOptions options = runtime_fault_options(17);
+  options.faults.boot_time_jitter = 0.3;
+  options.faults.boot_failure_prob = 0.2;
+  options.graceful_off = false;
+  expect_equivalent(oracle_bml, noisy_worldcup_trace(), options);
+}
+
+TEST(SimulatorFastPath, RuntimeFaultsReactiveScheduler) {
+  const LoadTrace trace = step_trace(
+      {{150.0, 7200.0}, {2400.0, 14400.0}, {300.0, 7200.0}});
+  expect_equivalent(
+      [] { return std::make_unique<ReactiveScheduler>(design()); }, trace,
+      runtime_fault_options(23));
+}
+
+TEST(SimulatorFastPath, RuntimeFaultsMultiAppDomains) {
+  // Three noisy apps, two sharing a fault domain: per-app counters and
+  // integrals must match the per-second reference exactly / within 1e-9.
+  DiurnalOptions web;
+  web.peak = 1200.0;
+  web.noise = 0.2;
+  web.seed = 3;
+  DiurnalOptions api;
+  api.peak = 900.0;
+  api.noise = 0.25;
+  api.peak_hour = 6.0;
+  api.seed = 4;
+  const LoadTrace traces[] = {diurnal_trace(web, 1), diurnal_trace(api, 1),
+                              constant_trace(500.0, 86'400.0)};
+  const std::string names[] = {"web", "api", "batch"};
+  const std::string domains[] = {"pool-a", "pool-a", ""};
+
+  const auto run_with = [&](bool event_driven) {
+    SimulatorOptions options = runtime_fault_options(29);
+    options.event_driven = event_driven;
+    const Simulator sim(design()->candidates(), options);
+    std::vector<std::unique_ptr<Scheduler>> schedulers;
+    std::vector<Simulator::WorkloadView> views;
+    for (std::size_t i = 0; i < 3; ++i) {
+      schedulers.push_back(std::make_unique<BmlScheduler>(
+          design(), std::make_shared<OracleMaxPredictor>()));
+      views.push_back(Simulator::WorkloadView{
+          &names[i], &traces[i], schedulers[i].get(), QosClass::kTolerant,
+          1.0, nullptr, &domains[i]});
+    }
+    return sim.run(views);
+  };
+
+  const MultiSimulationResult fast = run_with(true);
+  const MultiSimulationResult reference = run_with(false);
+  ASSERT_GT(reference.total.machine_failures, 0);
+  expect_fault_accounting_equivalent(fast.total, reference.total);
+  expect_close(fast.total.compute_energy, reference.total.compute_energy,
+               "compute_energy");
+  expect_close(fast.total.reconfiguration_energy,
+               reference.total.reconfiguration_energy,
+               "reconfiguration_energy");
+  EXPECT_EQ(fast.total.reconfigurations, reference.total.reconfigurations);
+  EXPECT_EQ(fast.total.qos.violation_seconds,
+            reference.total.qos.violation_seconds);
+  ASSERT_EQ(fast.apps.size(), reference.apps.size());
+  for (std::size_t i = 0; i < reference.apps.size(); ++i) {
+    EXPECT_EQ(fast.apps[i].failures, reference.apps[i].failures) << names[i];
+    EXPECT_EQ(fast.apps[i].unavailable_seconds,
+              reference.apps[i].unavailable_seconds)
+        << names[i];
+    EXPECT_EQ(fast.apps[i].availability, reference.apps[i].availability)
+        << names[i];
+    expect_close(fast.apps[i].lost_capacity, reference.apps[i].lost_capacity,
+                 names[i].c_str());
+    expect_close(fast.apps[i].compute_energy, reference.apps[i].compute_energy,
+                 names[i].c_str());
+    EXPECT_EQ(fast.apps[i].qos_stats.violation_seconds,
+              reference.apps[i].qos_stats.violation_seconds)
+        << names[i];
+  }
+  // Apps sharing a domain report the same domain slice; the private
+  // domain's numbers are its own.
+  EXPECT_EQ(reference.apps[0].failures, reference.apps[1].failures);
+  EXPECT_EQ(reference.apps[0].unavailable_seconds,
+            reference.apps[1].unavailable_seconds);
 }
 
 TEST(SimulatorFastPath, BootFaultScenario) {

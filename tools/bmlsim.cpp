@@ -4,7 +4,9 @@
 //       Run one scenario and print its summary (per-day energies with
 //       --per-day); --csv dumps the single-row sweep CSV. Multi-tenant
 //       specs ([app] sections) additionally print the per-application
-//       energy / QoS attribution table.
+//       energy / QoS attribution table; runtime-fault specs (faults.mtbf)
+//       add the cluster failure/availability line and per-app avail % /
+//       failures columns.
 //
 //   bmlsim sweep <spec.scn> [--threads N] [--csv FILE]
 //       Expand the spec's `sweep` axes into the grid, run it in parallel,
@@ -19,6 +21,7 @@
 //       Parse a spec and echo its canonical form (a format round-trip).
 //
 // Exit codes: 0 success, 1 usage error, 2 spec/runtime error.
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -93,17 +96,35 @@ int cmd_run(const std::string& path, const std::string& csv_path,
               "over %d reconfigurations\n",
               sim.scheduler_name.c_str(), joules_to_kwh(sim.compute_energy),
               joules_to_kwh(sim.reconfiguration_energy), sim.reconfigurations);
+  const bool faulty = spec.fault_mtbf > 0.0;
+  if (faulty)
+    std::printf("faults: %d machine failures, availability %.4f%%, "
+                "%.0f req-s capacity lost\n",
+                sim.machine_failures, 100.0 * sim.availability,
+                sim.lost_capacity);
   const std::vector<WorkloadResult>& apps = report.results.front().apps;
   if (apps.size() >= 2) {
-    AsciiTable per_app({"app", "scheduler", "compute (kWh)",
-                        "reconfig (kWh)", "QoS viol (s)", "served %"});
-    for (const WorkloadResult& app : apps)
-      per_app.add_row(
-          {app.name, app.scheduler_name,
-           AsciiTable::num(joules_to_kwh(app.compute_energy), 3),
-           AsciiTable::num(joules_to_kwh(app.reconfiguration_energy), 3),
-           std::to_string(app.qos_stats.violation_seconds),
-           AsciiTable::num(100.0 * app.qos_stats.served_fraction(), 3)});
+    std::vector<std::string> columns{"app",           "scheduler",
+                                     "compute (kWh)", "reconfig (kWh)",
+                                     "QoS viol (s)",  "served %"};
+    if (faulty) {
+      columns.push_back("avail %");
+      columns.push_back("failures");
+    }
+    AsciiTable per_app(columns);
+    for (const WorkloadResult& app : apps) {
+      std::vector<std::string> cells{
+          app.name, app.scheduler_name,
+          AsciiTable::num(joules_to_kwh(app.compute_energy), 3),
+          AsciiTable::num(joules_to_kwh(app.reconfiguration_energy), 3),
+          std::to_string(app.qos_stats.violation_seconds),
+          AsciiTable::num(100.0 * app.qos_stats.served_fraction(), 3)};
+      if (faulty) {
+        cells.push_back(AsciiTable::num(100.0 * app.availability, 4));
+        cells.push_back(std::to_string(app.failures));
+      }
+      per_app.add_row(cells);
+    }
     std::fputs(per_app.render().c_str(), stdout);
   }
   if (per_day) {
@@ -153,11 +174,23 @@ int main(int argc, char** argv) {
     if (arg == "--csv" && i + 1 < argc) {
       csv_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
+      // Strict full-token parsing: "--threads 3x" is an error naming the
+      // flag, never a silent 3.
+      const char* text = argv[++i];
+      std::int64_t value = 0;
       try {
-        threads = static_cast<unsigned>(parse_int(argv[++i]));
+        value = parse_int(text);
       } catch (const std::exception&) {
-        return usage(argv[0]);
+        value = -1;
       }
+      if (value < 0) {
+        std::fprintf(stderr,
+                     "%s: --threads must be a non-negative integer, got "
+                     "'%s'\n",
+                     argv[0], text);
+        return 1;
+      }
+      threads = static_cast<unsigned>(value);
     } else if (arg == "--per-day") {
       per_day = true;
     } else if (!arg.starts_with("--") && spec_path.empty()) {
