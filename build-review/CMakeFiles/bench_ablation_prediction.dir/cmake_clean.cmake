@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prediction.dir/bench/bench_ablation_prediction.cpp.o"
+  "CMakeFiles/bench_ablation_prediction.dir/bench/bench_ablation_prediction.cpp.o.d"
+  "bench_ablation_prediction"
+  "bench_ablation_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

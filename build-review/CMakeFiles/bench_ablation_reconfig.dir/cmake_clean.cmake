@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reconfig.dir/bench/bench_ablation_reconfig.cpp.o"
+  "CMakeFiles/bench_ablation_reconfig.dir/bench/bench_ablation_reconfig.cpp.o.d"
+  "bench_ablation_reconfig"
+  "bench_ablation_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_candidates.dir/bench/bench_fig1_candidates.cpp.o"
+  "CMakeFiles/bench_fig1_candidates.dir/bench/bench_fig1_candidates.cpp.o.d"
+  "bench_fig1_candidates"
+  "bench_fig1_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

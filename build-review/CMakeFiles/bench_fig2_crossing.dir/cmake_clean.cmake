@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_crossing.dir/bench/bench_fig2_crossing.cpp.o"
+  "CMakeFiles/bench_fig2_crossing.dir/bench/bench_fig2_crossing.cpp.o.d"
+  "bench_fig2_crossing"
+  "bench_fig2_crossing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_crossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_bml_curve.dir/bench/bench_fig4_bml_curve.cpp.o"
+  "CMakeFiles/bench_fig4_bml_curve.dir/bench/bench_fig4_bml_curve.cpp.o.d"
+  "bench_fig4_bml_curve"
+  "bench_fig4_bml_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_bml_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_bml_curve.
+# This may be replaced when dependencies are built.

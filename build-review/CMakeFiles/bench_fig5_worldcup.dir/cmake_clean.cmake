@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_worldcup.dir/bench/bench_fig5_worldcup.cpp.o"
+  "CMakeFiles/bench_fig5_worldcup.dir/bench/bench_fig5_worldcup.cpp.o.d"
+  "bench_fig5_worldcup"
+  "bench_fig5_worldcup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_worldcup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/application.cpp" "CMakeFiles/bml.dir/src/app/application.cpp.o" "gcc" "CMakeFiles/bml.dir/src/app/application.cpp.o.d"
+  "/root/repo/src/app/load_balancer.cpp" "CMakeFiles/bml.dir/src/app/load_balancer.cpp.o" "gcc" "CMakeFiles/bml.dir/src/app/load_balancer.cpp.o.d"
+  "/root/repo/src/app/migration.cpp" "CMakeFiles/bml.dir/src/app/migration.cpp.o" "gcc" "CMakeFiles/bml.dir/src/app/migration.cpp.o.d"
+  "/root/repo/src/app/workload.cpp" "CMakeFiles/bml.dir/src/app/workload.cpp.o" "gcc" "CMakeFiles/bml.dir/src/app/workload.cpp.o.d"
+  "/root/repo/src/arch/catalog.cpp" "CMakeFiles/bml.dir/src/arch/catalog.cpp.o" "gcc" "CMakeFiles/bml.dir/src/arch/catalog.cpp.o.d"
+  "/root/repo/src/arch/profile.cpp" "CMakeFiles/bml.dir/src/arch/profile.cpp.o" "gcc" "CMakeFiles/bml.dir/src/arch/profile.cpp.o.d"
+  "/root/repo/src/core/bml_design.cpp" "CMakeFiles/bml.dir/src/core/bml_design.cpp.o" "gcc" "CMakeFiles/bml.dir/src/core/bml_design.cpp.o.d"
+  "/root/repo/src/core/candidate_filter.cpp" "CMakeFiles/bml.dir/src/core/candidate_filter.cpp.o" "gcc" "CMakeFiles/bml.dir/src/core/candidate_filter.cpp.o.d"
+  "/root/repo/src/core/combination.cpp" "CMakeFiles/bml.dir/src/core/combination.cpp.o" "gcc" "CMakeFiles/bml.dir/src/core/combination.cpp.o.d"
+  "/root/repo/src/core/combination_table.cpp" "CMakeFiles/bml.dir/src/core/combination_table.cpp.o" "gcc" "CMakeFiles/bml.dir/src/core/combination_table.cpp.o.d"
+  "/root/repo/src/core/crossing.cpp" "CMakeFiles/bml.dir/src/core/crossing.cpp.o" "gcc" "CMakeFiles/bml.dir/src/core/crossing.cpp.o.d"
+  "/root/repo/src/core/decision_thresholds.cpp" "CMakeFiles/bml.dir/src/core/decision_thresholds.cpp.o" "gcc" "CMakeFiles/bml.dir/src/core/decision_thresholds.cpp.o.d"
+  "/root/repo/src/core/dispatch_plan.cpp" "CMakeFiles/bml.dir/src/core/dispatch_plan.cpp.o" "gcc" "CMakeFiles/bml.dir/src/core/dispatch_plan.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "CMakeFiles/bml.dir/src/core/sensitivity.cpp.o" "gcc" "CMakeFiles/bml.dir/src/core/sensitivity.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "CMakeFiles/bml.dir/src/core/solver.cpp.o" "gcc" "CMakeFiles/bml.dir/src/core/solver.cpp.o.d"
+  "/root/repo/src/experiments/ablations.cpp" "CMakeFiles/bml.dir/src/experiments/ablations.cpp.o" "gcc" "CMakeFiles/bml.dir/src/experiments/ablations.cpp.o.d"
+  "/root/repo/src/experiments/experiments.cpp" "CMakeFiles/bml.dir/src/experiments/experiments.cpp.o" "gcc" "CMakeFiles/bml.dir/src/experiments/experiments.cpp.o.d"
+  "/root/repo/src/experiments/export.cpp" "CMakeFiles/bml.dir/src/experiments/export.cpp.o" "gcc" "CMakeFiles/bml.dir/src/experiments/export.cpp.o.d"
+  "/root/repo/src/power/energy_meter.cpp" "CMakeFiles/bml.dir/src/power/energy_meter.cpp.o" "gcc" "CMakeFiles/bml.dir/src/power/energy_meter.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "CMakeFiles/bml.dir/src/power/power_model.cpp.o" "gcc" "CMakeFiles/bml.dir/src/power/power_model.cpp.o.d"
+  "/root/repo/src/power/proportionality.cpp" "CMakeFiles/bml.dir/src/power/proportionality.cpp.o" "gcc" "CMakeFiles/bml.dir/src/power/proportionality.cpp.o.d"
+  "/root/repo/src/power/rapl.cpp" "CMakeFiles/bml.dir/src/power/rapl.cpp.o" "gcc" "CMakeFiles/bml.dir/src/power/rapl.cpp.o.d"
+  "/root/repo/src/predict/predictor.cpp" "CMakeFiles/bml.dir/src/predict/predictor.cpp.o" "gcc" "CMakeFiles/bml.dir/src/predict/predictor.cpp.o.d"
+  "/root/repo/src/profiling/profiler.cpp" "CMakeFiles/bml.dir/src/profiling/profiler.cpp.o" "gcc" "CMakeFiles/bml.dir/src/profiling/profiler.cpp.o.d"
+  "/root/repo/src/profiling/testbed.cpp" "CMakeFiles/bml.dir/src/profiling/testbed.cpp.o" "gcc" "CMakeFiles/bml.dir/src/profiling/testbed.cpp.o.d"
+  "/root/repo/src/scenario/registry.cpp" "CMakeFiles/bml.dir/src/scenario/registry.cpp.o" "gcc" "CMakeFiles/bml.dir/src/scenario/registry.cpp.o.d"
+  "/root/repo/src/scenario/scenario_spec.cpp" "CMakeFiles/bml.dir/src/scenario/scenario_spec.cpp.o" "gcc" "CMakeFiles/bml.dir/src/scenario/scenario_spec.cpp.o.d"
+  "/root/repo/src/scenario/sweep.cpp" "CMakeFiles/bml.dir/src/scenario/sweep.cpp.o" "gcc" "CMakeFiles/bml.dir/src/scenario/sweep.cpp.o.d"
+  "/root/repo/src/sched/baselines.cpp" "CMakeFiles/bml.dir/src/sched/baselines.cpp.o" "gcc" "CMakeFiles/bml.dir/src/sched/baselines.cpp.o.d"
+  "/root/repo/src/sched/bml_scheduler.cpp" "CMakeFiles/bml.dir/src/sched/bml_scheduler.cpp.o" "gcc" "CMakeFiles/bml.dir/src/sched/bml_scheduler.cpp.o.d"
+  "/root/repo/src/sched/coordinator.cpp" "CMakeFiles/bml.dir/src/sched/coordinator.cpp.o" "gcc" "CMakeFiles/bml.dir/src/sched/coordinator.cpp.o.d"
+  "/root/repo/src/sched/cost_aware.cpp" "CMakeFiles/bml.dir/src/sched/cost_aware.cpp.o" "gcc" "CMakeFiles/bml.dir/src/sched/cost_aware.cpp.o.d"
+  "/root/repo/src/sched/lower_bound.cpp" "CMakeFiles/bml.dir/src/sched/lower_bound.cpp.o" "gcc" "CMakeFiles/bml.dir/src/sched/lower_bound.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "CMakeFiles/bml.dir/src/sim/cluster.cpp.o" "gcc" "CMakeFiles/bml.dir/src/sim/cluster.cpp.o.d"
+  "/root/repo/src/sim/compiled_trace.cpp" "CMakeFiles/bml.dir/src/sim/compiled_trace.cpp.o" "gcc" "CMakeFiles/bml.dir/src/sim/compiled_trace.cpp.o.d"
+  "/root/repo/src/sim/event_log.cpp" "CMakeFiles/bml.dir/src/sim/event_log.cpp.o" "gcc" "CMakeFiles/bml.dir/src/sim/event_log.cpp.o.d"
+  "/root/repo/src/sim/fault_timeline.cpp" "CMakeFiles/bml.dir/src/sim/fault_timeline.cpp.o" "gcc" "CMakeFiles/bml.dir/src/sim/fault_timeline.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "CMakeFiles/bml.dir/src/sim/machine.cpp.o" "gcc" "CMakeFiles/bml.dir/src/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/qos.cpp" "CMakeFiles/bml.dir/src/sim/qos.cpp.o" "gcc" "CMakeFiles/bml.dir/src/sim/qos.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/bml.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/bml.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "CMakeFiles/bml.dir/src/trace/synthetic.cpp.o" "gcc" "CMakeFiles/bml.dir/src/trace/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "CMakeFiles/bml.dir/src/trace/trace.cpp.o" "gcc" "CMakeFiles/bml.dir/src/trace/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "CMakeFiles/bml.dir/src/trace/trace_stats.cpp.o" "gcc" "CMakeFiles/bml.dir/src/trace/trace_stats.cpp.o.d"
+  "/root/repo/src/trace/transforms.cpp" "CMakeFiles/bml.dir/src/trace/transforms.cpp.o" "gcc" "CMakeFiles/bml.dir/src/trace/transforms.cpp.o.d"
+  "/root/repo/src/trace/wc98.cpp" "CMakeFiles/bml.dir/src/trace/wc98.cpp.o" "gcc" "CMakeFiles/bml.dir/src/trace/wc98.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/bml.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/bml.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "CMakeFiles/bml.dir/src/util/logging.cpp.o" "gcc" "CMakeFiles/bml.dir/src/util/logging.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/bml.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/bml.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/bml.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/bml.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/time_series.cpp" "CMakeFiles/bml.dir/src/util/time_series.cpp.o" "gcc" "CMakeFiles/bml.dir/src/util/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

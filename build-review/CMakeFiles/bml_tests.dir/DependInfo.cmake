@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ablations.cpp" "CMakeFiles/bml_tests.dir/tests/test_ablations.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_ablations.cpp.o.d"
+  "/root/repo/tests/test_application.cpp" "CMakeFiles/bml_tests.dir/tests/test_application.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_application.cpp.o.d"
+  "/root/repo/tests/test_bml_design.cpp" "CMakeFiles/bml_tests.dir/tests/test_bml_design.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_bml_design.cpp.o.d"
+  "/root/repo/tests/test_candidate_filter.cpp" "CMakeFiles/bml_tests.dir/tests/test_candidate_filter.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_candidate_filter.cpp.o.d"
+  "/root/repo/tests/test_catalog.cpp" "CMakeFiles/bml_tests.dir/tests/test_catalog.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_catalog.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "CMakeFiles/bml_tests.dir/tests/test_cluster.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_combination.cpp" "CMakeFiles/bml_tests.dir/tests/test_combination.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_combination.cpp.o.d"
+  "/root/repo/tests/test_combination_table.cpp" "CMakeFiles/bml_tests.dir/tests/test_combination_table.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_combination_table.cpp.o.d"
+  "/root/repo/tests/test_compiled_trace.cpp" "CMakeFiles/bml_tests.dir/tests/test_compiled_trace.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_compiled_trace.cpp.o.d"
+  "/root/repo/tests/test_cost_aware.cpp" "CMakeFiles/bml_tests.dir/tests/test_cost_aware.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_cost_aware.cpp.o.d"
+  "/root/repo/tests/test_crossing.cpp" "CMakeFiles/bml_tests.dir/tests/test_crossing.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_crossing.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "CMakeFiles/bml_tests.dir/tests/test_csv.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_csv.cpp.o.d"
+  "/root/repo/tests/test_decision_thresholds.cpp" "CMakeFiles/bml_tests.dir/tests/test_decision_thresholds.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_decision_thresholds.cpp.o.d"
+  "/root/repo/tests/test_dispatch_plan.cpp" "CMakeFiles/bml_tests.dir/tests/test_dispatch_plan.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_dispatch_plan.cpp.o.d"
+  "/root/repo/tests/test_energy_meter.cpp" "CMakeFiles/bml_tests.dir/tests/test_energy_meter.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_energy_meter.cpp.o.d"
+  "/root/repo/tests/test_event_log.cpp" "CMakeFiles/bml_tests.dir/tests/test_event_log.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_event_log.cpp.o.d"
+  "/root/repo/tests/test_experiments.cpp" "CMakeFiles/bml_tests.dir/tests/test_experiments.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_experiments.cpp.o.d"
+  "/root/repo/tests/test_faults.cpp" "CMakeFiles/bml_tests.dir/tests/test_faults.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_faults.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "CMakeFiles/bml_tests.dir/tests/test_integration.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_integration.cpp.o.d"
+  "/root/repo/tests/test_load_balancer.cpp" "CMakeFiles/bml_tests.dir/tests/test_load_balancer.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_load_balancer.cpp.o.d"
+  "/root/repo/tests/test_lower_bound.cpp" "CMakeFiles/bml_tests.dir/tests/test_lower_bound.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_lower_bound.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "CMakeFiles/bml_tests.dir/tests/test_machine.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_machine.cpp.o.d"
+  "/root/repo/tests/test_multi_workload.cpp" "CMakeFiles/bml_tests.dir/tests/test_multi_workload.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_multi_workload.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "CMakeFiles/bml_tests.dir/tests/test_parallel.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_power_model.cpp" "CMakeFiles/bml_tests.dir/tests/test_power_model.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_power_model.cpp.o.d"
+  "/root/repo/tests/test_predictor.cpp" "CMakeFiles/bml_tests.dir/tests/test_predictor.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_predictor.cpp.o.d"
+  "/root/repo/tests/test_profile.cpp" "CMakeFiles/bml_tests.dir/tests/test_profile.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_profile.cpp.o.d"
+  "/root/repo/tests/test_profiling.cpp" "CMakeFiles/bml_tests.dir/tests/test_profiling.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_profiling.cpp.o.d"
+  "/root/repo/tests/test_proportionality.cpp" "CMakeFiles/bml_tests.dir/tests/test_proportionality.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_proportionality.cpp.o.d"
+  "/root/repo/tests/test_qos.cpp" "CMakeFiles/bml_tests.dir/tests/test_qos.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_qos.cpp.o.d"
+  "/root/repo/tests/test_rapl.cpp" "CMakeFiles/bml_tests.dir/tests/test_rapl.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_rapl.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "CMakeFiles/bml_tests.dir/tests/test_scenario.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_schedulers.cpp" "CMakeFiles/bml_tests.dir/tests/test_schedulers.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_schedulers.cpp.o.d"
+  "/root/repo/tests/test_seasonal_export.cpp" "CMakeFiles/bml_tests.dir/tests/test_seasonal_export.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_seasonal_export.cpp.o.d"
+  "/root/repo/tests/test_sensitivity.cpp" "CMakeFiles/bml_tests.dir/tests/test_sensitivity.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_sensitivity.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "CMakeFiles/bml_tests.dir/tests/test_simulator.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_simulator_fastpath.cpp" "CMakeFiles/bml_tests.dir/tests/test_simulator_fastpath.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_simulator_fastpath.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "CMakeFiles/bml_tests.dir/tests/test_solver.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_solver.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "CMakeFiles/bml_tests.dir/tests/test_stats.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_stats.cpp.o.d"
+  "/root/repo/tests/test_synthetic.cpp" "CMakeFiles/bml_tests.dir/tests/test_synthetic.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_synthetic.cpp.o.d"
+  "/root/repo/tests/test_table_rng_logging.cpp" "CMakeFiles/bml_tests.dir/tests/test_table_rng_logging.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_table_rng_logging.cpp.o.d"
+  "/root/repo/tests/test_time_series.cpp" "CMakeFiles/bml_tests.dir/tests/test_time_series.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_time_series.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "CMakeFiles/bml_tests.dir/tests/test_trace.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_stats.cpp" "CMakeFiles/bml_tests.dir/tests/test_trace_stats.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_trace_stats.cpp.o.d"
+  "/root/repo/tests/test_transforms.cpp" "CMakeFiles/bml_tests.dir/tests/test_transforms.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_transforms.cpp.o.d"
+  "/root/repo/tests/test_wc98.cpp" "CMakeFiles/bml_tests.dir/tests/test_wc98.cpp.o" "gcc" "CMakeFiles/bml_tests.dir/tests/test_wc98.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/bml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmlsim.dir/tools/bmlsim.cpp.o"
+  "CMakeFiles/bmlsim.dir/tools/bmlsim.cpp.o.d"
+  "bmlsim"
+  "bmlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling_demo.dir/examples/profiling_demo.cpp.o"
+  "CMakeFiles/profiling_demo.dir/examples/profiling_demo.cpp.o.d"
+  "profiling_demo"
+  "profiling_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worldcup_simulation.dir/examples/worldcup_simulation.cpp.o"
+  "CMakeFiles/worldcup_simulation.dir/examples/worldcup_simulation.cpp.o.d"
+  "worldcup_simulation"
+  "worldcup_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worldcup_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
