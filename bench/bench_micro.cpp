@@ -324,6 +324,38 @@ void BM_SimulatorWeekFaulty(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorWeekFaulty)->Unit(benchmark::kMillisecond);
 
+// The steady week under the full resilience stack: correlated rack
+// strikes (each felling a whole stripe of the fleet in one event) on top
+// of per-machine faults, with a crew-limited repair queue stretching
+// outages. Group events bound fast-path spans exactly like machine
+// transitions; CI holds the event-driven path to >= 10x the reference
+// loop on this pair.
+SimulatorOptions correlated_fault_options() {
+  SimulatorOptions options;
+  options.faults.mtbf = 7200.0;
+  options.faults.mttr = 900.0;
+  options.faults.groups = 2;
+  options.faults.group_mtbf = 14400.0;
+  options.faults.group_mttr = 1200.0;
+  options.faults.crews = 2;
+  options.faults.seed = 7;
+  return options;
+}
+
+void BM_SimulatorWeekCorrelatedFaultsEventDriven(benchmark::State& state) {
+  replay_week(state, steady_week_trace(), /*event_driven=*/true,
+              correlated_fault_options());
+}
+BENCHMARK(BM_SimulatorWeekCorrelatedFaultsEventDriven)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorWeekCorrelatedFaultsReference(benchmark::State& state) {
+  replay_week(state, steady_week_trace(), /*event_driven=*/false,
+              correlated_fault_options());
+}
+BENCHMARK(BM_SimulatorWeekCorrelatedFaultsReference)
+    ->Unit(benchmark::kMillisecond);
+
 // Scenario-engine sweep throughput: an 8-point grid (scheduler x predictor
 // x QoS) over a short step trace, at 1 worker vs hardware concurrency.
 // items_per_second is scenarios/sec, the number that bounds how large a

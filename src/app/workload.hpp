@@ -45,6 +45,17 @@ struct Workload {
   /// lost-capacity accounting is kept per domain (every app in a domain
   /// reports the domain's numbers).
   std::string fault_domain;
+  /// Availability SLO target in [0, 1]; 0 disables the SLO feedback loop.
+  /// The simulator tracks the app's fault domain's trailing-window
+  /// availability (window = SimulatorOptions::slo_window); while the
+  /// window's downtime exceeds the target's error budget the coordinator
+  /// provisions spare capacity — `slo_spare` of the app's proposal, per
+  /// arch, rounded up — on top of the merged target, releasing it once
+  /// the window recovers. Spare machines are exempt from the partitioned
+  /// budget clamp (they are emergency headroom, not steady-state share).
+  double slo_availability = 0.0;
+  /// Spare-capacity fraction provisioned while the SLO is violated (> 0).
+  double slo_spare = 0.25;
 };
 
 /// Per-application slice of a multi-workload simulation: QoS against the
@@ -82,6 +93,14 @@ struct WorkloadResult {
   double availability = 1.0;
   /// Integral of failed capacity over downtime, req·s.
   double lost_capacity = 0.0;
+  /// SLO feedback slice (Workload::slo_availability): seconds this app
+  /// had spare capacity provisioned, and the idle-power integral of those
+  /// spare machines over that time — the energy cost of honouring the
+  /// SLO. The energy is an attribution overlay: the machines' actual draw
+  /// is already inside compute_energy; this reports how much of it the
+  /// spares' idle floor accounts for.
+  std::int64_t spare_seconds = 0;
+  Joules spare_energy = 0.0;
 
   [[nodiscard]] Joules total_energy() const {
     return compute_energy + reconfiguration_energy;

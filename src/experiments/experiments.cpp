@@ -286,4 +286,63 @@ ColocationResult run_colocation(std::size_t days, std::uint64_t seed) {
   return result;
 }
 
+SloRackStrikeResult run_slo_rackstrikes(std::size_t days,
+                                        std::uint64_t seed) {
+  if (days == 0) throw std::invalid_argument("run_slo_rackstrikes: days == 0");
+  const Catalog catalog = real_catalog();
+
+  DiurnalOptions diurnal;
+  diurnal.peak = 1500.0;
+  diurnal.noise = 0.05;
+  diurnal.seed = seed;
+  LoadTrace frontend = diurnal_trace(diurnal, days);
+  LoadTrace batch =
+      constant_trace(500.0, static_cast<double>(days) * 86'400.0);
+
+  const ReqRate peak =
+      combined_trace(std::vector<const LoadTrace*>{&frontend, &batch}).peak();
+  auto design = std::make_shared<BmlDesign>(
+      BmlDesign::build(catalog, {.max_rate = std::max(peak, 1.0)}));
+
+  // Both runs replay the identical strike timeline: the fault streams are
+  // functions of the seed alone, never of cluster state, so the aware run
+  // differs only in how the coordinator responds.
+  SimulatorOptions options;
+  options.faults.groups = 2;
+  options.faults.group_mtbf = 3.0 * 3600.0;
+  options.faults.group_mttr = 1800.0;
+  options.faults.crews = 1;  // one crew: repairs queue, outages stretch
+  options.faults.seed = seed;
+  options.slo_window = 7200.0;
+
+  SloRackStrikeResult result;
+  result.target = 0.999;
+
+  const auto run_with = [&](double target) {
+    std::vector<Workload> workloads;
+    Workload web;
+    web.name = "frontend";
+    web.trace = frontend;
+    web.scheduler = std::make_unique<BmlScheduler>(
+        design, std::make_shared<OracleMaxPredictor>());
+    web.fault_domain = "rack-pool";
+    web.slo_availability = target;
+    web.slo_spare = 0.5;
+    workloads.push_back(std::move(web));
+    Workload steady;
+    steady.name = "batch";
+    steady.trace = batch;
+    steady.scheduler = std::make_unique<BmlScheduler>(
+        design, std::make_shared<OracleMaxPredictor>());
+    steady.fault_domain = "rack-pool";
+    workloads.push_back(std::move(steady));
+    const Simulator simulator(design->candidates(), options);
+    return simulator.run(workloads);
+  };
+
+  result.aware = run_with(result.target);
+  result.baseline = run_with(0.0);
+  return result;
+}
+
 }  // namespace bml

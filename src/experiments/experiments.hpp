@@ -154,4 +154,39 @@ struct ColocationResult {
 [[nodiscard]] ColocationResult run_colocation(std::size_t days = 1,
                                               std::uint64_t seed = 7);
 
+// --------------------------------------------------------- SLO resilience
+
+/// Availability-SLO feedback under correlated rack strikes: a diurnal web
+/// frontend (carrying an availability SLO) and a steady batch service
+/// share one fault domain that rack-level strikes keep knocking over,
+/// with a single repair crew serialising recovery. The same scenario —
+/// identical fault seed, hence identical strike timeline — runs twice:
+/// once with the SLO feedback loop provisioning spare capacity while the
+/// trailing-window availability is below target, and once without. The
+/// delta quantifies what the feedback buys (QoS violation seconds
+/// recovered, served-fraction gain for the SLO app) and what it costs
+/// (total energy, with the spares' idle-power share reported separately).
+struct SloRackStrikeResult {
+  /// SLO-aware run (web carries `target`).
+  MultiSimulationResult aware;
+  /// Baseline with the identical fault timeline and no SLO feedback.
+  MultiSimulationResult baseline;
+  /// The web app's availability target.
+  double target = 0.0;
+
+  /// QoS violation seconds the feedback loop recovered for the SLO app
+  /// (baseline minus aware; positive = the spares helped).
+  [[nodiscard]] std::int64_t violation_recovered_s() const {
+    return baseline.apps.front().qos_stats.violation_seconds -
+           aware.apps.front().qos_stats.violation_seconds;
+  }
+  /// Extra energy the feedback loop spent (aware minus baseline, J).
+  [[nodiscard]] Joules energy_cost() const {
+    return aware.total.total_energy() - baseline.total.total_energy();
+  }
+};
+
+[[nodiscard]] SloRackStrikeResult run_slo_rackstrikes(std::size_t days = 1,
+                                                      std::uint64_t seed = 7);
+
 }  // namespace bml

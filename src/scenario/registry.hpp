@@ -54,13 +54,29 @@
 //                                strikes per fault domain per arch
 //                                (0 = no runtime faults)
 //   faults.mttr(0)               mean repair seconds (min 1 s)
+//   faults.groups(0)             racks per fault domain for correlated
+//                                strikes (with faults.group_mtbf > 0 a
+//                                rack strike fells its whole stripe of
+//                                On machines at once)
+//   faults.group_mtbf(0)         mean seconds between rack strikes
+//   faults.group_mttr(0)         mean rack-strike repair seconds
+//   faults.crews(0)              concurrent repair crews (0 = unlimited;
+//                                excess repairs queue FIFO)
 //   faults.seed(= spec seed)     fault-stream seed override
 //   app<i>.fault_domain("")      groups [app] sections into shared fault
 //                                domains; empty = the app's own private
 //                                domain (per-app failures out of the box)
+// SLO keys (availability feedback; all sweepable):
+//   slo.window(86400)            trailing availability window (whole s)
+//   slo.availability(0)          per-app target in [0, 1] (0 = off);
+//                                top-level for classic single-app specs,
+//                                app<i>.slo.availability per section
+//   slo.spare(0.25)              spare-capacity fraction provisioned
+//                                while the target is violated (> 0)
 // Runtime faults make sweeps report machine_failures / availability /
-// lost-capacity columns (cluster-wide and per app; see
-// scenario/sweep.hpp).
+// lost-capacity columns (cluster-wide and per app), correlated strikes
+// add group_strikes, and SLO targets add spare_seconds / spare_energy_j
+// (see scenario/sweep.hpp).
 //
 // Build sharing across sweeps: every component above is rebuilt per
 // scenario *unless* none of the sweep axes name a build input — `catalog`
@@ -74,8 +90,9 @@
 // grid points and worker threads (asserted by the CombinationTable
 // build-count probe in tests/test_scenario.cpp). Schedulers and
 // predictors are stateful and always constructed per scenario. The
-// `faults.*` keys are runtime-only (seed-bearing, but consumed by the
-// simulator, never by the build), so fault axes keep the shared build.
+// `faults.*` and `slo.*` keys are runtime-only (seed-bearing, but
+// consumed by the simulator, never by the build), so fault and SLO axes
+// keep the shared build.
 //
 // Unknown component names and unknown or malformed parameters throw
 // std::runtime_error naming the component, the offending key, and the

@@ -60,6 +60,34 @@ double parse_fraction(const std::string& key, const std::string& value) {
   return v;
 }
 
+int parse_count(const std::string& key, const std::string& value) {
+  std::int64_t v = 0;
+  try {
+    v = parse_int(value);
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error("scenario: " + key +
+                             " must be a non-negative integer, got '" + value +
+                             "'");
+  }
+  if (v < 0)
+    throw std::runtime_error("scenario: " + key + " must be >= 0");
+  return static_cast<int>(v);
+}
+
+double parse_slo_target(const std::string& key, const std::string& value) {
+  const double v = parse_number(key, value);
+  if (v < 0.0 || v > 1.0)
+    throw std::runtime_error("scenario: " + key + " must be in [0, 1]");
+  return v;
+}
+
+double parse_slo_spare(const std::string& key, const std::string& value) {
+  const double v = parse_number(key, value);
+  if (!(v > 0.0))
+    throw std::runtime_error("scenario: " + key + " must be > 0");
+  return v;
+}
+
 }  // namespace
 
 void AppSpec::set(const std::string& key, const std::string& value) {
@@ -81,6 +109,10 @@ void AppSpec::set(const std::string& key, const std::string& value) {
     share = v;
   } else if (key == "fault_domain") {
     fault_domain = value;
+  } else if (key == "slo.availability") {
+    slo_availability = parse_slo_target("app slo.availability", value);
+  } else if (key == "slo.spare") {
+    slo_spare = parse_slo_spare("app slo.spare", value);
   } else if (key.starts_with("trace.")) {
     trace_params[key.substr(6)] = value;
   } else if (key.starts_with("scheduler.")) {
@@ -166,8 +198,24 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
     fault_mtbf = parse_fraction(key, value);
   } else if (key == "faults.mttr") {
     fault_mttr = parse_fraction(key, value);
+  } else if (key == "faults.groups") {
+    fault_groups = parse_count(key, value);
+  } else if (key == "faults.group_mtbf") {
+    fault_group_mtbf = parse_fraction(key, value);
+  } else if (key == "faults.group_mttr") {
+    fault_group_mttr = parse_fraction(key, value);
+  } else if (key == "faults.crews") {
+    fault_crews = parse_count(key, value);
   } else if (key == "faults.seed") {
     fault_seed = static_cast<std::int64_t>(parse_seed(key, value));
+  } else if (key == "slo.window") {
+    slo_window = parse_number(key, value);
+    if (slo_window < 1.0)
+      throw std::runtime_error("scenario: slo.window must be >= 1 second");
+  } else if (key == "slo.availability") {
+    slo_availability = parse_slo_target(key, value);
+  } else if (key == "slo.spare") {
+    slo_spare = parse_slo_spare(key, value);
   } else if (key == "seed") {
     seed = parse_seed(key, value);
   } else if (key == "coordinator") {
@@ -297,9 +345,19 @@ std::string write_scenario(const ScenarioSpec& spec) {
   numbers << "faults.boot_time_jitter = " << spec.boot_time_jitter << '\n'
           << "faults.boot_failure_prob = " << spec.boot_failure_prob << '\n'
           << "faults.mtbf = " << spec.fault_mtbf << '\n'
-          << "faults.mttr = " << spec.fault_mttr << '\n';
+          << "faults.mttr = " << spec.fault_mttr << '\n'
+          << "faults.groups = " << spec.fault_groups << '\n'
+          << "faults.group_mtbf = " << spec.fault_group_mtbf << '\n'
+          << "faults.group_mttr = " << spec.fault_group_mttr << '\n'
+          << "faults.crews = " << spec.fault_crews << '\n';
   os << numbers.str();
   if (spec.fault_seed >= 0) os << "faults.seed = " << spec.fault_seed << '\n';
+  std::ostringstream slo;
+  slo.precision(17);
+  slo << "slo.window = " << spec.slo_window << '\n'
+      << "slo.availability = " << spec.slo_availability << '\n'
+      << "slo.spare = " << spec.slo_spare << '\n';
+  os << slo.str();
   os << "seed = " << spec.seed << '\n';
   os << "coordinator = " << spec.coordinator << '\n';
   os << "coordinator.budget = " << spec.coordinator_budget << '\n';
@@ -319,6 +377,13 @@ std::string write_scenario(const ScenarioSpec& spec) {
     os << share.str();
     if (!app.fault_domain.empty())
       os << "fault_domain = " << app.fault_domain << '\n';
+    if (app.slo_availability > 0.0 || app.slo_spare != 0.25) {
+      std::ostringstream app_slo;
+      app_slo.precision(17);
+      app_slo << "slo.availability = " << app.slo_availability << '\n'
+              << "slo.spare = " << app.slo_spare << '\n';
+      os << app_slo.str();
+    }
   }
   for (const SweepAxis& axis : spec.sweeps) {
     os << "sweep " << axis.key << " = ";

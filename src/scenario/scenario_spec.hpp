@@ -90,6 +90,12 @@ struct AppSpec {
   /// domain share one crash/repair process; empty = the app's own private
   /// domain (see app/workload.hpp).
   std::string fault_domain;
+  /// Availability SLO target (`slo.availability`, in [0, 1]; 0 disables):
+  /// while the app's fault domain dips below the target over the trailing
+  /// `slo.window`, the coordinator provisions `slo.spare` extra capacity
+  /// (fraction of the app's proposal, > 0; see app/workload.hpp).
+  double slo_availability = 0.0;
+  double slo_spare = 0.25;
 
   /// Routes one section-local `key = value` assignment; throws
   /// std::runtime_error on unknown keys or malformed typed values.
@@ -137,11 +143,30 @@ struct ScenarioSpec {
   double boot_failure_prob = 0.0;
   double fault_mtbf = 0.0;
   double fault_mttr = 0.0;
+  /// Correlated strikes (`faults.groups`, `faults.group_mtbf`,
+  /// `faults.group_mttr`): each fault domain is striped across `groups`
+  /// racks, and every rack runs its own renewal process of mean
+  /// group_mtbf seconds; one rack strike fells every On machine of the
+  /// rack's stripe at once (sim/fault_timeline.hpp). 0 groups or 0 mtbf
+  /// disables the channel.
+  int fault_groups = 0;
+  double fault_group_mtbf = 0.0;
+  double fault_group_mttr = 0.0;
+  /// Repair crews (`faults.crews`): concurrent repairs; excess repairs
+  /// queue FIFO, making effective MTTR queueing-dependent. 0 = unlimited.
+  int fault_crews = 0;
   /// Fault seed override (`faults.seed`, >= 0); -1 inherits the master
   /// seed. Faults are runtime-only inputs, so sweeping `faults.seed` does
   /// not force per-scenario catalog/trace/design rebuilds the way a
   /// `seed` axis does.
   std::int64_t fault_seed = -1;
+  /// Trailing window (s, whole seconds >= 1) of the per-app availability
+  /// SLOs (`slo.window`; see SimulatorOptions::slo_window). The top-level
+  /// `slo.availability` / `slo.spare` describe the classic single-app
+  /// workload, exactly like the top-level trace / scheduler fields.
+  double slo_window = 86400.0;
+  double slo_availability = 0.0;
+  double slo_spare = 0.25;
   /// Master seed: trace generators and fault injection derive theirs from
   /// it unless overridden per component (`trace.seed`, `faults.seed`,
   /// ...).

@@ -109,6 +109,16 @@ std::uint64_t app_seed(const ScenarioSpec& spec, std::size_t i) {
          0x7FFF'FFFF'FFFF'FFFFULL;
 }
 
+/// The three runtime channels whose *configuration* gates CSV column
+/// groups (schema must be a function of the spec, never the outcome).
+bool spec_groups_enabled(const ScenarioSpec& spec) {
+  return spec.fault_groups > 0 && spec.fault_group_mtbf > 0.0;
+}
+
+bool spec_faults_enabled(const ScenarioSpec& spec) {
+  return spec.fault_mtbf > 0.0 || spec_groups_enabled(spec);
+}
+
 /// Effective app list: the `[app]` sections, or the classic single app
 /// described by the top-level trace / scheduler / predictor / qos fields.
 std::vector<AppSpec> effective_apps(const ScenarioSpec& spec) {
@@ -121,7 +131,15 @@ std::vector<AppSpec> effective_apps(const ScenarioSpec& spec) {
   app.predictor = spec.predictor;
   app.predictor_params = spec.predictor_params;
   app.qos = spec.qos;
+  app.slo_availability = spec.slo_availability;
+  app.slo_spare = spec.slo_spare;
   return {std::move(app)};
+}
+
+bool spec_slo_enabled(const ScenarioSpec& spec) {
+  for (const AppSpec& app : effective_apps(spec))
+    if (app.slo_availability > 0.0) return true;
+  return false;
 }
 
 /// The expensive immutable artifacts of a scenario: catalog, traces (and
@@ -213,17 +231,26 @@ ScenarioResult run_built(const ScenarioSpec& spec, const ScenarioBuild& build,
   options.faults.boot_failure_prob = spec.boot_failure_prob;
   options.faults.mtbf = spec.fault_mtbf;
   options.faults.mttr = spec.fault_mttr;
+  options.faults.groups = spec.fault_groups;
+  options.faults.group_mtbf = spec.fault_group_mtbf;
+  options.faults.group_mttr = spec.fault_group_mttr;
+  options.faults.crews = spec.fault_crews;
   options.faults.seed = spec.fault_seed >= 0
                             ? static_cast<std::uint64_t>(spec.fault_seed)
                             : spec.seed;
+  options.slo_window = spec.slo_window;
 
   const Simulator simulator(build.design->candidates(), build.plan, options);
   std::vector<Simulator::WorkloadView> views;
   views.reserve(apps.size());
-  for (std::size_t i = 0; i < apps.size(); ++i)
-    views.push_back(Simulator::WorkloadView{
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    Simulator::WorkloadView view{
         &names[i], build.traces[i], schedulers[i].get(), qos[i],
-        apps[i].share, &build.compiled[i], &apps[i].fault_domain});
+        apps[i].share, &build.compiled[i], &apps[i].fault_domain};
+    view.slo_availability = apps[i].slo_availability;
+    view.slo_spare = apps[i].slo_spare;
+    views.push_back(view);
+  }
   MultiSimulationResult multi = simulator.run(views);
   result.sim = std::move(multi.total);
   result.apps = std::move(multi.apps);
@@ -288,7 +315,11 @@ SweepReport run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
     // With [app] sections the top-level workload fields are ignored —
     // sweeping one would expand a grid whose rows are all identical.
     if (!spec.apps.empty())
-      for (const char* ignored : {"trace", "scheduler", "predictor", "qos"})
+      // slo.window stays global; slo.availability / slo.spare are
+      // per-workload like the trace / scheduler stack.
+      for (const char* ignored :
+           {"trace", "scheduler", "predictor", "qos", "slo.availability",
+            "slo.spare"})
         if (axis.key == ignored ||
             axis.key.starts_with(std::string(ignored) + "."))
           throw std::runtime_error(
@@ -341,17 +372,22 @@ SweepReport run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
                              ? result.sim.total_energy() / result.trace_duration
                              : 0.0;
         row.peak_machines = result.sim.peak_machines;
-        row.faults_enabled = result.spec.fault_mtbf > 0.0;
+        row.faults_enabled = spec_faults_enabled(result.spec);
         row.machine_failures = result.sim.machine_failures;
         row.availability = result.sim.availability;
         row.lost_capacity = result.sim.lost_capacity;
+        row.groups_enabled = spec_groups_enabled(result.spec);
+        row.group_strikes = result.sim.group_strikes;
+        row.slo_enabled = spec_slo_enabled(result.spec);
+        row.spare_seconds = result.sim.spare_seconds;
+        row.spare_energy = result.sim.spare_energy;
         row.apps.reserve(result.apps.size());
         for (const WorkloadResult& app : result.apps)
           row.apps.push_back(SweepAppRow{
               app.name, app.compute_energy, app.reconfiguration_energy,
               app.qos_stats.violation_seconds,
               app.qos_stats.served_fraction(), app.availability,
-              app.lost_capacity});
+              app.lost_capacity, app.spare_seconds, app.spare_energy});
         row.wall_seconds = result.wall_seconds;
         if (options.keep_results) report.results[i] = std::move(result);
       },
@@ -370,12 +406,16 @@ std::string SweepReport::to_csv() const {
   // that happens to land zero failures still reports its columns).
   std::size_t max_apps = 0;
   bool faulty = false;
+  bool grouped = false;
+  bool slo = false;
   for (const SweepRow& row : rows) {
     max_apps = std::max(max_apps, row.apps.size());
     faulty = faulty || row.faults_enabled;
+    grouped = grouped || row.groups_enabled;
+    slo = slo || row.slo_enabled;
   }
   const bool per_app = max_apps >= 2;
-  const std::size_t app_columns = faulty ? 7 : 5;
+  const std::size_t app_columns = 5 + (faulty ? 2 : 0) + (slo ? 2 : 0);
 
   CsvWriter writer;
   std::vector<std::string> header{"scenario"};
@@ -391,6 +431,10 @@ std::string SweepReport::to_csv() const {
     for (const char* column :
          {"machine_failures", "availability", "lost_capacity_req_s"})
       header.emplace_back(column);
+  if (grouped) header.emplace_back("group_strikes");
+  if (slo)
+    for (const char* column : {"spare_seconds", "spare_energy_j"})
+      header.emplace_back(column);
   if (per_app)
     for (std::size_t i = 0; i < max_apps; ++i) {
       const std::string prefix = "app" + std::to_string(i) + "_";
@@ -400,6 +444,9 @@ std::string SweepReport::to_csv() const {
         header.push_back(prefix + column);
       if (faulty)
         for (const char* column : {"availability", "lost_capacity_req_s"})
+          header.push_back(prefix + column);
+      if (slo)
+        for (const char* column : {"spare_seconds", "spare_energy_j"})
           header.push_back(prefix + column);
     }
   writer.set_header(std::move(header));
@@ -421,6 +468,11 @@ std::string SweepReport::to_csv() const {
       cells.push_back(csv_num(row.availability));
       cells.push_back(csv_num(row.lost_capacity));
     }
+    if (grouped) cells.push_back(std::to_string(row.group_strikes));
+    if (slo) {
+      cells.push_back(std::to_string(row.spare_seconds));
+      cells.push_back(csv_num(row.spare_energy));
+    }
     if (per_app)
       for (std::size_t i = 0; i < max_apps; ++i) {
         if (i < row.apps.size()) {
@@ -433,6 +485,10 @@ std::string SweepReport::to_csv() const {
           if (faulty) {
             cells.push_back(csv_num(app.availability));
             cells.push_back(csv_num(app.lost_capacity));
+          }
+          if (slo) {
+            cells.push_back(std::to_string(app.spare_seconds));
+            cells.push_back(csv_num(app.spare_energy));
           }
         } else {
           cells.insert(cells.end(), app_columns, "");

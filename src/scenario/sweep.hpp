@@ -63,6 +63,12 @@ struct SweepAppRow {
   /// only when some row in the sweep enables runtime faults).
   double availability = 1.0;
   double lost_capacity = 0.0;
+  /// SLO-feedback slice (CSV columns appear only when some row configures
+  /// an availability SLO): seconds this app held provisioned spares and
+  /// the spares' idle-power energy (an attribution overlay inside the
+  /// app's compute energy).
+  std::int64_t spare_seconds = 0;
+  Joules spare_energy = 0.0;
 };
 
 /// Aggregate metrics of one scenario — the sweep's unit of reporting.
@@ -82,14 +88,25 @@ struct SweepRow {
   Watts mean_power = 0.0;
   std::size_t peak_machines = 0;
   /// Runtime-fault aggregates; `faults_enabled` records whether this
-  /// row's *configuration* had a runtime fault channel (faults.mtbf > 0),
-  /// which — not the outcome — gates the fault CSV columns, so the CSV
-  /// schema is a function of the spec alone. Zero-rate sweeps keep the
-  /// classic column set byte-for-byte.
+  /// row's *configuration* had a runtime fault channel (faults.mtbf > 0,
+  /// or an active correlated-strike channel: faults.groups > 0 with
+  /// faults.group_mtbf > 0), which — not the outcome — gates the fault
+  /// CSV columns, so the CSV schema is a function of the spec alone.
+  /// Zero-rate sweeps keep the classic column set byte-for-byte.
   bool faults_enabled = false;
   int machine_failures = 0;
   double availability = 1.0;
   double lost_capacity = 0.0;
+  /// Correlated-strike channel (`groups_enabled` gates the group_strikes
+  /// column, again on configuration, not outcome).
+  bool groups_enabled = false;
+  int group_strikes = 0;
+  /// SLO feedback: `slo_enabled` records whether any app of this row's
+  /// configuration declares slo.availability > 0, gating the spare
+  /// columns; the aggregates mirror SimulationResult.
+  bool slo_enabled = false;
+  std::int64_t spare_seconds = 0;
+  Joules spare_energy = 0.0;
   /// Per-app attribution, parallel to the scenario's app list.
   std::vector<SweepAppRow> apps;
   double wall_seconds = 0.0;
@@ -110,12 +127,15 @@ struct SweepReport {
   /// Multi-app sweeps (any row with >= 2 apps) append per-app column
   /// groups (app<i>_name, app<i>_compute_energy_j, ...); single-app
   /// sweeps keep the classic column set byte-for-byte. Sweeps with a
-  /// runtime fault channel configured on any row (faults.mtbf > 0) append
-  /// machine_failures / availability / lost_capacity_req_s cluster
-  /// columns, and availability / lost-capacity per-app columns inside the
-  /// app groups; zero-rate fault configs keep the fault-free schema
-  /// byte-for-byte. Excludes wall-clock timings, so the bytes are
-  /// identical across thread counts.
+  /// runtime fault channel configured on any row (faults.mtbf > 0 or an
+  /// active faults.groups channel) append machine_failures / availability
+  /// / lost_capacity_req_s cluster columns, and availability /
+  /// lost-capacity per-app columns inside the app groups; zero-rate fault
+  /// configs keep the fault-free schema byte-for-byte. A configured
+  /// correlated-strike channel appends group_strikes, and any row with an
+  /// availability SLO appends spare_seconds / spare_energy_j (cluster and
+  /// per-app). Excludes wall-clock timings, so the bytes are identical
+  /// across thread counts.
   [[nodiscard]] std::string to_csv() const;
 
   /// Console summary rendered with util/table.

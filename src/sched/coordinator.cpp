@@ -47,6 +47,13 @@ ReqRate Coordinator::capacity_cap(std::size_t i) const {
 
 Combination Coordinator::merge(const std::vector<Combination>& proposals,
                                std::vector<Combination>& contributions) const {
+  static const std::vector<Combination> kNoSpares;
+  return merge(proposals, kNoSpares, contributions);
+}
+
+Combination Coordinator::merge(const std::vector<Combination>& proposals,
+                               const std::vector<Combination>& spares,
+                               std::vector<Combination>& contributions) const {
   if (proposals.size() != shares_.size())
     throw std::invalid_argument(
         "Coordinator: proposal count does not match workload count");
@@ -84,6 +91,21 @@ Combination Coordinator::merge(const std::vector<Combination>& proposals,
       if (pick == kinds) break;  // nothing left to remove
       c.add(pick, -1);
       have -= (*candidates_)[pick].max_perf();
+    }
+  }
+  // Spare capacity lands after the clamp: the SLO loop's headroom rides on
+  // top of the app's budget share (and the contribution carries it, so
+  // reconfiguration energy for spare boots is attributed to the app whose
+  // SLO provisioned them).
+  if (!spares.empty()) {
+    if (spares.size() != proposals.size())
+      throw std::invalid_argument(
+          "Coordinator: spare count does not match workload count");
+    for (std::size_t i = 0; i < contributions.size(); ++i) {
+      if (spares[i].counts().size() > kinds)
+        throw std::invalid_argument("Coordinator: spare too wide");
+      for (std::size_t a = 0; a < spares[i].counts().size(); ++a)
+        contributions[i].add(a, spares[i].count(a));
     }
   }
   Combination merged;

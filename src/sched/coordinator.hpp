@@ -63,6 +63,16 @@ class Coordinator {
   [[nodiscard]] Combination merge(const std::vector<Combination>& proposals,
                                   std::vector<Combination>& contributions) const;
 
+  /// As above with SLO spare capacity: `spares` (same length as
+  /// `proposals`, possibly empty combinations) is added to each app's
+  /// contribution *after* the partitioned clamp — spares are emergency
+  /// headroom the availability feedback loop provisions, deliberately
+  /// exempt from the steady-state capacity budget. With all spares empty
+  /// this is exactly merge(proposals, contributions).
+  [[nodiscard]] Combination merge(const std::vector<Combination>& proposals,
+                                  const std::vector<Combination>& spares,
+                                  std::vector<Combination>& contributions) const;
+
   /// Capacity cap of app `i` under the partitioned policy;
   /// +infinity in sum mode or with no budget.
   [[nodiscard]] ReqRate capacity_cap(std::size_t i) const;

@@ -17,7 +17,8 @@ Cluster::Cluster(Catalog candidates, const Combination& initial,
     throw std::invalid_argument("Cluster: plan does not match catalog");
   if (faults_.boot_time_jitter < 0.0 || faults_.boot_failure_prob < 0.0 ||
       faults_.boot_failure_prob > 1.0 || faults_.mtbf < 0.0 ||
-      faults_.mttr < 0.0)
+      faults_.mttr < 0.0 || faults_.groups < 0 || faults_.group_mtbf < 0.0 ||
+      faults_.group_mttr < 0.0 || faults_.crews < 0)
     throw std::invalid_argument("Cluster: invalid fault model");
   if (faults_.mtbf_per_arch.size() > candidates_.size() ||
       faults_.mttr_per_arch.size() > candidates_.size())

@@ -41,6 +41,16 @@ namespace bml {
 ///     thread count (see sim/fault_timeline.hpp, which owns the clocks —
 ///     the Cluster only applies fail/repair transitions).
 ///
+///     Correlated (group) strikes extend the channel with failure-domain
+///     topology: each fault domain's machines are striped round-robin
+///     across `groups` racks / power domains, and each (domain, rack)
+///     pair runs its own renewal process of mean `group_mtbf` — one
+///     strike fells *every* On machine in the struck rack in one event
+///     (repair durations of mean `group_mttr`, one draw per strike,
+///     shared by all its casualties). Repairs draw from a workforce of
+///     `crews` concurrent repair crews (FIFO, deterministic tie-break);
+///     crews = 0 means unlimited (every repair proceeds in parallel).
+///
 /// Per-arch overrides replace the scalar means for the architectures they
 /// name (catalog order, <= 0 entries fall back to the scalar).
 /// Deterministic per seed.
@@ -56,6 +66,14 @@ struct FaultModel {
   /// (or missing) entries use the scalars above.
   std::vector<Seconds> mtbf_per_arch;
   std::vector<Seconds> mttr_per_arch;
+  /// Correlated-strike topology: racks per fault domain (0 disables the
+  /// group channel), mean seconds between strikes per (domain, rack), and
+  /// mean repair duration of each strike's casualties.
+  int groups = 0;
+  Seconds group_mtbf = 0.0;
+  Seconds group_mttr = 0.0;
+  /// Concurrent repair crews shared by all repairs; 0 = unlimited.
+  int crews = 0;
   std::uint64_t seed = 1;
 
   /// Boot-path channel enabled?
@@ -63,9 +81,14 @@ struct FaultModel {
     return boot_time_jitter > 0.0 || boot_failure_prob > 0.0;
   }
 
+  /// Correlated (rack-level) strike channel enabled?
+  [[nodiscard]] bool group_active() const {
+    return groups > 0 && group_mtbf > 0.0;
+  }
+
   /// Runtime crash/repair channel enabled?
   [[nodiscard]] bool runtime_active() const {
-    if (mtbf > 0.0) return true;
+    if (mtbf > 0.0 || group_active()) return true;
     for (Seconds m : mtbf_per_arch)
       if (m > 0.0) return true;
     return false;

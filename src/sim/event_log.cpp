@@ -6,7 +6,7 @@
 namespace bml {
 
 namespace {
-constexpr std::size_t kKindCount = 7;
+constexpr std::size_t kKindCount = 10;
 }
 
 const char* to_string(EventKind kind) {
@@ -19,6 +19,9 @@ const char* to_string(EventKind kind) {
     case EventKind::kQosViolation: return "qos-violation";
     case EventKind::kMachineFailure: return "machine-failure";
     case EventKind::kMachineRepair: return "machine-repair";
+    case EventKind::kGroupStrike: return "group-strike";
+    case EventKind::kSpareProvision: return "spare-provision";
+    case EventKind::kSpareRelease: return "spare-release";
   }
   throw std::logic_error("to_string(EventKind): invalid kind");
 }

@@ -25,6 +25,9 @@ enum class EventKind {
   kQosViolation,
   kMachineFailure,
   kMachineRepair,
+  kGroupStrike,
+  kSpareProvision,
+  kSpareRelease,
 };
 
 [[nodiscard]] const char* to_string(EventKind kind);
@@ -35,6 +38,8 @@ enum class EventKind {
 ///   boot/shutdown complete   — architecture name
 ///   QoS violation            — shortfall in req/s
 ///   machine failure / repair — architecture name
+///   group strike             — machines felled by the rack-level strike
+///   spare provision/release  — the SLO app's name
 struct SimEvent {
   TimePoint time = 0;
   EventKind kind = EventKind::kReconfigurationStart;

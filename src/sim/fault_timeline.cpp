@@ -21,6 +21,7 @@ TimePoint exponential_seconds(Rng& rng, Seconds mean) {
 
 FaultTimeline::FaultTimeline(const FaultModel& model, std::size_t arch_kinds,
                              std::size_t domains) {
+  crews_ = model.crews;
   if (!model.runtime_active()) return;
   streams_.reserve(domains * arch_kinds);
   for (std::size_t d = 0; d < domains; ++d)
@@ -38,6 +39,24 @@ FaultTimeline::FaultTimeline(const FaultModel& model, std::size_t arch_kinds,
       advance(stream);
       streams_.push_back(std::move(stream));
     }
+  if (model.group_active()) {
+    const auto racks = static_cast<std::size_t>(model.groups);
+    group_streams_.reserve(domains * racks);
+    for (std::size_t d = 0; d < domains; ++d)
+      for (std::size_t g = 0; g < racks; ++g) {
+        const auto key = static_cast<std::uint64_t>(
+            domains * arch_kinds + d * racks + g + 1);
+        Stream stream{Rng(model.seed + 0x9E3779B97F4A7C15ULL * key),
+                      model.group_mtbf,
+                      model.group_mttr,
+                      d,
+                      g,
+                      0,
+                      0};
+        advance(stream);
+        group_streams_.push_back(std::move(stream));
+      }
+  }
 }
 
 void FaultTimeline::advance(Stream& stream) {
@@ -49,42 +68,76 @@ TimePoint FaultTimeline::next_event() const {
   TimePoint next = repairs_.empty() ? kNever : repairs_.front().time;
   for (const Stream& stream : streams_)
     next = std::min(next, stream.next_strike);
+  for (const Stream& stream : group_streams_)
+    next = std::min(next, stream.next_strike);
   return next;
 }
 
 std::optional<FaultEvent> FaultTimeline::pop(TimePoint now) {
   // Repairs win ties with failure strikes (a repaired machine still comes
   // back Off, so the order is conventional — what matters is that it is
-  // fixed and shared by both execution strategies).
+  // fixed and shared by both execution strategies). Machine strikes win
+  // ties with group strikes by the same convention.
   const bool repair_due = !repairs_.empty() && repairs_.front().time <= now;
   Stream* best = nullptr;
+  bool best_group = false;
   for (Stream& stream : streams_) {
     if (stream.next_strike > now) continue;
     if (best == nullptr || stream.next_strike < best->next_strike) best = &stream;
     // Streams are scanned in (domain, arch) order, so on time ties the
     // first hit already is the canonical winner.
   }
+  for (Stream& stream : group_streams_) {
+    if (stream.next_strike > now) continue;
+    if (best == nullptr || stream.next_strike < best->next_strike) {
+      best = &stream;
+      best_group = true;
+    }
+  }
   if (repair_due &&
       (best == nullptr || repairs_.front().time <= best->next_strike)) {
     const Repair repair = repairs_.front();
     repairs_.erase(repairs_.begin());
+    // The completion frees a crew: the oldest waiter starts its repair at
+    // this completion's timestamp (both strategies process the same
+    // completion at the same instant, so the handoff is deterministic).
+    if (!pending_.empty()) {
+      const PendingRepair next = pending_.front();
+      pending_.pop_front();
+      insert_active(
+          Repair{repair.time + next.duration, next.domain, next.arch, next.seq});
+    }
     return FaultEvent{repair.time, repair.domain, repair.arch, true, 0};
   }
   if (best == nullptr) return std::nullopt;
-  const FaultEvent event{best->next_strike, best->domain, best->arch, false,
-                         best->next_repair_duration};
+  FaultEvent event{best->next_strike, best->domain, best->arch, false,
+                   best->next_repair_duration};
+  if (best_group) {
+    event.group_strike = true;
+    event.group = best->arch;
+    event.arch = 0;
+  }
   advance(*best);
   return event;
 }
 
-void FaultTimeline::schedule_repair(TimePoint completion, std::size_t domain,
-                                    std::size_t arch) {
-  const Repair repair{completion, domain, arch};
+void FaultTimeline::schedule_repair(TimePoint now, TimePoint duration,
+                                    std::size_t domain, std::size_t arch) {
+  const std::uint64_t seq = next_seq_++;
+  if (crews_ > 0 && repairs_.size() >= static_cast<std::size_t>(crews_)) {
+    pending_.push_back(PendingRepair{duration, domain, arch, seq});
+    return;
+  }
+  insert_active(Repair{now + duration, domain, arch, seq});
+}
+
+void FaultTimeline::insert_active(const Repair& repair) {
   const auto pos = std::upper_bound(
       repairs_.begin(), repairs_.end(), repair, [](const Repair& x, const Repair& y) {
         if (x.time != y.time) return x.time < y.time;
         if (x.domain != y.domain) return x.domain < y.domain;
-        return x.arch < y.arch;
+        if (x.arch != y.arch) return x.arch < y.arch;
+        return x.seq < y.seq;
       });
   repairs_.insert(pos, repair);
 }

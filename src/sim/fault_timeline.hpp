@@ -13,12 +13,27 @@
 // on the domain's entitlement and the cluster's On counts); a dropped
 // strike still consumed its draws, keeping the stream state-independent.
 //
+// Correlated strikes add a second stream family: each (fault domain, rack)
+// pair — FaultModel::groups racks per domain — runs its own renewal
+// process of mean group_mtbf, seeded after the whole machine-stream key
+// space so adding racks never perturbs the per-machine streams. A group
+// strike is one event; the caller fells every On machine the struck rack
+// holds (a deterministic stripe of the domain's entitlement) and all
+// casualties share the strike's single pre-drawn repair duration.
+//
+// Repairs flow through a crew-limited queue: FaultModel::crews concurrent
+// repair jobs (0 = unlimited — every repair runs in parallel, exactly the
+// pre-crew behaviour). Excess jobs wait in FIFO order (ties broken by
+// enqueue sequence, which both execution strategies generate identically),
+// and a completion immediately hands the freed crew to the oldest waiter.
+//
 // The timeline is also the fast path's event source: next_event() bounds
 // event-driven spans exactly like Cluster::next_transition_remaining, so
 // no failure or repair ever lands inside a batched span.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <optional>
 #include <vector>
@@ -30,7 +45,8 @@
 namespace bml {
 
 /// One due fault event, popped in deterministic order (time, repairs
-/// before failures, then domain, then arch).
+/// before machine strikes before group strikes, then domain, then
+/// arch/rack).
 struct FaultEvent {
   TimePoint time = 0;
   std::size_t domain = 0;
@@ -40,6 +56,10 @@ struct FaultEvent {
   /// Failure strikes only: the pre-drawn repair duration the caller
   /// schedules if (and only if) the strike fells a machine.
   TimePoint repair_seconds = 0;
+  /// Correlated strikes: true marks a rack-level event felling every On
+  /// machine of rack `group` in the domain (`arch` is meaningless).
+  bool group_strike = false;
+  std::size_t group = 0;
 };
 
 class FaultTimeline {
@@ -53,25 +73,38 @@ class FaultTimeline {
   /// One stream per (domain, arch) whose effective MTBF is > 0. Streams
   /// are seeded `model.seed + golden_ratio * (domain * arch_kinds + arch
   /// + 1)` so domains fail independently and reordering workloads between
-  /// domains does not perturb unrelated streams.
+  /// domains does not perturb unrelated streams. Group streams (one per
+  /// (domain, rack) when the group channel is active) continue the key
+  /// space at `domains * arch_kinds`, so enabling racks leaves every
+  /// machine stream untouched.
   FaultTimeline(const FaultModel& model, std::size_t arch_kinds,
                 std::size_t domains);
 
-  [[nodiscard]] bool active() const { return !streams_.empty(); }
+  [[nodiscard]] bool active() const {
+    return !streams_.empty() || !group_streams_.empty();
+  }
 
   /// Time of the earliest pending failure strike or repair completion;
   /// kNever when none. Events are always strictly in the future of the
-  /// last pop() point.
+  /// last pop() point. Queued (crew-starved) repairs are not events —
+  /// they surface through the completion that frees their crew.
   [[nodiscard]] TimePoint next_event() const;
 
   /// Pops the earliest event due at or before `now` (std::nullopt when
   /// none). Popping a failure strike advances its stream (the next strike
   /// and its repair duration are drawn immediately, unconditionally).
+  /// Popping a repair completion frees its crew and starts the oldest
+  /// waiting job, if any.
   [[nodiscard]] std::optional<FaultEvent> pop(TimePoint now);
 
-  /// Registers a landed failure's repair completion at `completion`.
-  void schedule_repair(TimePoint completion, std::size_t domain,
+  /// Registers a landed failure's repair of `duration` seconds starting
+  /// at `now` — immediately when a crew is free (completion at now +
+  /// duration), else queued FIFO behind the busy crews.
+  void schedule_repair(TimePoint now, TimePoint duration, std::size_t domain,
                        std::size_t arch);
+
+  /// Repairs waiting for a free crew (0 unless crews are saturated).
+  [[nodiscard]] std::size_t queued_repairs() const { return pending_.size(); }
 
  private:
   struct Stream {
@@ -79,7 +112,7 @@ class FaultTimeline {
     Seconds mtbf;
     Seconds mttr;
     std::size_t domain;
-    std::size_t arch;
+    std::size_t arch;  // rack index for group streams
     TimePoint next_strike;
     TimePoint next_repair_duration;
   };
@@ -87,14 +120,29 @@ class FaultTimeline {
     TimePoint time;
     std::size_t domain;
     std::size_t arch;
+    std::uint64_t seq;
+  };
+  struct PendingRepair {
+    TimePoint duration;
+    std::size_t domain;
+    std::size_t arch;
+    std::uint64_t seq;
   };
 
   /// Draws the stream's next strike gap and repair duration.
   static void advance(Stream& stream);
+  void insert_active(const Repair& repair);
 
   std::vector<Stream> streams_;
-  /// Pending repair completions, kept sorted by (time, domain, arch).
+  std::vector<Stream> group_streams_;
+  /// Repairs in progress (a crew assigned), kept sorted by
+  /// (time, domain, arch, seq).
   std::vector<Repair> repairs_;
+  /// Crew-starved repairs, FIFO by enqueue sequence.
+  std::deque<PendingRepair> pending_;
+  /// 0 = unlimited crews.
+  int crews_ = 0;
+  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace bml

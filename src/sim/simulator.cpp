@@ -58,8 +58,11 @@ MultiSimulationResult Simulator::run(std::vector<Workload>& workloads) const {
     if (!w.scheduler)
       throw std::invalid_argument("Simulator: workload '" + w.name +
                                   "' has no scheduler");
-    views.push_back(WorkloadView{&w.name, &w.trace, w.scheduler.get(), w.qos,
-                                 w.share, nullptr, &w.fault_domain});
+    WorkloadView v{&w.name, &w.trace, w.scheduler.get(), w.qos,
+                   w.share,  nullptr,  &w.fault_domain};
+    v.slo_availability = w.slo_availability;
+    v.slo_spare = w.slo_spare;
+    views.push_back(v);
   }
   return run_views(views);
 }
@@ -126,6 +129,21 @@ struct FaultRun {
   TimePoint total_unavailable = 0;
   double total_lost = 0.0;
   int total_failures = 0;
+  /// Correlated-strike topology: racks per domain (0 = channel off) and
+  /// the count of rack strikes that felled at least one machine.
+  int groups = 0;
+  int group_strikes = 0;
+  /// Per-domain outage history for the SLO trailing windows: closed
+  /// intervals [start, end) of past whole-domain downtime (pruned once
+  /// they leave every window), plus the start of the running outage (-1
+  /// while the domain is fully up). "Down" means >= 1 machine failed —
+  /// the same predicate unavailable_seconds integrates.
+  struct Outage {
+    TimePoint start;
+    TimePoint end;
+  };
+  std::vector<std::vector<Outage>> outages;
+  std::vector<TimePoint> down_since;
 };
 
 /// Mutable state of one simulation run, shared by both execution
@@ -174,6 +192,25 @@ struct Run {
   /// Runtime crash/repair state; disengaged unless the fault model's
   /// runtime channel is active.
   std::optional<FaultRun> faults;
+  /// SLO feedback state (any view with slo_availability > 0). The spare
+  /// flags are a pure function of the outage history — flag i is set iff
+  /// the app's domain's trailing-window downtime exceeds its error budget
+  /// — evaluated at consult time; `spares` / `spare_flags` hold what the
+  /// last merge actually provisioned, so accrual and attribution only
+  /// change at merge instants (identical in both execution strategies).
+  bool slo_enabled = false;
+  TimePoint slo_window = 0;
+  /// Per-app error budget (1 - target) * window in seconds; -1 = no SLO.
+  std::vector<double> slo_budget;
+  std::vector<Combination> spares;
+  std::vector<char> spare_flags;
+  std::vector<char> flags_scratch;
+  /// Idle power of each app's provisioned spares (W), refreshed at merge.
+  std::vector<Watts> spare_power;
+  std::vector<Joules> app_spare_energy;
+  std::vector<std::int64_t> app_spare_seconds;
+  Joules total_spare_energy = 0.0;
+  std::int64_t total_spare_seconds = 0;
 };
 
 using WorkloadView = Simulator::WorkloadView;
@@ -187,6 +224,131 @@ void update_transition_shares(const Catalog& candidates, Run& run) {
     run.transition_shares[i] =
         total > 0.0 ? capacity(candidates, run.contributions[i]) / total
                     : 1.0 / n;
+}
+
+/// Trailing-window downtime of domain `d` over [t - window, t), assuming
+/// the current up/down state persists — exact inside a span, where fault
+/// events cannot land.
+TimePoint window_unavailable(const FaultRun& fr, std::size_t d, TimePoint t,
+                             TimePoint window) {
+  const TimePoint lo = t - window;
+  TimePoint total = 0;
+  for (const FaultRun::Outage& o : fr.outages[d]) {
+    const TimePoint start = o.start > lo ? o.start : lo;
+    if (o.end > start) total += o.end - start;
+  }
+  if (fr.down_since[d] >= 0) {
+    const TimePoint start = fr.down_since[d] > lo ? fr.down_since[d] : lo;
+    if (t > start) total += t - start;
+  }
+  return total;
+}
+
+/// Evaluates every SLO app's spare flag at `t` — set iff the app's
+/// domain's trailing-window downtime exceeds its error budget. A pure
+/// function of the outage history, so both execution strategies get
+/// identical flags from identical timelines. Prunes outage intervals that
+/// have left every window (pruned intervals contribute 0, so pruning
+/// cadence cannot affect results). Fault-free runs keep all flags clear.
+void current_spare_flags(Run& run, TimePoint t, std::vector<char>& flags) {
+  flags.assign(run.slo_budget.size(), 0);
+  if (!run.faults.has_value()) return;
+  FaultRun& fr = *run.faults;
+  const TimePoint lo = t - run.slo_window;
+  for (std::vector<FaultRun::Outage>& history : fr.outages) {
+    std::size_t drop = 0;
+    while (drop < history.size() && history[drop].end <= lo) ++drop;
+    if (drop > 0)
+      history.erase(history.begin(),
+                    history.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+  for (std::size_t i = 0; i < run.slo_budget.size(); ++i) {
+    if (run.slo_budget[i] < 0.0) continue;
+    const std::size_t d = fr.domain_of[i];
+    flags[i] = static_cast<double>(window_unavailable(
+                   fr, d, t, run.slo_window)) > run.slo_budget[i];
+  }
+}
+
+/// Earliest second in (t, limit] where some SLO app's spare flag would
+/// differ from its value at `t`, assuming the failure set stays fixed
+/// (the caller already bounds `limit` by the next fault event). The
+/// window downtime is monotone while the up/down state is fixed —
+/// non-decreasing while down, non-increasing while up — so each budget
+/// crosses at most once inside the span and exact binary search finds it.
+TimePoint next_slo_crossing(const Run& run, TimePoint t, TimePoint limit) {
+  const FaultRun& fr = *run.faults;
+  TimePoint bound = limit;
+  for (std::size_t i = 0; i < run.slo_budget.size(); ++i) {
+    const double budget = run.slo_budget[i];
+    if (budget < 0.0) continue;
+    const std::size_t d = fr.domain_of[i];
+    // A clean window stays clean: no downtime can enter it inside a span.
+    if (fr.down_since[d] < 0 && fr.outages[d].empty()) continue;
+    const auto over_at = [&](TimePoint s) {
+      return static_cast<double>(
+                 window_unavailable(fr, d, s, run.slo_window)) > budget;
+    };
+    const bool over = over_at(t);
+    if (over_at(bound) == over) continue;
+    TimePoint lo = t;
+    TimePoint hi = bound;
+    while (hi - lo > 1) {
+      const TimePoint mid = lo + (hi - lo) / 2;
+      if (over_at(mid) == over)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    bound = hi;
+  }
+  return bound;
+}
+
+/// Per-arch ceil(fraction * count) headroom of `proposal` — the spare
+/// capacity provisioned while the app's SLO is violated.
+void spare_of(const Combination& proposal, double fraction, std::size_t kinds,
+              Combination& out) {
+  out = Combination{};
+  out.resize(kinds);
+  for (std::size_t a = 0; a < kinds; ++a) {
+    const int n = proposal.count(a);
+    if (n > 0)
+      out.add(a, static_cast<int>(
+                     std::ceil(static_cast<double>(n) * fraction)));
+  }
+}
+
+Watts idle_power_of(const Catalog& candidates, const Combination& c) {
+  Watts w = 0.0;
+  for (std::size_t a = 0; a < candidates.size(); ++a)
+    w += candidates[a].idle_power() * c.count(a);
+  return w;
+}
+
+/// The coordinator merge both decision sites share: the proposals plus
+/// the currently provisioned SLO spares (none when the loop is off).
+Combination merge_current(Run& run) {
+  return run.slo_enabled
+             ? run.coordinator.merge(run.proposals, run.spares,
+                                     run.contributions_scratch)
+             : run.coordinator.merge(run.proposals, run.contributions_scratch);
+}
+
+/// Accrues the provisioned spares' idle energy and active seconds over a
+/// span. The spare set only changes at merge instants — span starts in
+/// both strategies — so the accrual integrand is constant inside one.
+void account_spare_span(Run& run, TimePoint span) {
+  bool any = false;
+  for (std::size_t i = 0; i < run.spares.size(); ++i) {
+    if (run.spares[i].total_machines() == 0) continue;
+    any = true;
+    const Joules e = run.spare_power[i] * static_cast<double>(span);
+    run.app_spare_seconds[i] += span;
+    run.app_spare_energy[i] += e;
+    run.total_spare_energy += e;
+  }
+  if (any) run.total_spare_seconds += span;
 }
 
 Run make_run(const Catalog& candidates, const SimulatorOptions& options,
@@ -227,6 +389,31 @@ Run make_run(const Catalog& candidates, const SimulatorOptions& options,
   run.app_qos.resize(views.size());
   run.loads.assign(views.size(), 0.0);
   run.alloc.assign(views.size(), 0.0);
+  run.slo_budget.assign(views.size(), -1.0);
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const double target = views[i].slo_availability;
+    if (target < 0.0 || target > 1.0)
+      throw std::invalid_argument(
+          "Simulator: slo_availability must be in [0, 1]");
+    if (target <= 0.0) continue;
+    if (!(views[i].slo_spare > 0.0))
+      throw std::invalid_argument("Simulator: slo_spare must be > 0");
+    if (!(options.slo_window >= 1.0))
+      throw std::invalid_argument("Simulator: slo_window must be >= 1");
+    run.slo_enabled = true;
+    run.slo_window = static_cast<TimePoint>(std::llround(options.slo_window));
+    run.slo_budget[i] =
+        (1.0 - target) * static_cast<double>(run.slo_window);
+  }
+  if (run.slo_enabled) {
+    run.spares.assign(views.size(), Combination{});
+    for (Combination& c : run.spares) c.resize(kinds);
+    run.spare_flags.assign(views.size(), 0);
+    run.flags_scratch.assign(views.size(), 0);
+    run.spare_power.assign(views.size(), 0.0);
+    run.app_spare_energy.assign(views.size(), 0.0);
+    run.app_spare_seconds.assign(views.size(), 0);
+  }
   if (options.faults.runtime_active()) {
     FaultRun faults;
     // Map views to fault domains: same non-empty name = shared domain,
@@ -251,6 +438,9 @@ Run make_run(const Catalog& candidates, const SimulatorOptions& options,
     faults.unavailable_seconds.assign(faults.domains, 0);
     faults.lost_capacity.assign(faults.domains, 0.0);
     faults.failures.assign(faults.domains, 0);
+    faults.groups = options.faults.group_active() ? options.faults.groups : 0;
+    faults.outages.assign(faults.domains, {});
+    faults.down_since.assign(faults.domains, -1);
     run.faults.emplace(std::move(faults));
   }
   return run;
@@ -278,11 +468,16 @@ void finalize_run(Run& run, const SimulatorOptions& options,
     r.machine_failures = fr.total_failures;
     r.unavailable_seconds = fr.total_unavailable;
     r.lost_capacity = fr.total_lost;
+    r.group_strikes = fr.group_strikes;
     r.availability =
         r.qos.total_seconds > 0
             ? 1.0 - static_cast<double>(fr.total_unavailable) /
                         static_cast<double>(r.qos.total_seconds)
             : 1.0;
+  }
+  if (run.slo_enabled) {
+    r.spare_seconds = run.total_spare_seconds;
+    r.spare_energy = run.total_spare_energy;
   }
   out.total = std::move(run.result);
   out.apps.resize(views.size());
@@ -305,6 +500,10 @@ void finalize_run(Run& run, const SimulatorOptions& options,
               ? 1.0 - static_cast<double>(fr.unavailable_seconds[d]) /
                           static_cast<double>(app.qos_stats.total_seconds)
               : 1.0;
+    }
+    if (run.slo_enabled) {
+      app.spare_seconds = run.app_spare_seconds[i];
+      app.spare_energy = run.app_spare_energy[i];
     }
   }
 }
@@ -347,8 +546,8 @@ void apply_decision(Combination decision, TimePoint now,
 
 /// Consults every app's scheduler at `now` and applies the coordinator's
 /// merged decision. A scheduler returning std::nullopt keeps its previous
-/// proposal; when no proposal changed, the merged target cannot have
-/// changed either and the merge is skipped.
+/// proposal; when no proposal changed — and no SLO spare flag flipped —
+/// the merged target cannot have changed either and the merge is skipped.
 void consult_and_apply(const std::vector<WorkloadView>& views, TimePoint now,
                        const Catalog& candidates, bool graceful_off, Run& run,
                        EventLog* events) {
@@ -365,9 +564,34 @@ void consult_and_apply(const std::vector<WorkloadView>& views, TimePoint now,
       }
     }
   }
-  if (!any_new) return;
-  Combination merged =
-      run.coordinator.merge(run.proposals, run.contributions_scratch);
+  bool slo_changed = false;
+  if (run.slo_enabled) {
+    current_spare_flags(run, now, run.flags_scratch);
+    slo_changed = run.flags_scratch != run.spare_flags;
+  }
+  if (!any_new && !slo_changed) return;
+  if (run.slo_enabled) {
+    // Refresh the provisioned spares from the *current* proposals: an
+    // active flag rides on whatever the app now asks for.
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      const bool active = run.flags_scratch[i] != 0;
+      if (events && active != (run.spare_flags[i] != 0))
+        events->record(now,
+                       active ? EventKind::kSpareProvision
+                              : EventKind::kSpareRelease,
+                       *views[i].name);
+      if (active) {
+        spare_of(run.proposals[i], views[i].slo_spare, candidates.size(),
+                 run.spares[i]);
+      } else if (run.spares[i].total_machines() > 0) {
+        run.spares[i] = Combination{};
+        run.spares[i].resize(candidates.size());
+      }
+      run.spare_power[i] = idle_power_of(candidates, run.spares[i]);
+      run.spare_flags[i] = run.flags_scratch[i];
+    }
+  }
+  Combination merged = merge_current(run);
   run.contributions.swap(run.contributions_scratch);
   update_transition_shares(candidates, run);
   apply_decision(std::move(merged), now, candidates, graceful_off,
@@ -405,8 +629,9 @@ void settle_reconfiguration(TimePoint now, Cluster& cluster,
 /// replacements boot.
 void restore_after_failure(TimePoint now, const Catalog& candidates, Run& run,
                            EventLog* events) {
-  Combination merged =
-      run.coordinator.merge(run.proposals, run.contributions_scratch);
+  // The merge includes the spares the last consult provisioned (the flags
+  // themselves only change at consult instants, shared by both paths).
+  Combination merged = merge_current(run);
   run.contributions.swap(run.contributions_scratch);
   update_transition_shares(candidates, run);
   run.state.current_target = std::move(merged);
@@ -441,18 +666,40 @@ void restore_after_failure(TimePoint now, const Catalog& candidates, Run& run,
 /// Applies every fault event due at `now` (shared verbatim by both
 /// execution strategies — the fast path guarantees events only ever land
 /// on span starts). A failure strike fells one On machine of its arch if
-/// the domain's coordinator contributions still entitle it to one; landed
-/// failures first consume a matching deferred switch-off (the surplus
-/// machine the decision was about to power down is simply dead instead),
-/// otherwise the fleet is restored against the merged target.
+/// the domain's coordinator contributions still entitle it to one; a
+/// group (rack) strike fells the struck rack's whole stripe of the
+/// domain's surviving entitlement, every arch at once. Landed failures
+/// first consume a matching deferred switch-off (the surplus machine the
+/// decision was about to power down is simply dead instead), otherwise
+/// the fleet is restored against the merged target.
 void apply_fault_events(TimePoint now, const Catalog& candidates,
                         const std::vector<WorkloadView>& views, Run& run,
                         EventLog* events) {
   FaultRun& fr = *run.faults;
   bool need_restore = false;
+  // One landed failure, any strike kind: cluster + counters + repair job
+  // (through the crew queue) + deferred-off consumption.
+  const auto fell_one = [&](std::size_t d, std::size_t a,
+                            TimePoint repair_seconds) {
+    const ReqRate machine_capacity = candidates[a].max_perf();
+    if (run.slo_enabled && fr.failed_machines[d] == 0) fr.down_since[d] = now;
+    run.cluster.fail_one(a);
+    ++fr.failed[d][a];
+    ++fr.failed_machines[d];
+    ++fr.total_failed_machines;
+    fr.failed_capacity[d] += machine_capacity;
+    fr.total_failed_capacity += machine_capacity;
+    ++fr.failures[d];
+    ++fr.total_failures;
+    fr.timeline.schedule_repair(now, repair_seconds, d, a);
+    if (run.state.deferred_offs[a] > 0)
+      --run.state.deferred_offs[a];
+    else
+      need_restore = true;
+  };
   while (std::optional<FaultEvent> e = fr.timeline.pop(now)) {
-    const ReqRate machine_capacity = candidates[e->arch].max_perf();
     if (e->repair) {
+      const ReqRate machine_capacity = candidates[e->arch].max_perf();
       run.cluster.repair_one(e->arch);
       --fr.failed[e->domain][e->arch];
       --fr.failed_machines[e->domain];
@@ -461,12 +708,47 @@ void apply_fault_events(TimePoint now, const Catalog& candidates,
       fr.total_failed_capacity -= machine_capacity;
       // Kill any incremental-sum residue once everything is back up, so
       // the availability integrand is exactly 0 between outages.
-      if (fr.failed_machines[e->domain] == 0)
+      if (fr.failed_machines[e->domain] == 0) {
         fr.failed_capacity[e->domain] = 0.0;
+        // The domain's outage closes; the interval feeds the SLO windows.
+        if (run.slo_enabled) {
+          fr.outages[e->domain].push_back(
+              FaultRun::Outage{fr.down_since[e->domain], now});
+          fr.down_since[e->domain] = -1;
+        }
+      }
       if (fr.total_failed_machines == 0) fr.total_failed_capacity = 0.0;
       if (events)
         events->record(now, EventKind::kMachineRepair,
                        candidates[e->arch].name());
+      continue;
+    }
+    if (e->group_strike) {
+      // The rack holds a deterministic round-robin stripe of the domain's
+      // surviving entitlement per arch; the strike fells the whole stripe
+      // (clamped by what is actually On). All casualties share the
+      // strike's single pre-drawn repair duration.
+      int felled = 0;
+      for (std::size_t a = 0; a < candidates.size(); ++a) {
+        int entitled = 0;
+        for (std::size_t i = 0; i < views.size(); ++i)
+          if (fr.domain_of[i] == e->domain)
+            entitled += run.contributions[i].count(a);
+        const int available =
+            std::max(0, entitled - fr.failed[e->domain][a]);
+        int stripe = available / fr.groups;
+        if (static_cast<int>(e->group) < available % fr.groups) ++stripe;
+        stripe = std::min(stripe, run.cluster.on_count(a));
+        for (int k = 0; k < stripe; ++k)
+          fell_one(e->domain, a, e->repair_seconds);
+        felled += stripe;
+      }
+      if (felled > 0) {
+        ++fr.group_strikes;
+        if (events)
+          events->record(now, EventKind::kGroupStrike,
+                         std::to_string(felled) + " machines");
+      }
       continue;
     }
     int entitled = 0;
@@ -476,19 +758,7 @@ void apply_fault_events(TimePoint now, const Catalog& candidates,
     if (fr.failed[e->domain][e->arch] >= entitled ||
         run.cluster.on_count(e->arch) == 0)
       continue;  // the strike found nothing of this domain's to kill
-    run.cluster.fail_one(e->arch);
-    ++fr.failed[e->domain][e->arch];
-    ++fr.failed_machines[e->domain];
-    ++fr.total_failed_machines;
-    fr.failed_capacity[e->domain] += machine_capacity;
-    fr.total_failed_capacity += machine_capacity;
-    ++fr.failures[e->domain];
-    ++fr.total_failures;
-    fr.timeline.schedule_repair(now + e->repair_seconds, e->domain, e->arch);
-    if (run.state.deferred_offs[e->arch] > 0)
-      --run.state.deferred_offs[e->arch];
-    else
-      need_restore = true;
+    fell_one(e->domain, e->arch, e->repair_seconds);
     if (events)
       events->record(now, EventKind::kMachineFailure,
                      candidates[e->arch].name());
@@ -701,6 +971,7 @@ MultiSimulationResult Simulator::run_per_second(
     if (!run.state.reconfiguring)
       consult_and_apply(views, now, candidates_, options_.graceful_off, run,
                         events_ptr);
+    if (run.slo_enabled) account_spare_span(run, 1);
 
     const ReqRate load = gather_loads(views, now, run);
     const ClusterPower power = run.cluster.step_power(load);
@@ -819,9 +1090,16 @@ MultiSimulationResult Simulator::run_event_driven(
     // simulated day and lets EnergyMeter::add_runs fuse every sub-run of
     // a span into one day bucket instead of chunk-splitting per run.
     span_end = std::min(span_end, (t / kSecondsPerDay + 1) * kSecondsPerDay);
+    // A spare flag flipping is a decision change: the reference loop
+    // re-evaluates the SLO flags every idle second, so an idle span must
+    // end at the first second a trailing window crosses an app's error
+    // budget (exact — the downtime integrand is fixed inside the span).
+    if (run.slo_enabled && run.faults.has_value() && !run.state.reconfiguring)
+      span_end = std::min(span_end, next_slo_crossing(run, t, span_end));
     span_end = std::clamp(span_end, t + 1, n);
     const TimePoint span = span_end - t;
     if (run.faults.has_value()) account_fault_span(*run.faults, span);
+    if (run.slo_enabled) account_spare_span(run, span);
 
     // 3. Advance the span in closed form: the fleet is constant, so each
     //    constant-load sub-run has constant power and QoS margins.

@@ -107,6 +107,14 @@ struct SimulatorOptions {
   /// fleet, booting a replacement (self-healing; the felled machine
   /// returns to the Off pool when repaired).
   FaultModel faults{};
+  /// Trailing window (s) of the per-app availability SLOs
+  /// (WorkloadView::slo_availability): a domain's downtime inside the
+  /// last `slo_window` seconds is compared against each SLO app's error
+  /// budget (1 - target) * window; while the budget is exceeded the
+  /// coordinator provisions the app's spare capacity, releasing it once
+  /// the window recovers. Whole seconds; must be >= 1 when any app sets
+  /// an SLO target.
+  Seconds slo_window = 86400.0;
   /// Record a structured event log (reconfigurations, transition batches,
   /// QoS violations). Bounded memory; see sim/event_log.hpp.
   bool record_events = false;
@@ -137,6 +145,16 @@ struct SimulationResult {
   std::int64_t unavailable_seconds = 0;
   double availability = 1.0;
   double lost_capacity = 0.0;
+  /// Correlated-strike aggregate (FaultModel::groups): rack-level strikes
+  /// that felled at least one machine (each casualty also counts in
+  /// machine_failures).
+  int group_strikes = 0;
+  /// SLO feedback aggregates (WorkloadView::slo_availability): seconds
+  /// any app had spare capacity provisioned, and the idle-power integral
+  /// of all provisioned spares (an attribution overlay — the energy is
+  /// already inside compute_energy; see WorkloadResult::spare_energy).
+  std::int64_t spare_seconds = 0;
+  Joules spare_energy = 0.0;
   /// Optional downsampled total power (W), see record_power_every.
   TimeSeries power_series;
   /// Optional structured event log, see record_events.
@@ -178,6 +196,11 @@ class Simulator {
     /// Fault-domain name for runtime faults (see Workload::fault_domain);
     /// null or empty = the workload's own private domain.
     const std::string* fault_domain = nullptr;
+    /// Availability SLO target in [0, 1]; 0 disables the feedback loop
+    /// (see Workload::slo_availability / SimulatorOptions::slo_window).
+    double slo_availability = 0.0;
+    /// Spare-capacity fraction provisioned while the SLO is violated.
+    double slo_spare = 0.25;
   };
 
   Simulator(Catalog candidates, SimulatorOptions options = {});

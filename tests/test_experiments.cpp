@@ -136,6 +136,32 @@ TEST(Colocation, SharedPoolAttributesBothAppsAndSavesEnergy) {
   EXPECT_LT(r.colocated_total(), 1.10 * r.isolated_total());
 }
 
+TEST(SloRackStrikes, FeedbackRecoversServiceAtQuantifiedEnergyCost) {
+  const SloRackStrikeResult r = run_slo_rackstrikes(1, 7);
+  ASSERT_EQ(r.aware.apps.size(), 2u);
+  ASSERT_EQ(r.baseline.apps.size(), 2u);
+  // Rack strikes landed, and the aware run actually provisioned spares.
+  EXPECT_GT(r.baseline.total.group_strikes, 0);
+  EXPECT_GT(r.aware.total.spare_seconds, 0);
+  EXPECT_GT(r.aware.total.spare_energy, 0.0);
+  EXPECT_EQ(r.baseline.total.spare_seconds, 0);
+  EXPECT_DOUBLE_EQ(r.baseline.total.spare_energy, 0.0);
+  // The feedback loop bridges replacement-boot windows: the SLO app loses
+  // fewer seconds of service than under the non-aware coordinator.
+  EXPECT_GT(r.violation_recovered_s(), 0);
+  EXPECT_GE(r.aware.apps[0].qos_stats.served_fraction(),
+            r.baseline.apps[0].qos_stats.served_fraction());
+  // ...at a real, quantified energy cost (the spares idle).
+  EXPECT_GT(r.energy_cost(), 0.0);
+  // The spare overlay is attribution, not double counting.
+  EXPECT_LT(r.aware.total.spare_energy, r.aware.total.compute_energy);
+  EXPECT_EQ(r.aware.apps[0].spare_seconds, r.aware.total.spare_seconds);
+  // Determinism: same seed, same deltas.
+  const SloRackStrikeResult again = run_slo_rackstrikes(1, 7);
+  EXPECT_EQ(again.violation_recovered_s(), r.violation_recovered_s());
+  EXPECT_EQ(again.energy_cost(), r.energy_cost());
+}
+
 TEST(Fig5, StaticFleetNeverReconfigures) {
   Fig5Options options;
   options.trace.days = 1;

@@ -202,6 +202,124 @@ TEST(FaultTimeline, DeterministicPerSeedAndIndependentPerDomain) {
             FaultTimeline::kNever);
 }
 
+TEST(FaultTimeline, GroupStreamsDoNotPerturbMachineStreams) {
+  FaultModel model;
+  model.mtbf = 1000.0;
+  model.mttr = 300.0;
+  model.seed = 42;
+  FaultModel grouped = model;
+  grouped.groups = 3;
+  grouped.group_mtbf = 1500.0;
+  grouped.group_mttr = 400.0;
+  auto drain = [](FaultTimeline timeline) {
+    std::vector<FaultEvent> events;
+    while (events.size() < 40 &&
+           timeline.next_event() != FaultTimeline::kNever) {
+      const TimePoint t = timeline.next_event();
+      while (auto e = timeline.pop(t)) events.push_back(*e);
+    }
+    return events;
+  };
+  const auto plain = drain(FaultTimeline(model, 2, 2));
+  const auto mixed = drain(FaultTimeline(grouped, 2, 2));
+  // The grouped timeline interleaves rack strikes...
+  std::vector<FaultEvent> machine_only;
+  bool saw_group = false;
+  for (const FaultEvent& e : mixed) {
+    if (e.group_strike) {
+      saw_group = true;
+      EXPECT_LT(e.group, 3u);
+    } else {
+      machine_only.push_back(e);
+    }
+  }
+  EXPECT_TRUE(saw_group);
+  // ...but the machine streams are byte-identical to the ungrouped model:
+  // group streams continue the seeding key space instead of reusing it.
+  ASSERT_LE(machine_only.size(), plain.size());
+  for (std::size_t i = 0; i < machine_only.size(); ++i) {
+    EXPECT_EQ(machine_only[i].time, plain[i].time);
+    EXPECT_EQ(machine_only[i].domain, plain[i].domain);
+    EXPECT_EQ(machine_only[i].arch, plain[i].arch);
+    EXPECT_EQ(machine_only[i].repair_seconds, plain[i].repair_seconds);
+  }
+  // Group-only models are active and emit only rack strikes.
+  FaultModel group_only;
+  group_only.groups = 2;
+  group_only.group_mtbf = 800.0;
+  group_only.group_mttr = 200.0;
+  group_only.seed = 7;
+  EXPECT_TRUE(group_only.group_active());
+  EXPECT_TRUE(group_only.runtime_active());
+  const auto racks = drain(FaultTimeline(group_only, 2, 1));
+  ASSERT_FALSE(racks.empty());
+  for (const FaultEvent& e : racks) EXPECT_TRUE(e.group_strike);
+  // Determinism: a second drain reproduces the first.
+  const auto again = drain(FaultTimeline(grouped, 2, 2));
+  ASSERT_EQ(again.size(), mixed.size());
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    EXPECT_EQ(again[i].time, mixed[i].time);
+    EXPECT_EQ(again[i].group_strike, mixed[i].group_strike);
+  }
+}
+
+TEST(FaultTimeline, CrewQueueSerialisesRepairs) {
+  // One crew, two landed failures: the second repair waits for the first
+  // crew to free up, so its completion lands at first-completion + its
+  // own duration, not at its own enqueue + duration.
+  FaultModel model;
+  model.crews = 1;
+  FaultTimeline limited(model, 2, 1);
+  limited.schedule_repair(/*now=*/10, /*duration=*/100, 0, 0);
+  limited.schedule_repair(/*now=*/20, /*duration=*/50, 0, 1);
+  EXPECT_EQ(limited.queued_repairs(), 1u);
+  EXPECT_EQ(limited.next_event(), 110);
+  auto first = limited.pop(110);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->repair);
+  EXPECT_EQ(first->arch, 0u);
+  EXPECT_EQ(limited.queued_repairs(), 0u);
+  EXPECT_EQ(limited.next_event(), 160);  // 110 + 50, not 20 + 50
+  auto second = limited.pop(160);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->arch, 1u);
+  EXPECT_EQ(limited.next_event(), FaultTimeline::kNever);
+
+  // crews = 0 is unlimited: both repairs run in parallel, completions at
+  // enqueue + duration — exactly the pre-crew behaviour. (A default model
+  // has no streams, but the repair queue works for any landed failure.)
+  FaultTimeline unlimited(FaultModel{}, 2, 1);
+  unlimited.schedule_repair(10, 100, 0, 0);
+  unlimited.schedule_repair(20, 50, 0, 1);
+  EXPECT_EQ(unlimited.queued_repairs(), 0u);
+  EXPECT_EQ(unlimited.next_event(), 70);
+  auto para = unlimited.pop(70);
+  ASSERT_TRUE(para.has_value());
+  EXPECT_EQ(para->arch, 1u);
+  EXPECT_EQ(unlimited.next_event(), 110);
+}
+
+TEST(FaultModel, ClusterValidatesGroupAndCrewParameters) {
+  FaultModel bad;
+  bad.groups = -1;
+  EXPECT_THROW(Cluster(candidates(), {}, bad), std::invalid_argument);
+  FaultModel bad2;
+  bad2.group_mtbf = -1.0;
+  EXPECT_THROW(Cluster(candidates(), {}, bad2), std::invalid_argument);
+  FaultModel bad3;
+  bad3.group_mttr = -2.0;
+  EXPECT_THROW(Cluster(candidates(), {}, bad3), std::invalid_argument);
+  FaultModel bad4;
+  bad4.crews = -1;
+  EXPECT_THROW(Cluster(candidates(), {}, bad4), std::invalid_argument);
+  // Zero-rate group config stays inactive.
+  FaultModel idle;
+  idle.groups = 4;
+  idle.group_mtbf = 0.0;
+  EXPECT_FALSE(idle.group_active());
+  EXPECT_FALSE(idle.runtime_active());
+}
+
 /// Shared runtime-fault scenario: steady load on the real catalog with
 /// failures frequent enough to land several times a day.
 SimulationResult run_faulty(std::uint64_t seed, bool event_driven = true) {
@@ -282,6 +400,69 @@ TEST(RuntimeFaults, EventLogRecordsFailuresAndRepairs) {
   EXPECT_EQ(r.events.count(EventKind::kMachineFailure),
             static_cast<std::size_t>(r.machine_failures));
   EXPECT_GT(r.events.count(EventKind::kMachineRepair), 0u);
+}
+
+TEST(RuntimeFaults, GroupStrikesFellMachinesAndAreLogged) {
+  auto design =
+      std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
+  const LoadTrace trace = constant_trace(2000.0, 86'400.0);
+  SimulatorOptions options;
+  options.faults.groups = 2;
+  options.faults.group_mtbf = 7200.0;
+  options.faults.group_mttr = 900.0;
+  options.faults.seed = 5;
+  options.record_events = true;
+  const Simulator simulator(design->candidates(), options);
+  BmlScheduler scheduler(design, std::make_shared<OracleMaxPredictor>());
+  const SimulationResult r = simulator.run(scheduler, trace);
+  ASSERT_GT(r.group_strikes, 0);
+  // Every casualty of a rack strike also counts as a machine failure, and
+  // a stripe typically holds more than one machine.
+  EXPECT_GE(r.machine_failures, r.group_strikes);
+  EXPECT_EQ(r.events.count(EventKind::kGroupStrike),
+            static_cast<std::size_t>(r.group_strikes));
+  EXPECT_GT(r.unavailable_seconds, 0);
+  // Determinism: same seed, same rack-strike history.
+  BmlScheduler scheduler2(design, std::make_shared<OracleMaxPredictor>());
+  const SimulationResult r2 = simulator.run(scheduler2, trace);
+  EXPECT_EQ(r.group_strikes, r2.group_strikes);
+  EXPECT_EQ(r.machine_failures, r2.machine_failures);
+  EXPECT_EQ(r.compute_energy, r2.compute_energy);  // bitwise
+}
+
+TEST(RuntimeFaults, SloFeedbackRecordsSpareEventsAndEnergy) {
+  auto design =
+      std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
+  const LoadTrace trace = constant_trace(1800.0, 86'400.0);
+  SimulatorOptions options;
+  options.faults.groups = 2;
+  options.faults.group_mtbf = 3.0 * 3600.0;
+  options.faults.group_mttr = 1800.0;
+  options.faults.seed = 19;
+  options.slo_window = 7200.0;
+  options.record_events = true;
+  const Simulator simulator(design->candidates(), options);
+  BmlScheduler scheduler(design, std::make_shared<OracleMaxPredictor>());
+  Workload app;
+  app.name = "web";
+  app.trace = trace;
+  app.scheduler = std::make_unique<BmlScheduler>(
+      design, std::make_shared<OracleMaxPredictor>());
+  app.slo_availability = 0.999;  // 7.2 s budget in the 7200 s window
+  std::vector<Workload> apps;
+  apps.push_back(std::move(app));
+  const MultiSimulationResult r = simulator.run(apps);
+  ASSERT_GT(r.total.group_strikes, 0);
+  EXPECT_GT(r.total.spare_seconds, 0);
+  EXPECT_GT(r.total.spare_energy, 0.0);
+  // Spare energy is an attribution overlay inside compute_energy, never
+  // on top of it.
+  EXPECT_LT(r.total.spare_energy, r.total.compute_energy);
+  EXPECT_GT(r.total.events.count(EventKind::kSpareProvision), 0u);
+  EXPECT_GT(r.total.events.count(EventKind::kSpareRelease), 0u);
+  ASSERT_EQ(r.apps.size(), 1u);
+  EXPECT_EQ(r.apps[0].spare_seconds, r.total.spare_seconds);
+  EXPECT_EQ(r.apps[0].spare_energy, r.total.spare_energy);
 }
 
 TEST(FaultInjection, SimulationSurvivesJitterWithPaperWindow) {

@@ -1,0 +1,174 @@
+// Scenario fuzzer: randomised `.scn` specs over the cartesian space of
+// traces x schedulers x predictors x fault channels x SLO targets x app
+// counts, each replayed through both execution strategies. The property
+// under test is the engine-wide equivalence contract: integer counters
+// bit-exact, floating-point integrals within 1e-9, for *any* valid spec —
+// not just the hand-picked ones in test_simulator_fastpath.cpp. The run
+// is seeded and bounded (fixed iteration count, short traces) so it is a
+// deterministic part of the normal test suite, not a soak job; bump
+// kIterations locally to fuzz harder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_spec.hpp"
+#include "scenario/sweep.hpp"
+#include "util/rng.hpp"
+
+namespace bml {
+namespace {
+
+constexpr int kIterations = 40;
+
+template <typename T>
+const T& pick(Rng& rng, const std::vector<T>& options) {
+  return options[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(options.size()) - 1))];
+}
+
+/// One random `[app]` section (or the top-level workload block when
+/// `top_level`). Trace durations stay short: the per-second reference
+/// loop replays every generated spec too.
+std::string random_workload(Rng& rng, bool top_level) {
+  std::ostringstream os;
+  const int duration = static_cast<int>(rng.uniform_int(1800, 7200));
+  const std::string trace =
+      pick(rng, std::vector<std::string>{"constant", "step", "flash_crowd"});
+  os << "trace = " << trace << '\n';
+  if (trace == "constant") {
+    os << "trace.rate = " << rng.uniform_int(100, 2500) << '\n';
+    os << "trace.duration = " << duration << '\n';
+  } else if (trace == "step") {
+    const int segments = static_cast<int>(rng.uniform_int(2, 5));
+    os << "trace.segments = ";
+    for (int s = 0; s < segments; ++s)
+      os << (s ? ";" : "") << rng.uniform_int(50, 2600) << ':'
+         << duration / segments;
+    os << '\n';
+  } else {
+    const int base = static_cast<int>(rng.uniform_int(50, 600));
+    os << "trace.base = " << base << '\n';
+    os << "trace.burst_peak = " << base + rng.uniform_int(400, 2000) << '\n';
+    os << "trace.duration = " << duration << '\n';
+    os << "trace.burst_start = " << rng.uniform_int(0, duration / 2) << '\n';
+  }
+  os << "scheduler = "
+     << pick(rng, std::vector<std::string>{"bml", "reactive", "hysteresis"})
+     << '\n';
+  os << "predictor = "
+     << pick(rng, std::vector<std::string>{"oracle-max", "last-value",
+                                           "moving-max"})
+     << '\n';
+  os << "qos = " << (rng.chance(0.5) ? "tolerant" : "critical") << '\n';
+  if (!top_level) {
+    if (rng.chance(0.5)) os << "fault_domain = pool\n";
+    if (rng.chance(0.5)) {
+      os << "slo.availability = " << (rng.chance(0.5) ? "0.999" : "0.99")
+         << '\n';
+      os << "slo.spare = 0." << rng.uniform_int(2, 7) << "5\n";
+    }
+  }
+  return os.str();
+}
+
+std::string random_spec_text(Rng& rng, int iteration) {
+  std::ostringstream os;
+  os << "name = fuzz" << iteration << '\n';
+  os << "seed = " << rng.uniform_int(1, 1'000'000) << '\n';
+  os << "graceful_off = " << (rng.chance(0.75) ? "true" : "false") << '\n';
+  // Fault channels, independently togglable so the fuzzer covers machine
+  // strikes alone, rack strikes alone, both, and neither.
+  if (rng.chance(0.6)) {
+    os << "faults.mtbf = " << rng.uniform_int(900, 3600) << '\n';
+    os << "faults.mttr = " << rng.uniform_int(120, 900) << '\n';
+  }
+  if (rng.chance(0.6)) {
+    os << "faults.groups = " << rng.uniform_int(1, 3) << '\n';
+    os << "faults.group_mtbf = " << rng.uniform_int(1800, 7200) << '\n';
+    os << "faults.group_mttr = " << rng.uniform_int(300, 1500) << '\n';
+  }
+  if (rng.chance(0.5)) os << "faults.crews = " << rng.uniform_int(1, 2) << '\n';
+  if (rng.chance(0.3))
+    os << "faults.boot_failure_prob = 0." << rng.uniform_int(1, 3) << '\n';
+  os << "faults.seed = " << rng.uniform_int(1, 1'000'000) << '\n';
+  os << "slo.window = " << rng.uniform_int(1800, 7200) << '\n';
+  const int apps = static_cast<int>(rng.uniform_int(0, 3));
+  if (apps == 0) {
+    os << random_workload(rng, /*top_level=*/true);
+    if (rng.chance(0.4)) os << "slo.availability = 0.999\n";
+  } else {
+    if (rng.chance(0.4)) {
+      os << "coordinator = partitioned\n";
+      os << "coordinator.budget = design-max\n";
+    }
+    for (int a = 0; a < apps; ++a) {
+      os << "[app]\nname = app" << a << '\n';
+      os << random_workload(rng, /*top_level=*/false);
+    }
+  }
+  return os.str();
+}
+
+void expect_close(double fast, double reference, const char* what) {
+  const double tolerance = 1e-9 * std::max(1.0, std::abs(reference));
+  EXPECT_NEAR(fast, reference, tolerance) << what;
+}
+
+TEST(FuzzScenarios, EveryRandomSpecHoldsTheEquivalenceContract) {
+  Rng rng(20260807);
+  for (int i = 0; i < kIterations; ++i) {
+    const std::string text = random_spec_text(rng, i);
+    SCOPED_TRACE("spec:\n" + text);
+    ScenarioSpec spec = parse_scenario(text);
+    spec.event_driven = true;
+    const ScenarioResult fast = run_scenario(spec);
+    spec.event_driven = false;
+    const ScenarioResult reference = run_scenario(spec);
+
+    EXPECT_EQ(fast.sim.reconfigurations, reference.sim.reconfigurations);
+    EXPECT_EQ(fast.sim.reconfiguring_seconds,
+              reference.sim.reconfiguring_seconds);
+    EXPECT_EQ(fast.sim.peak_machines, reference.sim.peak_machines);
+    EXPECT_EQ(fast.sim.machine_failures, reference.sim.machine_failures);
+    EXPECT_EQ(fast.sim.unavailable_seconds,
+              reference.sim.unavailable_seconds);
+    EXPECT_EQ(fast.sim.group_strikes, reference.sim.group_strikes);
+    EXPECT_EQ(fast.sim.spare_seconds, reference.sim.spare_seconds);
+    EXPECT_EQ(fast.sim.qos.total_seconds, reference.sim.qos.total_seconds);
+    EXPECT_EQ(fast.sim.qos.violation_seconds,
+              reference.sim.qos.violation_seconds);
+    expect_close(fast.sim.compute_energy, reference.sim.compute_energy,
+                 "compute_energy");
+    expect_close(fast.sim.reconfiguration_energy,
+                 reference.sim.reconfiguration_energy,
+                 "reconfiguration_energy");
+    expect_close(fast.sim.lost_capacity, reference.sim.lost_capacity,
+                 "lost_capacity");
+    expect_close(fast.sim.spare_energy, reference.sim.spare_energy,
+                 "spare_energy");
+    expect_close(fast.sim.qos.unserved_requests,
+                 reference.sim.qos.unserved_requests, "unserved_requests");
+
+    ASSERT_EQ(fast.apps.size(), reference.apps.size());
+    for (std::size_t a = 0; a < reference.apps.size(); ++a) {
+      EXPECT_EQ(fast.apps[a].failures, reference.apps[a].failures);
+      EXPECT_EQ(fast.apps[a].unavailable_seconds,
+                reference.apps[a].unavailable_seconds);
+      EXPECT_EQ(fast.apps[a].spare_seconds, reference.apps[a].spare_seconds);
+      EXPECT_EQ(fast.apps[a].qos_stats.violation_seconds,
+                reference.apps[a].qos_stats.violation_seconds);
+      expect_close(fast.apps[a].compute_energy,
+                   reference.apps[a].compute_energy, "app compute_energy");
+      expect_close(fast.apps[a].spare_energy, reference.apps[a].spare_energy,
+                   "app spare_energy");
+      expect_close(fast.apps[a].lost_capacity,
+                   reference.apps[a].lost_capacity, "app lost_capacity");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bml

@@ -399,6 +399,144 @@ TEST(RunSweep, ZeroRateFaultConfigKeepsTheClassicCsvSchema) {
             "qos_violation_s,served_fraction,mean_power_w,peak_machines");
 }
 
+TEST(ScenarioSpec, ParsesGroupCrewAndSloKeysAndRoundTrips) {
+  const ScenarioSpec spec = parse_scenario(R"(name = resilient
+faults.groups = 3
+faults.group_mtbf = 14400
+faults.group_mttr = 1800
+faults.crews = 2
+slo.window = 7200
+slo.availability = 0.999
+slo.spare = 0.5
+[app]
+name = web
+slo.availability = 0.9995
+slo.spare = 0.4
+)");
+  EXPECT_EQ(spec.fault_groups, 3);
+  EXPECT_DOUBLE_EQ(spec.fault_group_mtbf, 14400.0);
+  EXPECT_DOUBLE_EQ(spec.fault_group_mttr, 1800.0);
+  EXPECT_EQ(spec.fault_crews, 2);
+  EXPECT_DOUBLE_EQ(spec.slo_window, 7200.0);
+  EXPECT_DOUBLE_EQ(spec.slo_availability, 0.999);
+  EXPECT_DOUBLE_EQ(spec.slo_spare, 0.5);
+  ASSERT_EQ(spec.apps.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.apps[0].slo_availability, 0.9995);
+  EXPECT_DOUBLE_EQ(spec.apps[0].slo_spare, 0.4);
+  const std::string text = write_scenario(spec);
+  EXPECT_EQ(parse_scenario(text), spec);
+  EXPECT_EQ(write_scenario(parse_scenario(text)), text);
+  // Defaults round-trip too (app slo keys are omitted at defaults).
+  const ScenarioSpec plain;
+  EXPECT_EQ(parse_scenario(write_scenario(plain)), plain);
+  // Validation fails loudly at parse time, also under sweep probing.
+  EXPECT_THROW((void)parse_scenario("faults.groups = -1\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("faults.groups = 2.5\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("faults.crews = -2\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("faults.group_mtbf = -1\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("slo.availability = 1.5\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("slo.spare = 0\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("slo.window = 0\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("[app]\nslo.availability = 2\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("sweep slo.availability = 0.9,1.5\n"),
+               std::runtime_error);
+}
+
+TEST(RunSweep, GroupFaultAndSloColumnsArePinnedAndThreadStable) {
+  // The resilience column groups land in a fixed order after the fault
+  // block: group_strikes (correlated channel), then spare_seconds /
+  // spare_energy_j (SLO feedback). Pinned so downstream tooling can rely
+  // on the schema, and byte-identical across thread counts.
+  ScenarioSpec spec;
+  spec.name = "rackstruck";
+  spec.trace = "constant";
+  spec.trace_params["rate"] = "1500";
+  spec.trace_params["duration"] = "43200";
+  spec.fault_groups = 2;
+  spec.fault_group_mtbf = 7200.0;
+  spec.fault_group_mttr = 900.0;
+  spec.fault_crews = 1;
+  spec.fault_seed = 5;
+  spec.slo_window = 7200.0;
+  spec.slo_availability = 0.999;
+
+  const SweepReport one = run_sweep(spec, SweepOptions{.threads = 1});
+  ASSERT_EQ(one.rows.size(), 1u);
+  EXPECT_TRUE(one.rows[0].faults_enabled);
+  EXPECT_TRUE(one.rows[0].groups_enabled);
+  EXPECT_TRUE(one.rows[0].slo_enabled);
+  EXPECT_GT(one.rows[0].group_strikes, 0);
+  EXPECT_GT(one.rows[0].spare_seconds, 0);
+
+  const std::string csv = one.to_csv();
+  const std::string header = csv.substr(0, csv.find('\n'));
+  EXPECT_EQ(header,
+            "scenario,scheduler_name,total_energy_j,compute_energy_j,"
+            "reconfiguration_energy_j,reconfigurations,qos_violation_s,"
+            "served_fraction,mean_power_w,peak_machines,machine_failures,"
+            "availability,lost_capacity_req_s,group_strikes,spare_seconds,"
+            "spare_energy_j");
+  const SweepReport four = run_sweep(spec, SweepOptions{.threads = 4});
+  EXPECT_EQ(csv, four.to_csv());
+}
+
+TEST(RunSweep, ZeroRateGroupConfigKeepsTheNoFaultCsvSchema) {
+  // Groups without a strike rate (and an SLO target without any fault
+  // channel... which can never trip) must not change the schema: column
+  // gating is a function of the *active* configuration.
+  ScenarioSpec spec;
+  spec.name = "clean";
+  spec.trace = "constant";
+  spec.trace_params["rate"] = "400";
+  spec.trace_params["duration"] = "1200";
+  const SweepReport plain = run_sweep(spec, SweepOptions{.threads = 1});
+
+  ScenarioSpec zero = spec;
+  zero.fault_groups = 4;      // racks declared...
+  zero.fault_group_mtbf = 0;  // ...but the channel never fires
+  zero.fault_group_mttr = 600.0;
+  zero.fault_crews = 3;
+  const SweepReport zeroed = run_sweep(zero, SweepOptions{.threads = 1});
+  EXPECT_EQ(plain.to_csv(), zeroed.to_csv());
+  EXPECT_EQ(plain.to_csv().find("group_strikes"), std::string::npos);
+}
+
+TEST(RunSweep, SloAxesKeepTheSharedBuild) {
+  // slo.* (like faults.*) is runtime-only: sweeping it must not force
+  // per-scenario catalog / trace / design rebuilds.
+  ScenarioSpec spec;
+  spec.name = "slo-grid";
+  spec.trace = "constant";
+  spec.trace_params["rate"] = "1200";
+  spec.trace_params["duration"] = "43200";
+  spec.fault_groups = 2;
+  spec.fault_group_mtbf = 7200.0;
+  spec.fault_group_mttr = 1200.0;
+  spec.fault_seed = 3;
+  spec.slo_window = 7200.0;
+  spec.sweeps.push_back(SweepAxis{"slo.availability", {"0", "0.999"}});
+  const std::uint64_t before = CombinationTable::built_count();
+  const SweepReport report = run_sweep(spec, SweepOptions{.threads = 2});
+  EXPECT_EQ(CombinationTable::built_count() - before, 1u);
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_FALSE(report.rows[0].slo_enabled);
+  EXPECT_TRUE(report.rows[1].slo_enabled);
+  EXPECT_EQ(report.rows[0].spare_seconds, 0);
+  EXPECT_GT(report.rows[1].spare_seconds, 0);
+  // The strike *timeline* is state-independent, but whether a strike
+  // fells anything is not: provisioned spares can turn a strike on an
+  // otherwise-empty stripe into a landed one, so the landed counts may
+  // legitimately differ between the rows. Both rows see landed strikes.
+  EXPECT_GT(report.rows[0].group_strikes, 0);
+  EXPECT_GT(report.rows[1].group_strikes, 0);
+}
+
 TEST(Registry, UnknownComponentsListAlternatives) {
   try {
     (void)make_trace("sinusoid", {}, 1);

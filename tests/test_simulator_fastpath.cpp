@@ -62,6 +62,9 @@ void expect_equivalent(
   EXPECT_EQ(fast.unavailable_seconds, reference.unavailable_seconds);
   EXPECT_EQ(fast.availability, reference.availability);
   expect_close(fast.lost_capacity, reference.lost_capacity, "lost_capacity");
+  EXPECT_EQ(fast.group_strikes, reference.group_strikes);
+  EXPECT_EQ(fast.spare_seconds, reference.spare_seconds);
+  expect_close(fast.spare_energy, reference.spare_energy, "spare_energy");
 
   EXPECT_EQ(fast.qos.total_seconds, reference.qos.total_seconds);
   EXPECT_EQ(fast.qos.violation_seconds, reference.qos.violation_seconds);
@@ -403,6 +406,120 @@ TEST(SimulatorFastPath, RuntimeFaultsMultiAppDomains) {
   EXPECT_EQ(reference.apps[0].failures, reference.apps[1].failures);
   EXPECT_EQ(reference.apps[0].unavailable_seconds,
             reference.apps[1].unavailable_seconds);
+}
+
+TEST(SimulatorFastPath, CorrelatedGroupStrikes) {
+  // Rack-level strikes fell whole stripes of the fleet in one event; the
+  // fast path must stay exact while group events bound its spans.
+  SimulatorOptions options;
+  options.faults.groups = 3;
+  options.faults.group_mtbf = 4.0 * 3600.0;
+  options.faults.group_mttr = 1200.0;
+  options.faults.seed = 31;
+
+  SimulatorOptions reference_options = options;
+  reference_options.event_driven = false;
+  const Simulator reference_sim(design()->candidates(), reference_options);
+  auto reference_scheduler = oracle_bml();
+  const SimulationResult reference =
+      reference_sim.run(*reference_scheduler, noisy_worldcup_trace());
+  ASSERT_GT(reference.group_strikes, 0);
+  ASSERT_GT(reference.machine_failures, reference.group_strikes);
+
+  expect_equivalent(oracle_bml, noisy_worldcup_trace(), options);
+}
+
+TEST(SimulatorFastPath, CrewLimitedRepairs) {
+  // With one repair crew, MTTR becomes queueing-dependent: repairs start
+  // only when the crew frees up. The queue is part of the timeline, so
+  // both strategies must drain it identically.
+  SimulatorOptions options = runtime_fault_options(37);
+  options.faults.mtbf = 1800.0;
+  options.faults.mttr = 900.0;
+  options.faults.crews = 1;
+  expect_equivalent(oracle_bml, noisy_worldcup_trace(), options);
+}
+
+TEST(SimulatorFastPath, GroupStrikesWithCrewsAndMachineFaults) {
+  SimulatorOptions options = runtime_fault_options(41);
+  options.faults.groups = 2;
+  options.faults.group_mtbf = 6.0 * 3600.0;
+  options.faults.group_mttr = 1800.0;
+  options.faults.crews = 2;
+  expect_equivalent(oracle_bml, noisy_worldcup_trace(), options);
+}
+
+TEST(SimulatorFastPath, SloFeedbackProvisionsSpares) {
+  // Two apps sharing a struck fault domain, one with an availability SLO:
+  // the feedback loop must provision/release spares at the same instants
+  // on both strategies, and the spare accounting must agree exactly.
+  DiurnalOptions web;
+  web.peak = 1400.0;
+  web.noise = 0.15;
+  web.seed = 9;
+  const LoadTrace traces[] = {diurnal_trace(web, 1),
+                              constant_trace(600.0, 86'400.0)};
+  const std::string names[] = {"web", "batch"};
+  const std::string domain = "rack-pool";
+
+  const auto run_with = [&](bool event_driven) {
+    SimulatorOptions options;
+    options.event_driven = event_driven;
+    options.faults.groups = 2;
+    options.faults.group_mtbf = 3.0 * 3600.0;
+    options.faults.group_mttr = 1500.0;
+    options.faults.crews = 1;
+    options.faults.seed = 43;
+    options.slo_window = 7200.0;
+    const Simulator sim(design()->candidates(), options);
+    std::vector<std::unique_ptr<Scheduler>> schedulers;
+    std::vector<Simulator::WorkloadView> views;
+    for (std::size_t i = 0; i < 2; ++i) {
+      schedulers.push_back(std::make_unique<BmlScheduler>(
+          design(), std::make_shared<OracleMaxPredictor>()));
+      Simulator::WorkloadView view{&names[i], &traces[i], schedulers[i].get(),
+                                   QosClass::kTolerant, 1.0, nullptr, &domain};
+      if (i == 0) {
+        view.slo_availability = 0.999;
+        view.slo_spare = 0.5;
+      }
+      views.push_back(view);
+    }
+    return sim.run(views);
+  };
+
+  const MultiSimulationResult fast = run_with(true);
+  const MultiSimulationResult reference = run_with(false);
+  ASSERT_GT(reference.total.group_strikes, 0);
+  ASSERT_GT(reference.total.spare_seconds, 0);
+  ASSERT_GT(reference.total.spare_energy, 0.0);
+  EXPECT_EQ(fast.total.group_strikes, reference.total.group_strikes);
+  EXPECT_EQ(fast.total.spare_seconds, reference.total.spare_seconds);
+  expect_close(fast.total.spare_energy, reference.total.spare_energy,
+               "spare_energy");
+  expect_fault_accounting_equivalent(fast.total, reference.total);
+  expect_close(fast.total.compute_energy, reference.total.compute_energy,
+               "compute_energy");
+  expect_close(fast.total.reconfiguration_energy,
+               reference.total.reconfiguration_energy,
+               "reconfiguration_energy");
+  EXPECT_EQ(fast.total.reconfigurations, reference.total.reconfigurations);
+  EXPECT_EQ(fast.total.qos.violation_seconds,
+            reference.total.qos.violation_seconds);
+  ASSERT_EQ(fast.apps.size(), reference.apps.size());
+  for (std::size_t i = 0; i < reference.apps.size(); ++i) {
+    EXPECT_EQ(fast.apps[i].spare_seconds, reference.apps[i].spare_seconds)
+        << names[i];
+    expect_close(fast.apps[i].spare_energy, reference.apps[i].spare_energy,
+                 names[i].c_str());
+    expect_close(fast.apps[i].compute_energy, reference.apps[i].compute_energy,
+                 names[i].c_str());
+    EXPECT_EQ(fast.apps[i].failures, reference.apps[i].failures) << names[i];
+  }
+  // Only the SLO app accrues spare time; its slice carries the whole
+  // cluster total.
+  EXPECT_EQ(reference.apps[1].spare_seconds, 0);
+  EXPECT_EQ(reference.apps[0].spare_seconds, reference.total.spare_seconds);
 }
 
 TEST(SimulatorFastPath, BootFaultScenario) {

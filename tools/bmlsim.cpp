@@ -96,12 +96,27 @@ int cmd_run(const std::string& path, const std::string& csv_path,
               "over %d reconfigurations\n",
               sim.scheduler_name.c_str(), joules_to_kwh(sim.compute_energy),
               joules_to_kwh(sim.reconfiguration_energy), sim.reconfigurations);
-  const bool faulty = spec.fault_mtbf > 0.0;
-  if (faulty)
+  const bool grouped = spec.fault_groups > 0 && spec.fault_group_mtbf > 0.0;
+  const bool faulty = spec.fault_mtbf > 0.0 || grouped;
+  if (faulty) {
     std::printf("faults: %d machine failures, availability %.4f%%, "
                 "%.0f req-s capacity lost\n",
                 sim.machine_failures, 100.0 * sim.availability,
                 sim.lost_capacity);
+    if (grouped)
+      std::printf("  %d rack strikes across %d groups (%s repair crews)\n",
+                  sim.group_strikes, spec.fault_groups,
+                  spec.fault_crews > 0 ? std::to_string(spec.fault_crews).c_str()
+                                       : "unlimited");
+  }
+  bool slo = spec.apps.empty() && spec.slo_availability > 0.0;
+  for (const AppSpec& app : spec.apps)
+    if (app.slo_availability > 0.0) slo = true;
+  if (slo)
+    std::printf("slo: %lld s with spares provisioned, %.3f kWh spare energy "
+                "(%.0f s window)\n",
+                static_cast<long long>(sim.spare_seconds),
+                joules_to_kwh(sim.spare_energy), spec.slo_window);
   const std::vector<WorkloadResult>& apps = report.results.front().apps;
   if (apps.size() >= 2) {
     std::vector<std::string> columns{"app",           "scheduler",
@@ -111,6 +126,7 @@ int cmd_run(const std::string& path, const std::string& csv_path,
       columns.push_back("avail %");
       columns.push_back("failures");
     }
+    if (slo) columns.push_back("spare (s)");
     AsciiTable per_app(columns);
     for (const WorkloadResult& app : apps) {
       std::vector<std::string> cells{
@@ -123,6 +139,7 @@ int cmd_run(const std::string& path, const std::string& csv_path,
         cells.push_back(AsciiTable::num(100.0 * app.availability, 4));
         cells.push_back(std::to_string(app.failures));
       }
+      if (slo) cells.push_back(std::to_string(app.spare_seconds));
       per_app.add_row(cells);
     }
     std::fputs(per_app.render().c_str(), stdout);
