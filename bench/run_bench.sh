@@ -48,3 +48,33 @@ fi
 mv "${tmp}" "${out}"
 trap - EXIT
 echo "wrote ${out}"
+
+# Append a timestamped record to the append-only history, so the
+# performance trajectory across PRs stays inspectable after BENCH_micro
+# is overwritten.
+history="${repo_root}/BENCH_history.jsonl"
+python3 - "${out}" "${history}" <<'EOF'
+import datetime
+import json
+import sys
+
+out_path, history_path = sys.argv[1], sys.argv[2]
+with open(out_path) as f:
+    report = json.load(f)
+record = {
+    "recorded_at": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+    "benchmarks": {
+        b["name"]: {
+            "real_time": b["real_time"],
+            "time_unit": b["time_unit"],
+            **({"items_per_second": b["items_per_second"]}
+               if "items_per_second" in b else {}),
+        }
+        for b in report["benchmarks"]
+    },
+}
+with open(history_path, "a") as f:
+    f.write(json.dumps(record, sort_keys=True) + "\n")
+EOF
+echo "appended ${history}"

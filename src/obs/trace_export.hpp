@@ -1,0 +1,74 @@
+// Timeline export: a run rendered as Chrome trace-event JSON.
+//
+// The paper argues with time-series figures — machines-on per arch,
+// power, served load over a WC98 day. TraceRecording captures exactly
+// that from a run (sampled counter tracks plus the structured event
+// stream), and chrome_trace_json() renders it in the Chrome trace-event
+// format, so `bmlsim run --trace-out run.json` produces a file that
+// loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing:
+//
+//   * counter tracks ("C" events): machines per state per architecture,
+//     offered vs served load, provisioned SLO spare machines;
+//   * duration slices ("X" events): each reconfiguration from its start
+//     to its completion;
+//   * instant events ("i"): machine failures/repairs, rack strikes,
+//     QoS violations, spare provision/release.
+//
+// Simulated seconds map to trace microseconds (1 s -> 1e6 "us"), so the
+// viewer's time axis reads directly in simulated time. The rendering is
+// byte-deterministic: fixed field order, integer timestamps, fixed-
+// precision values — the golden test in tests/test_obs.cpp pins it.
+//
+// Recording rides the per-second reference path (SimulatorOptions::
+// record_timeline forces it, exactly like record_events), so results
+// obey the usual fast-path equivalence contract rather than being
+// byte-identical to an event-driven run of the same scenario.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/event_log.hpp"
+#include "util/units.hpp"
+
+namespace bml {
+
+class MetricsRegistry;
+
+/// One sampled instant of the fleet + load state. The per-arch vectors
+/// are parallel to TraceRecording::arch_names.
+struct TimelineSample {
+  TimePoint time = 0;
+  std::vector<int> on;
+  std::vector<int> booting;
+  std::vector<int> shutting_down;
+  std::vector<int> failed;
+  ReqRate offered = 0.0;
+  ReqRate served = 0.0;
+  /// Machines currently provisioned as SLO spares (all apps).
+  int spare_machines = 0;
+};
+
+/// A run's timeline: sampled counters plus the full event stream. Filled
+/// by the simulator when SimulatorOptions::record_timeline is set.
+struct TraceRecording {
+  bool enabled = false;
+  /// Seconds between counter samples.
+  TimePoint sample_every = 60;
+  std::vector<std::string> arch_names;
+  std::vector<TimelineSample> samples;
+  /// The run's structured events, oldest first (the EventLog ring's
+  /// retained window; size the log to the run when completeness matters).
+  std::vector<SimEvent> events;
+};
+
+/// Renders `recording` as Chrome trace-event JSON (Perfetto /
+/// chrome://tracing compatible). Deterministic byte-for-byte for a given
+/// recording.
+[[nodiscard]] std::string chrome_trace_json(const TraceRecording& recording);
+
+/// Exports an event log's monotone per-kind counters into `out` as
+/// "events.<kind>" counters plus "events.total".
+void export_event_counts(const EventLog& log, MetricsRegistry& out);
+
+}  // namespace bml

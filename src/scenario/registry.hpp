@@ -77,6 +77,15 @@
 // lost-capacity columns (cluster-wide and per app), correlated strikes
 // add group_strikes, and SLO targets add spare_seconds / spare_energy_j
 // (see scenario/sweep.hpp).
+// Observability keys (obs/metrics.hpp, obs/trace_export.hpp; sweepable):
+//   obs.metrics(false)           collect simulator self-metrics (span-end
+//                                causes, span lengths, scheduler consults;
+//                                results are bit-identical on or off)
+//   obs.trace(false)             record the Chrome trace-event timeline
+//                                (forces the per-second reference path,
+//                                like event logging)
+//   obs.sample(60)               timeline counter-sample period (s, >= 1)
+// None of these alter the CSV schema or any CSV value.
 //
 // Build sharing across sweeps: every component above is rebuilt per
 // scenario *unless* none of the sweep axes name a build input — `catalog`
@@ -92,7 +101,7 @@
 // predictors are stateful and always constructed per scenario. The
 // `faults.*` and `slo.*` keys are runtime-only (seed-bearing, but
 // consumed by the simulator, never by the build), so fault and SLO axes
-// keep the shared build.
+// keep the shared build; `obs.*` keys likewise.
 //
 // Unknown component names and unknown or malformed parameters throw
 // std::runtime_error naming the component, the offending key, and the

@@ -216,6 +216,14 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
     slo_availability = parse_slo_target(key, value);
   } else if (key == "slo.spare") {
     slo_spare = parse_slo_spare(key, value);
+  } else if (key == "obs.metrics") {
+    obs_metrics = parse_bool(key, value);
+  } else if (key == "obs.trace") {
+    obs_trace = parse_bool(key, value);
+  } else if (key == "obs.sample") {
+    obs_sample = parse_count(key, value);
+    if (obs_sample < 1)
+      throw std::runtime_error("scenario: obs.sample must be >= 1 second");
   } else if (key == "seed") {
     seed = parse_seed(key, value);
   } else if (key == "coordinator") {
@@ -358,6 +366,11 @@ std::string write_scenario(const ScenarioSpec& spec) {
       << "slo.availability = " << spec.slo_availability << '\n'
       << "slo.spare = " << spec.slo_spare << '\n';
   os << slo.str();
+  // Observability keys are emitted only when non-default, keeping the
+  // canonical form of classic specs stable (same pattern as faults.seed).
+  if (spec.obs_metrics) os << "obs.metrics = true\n";
+  if (spec.obs_trace) os << "obs.trace = true\n";
+  if (spec.obs_sample != 60) os << "obs.sample = " << spec.obs_sample << '\n';
   os << "seed = " << spec.seed << '\n';
   os << "coordinator = " << spec.coordinator << '\n';
   os << "coordinator.budget = " << spec.coordinator_budget << '\n';

@@ -167,6 +167,16 @@ struct ScenarioSpec {
   double slo_window = 86400.0;
   double slo_availability = 0.0;
   double slo_spare = 0.25;
+  /// Observability (`obs.*` keys; all runtime-only, so sweeping them keeps
+  /// the shared build): `obs.metrics` collects the simulator self-metrics
+  /// (SimulationResult::metrics — results are bit-identical with it on or
+  /// off), `obs.trace` records the Chrome trace-event timeline
+  /// (SimulationResult::timeline; forces the per-second reference path,
+  /// like event logging), and `obs.sample` is the timeline counter-sample
+  /// period in seconds (>= 1).
+  bool obs_metrics = false;
+  bool obs_trace = false;
+  int obs_sample = 60;
   /// Master seed: trace generators and fault injection derive theirs from
   /// it unless overridden per component (`trace.seed`, `faults.seed`,
   /// ...).

@@ -239,6 +239,14 @@ ScenarioResult run_built(const ScenarioSpec& spec, const ScenarioBuild& build,
                             ? static_cast<std::uint64_t>(spec.fault_seed)
                             : spec.seed;
   options.slo_window = spec.slo_window;
+  options.collect_metrics = spec.obs_metrics;
+  options.record_timeline = spec.obs_trace;
+  options.timeline_sample_every = static_cast<std::size_t>(spec.obs_sample);
+  // A timeline wants the whole event stream, not the default audit ring;
+  // still bounded, so a multi-month run cannot balloon.
+  if (spec.obs_trace)
+    options.event_log_capacity = std::max<std::size_t>(
+        options.event_log_capacity, std::size_t{1} << 16);
 
   const Simulator simulator(build.design->candidates(), build.plan, options);
   std::vector<Simulator::WorkloadView> views;
@@ -389,9 +397,25 @@ SweepReport run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
               app.qos_stats.served_fraction(), app.availability,
               app.lost_capacity, app.spare_seconds, app.spare_energy});
         row.wall_seconds = result.wall_seconds;
+        row.metrics = result.sim.metrics;
         if (options.keep_results) report.results[i] = std::move(result);
       },
       report.threads);
+
+  report.builds = shareable ? (n > 0 ? 1 : 0) : n;
+  report.build_cache_reuses = shareable && n > 0 ? n - 1 : 0;
+  // Fold the per-row metric shards sequentially in grid index order:
+  // deterministic and thread-count-independent, unlike any merge done
+  // inside the parallel region would be.
+  SimMetrics merged;
+  for (const SweepRow& row : report.rows) merged.merge(row.metrics);
+  merged.export_to(report.metrics);
+  if (merged.enabled) {
+    report.metrics.add_counter("sweep.scenarios", n);
+    report.metrics.add_counter("sweep.build_cache.hits",
+                               report.build_cache_reuses);
+    report.metrics.add_counter("sweep.build_cache.misses", report.builds);
+  }
 
   report.wall_seconds = elapsed_seconds(start);
   return report;
@@ -511,6 +535,28 @@ std::string SweepReport::summary_table() const {
                    std::to_string(row.peak_machines),
                    AsciiTable::num(1000.0 * row.wall_seconds, 1)});
   return table.render();
+}
+
+std::string SweepReport::perf_report() const {
+  AsciiTable table({"scenario", "wall (ms)", "spans", "ticks", "consults",
+                    "decisions"});
+  double scenario_wall = 0.0;
+  for (const SweepRow& row : rows) {
+    scenario_wall += row.wall_seconds;
+    table.add_row({row.scenario, AsciiTable::num(1000.0 * row.wall_seconds, 1),
+                   std::to_string(row.metrics.spans),
+                   std::to_string(row.metrics.ticks),
+                   std::to_string(row.metrics.scheduler_consults),
+                   std::to_string(row.metrics.decisions_applied)});
+  }
+  std::ostringstream os;
+  os << table.render();
+  os << "builds: " << builds << "  cache reuses: " << build_cache_reuses
+     << "  threads: " << threads << '\n';
+  os << "wall: " << AsciiTable::num(1000.0 * wall_seconds, 1)
+     << " ms sweep, " << AsciiTable::num(1000.0 * scenario_wall, 1)
+     << " ms summed scenario work\n";
+  return os.str();
 }
 
 }  // namespace bml

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "scenario/scenario_spec.hpp"
 #include "sim/simulator.hpp"
 #include "util/units.hpp"
@@ -110,6 +111,11 @@ struct SweepRow {
   /// Per-app attribution, parallel to the scenario's app list.
   std::vector<SweepAppRow> apps;
   double wall_seconds = 0.0;
+  /// This scenario's simulator self-metrics shard (disabled and empty
+  /// unless the spec sets obs.metrics). Shards are merged into
+  /// SweepReport::metrics in grid index order after the parallel run, so
+  /// the aggregate is byte-identical across --threads values.
+  SimMetrics metrics;
 };
 
 /// Everything a sweep produces.
@@ -122,6 +128,17 @@ struct SweepReport {
   /// Whole-sweep wall time (s).
   double wall_seconds = 0.0;
   unsigned threads = 1;
+  /// Build-cache accounting: how many ScenarioBuilds actually ran and how
+  /// many grid points reused the shared one (see the build-sharing rules
+  /// in scenario/registry.hpp).
+  std::size_t builds = 0;
+  std::size_t build_cache_reuses = 0;
+  /// Deterministic sweep-level metrics: the per-row SimMetrics shards
+  /// merged in grid index order (when obs.metrics is set) plus
+  /// sweep.scenarios and sweep.build_cache.{hits,misses} counters.
+  /// Wall-clock never enters the registry — to_text() is byte-identical
+  /// across thread counts and machines.
+  MetricsRegistry metrics;
 
   /// Deterministic CSV of the rows: scenario, axis columns, metrics.
   /// Multi-app sweeps (any row with >= 2 apps) append per-app column
@@ -140,6 +157,12 @@ struct SweepReport {
 
   /// Console summary rendered with util/table.
   [[nodiscard]] std::string summary_table() const;
+
+  /// Console performance report: per-scenario wall clock and fast-path
+  /// metrics (spans / ticks / scheduler consults, when collected), plus
+  /// the build-cache and thread totals. Wall-clock numbers are console
+  /// artifacts — they never appear in to_csv() or metrics.to_text().
+  [[nodiscard]] std::string perf_report() const;
 };
 
 struct SweepOptions {

@@ -35,8 +35,12 @@ EventLog::EventLog(std::size_t capacity)
 void EventLog::record(TimePoint time, EventKind kind, std::string detail) {
   ++counts_[static_cast<std::size_t>(kind)];
   ++total_;
-  events_.push_back(SimEvent{time, kind, std::move(detail)});
-  if (events_.size() > capacity_) events_.pop_front();
+  if (ring_.size() < capacity_) {
+    ring_.push_back(SimEvent{time, kind, std::move(detail)});
+  } else {
+    ring_[head_] = SimEvent{time, kind, std::move(detail)};
+    head_ = (head_ + 1) % ring_.size();
+  }
 }
 
 std::size_t EventLog::count(EventKind kind) const {
@@ -46,7 +50,7 @@ std::size_t EventLog::count(EventKind kind) const {
 std::string EventLog::to_csv() const {
   std::ostringstream os;
   os << "time,kind,detail\n";
-  for (const SimEvent& e : events_)
+  for (const SimEvent& e : events())
     os << e.time << ',' << to_string(e.kind) << ',' << e.detail << '\n';
   return os.str();
 }

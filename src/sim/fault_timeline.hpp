@@ -90,6 +90,14 @@ class FaultTimeline {
   /// they surface through the completion that frees their crew.
   [[nodiscard]] TimePoint next_event() const;
 
+  /// Time of the earliest in-progress repair completion; kNever when no
+  /// repair is running. next_repair() == next_event() identifies the
+  /// bound as a crew completion rather than a failure strike (repairs
+  /// pop before same-second strikes, so ties classify as repairs).
+  [[nodiscard]] TimePoint next_repair() const {
+    return repairs_.empty() ? kNever : repairs_.front().time;
+  }
+
   /// Pops the earliest event due at or before `now` (std::nullopt when
   /// none). Popping a failure strike advances its stream (the next strike
   /// and its repair duration are drawn immediately, unconditionally).

@@ -78,9 +78,10 @@ MultiSimulationResult Simulator::run(
 
 MultiSimulationResult Simulator::run_views(
     const std::vector<WorkloadView>& views) const {
-  // Event logs are inherently per-second artifacts; everything else goes
-  // through the event-driven path.
-  if (options_.event_driven && !options_.record_events)
+  // Event logs and timeline recordings are inherently per-second
+  // artifacts; everything else goes through the event-driven path.
+  if (options_.event_driven && !options_.record_events &&
+      !options_.record_timeline)
     return run_event_driven(views);
   return run_per_second(views);
 }
@@ -510,12 +511,15 @@ void finalize_run(Run& run, const SimulatorOptions& options,
 
 /// Applies the merged decision at `now`: a target change switches machines
 /// on (and off — deferred in graceful mode) and starts a reconfiguration.
-/// `events` is null when event logging is off.
+/// `events` is null when event logging is off; `metrics` when
+/// self-metrics are off.
 void apply_decision(Combination decision, TimePoint now,
                     const Catalog& candidates, bool graceful_off,
                     Cluster& cluster, ReconfigState& state,
-                    SimulationResult& result, EventLog* events) {
+                    SimulationResult& result, EventLog* events,
+                    SimMetrics* metrics) {
   if (decision == state.current_target) return;
+  if (metrics) ++metrics->decisions_applied;
 
   const std::vector<int> d = delta(state.current_target, decision);
   bool any_on = false;
@@ -550,8 +554,9 @@ void apply_decision(Combination decision, TimePoint now,
 /// the merged target cannot have changed either and the merge is skipped.
 void consult_and_apply(const std::vector<WorkloadView>& views, TimePoint now,
                        const Catalog& candidates, bool graceful_off, Run& run,
-                       EventLog* events) {
+                       EventLog* events, SimMetrics* metrics) {
   const ClusterSnapshot snap = run.cluster.snapshot();
+  if (metrics) metrics->scheduler_consults += views.size();
   bool any_new = false;
   for (std::size_t i = 0; i < views.size(); ++i) {
     std::optional<Combination> d =
@@ -595,7 +600,7 @@ void consult_and_apply(const std::vector<WorkloadView>& views, TimePoint now,
   run.contributions.swap(run.contributions_scratch);
   update_transition_shares(candidates, run);
   apply_decision(std::move(merged), now, candidates, graceful_off,
-                 run.cluster, run.state, run.result, events);
+                 run.cluster, run.state, run.result, events, metrics);
 }
 
 /// Post-step bookkeeping while a reconfiguration is in flight: once all
@@ -953,9 +958,30 @@ void advance_span(const std::vector<WorkloadView>& views, Run& run,
 MultiSimulationResult Simulator::run_per_second(
     const std::vector<WorkloadView>& views) const {
   Run run = make_run(candidates_, options_, plan_, views);
+  // The timeline recorder consumes the event stream too, so recording a
+  // timeline turns event logging on even when the caller did not ask for
+  // the log itself.
   EventLog events(options_.event_log_capacity);
-  const bool log_events = options_.record_events;
+  const bool log_events = options_.record_events || options_.record_timeline;
   EventLog* events_ptr = log_events ? &events : nullptr;
+
+  SimMetrics* metrics = nullptr;
+  if (options_.collect_metrics) {
+    run.result.metrics.enable();
+    metrics = &run.result.metrics;
+  }
+  TraceRecording* timeline = nullptr;
+  if (options_.record_timeline) {
+    if (options_.timeline_sample_every == 0)
+      throw std::invalid_argument(
+          "Simulator: timeline_sample_every must be >= 1");
+    run.result.timeline.enabled = true;
+    run.result.timeline.sample_every =
+        static_cast<TimePoint>(options_.timeline_sample_every);
+    for (std::size_t a = 0; a < candidates_.size(); ++a)
+      run.result.timeline.arch_names.push_back(candidates_[a].name());
+    timeline = &run.result.timeline;
+  }
 
   const std::size_t n = longest_trace(views);
   for (std::size_t t = 0; t < n; ++t) {
@@ -970,8 +996,9 @@ MultiSimulationResult Simulator::run_per_second(
 
     if (!run.state.reconfiguring)
       consult_and_apply(views, now, candidates_, options_.graceful_off, run,
-                        events_ptr);
+                        events_ptr, metrics);
     if (run.slo_enabled) account_spare_span(run, 1);
+    if (metrics) ++metrics->ticks;
 
     const ReqRate load = gather_loads(views, now, run);
     const ClusterPower power = run.cluster.step_power(load);
@@ -980,6 +1007,25 @@ MultiSimulationResult Simulator::run_per_second(
     if (log_events && load > capacity_now)
       events.record(now, EventKind::kQosViolation,
                     std::to_string(load - capacity_now));
+
+    if (timeline && now % timeline->sample_every == 0) {
+      const ClusterSnapshot snap = run.cluster.snapshot();
+      TimelineSample sample;
+      sample.time = now;
+      sample.on.reserve(candidates_.size());
+      for (std::size_t a = 0; a < candidates_.size(); ++a) {
+        sample.on.push_back(snap.on.count(a));
+        sample.booting.push_back(snap.booting.count(a));
+        sample.shutting_down.push_back(snap.shutting_down.count(a));
+        sample.failed.push_back(snap.failed.count(a));
+      }
+      sample.offered = load;
+      sample.served = load < capacity_now ? load : capacity_now;
+      if (run.slo_enabled)
+        for (const Combination& c : run.spares)
+          sample.spare_machines += static_cast<int>(c.total_machines());
+      timeline->samples.push_back(std::move(sample));
+    }
     run.meter.add_compute_sample(power.compute);
     if (power.transition > 0.0)
       run.meter.add_reconfiguration_energy(power.transition * 1.0);
@@ -1008,6 +1054,8 @@ MultiSimulationResult Simulator::run_per_second(
       }
     }
   }
+  if (timeline)
+    timeline->events.assign(events.events().begin(), events.events().end());
   MultiSimulationResult out;
   finalize_run(run, options_, views, out);
   if (log_events) out.total.events = std::move(events);
@@ -1017,6 +1065,14 @@ MultiSimulationResult Simulator::run_per_second(
 MultiSimulationResult Simulator::run_event_driven(
     const std::vector<WorkloadView>& views) const {
   Run run = make_run(candidates_, options_, plan_, views);
+  // Self-metrics ride a nullable pointer: with metrics off the span loop
+  // pays one branch per span and the classification work below is
+  // skipped entirely.
+  SimMetrics* metrics = nullptr;
+  if (options_.collect_metrics) {
+    run.result.metrics.enable();
+    metrics = &run.result.metrics;
+  }
 
   // Compiled (RLE) form of every trace: supplied by the caller (sweeps
   // share one compilation across all scenarios and worker threads) or
@@ -1050,7 +1106,7 @@ MultiSimulationResult Simulator::run_event_driven(
     TimePoint stable_until = t + 1;
     if (!run.state.reconfiguring) {
       consult_and_apply(views, t, candidates_, options_.graceful_off, run,
-                        nullptr);
+                        nullptr, metrics);
       if (!run.state.reconfiguring) {
         stable_until =
             views.front().scheduler->decision_stable_until(t,
@@ -1069,35 +1125,82 @@ MultiSimulationResult Simulator::run_event_driven(
     //    flag clears), tick one second. Trace value changes do NOT bound
     //    the span — the simulator advances at decision granularity and the
     //    varying load is integrated run-by-run below.
+    // Each bound is applied with a strict compare so `cause` names the
+    // binding one (ties keep the earlier-applied cause); the resulting
+    // span_end values are exactly the min-chain they replace.
     TimePoint span_end;
+    SpanEndCause cause;
     if (!run.state.reconfiguring) {
       span_end = stable_until;
+      cause = SpanEndCause::kSchedulerStable;
     } else {
       const Seconds remaining = run.cluster.next_transition_remaining();
       span_end =
           remaining >= 0.0
               ? t + static_cast<TimePoint>(std::ceil(remaining - 1e-9))
               : t + 1;
+      cause = SpanEndCause::kTransitionComplete;
     }
     // The next scheduled failure strike or repair completion bounds the
     // span exactly like a machine transition: inside a span the failure
     // set (and hence capacity, power, and the availability integrand) is
     // constant. The timeline's events are strictly in the future of the
     // drain in step 0, so this never shrinks the span below t + 1.
-    if (run.faults.has_value())
-      span_end = std::min(span_end, run.faults->timeline.next_event());
+    if (run.faults.has_value()) {
+      const TimePoint fault_at = run.faults->timeline.next_event();
+      if (fault_at < span_end) {
+        span_end = fault_at;
+        cause = run.faults->timeline.next_repair() == fault_at
+                    ? SpanEndCause::kCrewCompletion
+                    : SpanEndCause::kFault;
+      }
+    }
     // Clamping spans at day boundaries costs at most one extra span per
     // simulated day and lets EnergyMeter::add_runs fuse every sub-run of
     // a span into one day bucket instead of chunk-splitting per run.
-    span_end = std::min(span_end, (t / kSecondsPerDay + 1) * kSecondsPerDay);
+    const TimePoint day_end = (t / kSecondsPerDay + 1) * kSecondsPerDay;
+    if (day_end < span_end) {
+      span_end = day_end;
+      cause = SpanEndCause::kDayBoundary;
+    }
     // A spare flag flipping is a decision change: the reference loop
     // re-evaluates the SLO flags every idle second, so an idle span must
     // end at the first second a trailing window crosses an app's error
     // budget (exact — the downtime integrand is fixed inside the span).
-    if (run.slo_enabled && run.faults.has_value() && !run.state.reconfiguring)
-      span_end = std::min(span_end, next_slo_crossing(run, t, span_end));
-    span_end = std::clamp(span_end, t + 1, n);
+    if (run.slo_enabled && run.faults.has_value() &&
+        !run.state.reconfiguring) {
+      const TimePoint crossing = next_slo_crossing(run, t, span_end);
+      if (crossing < span_end) {
+        span_end = crossing;
+        cause = SpanEndCause::kSloCrossing;
+      }
+    }
+    if (span_end >= n) {
+      // A span reaching n ran out of trace whichever bound got it there —
+      // classify it as trace-end so every run counts exactly one.
+      span_end = n;
+      cause = SpanEndCause::kTraceEnd;
+    }
+    if (span_end < t + 1) span_end = t + 1;
     const TimePoint span = span_end - t;
+    if (metrics) {
+      // A scheduler-stable bound that lands exactly on a trace run
+      // boundary means the load crossed a decision threshold — the
+      // "trace change" flavour of a decision bound. Probed with cursor
+      // copies so the real walk below is untouched.
+      if (cause == SpanEndCause::kSchedulerStable) {
+        for (std::size_t i = 0; i < views.size(); ++i) {
+          CompiledTrace::Cursor probe = cursors[i];
+          if (compiled[i]->run_at(probe, span_end - 1).end == span_end) {
+            cause = SpanEndCause::kTraceChange;
+            break;
+          }
+        }
+      }
+      ++metrics->spans;
+      ++metrics->span_end_causes[static_cast<std::size_t>(cause)];
+      metrics->span_seconds.observe(static_cast<double>(span));
+    }
     if (run.faults.has_value()) account_fault_span(*run.faults, span);
     if (run.slo_enabled) account_spare_span(run, span);
 

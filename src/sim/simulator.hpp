@@ -63,6 +63,8 @@
 #include "app/workload.hpp"
 #include "core/combination.hpp"
 #include "core/dispatch_plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 #include "power/energy_meter.hpp"
 #include "sched/coordinator.hpp"
 #include "sim/cluster.hpp"
@@ -119,6 +121,20 @@ struct SimulatorOptions {
   /// QoS violations). Bounded memory; see sim/event_log.hpp.
   bool record_events = false;
   std::size_t event_log_capacity = 4096;
+  /// Collect the simulator's self-metrics (SimulationResult::metrics):
+  /// span/tick counts, span-end causes, span-length histogram, scheduler
+  /// consults. Near-zero overhead — the hot loops test one pointer per
+  /// span — and never feeds back into the simulation, so results are
+  /// bit-identical with it on or off.
+  bool collect_metrics = false;
+  /// Record a timeline (SimulationResult::timeline) for the Chrome
+  /// trace-event exporter: sampled fleet/load counter tracks plus the
+  /// full event stream. Forces the per-second reference path, exactly
+  /// like record_events (results obey the equivalence contract rather
+  /// than matching the fast path byte-for-byte).
+  bool record_timeline = false;
+  /// Seconds between timeline counter samples (>= 1).
+  std::size_t timeline_sample_every = 60;
 };
 
 /// Everything a simulation run produces (cluster-wide aggregates).
@@ -159,6 +175,13 @@ struct SimulationResult {
   TimeSeries power_series;
   /// Optional structured event log, see record_events.
   EventLog events{1};
+  /// Self-metrics, see SimulatorOptions::collect_metrics (disabled and
+  /// empty unless requested).
+  SimMetrics metrics;
+  /// Timeline recording for obs/trace_export.hpp, see
+  /// SimulatorOptions::record_timeline (disabled and empty unless
+  /// requested).
+  TraceRecording timeline;
 
   [[nodiscard]] Joules total_energy() const {
     return compute_energy + reconfiguration_energy;

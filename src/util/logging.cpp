@@ -1,7 +1,8 @@
 #include "util/logging.hpp"
 
-#include <iostream>
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 
 namespace bml {
 
@@ -27,7 +28,16 @@ LogLevel log_level() { return g_level; }
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level)) return;
   if (level == LogLevel::kOff) return;
-  std::cerr << "[bml " << level_name(level) << "] " << message << '\n';
+  // One fwrite per line: parallel sweep workers logging concurrently can't
+  // interleave fragments of each other's messages.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[bml ";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace bml

@@ -1,17 +1,27 @@
 // bmlsim — the scenario engine's command-line front end.
 //
-//   bmlsim run <spec.scn>  [--csv FILE] [--per-day]
+//   bmlsim run <spec.scn>  [--csv FILE] [--per-day] [--metrics]
+//              [--trace-out FILE] [--trace-sample N]
 //       Run one scenario and print its summary (per-day energies with
 //       --per-day); --csv dumps the single-row sweep CSV. Multi-tenant
 //       specs ([app] sections) additionally print the per-application
 //       energy / QoS attribution table; runtime-fault specs (faults.mtbf)
 //       add the cluster failure/availability line and per-app avail % /
-//       failures columns.
+//       failures columns. --metrics prints the simulator self-metrics
+//       (deterministic "name value" lines); --trace-out writes the run's
+//       timeline as Chrome trace-event JSON (open in ui.perfetto.dev or
+//       chrome://tracing), sampling counter tracks every --trace-sample
+//       seconds (default 60). Recording a timeline replays on the
+//       per-second reference path, like event logging.
 //
-//   bmlsim sweep <spec.scn> [--threads N] [--csv FILE]
+//   bmlsim sweep <spec.scn> [--threads N] [--csv FILE] [--metrics]
+//               [--perf-report]
 //       Expand the spec's `sweep` axes into the grid, run it in parallel,
 //       print the summary table, and optionally write the CSV. The CSV
-//       bytes are identical for every --threads value.
+//       bytes are identical for every --threads value, and so is the
+//       --metrics output (per-scenario metric shards merge in grid
+//       order). --perf-report prints per-scenario wall clock + span/tick
+//       counts and the build-cache totals (console-only numbers).
 //
 //   bmlsim list
 //       Print every registered catalog, trace generator, scheduler, and
@@ -27,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenario_spec.hpp"
 #include "scenario/sweep.hpp"
@@ -40,8 +52,10 @@ using namespace bml;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s run <spec.scn> [--csv FILE] [--per-day]\n"
-               "       %s sweep <spec.scn> [--threads N] [--csv FILE]\n"
+               "usage: %s run <spec.scn> [--csv FILE] [--per-day] "
+               "[--metrics] [--trace-out FILE] [--trace-sample N]\n"
+               "       %s sweep <spec.scn> [--threads N] [--csv FILE] "
+               "[--metrics] [--perf-report]\n"
                "       %s list\n"
                "       %s print <spec.scn>\n",
                argv0, argv0, argv0, argv0);
@@ -75,7 +89,8 @@ int cmd_print(const std::string& path) {
 }
 
 int cmd_run(const std::string& path, const std::string& csv_path,
-            bool per_day) {
+            bool per_day, bool metrics, const std::string& trace_out,
+            int trace_sample) {
   const ScenarioSpec spec = load_scenario(path);
   if (!spec.sweeps.empty())
     std::fprintf(stderr,
@@ -85,6 +100,11 @@ int cmd_run(const std::string& path, const std::string& csv_path,
 
   ScenarioSpec base = spec;
   base.sweeps.clear();
+  if (metrics) base.obs_metrics = true;
+  if (!trace_out.empty()) {
+    base.obs_trace = true;
+    if (trace_sample > 0) base.obs_sample = trace_sample;
+  }
   SweepOptions options;
   options.threads = 1;
   options.keep_results = true;
@@ -153,6 +173,21 @@ int cmd_run(const std::string& path, const std::string& csv_path,
                          joules_to_kwh(sim.per_day_reconfiguration[d]), 3)});
     std::fputs(table.render().c_str(), stdout);
   }
+  if (!trace_out.empty()) {
+    write_text_file(trace_out, chrome_trace_json(sim.timeline));
+    std::printf("wrote %s (%zu samples, %zu events — open in "
+                "ui.perfetto.dev)\n",
+                trace_out.c_str(), sim.timeline.samples.size(),
+                sim.timeline.events.size());
+  }
+  if (metrics) {
+    // The sweep registry already holds the sim.* self-metrics; the event
+    // counters only exist when the run logged events (a timeline forces
+    // that).
+    MetricsRegistry registry = report.metrics;
+    if (sim.events.total() > 0) export_event_counts(sim.events, registry);
+    std::printf("\nmetrics:\n%s", registry.to_text().c_str());
+  }
   if (!csv_path.empty()) {
     write_text_file(csv_path, report.to_csv());
     std::printf("wrote %s\n", csv_path.c_str());
@@ -161,14 +196,19 @@ int cmd_run(const std::string& path, const std::string& csv_path,
 }
 
 int cmd_sweep(const std::string& path, unsigned threads,
-              const std::string& csv_path) {
-  const ScenarioSpec spec = load_scenario(path);
+              const std::string& csv_path, bool metrics, bool perf) {
+  ScenarioSpec spec = load_scenario(path);
+  // The perf report's span/tick columns come from the same self-metrics.
+  if (metrics || perf) spec.obs_metrics = true;
   SweepOptions options;
   options.threads = threads;
   const SweepReport report = run_sweep(spec, options);
   std::fputs(report.summary_table().c_str(), stdout);
   std::printf("%zu scenarios on %u threads in %.2f s\n", report.rows.size(),
               report.threads, report.wall_seconds);
+  if (perf) std::fputs(report.perf_report().c_str(), stdout);
+  if (metrics)
+    std::printf("\nmetrics:\n%s", report.metrics.to_text().c_str());
   if (!csv_path.empty()) {
     write_text_file(csv_path, report.to_csv());
     std::printf("wrote %s\n", csv_path.c_str());
@@ -184,12 +224,38 @@ int main(int argc, char** argv) {
 
   std::string spec_path;
   std::string csv_path;
+  std::string trace_out;
   unsigned threads = 0;
   bool per_day = false;
+  bool metrics = false;
+  bool perf_report = false;
+  int trace_sample = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--csv" && i + 1 < argc) {
       csv_path = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg == "--trace-sample" && i + 1 < argc) {
+      const char* text = argv[++i];
+      std::int64_t value = 0;
+      try {
+        value = parse_int(text);
+      } catch (const std::exception&) {
+        value = 0;
+      }
+      if (value < 1) {
+        std::fprintf(stderr,
+                     "%s: --trace-sample must be a positive integer, got "
+                     "'%s'\n",
+                     argv[0], text);
+        return 1;
+      }
+      trace_sample = static_cast<int>(value);
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--perf-report") {
+      perf_report = true;
     } else if (arg == "--threads" && i + 1 < argc) {
       // Strict full-token parsing: "--threads 3x" is an error naming the
       // flag, never a silent 3.
@@ -221,8 +287,11 @@ int main(int argc, char** argv) {
     if (command == "list") return cmd_list();
     if (spec_path.empty()) return usage(argv[0]);
     if (command == "print") return cmd_print(spec_path);
-    if (command == "run") return cmd_run(spec_path, csv_path, per_day);
-    if (command == "sweep") return cmd_sweep(spec_path, threads, csv_path);
+    if (command == "run")
+      return cmd_run(spec_path, csv_path, per_day, metrics, trace_out,
+                     trace_sample);
+    if (command == "sweep")
+      return cmd_sweep(spec_path, threads, csv_path, metrics, perf_report);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bmlsim: %s\n", e.what());
     return 2;
