@@ -233,6 +233,60 @@ void BM_MultiAppSimulatorDay(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiAppSimulatorDay)->Unit(benchmark::kMillisecond);
 
+// One simulated day across a 1,000-app colocated fleet stamped out of
+// four tenant archetypes, replicas sharing one trace + compiled form per
+// archetype exactly as the scenario engine's `replicas` dedup does. This
+// is the regime of the fused k-way merge and the fleet-mode consult
+// cache (k >= 4); items_per_second counts app-trace-seconds
+// (1000 x 86400 per iteration).
+void BM_FleetScaleDay(benchmark::State& state) {
+  auto d = std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
+  constexpr std::size_t kApps = 1000;
+  constexpr std::size_t kArchetypes = 4;
+  DiurnalOptions diurnal;
+  diurnal.peak = 1500.0;
+  diurnal.noise = 0.0;
+  WorldCupOptions worldcup;
+  worldcup.days = 1;
+  worldcup.peak = 3000.0;
+  const LoadTrace traces[kArchetypes] = {
+      diurnal_trace(diurnal, 1), worldcup_like_trace(worldcup),
+      constant_trace(400.0, 86'400.0),
+      step_trace({{300.0, 43'200.0}, {1000.0, 43'200.0}})};
+  const CompiledTrace compiled[kArchetypes] = {
+      CompiledTrace(traces[0]), CompiledTrace(traces[1]),
+      CompiledTrace(traces[2]), CompiledTrace(traces[3])};
+  // One predictor per archetype: replicas of an archetype replay the same
+  // trace, so the window-max cache is built once and shared, mirroring
+  // the deduplicated scenario build.
+  std::shared_ptr<OracleMaxPredictor> predictors[kArchetypes];
+  for (auto& p : predictors) p = std::make_shared<OracleMaxPredictor>();
+  const Simulator simulator(d->candidates());
+  std::vector<std::string> names(kApps);
+  std::vector<std::unique_ptr<BmlScheduler>> schedulers;
+  std::vector<Simulator::WorkloadView> views;
+  schedulers.reserve(kApps);
+  views.reserve(kApps);
+  std::int64_t seconds_per_iter = 0;
+  for (std::size_t i = 0; i < kApps; ++i) {
+    const std::size_t a = i % kArchetypes;
+    names[i] = "app" + std::to_string(i);
+    schedulers.push_back(std::make_unique<BmlScheduler>(d, predictors[a]));
+    views.push_back(Simulator::WorkloadView{&names[i], &traces[a],
+                                            schedulers.back().get(),
+                                            QosClass::kTolerant, 1.0,
+                                            &compiled[a]});
+    seconds_per_iter += static_cast<std::int64_t>(traces[a].size());
+  }
+  benchmark::DoNotOptimize(simulator.run(views));  // warm predictor caches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run(views));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          seconds_per_iter);
+}
+BENCHMARK(BM_FleetScaleDay)->Unit(benchmark::kMillisecond);
+
 /// Seven days of a steady (piecewise-constant) load: a 24-level staircase
 /// per day, repeated — the shape of a planned-capacity workload. This is
 /// the scenario where run-length batching shines.

@@ -22,6 +22,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "util/units.hpp"
@@ -51,6 +53,27 @@ class DecisionThresholds {
   /// primitive (one ceil + one upper_bound, no Combination compares).
   [[nodiscard]] bool same_bucket(ReqRate rate, std::size_t index) const {
     return index_for(rate) == index;
+  }
+
+  /// Grid coordinate of `rate` — the value index_for compares against the
+  /// cut array. Exposed so stability walks can hoist the bucket bounds
+  /// once (bucket_grid_range) and test each probe with two compares
+  /// instead of an upper_bound per hop.
+  [[nodiscard]] double grid_of(ReqRate rate) const { return grid_index(rate); }
+
+  /// Half-open grid interval [lo, hi) of bucket `index`: a rate is in the
+  /// bucket iff lo <= grid_of(rate) < hi. index_for counts cuts <= grid,
+  /// so index_for(rate) == index exactly when cuts_[index-1] <= grid and
+  /// grid < cuts_[index]; end buckets extend to +/-infinity.
+  [[nodiscard]] std::pair<double, double> bucket_grid_range(
+      std::size_t index) const {
+    const double lo = index == 0
+                          ? -std::numeric_limits<double>::infinity()
+                          : cuts_[index - 1];
+    const double hi = index >= cuts_.size()
+                          ? std::numeric_limits<double>::infinity()
+                          : cuts_[index];
+    return {lo, hi};
   }
 
   /// Number of buckets (== number of distinct adjacent-entry runs).

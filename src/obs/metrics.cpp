@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -161,6 +162,8 @@ void SimMetrics::merge(const SimMetrics& other) {
     span_end_causes[i] += other.span_end_causes[i];
   scheduler_consults += other.scheduler_consults;
   decisions_applied += other.decisions_applied;
+  merge_frontier_advances += other.merge_frontier_advances;
+  merge_apps_max = std::max(merge_apps_max, other.merge_apps_max);
   span_seconds.merge(other.span_seconds);
 }
 
@@ -174,6 +177,8 @@ void SimMetrics::export_to(MetricsRegistry& out) const {
                     span_end_causes[i]);
   out.add_counter("sim.scheduler_consults", scheduler_consults);
   out.add_counter("sim.decisions_applied", decisions_applied);
+  out.add_counter("sim.merge.frontier_advances", merge_frontier_advances);
+  out.max_gauge("sim.merge.apps_max", static_cast<double>(merge_apps_max));
   if (span_seconds.configured())
     out.merge_histogram("sim.span_seconds", span_seconds);
 }

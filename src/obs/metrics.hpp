@@ -164,6 +164,11 @@ struct SimMetrics {
   /// Merged decisions that changed the cluster target (== reconfigurations
   /// started).
   std::uint64_t decisions_applied = 0;
+  /// Fused k-way merge instrumentation (multi-app event-driven path):
+  /// frontier cursor advances (RLE runs consumed across all apps, seeding
+  /// included) and the largest app count any merge ran with.
+  std::uint64_t merge_frontier_advances = 0;
+  std::uint64_t merge_apps_max = 0;
   /// Span lengths in seconds (event-driven path only).
   Histogram span_seconds;
 

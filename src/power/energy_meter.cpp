@@ -11,7 +11,7 @@ EnergyMeter::EnergyMeter(Seconds step) : step_(step) {
     throw std::invalid_argument("EnergyMeter: step must be positive");
 }
 
-std::size_t EnergyMeter::refresh_day() {
+std::size_t EnergyMeter::refresh_day_slow() {
   if (ticks_ >= day_end_tick_) {
     current_day_ = static_cast<std::size_t>(step_ *
                                             static_cast<double>(ticks_) /
@@ -50,27 +50,6 @@ void EnergyMeter::add_reconfiguration_energy(Joules energy) {
 }
 
 void EnergyMeter::tick() { ++ticks_; }
-
-void EnergyMeter::add_span(Watts compute, Watts transition,
-                           std::size_t seconds) {
-  if (compute < 0.0)
-    throw std::invalid_argument("EnergyMeter: negative power sample");
-  if (transition < 0.0)
-    throw std::invalid_argument("EnergyMeter: negative reconfiguration energy");
-  while (seconds > 0) {
-    const std::size_t day = refresh_day();
-    const std::size_t chunk = std::min(seconds, day_end_tick_ - ticks_);
-    const Joules compute_e = compute * step_ * static_cast<double>(chunk);
-    const Joules transition_e =
-        transition * step_ * static_cast<double>(chunk);
-    compute_energy_ += compute_e;
-    day_compute_[day] += compute_e;
-    reconf_energy_ += transition_e;
-    day_reconf_[day] += transition_e;
-    ticks_ += chunk;
-    seconds -= chunk;
-  }
-}
 
 std::vector<Joules> EnergyMeter::per_day_total() const {
   std::vector<Joules> out(day_compute_.size());

@@ -46,8 +46,29 @@ class EnergyMeter {
   /// { add_compute_sample(compute); add_reconfiguration_energy(transition *
   /// step); tick(); }: integrates constant power over a span, splitting the
   /// energy across day buckets in closed form. Totals match the per-second
-  /// calls up to floating-point summation order.
-  void add_span(Watts compute, Watts transition, std::size_t seconds);
+  /// calls up to floating-point summation order. Inline: the multi-app
+  /// fast path calls this once per app per trace sub-run (where the span
+  /// never straddles a day, so the chunk loop runs exactly once).
+  void add_span(Watts compute, Watts transition, std::size_t seconds) {
+    if (compute < 0.0)
+      throw std::invalid_argument("EnergyMeter: negative power sample");
+    if (transition < 0.0)
+      throw std::invalid_argument(
+          "EnergyMeter: negative reconfiguration energy");
+    while (seconds > 0) {
+      const std::size_t day = refresh_day();
+      const std::size_t chunk = std::min(seconds, day_end_tick_ - ticks_);
+      const Joules compute_e = compute * step_ * static_cast<double>(chunk);
+      const Joules transition_e =
+          transition * step_ * static_cast<double>(chunk);
+      compute_energy_ += compute_e;
+      day_compute_[day] += compute_e;
+      reconf_energy_ += transition_e;
+      day_reconf_[day] += transition_e;
+      ticks_ += chunk;
+      seconds -= chunk;
+    }
+  }
 
   /// Piecewise-constant span kernel: integrates every run of `runs` (with
   /// `transition` power applying throughout) in one call — a tight
@@ -162,10 +183,16 @@ class EnergyMeter {
 
  private:
   /// Grows the day buckets to cover the current tick and returns the day
-  /// index. The day window [.., day_end_tick_) is cached so the common
-  /// within-day call costs two compares instead of a divide and a ceil —
-  /// this runs once per run-length segment of the event-driven simulator.
-  std::size_t refresh_day();
+  /// index. The day window [.., day_end_tick_) is cached, so the common
+  /// within-day call is one compare — this runs once per app per
+  /// run-length segment of the event-driven simulator. (Whenever ticks_ <
+  /// day_end_tick_, a previous slow refresh already sized the buckets for
+  /// current_day_, so the fast path can skip the grow loop too.)
+  std::size_t refresh_day() {
+    if (ticks_ < day_end_tick_) return current_day_;
+    return refresh_day_slow();
+  }
+  std::size_t refresh_day_slow();
 
   Seconds step_;
   std::size_t ticks_ = 0;

@@ -99,6 +99,7 @@ void OracleMaxPredictor::rebuild_cache(const LoadTrace& trace,
   cached_trace_ = &trace;
   cached_size_ = n;
   cached_horizon_ = horizon;
+  change_hint_ = 0;
 }
 
 void OracleMaxPredictor::ensure_cache(const LoadTrace& trace, TimePoint now,
@@ -125,7 +126,8 @@ TimePoint OracleMaxPredictor::stable_until(const LoadTrace& trace,
   const std::size_t n = window_max_.size();
   const auto t = static_cast<std::size_t>(now);
   if (t >= n) return std::numeric_limits<TimePoint>::max();  // 0 forever
-  return next_change_point(window_change_points_, t, n, window_max_[n - 1]);
+  return next_change_point_hinted(window_change_points_, t, n,
+                                  window_max_[n - 1], change_hint_);
 }
 
 ReqRate LastValuePredictor::predict(const LoadTrace& trace, TimePoint now,

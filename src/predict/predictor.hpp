@@ -84,6 +84,11 @@ class OracleMaxPredictor final : public Predictor {
   // Indices where window_max_ changes value, ascending — lets
   // stable_until answer in O(log #segments).
   std::vector<std::size_t> window_change_points_;
+  // Cursor into window_change_points_ carried between stable_until
+  // calls: the scheduler's stability walk probes monotonically
+  // increasing times, so consecutive lookups resolve without the binary
+  // search (see next_change_point_hinted).
+  std::size_t change_hint_ = 0;
 };
 
 /// Last observed value (history only).

@@ -109,6 +109,10 @@ void AppSpec::set(const std::string& key, const std::string& value) {
     share = v;
   } else if (key == "fault_domain") {
     fault_domain = value;
+  } else if (key == "replicas") {
+    replicas = parse_count("app replicas", value);
+    if (replicas < 1)
+      throw std::runtime_error("scenario: app replicas must be >= 1");
   } else if (key == "slo.availability") {
     slo_availability = parse_slo_target("app slo.availability", value);
   } else if (key == "slo.spare") {
@@ -390,6 +394,7 @@ std::string write_scenario(const ScenarioSpec& spec) {
     os << share.str();
     if (!app.fault_domain.empty())
       os << "fault_domain = " << app.fault_domain << '\n';
+    if (app.replicas != 1) os << "replicas = " << app.replicas << '\n';
     if (app.slo_availability > 0.0 || app.slo_spare != 0.25) {
       std::ostringstream app_slo;
       app_slo.precision(17);

@@ -96,6 +96,12 @@ struct AppSpec {
   /// (fraction of the app's proposal, > 0; see app/workload.hpp).
   double slo_availability = 0.0;
   double slo_spare = 0.25;
+  /// Expansion factor (`replicas` key, >= 1): the sweep build stamps out
+  /// this many copies of the app, each with its own derived trace seed
+  /// and an indexed name suffix — the fleet-scale way to describe
+  /// thousands of workloads without thousands of [app] sections. Copies
+  /// sharing a non-empty fault_domain still share one domain.
+  int replicas = 1;
 
   /// Routes one section-local `key = value` assignment; throws
   /// std::runtime_error on unknown keys or malformed typed values.

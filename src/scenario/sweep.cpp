@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
+#include <map>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
@@ -121,19 +124,49 @@ bool spec_faults_enabled(const ScenarioSpec& spec) {
 
 /// Effective app list: the `[app]` sections, or the classic single app
 /// described by the top-level trace / scheduler / predictor / qos fields.
+/// Sections with `replicas = N` are stamped out N times — each copy gets
+/// its own expanded index (and thus its own app_seed-derived trace /
+/// predictor noise) and an indexed name suffix; a shared fault_domain
+/// name keeps the copies in one domain.
 std::vector<AppSpec> effective_apps(const ScenarioSpec& spec) {
-  if (!spec.apps.empty()) return spec.apps;
-  AppSpec app;
-  app.trace = spec.trace;
-  app.trace_params = spec.trace_params;
-  app.scheduler = spec.scheduler;
-  app.scheduler_params = spec.scheduler_params;
-  app.predictor = spec.predictor;
-  app.predictor_params = spec.predictor_params;
-  app.qos = spec.qos;
-  app.slo_availability = spec.slo_availability;
-  app.slo_spare = spec.slo_spare;
-  return {std::move(app)};
+  std::vector<AppSpec> raw;
+  if (!spec.apps.empty()) {
+    raw = spec.apps;
+  } else {
+    AppSpec app;
+    app.trace = spec.trace;
+    app.trace_params = spec.trace_params;
+    app.scheduler = spec.scheduler;
+    app.scheduler_params = spec.scheduler_params;
+    app.predictor = spec.predictor;
+    app.predictor_params = spec.predictor_params;
+    app.qos = spec.qos;
+    app.slo_availability = spec.slo_availability;
+    app.slo_spare = spec.slo_spare;
+    raw.push_back(std::move(app));
+  }
+  bool expand = false;
+  for (const AppSpec& app : raw)
+    if (app.replicas > 1) expand = true;
+  if (!expand) return raw;
+  std::size_t total = 0;
+  for (const AppSpec& app : raw)
+    total += static_cast<std::size_t>(app.replicas);
+  std::vector<AppSpec> out;
+  out.reserve(total);
+  for (const AppSpec& app : raw) {
+    if (app.replicas == 1) {
+      out.push_back(app);
+      continue;
+    }
+    for (int r = 0; r < app.replicas; ++r) {
+      AppSpec copy = app;
+      copy.replicas = 1;
+      if (!copy.name.empty()) copy.name += "-" + std::to_string(r);
+      out.push_back(std::move(copy));
+    }
+  }
+  return out;
 }
 
 bool spec_slo_enabled(const ScenarioSpec& spec) {
@@ -162,19 +195,54 @@ struct ScenarioBuild {
       throw std::runtime_error(
           "run_scenario: a shared trace requires a single-workload spec");
 
-    own_traces.reserve(apps.size());
     traces.resize(apps.size());
-    for (std::size_t i = 0; i < apps.size(); ++i) {
-      if (shared_trace) {
-        traces[i] = shared_trace;
-      } else {
-        own_traces.push_back(
-            make_trace(apps[i].trace, apps[i].trace_params, app_seed(spec, i)));
-        traces[i] = &own_traces.back();
+    compiled.resize(apps.size());
+    if (shared_trace) {
+      own_compiled.reserve(1);
+      own_compiled.emplace_back(*shared_trace);
+      traces[0] = shared_trace;
+      compiled[0] = &own_compiled.front();
+    } else {
+      // Identical traces are materialised once: replica expansion stamps
+      // out whole groups whose generators ignore the per-app seed, and a
+      // fleet of thousands of tenants must not hold thousands of copies
+      // of the same day-long sample buffer (or compile the same RLE form
+      // repeatedly). The FNV hash only shortlists candidates; sharing
+      // requires an exact sample-for-sample match, so aliasing distinct
+      // traces is impossible.
+      own_traces.reserve(apps.size());
+      own_compiled.reserve(apps.size());
+      std::map<std::uint64_t, std::vector<std::size_t>> by_hash;
+      for (std::size_t i = 0; i < apps.size(); ++i) {
+        LoadTrace t =
+            make_trace(apps[i].trace, apps[i].trace_params, app_seed(spec, i));
+        const std::span<const double> v = t.series().values();
+        std::uint64_t h =
+            1469598103934665603ULL ^ static_cast<std::uint64_t>(v.size());
+        for (const double x : v) {
+          std::uint64_t bits = 0;
+          std::memcpy(&bits, &x, sizeof bits);
+          h = (h ^ bits) * 1099511628211ULL;
+        }
+        std::size_t found = apps.size();
+        for (const std::size_t j : by_hash[h]) {
+          const std::span<const double> w = own_traces[j].series().values();
+          if (w.size() == v.size() &&
+              std::equal(v.begin(), v.end(), w.begin())) {
+            found = j;
+            break;
+          }
+        }
+        if (found == apps.size()) {
+          own_traces.push_back(std::move(t));
+          own_compiled.emplace_back(own_traces.back());
+          found = own_traces.size() - 1;
+          by_hash[h].push_back(found);
+        }
+        traces[i] = &own_traces[found];
+        compiled[i] = &own_compiled[found];
       }
     }
-    compiled.reserve(traces.size());
-    for (const LoadTrace* t : traces) compiled.emplace_back(*t);
 
     BmlDesignOptions design_options;
     design_options.max_rate = design_max_rate(spec, traces);
@@ -187,9 +255,13 @@ struct ScenarioBuild {
   }
 
   Catalog catalog;
+  /// Distinct materialised traces and their RLE forms (deduplicated).
   std::vector<LoadTrace> own_traces;
-  std::vector<const LoadTrace*> traces;  // parallel to the app list
-  std::vector<CompiledTrace> compiled;   // parallel to `traces`
+  std::vector<CompiledTrace> own_compiled;
+  /// Per-app pointers into the distinct storage (or the shared trace) —
+  /// parallel to the app list; replicas of one config share one target.
+  std::vector<const LoadTrace*> traces;
+  std::vector<const CompiledTrace*> compiled;
   std::shared_ptr<const BmlDesign> design;
   std::shared_ptr<const DispatchPlan> plan;
 };
@@ -254,7 +326,7 @@ ScenarioResult run_built(const ScenarioSpec& spec, const ScenarioBuild& build,
   for (std::size_t i = 0; i < apps.size(); ++i) {
     Simulator::WorkloadView view{
         &names[i], build.traces[i], schedulers[i].get(), qos[i],
-        apps[i].share, &build.compiled[i], &apps[i].fault_domain};
+        apps[i].share, build.compiled[i], &apps[i].fault_domain};
     view.slo_availability = apps[i].slo_availability;
     view.slo_spare = apps[i].slo_spare;
     views.push_back(view);

@@ -62,8 +62,12 @@ TimePoint BmlScheduler::decision_stable_until(TimePoint now,
     // because every probed point so far stayed in the current bucket.
     constexpr int kMaxHops = 4096;
     const std::size_t current = cuts->index_for(target_rate(trace, now));
+    // Hoist the bucket's grid bounds once: each hop then costs two double
+    // compares instead of an upper_bound over the cut array.
+    const auto [lo, hi] = cuts->bucket_grid_range(current);
     for (int hop = 0; hop < kMaxHops && t < kNever; ++hop) {
-      if (!cuts->same_bucket(target_rate(trace, t), current)) return t;
+      const double g = cuts->grid_of(target_rate(trace, t));
+      if (g < lo || g >= hi) return t;
       const TimePoint next = predictor_->stable_until(trace, t, window_);
       if (next <= t) break;  // defensive: stability contract violation
       t = next;

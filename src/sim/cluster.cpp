@@ -35,12 +35,11 @@ Cluster::Cluster(Catalog candidates, const Combination& initial,
   booting_.assign(candidates_.size(), 0);
   shutting_.assign(candidates_.size(), 0);
   failed_.assign(candidates_.size(), 0);
-  off_free_.assign(candidates_.size(), {});
-  for (std::size_t arch = 0; arch < initial.counts().size(); ++arch)
-    for (int i = 0; i < initial.counts()[arch]; ++i) {
-      machines_.emplace_back(arch, MachineState::kOn);
-      ++on_[arch];
-    }
+  parked_.assign(candidates_.size(), 0);
+  for (std::size_t arch = 0; arch < initial.counts().size(); ++arch) {
+    on_[arch] += initial.counts()[arch];
+    provisioned_ += static_cast<std::size_t>(initial.counts()[arch]);
+  }
 }
 
 Seconds Cluster::boot_duration(std::size_t arch) {
@@ -65,52 +64,53 @@ void Cluster::switch_on(std::size_t arch, int n) {
   if (arch >= candidates_.size())
     throw std::invalid_argument("Cluster: arch index out of range");
   if (n < 0) throw std::invalid_argument("Cluster: n must be >= 0");
-  int remaining = n;
-  std::vector<std::size_t>& parked = off_free_[arch];
-  while (remaining > 0 && !parked.empty()) {
-    SimMachine& m = machines_[parked.back()];
-    parked.pop_back();
-    m.request_on(candidates_[arch], boot_duration(arch));
-    --remaining;
-    if (m.state() == MachineState::kOn) {
-      ++on_[arch];  // zero-duration boot
-    } else {
-      ++booting_[arch];
-      note_transition(m.transition_remaining());
+  const int reused = std::min(n, parked_[arch]);
+  parked_[arch] -= reused;
+  provisioned_ += static_cast<std::size_t>(n - reused);
+  // One boot-duration draw per machine, in machine order — identical RNG
+  // consumption to booting individual FSMs. Equal consecutive draws (the
+  // common case: no fault RNG at all, or retry-only models where most
+  // draws land on the nominal duration) coalesce into one record.
+  Transition pending{};
+  int started = 0;
+  for (int i = 0; i < n; ++i) {
+    Seconds duration = boot_duration(arch);
+    if (duration < 0.0) duration = candidates_[arch].on_cost().duration;
+    if (duration <= 0.0) {
+      ++on_[arch];  // zero-duration boot completes immediately
+      continue;
     }
-  }
-  while (remaining-- > 0) {
-    machines_.emplace_back(arch, MachineState::kOff);
-    machines_.back().request_on(candidates_[arch], boot_duration(arch));
-    if (machines_.back().state() == MachineState::kOn) {
-      ++on_[arch];
-    } else {
-      ++booting_[arch];
-      note_transition(machines_.back().transition_remaining());
+    ++started;
+    if (pending.count > 0 && duration == pending.remaining) {
+      ++pending.count;
+      continue;
     }
+    if (pending.count > 0) transitions_.push_back(pending);
+    pending = Transition{duration, 1, static_cast<std::uint32_t>(arch), true};
+    note_transition(duration);
   }
+  if (pending.count > 0) transitions_.push_back(pending);
+  booting_[arch] += started;
 }
 
 void Cluster::switch_off(std::size_t arch, int n) {
   if (arch >= candidates_.size())
     throw std::invalid_argument("Cluster: arch index out of range");
   if (n < 0) throw std::invalid_argument("Cluster: n must be >= 0");
-  int remaining = n;
-  for (std::size_t i = 0; i < machines_.size() && remaining > 0; ++i) {
-    SimMachine& m = machines_[i];
-    if (m.arch_index() == arch && m.state() == MachineState::kOn) {
-      m.request_off(candidates_[arch]);
-      --remaining;
-      --on_[arch];
-      if (m.state() != MachineState::kOff) {
-        ++shutting_[arch];
-        note_transition(m.transition_remaining());
-      } else {
-        off_free_[arch].push_back(i);  // zero-duration shutdown
-      }
+  const int taken = std::min(n, on_[arch]);
+  if (taken > 0) {
+    const Seconds duration = candidates_[arch].off_cost().duration;
+    on_[arch] -= taken;
+    if (duration <= 0.0) {
+      parked_[arch] += taken;  // zero-duration shutdown
+    } else {
+      shutting_[arch] += taken;
+      transitions_.push_back(
+          Transition{duration, taken, static_cast<std::uint32_t>(arch), false});
+      note_transition(duration);
     }
   }
-  if (remaining > 0)
+  if (taken < n)
     throw std::logic_error(
         "Cluster: asked to switch off more machines than are On");
 }
@@ -119,28 +119,18 @@ bool Cluster::fail_one(std::size_t arch) {
   if (arch >= candidates_.size())
     throw std::invalid_argument("Cluster: arch index out of range");
   if (on_[arch] == 0) return false;
-  for (SimMachine& m : machines_)
-    if (m.arch_index() == arch && m.state() == MachineState::kOn) {
-      m.fail();
-      --on_[arch];
-      ++failed_[arch];
-      return true;
-    }
-  return false;  // unreachable while on_ stays in sync with the FSMs
+  --on_[arch];
+  ++failed_[arch];
+  return true;
 }
 
 void Cluster::repair_one(std::size_t arch) {
   if (arch >= candidates_.size())
     throw std::invalid_argument("Cluster: arch index out of range");
-  for (std::size_t i = 0; i < machines_.size(); ++i)
-    if (machines_[i].arch_index() == arch &&
-        machines_[i].state() == MachineState::kFailed) {
-      machines_[i].repair();
-      --failed_[arch];
-      off_free_[arch].push_back(i);
-      return;
-    }
-  throw std::logic_error("Cluster: no Failed machine of this arch to repair");
+  if (failed_[arch] == 0)
+    throw std::logic_error("Cluster: no Failed machine of this arch to repair");
+  --failed_[arch];
+  ++parked_[arch];
 }
 
 int Cluster::failed_count() const {
@@ -149,21 +139,33 @@ int Cluster::failed_count() const {
   return total;
 }
 
+int Cluster::booting_total() const {
+  int total = 0;
+  for (int b : booting_) total += b;
+  return total;
+}
+
+int Cluster::shutting_down_total() const {
+  int total = 0;
+  for (int s : shutting_) total += s;
+  return total;
+}
+
+void Cluster::snapshot_into(ClusterSnapshot& snap) const {
+  snap.on.assign(on_);
+  snap.booting.assign(booting_);
+  snap.shutting_down.assign(shutting_);
+  snap.failed.assign(failed_);
+  snap.on_capacity = capacity(candidates_, snap.on);
+}
+
 ClusterSnapshot Cluster::snapshot() const {
   ClusterSnapshot snap;
-  snap.on = Combination{on_};
-  snap.booting = Combination{booting_};
-  snap.shutting_down = Combination{shutting_};
-  snap.failed = Combination{failed_};
-  snap.on_capacity = capacity(candidates_, snap.on);
+  snapshot_into(snap);
   return snap;
 }
 
-bool Cluster::transitioning() const {
-  for (std::size_t a = 0; a < candidates_.size(); ++a)
-    if (booting_[a] > 0 || shutting_[a] > 0) return true;
-  return false;
-}
+bool Cluster::transitioning() const { return !transitions_.empty(); }
 
 ReqRate Cluster::on_capacity() const {
   ReqRate total = 0.0;
@@ -213,30 +215,33 @@ void Cluster::split_capacity(const std::vector<ReqRate>& loads, ReqRate total,
 }
 
 int Cluster::step(Seconds dt) {
-  if (!transitioning()) return 0;
+  if (transitions_.empty()) return 0;
+  if (dt <= 0.0) throw std::invalid_argument("Cluster: dt must be > 0");
   int completed = 0;
-  // The machine loop doubles as the incremental-minimum refresh: every
-  // surviving transition was decremented by dt, and completions drop out.
+  // The record loop doubles as the incremental-minimum refresh: every
+  // surviving record was decremented by dt, and completions drop out. The
+  // completion threshold matches the per-machine FSM arithmetic exactly
+  // (remaining -= dt; done when remaining <= 1e-9).
   Seconds next = -1.0;
-  for (std::size_t i = 0; i < machines_.size(); ++i) {
-    SimMachine& m = machines_[i];
-    const MachineState before = m.state();
-    if (m.step(dt)) {
-      ++completed;
-      const std::size_t a = m.arch_index();
-      if (before == MachineState::kBooting) {
-        --booting_[a];
-        ++on_[a];
-      } else {
-        --shutting_[a];
-        off_free_[a].push_back(i);
-      }
-    } else if (m.state() == MachineState::kBooting ||
-               m.state() == MachineState::kShuttingDown) {
-      if (next < 0.0 || m.transition_remaining() < next)
-        next = m.transition_remaining();
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < transitions_.size(); ++i) {
+    Transition t = transitions_[i];
+    t.remaining -= dt;
+    if (t.remaining > 1e-9) {
+      if (next < 0.0 || t.remaining < next) next = t.remaining;
+      transitions_[out++] = t;
+      continue;
+    }
+    completed += t.count;
+    if (t.booting) {
+      booting_[t.arch] -= t.count;
+      on_[t.arch] += t.count;
+    } else {
+      shutting_[t.arch] -= t.count;
+      parked_[t.arch] += t.count;
     }
   }
+  transitions_.resize(out);
   next_transition_min_ = next;
   return completed;
 }

@@ -1,12 +1,21 @@
 // The simulated heterogeneous cluster.
 //
-// Holds every machine ever provisioned (machines are interchangeable within
-// an architecture; new ones are materialised on demand, modelling the
-// paper's "enough machines of each type are available"). Exposes the
+// Machines are interchangeable within an architecture (the paper's "enough
+// machines of each type are available"), so steady state is carried as
+// per-architecture *counts* — On, parked (Off), Failed — with no
+// per-machine objects at all. Only machines in transition materialise
+// state: each switch-on/off batch becomes one (or a few) Transition
+// records holding the shared remaining time and a count, so a 10^5-machine
+// fleet steps in O(#in-flight batches), not O(#machines). The count
+// bookkeeping is bit-identical to stepping individual machine FSMs: every
+// machine of a batch shares the same remaining-time arithmetic, and the
+// boot-fault RNG is still drawn once per machine in the same order (draws
+// that happen to coincide coalesce into one record). Exposes the
 // switch-on/off commands the schedulers issue, per-second stepping, load
 // dispatch over the On machines, and aggregate state snapshots.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -14,7 +23,6 @@
 #include "arch/catalog.hpp"
 #include "core/combination.hpp"
 #include "core/dispatch_plan.hpp"
-#include "sim/machine.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -162,11 +170,26 @@ class Cluster {
   /// full per-state picture is snapshot()).
   [[nodiscard]] int on_count(std::size_t arch) const { return on_.at(arch); }
 
+  /// Machines of one architecture currently booting — the settle/restore
+  /// helpers need single states, not a full snapshot.
+  [[nodiscard]] int booting_count(std::size_t arch) const {
+    return booting_.at(arch);
+  }
+
+  /// Machines currently booting / shutting down, all architectures.
+  [[nodiscard]] int booting_total() const;
+  [[nodiscard]] int shutting_down_total() const;
+
   /// Machines currently Failed, all architectures.
   [[nodiscard]] int failed_count() const;
 
   /// Current counts per state.
   [[nodiscard]] ClusterSnapshot snapshot() const;
+
+  /// As snapshot(), into a caller-owned buffer (reuses the Combinations'
+  /// storage — the simulator refreshes one snapshot per decision point, so
+  /// fleet-scale runs must not allocate four vectors each time).
+  void snapshot_into(ClusterSnapshot& snap) const;
 
   /// True while any machine is booting or shutting down.
   [[nodiscard]] bool transitioning() const;
@@ -226,9 +249,20 @@ class Cluster {
   }
 
   /// Total machines ever provisioned (for reporting).
-  [[nodiscard]] std::size_t machine_count() const { return machines_.size(); }
+  [[nodiscard]] std::size_t machine_count() const { return provisioned_; }
 
  private:
+  /// One batch of machines sharing a transition: `count` machines of
+  /// `arch` with the same remaining time, booting or shutting down. Every
+  /// member's remaining-time arithmetic is identical, so stepping the
+  /// record once is bit-for-bit the same as stepping `count` machine FSMs.
+  struct Transition {
+    Seconds remaining = 0.0;
+    int count = 0;
+    std::uint32_t arch = 0;
+    bool booting = false;
+  };
+
   [[nodiscard]] Seconds boot_duration(std::size_t arch);
   /// Folds a newly started transition into next_transition_min_.
   void note_transition(Seconds remaining);
@@ -237,24 +271,25 @@ class Cluster {
   std::shared_ptr<const DispatchPlan> plan_;
   FaultModel faults_;
   std::optional<Rng> fault_rng_;
-  std::vector<SimMachine> machines_;
-  // Per-architecture counters kept in sync with the machine FSMs so that
-  // per-second snapshots cost O(#architectures), not O(#machines).
+  // Steady state as per-architecture counts (machines are interchangeable
+  // within an arch, so identity-free bookkeeping loses nothing): On,
+  // Booting / ShuttingDown (mirrors of the transition records, so
+  // snapshots stay O(#architectures)), Failed, and parked Off machines
+  // available for switch_on reuse.
   std::vector<int> on_;
   std::vector<int> booting_;
   std::vector<int> shutting_;
   std::vector<int> failed_;
-  // Smallest transition_remaining() among transitioning machines, -1 when
-  // none — kept in sync by switch_on/switch_off (new transitions) and
-  // step (uniform decrement + completions, recomputed inside the existing
-  // machine loop at no extra pass).
+  std::vector<int> parked_;
+  // Machines ever provisioned (high-water bookkeeping for reporting;
+  // switch_on draws down parked_ before growing this).
+  std::size_t provisioned_ = 0;
+  // In-flight transition batches; empty whenever nothing transitions.
+  std::vector<Transition> transitions_;
+  // Smallest remaining among transitions_, -1 when none — kept in sync by
+  // switch_on/switch_off (new records) and step (uniform decrement +
+  // completions, recomputed inside the existing record loop).
   Seconds next_transition_min_ = -1.0;
-  // Per-architecture free lists of Off machines (indexes into machines_),
-  // so switch_on reuses parked machines in O(1) per machine instead of
-  // scanning the whole fleet. Off machines only ever appear through a
-  // completed (or instantaneous) shutdown and only leave through
-  // switch_on, so the lists are exact.
-  std::vector<std::vector<std::size_t>> off_free_;
 };
 
 }  // namespace bml

@@ -4,10 +4,20 @@
 // #segments); that is fine for occasional lookups but the decision-granular
 // simulator iterates *every* constant-value run of the trace inside each
 // batched span. CompiledTrace materialises, once per trace, the
-// piecewise-constant view as flat (start, value) arrays plus a cursor API
-// so a monotone walk over the runs costs amortised O(1) per run — no
-// binary searches, no virtual dispatch, no TimeSeries indirection in the
-// hot loop.
+// piecewise-constant view as flat arrays plus a cursor API so a monotone
+// walk over the runs costs amortised O(1) per run — no binary searches, no
+// virtual dispatch, no TimeSeries indirection in the hot loop.
+//
+// Layout: structure-of-arrays. Segment starts are implicit (segment i
+// starts where segment i-1 ends, segment 0 at t=0); only the packed
+// 32-bit *end* times and the values are stored. The k-way merge in the
+// multi-app fast path advances a frontier of per-app cursors by comparing
+// run ends, so the comparison stream it walks is 4 bytes per segment
+// instead of the 16-byte (start, value) pairs of the old
+// array-of-structs form. Values stay full doubles: per-app energy and
+// QoS integrals must be bit-identical to the per-second reference, which
+// rules out quantising the loads (block compression of the value stream
+// remains future work — see ROADMAP).
 //
 // The compiled form is immutable and self-contained (values are copied),
 // so one CompiledTrace can be shared across parallel_for sweep workers the
@@ -16,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -27,13 +38,6 @@ namespace bml {
 /// Immutable run-length (RLE) form of a LoadTrace.
 class CompiledTrace {
  public:
-  /// One maximal constant-value run; it covers [start, next segment's
-  /// start) — the last segment runs to size().
-  struct Segment {
-    TimePoint start;
-    ReqRate value;
-  };
-
   /// The value at a time point together with the end of its constant run
   /// (`end` is the first strictly later time whose value differs;
   /// std::numeric_limits<TimePoint>::max() when the value holds forever).
@@ -51,15 +55,30 @@ class CompiledTrace {
   CompiledTrace() = default;
   /// Compiles `trace` (O(#segments), reusing the trace's change-point
   /// index). The compiled form does not reference the trace afterwards.
+  /// Throws std::invalid_argument when the trace is too long for the
+  /// packed 32-bit end times (>= 2^32 - 1 seconds, i.e. ~136 years).
   explicit CompiledTrace(const LoadTrace& trace);
 
   /// Total trace length in seconds (== LoadTrace::size()).
   [[nodiscard]] TimePoint size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
-  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
-  [[nodiscard]] const std::vector<Segment>& segments() const {
-    return segments_;
+  [[nodiscard]] std::size_t segment_count() const { return values_.size(); }
+
+  /// SoA views: segment i covers [segment_start(i), ends()[i]) with value
+  /// values()[i]. The last entry of ends() is the packed form of the tail
+  /// rule (kEndSentinel when the tail value is 0 and thus holds forever).
+  [[nodiscard]] const std::vector<std::uint32_t>& ends() const {
+    return ends_;
   }
+  [[nodiscard]] const std::vector<ReqRate>& values() const { return values_; }
+  [[nodiscard]] TimePoint segment_start(std::size_t seg) const {
+    return seg == 0 ? 0 : static_cast<TimePoint>(ends_[seg - 1]);
+  }
+
+  /// Packed "holds forever" marker in ends() (maps to the TimePoint
+  /// never-changes sentinel in Run::end).
+  static constexpr std::uint32_t kEndSentinel =
+      std::numeric_limits<std::uint32_t>::max();
 
   /// Rate at `t`; 0 at or beyond the end (mirrors LoadTrace::at, values
   /// are bit-identical). O(log #segments).
@@ -79,14 +98,14 @@ class CompiledTrace {
   [[nodiscard]] Run run_at(Cursor& cursor, TimePoint t) const {
     if (t < 0) throw_negative_time();
     if (t >= size_) return Run{0.0, kNeverChanges};
-    if (cursor.seg >= segments_.size() || segments_[cursor.seg].start > t) {
+    const std::uint32_t tt = static_cast<std::uint32_t>(t);
+    if (cursor.seg >= values_.size() || segment_start(cursor.seg) > t) {
       cursor.seg = segment_index(t);  // walked backwards (or stale cursor)
     } else {
-      while (cursor.seg + 1 < segments_.size() &&
-             segments_[cursor.seg + 1].start <= t)
+      while (cursor.seg + 1 < values_.size() && ends_[cursor.seg] <= tt)
         ++cursor.seg;
     }
-    return Run{segments_[cursor.seg].value, run_end(cursor.seg)};
+    return Run{values_[cursor.seg], run_end(cursor.seg)};
   }
 
  private:
@@ -99,15 +118,19 @@ class CompiledTrace {
   /// Index of the segment containing `t` (requires 0 <= t < size_).
   [[nodiscard]] std::size_t segment_index(TimePoint t) const;
 
-  /// End of segment `seg`'s constant run under the tail rule above.
+  /// End of segment `seg`'s constant run (unpacks the tail sentinel).
   [[nodiscard]] TimePoint run_end(std::size_t seg) const {
-    if (seg + 1 < segments_.size()) return segments_[seg + 1].start;
-    // Last stored segment: beyond the end the trace serves the implicit 0,
-    // which only counts as a change when the tail value is non-zero.
-    return segments_[seg].value == 0.0 ? kNeverChanges : size_;
+    const std::uint32_t end = ends_[seg];
+    return end == kEndSentinel ? kNeverChanges : static_cast<TimePoint>(end);
   }
 
-  std::vector<Segment> segments_;
+  /// Packed run ends; ends_[i] is segment i+1's start for i < n-1, and the
+  /// tail rule for the last segment (size_, or kEndSentinel when the tail
+  /// value is 0). Monotone non-decreasing, so segment_index can
+  /// binary-search it directly.
+  std::vector<std::uint32_t> ends_;
+  /// Per-segment values, parallel to ends_.
+  std::vector<ReqRate> values_;
   TimePoint size_ = 0;
 };
 

@@ -64,16 +64,27 @@ void FaultTimeline::advance(Stream& stream) {
   stream.next_repair_duration = exponential_seconds(stream.rng, stream.mttr);
 }
 
+TimePoint FaultTimeline::next_strike_min() const {
+  if (strike_dirty_) {
+    TimePoint next = kNever;
+    for (const Stream& stream : streams_)
+      next = std::min(next, stream.next_strike);
+    for (const Stream& stream : group_streams_)
+      next = std::min(next, stream.next_strike);
+    cached_strike_ = next;
+    strike_dirty_ = false;
+  }
+  return cached_strike_;
+}
+
 TimePoint FaultTimeline::next_event() const {
-  TimePoint next = repairs_.empty() ? kNever : repairs_.front().time;
-  for (const Stream& stream : streams_)
-    next = std::min(next, stream.next_strike);
-  for (const Stream& stream : group_streams_)
-    next = std::min(next, stream.next_strike);
-  return next;
+  return std::min(next_repair(), next_strike_min());
 }
 
 std::optional<FaultEvent> FaultTimeline::pop(TimePoint now) {
+  // Nothing due: the common per-span probe, answered from the cached
+  // strike min and the sorted repair head without touching the streams.
+  if (next_strike_min() > now && next_repair() > now) return std::nullopt;
   // Repairs win ties with failure strikes (a repaired machine still comes
   // back Off, so the order is conventional — what matters is that it is
   // fixed and shared by both execution strategies). Machine strikes win
@@ -118,6 +129,7 @@ std::optional<FaultEvent> FaultTimeline::pop(TimePoint now) {
     event.arch = 0;
   }
   advance(*best);
+  strike_dirty_ = true;
   return event;
 }
 

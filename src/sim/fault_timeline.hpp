@@ -141,6 +141,13 @@ class FaultTimeline {
   static void advance(Stream& stream);
   void insert_active(const Repair& repair);
 
+  /// Cached min over every stream's next_strike, recomputed lazily: the
+  /// event-driven path calls next_event()/pop() once per span, which with
+  /// thousands of fault streams would otherwise rescan them all each time.
+  /// Only advance() moves a strike clock, so pops that fire no strike keep
+  /// the cache clean.
+  [[nodiscard]] TimePoint next_strike_min() const;
+
   std::vector<Stream> streams_;
   std::vector<Stream> group_streams_;
   /// Repairs in progress (a crew assigned), kept sorted by
@@ -151,6 +158,8 @@ class FaultTimeline {
   /// 0 = unlimited crews.
   int crews_ = 0;
   std::uint64_t next_seq_ = 0;
+  mutable TimePoint cached_strike_ = kNever;
+  mutable bool strike_dirty_ = true;
 };
 
 }  // namespace bml

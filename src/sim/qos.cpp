@@ -20,23 +20,6 @@ QosClass parse_qos_class(const std::string& name) {
                            "'");
 }
 
-void QosTracker::record_span(ReqRate load, ReqRate capacity,
-                             std::int64_t seconds) {
-  if (load < 0.0 || capacity < 0.0)
-    throw std::invalid_argument("QosTracker: negative load or capacity");
-  if (seconds < 0)
-    throw std::invalid_argument("QosTracker: negative span");
-  if (seconds == 0) return;
-  stats_.total_seconds += seconds;
-  stats_.offered_requests += load * static_cast<double>(seconds);
-  const double shortfall = load - capacity;
-  if (shortfall > 0.0) {
-    stats_.violation_seconds += seconds;
-    stats_.unserved_requests += shortfall * static_cast<double>(seconds);
-    stats_.worst_shortfall = std::max(stats_.worst_shortfall, shortfall);
-  }
-}
-
 void QosTracker::record(ReqRate load, ReqRate capacity) {
   record_span(load, capacity, 1);
 }

@@ -89,8 +89,22 @@ class QosTracker {
   /// Records `seconds` consecutive seconds with constant load and capacity
   /// in closed form — the event-driven simulator's batch path. Counters
   /// match `seconds` repeated record() calls (up to floating-point
-  /// summation order on the request integrals).
-  void record_span(ReqRate load, ReqRate capacity, std::int64_t seconds);
+  /// summation order on the request integrals). Inline: the multi-app
+  /// fast path calls this once per app per trace sub-run.
+  void record_span(ReqRate load, ReqRate capacity, std::int64_t seconds) {
+    if (load < 0.0 || capacity < 0.0)
+      throw std::invalid_argument("QosTracker: negative load or capacity");
+    if (seconds < 0) throw std::invalid_argument("QosTracker: negative span");
+    if (seconds == 0) return;
+    stats_.total_seconds += seconds;
+    stats_.offered_requests += load * static_cast<double>(seconds);
+    const double shortfall = load - capacity;
+    if (shortfall > 0.0) {
+      stats_.violation_seconds += seconds;
+      stats_.unserved_requests += shortfall * static_cast<double>(seconds);
+      stats_.worst_shortfall = std::max(stats_.worst_shortfall, shortfall);
+    }
+  }
 
   /// Piecewise-constant span kernel: records every run of `runs` against a
   /// constant `capacity` in one call — the varying-load counterpart of

@@ -88,6 +88,16 @@ MultiSimulationResult Simulator::run_views(
 
 namespace {
 
+/// App count at which the event-driven path switches into fleet mode:
+/// scheduler consults are cached across spans (skipping decide() while a
+/// cached decision_stable_until is in the future). The threshold keeps the
+/// small-k paths — which every existing example spec exercises — on the
+/// exact consult cadence of the per-second reference, so their outputs
+/// stay bit-for-bit unchanged; fleet mode trades extra span boundaries
+/// (cached bounds are conservative) for O(changed apps) consult work,
+/// staying inside the 1e-9 equivalence contract.
+constexpr std::size_t kFleetModeApps = 4;
+
 /// Reconfiguration bookkeeping shared by both execution strategies; the
 /// helpers below are the single copy of the decision and settle logic, so
 /// the per-second reference and the event-driven fast path cannot drift
@@ -186,6 +196,21 @@ struct Run {
     TimePoint seconds;
   };
   std::vector<SegmentRun> span_runs;
+  /// Fused k-way merge frontier (multi-app fast path): each app's current
+  /// run end, parallel to `loads` (which doubles as the frontier's value
+  /// array inside advance_span).
+  std::vector<TimePoint> run_ends;
+  /// Decision-point snapshot buffer: refreshed via Cluster::snapshot_into
+  /// so fleet-scale runs do not allocate four vectors per consult.
+  ClusterSnapshot snap;
+  /// Fleet-mode consult cache (event-driven path, >= kFleetModeApps apps):
+  /// each app's cached decision_stable_until; entries <= now force a real
+  /// decide(). Invalidated wholesale whenever the cluster changes
+  /// underneath the schedulers (reconfigurations, transition completions,
+  /// fault events) — the Scheduler::decision_stable_until contract only
+  /// holds while the cluster is untouched.
+  std::vector<TimePoint> consult_until;
+  bool fleet_mode = false;
   FleetPowerCurve power_curve;
   std::vector<double> power_samples;
   double bucket_max = 0.0;
@@ -390,6 +415,9 @@ Run make_run(const Catalog& candidates, const SimulatorOptions& options,
   run.app_qos.resize(views.size());
   run.loads.assign(views.size(), 0.0);
   run.alloc.assign(views.size(), 0.0);
+  run.run_ends.assign(views.size(), 0);
+  run.fleet_mode = views.size() >= kFleetModeApps;
+  run.consult_until.assign(views.size(), -1);
   run.slo_budget.assign(views.size(), -1.0);
   for (std::size_t i = 0; i < views.size(); ++i) {
     const double target = views[i].slo_availability;
@@ -552,20 +580,49 @@ void apply_decision(Combination decision, TimePoint now,
 /// merged decision. A scheduler returning std::nullopt keeps its previous
 /// proposal; when no proposal changed — and no SLO spare flag flipped —
 /// the merged target cannot have changed either and the merge is skipped.
+///
+/// With `use_cache` set (the event-driven fleet path), apps whose cached
+/// decision_stable_until is still in the future are skipped entirely: the
+/// contract guarantees their decision cannot have changed while the
+/// cluster is untouched, and the caller invalidates the cache whenever it
+/// is. The per-second reference never passes `use_cache`, so it stays the
+/// oracle for the cached path.
 void consult_and_apply(const std::vector<WorkloadView>& views, TimePoint now,
                        const Catalog& candidates, bool graceful_off, Run& run,
-                       EventLog* events, SimMetrics* metrics) {
-  const ClusterSnapshot snap = run.cluster.snapshot();
-  if (metrics) metrics->scheduler_consults += views.size();
+                       EventLog* events, SimMetrics* metrics,
+                       bool use_cache = false) {
+  run.cluster.snapshot_into(run.snap);
+  const ClusterSnapshot& snap = run.snap;
   bool any_new = false;
-  for (std::size_t i = 0; i < views.size(); ++i) {
-    std::optional<Combination> d =
-        views[i].scheduler->decide(now, *views[i].trace, snap);
-    if (d.has_value()) {
-      d->resize(candidates.size());
-      if (*d != run.proposals[i]) {
-        run.proposals[i] = std::move(*d);
-        any_new = true;
+  if (use_cache) {
+    std::uint64_t consults = 0;
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      if (run.consult_until[i] > now) continue;
+      ++consults;
+      std::optional<Combination> d =
+          views[i].scheduler->decide(now, *views[i].trace, snap);
+      if (d.has_value()) {
+        d->resize(candidates.size());
+        if (*d != run.proposals[i]) {
+          run.proposals[i] = std::move(*d);
+          any_new = true;
+        }
+      }
+      run.consult_until[i] =
+          views[i].scheduler->decision_stable_until(now, *views[i].trace);
+    }
+    if (metrics) metrics->scheduler_consults += consults;
+  } else {
+    if (metrics) metrics->scheduler_consults += views.size();
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      std::optional<Combination> d =
+          views[i].scheduler->decide(now, *views[i].trace, snap);
+      if (d.has_value()) {
+        d->resize(candidates.size());
+        if (*d != run.proposals[i]) {
+          run.proposals[i] = std::move(*d);
+          any_new = true;
+        }
       }
     }
   }
@@ -599,8 +656,12 @@ void consult_and_apply(const std::vector<WorkloadView>& views, TimePoint now,
   Combination merged = merge_current(run);
   run.contributions.swap(run.contributions_scratch);
   update_transition_shares(candidates, run);
+  const int reconfigs_before = run.result.reconfigurations;
   apply_decision(std::move(merged), now, candidates, graceful_off,
                  run.cluster, run.state, run.result, events, metrics);
+  if (use_cache && run.result.reconfigurations != reconfigs_before)
+    std::fill(run.consult_until.begin(), run.consult_until.end(),
+              static_cast<TimePoint>(-1));
 }
 
 /// Post-step bookkeeping while a reconfiguration is in flight: once all
@@ -608,8 +669,8 @@ void consult_and_apply(const std::vector<WorkloadView>& views, TimePoint now,
 /// clears the flag (the next decision happens the following second).
 void settle_reconfiguration(TimePoint now, Cluster& cluster,
                             ReconfigState& state, EventLog* events) {
-  const ClusterSnapshot snap = cluster.snapshot();
-  if (snap.booting.total_machines() != 0) return;
+  if (cluster.booting_total() != 0) return;
+  const bool was_shutting = cluster.shutting_down_total() != 0;
   bool issued = false;
   for (std::size_t a = 0; a < state.deferred_offs.size(); ++a)
     if (state.deferred_offs[a] > 0) {
@@ -617,7 +678,7 @@ void settle_reconfiguration(TimePoint now, Cluster& cluster,
       state.deferred_offs[a] = 0;
       issued = true;
     }
-  if (!issued && snap.shutting_down.total_machines() == 0) {
+  if (!issued && !was_shutting) {
     state.reconfiguring = false;  // completed; next decision at t + 1
     if (events)
       events->record(now, EventKind::kReconfigurationComplete,
@@ -641,12 +702,11 @@ void restore_after_failure(TimePoint now, const Catalog& candidates, Run& run,
   update_transition_shares(candidates, run);
   run.state.current_target = std::move(merged);
 
-  const ClusterSnapshot snap = run.cluster.snapshot();
   bool any = false;
   for (std::size_t a = 0; a < candidates.size(); ++a) {
     // Machines already earmarked for this target: serving + booting,
     // minus the surplus that graceful mode will switch off later.
-    const int have = snap.on.count(a) + snap.booting.count(a) -
+    const int have = run.cluster.on_count(a) + run.cluster.booting_count(a) -
                      run.state.deferred_offs[a];
     const int deficit = run.state.current_target.count(a) - have;
     if (deficit > 0) {
@@ -677,11 +737,14 @@ void restore_after_failure(TimePoint now, const Catalog& candidates, Run& run,
 /// first consume a matching deferred switch-off (the surplus machine the
 /// decision was about to power down is simply dead instead), otherwise
 /// the fleet is restored against the merged target.
-void apply_fault_events(TimePoint now, const Catalog& candidates,
+/// Returns true when any event landed (the cluster changed), so the
+/// fleet-mode consult cache can be invalidated.
+bool apply_fault_events(TimePoint now, const Catalog& candidates,
                         const std::vector<WorkloadView>& views, Run& run,
                         EventLog* events) {
   FaultRun& fr = *run.faults;
   bool need_restore = false;
+  bool any_event = false;
   // One landed failure, any strike kind: cluster + counters + repair job
   // (through the crew queue) + deferred-off consumption.
   const auto fell_one = [&](std::size_t d, std::size_t a,
@@ -703,6 +766,7 @@ void apply_fault_events(TimePoint now, const Catalog& candidates,
       need_restore = true;
   };
   while (std::optional<FaultEvent> e = fr.timeline.pop(now)) {
+    any_event = true;
     if (e->repair) {
       const ReqRate machine_capacity = candidates[e->arch].max_perf();
       run.cluster.repair_one(e->arch);
@@ -769,6 +833,7 @@ void apply_fault_events(TimePoint now, const Catalog& candidates,
                      candidates[e->arch].name());
   }
   if (need_restore) restore_after_failure(now, candidates, run, events);
+  return any_event;
 }
 
 /// Integrates the fault-accounting state over a span whose failure set is
@@ -837,7 +902,7 @@ void advance_span(const std::vector<WorkloadView>& views, Run& run,
                   const std::vector<const CompiledTrace*>& compiled,
                   std::vector<CompiledTrace::Cursor>& cursors,
                   TimePoint begin, TimePoint end,
-                  const SimulatorOptions& options) {
+                  const SimulatorOptions& options, SimMetrics* metrics) {
   run.span_runs.clear();
   // Fixed fleet for the whole span: capacity and transition power are
   // constant, and the compute power is the compiled fleet curve of the
@@ -931,15 +996,29 @@ void advance_span(const std::vector<WorkloadView>& views, Run& run,
       cur = sub_end;
     }
   } else {
+    // Fused k-way merge over the apps' compiled RLE streams: one frontier
+    // entry per app (current value in run.loads, current run end in
+    // run.run_ends). Each shared sub-run is the intersection of the apps'
+    // current runs, and only the cursors whose run ends exactly at the
+    // sub-run boundary advance — so each app's stream is consumed once
+    // per span instead of being re-probed once per sub-run. The sub-run
+    // arithmetic (total summed fresh in app order, per-app attribution via
+    // attribute_span) is operation-for-operation the per-sub-run walk it
+    // replaces, so every accumulator stays bit-identical.
+    const std::size_t k = views.size();
+    for (std::size_t i = 0; i < k; ++i) {
+      const CompiledTrace::Run r = compiled[i]->run_at(cursors[i], begin);
+      run.loads[i] = r.value;
+      run.run_ends[i] = r.end;
+    }
+    std::uint64_t advances = k;
     TimePoint cur = begin;
     while (cur < end) {
       TimePoint sub_end = end;
       ReqRate total = 0.0;
-      for (std::size_t i = 0; i < views.size(); ++i) {
-        const CompiledTrace::Run r = compiled[i]->run_at(cursors[i], cur);
-        run.loads[i] = r.value;
-        total += r.value;
-        if (r.end < sub_end) sub_end = r.end;
+      for (std::size_t i = 0; i < k; ++i) {
+        total += run.loads[i];
+        if (run.run_ends[i] < sub_end) sub_end = run.run_ends[i];
       }
       const TimePoint len = sub_end - cur;
       const Watts compute = run.power_curve.power_at(total);
@@ -948,6 +1027,19 @@ void advance_span(const std::vector<WorkloadView>& views, Run& run,
       attribute_span(views, run, total, ClusterPower{compute, transition},
                      len, capacity_now);
       cur = sub_end;
+      if (cur >= end) break;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (run.run_ends[i] == cur) {
+          const CompiledTrace::Run r = compiled[i]->run_at(cursors[i], cur);
+          run.loads[i] = r.value;
+          run.run_ends[i] = r.end;
+          ++advances;
+        }
+      }
+    }
+    if (metrics) {
+      metrics->merge_frontier_advances += advances;
+      if (k > metrics->merge_apps_max) metrics->merge_apps_max = k;
     }
   }
   flush();
@@ -1096,25 +1188,38 @@ MultiSimulationResult Simulator::run_event_driven(
     // 0. Fault events due now, exactly as in the reference loop. Events
     //    can only be due at span starts: step 2 bounds every span by the
     //    timeline's next event, so the failure set is constant inside one.
-    if (run.faults.has_value())
-      apply_fault_events(t, candidates_, views, run, nullptr);
+    //    Any landed event changed the cluster, so cached consults die.
+    if (run.faults.has_value() &&
+        apply_fault_events(t, candidates_, views, run, nullptr) &&
+        run.fleet_mode)
+      std::fill(run.consult_until.begin(), run.consult_until.end(),
+                static_cast<TimePoint>(-1));
 
     // 1. Scheduler decisions, exactly as in the reference loop. While no
     //    reconfiguration is in flight the cluster state cannot change, so
     //    the intersection of the schedulers' stability bounds tells us how
     //    long the merged decision (and thus the fleet) stays as it is now.
+    //    Fleet mode reads the bounds straight from the consult cache —
+    //    consult_and_apply just refreshed every expired entry, and reusing
+    //    an unexpired (conservative) bound only ends spans early, which
+    //    splits integrals without changing any per-second value.
     TimePoint stable_until = t + 1;
     if (!run.state.reconfiguring) {
       consult_and_apply(views, t, candidates_, options_.graceful_off, run,
-                        nullptr, metrics);
+                        nullptr, metrics, run.fleet_mode);
       if (!run.state.reconfiguring) {
-        stable_until =
-            views.front().scheduler->decision_stable_until(t,
-                                                           *views.front().trace);
-        for (std::size_t i = 1; i < views.size(); ++i)
-          stable_until = std::min(
-              stable_until,
-              views[i].scheduler->decision_stable_until(t, *views[i].trace));
+        if (run.fleet_mode) {
+          stable_until = run.consult_until.front();
+          for (std::size_t i = 1; i < views.size(); ++i)
+            stable_until = std::min(stable_until, run.consult_until[i]);
+        } else {
+          stable_until = views.front().scheduler->decision_stable_until(
+              t, *views.front().trace);
+          for (std::size_t i = 1; i < views.size(); ++i)
+            stable_until = std::min(
+                stable_until,
+                views[i].scheduler->decision_stable_until(t, *views[i].trace));
+        }
       }
     }
 
@@ -1206,16 +1311,26 @@ MultiSimulationResult Simulator::run_event_driven(
 
     // 3. Advance the span in closed form: the fleet is constant, so each
     //    constant-load sub-run has constant power and QoS margins.
-    advance_span(views, run, compiled, cursors, t, span_end, options_);
+    advance_span(views, run, compiled, cursors, t, span_end, options_,
+                 metrics);
     if (run.state.reconfiguring) run.result.reconfiguring_seconds += span;
 
     // 4. Machine transitions progress; completions land exactly at the
     //    end of the span (Cluster::step is exact for multi-second steps).
+    //    Anything that touched the cluster this span — a completion or an
+    //    in-flight reconfiguration (whose settle below may issue deferred
+    //    offs) — invalidates the fleet-mode consult cache.
+    bool cluster_changed = false;
     if (run.cluster.transitioning())
-      run.cluster.step(static_cast<Seconds>(span));
+      cluster_changed = run.cluster.step(static_cast<Seconds>(span)) > 0;
 
-    if (run.state.reconfiguring)
+    if (run.state.reconfiguring) {
       settle_reconfiguration(span_end - 1, run.cluster, run.state, nullptr);
+      cluster_changed = true;
+    }
+    if (cluster_changed && run.fleet_mode)
+      std::fill(run.consult_until.begin(), run.consult_until.end(),
+                static_cast<TimePoint>(-1));
 
     run.result.peak_machines =
         std::max(run.result.peak_machines, run.cluster.machine_count());

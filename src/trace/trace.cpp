@@ -18,6 +18,7 @@ LoadTrace::LoadTrace(std::vector<double> rates) {
       throw std::invalid_argument(
           "LoadTrace: rates must be finite and >= 0");
   series_ = TimeSeries(std::move(rates), 1.0);
+  series_.build_max_index();
   for (std::size_t i = 1; i < series_.size(); ++i)
     if (series_[i] != series_[i - 1]) change_points_.push_back(i);
 }

@@ -31,13 +31,24 @@ class TimeSeries {
   [[nodiscard]] double at(std::size_t i) const;
   [[nodiscard]] std::span<const double> values() const { return values_; }
 
-  void push_back(double v) { values_.push_back(v); }
+  void push_back(double v) {
+    values_.push_back(v);
+    if (!max_table_.empty()) max_table_.clear();
+  }
   void reserve(std::size_t n) { values_.reserve(n); }
 
   /// Maximum over index range [begin, end) clamped to the series length;
   /// returns 0 for an empty range. This is the paper's sliding look-ahead
-  /// "max over window" predictor primitive.
+  /// "max over window" predictor primitive. O(window) without an index;
+  /// O(kMaxBlock) after build_max_index().
   [[nodiscard]] double max_over(std::size_t begin, std::size_t end) const;
+
+  /// Builds the block + sparse-table range-max index that makes max_over
+  /// O(kMaxBlock) instead of O(window). Results are identical to the
+  /// un-indexed scan (ties keep the leftmost value, like max_element).
+  /// Call once after the series is fully populated; push_back discards
+  /// the index. Not thread-safe against concurrent max_over calls.
+  void build_max_index();
 
   /// Sum of samples times step — the integral. For a power series this is
   /// the energy in Joules.
@@ -59,8 +70,20 @@ class TimeSeries {
   [[nodiscard]] double mean() const;
 
  private:
+  /// Samples per range-max index block: large enough that the index is
+  /// ~1.6% of the series, small enough that partial-block scans stay in
+  /// one or two cache lines.
+  static constexpr std::size_t kMaxBlock = 64;
+
+  /// Leftmost maximum of the non-empty block range [lo, hi) via the
+  /// sparse table (two overlapping power-of-two spans).
+  [[nodiscard]] double blocks_max(std::size_t lo, std::size_t hi) const;
+
   std::vector<double> values_;
   Seconds step_ = 1.0;
+  // max_table_[j][i] = leftmost max over blocks [i, i + 2^j); level 0 is
+  // the per-block maxima. Empty until build_max_index().
+  std::vector<std::vector<double>> max_table_;
 };
 
 }  // namespace bml

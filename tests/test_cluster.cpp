@@ -58,6 +58,19 @@ TEST(Cluster, SwitchOnReusesOffMachines) {
   EXPECT_EQ(cluster.machine_count(), 2u);
 }
 
+TEST(Cluster, PerArchAndTotalTransitionCounts) {
+  Cluster cluster(candidates(), Combination({1, 0, 0}));
+  cluster.switch_on(1, 2);
+  cluster.switch_off(0, 1);
+  EXPECT_EQ(cluster.booting_count(1), 2);
+  EXPECT_EQ(cluster.booting_count(0), 0);
+  EXPECT_EQ(cluster.booting_total(), 2);
+  EXPECT_EQ(cluster.shutting_down_total(), 1);
+  while (cluster.transitioning()) cluster.step();
+  EXPECT_EQ(cluster.booting_total(), 0);
+  EXPECT_EQ(cluster.shutting_down_total(), 0);
+}
+
 TEST(Cluster, SwitchOffMoreThanOnThrows) {
   Cluster cluster(candidates(), Combination({0, 1, 0}));
   EXPECT_THROW((void)cluster.switch_off(1, 2), std::logic_error);

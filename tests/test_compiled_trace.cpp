@@ -86,8 +86,16 @@ TEST(CompiledTrace, SegmentCountMatchesChangePoints) {
   const LoadTrace trace = step_trace({{5.0, 2.0}, {6.0, 2.0}, {5.0, 2.0}});
   const CompiledTrace compiled(trace);
   EXPECT_EQ(compiled.segment_count(), trace.change_points().size() + 1);
-  EXPECT_EQ(compiled.segments().front().start, 0);
-  EXPECT_EQ(compiled.segments().front().value, 5.0);
+  EXPECT_EQ(compiled.ends().size(), compiled.segment_count());
+  EXPECT_EQ(compiled.values().size(), compiled.segment_count());
+  EXPECT_EQ(compiled.segment_start(0), 0);
+  EXPECT_EQ(compiled.values().front(), 5.0);
+  // Packed tail rule: the step trace ends on a non-zero value, so the last
+  // run ends at size(); a zero tail would pack the never-changes sentinel.
+  EXPECT_EQ(compiled.ends().back(),
+            static_cast<std::uint32_t>(compiled.size()));
+  const CompiledTrace zero_tail(step_trace({{5.0, 2.0}, {0.0, 2.0}}));
+  EXPECT_EQ(zero_tail.ends().back(), CompiledTrace::kEndSentinel);
 }
 
 TEST(CompiledTrace, NegativeTimeThrows) {

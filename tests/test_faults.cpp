@@ -11,6 +11,7 @@
 #include "predict/predictor.hpp"
 #include "sched/bml_scheduler.hpp"
 #include "sim/fault_timeline.hpp"
+#include "sim/machine.hpp"
 #include "sim/simulator.hpp"
 #include "trace/synthetic.hpp"
 

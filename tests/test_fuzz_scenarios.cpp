@@ -6,7 +6,10 @@
 // not just the hand-picked ones in test_simulator_fastpath.cpp. The run
 // is seeded and bounded (fixed iteration count, short traces) so it is a
 // deterministic part of the normal test suite, not a soak job; bump
-// kIterations locally to fuzz harder.
+// kIterations locally to fuzz harder. Half the specs are biased into
+// fleet mode (8-32 effective apps via `replicas`, fault domains shared
+// across apps) so the k >= 4 fused-merge + consult-cache fast path gets
+// fuzzed as hard as the small-k byte-identical one.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -32,7 +35,8 @@ const T& pick(Rng& rng, const std::vector<T>& options) {
 /// One random `[app]` section (or the top-level workload block when
 /// `top_level`). Trace durations stay short: the per-second reference
 /// loop replays every generated spec too.
-std::string random_workload(Rng& rng, bool top_level) {
+std::string random_workload(Rng& rng, bool top_level,
+                            int shared_domains = 0) {
   std::ostringstream os;
   const int duration = static_cast<int>(rng.uniform_int(1800, 7200));
   const std::string trace =
@@ -64,7 +68,16 @@ std::string random_workload(Rng& rng, bool top_level) {
      << '\n';
   os << "qos = " << (rng.chance(0.5) ? "tolerant" : "critical") << '\n';
   if (!top_level) {
-    if (rng.chance(0.5)) os << "fault_domain = pool\n";
+    if (shared_domains > 0) {
+      // Fleet sections almost always join one of a few shared domains,
+      // so correlated strikes and crew-limited repairs span many apps
+      // in one event.
+      if (rng.chance(0.8))
+        os << "fault_domain = dom" << rng.uniform_int(0, shared_domains - 1)
+           << '\n';
+    } else if (rng.chance(0.5)) {
+      os << "fault_domain = pool\n";
+    }
     if (rng.chance(0.5)) {
       os << "slo.availability = " << (rng.chance(0.5) ? "0.999" : "0.99")
          << '\n';
@@ -95,6 +108,25 @@ std::string random_spec_text(Rng& rng, int iteration) {
     os << "faults.boot_failure_prob = 0." << rng.uniform_int(1, 3) << '\n';
   os << "faults.seed = " << rng.uniform_int(1, 1'000'000) << '\n';
   os << "slo.window = " << rng.uniform_int(1800, 7200) << '\n';
+  // Half the specs stay in the small-k regime (<= 3 apps) whose fast
+  // path the byte-identity contract pins; the other half are stamped
+  // into fleet mode (8-32 effective apps via `replicas`, k >= 4) where
+  // the fused k-way merge and the consult cache engage — the regime
+  // where the fast path diverges most from the reference loop.
+  if (rng.chance(0.5)) {
+    const int sections = static_cast<int>(rng.uniform_int(4, 8));
+    const int domains = static_cast<int>(rng.uniform_int(2, 3));
+    if (rng.chance(0.5)) {
+      os << "coordinator = partitioned\n";
+      os << "coordinator.budget = design-max\n";
+    }
+    for (int a = 0; a < sections; ++a) {
+      os << "[app]\nname = app" << a << '\n';
+      os << "replicas = " << rng.uniform_int(2, 4) << '\n';
+      os << random_workload(rng, /*top_level=*/false, domains);
+    }
+    return os.str();
+  }
   const int apps = static_cast<int>(rng.uniform_int(0, 3));
   if (apps == 0) {
     os << random_workload(rng, /*top_level=*/true);

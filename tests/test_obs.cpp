@@ -172,6 +172,57 @@ TEST(SimMetrics, MetricsCollectionDoesNotChangeResults) {
   EXPECT_FALSE(a.sim.metrics.enabled);
 }
 
+// Four effective apps (3 replicas + 1) put the event-driven path in
+// fleet mode: the fused k-way merge and the consult cache are active.
+constexpr const char* kFleetSpec = R"(name = fleet
+catalog = illustrative
+seed = 7
+[app]
+name = a
+replicas = 3
+trace = step
+trace.segments = 120:300;2000:300
+scheduler = bml
+predictor = oracle-max
+[app]
+name = b
+trace = constant
+trace.rate = 400
+trace.duration = 600
+scheduler = reactive
+)";
+
+TEST(SimMetrics, FleetModeKeepsCauseSumAndCountsMergeWork) {
+  ScenarioSpec spec = parse_scenario(kFleetSpec);
+  spec.obs_metrics = true;
+  const ScenarioResult result = run_scenario(spec);
+  const SimMetrics& m = result.sim.metrics;
+  ASSERT_TRUE(m.enabled);
+  EXPECT_GT(m.spans, 0u);
+  EXPECT_EQ(m.ticks, 0u);
+  // The span-cause ledger must stay exact through the fused merge: every
+  // span names exactly one ending cause.
+  const std::uint64_t cause_sum = std::accumulate(
+      m.span_end_causes.begin(), m.span_end_causes.end(), std::uint64_t{0});
+  EXPECT_EQ(cause_sum, m.spans);
+  EXPECT_EQ(m.span_seconds.total_count(), m.spans);
+  EXPECT_EQ(m.merge_apps_max, 4u);
+  // Every span seeds one frontier cursor per app before consuming runs.
+  EXPECT_GE(m.merge_frontier_advances, m.spans * 4);
+}
+
+TEST(SimMetrics, MergeCountersExportUnderSimMergeNames) {
+  ScenarioSpec spec = parse_scenario(kFleetSpec);
+  spec.obs_metrics = true;
+  const ScenarioResult result = run_scenario(spec);
+  MetricsRegistry registry;
+  result.sim.metrics.export_to(registry);
+  EXPECT_EQ(registry.counter("sim.merge.frontier_advances"),
+            result.sim.metrics.merge_frontier_advances);
+  EXPECT_NE(registry.to_text().find("sim.merge.apps_max 4"),
+            std::string::npos);
+}
+
 constexpr const char* kSweepSpec = R"(name = grid
 catalog = illustrative
 trace = step

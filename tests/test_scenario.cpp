@@ -234,6 +234,58 @@ TEST(RunScenario, IdenticalAppSectionsGetDistinctNoiseStreams) {
                    same.apps[1].qos_stats.offered_requests);
 }
 
+TEST(ScenarioSpec, ReplicasParseValidateAndRoundTrip) {
+  const ScenarioSpec spec = parse_scenario(
+      "[app]\nname = web\nreplicas = 3\ntrace = constant\n"
+      "trace.rate = 100\ntrace.duration = 60\n");
+  ASSERT_EQ(spec.apps.size(), 1u);
+  EXPECT_EQ(spec.apps[0].replicas, 3);
+  const std::string text = write_scenario(spec);
+  EXPECT_NE(text.find("replicas = 3"), std::string::npos);
+  EXPECT_EQ(parse_scenario(text), spec);
+  EXPECT_THROW((void)parse_scenario("[app]\nreplicas = 0\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("[app]\nreplicas = -2\n"),
+               std::runtime_error);
+}
+
+TEST(RunScenario, ReplicasMatchExplicitlyStampedSections) {
+  // `replicas = N` must be pure syntax sugar: the expansion (derived
+  // names, per-expanded-index seeds, shared fault domain) lands on
+  // exactly the simulation that N hand-written identical sections
+  // produce — which also pins the trace dedup sharing one materialised
+  // trace across the copies.
+  const char* replicated =
+      "seed = 11\nfaults.mtbf = 1200\nfaults.mttr = 300\nfaults.seed = 3\n"
+      "[app]\nname = web\nreplicas = 3\ntrace = step\n"
+      "trace.segments = 150:600;1900:600\nfault_domain = pool\n"
+      "[app]\nname = batch\ntrace = constant\ntrace.rate = 300\n"
+      "trace.duration = 1200\nscheduler = reactive\n";
+  const char* expanded =
+      "seed = 11\nfaults.mtbf = 1200\nfaults.mttr = 300\nfaults.seed = 3\n"
+      "[app]\nname = web-0\ntrace = step\n"
+      "trace.segments = 150:600;1900:600\nfault_domain = pool\n"
+      "[app]\nname = web-1\ntrace = step\n"
+      "trace.segments = 150:600;1900:600\nfault_domain = pool\n"
+      "[app]\nname = web-2\ntrace = step\n"
+      "trace.segments = 150:600;1900:600\nfault_domain = pool\n"
+      "[app]\nname = batch\ntrace = constant\ntrace.rate = 300\n"
+      "trace.duration = 1200\nscheduler = reactive\n";
+  const ScenarioResult a = run_scenario(parse_scenario(replicated));
+  const ScenarioResult b = run_scenario(parse_scenario(expanded));
+  ASSERT_EQ(a.apps.size(), 4u);
+  ASSERT_EQ(b.apps.size(), 4u);
+  EXPECT_EQ(a.sim.reconfigurations, b.sim.reconfigurations);
+  EXPECT_EQ(a.sim.machine_failures, b.sim.machine_failures);
+  EXPECT_EQ(a.sim.peak_machines, b.sim.peak_machines);
+  EXPECT_DOUBLE_EQ(a.sim.compute_energy, b.sim.compute_energy);
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    EXPECT_EQ(a.apps[i].name, b.apps[i].name);
+    EXPECT_EQ(a.apps[i].failures, b.apps[i].failures);
+    EXPECT_DOUBLE_EQ(a.apps[i].compute_energy, b.apps[i].compute_energy);
+  }
+}
+
 TEST(RunSweep, SharedTraceRejectsAppScopedTraceAxes) {
   ScenarioSpec spec;
   spec.apps.resize(1);

@@ -64,6 +64,44 @@ TEST(TimeSeries, PushBackGrows) {
   EXPECT_DOUBLE_EQ(s.integral(), 3.0);
 }
 
+// The block + sparse-table range-max index must answer every window
+// query with exactly the value the plain scan returns — it is the hot
+// primitive under predictors and decision_stable_until, and the
+// simulator's byte-identity contract rides on the equality.
+TEST(TimeSeries, MaxIndexMatchesPlainScanOnEveryWindow) {
+  std::vector<double> values;
+  std::uint64_t x = 88172645463325252ull;  // xorshift, deterministic
+  for (int i = 0; i < 1500; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    values.push_back(static_cast<double>(x % 10000) / 7.0);
+  }
+  TimeSeries indexed(values);
+  indexed.build_max_index();
+  const TimeSeries plain(values);
+  for (std::size_t begin = 0; begin < values.size(); begin += 13) {
+    for (std::size_t len : {1u, 7u, 63u, 64u, 65u, 129u, 500u, 2000u}) {
+      ASSERT_EQ(indexed.max_over(begin, begin + len),
+                plain.max_over(begin, begin + len))
+          << "begin=" << begin << " len=" << len;
+    }
+  }
+  EXPECT_DOUBLE_EQ(indexed.max_over(0, values.size()), plain.max());
+}
+
+// push_back after build_max_index discards the index rather than serving
+// stale maxima.
+TEST(TimeSeries, PushBackInvalidatesMaxIndex) {
+  std::vector<double> values(400, 1.0);
+  TimeSeries s(values);
+  s.build_max_index();
+  EXPECT_DOUBLE_EQ(s.max_over(0, 400), 1.0);
+  s.push_back(9.0);
+  EXPECT_DOUBLE_EQ(s.max_over(0, 401), 9.0);
+  EXPECT_DOUBLE_EQ(s.max_over(0, 400), 1.0);
+}
+
 // Window integrals must always sum to the full integral.
 class WindowPartition : public ::testing::TestWithParam<std::size_t> {};
 
