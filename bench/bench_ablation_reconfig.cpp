@@ -10,12 +10,12 @@
 
 namespace {
 
-void print_rows(const char* title, const std::vector<bml::SweepRow>& rows) {
+void print_rows(const char* title, const std::vector<bml::AblationRow>& rows) {
   using bml::AsciiTable;
   std::printf("--- %s ---\n", title);
   AsciiTable table({"scenario", "energy (kWh)", "vs lower bound", "served",
                     "reconfigs"});
-  for (const bml::SweepRow& row : rows)
+  for (const bml::AblationRow& row : rows)
     table.add_row({row.label,
                    AsciiTable::num(bml::joules_to_kwh(row.total_energy), 3),
                    "+" + AsciiTable::num(row.overhead_vs_lower_bound_pct, 1) +

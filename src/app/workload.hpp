@@ -56,6 +56,15 @@ struct Workload {
   double slo_availability = 0.0;
   /// Spare-capacity fraction provisioned while the SLO is violated (> 0).
   double slo_spare = 0.25;
+  /// Priority class (0..k, higher = more important; default 0). Ranks
+  /// tenants for graceful degradation: the partitioned coordinator trims
+  /// lowest-priority apps first when the budget binds, SLO spares are
+  /// provisioned high-priority-first, and a strike that shrinks the fleet
+  /// preempts low-priority provisioned capacity to backfill
+  /// higher-priority apps instead of waiting for replacement boots. With
+  /// every priority equal (the default) behaviour is byte-identical to a
+  /// priority-unaware build.
+  int priority = 0;
 };
 
 /// Per-application slice of a multi-workload simulation: QoS against the
@@ -101,6 +110,23 @@ struct WorkloadResult {
   /// spares' idle floor accounts for.
   std::int64_t spare_seconds = 0;
   Joules spare_energy = 0.0;
+  /// Degraded-mode slice (DegradeModel::overload_factor): seconds the
+  /// cluster ran overloaded while this app offered load, and the app's
+  /// load-proportional share of the capacity lost to the contention
+  /// penalty (req·s).
+  std::int64_t overload_seconds = 0;
+  double penalty_lost_capacity = 0.0;
+  /// Domain-level slice of the degraded-mode accounting (faults and the
+  /// degrade model both active; as with failures, apps sharing a fault
+  /// domain report the same domain numbers): seconds the cluster ran
+  /// overloaded while any of the domain's apps offered load, and the
+  /// domain's apps' summed penalty loss (req·s).
+  std::int64_t domain_overload_seconds = 0;
+  double domain_penalty_lost = 0.0;
+  /// Priority/preemption slice (Workload::priority): seconds this app had
+  /// at least one provisioned machine preempted away to backfill a
+  /// higher-priority app after a strike.
+  std::int64_t preempted_seconds = 0;
 
   [[nodiscard]] Joules total_energy() const {
     return compute_energy + reconfiguration_energy;

@@ -42,9 +42,9 @@ AblationContext make_context(const AblationOptions& options) {
   return ctx;
 }
 
-SweepRow row_from(const std::string& label, const SimulationResult& sim,
+AblationRow row_from(const std::string& label, const SimulationResult& sim,
                   Joules lower_bound) {
-  SweepRow row;
+  AblationRow row;
   row.label = label;
   row.total_energy = sim.total_energy();
   row.overhead_vs_lower_bound_pct =
@@ -56,11 +56,11 @@ SweepRow row_from(const std::string& label, const SimulationResult& sim,
 
 }  // namespace
 
-std::vector<SweepRow> run_prediction_error_sweep(
+std::vector<AblationRow> run_prediction_error_sweep(
     const std::vector<double>& sigmas, const AblationOptions& options) {
   const AblationContext ctx = make_context(options);
   const Simulator simulator(ctx.design->candidates());
-  std::vector<SweepRow> rows(sigmas.size());
+  std::vector<AblationRow> rows(sigmas.size());
   // Sweep points are independent simulations: run them in parallel.
   parallel_for(sigmas.size(), [&](std::size_t i) {
     auto predictor = std::make_shared<ErrorInjectingPredictor>(
@@ -74,13 +74,13 @@ std::vector<SweepRow> run_prediction_error_sweep(
   return rows;
 }
 
-std::vector<SweepRow> run_window_sweep(
+std::vector<AblationRow> run_window_sweep(
     const std::vector<double>& window_factors,
     const AblationOptions& options) {
   const AblationContext ctx = make_context(options);
   const Simulator simulator(ctx.design->candidates());
   const Seconds base = BmlScheduler::default_window(*ctx.design) / 2.0;
-  std::vector<SweepRow> rows(window_factors.size());
+  std::vector<AblationRow> rows(window_factors.size());
   parallel_for(window_factors.size(), [&](std::size_t i) {
     BmlScheduler scheduler(ctx.design, std::make_shared<OracleMaxPredictor>(),
                            window_factors[i] * base);
@@ -91,10 +91,10 @@ std::vector<SweepRow> run_window_sweep(
   return rows;
 }
 
-std::vector<SweepRow> run_policy_comparison(const AblationOptions& options) {
+std::vector<AblationRow> run_policy_comparison(const AblationOptions& options) {
   const AblationContext ctx = make_context(options);
   Simulator simulator(ctx.design->candidates());
-  std::vector<SweepRow> rows;
+  std::vector<AblationRow> rows;
 
   {
     BmlScheduler scheduler(ctx.design, std::make_shared<OracleMaxPredictor>());
@@ -161,11 +161,11 @@ std::vector<ProportionalityRow> run_proportionality_metrics() {
   return rows;
 }
 
-std::vector<SweepRow> run_cost_aware_comparison(
+std::vector<AblationRow> run_cost_aware_comparison(
     const AblationOptions& options) {
   const AblationContext ctx = make_context(options);
   const Simulator simulator(ctx.design->candidates());
-  std::vector<SweepRow> rows(4);
+  std::vector<AblationRow> rows(4);
 
   parallel_invoke({
       [&] {
@@ -230,10 +230,10 @@ std::vector<RaplRow> run_rapl_comparison(ReqRate fleet_rate, int points) {
   return rows;
 }
 
-std::vector<SweepRow> run_fault_injection_sweep(
+std::vector<AblationRow> run_fault_injection_sweep(
     const std::vector<double>& jitter_sigmas, const AblationOptions& options) {
   const AblationContext ctx = make_context(options);
-  std::vector<SweepRow> rows(jitter_sigmas.size());
+  std::vector<AblationRow> rows(jitter_sigmas.size());
   // One immutable dispatch plan shared by every worker; each worker's
   // simulator differs only in its fault model.
   const auto plan =

@@ -18,8 +18,11 @@
 
 namespace bml {
 
-/// One row of a sweep: a label, the achieved energy, and QoS.
-struct SweepRow {
+/// One row of an ablation sweep: a label, the achieved energy, and QoS.
+/// Not to be confused with scenario/sweep.hpp's SweepRow — reusing that
+/// name here was an ODR violation (two bml::SweepRow layouts collapsed
+/// the std::vector<SweepRow> instantiations into one at link time).
+struct AblationRow {
   std::string label;
   Joules total_energy = 0.0;
   double overhead_vs_lower_bound_pct = 0.0;
@@ -36,16 +39,16 @@ struct AblationOptions {
 };
 
 /// Sweep of multiplicative prediction error sigma (and optional bias).
-[[nodiscard]] std::vector<SweepRow> run_prediction_error_sweep(
+[[nodiscard]] std::vector<AblationRow> run_prediction_error_sweep(
     const std::vector<double>& sigmas, const AblationOptions& options = {});
 
 /// Sweep of the look-ahead window as multiples of the longest On duration.
-[[nodiscard]] std::vector<SweepRow> run_window_sweep(
+[[nodiscard]] std::vector<AblationRow> run_window_sweep(
     const std::vector<double>& window_factors,
     const AblationOptions& options = {});
 
 /// Pro-active oracle vs reactive vs reactive+hysteresis vs moving-max.
-[[nodiscard]] std::vector<SweepRow> run_policy_comparison(
+[[nodiscard]] std::vector<AblationRow> run_policy_comparison(
     const AblationOptions& options = {});
 
 /// Energy-proportionality metric row for one power curve.
@@ -62,7 +65,7 @@ struct ProportionalityRow {
 
 /// Cost-aware reconfiguration (the paper's closing future work) vs the
 /// plain pro-active scheduler, over payback windows of various lengths.
-[[nodiscard]] std::vector<SweepRow> run_cost_aware_comparison(
+[[nodiscard]] std::vector<AblationRow> run_cost_aware_comparison(
     const AblationOptions& options = {});
 
 /// One point of the RAPL-vs-BML curve comparison.
@@ -80,7 +83,7 @@ struct RaplRow {
     ReqRate fleet_rate = 4.0 * 1331.0, int points = 21);
 
 /// Boot fault injection: jittered/retried boots vs the clean simulator.
-[[nodiscard]] std::vector<SweepRow> run_fault_injection_sweep(
+[[nodiscard]] std::vector<AblationRow> run_fault_injection_sweep(
     const std::vector<double>& jitter_sigmas,
     const AblationOptions& options = {});
 

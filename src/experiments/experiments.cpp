@@ -345,4 +345,66 @@ SloRackStrikeResult run_slo_rackstrikes(std::size_t days,
   return result;
 }
 
+DegradedPriorityResult run_degraded_priority(std::size_t days,
+                                             std::uint64_t seed) {
+  if (days == 0)
+    throw std::invalid_argument("run_degraded_priority: days == 0");
+  const Catalog catalog = real_catalog();
+
+  DiurnalOptions diurnal;
+  diurnal.peak = 1500.0;
+  diurnal.noise = 0.05;
+  diurnal.seed = seed;
+  LoadTrace frontend = diurnal_trace(diurnal, days);
+  LoadTrace batch =
+      constant_trace(500.0, static_cast<double>(days) * 86'400.0);
+
+  const ReqRate peak =
+      combined_trace(std::vector<const LoadTrace*>{&frontend, &batch}).peak();
+  auto design = std::make_shared<BmlDesign>(
+      BmlDesign::build(catalog, {.max_rate = std::max(peak, 1.0)}));
+
+  DegradedPriorityResult result;
+  result.overload_factor = 0.5;
+  result.penalty = 0.5;
+
+  // Both runs replay the identical strike timeline (the fault streams are
+  // functions of the seed alone); `graceful` toggles the whole degradation
+  // stack at once — spill-over absorption and the priority ranking.
+  const auto run_with = [&](bool graceful) {
+    SimulatorOptions options;
+    options.faults.groups = 2;
+    options.faults.group_mtbf = 3.0 * 3600.0;
+    options.faults.group_mttr = 1800.0;
+    options.faults.crews = 1;  // one crew: repairs queue, outages stretch
+    options.faults.seed = seed;
+    if (graceful) {
+      options.degrade.overload_factor = result.overload_factor;
+      options.degrade.penalty = result.penalty;
+    }
+    std::vector<Workload> workloads;
+    Workload web;
+    web.name = "frontend";
+    web.trace = frontend;
+    web.scheduler = std::make_unique<BmlScheduler>(
+        design, std::make_shared<OracleMaxPredictor>());
+    web.fault_domain = "rack-pool";
+    web.priority = graceful ? 2 : 0;
+    workloads.push_back(std::move(web));
+    Workload steady;
+    steady.name = "batch";
+    steady.trace = batch;
+    steady.scheduler = std::make_unique<BmlScheduler>(
+        design, std::make_shared<OracleMaxPredictor>());
+    steady.fault_domain = "rack-pool";
+    workloads.push_back(std::move(steady));
+    const Simulator simulator(design->candidates(), options);
+    return simulator.run(workloads);
+  };
+
+  result.aware = run_with(true);
+  result.baseline = run_with(false);
+  return result;
+}
+
 }  // namespace bml

@@ -138,6 +138,7 @@ const char* to_string(SpanEndCause cause) {
     case SpanEndCause::kFault: return "fault";
     case SpanEndCause::kCrewCompletion: return "crew-completion";
     case SpanEndCause::kSloCrossing: return "slo-crossing";
+    case SpanEndCause::kOverloadCrossing: return "overload-crossing";
     case SpanEndCause::kDayBoundary: return "day-boundary";
     case SpanEndCause::kTraceEnd: return "trace-end";
   }
@@ -164,6 +165,7 @@ void SimMetrics::merge(const SimMetrics& other) {
   decisions_applied += other.decisions_applied;
   merge_frontier_advances += other.merge_frontier_advances;
   merge_apps_max = std::max(merge_apps_max, other.merge_apps_max);
+  preemptions += other.preemptions;
   span_seconds.merge(other.span_seconds);
 }
 
@@ -179,6 +181,7 @@ void SimMetrics::export_to(MetricsRegistry& out) const {
   out.add_counter("sim.decisions_applied", decisions_applied);
   out.add_counter("sim.merge.frontier_advances", merge_frontier_advances);
   out.max_gauge("sim.merge.apps_max", static_cast<double>(merge_apps_max));
+  out.add_counter("sim.preemptions", preemptions);
   if (span_seconds.configured())
     out.merge_histogram("sim.span_seconds", span_seconds);
 }

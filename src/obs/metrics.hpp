@@ -134,12 +134,15 @@ enum class SpanEndCause {
   kCrewCompletion,
   /// An availability-SLO trailing window crosses an error budget.
   kSloCrossing,
+  /// The offered load crossed the On fleet's rated capacity while
+  /// degraded-mode serving is on (overload entry or exit).
+  kOverloadCrossing,
   /// The span was clamped at a day boundary (per-day energy buckets).
   kDayBoundary,
   /// The replay ran out of trace.
   kTraceEnd,
 };
-inline constexpr std::size_t kSpanEndCauseCount = 8;
+inline constexpr std::size_t kSpanEndCauseCount = 9;
 
 [[nodiscard]] const char* to_string(SpanEndCause cause);
 
@@ -169,6 +172,9 @@ struct SimMetrics {
   /// included) and the largest app count any merge ran with.
   std::uint64_t merge_frontier_advances = 0;
   std::uint64_t merge_apps_max = 0;
+  /// Machines preempted from low-priority apps to backfill high-priority
+  /// ones after strikes (units, summed over all preemption instants).
+  std::uint64_t preemptions = 0;
   /// Span lengths in seconds (event-driven path only).
   Histogram span_seconds;
 

@@ -73,10 +73,32 @@
 //                                app<i>.slo.availability per section
 //   slo.spare(0.25)              spare-capacity fraction provisioned
 //                                while the target is violated (> 0)
+// Degraded-mode serving keys (sim/cluster.hpp DegradeModel; sweepable):
+//   degrade.overload_factor(0)   spill-over the On fleet absorbs above its
+//                                rated capacity, as a fraction of that
+//                                capacity (0 = spill-over is dropped, the
+//                                classic behaviour)
+//   degrade.penalty(0.5)         contention loss per absorbed req/s, in
+//                                [0, 1]: each spill-over req/s serves only
+//                                (1 - penalty) effectively
+// Priority keys (app/workload.hpp; sweepable per section):
+//   priority(0)                  integer class >= 0, higher = more
+//                                important; top-level for classic
+//                                single-app specs (rejected with
+//                                coordinator = sum, where it cannot rank
+//                                anything), app<i>.priority per section.
+//                                With at least two differing classes the
+//                                partitioned coordinator trims
+//                                lowest-priority apps first, SLO spares go
+//                                high-priority-first, and strikes preempt
+//                                low-priority capacity to backfill
+//                                higher classes (sim/simulator.hpp)
 // Runtime faults make sweeps report machine_failures / availability /
 // lost-capacity columns (cluster-wide and per app), correlated strikes
-// add group_strikes, and SLO targets add spare_seconds / spare_energy_j
-// (see scenario/sweep.hpp).
+// add group_strikes, and SLO targets add spare_seconds / spare_energy_j;
+// a configured degrade model adds overload_seconds / penalty_lost_req_s
+// and differing priorities add preemptions / preempted_seconds (see
+// scenario/sweep.hpp).
 // Observability keys (obs/metrics.hpp, obs/trace_export.hpp; sweepable):
 //   obs.metrics(false)           collect simulator self-metrics (span-end
 //                                causes, span lengths, scheduler consults;
@@ -101,7 +123,8 @@
 // predictors are stateful and always constructed per scenario. The
 // `faults.*` and `slo.*` keys are runtime-only (seed-bearing, but
 // consumed by the simulator, never by the build), so fault and SLO axes
-// keep the shared build; `obs.*` keys likewise.
+// keep the shared build; `obs.*`, `degrade.*` and `priority` keys
+// likewise.
 //
 // Unknown component names and unknown or malformed parameters throw
 // std::runtime_error naming the component, the offending key, and the

@@ -117,6 +117,8 @@ void AppSpec::set(const std::string& key, const std::string& value) {
     slo_availability = parse_slo_target("app slo.availability", value);
   } else if (key == "slo.spare") {
     slo_spare = parse_slo_spare("app slo.spare", value);
+  } else if (key == "priority") {
+    priority = parse_count("app priority", value);
   } else if (key.starts_with("trace.")) {
     trace_params[key.substr(6)] = value;
   } else if (key.starts_with("scheduler.")) {
@@ -220,6 +222,12 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
     slo_availability = parse_slo_target(key, value);
   } else if (key == "slo.spare") {
     slo_spare = parse_slo_spare(key, value);
+  } else if (key == "degrade.overload_factor") {
+    degrade_overload_factor = parse_fraction(key, value);
+  } else if (key == "degrade.penalty") {
+    degrade_penalty = parse_slo_target(key, value);
+  } else if (key == "priority") {
+    priority = parse_count(key, value);
   } else if (key == "obs.metrics") {
     obs_metrics = parse_bool(key, value);
   } else if (key == "obs.trace") {
@@ -370,8 +378,18 @@ std::string write_scenario(const ScenarioSpec& spec) {
       << "slo.availability = " << spec.slo_availability << '\n'
       << "slo.spare = " << spec.slo_spare << '\n';
   os << slo.str();
-  // Observability keys are emitted only when non-default, keeping the
-  // canonical form of classic specs stable (same pattern as faults.seed).
+  // Degrade / priority / observability keys are emitted only when
+  // non-default, keeping the canonical form of classic specs stable (same
+  // pattern as faults.seed).
+  if (spec.degrade_overload_factor != 0.0 || spec.degrade_penalty != 0.5) {
+    std::ostringstream degrade;
+    degrade.precision(17);
+    degrade << "degrade.overload_factor = " << spec.degrade_overload_factor
+            << '\n'
+            << "degrade.penalty = " << spec.degrade_penalty << '\n';
+    os << degrade.str();
+  }
+  if (spec.priority != 0) os << "priority = " << spec.priority << '\n';
   if (spec.obs_metrics) os << "obs.metrics = true\n";
   if (spec.obs_trace) os << "obs.trace = true\n";
   if (spec.obs_sample != 60) os << "obs.sample = " << spec.obs_sample << '\n';
@@ -394,6 +412,7 @@ std::string write_scenario(const ScenarioSpec& spec) {
     os << share.str();
     if (!app.fault_domain.empty())
       os << "fault_domain = " << app.fault_domain << '\n';
+    if (app.priority != 0) os << "priority = " << app.priority << '\n';
     if (app.replicas != 1) os << "replicas = " << app.replicas << '\n';
     if (app.slo_availability > 0.0 || app.slo_spare != 0.25) {
       std::ostringstream app_slo;

@@ -96,6 +96,12 @@ struct AppSpec {
   /// (fraction of the app's proposal, > 0; see app/workload.hpp).
   double slo_availability = 0.0;
   double slo_spare = 0.25;
+  /// Priority class (`priority` key, integer >= 0, default 0; see
+  /// app/workload.hpp): ranks tenants for graceful degradation — budget
+  /// trims, SLO spares and strike preemption all favour higher classes.
+  /// Only meaningful with the partitioned coordinator when at least two
+  /// apps' priorities differ.
+  int priority = 0;
   /// Expansion factor (`replicas` key, >= 1): the sweep build stamps out
   /// this many copies of the app, each with its own derived trace seed
   /// and an indexed name suffix — the fleet-scale way to describe
@@ -173,6 +179,19 @@ struct ScenarioSpec {
   double slo_window = 86400.0;
   double slo_availability = 0.0;
   double slo_spare = 0.25;
+  /// Degraded-mode serving (`degrade.*` keys; see sim/cluster.hpp
+  /// DegradeModel): while offered load exceeds the On fleet's rated
+  /// capacity, the surviving machines absorb spill-over up to
+  /// `degrade.overload_factor` x rated capacity (0 disables, the
+  /// default), each absorbed req/s serving only (1 - `degrade.penalty`)
+  /// effectively (penalty in [0, 1]). Runtime-only knobs: sweeping them
+  /// keeps the shared catalog/trace/design build.
+  double degrade_overload_factor = 0.0;
+  double degrade_penalty = 0.5;
+  /// Priority class of the classic single-app workload (`priority` key),
+  /// exactly like the top-level trace / scheduler fields. Only meaningful
+  /// across multiple [app] sections (validated at build time).
+  int priority = 0;
   /// Observability (`obs.*` keys; all runtime-only, so sweeping them keeps
   /// the shared build): `obs.metrics` collects the simulator self-metrics
   /// (SimulationResult::metrics — results are bit-identical with it on or

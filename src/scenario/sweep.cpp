@@ -143,6 +143,7 @@ std::vector<AppSpec> effective_apps(const ScenarioSpec& spec) {
     app.qos = spec.qos;
     app.slo_availability = spec.slo_availability;
     app.slo_spare = spec.slo_spare;
+    app.priority = spec.priority;
     raw.push_back(std::move(app));
   }
   bool expand = false;
@@ -172,6 +173,20 @@ std::vector<AppSpec> effective_apps(const ScenarioSpec& spec) {
 bool spec_slo_enabled(const ScenarioSpec& spec) {
   for (const AppSpec& app : effective_apps(spec))
     if (app.slo_availability > 0.0) return true;
+  return false;
+}
+
+bool spec_degrade_enabled(const ScenarioSpec& spec) {
+  return spec.degrade_overload_factor > 0.0;
+}
+
+/// Priority classes only rank something when at least two effective apps
+/// differ — a fleet of equal classes is byte-identical to a
+/// priority-unaware run, so it keeps the priority-free schema.
+bool spec_priority_enabled(const ScenarioSpec& spec) {
+  const std::vector<AppSpec> apps = effective_apps(spec);
+  for (const AppSpec& app : apps)
+    if (app.priority != apps.front().priority) return true;
   return false;
 }
 
@@ -275,6 +290,15 @@ ScenarioResult run_built(const ScenarioSpec& spec, const ScenarioBuild& build,
   result.spec = spec;
 
   const std::vector<AppSpec> apps = effective_apps(spec);
+  // `priority` ranks colocated tenants against each other; on a
+  // single-workload spec under the sum coordinator there is nothing to
+  // rank and no budget to trim, so a configured class is a spec error
+  // rather than a silent no-op.
+  if (apps.size() == 1 && apps[0].priority != 0 && spec.coordinator == "sum")
+    throw std::runtime_error(
+        "scenario: priority = " + std::to_string(apps[0].priority) +
+        " has no effect on a single-workload spec with coordinator = sum; "
+        "priority ranks colocated [app] sections");
   std::vector<std::string> names(apps.size());
   for (std::size_t i = 0; i < apps.size(); ++i)
     names[i] =
@@ -311,6 +335,8 @@ ScenarioResult run_built(const ScenarioSpec& spec, const ScenarioBuild& build,
                             ? static_cast<std::uint64_t>(spec.fault_seed)
                             : spec.seed;
   options.slo_window = spec.slo_window;
+  options.degrade.overload_factor = spec.degrade_overload_factor;
+  options.degrade.penalty = spec.degrade_penalty;
   options.collect_metrics = spec.obs_metrics;
   options.record_timeline = spec.obs_trace;
   options.timeline_sample_every = static_cast<std::size_t>(spec.obs_sample);
@@ -329,6 +355,7 @@ ScenarioResult run_built(const ScenarioSpec& spec, const ScenarioBuild& build,
         apps[i].share, build.compiled[i], &apps[i].fault_domain};
     view.slo_availability = apps[i].slo_availability;
     view.slo_spare = apps[i].slo_spare;
+    view.priority = apps[i].priority;
     views.push_back(view);
   }
   MultiSimulationResult multi = simulator.run(views);
@@ -395,11 +422,11 @@ SweepReport run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
     // With [app] sections the top-level workload fields are ignored —
     // sweeping one would expand a grid whose rows are all identical.
     if (!spec.apps.empty())
-      // slo.window stays global; slo.availability / slo.spare are
-      // per-workload like the trace / scheduler stack.
+      // slo.window stays global; slo.availability / slo.spare / priority
+      // are per-workload like the trace / scheduler stack.
       for (const char* ignored :
            {"trace", "scheduler", "predictor", "qos", "slo.availability",
-            "slo.spare"})
+            "slo.spare", "priority"})
         if (axis.key == ignored ||
             axis.key.starts_with(std::string(ignored) + "."))
           throw std::runtime_error(
@@ -461,13 +488,20 @@ SweepReport run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
         row.slo_enabled = spec_slo_enabled(result.spec);
         row.spare_seconds = result.sim.spare_seconds;
         row.spare_energy = result.sim.spare_energy;
+        row.degrade_enabled = spec_degrade_enabled(result.spec);
+        row.overload_seconds = result.sim.overload_seconds;
+        row.penalty_lost = result.sim.penalty_lost_capacity;
+        row.priority_enabled = spec_priority_enabled(result.spec);
+        row.preemptions = result.sim.preemptions;
         row.apps.reserve(result.apps.size());
         for (const WorkloadResult& app : result.apps)
           row.apps.push_back(SweepAppRow{
               app.name, app.compute_energy, app.reconfiguration_energy,
               app.qos_stats.violation_seconds,
               app.qos_stats.served_fraction(), app.availability,
-              app.lost_capacity, app.spare_seconds, app.spare_energy});
+              app.lost_capacity, app.spare_seconds, app.spare_energy,
+              app.overload_seconds, app.penalty_lost_capacity,
+              app.preempted_seconds});
         row.wall_seconds = result.wall_seconds;
         row.metrics = result.sim.metrics;
         if (options.keep_results) report.results[i] = std::move(result);
@@ -504,14 +538,19 @@ std::string SweepReport::to_csv() const {
   bool faulty = false;
   bool grouped = false;
   bool slo = false;
+  bool degraded = false;
+  bool prioritized = false;
   for (const SweepRow& row : rows) {
     max_apps = std::max(max_apps, row.apps.size());
     faulty = faulty || row.faults_enabled;
     grouped = grouped || row.groups_enabled;
     slo = slo || row.slo_enabled;
+    degraded = degraded || row.degrade_enabled;
+    prioritized = prioritized || row.priority_enabled;
   }
   const bool per_app = max_apps >= 2;
-  const std::size_t app_columns = 5 + (faulty ? 2 : 0) + (slo ? 2 : 0);
+  const std::size_t app_columns = 5 + (faulty ? 2 : 0) + (slo ? 2 : 0) +
+                                  (degraded ? 2 : 0) + (prioritized ? 1 : 0);
 
   CsvWriter writer;
   std::vector<std::string> header{"scenario"};
@@ -531,6 +570,10 @@ std::string SweepReport::to_csv() const {
   if (slo)
     for (const char* column : {"spare_seconds", "spare_energy_j"})
       header.emplace_back(column);
+  if (degraded)
+    for (const char* column : {"overload_seconds", "penalty_lost_req_s"})
+      header.emplace_back(column);
+  if (prioritized) header.emplace_back("preemptions");
   if (per_app)
     for (std::size_t i = 0; i < max_apps; ++i) {
       const std::string prefix = "app" + std::to_string(i) + "_";
@@ -544,6 +587,10 @@ std::string SweepReport::to_csv() const {
       if (slo)
         for (const char* column : {"spare_seconds", "spare_energy_j"})
           header.push_back(prefix + column);
+      if (degraded)
+        for (const char* column : {"overload_seconds", "penalty_lost_req_s"})
+          header.push_back(prefix + column);
+      if (prioritized) header.push_back(prefix + "preempted_seconds");
     }
   writer.set_header(std::move(header));
 
@@ -569,6 +616,11 @@ std::string SweepReport::to_csv() const {
       cells.push_back(std::to_string(row.spare_seconds));
       cells.push_back(csv_num(row.spare_energy));
     }
+    if (degraded) {
+      cells.push_back(std::to_string(row.overload_seconds));
+      cells.push_back(csv_num(row.penalty_lost));
+    }
+    if (prioritized) cells.push_back(std::to_string(row.preemptions));
     if (per_app)
       for (std::size_t i = 0; i < max_apps; ++i) {
         if (i < row.apps.size()) {
@@ -586,6 +638,12 @@ std::string SweepReport::to_csv() const {
             cells.push_back(std::to_string(app.spare_seconds));
             cells.push_back(csv_num(app.spare_energy));
           }
+          if (degraded) {
+            cells.push_back(std::to_string(app.overload_seconds));
+            cells.push_back(csv_num(app.penalty_lost));
+          }
+          if (prioritized)
+            cells.push_back(std::to_string(app.preempted_seconds));
         } else {
           cells.insert(cells.end(), app_columns, "");
         }

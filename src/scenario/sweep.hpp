@@ -70,6 +70,16 @@ struct SweepAppRow {
   /// app's compute energy).
   std::int64_t spare_seconds = 0;
   Joules spare_energy = 0.0;
+  /// Degraded-mode slice (CSV columns appear only when some row sets
+  /// degrade.overload_factor > 0): seconds the cluster ran overloaded
+  /// while this app offered load, and the app's share of the capacity
+  /// lost to the contention penalty (req·s).
+  std::int64_t overload_seconds = 0;
+  double penalty_lost = 0.0;
+  /// Preemption slice (CSV column appears only when some row ranks apps
+  /// by priority): seconds this app had provisioned machines preempted
+  /// away after a strike.
+  std::int64_t preempted_seconds = 0;
 };
 
 /// Aggregate metrics of one scenario — the sweep's unit of reporting.
@@ -108,6 +118,17 @@ struct SweepRow {
   bool slo_enabled = false;
   std::int64_t spare_seconds = 0;
   Joules spare_energy = 0.0;
+  /// Degraded-mode serving: `degrade_enabled` records whether this row's
+  /// configuration sets degrade.overload_factor > 0, gating the overload
+  /// columns (configuration, not outcome, as with faults).
+  bool degrade_enabled = false;
+  std::int64_t overload_seconds = 0;
+  double penalty_lost = 0.0;
+  /// Priority classes: `priority_enabled` records whether this row's
+  /// configuration ranks at least two apps differently, gating the
+  /// preemption columns.
+  bool priority_enabled = false;
+  int preemptions = 0;
   /// Per-app attribution, parallel to the scenario's app list.
   std::vector<SweepAppRow> apps;
   double wall_seconds = 0.0;
@@ -151,8 +172,12 @@ struct SweepReport {
   /// configs keep the fault-free schema byte-for-byte. A configured
   /// correlated-strike channel appends group_strikes, and any row with an
   /// availability SLO appends spare_seconds / spare_energy_j (cluster and
-  /// per-app). Excludes wall-clock timings, so the bytes are identical
-  /// across thread counts.
+  /// per-app). A configured degrade model (degrade.overload_factor > 0 on
+  /// any row) appends overload_seconds / penalty_lost_req_s (cluster and
+  /// per-app), and differing app priorities append preemptions (cluster)
+  /// and preempted_seconds (per-app); specs without the new keys keep the
+  /// previous schema byte-for-byte. Excludes wall-clock timings, so the
+  /// bytes are identical across thread counts.
   [[nodiscard]] std::string to_csv() const;
 
   /// Console summary rendered with util/table.

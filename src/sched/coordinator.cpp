@@ -1,6 +1,8 @@
 #include "sched/coordinator.hpp"
 
+#include <algorithm>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 
 namespace bml {
@@ -24,16 +26,40 @@ CoordinatorMode parse_coordinator_mode(const std::string& name) {
 
 Coordinator::Coordinator(const Catalog& candidates, CoordinatorMode mode,
                          std::vector<double> shares, ReqRate budget)
+    : Coordinator(candidates, mode, std::move(shares), budget, {}) {}
+
+Coordinator::Coordinator(const Catalog& candidates, CoordinatorMode mode,
+                         std::vector<double> shares, ReqRate budget,
+                         std::vector<int> priorities)
     : candidates_(&candidates),
       mode_(mode),
       shares_(std::move(shares)),
-      budget_(budget) {
+      budget_(budget),
+      priorities_(std::move(priorities)) {
   if (shares_.empty())
     throw std::invalid_argument("Coordinator: no workloads");
   for (double s : shares_) {
     if (!(s > 0.0))
       throw std::invalid_argument("Coordinator: shares must be > 0");
     share_total_ += s;
+  }
+  if (!priorities_.empty() && priorities_.size() != shares_.size())
+    throw std::invalid_argument(
+        "Coordinator: priority count does not match workload count");
+  for (std::size_t i = 1; i < priorities_.size(); ++i)
+    if (priorities_[i] != priorities_[0]) {
+      prioritized_ = true;
+      break;
+    }
+  if (prioritized_) {
+    trim_order_.resize(priorities_.size());
+    std::iota(trim_order_.begin(), trim_order_.end(), std::size_t{0});
+    std::stable_sort(trim_order_.begin(), trim_order_.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       if (priorities_[a] != priorities_[b])
+                         return priorities_[a] < priorities_[b];
+                       return a > b;
+                     });
   }
 }
 
@@ -59,6 +85,45 @@ Combination Coordinator::merge(const std::vector<Combination>& proposals,
         "Coordinator: proposal count does not match workload count");
   const std::size_t kinds = candidates_->size();
   contributions = proposals;
+  if (prioritized_ && mode_ == CoordinatorMode::kPartitioned &&
+      budget_ > 0.0) {
+    // Priority-ordered total-budget trim: the budget binds on the *sum*
+    // of the proposals, and machines are shed from the lowest-priority
+    // apps first (descending index inside a class) — the same
+    // largest-first / smallest-sufficient removal order as the per-share
+    // clamp, but measured against the total. A high-priority app is
+    // untouched until every lower class has been trimmed empty.
+    ReqRate have = 0.0;
+    for (Combination& c : contributions) {
+      if (c.counts().size() > kinds)
+        throw std::invalid_argument("Coordinator: proposal too wide");
+      c.resize(kinds);
+      have += capacity(*candidates_, c);
+    }
+    for (std::size_t victim : trim_order_) {
+      if (have <= budget_) break;
+      Combination& c = contributions[victim];
+      while (have > budget_) {
+        std::size_t pick = kinds;
+        for (std::size_t a = kinds; a-- > 0;)
+          if (c.count(a) > 0 &&
+              have - (*candidates_)[a].max_perf() <= budget_) {
+            pick = a;  // smallest arch whose removal satisfies the budget
+            break;
+          }
+        if (pick == kinds)
+          for (std::size_t a = 0; a < kinds; ++a)
+            if (c.count(a) > 0) {
+              pick = a;  // largest available arch sheds capacity fastest
+              break;
+            }
+        if (pick == kinds) break;  // this victim has nothing left
+        c.add(pick, -1);
+        have -= (*candidates_)[pick].max_perf();
+      }
+    }
+    return finish_merge(spares, contributions);
+  }
   for (std::size_t i = 0; i < contributions.size(); ++i) {
     Combination& c = contributions[i];
     if (c.counts().size() > kinds)
@@ -93,12 +158,19 @@ Combination Coordinator::merge(const std::vector<Combination>& proposals,
       have -= (*candidates_)[pick].max_perf();
     }
   }
+  return finish_merge(spares, contributions);
+}
+
+Combination Coordinator::finish_merge(
+    const std::vector<Combination>& spares,
+    std::vector<Combination>& contributions) const {
+  const std::size_t kinds = candidates_->size();
   // Spare capacity lands after the clamp: the SLO loop's headroom rides on
   // top of the app's budget share (and the contribution carries it, so
   // reconfiguration energy for spare boots is attributed to the app whose
   // SLO provisioned them).
   if (!spares.empty()) {
-    if (spares.size() != proposals.size())
+    if (spares.size() != contributions.size())
       throw std::invalid_argument(
           "Coordinator: spare count does not match workload count");
     for (std::size_t i = 0; i < contributions.size(); ++i) {

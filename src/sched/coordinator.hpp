@@ -20,6 +20,16 @@
 //     removal satisfies the cap (so the trim never overshoots by a large
 //     machine when dropping a small one suffices). Deterministic.
 //
+// Priority classes (Workload::priority) change *who* pays when the
+// partitioned budget binds: with any two apps' priorities differing, the
+// per-share clamp is replaced by a total-budget trim that sheds machines
+// from the lowest-priority apps first (ties broken by descending app
+// index — later-declared apps yield first), using the same
+// largest-first / smallest-sufficient removal order within each victim.
+// High-priority apps keep their full proposals until every lower class
+// has been trimmed to nothing. All-equal priorities (the default) keep
+// the per-share clamp bit-for-bit, so priority-free specs are unchanged.
+//
 // merge() is a pure function of the proposals, so the event-driven
 // simulator can intersect per-workload decision-stability spans: while no
 // app's proposal changes, the merged decision cannot change either.
@@ -55,6 +65,13 @@ class Coordinator {
   Coordinator(const Catalog& candidates, CoordinatorMode mode,
               std::vector<double> shares, ReqRate budget);
 
+  /// As above with per-app priority classes (same length as `shares`;
+  /// empty = all zero). Priorities only matter in partitioned mode with a
+  /// budget, and only when at least two differ — see the header comment.
+  Coordinator(const Catalog& candidates, CoordinatorMode mode,
+              std::vector<double> shares, ReqRate budget,
+              std::vector<int> priorities);
+
   /// Merges one proposal per app (width <= candidate count; resized
   /// internally) into the cluster-wide target. `contributions` receives
   /// each app's post-clamp combination — the slice of the merged fleet
@@ -79,13 +96,26 @@ class Coordinator {
 
   [[nodiscard]] CoordinatorMode mode() const { return mode_; }
   [[nodiscard]] std::size_t apps() const { return shares_.size(); }
+  /// True when the priority-ordered total-budget trim is in effect (at
+  /// least two apps' priorities differ).
+  [[nodiscard]] bool prioritized() const { return prioritized_; }
 
  private:
+  /// Shared merge tail: folds the SLO spares into the (post-trim)
+  /// contributions and sums them into the cluster-wide target.
+  [[nodiscard]] Combination finish_merge(
+      const std::vector<Combination>& spares,
+      std::vector<Combination>& contributions) const;
+
   const Catalog* candidates_;
   CoordinatorMode mode_;
   std::vector<double> shares_;
   double share_total_ = 0.0;
   ReqRate budget_;
+  std::vector<int> priorities_;
+  bool prioritized_ = false;
+  /// App indices in trim order (ascending priority, descending index).
+  std::vector<std::size_t> trim_order_;
 };
 
 }  // namespace bml

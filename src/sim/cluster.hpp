@@ -115,6 +115,30 @@ struct FaultModel {
   }
 };
 
+/// Degraded-mode serving: when offered load exceeds the On fleet's rated
+/// capacity (failures, budget clamps), the surviving machines absorb
+/// spill-over above their rating at a contention penalty instead of
+/// dropping it outright. For load L against rated capacity C:
+///
+///   absorbed  = min(L - C, C * overload_factor)   (the spill taken on)
+///   effective = C + absorbed * (1 - penalty)      (capacity QoS sees)
+///   lost      = absorbed * penalty                (req/s lost to contention)
+///
+/// Served capacity saturates smoothly at C * (1 + overload_factor *
+/// (1 - penalty)) instead of cliff-dropping at C. Power is unaffected —
+/// the fleet power curve already saturates at rated capacity; the penalty
+/// is capacity-side only. Disabled (overload_factor == 0) runs are
+/// byte-identical to a build without this struct.
+struct DegradeModel {
+  /// Fraction of rated capacity the On fleet absorbs above its rating;
+  /// 0 disables degraded-mode serving.
+  double overload_factor = 0.0;
+  /// Fraction of the absorbed spill-over lost to contention, in [0, 1].
+  double penalty = 0.5;
+
+  [[nodiscard]] bool enabled() const { return overload_factor > 0.0; }
+};
+
 /// Aggregate machine counts by state, one Combination per state.
 struct ClusterSnapshot {
   Combination on;

@@ -6,7 +6,7 @@
 namespace bml {
 
 namespace {
-constexpr std::size_t kKindCount = 10;
+constexpr std::size_t kKindCount = 13;
 }
 
 const char* to_string(EventKind kind) {
@@ -22,6 +22,9 @@ const char* to_string(EventKind kind) {
     case EventKind::kGroupStrike: return "group-strike";
     case EventKind::kSpareProvision: return "spare-provision";
     case EventKind::kSpareRelease: return "spare-release";
+    case EventKind::kPreemption: return "preemption";
+    case EventKind::kOverloadEnter: return "overload-enter";
+    case EventKind::kOverloadExit: return "overload-exit";
   }
   throw std::logic_error("to_string(EventKind): invalid kind");
 }

@@ -36,6 +36,9 @@ enum class EventKind {
   kGroupStrike,
   kSpareProvision,
   kSpareRelease,
+  kPreemption,
+  kOverloadEnter,
+  kOverloadExit,
 };
 
 [[nodiscard]] const char* to_string(EventKind kind);
@@ -48,6 +51,8 @@ enum class EventKind {
 ///   machine failure / repair — architecture name
 ///   group strike             — machines felled by the rack-level strike
 ///   spare provision/release  — the SLO app's name
+///   preemption               — machines taken and the victim app's name
+///   overload enter/exit      — spill-over above rated capacity in req/s
 struct SimEvent {
   TimePoint time = 0;
   EventKind kind = EventKind::kReconfigurationStart;

@@ -149,6 +149,40 @@ class QosTracker {
     stats_.worst_shortfall = std::max(stats_.worst_shortfall, worst);
   }
 
+  /// As record_runs with a *per-run* capacity: elements additionally
+  /// expose a `cap` member — the effective serving capacity of that run.
+  /// Degraded-mode spans go through this kernel, because the spill-over
+  /// absorbed above rated capacity (and hence the capacity QoS is scored
+  /// against) varies with each sub-run's load.
+  template <typename Runs>
+  void record_runs_var(const Runs& runs) {
+    std::int64_t total = 0;
+    std::int64_t violation = 0;
+    double offered = 0.0;
+    double unserved = 0.0;
+    ReqRate worst = 0.0;
+    for (const auto& run : runs) {
+      if (run.load < 0.0 || run.cap < 0.0)
+        throw std::invalid_argument("QosTracker: negative load or capacity");
+      if (run.seconds < 0)
+        throw std::invalid_argument("QosTracker: negative span");
+      if (run.seconds == 0) continue;  // a 0 s run must not touch worst_
+      total += run.seconds;
+      offered += run.load * static_cast<double>(run.seconds);
+      const double shortfall = run.load - run.cap;
+      if (shortfall > 0.0) {
+        violation += run.seconds;
+        unserved += shortfall * static_cast<double>(run.seconds);
+        if (shortfall > worst) worst = shortfall;
+      }
+    }
+    stats_.total_seconds += total;
+    stats_.violation_seconds += violation;
+    stats_.offered_requests += offered;
+    stats_.unserved_requests += unserved;
+    stats_.worst_shortfall = std::max(stats_.worst_shortfall, worst);
+  }
+
   /// Folds caller-accumulated span totals in (the fully fused counterpart
   /// of record_runs — see QosSpanTotals).
   void record_totals(const QosSpanTotals& totals) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <numeric>
 #include <stdexcept>
 
 #include "sim/fault_timeline.hpp"
@@ -62,6 +63,7 @@ MultiSimulationResult Simulator::run(std::vector<Workload>& workloads) const {
                    w.share,  nullptr,  &w.fault_domain};
     v.slo_availability = w.slo_availability;
     v.slo_spare = w.slo_spare;
+    v.priority = w.priority;
     views.push_back(v);
   }
   return run_views(views);
@@ -155,6 +157,12 @@ struct FaultRun {
   };
   std::vector<std::vector<Outage>> outages;
   std::vector<TimePoint> down_since;
+  /// Degraded-mode accounting per domain (sized only when the degrade
+  /// model is enabled): seconds the cluster ran overloaded while any of
+  /// the domain's apps offered load, and the domain's apps' summed share
+  /// of penalty-lost capacity (req·s).
+  std::vector<std::int64_t> overload_seconds;
+  std::vector<double> penalty_lost;
 };
 
 /// Mutable state of one simulation run, shared by both execution
@@ -194,6 +202,9 @@ struct Run {
     ReqRate load;
     Watts compute;
     TimePoint seconds;
+    /// Effective serving capacity of this sub-run (degraded-mode spans
+    /// only — QosTracker::record_runs_var keys off it; otherwise unused).
+    ReqRate cap;
   };
   std::vector<SegmentRun> span_runs;
   /// Fused k-way merge frontier (multi-app fast path): each app's current
@@ -237,6 +248,36 @@ struct Run {
   std::vector<std::int64_t> app_spare_seconds;
   Joules total_spare_energy = 0.0;
   std::int64_t total_spare_seconds = 0;
+  /// Which spares the last merge actually provisioned, post priority
+  /// ordering (high-priority-first withholding); parallel to `spares`.
+  std::vector<char> spare_granted;
+  /// Degraded-mode serving (options.degrade.enabled()): the model plus
+  /// the overload accounting — cluster-wide, per app, and (in FaultRun)
+  /// per domain. The integrands only change at sub-run boundaries, and
+  /// overload entry/exit crossings bound fast-path spans, so both
+  /// execution strategies integrate the exact same piecewise signal.
+  DegradeModel degrade;
+  std::int64_t overload_seconds = 0;
+  double penalty_lost = 0.0;
+  std::vector<std::int64_t> app_overload_seconds;
+  std::vector<double> app_penalty_lost;
+  /// Scratch: per-domain "accrued this sub-run" flags for the overload
+  /// accounting (sized with the fault domains).
+  std::vector<char> domain_hit;
+  /// Per-second path only: last second's overload state, for the
+  /// enter/exit events.
+  bool overloaded_now = false;
+  /// Priority/preemption state (any two view priorities differ): victim
+  /// order for the preemption pass (ascending priority, descending
+  /// index — matches the coordinator's trim order), the machines
+  /// currently preempted away from each app (recomputed at every fault
+  /// batch, cleared at every consult merge), and the per-app
+  /// preempted-seconds integrals.
+  bool priority_enabled = false;
+  std::vector<std::size_t> victim_order;
+  std::vector<Combination> preempted;
+  std::vector<Combination> preempted_scratch;
+  std::vector<std::int64_t> app_preempted_seconds;
 };
 
 using WorkloadView = Simulator::WorkloadView;
@@ -377,15 +418,84 @@ void account_spare_span(Run& run, TimePoint span) {
   if (any) run.total_spare_seconds += span;
 }
 
+/// Serving state of one constant-load slice under the degrade model:
+/// spill-over above rated capacity is absorbed up to
+/// `overload_factor * capacity`, each absorbed req/s serving only
+/// (1 - penalty) effectively; spill beyond the absorption limit is simply
+/// unserved. Power is untouched — the fleet curve already saturates at
+/// rated capacity, so the contention penalty is capacity-side only.
+struct DegradedCap {
+  ReqRate effective;  // capacity QoS is scored against
+  ReqRate lost_rate;  // capacity lost to the contention penalty, req/s
+  bool overloaded;    // offered load exceeded rated capacity
+};
+
+DegradedCap degraded_capacity(const DegradeModel& model, ReqRate load,
+                              ReqRate capacity) {
+  if (!(load > capacity)) return DegradedCap{capacity, 0.0, false};
+  const ReqRate over = load - capacity;
+  const ReqRate limit = capacity * model.overload_factor;
+  const ReqRate absorbed = over < limit ? over : limit;
+  return DegradedCap{capacity + absorbed * (1.0 - model.penalty),
+                     absorbed * model.penalty, true};
+}
+
+/// Accrues the overload accounting over `span` seconds of a slice with
+/// constant loads, called only while the cluster is overloaded (so
+/// total_load > 0): cluster-wide, per app offering load (penalty loss
+/// split load-proportionally), and per fault domain — a domain accrues
+/// overload seconds while any of its apps offers load. The integrand is
+/// constant inside a slice, so both execution strategies integrate the
+/// same piecewise signal.
+void account_overload(const std::vector<WorkloadView>& views, Run& run,
+                      ReqRate total_load, ReqRate lost_rate, TimePoint span) {
+  const auto seconds = static_cast<double>(span);
+  run.overload_seconds += span;
+  run.penalty_lost += lost_rate * seconds;
+  FaultRun* fr = run.faults.has_value() ? &*run.faults : nullptr;
+  if (fr) std::fill(run.domain_hit.begin(), run.domain_hit.end(), 0);
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    if (!(run.loads[i] > 0.0)) continue;
+    run.app_overload_seconds[i] += span;
+    const double lost = lost_rate * seconds * (run.loads[i] / total_load);
+    run.app_penalty_lost[i] += lost;
+    if (fr) {
+      const std::size_t d = fr->domain_of[i];
+      if (!run.domain_hit[d]) {
+        run.domain_hit[d] = 1;
+        fr->overload_seconds[d] += span;
+      }
+      fr->penalty_lost[d] += lost;
+    }
+  }
+}
+
+/// Accrues preempted-seconds over a span: an app accrues while at least
+/// one of its provisioned machines is preempted away. The preempted set
+/// only changes at fault batches and consult merges — span starts in both
+/// strategies — so the integrand is constant inside one.
+void account_preemption_span(Run& run, TimePoint span) {
+  for (std::size_t i = 0; i < run.preempted.size(); ++i)
+    if (run.preempted[i].total_machines() > 0)
+      run.app_preempted_seconds[i] += span;
+}
+
 Run make_run(const Catalog& candidates, const SimulatorOptions& options,
              std::shared_ptr<const DispatchPlan> plan,
              const std::vector<WorkloadView>& views) {
   const std::size_t kinds = candidates.size();
   std::vector<double> shares;
+  std::vector<int> priorities;
   shares.reserve(views.size());
-  for (const WorkloadView& v : views) shares.push_back(v.share);
+  priorities.reserve(views.size());
+  for (const WorkloadView& v : views) {
+    shares.push_back(v.share);
+    if (v.priority < 0)
+      throw std::invalid_argument("Simulator: priority must be >= 0");
+    priorities.push_back(v.priority);
+  }
   Coordinator coordinator(candidates, options.coordinator, std::move(shares),
-                          options.coordinator_budget);
+                          options.coordinator_budget, priorities);
 
   std::vector<Combination> proposals;
   proposals.reserve(views.size());
@@ -442,6 +552,38 @@ Run make_run(const Catalog& candidates, const SimulatorOptions& options,
     run.spare_power.assign(views.size(), 0.0);
     run.app_spare_energy.assign(views.size(), 0.0);
     run.app_spare_seconds.assign(views.size(), 0);
+    run.spare_granted.assign(views.size(), 0);
+  }
+  run.degrade = options.degrade;
+  if (!std::isfinite(run.degrade.overload_factor) ||
+      run.degrade.overload_factor < 0.0)
+    throw std::invalid_argument(
+        "Simulator: degrade.overload_factor must be >= 0");
+  if (!(run.degrade.penalty >= 0.0 && run.degrade.penalty <= 1.0))
+    throw std::invalid_argument("Simulator: degrade.penalty must be in [0, 1]");
+  if (run.degrade.enabled()) {
+    run.app_overload_seconds.assign(views.size(), 0);
+    run.app_penalty_lost.assign(views.size(), 0.0);
+  }
+  for (std::size_t i = 1; i < views.size(); ++i)
+    if (views[i].priority != views[0].priority) {
+      run.priority_enabled = true;
+      break;
+    }
+  if (run.priority_enabled) {
+    run.victim_order.resize(views.size());
+    std::iota(run.victim_order.begin(), run.victim_order.end(),
+              std::size_t{0});
+    std::stable_sort(run.victim_order.begin(), run.victim_order.end(),
+                     [&views](std::size_t a, std::size_t b) {
+                       if (views[a].priority != views[b].priority)
+                         return views[a].priority < views[b].priority;
+                       return a > b;
+                     });
+    run.preempted.assign(views.size(), Combination{});
+    for (Combination& c : run.preempted) c.resize(kinds);
+    run.preempted_scratch = run.preempted;
+    run.app_preempted_seconds.assign(views.size(), 0);
   }
   if (options.faults.runtime_active()) {
     FaultRun faults;
@@ -470,6 +612,11 @@ Run make_run(const Catalog& candidates, const SimulatorOptions& options,
     faults.groups = options.faults.group_active() ? options.faults.groups : 0;
     faults.outages.assign(faults.domains, {});
     faults.down_since.assign(faults.domains, -1);
+    if (run.degrade.enabled()) {
+      faults.overload_seconds.assign(faults.domains, 0);
+      faults.penalty_lost.assign(faults.domains, 0.0);
+      run.domain_hit.assign(faults.domains, 0);
+    }
     run.faults.emplace(std::move(faults));
   }
   return run;
@@ -508,6 +655,10 @@ void finalize_run(Run& run, const SimulatorOptions& options,
     r.spare_seconds = run.total_spare_seconds;
     r.spare_energy = run.total_spare_energy;
   }
+  if (run.degrade.enabled()) {
+    r.overload_seconds = run.overload_seconds;
+    r.penalty_lost_capacity = run.penalty_lost;
+  }
   out.total = std::move(run.result);
   out.apps.resize(views.size());
   for (std::size_t i = 0; i < views.size(); ++i) {
@@ -534,6 +685,17 @@ void finalize_run(Run& run, const SimulatorOptions& options,
       app.spare_seconds = run.app_spare_seconds[i];
       app.spare_energy = run.app_spare_energy[i];
     }
+    if (run.degrade.enabled()) {
+      app.overload_seconds = run.app_overload_seconds[i];
+      app.penalty_lost_capacity = run.app_penalty_lost[i];
+      if (run.faults.has_value()) {
+        const std::size_t d = run.faults->domain_of[i];
+        app.domain_overload_seconds = run.faults->overload_seconds[d];
+        app.domain_penalty_lost = run.faults->penalty_lost[d];
+      }
+    }
+    if (run.priority_enabled)
+      app.preempted_seconds = run.app_preempted_seconds[i];
   }
 }
 
@@ -634,15 +796,26 @@ void consult_and_apply(const std::vector<WorkloadView>& views, TimePoint now,
   if (!any_new && !slo_changed) return;
   if (run.slo_enabled) {
     // Refresh the provisioned spares from the *current* proposals: an
-    // active flag rides on whatever the app now asks for.
+    // active flag rides on whatever the app now asks for. With priority
+    // classes, spares are provisioned high-priority-first: while any
+    // higher-priority app's flag is active, lower-priority apps' spares
+    // are withheld (their flags keep being evaluated, so provisioning
+    // resumes the moment the top class recovers).
+    int top = std::numeric_limits<int>::min();
+    if (run.priority_enabled)
+      for (std::size_t i = 0; i < views.size(); ++i)
+        if (run.flags_scratch[i] != 0 && views[i].priority > top)
+          top = views[i].priority;
     for (std::size_t i = 0; i < views.size(); ++i) {
-      const bool active = run.flags_scratch[i] != 0;
-      if (events && active != (run.spare_flags[i] != 0))
+      const bool granted =
+          run.flags_scratch[i] != 0 &&
+          (!run.priority_enabled || views[i].priority >= top);
+      if (events && granted != (run.spare_granted[i] != 0))
         events->record(now,
-                       active ? EventKind::kSpareProvision
-                              : EventKind::kSpareRelease,
+                       granted ? EventKind::kSpareProvision
+                               : EventKind::kSpareRelease,
                        *views[i].name);
-      if (active) {
+      if (granted) {
         spare_of(run.proposals[i], views[i].slo_spare, candidates.size(),
                  run.spares[i]);
       } else if (run.spares[i].total_machines() > 0) {
@@ -651,6 +824,7 @@ void consult_and_apply(const std::vector<WorkloadView>& views, TimePoint now,
       }
       run.spare_power[i] = idle_power_of(candidates, run.spares[i]);
       run.spare_flags[i] = run.flags_scratch[i];
+      run.spare_granted[i] = granted ? 1 : 0;
     }
   }
   Combination merged = merge_current(run);
@@ -659,6 +833,15 @@ void consult_and_apply(const std::vector<WorkloadView>& views, TimePoint now,
   const int reconfigs_before = run.result.reconfigurations;
   apply_decision(std::move(merged), now, candidates, graceful_off,
                  run.cluster, run.state, run.result, events, metrics);
+  // A consult that re-merged has re-provisioned every app's full
+  // entitlement (apply_decision boots the difference vs the preemption-
+  // reduced target), so any outstanding preemption ends here.
+  if (run.priority_enabled)
+    for (Combination& c : run.preempted)
+      if (c.total_machines() > 0) {
+        c = Combination{};
+        c.resize(candidates.size());
+      }
   if (use_cache && run.result.reconfigurations != reconfigs_before)
     std::fill(run.consult_until.begin(), run.consult_until.end(),
               static_cast<TimePoint>(-1));
@@ -693,12 +876,82 @@ void settle_reconfiguration(TimePoint now, Cluster& cluster,
 /// fleet underneath it, and the refreshed contributions / transition
 /// shares keep reconfiguration-energy attribution consistent while the
 /// replacements boot.
-void restore_after_failure(TimePoint now, const Catalog& candidates, Run& run,
+///
+/// With priority classes, a preemption pass runs between the merge and
+/// the deficit boots: instead of waiting out replacement boots, a strike
+/// that leaves a high-priority app short takes provisioned machines from
+/// lower-priority apps' contributions (the serving capacity is pooled, so
+/// the transfer shifts entitlement — strike exposure, transition shares,
+/// preempted-seconds — to the class the control plane protects).
+/// Preemption is recomputed from scratch at every fault batch: the fresh
+/// merge forgot the previous pass, and the new pass re-takes only what
+/// the *currently failed* machines still justify, so repairs release
+/// preempted machines unit-for-unit and the freed deficit boots below.
+void restore_after_failure(TimePoint now, const Catalog& candidates,
+                           const std::vector<WorkloadView>& views, Run& run,
                            EventLog* events) {
   // The merge includes the spares the last consult provisioned (the flags
   // themselves only change at consult instants, shared by both paths).
   Combination merged = merge_current(run);
   run.contributions.swap(run.contributions_scratch);
+  if (run.priority_enabled && run.faults.has_value()) {
+    // Victims: apps with priority strictly below the highest priority
+    // among apps whose domain currently holds a failed machine, shed in
+    // trim order (lowest priority first, descending index). Per arch, at
+    // most the currently-failed machine count may be preempted — deficit
+    // beyond that predates the failures and is the decision loop's to fix.
+    const FaultRun& fr = *run.faults;
+    int top = std::numeric_limits<int>::min();
+    for (std::size_t i = 0; i < views.size(); ++i)
+      if (fr.failed_machines[fr.domain_of[i]] > 0 && views[i].priority > top)
+        top = views[i].priority;
+    for (Combination& c : run.preempted_scratch) {
+      c = Combination{};
+      c.resize(candidates.size());
+    }
+    if (top > std::numeric_limits<int>::min()) {
+      for (std::size_t a = 0; a < candidates.size(); ++a) {
+        const int have = run.cluster.on_count(a) +
+                         run.cluster.booting_count(a) -
+                         run.state.deferred_offs[a];
+        int deficit = merged.count(a) - have;
+        int takeable = 0;
+        for (std::size_t d = 0; d < fr.domains; ++d)
+          takeable += fr.failed[d][a];
+        if (deficit > takeable) deficit = takeable;
+        for (std::size_t victim : run.victim_order) {
+          if (deficit <= 0) break;
+          if (views[victim].priority >= top) continue;
+          const int give =
+              std::min(deficit, run.contributions[victim].count(a));
+          if (give <= 0) continue;
+          run.contributions[victim].add(a, -give);
+          merged.add(a, -give);
+          run.preempted_scratch[victim].add(a, give);
+          deficit -= give;
+        }
+      }
+    }
+    int newly = 0;
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      int app_new = 0;
+      for (std::size_t a = 0; a < candidates.size(); ++a) {
+        const int diff = run.preempted_scratch[i].count(a) -
+                         run.preempted[i].count(a);
+        if (diff > 0) app_new += diff;
+      }
+      if (app_new > 0 && events)
+        events->record(now, EventKind::kPreemption,
+                       std::to_string(app_new) + " from " + *views[i].name);
+      newly += app_new;
+    }
+    if (newly > 0) {
+      run.result.preemptions += newly;
+      if (run.result.metrics.enabled)
+        run.result.metrics.preemptions += static_cast<std::uint64_t>(newly);
+    }
+    run.preempted.swap(run.preempted_scratch);
+  }
   update_transition_shares(candidates, run);
   run.state.current_target = std::move(merged);
 
@@ -832,7 +1085,12 @@ bool apply_fault_events(TimePoint now, const Catalog& candidates,
       events->record(now, EventKind::kMachineFailure,
                      candidates[e->arch].name());
   }
-  if (need_restore) restore_after_failure(now, candidates, run, events);
+  // Priority runs recompute the preemption pass at *every* landed batch
+  // (repairs release preempted machines and boot their replacements);
+  // priority-free runs only restore when a strike left a deficit,
+  // byte-identical to a preemption-unaware build.
+  if (need_restore || (any_event && run.priority_enabled))
+    restore_after_failure(now, candidates, views, run, events);
   return any_event;
 }
 
@@ -898,11 +1156,18 @@ std::size_t longest_trace(const std::vector<WorkloadView>& views) {
 /// cluster-wide piecewise kernels (EnergyMeter::add_runs,
 /// QosTracker::record_runs) and the power bucketing then each consume the
 /// whole run list in one call.
-void advance_span(const std::vector<WorkloadView>& views, Run& run,
-                  const std::vector<const CompiledTrace*>& compiled,
-                  std::vector<CompiledTrace::Cursor>& cursors,
-                  TimePoint begin, TimePoint end,
-                  const SimulatorOptions& options, SimMetrics* metrics) {
+///
+/// Returns the time actually advanced to (== `end` normally). With the
+/// degrade model enabled, an overload entry/exit inside the span stops
+/// the walk at the crossing — which lands exactly on an RLE run boundary
+/// — and the caller ends the span there (SpanEndCause::kOverloadCrossing),
+/// so the per-span accounting downstream integrates a constant overload
+/// state, exactly like the per-second reference.
+TimePoint advance_span(const std::vector<WorkloadView>& views, Run& run,
+                       const std::vector<const CompiledTrace*>& compiled,
+                       std::vector<CompiledTrace::Cursor>& cursors,
+                       TimePoint begin, TimePoint end,
+                       const SimulatorOptions& options, SimMetrics* metrics) {
   run.span_runs.clear();
   // Fixed fleet for the whole span: capacity and transition power are
   // constant, and the compute power is the compiled fleet curve of the
@@ -911,6 +1176,9 @@ void advance_span(const std::vector<WorkloadView>& views, Run& run,
   const ReqRate capacity_now = run.cluster.on_capacity();
   const Watts transition = run.cluster.transition_power();
   run.cluster.compile_power_curve(run.power_curve);
+  const bool deg = run.degrade.enabled();
+  bool first = true;
+  bool span_over = false;
 
   // Kernel flushes happen in L1-sized chunks: a quiet day can be one span
   // of 86400 per-second runs, and producing the whole list before walking
@@ -919,9 +1187,12 @@ void advance_span(const std::vector<WorkloadView>& views, Run& run,
   // floating-point summation order; day attribution is unaffected (spans
   // never straddle days — the caller clamps them).
   constexpr std::size_t kFlushChunk = 512;
-  const auto flush = [&run, &options, capacity_now, transition] {
+  const auto flush = [&run, &options, capacity_now, transition, deg] {
     if (run.span_runs.empty()) return;
-    run.qos.record_runs(run.span_runs, capacity_now);
+    if (deg)
+      run.qos.record_runs_var(run.span_runs);
+    else
+      run.qos.record_runs(run.span_runs, capacity_now);
     run.meter.add_runs(run.span_runs, transition);
     if (options.record_power_every > 0) {
       for (const Run::SegmentRun& sr : run.span_runs) {
@@ -964,10 +1235,27 @@ void advance_span(const std::vector<WorkloadView>& views, Run& run,
       const TimePoint sub_end = r.end < end ? r.end : end;
       const TimePoint len = sub_end - cur;
       const auto seconds = static_cast<double>(len);
+      ReqRate cap_eff = capacity_now;
+      if (deg) {
+        const DegradedCap dc =
+            degraded_capacity(run.degrade, r.value, capacity_now);
+        if (first) {
+          span_over = dc.overloaded;
+          first = false;
+        } else if (dc.overloaded != span_over) {
+          end = cur;
+          break;
+        }
+        cap_eff = dc.effective;
+        if (dc.overloaded) {
+          run.loads[0] = r.value;
+          account_overload(views, run, r.value, dc.lost_rate, len);
+        }
+      }
       totals.seconds += len;
       totals.offered += r.value * seconds;
-      if (r.value > capacity_now) {
-        const double shortfall = r.value - capacity_now;
+      if (r.value > cap_eff) {
+        const double shortfall = r.value - cap_eff;
         totals.violation_seconds += len;
         totals.unserved += shortfall * seconds;
         if (shortfall > totals.worst_shortfall)
@@ -979,7 +1267,7 @@ void advance_span(const std::vector<WorkloadView>& views, Run& run,
     run.qos.record_totals(totals);
     run.meter.add_integrated_span(compute_e, transition,
                                   static_cast<std::size_t>(totals.seconds));
-    return;
+    return end;
   }
   if (views.size() == 1) {
     // Single-workload with power recording: the bucketing needs per-run
@@ -990,8 +1278,25 @@ void advance_span(const std::vector<WorkloadView>& views, Run& run,
     while (cur < end) {
       const CompiledTrace::Run r = trace.run_at(cursor, cur);
       const TimePoint sub_end = r.end < end ? r.end : end;
-      run.span_runs.push_back(Run::SegmentRun{
-          r.value, run.power_curve.power_at(r.value), sub_end - cur});
+      Run::SegmentRun sr{r.value, run.power_curve.power_at(r.value),
+                         sub_end - cur, capacity_now};
+      if (deg) {
+        const DegradedCap dc =
+            degraded_capacity(run.degrade, r.value, capacity_now);
+        if (first) {
+          span_over = dc.overloaded;
+          first = false;
+        } else if (dc.overloaded != span_over) {
+          end = cur;
+          break;
+        }
+        sr.cap = dc.effective;
+        if (dc.overloaded) {
+          run.loads[0] = r.value;
+          account_overload(views, run, r.value, dc.lost_rate, sr.seconds);
+        }
+      }
+      run.span_runs.push_back(sr);
       if (run.span_runs.size() == kFlushChunk) flush();
       cur = sub_end;
     }
@@ -1021,11 +1326,25 @@ void advance_span(const std::vector<WorkloadView>& views, Run& run,
         if (run.run_ends[i] < sub_end) sub_end = run.run_ends[i];
       }
       const TimePoint len = sub_end - cur;
+      ReqRate cap_eff = capacity_now;
+      if (deg) {
+        const DegradedCap dc =
+            degraded_capacity(run.degrade, total, capacity_now);
+        if (first) {
+          span_over = dc.overloaded;
+          first = false;
+        } else if (dc.overloaded != span_over) {
+          end = cur;
+          break;
+        }
+        cap_eff = dc.effective;
+        if (dc.overloaded) account_overload(views, run, total, dc.lost_rate, len);
+      }
       const Watts compute = run.power_curve.power_at(total);
-      run.span_runs.push_back(Run::SegmentRun{total, compute, len});
+      run.span_runs.push_back(Run::SegmentRun{total, compute, len, cap_eff});
       if (run.span_runs.size() == kFlushChunk) flush();
       attribute_span(views, run, total, ClusterPower{compute, transition},
-                     len, capacity_now);
+                     len, cap_eff);
       cur = sub_end;
       if (cur >= end) break;
       for (std::size_t i = 0; i < k; ++i) {
@@ -1043,6 +1362,7 @@ void advance_span(const std::vector<WorkloadView>& views, Run& run,
     }
   }
   flush();
+  return end;
 }
 
 }  // namespace
@@ -1090,15 +1410,34 @@ MultiSimulationResult Simulator::run_per_second(
       consult_and_apply(views, now, candidates_, options_.graceful_off, run,
                         events_ptr, metrics);
     if (run.slo_enabled) account_spare_span(run, 1);
+    if (run.priority_enabled) account_preemption_span(run, 1);
     if (metrics) ++metrics->ticks;
 
     const ReqRate load = gather_loads(views, now, run);
     const ClusterPower power = run.cluster.step_power(load);
     const ReqRate capacity_now = run.cluster.on_capacity();
-    run.qos.record(load, capacity_now);
-    if (log_events && load > capacity_now)
+    // Degraded-mode serving: QoS (cluster-wide and per-app) is scored
+    // against the effective capacity; the power draw is unchanged (the
+    // fleet curve already saturates at rated capacity).
+    ReqRate cap_eff = capacity_now;
+    if (run.degrade.enabled()) {
+      const DegradedCap dc =
+          degraded_capacity(run.degrade, load, capacity_now);
+      cap_eff = dc.effective;
+      if (dc.overloaded) account_overload(views, run, load, dc.lost_rate, 1);
+      if (log_events && dc.overloaded != run.overloaded_now)
+        events.record(now,
+                      dc.overloaded ? EventKind::kOverloadEnter
+                                    : EventKind::kOverloadExit,
+                      dc.overloaded
+                          ? std::to_string(load - capacity_now) + " req/s over"
+                          : "");
+      run.overloaded_now = dc.overloaded;
+    }
+    run.qos.record(load, cap_eff);
+    if (log_events && load > cap_eff)
       events.record(now, EventKind::kQosViolation,
-                    std::to_string(load - capacity_now));
+                    std::to_string(load - cap_eff));
 
     if (timeline && now % timeline->sample_every == 0) {
       const ClusterSnapshot snap = run.cluster.snapshot();
@@ -1112,7 +1451,7 @@ MultiSimulationResult Simulator::run_per_second(
         sample.failed.push_back(snap.failed.count(a));
       }
       sample.offered = load;
-      sample.served = load < capacity_now ? load : capacity_now;
+      sample.served = load < cap_eff ? load : cap_eff;
       if (run.slo_enabled)
         for (const Combination& c : run.spares)
           sample.spare_machines += static_cast<int>(c.total_machines());
@@ -1122,7 +1461,7 @@ MultiSimulationResult Simulator::run_per_second(
     if (power.transition > 0.0)
       run.meter.add_reconfiguration_energy(power.transition * 1.0);
     run.meter.tick();
-    attribute_span(views, run, load, power, 1, capacity_now);
+    attribute_span(views, run, load, power, 1, cap_eff);
     if (run.state.reconfiguring) ++run.result.reconfiguring_seconds;
 
     const int completed = run.cluster.step(1.0);
@@ -1287,12 +1626,28 @@ MultiSimulationResult Simulator::run_event_driven(
       cause = SpanEndCause::kTraceEnd;
     }
     if (span_end < t + 1) span_end = t + 1;
+
+    // 3. Advance the span in closed form: the fleet is constant, so each
+    //    constant-load sub-run has constant power and QoS margins. With
+    //    the degrade model on, an overload entry/exit inside the span
+    //    stops the walk at the crossing and the span ends there — the
+    //    per-span accounting below then integrates a constant overload
+    //    state, exactly like the per-second reference. (All of that
+    //    accounting sits after the advance for this reason; its
+    //    integrands are constant in-span either way.)
+    const TimePoint advanced = advance_span(views, run, compiled, cursors, t,
+                                            span_end, options_, metrics);
+    if (advanced < span_end) {
+      span_end = advanced;
+      cause = SpanEndCause::kOverloadCrossing;
+    }
     const TimePoint span = span_end - t;
     if (metrics) {
       // A scheduler-stable bound that lands exactly on a trace run
       // boundary means the load crossed a decision threshold — the
       // "trace change" flavour of a decision bound. Probed with cursor
-      // copies so the real walk below is untouched.
+      // copies so the real walk above is untouched (run_at re-seats a
+      // cursor that has already walked past the probe point).
       if (cause == SpanEndCause::kSchedulerStable) {
         for (std::size_t i = 0; i < views.size(); ++i) {
           CompiledTrace::Cursor probe = cursors[i];
@@ -1308,11 +1663,7 @@ MultiSimulationResult Simulator::run_event_driven(
     }
     if (run.faults.has_value()) account_fault_span(*run.faults, span);
     if (run.slo_enabled) account_spare_span(run, span);
-
-    // 3. Advance the span in closed form: the fleet is constant, so each
-    //    constant-load sub-run has constant power and QoS margins.
-    advance_span(views, run, compiled, cursors, t, span_end, options_,
-                 metrics);
+    if (run.priority_enabled) account_preemption_span(run, span);
     if (run.state.reconfiguring) run.result.reconfiguring_seconds += span;
 
     // 4. Machine transitions progress; completions land exactly at the

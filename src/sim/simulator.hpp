@@ -109,6 +109,16 @@ struct SimulatorOptions {
   /// fleet, booting a replacement (self-healing; the felled machine
   /// returns to the Off pool when repaired).
   FaultModel faults{};
+  /// Degraded-mode serving (DegradeModel::overload_factor > 0): when the
+  /// offered load exceeds the On fleet's rated capacity, survivors absorb
+  /// spill-over above their rating at the contention penalty — served
+  /// capacity saturates smoothly instead of cliff-dropping. QoS is scored
+  /// against the effective (post-spill) capacity; overload-seconds and
+  /// penalty-lost capacity are accounted cluster-wide, per app, and per
+  /// fault domain. On the fast path, overload entry/exit crossings bound
+  /// spans (SpanEndCause::kOverloadCrossing) so the accounting integrand
+  /// is exact.
+  DegradeModel degrade{};
   /// Trailing window (s) of the per-app availability SLOs
   /// (WorkloadView::slo_availability): a domain's downtime inside the
   /// last `slo_window` seconds is compared against each SLO app's error
@@ -171,6 +181,15 @@ struct SimulationResult {
   /// already inside compute_energy; see WorkloadResult::spare_energy).
   std::int64_t spare_seconds = 0;
   Joules spare_energy = 0.0;
+  /// Degraded-mode aggregates (SimulatorOptions::degrade): seconds the
+  /// offered load exceeded rated capacity, and the integral of capacity
+  /// lost to the contention penalty while spilling over (req·s).
+  std::int64_t overload_seconds = 0;
+  double penalty_lost_capacity = 0.0;
+  /// Machines preempted from low-priority apps to backfill
+  /// higher-priority ones after strikes (units, summed over all
+  /// preemption instants; see Workload::priority).
+  int preemptions = 0;
   /// Optional downsampled total power (W), see record_power_every.
   TimeSeries power_series;
   /// Optional structured event log, see record_events.
@@ -224,6 +243,8 @@ class Simulator {
     double slo_availability = 0.0;
     /// Spare-capacity fraction provisioned while the SLO is violated.
     double slo_spare = 0.25;
+    /// Priority class (higher = more important; see Workload::priority).
+    int priority = 0;
   };
 
   Simulator(Catalog candidates, SimulatorOptions options = {});

@@ -162,6 +162,43 @@ TEST(SloRackStrikes, FeedbackRecoversServiceAtQuantifiedEnergyCost) {
   EXPECT_EQ(again.energy_cost(), r.energy_cost());
 }
 
+TEST(DegradedPriority, LeanFleetTradesContentionForBootStorms) {
+  const DegradedPriorityResult r = run_degraded_priority(1, 7);
+  ASSERT_EQ(r.aware.apps.size(), 2u);
+  ASSERT_EQ(r.baseline.apps.size(), 2u);
+  // Identical strike timeline in both runs.
+  EXPECT_GT(r.aware.total.group_strikes, 0);
+  EXPECT_EQ(r.aware.total.group_strikes, r.baseline.total.group_strikes);
+  // Strikes preempted low-priority capacity, and only the batch service
+  // (priority 0) bears the preempted seconds.
+  EXPECT_GT(r.aware.total.preemptions, 0);
+  EXPECT_EQ(r.baseline.total.preemptions, 0);
+  EXPECT_GT(r.aware.apps[1].preempted_seconds, 0);
+  EXPECT_EQ(r.aware.apps[0].preempted_seconds, 0);
+  // The lean fleet runs overloaded while repairs queue; the degrade model
+  // accounts every contended second and the capacity the penalty burned.
+  EXPECT_GT(r.aware.total.overload_seconds, 0);
+  EXPECT_GT(r.aware.total.penalty_lost_capacity, 0.0);
+  EXPECT_EQ(r.baseline.total.overload_seconds, 0);
+  EXPECT_DOUBLE_EQ(r.baseline.total.penalty_lost_capacity, 0.0);
+  // Per-app penalty shares are an exact decomposition of the cluster loss.
+  EXPECT_NEAR(r.aware.apps[0].penalty_lost_capacity +
+                  r.aware.apps[1].penalty_lost_capacity,
+              r.aware.total.penalty_lost_capacity,
+              1e-9 * r.aware.total.penalty_lost_capacity);
+  // The frugal direction of the robustness trade: replacement boot-storms
+  // skipped (energy saved) while spill-over absorption holds the web
+  // app's service nearly flat.
+  EXPECT_GT(r.energy_saved(), 0.0);
+  EXPECT_GT(r.served_delta(), -0.002);
+  // Determinism: same seed, same deltas.
+  const DegradedPriorityResult again = run_degraded_priority(1, 7);
+  EXPECT_EQ(again.energy_saved(), r.energy_saved());
+  EXPECT_EQ(again.aware.total.preemptions, r.aware.total.preemptions);
+  EXPECT_EQ(again.aware.total.overload_seconds,
+            r.aware.total.overload_seconds);
+}
+
 TEST(Fig5, StaticFleetNeverReconfigures) {
   Fig5Options options;
   options.trace.days = 1;

@@ -1,6 +1,7 @@
 // Scenario fuzzer: randomised `.scn` specs over the cartesian space of
-// traces x schedulers x predictors x fault channels x SLO targets x app
-// counts, each replayed through both execution strategies. The property
+// traces x schedulers x predictors x fault channels x SLO targets x
+// degrade models x priority classes x app counts, each replayed through
+// both execution strategies. The property
 // under test is the engine-wide equivalence contract: integer counters
 // bit-exact, floating-point integrals within 1e-9, for *any* valid spec —
 // not just the hand-picked ones in test_simulator_fastpath.cpp. The run
@@ -35,8 +36,8 @@ const T& pick(Rng& rng, const std::vector<T>& options) {
 /// One random `[app]` section (or the top-level workload block when
 /// `top_level`). Trace durations stay short: the per-second reference
 /// loop replays every generated spec too.
-std::string random_workload(Rng& rng, bool top_level,
-                            int shared_domains = 0) {
+std::string random_workload(Rng& rng, bool top_level, int shared_domains = 0,
+                            bool allow_priority = false) {
   std::ostringstream os;
   const int duration = static_cast<int>(rng.uniform_int(1800, 7200));
   const std::string trace =
@@ -83,6 +84,12 @@ std::string random_workload(Rng& rng, bool top_level,
          << '\n';
       os << "slo.spare = 0." << rng.uniform_int(2, 7) << "5\n";
     }
+    // Priority classes mix ranked and default-class sections, so specs
+    // cover all-equal (byte-identical to priority-unaware), two-class,
+    // and many-class preemption orders. Single-[app] specs skip the key:
+    // the sweep layer rejects a class that cannot rank anything.
+    if (allow_priority && rng.chance(0.5))
+      os << "priority = " << rng.uniform_int(0, 3) << '\n';
   }
   return os.str();
 }
@@ -108,6 +115,15 @@ std::string random_spec_text(Rng& rng, int iteration) {
     os << "faults.boot_failure_prob = 0." << rng.uniform_int(1, 3) << '\n';
   os << "faults.seed = " << rng.uniform_int(1, 1'000'000) << '\n';
   os << "slo.window = " << rng.uniform_int(1800, 7200) << '\n';
+  // Degraded-mode serving, togglable independently of faults so the
+  // fuzzer covers overload crossings driven by demand spikes alone as
+  // well as by strikes; penalty spans the no-loss and total-loss edges.
+  if (rng.chance(0.5)) {
+    os << "degrade.overload_factor = 0." << rng.uniform_int(1, 9) << '\n';
+    os << "degrade.penalty = " << pick(rng, std::vector<std::string>{
+                                                "0", "0.25", "0.5", "1"})
+       << '\n';
+  }
   // Half the specs stay in the small-k regime (<= 3 apps) whose fast
   // path the byte-identity contract pins; the other half are stamped
   // into fleet mode (8-32 effective apps via `replicas`, k >= 4) where
@@ -123,7 +139,8 @@ std::string random_spec_text(Rng& rng, int iteration) {
     for (int a = 0; a < sections; ++a) {
       os << "[app]\nname = app" << a << '\n';
       os << "replicas = " << rng.uniform_int(2, 4) << '\n';
-      os << random_workload(rng, /*top_level=*/false, domains);
+      os << random_workload(rng, /*top_level=*/false, domains,
+                            /*allow_priority=*/true);
     }
     return os.str();
   }
@@ -138,7 +155,8 @@ std::string random_spec_text(Rng& rng, int iteration) {
     }
     for (int a = 0; a < apps; ++a) {
       os << "[app]\nname = app" << a << '\n';
-      os << random_workload(rng, /*top_level=*/false);
+      os << random_workload(rng, /*top_level=*/false, /*shared_domains=*/0,
+                            /*allow_priority=*/apps >= 2);
     }
   }
   return os.str();
@@ -169,6 +187,8 @@ TEST(FuzzScenarios, EveryRandomSpecHoldsTheEquivalenceContract) {
               reference.sim.unavailable_seconds);
     EXPECT_EQ(fast.sim.group_strikes, reference.sim.group_strikes);
     EXPECT_EQ(fast.sim.spare_seconds, reference.sim.spare_seconds);
+    EXPECT_EQ(fast.sim.overload_seconds, reference.sim.overload_seconds);
+    EXPECT_EQ(fast.sim.preemptions, reference.sim.preemptions);
     EXPECT_EQ(fast.sim.qos.total_seconds, reference.sim.qos.total_seconds);
     EXPECT_EQ(fast.sim.qos.violation_seconds,
               reference.sim.qos.violation_seconds);
@@ -181,6 +201,9 @@ TEST(FuzzScenarios, EveryRandomSpecHoldsTheEquivalenceContract) {
                  "lost_capacity");
     expect_close(fast.sim.spare_energy, reference.sim.spare_energy,
                  "spare_energy");
+    expect_close(fast.sim.penalty_lost_capacity,
+                 reference.sim.penalty_lost_capacity,
+                 "penalty_lost_capacity");
     expect_close(fast.sim.qos.unserved_requests,
                  reference.sim.qos.unserved_requests, "unserved_requests");
 
@@ -190,6 +213,12 @@ TEST(FuzzScenarios, EveryRandomSpecHoldsTheEquivalenceContract) {
       EXPECT_EQ(fast.apps[a].unavailable_seconds,
                 reference.apps[a].unavailable_seconds);
       EXPECT_EQ(fast.apps[a].spare_seconds, reference.apps[a].spare_seconds);
+      EXPECT_EQ(fast.apps[a].overload_seconds,
+                reference.apps[a].overload_seconds);
+      EXPECT_EQ(fast.apps[a].domain_overload_seconds,
+                reference.apps[a].domain_overload_seconds);
+      EXPECT_EQ(fast.apps[a].preempted_seconds,
+                reference.apps[a].preempted_seconds);
       EXPECT_EQ(fast.apps[a].qos_stats.violation_seconds,
                 reference.apps[a].qos_stats.violation_seconds);
       expect_close(fast.apps[a].compute_energy,
@@ -198,6 +227,12 @@ TEST(FuzzScenarios, EveryRandomSpecHoldsTheEquivalenceContract) {
                    "app spare_energy");
       expect_close(fast.apps[a].lost_capacity,
                    reference.apps[a].lost_capacity, "app lost_capacity");
+      expect_close(fast.apps[a].penalty_lost_capacity,
+                   reference.apps[a].penalty_lost_capacity,
+                   "app penalty_lost_capacity");
+      expect_close(fast.apps[a].domain_penalty_lost,
+                   reference.apps[a].domain_penalty_lost,
+                   "app domain_penalty_lost");
     }
   }
 }

@@ -192,6 +192,8 @@ TEST(RunSweep, RejectsIgnoredTopLevelAxesInMultiAppSpecs) {
   EXPECT_THROW((void)run_sweep(spec, {.threads = 1}), std::runtime_error);
   spec.sweeps.back() = SweepAxis{"scheduler", {"bml", "reactive"}};
   EXPECT_THROW((void)run_sweep(spec, {.threads = 1}), std::runtime_error);
+  spec.sweeps.back() = SweepAxis{"priority", {"0", "2"}};
+  EXPECT_THROW((void)run_sweep(spec, {.threads = 1}), std::runtime_error);
   // Simulator knobs stay sweepable (expansion only — keep the test cheap).
   spec.sweeps.back() = SweepAxis{"graceful_off", {"true", "false"}};
   EXPECT_EQ(expand_sweep(spec).size(), 4u);
@@ -557,6 +559,202 @@ TEST(RunSweep, ZeroRateGroupConfigKeepsTheNoFaultCsvSchema) {
   const SweepReport zeroed = run_sweep(zero, SweepOptions{.threads = 1});
   EXPECT_EQ(plain.to_csv(), zeroed.to_csv());
   EXPECT_EQ(plain.to_csv().find("group_strikes"), std::string::npos);
+}
+
+TEST(ScenarioSpec, ParsesDegradePriorityKeysAndValidatesNamed) {
+  const ScenarioSpec spec = parse_scenario(R"(name = graceful
+degrade.overload_factor = 0.5
+degrade.penalty = 0.4
+[app]
+name = web
+priority = 2
+[app]
+name = batch
+)");
+  EXPECT_DOUBLE_EQ(spec.degrade_overload_factor, 0.5);
+  EXPECT_DOUBLE_EQ(spec.degrade_penalty, 0.4);
+  ASSERT_EQ(spec.apps.size(), 2u);
+  EXPECT_EQ(spec.apps[0].priority, 2);
+  EXPECT_EQ(spec.apps[1].priority, 0);
+  const std::string text = write_scenario(spec);
+  EXPECT_EQ(parse_scenario(text), spec);
+  EXPECT_EQ(write_scenario(parse_scenario(text)), text);
+  // Defaults stay out of the canonical form entirely.
+  EXPECT_EQ(write_scenario(ScenarioSpec()).find("degrade"),
+            std::string::npos);
+  EXPECT_EQ(write_scenario(ScenarioSpec()).find("priority"),
+            std::string::npos);
+  // Malformed values fail loudly at parse time, naming the offending key
+  // and the accepted range — also under sweep-axis probing.
+  try {
+    (void)parse_scenario("degrade.penalty = 1.5\n");
+    FAIL() << "expected a validation error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("degrade.penalty"), std::string::npos) << what;
+    EXPECT_NE(what.find("[0, 1]"), std::string::npos) << what;
+  }
+  try {
+    (void)parse_scenario("degrade.overload_factor = -0.5\n");
+    FAIL() << "expected a validation error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("degrade.overload_factor"), std::string::npos)
+        << what;
+  }
+  EXPECT_THROW((void)parse_scenario("priority = -1\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("[app]\npriority = -2\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("[app]\npriority = 1.5\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("sweep degrade.penalty = 0.4,1.5\n"),
+               std::runtime_error);
+}
+
+TEST(RunScenario, PriorityOnSingleWorkloadSumSpecIsANamedError) {
+  // A priority class on a spec with one workload under the sum
+  // coordinator can never rank anything — the build refuses with the key
+  // named instead of silently ignoring it.
+  ScenarioSpec spec;
+  spec.trace_params["rate"] = "100";
+  spec.trace_params["duration"] = "60";
+  spec.priority = 1;
+  try {
+    (void)run_scenario(spec);
+    FAIL() << "expected a validation error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("priority"), std::string::npos) << what;
+    EXPECT_NE(what.find("coordinator = sum"), std::string::npos) << what;
+  }
+  // Under the partitioned coordinator the class participates in the
+  // budget trim ordering, so the same spec runs.
+  spec.coordinator = "partitioned";
+  EXPECT_NO_THROW((void)run_scenario(spec));
+}
+
+TEST(RunSweep, DegradePriorityColumnsArePinnedAndThreadStable) {
+  // The graceful-degradation column groups land in a fixed order after
+  // the SLO block: overload_seconds / penalty_lost_req_s (degrade
+  // model), then preemptions (priority classes); per-app groups append
+  // overload_seconds / penalty_lost_req_s / preempted_seconds. Pinned so
+  // downstream tooling can rely on the schema, and byte-identical across
+  // thread counts.
+  const ScenarioSpec spec = parse_scenario(R"(name = graceful
+seed = 7
+coordinator = partitioned
+faults.groups = 2
+faults.group_mtbf = 7200
+faults.group_mttr = 1200
+faults.crews = 1
+faults.seed = 5
+degrade.overload_factor = 0.5
+degrade.penalty = 0.4
+[app]
+name = web
+trace = constant
+trace.rate = 1200
+trace.duration = 43200
+priority = 2
+fault_domain = pool
+[app]
+name = batch
+trace = constant
+trace.rate = 500
+trace.duration = 43200
+fault_domain = pool
+)");
+  const SweepReport one = run_sweep(spec, SweepOptions{.threads = 1});
+  ASSERT_EQ(one.rows.size(), 1u);
+  EXPECT_TRUE(one.rows[0].degrade_enabled);
+  EXPECT_TRUE(one.rows[0].priority_enabled);
+  // Strikes shrank the fleet below the offered 1700 req/s, so the
+  // surviving machines ran overloaded and batch capacity was preempted.
+  EXPECT_GT(one.rows[0].overload_seconds, 0);
+  EXPECT_GT(one.rows[0].penalty_lost, 0.0);
+  EXPECT_GT(one.rows[0].preemptions, 0);
+  ASSERT_EQ(one.rows[0].apps.size(), 2u);
+  EXPECT_EQ(one.rows[0].apps[0].preempted_seconds, 0);
+  EXPECT_GT(one.rows[0].apps[1].preempted_seconds, 0);
+
+  const std::string csv = one.to_csv();
+  const std::string header = csv.substr(0, csv.find('\n'));
+  EXPECT_EQ(header,
+            "scenario,scheduler_name,total_energy_j,compute_energy_j,"
+            "reconfiguration_energy_j,reconfigurations,qos_violation_s,"
+            "served_fraction,mean_power_w,peak_machines,machine_failures,"
+            "availability,lost_capacity_req_s,group_strikes,"
+            "overload_seconds,penalty_lost_req_s,preemptions,"
+            "app0_name,app0_compute_energy_j,app0_reconfiguration_energy_j,"
+            "app0_qos_violation_s,app0_served_fraction,app0_availability,"
+            "app0_lost_capacity_req_s,app0_overload_seconds,"
+            "app0_penalty_lost_req_s,app0_preempted_seconds,"
+            "app1_name,app1_compute_energy_j,app1_reconfiguration_energy_j,"
+            "app1_qos_violation_s,app1_served_fraction,app1_availability,"
+            "app1_lost_capacity_req_s,app1_overload_seconds,"
+            "app1_penalty_lost_req_s,app1_preempted_seconds");
+  const SweepReport four = run_sweep(spec, SweepOptions{.threads = 4});
+  EXPECT_EQ(csv, four.to_csv());
+}
+
+TEST(RunSweep, UnconfiguredDegradeAndEqualPrioritiesKeepTheSchema) {
+  // degrade.overload_factor = 0 (spill-over dropped) with a non-default
+  // penalty, and priority classes that are all equal, must not change a
+  // single CSV byte: gating is a function of the *active* configuration,
+  // and an all-equal ranking ranks nothing.
+  ScenarioSpec spec = parse_scenario(R"(name = clean
+[app]
+name = a
+trace = constant
+trace.rate = 300
+trace.duration = 1200
+[app]
+name = b
+trace = constant
+trace.rate = 200
+trace.duration = 1200
+)");
+  const SweepReport plain = run_sweep(spec, SweepOptions{.threads = 1});
+
+  ScenarioSpec zero = spec;
+  zero.degrade_penalty = 0.9;  // a penalty with nothing to absorb
+  zero.apps[0].priority = 3;   // all-equal classes
+  zero.apps[1].priority = 3;
+  const SweepReport zeroed = run_sweep(zero, SweepOptions{.threads = 1});
+  EXPECT_EQ(plain.to_csv(), zeroed.to_csv());
+  EXPECT_EQ(plain.to_csv().find("overload_seconds"), std::string::npos);
+  EXPECT_EQ(plain.to_csv().find("preemptions"), std::string::npos);
+}
+
+TEST(RunSweep, DegradeAndPriorityAxesKeepTheSharedBuild) {
+  // degrade.* and priority (like faults.* / slo.*) are runtime-only:
+  // sweeping them must not force per-scenario catalog / trace / design
+  // rebuilds.
+  ScenarioSpec spec = parse_scenario(R"(name = graceful-grid
+coordinator = partitioned
+[app]
+name = web
+trace = constant
+trace.rate = 900
+trace.duration = 7200
+[app]
+name = batch
+trace = constant
+trace.rate = 400
+trace.duration = 7200
+)");
+  spec.sweeps.push_back(SweepAxis{"degrade.overload_factor", {"0", "0.5"}});
+  spec.sweeps.push_back(SweepAxis{"app0.priority", {"0", "2"}});
+  const std::uint64_t before = CombinationTable::built_count();
+  const SweepReport report = run_sweep(spec, SweepOptions{.threads = 2});
+  EXPECT_EQ(CombinationTable::built_count() - before, 1u);
+  ASSERT_EQ(report.rows.size(), 4u);
+  EXPECT_FALSE(report.rows[0].degrade_enabled);
+  EXPECT_FALSE(report.rows[0].priority_enabled);
+  EXPECT_TRUE(report.rows[1].priority_enabled);
+  EXPECT_TRUE(report.rows[2].degrade_enabled);
+  EXPECT_TRUE(report.rows[3].degrade_enabled);
+  EXPECT_TRUE(report.rows[3].priority_enabled);
 }
 
 TEST(RunSweep, SloAxesKeepTheSharedBuild) {

@@ -65,6 +65,10 @@ void expect_equivalent(
   EXPECT_EQ(fast.group_strikes, reference.group_strikes);
   EXPECT_EQ(fast.spare_seconds, reference.spare_seconds);
   expect_close(fast.spare_energy, reference.spare_energy, "spare_energy");
+  EXPECT_EQ(fast.overload_seconds, reference.overload_seconds);
+  expect_close(fast.penalty_lost_capacity, reference.penalty_lost_capacity,
+               "penalty_lost_capacity");
+  EXPECT_EQ(fast.preemptions, reference.preemptions);
 
   EXPECT_EQ(fast.qos.total_seconds, reference.qos.total_seconds);
   EXPECT_EQ(fast.qos.violation_seconds, reference.qos.violation_seconds);
@@ -520,6 +524,166 @@ TEST(SimulatorFastPath, SloFeedbackProvisionsSpares) {
   // cluster total.
   EXPECT_EQ(reference.apps[1].spare_seconds, 0);
   EXPECT_EQ(reference.apps[0].spare_seconds, reference.total.spare_seconds);
+}
+
+TEST(SimulatorFastPath, DegradedServingBoundsOverloadCrossings) {
+  // A step trace against the reactive scheduler's boot lag drives offered
+  // load above provisioned capacity with no fault anywhere: overload
+  // entry/exit crossings alone must bound the fast-path spans, and the
+  // degraded-mode accounting must match the reference exactly.
+  SimulatorOptions options;
+  options.degrade.overload_factor = 0.4;
+  options.degrade.penalty = 0.3;
+  const LoadTrace trace = step_trace({{90.0, 1500.0},
+                                      {1700.0, 1500.0},
+                                      {400.0, 1500.0},
+                                      {2300.0, 1200.0},
+                                      {150.0, 1800.0}});
+
+  SimulatorOptions reference_options = options;
+  reference_options.event_driven = false;
+  const Simulator reference_sim(design()->candidates(), reference_options);
+  ReactiveScheduler reference_scheduler(design());
+  const SimulationResult reference =
+      reference_sim.run(reference_scheduler, trace);
+  ASSERT_GT(reference.overload_seconds, 0);
+  ASSERT_GT(reference.penalty_lost_capacity, 0.0);
+
+  expect_equivalent(
+      [] { return std::make_unique<ReactiveScheduler>(design()); }, trace,
+      options);
+}
+
+TEST(SimulatorFastPath, DegradedServingUnderRuntimeFaults) {
+  // Strikes shrink the fleet under a noisy trace while the degrade model
+  // absorbs the spill-over: fault spans and overload crossings bound the
+  // same fast-path spans.
+  SimulatorOptions options = runtime_fault_options(53);
+  options.degrade.overload_factor = 0.5;
+  options.degrade.penalty = 0.6;
+  expect_equivalent(oracle_bml, noisy_worldcup_trace(), options);
+}
+
+TEST(SimulatorFastPath, FleetModeGracefulDegradationEverythingOn) {
+  // The acceptance case of the graceful-degradation layer: four apps (the
+  // fused k-way merge regime) with machine faults, rack strikes, a repair
+  // crew, an availability SLO, the degrade model, and three priority
+  // classes all active at once under the partitioned coordinator. Both
+  // strategies must agree on every counter exactly and every integral
+  // within 1e-9.
+  DiurnalOptions web;
+  web.peak = 1100.0;
+  web.noise = 0.2;
+  web.seed = 11;
+  DiurnalOptions api;
+  api.peak = 800.0;
+  api.noise = 0.25;
+  api.peak_hour = 7.0;
+  api.seed = 12;
+  const LoadTrace traces[] = {diurnal_trace(web, 1), diurnal_trace(api, 1),
+                              constant_trace(450.0, 86'400.0),
+                              constant_trace(350.0, 86'400.0)};
+  const std::string names[] = {"web", "api", "batch", "scavenger"};
+  const std::string domains[] = {"pool-a", "pool-a", "pool-a", "pool-b"};
+  const int priorities[] = {2, 1, 0, 0};
+
+  const auto run_with = [&](bool event_driven) {
+    SimulatorOptions options;
+    options.event_driven = event_driven;
+    options.coordinator = CoordinatorMode::kPartitioned;
+    options.coordinator_budget = design()->max_rate();
+    options.faults.mtbf = 14'400.0;
+    options.faults.mttr = 1200.0;
+    options.faults.groups = 2;
+    options.faults.group_mtbf = 4.0 * 3600.0;
+    options.faults.group_mttr = 1500.0;
+    options.faults.crews = 1;
+    options.faults.seed = 47;
+    options.slo_window = 7200.0;
+    options.degrade.overload_factor = 0.5;
+    options.degrade.penalty = 0.4;
+    const Simulator sim(design()->candidates(), options);
+    std::vector<std::unique_ptr<Scheduler>> schedulers;
+    std::vector<Simulator::WorkloadView> views;
+    for (std::size_t i = 0; i < 4; ++i) {
+      schedulers.push_back(std::make_unique<BmlScheduler>(
+          design(), std::make_shared<OracleMaxPredictor>()));
+      Simulator::WorkloadView view{&names[i], &traces[i], schedulers[i].get(),
+                                   QosClass::kTolerant, 1.0, nullptr,
+                                   &domains[i]};
+      if (i == 0) {
+        view.slo_availability = 0.999;
+        view.slo_spare = 0.5;
+      }
+      view.priority = priorities[i];
+      views.push_back(view);
+    }
+    return sim.run(views);
+  };
+
+  const MultiSimulationResult fast = run_with(true);
+  const MultiSimulationResult reference = run_with(false);
+  // Every channel actually engaged.
+  ASSERT_GT(reference.total.machine_failures, 0);
+  ASSERT_GT(reference.total.group_strikes, 0);
+  ASSERT_GT(reference.total.spare_seconds, 0);
+  ASSERT_GT(reference.total.overload_seconds, 0);
+  ASSERT_GT(reference.total.preemptions, 0);
+
+  expect_fault_accounting_equivalent(fast.total, reference.total);
+  EXPECT_EQ(fast.total.group_strikes, reference.total.group_strikes);
+  EXPECT_EQ(fast.total.spare_seconds, reference.total.spare_seconds);
+  EXPECT_EQ(fast.total.overload_seconds, reference.total.overload_seconds);
+  EXPECT_EQ(fast.total.preemptions, reference.total.preemptions);
+  EXPECT_EQ(fast.total.reconfigurations, reference.total.reconfigurations);
+  EXPECT_EQ(fast.total.qos.violation_seconds,
+            reference.total.qos.violation_seconds);
+  expect_close(fast.total.compute_energy, reference.total.compute_energy,
+               "compute_energy");
+  expect_close(fast.total.reconfiguration_energy,
+               reference.total.reconfiguration_energy,
+               "reconfiguration_energy");
+  expect_close(fast.total.penalty_lost_capacity,
+               reference.total.penalty_lost_capacity,
+               "penalty_lost_capacity");
+  expect_close(fast.total.spare_energy, reference.total.spare_energy,
+               "spare_energy");
+  expect_close(fast.total.lost_capacity, reference.total.lost_capacity,
+               "lost_capacity");
+
+  ASSERT_EQ(fast.apps.size(), reference.apps.size());
+  for (std::size_t i = 0; i < reference.apps.size(); ++i) {
+    EXPECT_EQ(fast.apps[i].overload_seconds,
+              reference.apps[i].overload_seconds)
+        << names[i];
+    EXPECT_EQ(fast.apps[i].domain_overload_seconds,
+              reference.apps[i].domain_overload_seconds)
+        << names[i];
+    EXPECT_EQ(fast.apps[i].preempted_seconds,
+              reference.apps[i].preempted_seconds)
+        << names[i];
+    EXPECT_EQ(fast.apps[i].spare_seconds, reference.apps[i].spare_seconds)
+        << names[i];
+    EXPECT_EQ(fast.apps[i].qos_stats.violation_seconds,
+              reference.apps[i].qos_stats.violation_seconds)
+        << names[i];
+    expect_close(fast.apps[i].penalty_lost_capacity,
+                 reference.apps[i].penalty_lost_capacity, names[i].c_str());
+    expect_close(fast.apps[i].domain_penalty_lost,
+                 reference.apps[i].domain_penalty_lost, names[i].c_str());
+    expect_close(fast.apps[i].compute_energy,
+                 reference.apps[i].compute_energy, names[i].c_str());
+  }
+  // Priority semantics: the top class is never preempted, lower classes
+  // bear the backfill; apps sharing pool-a report one domain slice.
+  EXPECT_EQ(reference.apps[0].preempted_seconds, 0);
+  EXPECT_GT(reference.apps[2].preempted_seconds +
+                reference.apps[3].preempted_seconds,
+            0);
+  EXPECT_EQ(reference.apps[0].domain_overload_seconds,
+            reference.apps[1].domain_overload_seconds);
+  EXPECT_EQ(reference.apps[0].domain_overload_seconds,
+            reference.apps[2].domain_overload_seconds);
 }
 
 TEST(SimulatorFastPath, BootFaultScenario) {

@@ -137,6 +137,17 @@ int cmd_run(const std::string& path, const std::string& csv_path,
                 "(%.0f s window)\n",
                 static_cast<long long>(sim.spare_seconds),
                 joules_to_kwh(sim.spare_energy), spec.slo_window);
+  const bool degraded = spec.degrade_overload_factor > 0.0;
+  if (degraded)
+    std::printf("degrade: %lld s overloaded, %.0f req-s lost to the "
+                "contention penalty (factor %.2f, penalty %.2f)\n",
+                static_cast<long long>(sim.overload_seconds),
+                sim.penalty_lost_capacity, spec.degrade_overload_factor,
+                spec.degrade_penalty);
+  if (sim.preemptions > 0)
+    std::printf("priority: %d preemptions backfilled high-priority apps "
+                "after strikes\n",
+                sim.preemptions);
   const std::vector<WorkloadResult>& apps = report.results.front().apps;
   if (apps.size() >= 2) {
     std::vector<std::string> columns{"app",           "scheduler",
@@ -147,6 +158,8 @@ int cmd_run(const std::string& path, const std::string& csv_path,
       columns.push_back("failures");
     }
     if (slo) columns.push_back("spare (s)");
+    if (degraded) columns.push_back("overload (s)");
+    if (sim.preemptions > 0) columns.push_back("preempted (s)");
     AsciiTable per_app(columns);
     for (const WorkloadResult& app : apps) {
       std::vector<std::string> cells{
@@ -160,6 +173,9 @@ int cmd_run(const std::string& path, const std::string& csv_path,
         cells.push_back(std::to_string(app.failures));
       }
       if (slo) cells.push_back(std::to_string(app.spare_seconds));
+      if (degraded) cells.push_back(std::to_string(app.overload_seconds));
+      if (sim.preemptions > 0)
+        cells.push_back(std::to_string(app.preempted_seconds));
       per_app.add_row(cells);
     }
     std::fputs(per_app.render().c_str(), stdout);
