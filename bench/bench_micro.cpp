@@ -287,6 +287,64 @@ void BM_FleetScaleDay(benchmark::State& state) {
 }
 BENCHMARK(BM_FleetScaleDay)->Unit(benchmark::kMillisecond);
 
+// BM_FleetScaleDay with tenant churn: one quarter of the 1000 apps are
+// visitors arriving in hourly onboarding waves and staying six hours
+// (dozens of lifecycle events, each re-partitioning the coordinator and
+// re-entering the fused k-way merge with a different active subset — and
+// each wave moving ~60 tenants' capacity at once). CI gates this at
+// <= 2x BM_FleetScaleDay: lifecycle bookkeeping must stay a bounded tax
+// on the fleet fast path.
+void BM_FleetScaleChurnDay(benchmark::State& state) {
+  auto d = std::make_shared<BmlDesign>(BmlDesign::build(real_catalog()));
+  constexpr std::size_t kApps = 1000;
+  constexpr std::size_t kArchetypes = 4;
+  DiurnalOptions diurnal;
+  diurnal.peak = 1500.0;
+  diurnal.noise = 0.0;
+  WorldCupOptions worldcup;
+  worldcup.days = 1;
+  worldcup.peak = 3000.0;
+  const LoadTrace traces[kArchetypes] = {
+      diurnal_trace(diurnal, 1), worldcup_like_trace(worldcup),
+      constant_trace(400.0, 86'400.0),
+      step_trace({{300.0, 43'200.0}, {1000.0, 43'200.0}})};
+  const CompiledTrace compiled[kArchetypes] = {
+      CompiledTrace(traces[0]), CompiledTrace(traces[1]),
+      CompiledTrace(traces[2]), CompiledTrace(traces[3])};
+  std::shared_ptr<OracleMaxPredictor> predictors[kArchetypes];
+  for (auto& p : predictors) p = std::make_shared<OracleMaxPredictor>();
+  const Simulator simulator(d->candidates());
+  std::vector<std::string> names(kApps);
+  std::vector<std::unique_ptr<BmlScheduler>> schedulers;
+  std::vector<Simulator::WorkloadView> views;
+  schedulers.reserve(kApps);
+  views.reserve(kApps);
+  std::int64_t seconds_per_iter = 0;
+  for (std::size_t i = 0; i < kApps; ++i) {
+    const std::size_t a = i % kArchetypes;
+    names[i] = "app" + std::to_string(i);
+    schedulers.push_back(std::make_unique<BmlScheduler>(d, predictors[a]));
+    Simulator::WorkloadView view{&names[i], &traces[a],
+                                 schedulers.back().get(),
+                                 QosClass::kTolerant, 1.0, &compiled[a]};
+    if (i % 4 == 3) {
+      // Hourly onboarding waves across the first half of the day, each
+      // visitor resident for six hours.
+      view.arrive = (1 + static_cast<TimePoint>((i / 4) % 12)) * 3600;
+      view.depart = view.arrive + 6 * 3600;
+    }
+    views.push_back(view);
+    seconds_per_iter += static_cast<std::int64_t>(traces[a].size());
+  }
+  benchmark::DoNotOptimize(simulator.run(views));  // warm predictor caches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run(views));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          seconds_per_iter);
+}
+BENCHMARK(BM_FleetScaleChurnDay)->Unit(benchmark::kMillisecond);
+
 /// Seven days of a steady (piecewise-constant) load: a 24-level staircase
 /// per day, repeated — the shape of a planned-capacity workload. This is
 /// the scenario where run-length batching shines.

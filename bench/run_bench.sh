@@ -57,6 +57,7 @@ GATED = [
     "BM_SimulatorDay",
     "BM_MultiAppSimulatorDay",
     "BM_FleetScaleDay",
+    "BM_FleetScaleChurnDay",
     "BM_SimulatorWeekSteadyEventDriven",
     "BM_SimulatorWeekNoisyEventDriven",
     "BM_SimulatorWeekNoisyReference",

@@ -65,6 +65,19 @@ struct Workload {
   /// every priority equal (the default) behaviour is byte-identical to a
   /// priority-unaware build.
   int priority = 0;
+  /// Tenant lifecycle: the app participates in [arrive, depart). Before
+  /// `arrive` and from `depart` on, the app is inactive — its scheduler is
+  /// never consulted, it offers no load, accrues no QoS seconds or energy
+  /// attribution, and the coordinator re-partitions capacity shares (and
+  /// SLO spares / priority trims) over the active tenants only. A
+  /// departure clears the app's proposal, so its machines drain through
+  /// the normal transition path (graceful deferred offs included) at the
+  /// next consult. The defaults (arrive at 0, never depart) keep the
+  /// classic fixed-tenant model byte-identical.
+  TimePoint arrive = 0;
+  /// Departure second; -1 = the app stays until the end of the replay.
+  /// When >= 0 it must be > arrive.
+  TimePoint depart = -1;
 };
 
 /// Per-application slice of a multi-workload simulation: QoS against the
@@ -127,6 +140,10 @@ struct WorkloadResult {
   /// at least one provisioned machine preempted away to backfill a
   /// higher-priority app after a strike.
   std::int64_t preempted_seconds = 0;
+  /// Tenant-lifecycle slice (Workload::arrive / depart): seconds the app
+  /// was active during the replay. Without lifecycle bounds this equals
+  /// the replayed horizon (qos_stats.total_seconds).
+  std::int64_t active_seconds = 0;
 
   [[nodiscard]] Joules total_energy() const {
     return compute_energy + reconfiguration_energy;

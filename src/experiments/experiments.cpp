@@ -407,4 +407,63 @@ DegradedPriorityResult run_degraded_priority(std::size_t days,
   return result;
 }
 
+TenantChurnResult run_tenant_churn(std::size_t days, std::uint64_t seed) {
+  if (days == 0) throw std::invalid_argument("run_tenant_churn: days == 0");
+  const Catalog catalog = real_catalog();
+
+  DiurnalOptions diurnal;
+  diurnal.peak = 1500.0;
+  diurnal.noise = 0.05;
+  diurnal.seed = seed;
+  LoadTrace frontend = diurnal_trace(diurnal, days);
+  const auto horizon = static_cast<TimePoint>(days) * 86'400;
+  LoadTrace batch = constant_trace(500.0, static_cast<double>(horizon));
+
+  // The pool is designed for the combined peak either way — the question
+  // is what the control plane does with the visitor's capacity while the
+  // visitor is not resident.
+  const ReqRate peak =
+      combined_trace(std::vector<const LoadTrace*>{&frontend, &batch}).peak();
+  auto design = std::make_shared<BmlDesign>(
+      BmlDesign::build(catalog, {.max_rate = std::max(peak, 1.0)}));
+
+  TenantChurnResult result;
+  result.arrive = horizon / 4;
+  result.depart = 3 * horizon / 4;
+
+  const auto run_with = [&](bool aware) {
+    SimulatorOptions options;
+    options.coordinator = CoordinatorMode::kPartitioned;
+    options.coordinator_budget = design->max_rate();
+    std::vector<Workload> workloads;
+    Workload web;
+    web.name = "frontend";
+    web.trace = frontend;
+    web.scheduler = std::make_unique<BmlScheduler>(
+        design, std::make_shared<OracleMaxPredictor>());
+    // Shares mirror the demand ratio (1500 peak vs 500 steady), so the
+    // partitioned budget never chokes the frontend while the visitor is
+    // resident; what the aware run changes is only the visitor's window.
+    web.share = 3.0;
+    workloads.push_back(std::move(web));
+    Workload visitor;
+    visitor.name = "visitor";
+    visitor.trace = batch;
+    visitor.scheduler = std::make_unique<BmlScheduler>(
+        design, std::make_shared<OracleMaxPredictor>());
+    visitor.share = 1.0;
+    if (aware) {
+      visitor.arrive = result.arrive;
+      visitor.depart = result.depart;
+    }
+    workloads.push_back(std::move(visitor));
+    const Simulator simulator(design->candidates(), options);
+    return simulator.run(workloads);
+  };
+
+  result.aware = run_with(true);
+  result.baseline = run_with(false);
+  return result;
+}
+
 }  // namespace bml

@@ -235,4 +235,42 @@ struct DegradedPriorityResult {
 [[nodiscard]] DegradedPriorityResult run_degraded_priority(
     std::size_t days = 1, std::uint64_t seed = 7);
 
+// ----------------------------------------------- Tenant lifecycle
+
+/// Tenant churn vs static over-provisioning: a diurnal web frontend runs
+/// all day while a batch tenant is only resident for the middle half of
+/// the horizon. The same pool — designed for the combined peak — runs
+/// twice: once lifecycle-aware (the visitor arrives and departs mid-run,
+/// the coordinator re-partitions capacity shares at each churn event and
+/// the departed tenant's machines drain through the normal transition
+/// path) and once statically over-provisioned (the visitor is treated as
+/// permanent, holding its capacity for the full horizon). The delta
+/// quantifies what tenancy-awareness buys: the energy of the absent
+/// tenant's idle window, at an unchanged served fraction for the
+/// always-on frontend.
+struct TenantChurnResult {
+  /// Lifecycle-aware run: the visitor is active on [arrive, depart).
+  MultiSimulationResult aware;
+  /// Static over-provisioning: identical workloads, visitor always on.
+  MultiSimulationResult baseline;
+  /// The visitor's residency window (s since trace start).
+  TimePoint arrive = 0;
+  TimePoint depart = 0;
+
+  /// Energy tenancy-awareness saved (baseline minus aware, J; positive =
+  /// draining the absent tenant's machines was cheaper).
+  [[nodiscard]] Joules energy_saved() const {
+    return baseline.total.total_energy() - aware.total.total_energy();
+  }
+  /// Served-fraction delta of the always-on frontend (aware minus
+  /// baseline) — near zero: churn must not degrade resident tenants.
+  [[nodiscard]] double frontend_served_delta() const {
+    return aware.apps.front().qos_stats.served_fraction() -
+           baseline.apps.front().qos_stats.served_fraction();
+  }
+};
+
+[[nodiscard]] TenantChurnResult run_tenant_churn(std::size_t days = 1,
+                                                 std::uint64_t seed = 7);
+
 }  // namespace bml

@@ -139,6 +139,7 @@ const char* to_string(SpanEndCause cause) {
     case SpanEndCause::kCrewCompletion: return "crew-completion";
     case SpanEndCause::kSloCrossing: return "slo-crossing";
     case SpanEndCause::kOverloadCrossing: return "overload-crossing";
+    case SpanEndCause::kChurn: return "churn";
     case SpanEndCause::kDayBoundary: return "day-boundary";
     case SpanEndCause::kTraceEnd: return "trace-end";
   }
@@ -166,6 +167,7 @@ void SimMetrics::merge(const SimMetrics& other) {
   merge_frontier_advances += other.merge_frontier_advances;
   merge_apps_max = std::max(merge_apps_max, other.merge_apps_max);
   preemptions += other.preemptions;
+  apps_active_max = std::max(apps_active_max, other.apps_active_max);
   span_seconds.merge(other.span_seconds);
 }
 
@@ -182,6 +184,7 @@ void SimMetrics::export_to(MetricsRegistry& out) const {
   out.add_counter("sim.merge.frontier_advances", merge_frontier_advances);
   out.max_gauge("sim.merge.apps_max", static_cast<double>(merge_apps_max));
   out.add_counter("sim.preemptions", preemptions);
+  out.max_gauge("sim.apps_active", static_cast<double>(apps_active_max));
   if (span_seconds.configured())
     out.merge_histogram("sim.span_seconds", span_seconds);
 }

@@ -137,12 +137,16 @@ enum class SpanEndCause {
   /// The offered load crossed the On fleet's rated capacity while
   /// degraded-mode serving is on (overload entry or exit).
   kOverloadCrossing,
+  /// A tenant arrival or departure is due (Workload::arrive / depart):
+  /// the active-app set changes at the span end, so attribution
+  /// integrands never straddle a churn event.
+  kChurn,
   /// The span was clamped at a day boundary (per-day energy buckets).
   kDayBoundary,
   /// The replay ran out of trace.
   kTraceEnd,
 };
-inline constexpr std::size_t kSpanEndCauseCount = 9;
+inline constexpr std::size_t kSpanEndCauseCount = 10;
 
 [[nodiscard]] const char* to_string(SpanEndCause cause);
 
@@ -175,6 +179,10 @@ struct SimMetrics {
   /// Machines preempted from low-priority apps to backfill high-priority
   /// ones after strikes (units, summed over all preemption instants).
   std::uint64_t preemptions = 0;
+  /// Largest number of simultaneously active tenants the run saw
+  /// (tenant lifecycle; equals the app count for fixed-tenant runs).
+  /// Merged as a maximum and exported as the sim.apps_active gauge.
+  std::uint64_t apps_active_max = 0;
   /// Span lengths in seconds (event-driven path only).
   Histogram span_seconds;
 

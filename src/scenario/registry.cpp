@@ -9,6 +9,7 @@
 #include "sched/bml_scheduler.hpp"
 #include "sched/cost_aware.hpp"
 #include "trace/synthetic.hpp"
+#include "trace/transforms.hpp"
 #include "trace/wc98.hpp"
 #include "util/csv.hpp"
 
@@ -280,6 +281,29 @@ LoadTrace make_trace(const std::string& name,
     trace = load_any(path, origin);
   } else {
     unknown_component("trace", name, trace_components());
+  }
+  // Composable post-generator transforms, applied seasonality-first so
+  // spikes ride on top of the shaped envelope rather than being scaled
+  // by it. Sub-keys are only consumed when their channel is enabled, so
+  // a stray `seasonal.peak_hour` without an amplitude fails loudly in
+  // finish() instead of being silently dropped.
+  const double seasonal_diurnal = reader.get_double("seasonal.diurnal", 0.0);
+  const double seasonal_weekly = reader.get_double("seasonal.weekly", 0.0);
+  if (seasonal_diurnal > 0.0 || seasonal_weekly > 0.0) {
+    const double peak_hour = reader.get_double("seasonal.peak_hour", 18.0);
+    trace = compose_seasonality(trace, seasonal_diurnal, seasonal_weekly,
+                                peak_hour);
+  }
+  const double spike_interarrival =
+      reader.get_double("spikes.interarrival", 0.0);
+  if (spike_interarrival > 0.0) {
+    const double magnitude = reader.get_double("spikes.magnitude", 100.0);
+    const double alpha = reader.get_double("spikes.alpha", 1.5);
+    const auto duration =
+        static_cast<std::size_t>(reader.get_uint("spikes.duration", 60));
+    const std::uint64_t spike_seed = reader.get_uint("spikes.seed", seed);
+    trace = add_spikes(trace, spike_interarrival, magnitude, alpha, duration,
+                       spike_seed);
   }
   reader.finish();
   return trace;

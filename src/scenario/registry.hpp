@@ -165,7 +165,12 @@ struct ComponentInfo {
     const std::map<std::string, std::string>& params);
 
 /// Builds the named trace; generators with randomness default their seed
-/// to `seed`.
+/// to `seed`. Every generator additionally accepts the composable
+/// post-transforms `seasonal.diurnal` / `seasonal.weekly` (multiplicative
+/// cosine envelopes, amplitude in [0, 1], optional `seasonal.peak_hour`)
+/// and `spikes.interarrival` (heavy-tailed Pareto spike overlay with
+/// `spikes.magnitude` / `spikes.alpha` / `spikes.duration` /
+/// `spikes.seed`, the seed defaulting to `seed`).
 [[nodiscard]] LoadTrace make_trace(
     const std::string& name, const std::map<std::string, std::string>& params,
     std::uint64_t seed);

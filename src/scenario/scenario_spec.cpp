@@ -119,6 +119,12 @@ void AppSpec::set(const std::string& key, const std::string& value) {
     slo_spare = parse_slo_spare("app slo.spare", value);
   } else if (key == "priority") {
     priority = parse_count("app priority", value);
+  } else if (key == "arrive") {
+    arrive = static_cast<std::int64_t>(parse_seed("app arrive", value));
+  } else if (key == "depart") {
+    depart = static_cast<std::int64_t>(parse_seed("app depart", value));
+    if (depart < 1)
+      throw std::runtime_error("scenario: app depart must be >= 1");
   } else if (key.starts_with("trace.")) {
     trace_params[key.substr(6)] = value;
   } else if (key.starts_with("scheduler.")) {
@@ -226,6 +232,16 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
     degrade_overload_factor = parse_fraction(key, value);
   } else if (key == "degrade.penalty") {
     degrade_penalty = parse_slo_target(key, value);
+  } else if (key == "churn.interarrival") {
+    churn_interarrival = parse_fraction(key, value);
+  } else if (key == "churn.lifetime") {
+    churn_lifetime = parse_fraction(key, value);
+  } else if (key == "churn.template") {
+    churn_template = parse_count(key, value);
+  } else if (key == "churn.max") {
+    churn_max = parse_count(key, value);
+  } else if (key == "churn.seed") {
+    churn_seed = static_cast<std::int64_t>(parse_seed(key, value));
   } else if (key == "priority") {
     priority = parse_count(key, value);
   } else if (key == "obs.metrics") {
@@ -389,6 +405,17 @@ std::string write_scenario(const ScenarioSpec& spec) {
             << "degrade.penalty = " << spec.degrade_penalty << '\n';
     os << degrade.str();
   }
+  if (spec.churn_interarrival != 0.0 || spec.churn_lifetime != 0.0) {
+    std::ostringstream churn;
+    churn.precision(17);
+    churn << "churn.interarrival = " << spec.churn_interarrival << '\n'
+          << "churn.lifetime = " << spec.churn_lifetime << '\n';
+    os << churn.str();
+  }
+  if (spec.churn_template != 0)
+    os << "churn.template = " << spec.churn_template << '\n';
+  if (spec.churn_max != 0) os << "churn.max = " << spec.churn_max << '\n';
+  if (spec.churn_seed >= 0) os << "churn.seed = " << spec.churn_seed << '\n';
   if (spec.priority != 0) os << "priority = " << spec.priority << '\n';
   if (spec.obs_metrics) os << "obs.metrics = true\n";
   if (spec.obs_trace) os << "obs.trace = true\n";
@@ -414,6 +441,8 @@ std::string write_scenario(const ScenarioSpec& spec) {
       os << "fault_domain = " << app.fault_domain << '\n';
     if (app.priority != 0) os << "priority = " << app.priority << '\n';
     if (app.replicas != 1) os << "replicas = " << app.replicas << '\n';
+    if (app.arrive != 0) os << "arrive = " << app.arrive << '\n';
+    if (app.depart >= 0) os << "depart = " << app.depart << '\n';
     if (app.slo_availability > 0.0 || app.slo_spare != 0.25) {
       std::ostringstream app_slo;
       app_slo.precision(17);

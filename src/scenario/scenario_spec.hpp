@@ -108,6 +108,13 @@ struct AppSpec {
   /// thousands of workloads without thousands of [app] sections. Copies
   /// sharing a non-empty fault_domain still share one domain.
   int replicas = 1;
+  /// Tenant lifecycle (`arrive` / `depart` keys, whole seconds): the app
+  /// serves only over [arrive, depart). `arrive` 0 = present from the
+  /// start; `depart` -1 = stays to the end. When both defaults hold for
+  /// every app (and no churn.* generator runs) the scenario is the classic
+  /// fixed-tenant model, byte-identical to a lifecycle-unaware build.
+  std::int64_t arrive = 0;
+  std::int64_t depart = -1;
 
   /// Routes one section-local `key = value` assignment; throws
   /// std::runtime_error on unknown keys or malformed typed values.
@@ -188,6 +195,23 @@ struct ScenarioSpec {
   /// keeps the shared catalog/trace/design build.
   double degrade_overload_factor = 0.0;
   double degrade_penalty = 0.5;
+  /// Stochastic tenant churn (`churn.*` keys; all runtime-only, so
+  /// sweeping them keeps the shared catalog/trace/design build). When
+  /// both `churn.interarrival` and `churn.lifetime` are > 0, the sweep
+  /// build appends a seed-deterministic stream of transient tenants:
+  /// exponential arrival gaps of mean `churn.interarrival` seconds,
+  /// exponential lifetimes of mean `churn.lifetime` seconds, each clone
+  /// stamped from the [app] section indexed by `churn.template` (its
+  /// built trace is shared; scheduler/predictor are fresh instances).
+  /// `churn.max` caps the clone count (0 = unlimited) and `churn.seed`
+  /// overrides the master seed for the churn stream (-1 inherits). The
+  /// draws are state-independent, so results are identical across
+  /// --threads values.
+  double churn_interarrival = 0.0;
+  double churn_lifetime = 0.0;
+  int churn_template = 0;
+  int churn_max = 0;
+  std::int64_t churn_seed = -1;
   /// Priority class of the classic single-app workload (`priority` key),
   /// exactly like the top-level trace / scheduler fields. Only meaningful
   /// across multiple [app] sections (validated at build time).

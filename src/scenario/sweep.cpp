@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <map>
 #include <optional>
@@ -14,6 +15,7 @@
 #include "scenario/registry.hpp"
 #include "util/csv.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace bml {
@@ -190,6 +192,59 @@ bool spec_priority_enabled(const ScenarioSpec& spec) {
   return false;
 }
 
+/// Tenant churn: configured either explicitly (any [app] with a non-default
+/// arrive/depart window) or stochastically (both churn.* rates set). Gates
+/// the churn CSV column group on configuration, not outcome, like faults.
+bool spec_churn_enabled(const ScenarioSpec& spec) {
+  if (spec.churn_interarrival > 0.0 && spec.churn_lifetime > 0.0) return true;
+  for (const AppSpec& app : effective_apps(spec))
+    if (app.arrive > 0 || app.depart >= 0) return true;
+  return false;
+}
+
+/// Exponential whole-second draw, >= 1 s — the same transform the fault
+/// timeline uses, so churn gaps and lifetimes follow the repo-wide idiom.
+/// State-independent: each draw consumes exactly one uniform, so the
+/// stream is a pure function of (seed, draw index) and results are
+/// identical across --threads values.
+TimePoint churn_exponential_seconds(Rng& rng, double mean) {
+  const double u = rng.uniform(0.0, 1.0);
+  const double draw = std::min(-mean * std::log(1.0 - u), 1.0e15);
+  return std::max<TimePoint>(1, static_cast<TimePoint>(std::ceil(draw)));
+}
+
+/// One stochastic transient tenant: active over [arrive, depart).
+struct TenantClone {
+  TimePoint arrive;
+  TimePoint depart;
+};
+
+/// Draws the churn timeline for a spec: exponential arrival gaps of mean
+/// churn.interarrival, exponential lifetimes of mean churn.lifetime,
+/// stopping at the trace horizon (arrivals at or past it would never
+/// serve) or at churn.max clones. The stream is salted off the churn seed
+/// exactly like the fault timeline's channels, so trace / fault noise is
+/// untouched by turning churn on.
+std::vector<TenantClone> churn_timeline(const ScenarioSpec& spec,
+                                        TimePoint horizon) {
+  std::vector<TenantClone> clones;
+  const std::uint64_t base = spec.churn_seed >= 0
+                                 ? static_cast<std::uint64_t>(spec.churn_seed)
+                                 : spec.seed;
+  Rng rng(base + 0x9E3779B97F4A7C15ULL * 0x636875726EULL);  // "churn"
+  TimePoint at = 0;
+  while (true) {
+    at += churn_exponential_seconds(rng, spec.churn_interarrival);
+    if (at >= horizon) break;
+    clones.push_back(
+        TenantClone{at, at + churn_exponential_seconds(rng, spec.churn_lifetime)});
+    if (spec.churn_max > 0 &&
+        clones.size() >= static_cast<std::size_t>(spec.churn_max))
+      break;
+  }
+  return clones;
+}
+
 /// The expensive immutable artifacts of a scenario: catalog, traces (and
 /// their compiled RLE forms), the design (with its CombinationTable /
 /// DecisionThresholds), and the dispatch plan. Everything here is
@@ -299,14 +354,48 @@ ScenarioResult run_built(const ScenarioSpec& spec, const ScenarioBuild& build,
         "scenario: priority = " + std::to_string(apps[0].priority) +
         " has no effect on a single-workload spec with coordinator = sum; "
         "priority ranks colocated [app] sections");
-  std::vector<std::string> names(apps.size());
+
+  // Stochastic tenant churn: a runtime-only expansion (the shared build
+  // is untouched — clones alias the template's built trace and compiled
+  // form, and the design stays sized for the declared tenants, which is
+  // exactly what a churn-aware coordinator must cope with).
+  const bool churn_on =
+      spec.churn_interarrival > 0.0 || spec.churn_lifetime > 0.0;
+  std::size_t churn_tmpl = 0;
+  std::vector<TenantClone> clones;
+  if (churn_on) {
+    if (!(spec.churn_interarrival > 0.0) || !(spec.churn_lifetime > 0.0))
+      throw std::runtime_error(
+          "scenario: churn.interarrival and churn.lifetime must be set "
+          "together");
+    const std::size_t sections = spec.apps.empty() ? 1 : spec.apps.size();
+    if (static_cast<std::size_t>(spec.churn_template) >= sections)
+      throw std::runtime_error(
+          "scenario: churn.template = " + std::to_string(spec.churn_template) +
+          " but the spec declares " + std::to_string(sections) +
+          " [app] section(s)");
+    // churn.template addresses the raw [app] section; replicas expansion
+    // maps it to the section's first effective app.
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(spec.churn_template); ++k)
+      churn_tmpl += static_cast<std::size_t>(spec.apps[k].replicas);
+    TimePoint horizon = 0;
+    for (const LoadTrace* t : build.traces)
+      horizon = std::max(horizon, static_cast<TimePoint>(t->size()));
+    clones = churn_timeline(spec, horizon);
+  }
+  const std::size_t total = apps.size() + clones.size();
+
+  std::vector<std::string> names(total);
   for (std::size_t i = 0; i < apps.size(); ++i)
     names[i] =
         apps[i].name.empty() ? "app" + std::to_string(i) : apps[i].name;
+  for (std::size_t j = 0; j < clones.size(); ++j)
+    names[apps.size() + j] = names[churn_tmpl] + "+c" + std::to_string(j);
 
-  std::vector<QosClass> qos(apps.size());
+  std::vector<QosClass> qos(total);
   std::vector<std::unique_ptr<Scheduler>> schedulers;
-  schedulers.reserve(apps.size());
+  schedulers.reserve(total);
   for (std::size_t i = 0; i < apps.size(); ++i) {
     qos[i] = parse_qos_class(apps[i].qos);
     std::shared_ptr<Predictor> predictor = make_predictor(
@@ -314,6 +403,19 @@ ScenarioResult run_built(const ScenarioSpec& spec, const ScenarioBuild& build,
     schedulers.push_back(make_scheduler(apps[i].scheduler,
                                         apps[i].scheduler_params, build.design,
                                         std::move(predictor), qos[i]));
+  }
+  for (std::size_t j = 0; j < clones.size(); ++j) {
+    // Clones get fresh scheduler/predictor instances with their own
+    // derived seeds (continuing the app_seed index space past the
+    // declared tenants), exactly like replica expansion.
+    const AppSpec& tmpl = apps[churn_tmpl];
+    const std::size_t idx = apps.size() + j;
+    qos[idx] = parse_qos_class(tmpl.qos);
+    std::shared_ptr<Predictor> predictor = make_predictor(
+        tmpl.predictor, tmpl.predictor_params, app_seed(spec, idx));
+    schedulers.push_back(make_scheduler(tmpl.scheduler, tmpl.scheduler_params,
+                                        build.design, std::move(predictor),
+                                        qos[idx]));
   }
 
   SimulatorOptions options;
@@ -348,7 +450,7 @@ ScenarioResult run_built(const ScenarioSpec& spec, const ScenarioBuild& build,
 
   const Simulator simulator(build.design->candidates(), build.plan, options);
   std::vector<Simulator::WorkloadView> views;
-  views.reserve(apps.size());
+  views.reserve(total);
   for (std::size_t i = 0; i < apps.size(); ++i) {
     Simulator::WorkloadView view{
         &names[i], build.traces[i], schedulers[i].get(), qos[i],
@@ -356,6 +458,22 @@ ScenarioResult run_built(const ScenarioSpec& spec, const ScenarioBuild& build,
     view.slo_availability = apps[i].slo_availability;
     view.slo_spare = apps[i].slo_spare;
     view.priority = apps[i].priority;
+    view.arrive = apps[i].arrive;
+    view.depart = apps[i].depart;
+    views.push_back(view);
+  }
+  for (std::size_t j = 0; j < clones.size(); ++j) {
+    const AppSpec& tmpl = apps[churn_tmpl];
+    const std::size_t idx = apps.size() + j;
+    Simulator::WorkloadView view{
+        &names[idx], build.traces[churn_tmpl], schedulers[idx].get(),
+        qos[idx], tmpl.share, build.compiled[churn_tmpl],
+        &tmpl.fault_domain};
+    view.slo_availability = tmpl.slo_availability;
+    view.slo_spare = tmpl.slo_spare;
+    view.priority = tmpl.priority;
+    view.arrive = clones[j].arrive;
+    view.depart = clones[j].depart;
     views.push_back(view);
   }
   MultiSimulationResult multi = simulator.run(views);
@@ -493,6 +611,9 @@ SweepReport run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
         row.penalty_lost = result.sim.penalty_lost_capacity;
         row.priority_enabled = spec_priority_enabled(result.spec);
         row.preemptions = result.sim.preemptions;
+        row.churn_enabled = spec_churn_enabled(result.spec);
+        row.arrivals = result.sim.arrivals;
+        row.departures = result.sim.departures;
         row.apps.reserve(result.apps.size());
         for (const WorkloadResult& app : result.apps)
           row.apps.push_back(SweepAppRow{
@@ -501,7 +622,7 @@ SweepReport run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
               app.qos_stats.served_fraction(), app.availability,
               app.lost_capacity, app.spare_seconds, app.spare_energy,
               app.overload_seconds, app.penalty_lost_capacity,
-              app.preempted_seconds});
+              app.preempted_seconds, app.active_seconds});
         row.wall_seconds = result.wall_seconds;
         row.metrics = result.sim.metrics;
         if (options.keep_results) report.results[i] = std::move(result);
@@ -540,6 +661,7 @@ std::string SweepReport::to_csv() const {
   bool slo = false;
   bool degraded = false;
   bool prioritized = false;
+  bool churned = false;
   for (const SweepRow& row : rows) {
     max_apps = std::max(max_apps, row.apps.size());
     faulty = faulty || row.faults_enabled;
@@ -547,10 +669,12 @@ std::string SweepReport::to_csv() const {
     slo = slo || row.slo_enabled;
     degraded = degraded || row.degrade_enabled;
     prioritized = prioritized || row.priority_enabled;
+    churned = churned || row.churn_enabled;
   }
   const bool per_app = max_apps >= 2;
   const std::size_t app_columns = 5 + (faulty ? 2 : 0) + (slo ? 2 : 0) +
-                                  (degraded ? 2 : 0) + (prioritized ? 1 : 0);
+                                  (degraded ? 2 : 0) + (prioritized ? 1 : 0) +
+                                  (churned ? 1 : 0);
 
   CsvWriter writer;
   std::vector<std::string> header{"scenario"};
@@ -574,6 +698,9 @@ std::string SweepReport::to_csv() const {
     for (const char* column : {"overload_seconds", "penalty_lost_req_s"})
       header.emplace_back(column);
   if (prioritized) header.emplace_back("preemptions");
+  if (churned)
+    for (const char* column : {"arrivals", "departures"})
+      header.emplace_back(column);
   if (per_app)
     for (std::size_t i = 0; i < max_apps; ++i) {
       const std::string prefix = "app" + std::to_string(i) + "_";
@@ -591,6 +718,7 @@ std::string SweepReport::to_csv() const {
         for (const char* column : {"overload_seconds", "penalty_lost_req_s"})
           header.push_back(prefix + column);
       if (prioritized) header.push_back(prefix + "preempted_seconds");
+      if (churned) header.push_back(prefix + "active_seconds");
     }
   writer.set_header(std::move(header));
 
@@ -621,6 +749,10 @@ std::string SweepReport::to_csv() const {
       cells.push_back(csv_num(row.penalty_lost));
     }
     if (prioritized) cells.push_back(std::to_string(row.preemptions));
+    if (churned) {
+      cells.push_back(std::to_string(row.arrivals));
+      cells.push_back(std::to_string(row.departures));
+    }
     if (per_app)
       for (std::size_t i = 0; i < max_apps; ++i) {
         if (i < row.apps.size()) {
@@ -644,6 +776,7 @@ std::string SweepReport::to_csv() const {
           }
           if (prioritized)
             cells.push_back(std::to_string(app.preempted_seconds));
+          if (churned) cells.push_back(std::to_string(app.active_seconds));
         } else {
           cells.insert(cells.end(), app_columns, "");
         }

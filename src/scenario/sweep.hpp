@@ -80,6 +80,10 @@ struct SweepAppRow {
   /// by priority): seconds this app had provisioned machines preempted
   /// away after a strike.
   std::int64_t preempted_seconds = 0;
+  /// Tenant-lifecycle slice (CSV column appears only when some row
+  /// configures churn or an app active interval): seconds this tenant was
+  /// active — the window its QoS and energy integrals cover.
+  std::int64_t active_seconds = 0;
 };
 
 /// Aggregate metrics of one scenario — the sweep's unit of reporting.
@@ -129,6 +133,12 @@ struct SweepRow {
   /// preemption columns.
   bool priority_enabled = false;
   int preemptions = 0;
+  /// Tenant lifecycle: `churn_enabled` records whether this row's
+  /// configuration declares churn rates or a per-app active interval,
+  /// gating the arrival/departure columns (configuration, not outcome).
+  bool churn_enabled = false;
+  int arrivals = 0;
+  int departures = 0;
   /// Per-app attribution, parallel to the scenario's app list.
   std::vector<SweepAppRow> apps;
   double wall_seconds = 0.0;
@@ -176,8 +186,10 @@ struct SweepReport {
   /// any row) appends overload_seconds / penalty_lost_req_s (cluster and
   /// per-app), and differing app priorities append preemptions (cluster)
   /// and preempted_seconds (per-app); specs without the new keys keep the
-  /// previous schema byte-for-byte. Excludes wall-clock timings, so the
-  /// bytes are identical across thread counts.
+  /// previous schema byte-for-byte. A configured tenant lifecycle (churn
+  /// rates or an app arrive/depart interval on any row) appends arrivals /
+  /// departures (cluster) and active_seconds (per-app). Excludes
+  /// wall-clock timings, so the bytes are identical across thread counts.
   [[nodiscard]] std::string to_csv() const;
 
   /// Console summary rendered with util/table.

@@ -66,9 +66,19 @@ Coordinator::Coordinator(const Catalog& candidates, CoordinatorMode mode,
 ReqRate Coordinator::capacity_cap(std::size_t i) const {
   if (i >= shares_.size())
     throw std::out_of_range("Coordinator: app index out of range");
-  if (mode_ != CoordinatorMode::kPartitioned || budget_ <= 0.0)
+  if (mode_ != CoordinatorMode::kPartitioned || budget_ <= 0.0 ||
+      share_total_ <= 0.0)
     return std::numeric_limits<ReqRate>::infinity();
   return budget_ * (shares_[i] / share_total_);
+}
+
+void Coordinator::set_active(const std::vector<char>& active) {
+  if (active.size() != shares_.size())
+    throw std::invalid_argument(
+        "Coordinator: active mask does not match workload count");
+  share_total_ = 0.0;
+  for (std::size_t i = 0; i < shares_.size(); ++i)
+    if (active[i]) share_total_ += shares_[i];
 }
 
 Combination Coordinator::merge(const std::vector<Combination>& proposals,

@@ -94,6 +94,15 @@ class Coordinator {
   /// +infinity in sum mode or with no budget.
   [[nodiscard]] ReqRate capacity_cap(std::size_t i) const;
 
+  /// Re-partitions the capacity shares over the active tenant subset
+  /// (tenant lifecycle, Workload::arrive / depart): the partitioned cap
+  /// denominators sum the *active* apps' share weights only, so a
+  /// departure hands its slice back to the survivors and an arrival
+  /// claims one. `active` must be one flag per workload; an all-active
+  /// mask restores the constructor's partition exactly. With no active
+  /// app every cap is +infinity (there is nothing to partition between).
+  void set_active(const std::vector<char>& active);
+
   [[nodiscard]] CoordinatorMode mode() const { return mode_; }
   [[nodiscard]] std::size_t apps() const { return shares_.size(); }
   /// True when the priority-ordered total-budget trim is in effect (at

@@ -6,7 +6,7 @@
 namespace bml {
 
 namespace {
-constexpr std::size_t kKindCount = 13;
+constexpr std::size_t kKindCount = 15;
 }
 
 const char* to_string(EventKind kind) {
@@ -25,6 +25,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kPreemption: return "preemption";
     case EventKind::kOverloadEnter: return "overload-enter";
     case EventKind::kOverloadExit: return "overload-exit";
+    case EventKind::kAppArrival: return "app-arrival";
+    case EventKind::kAppDeparture: return "app-departure";
   }
   throw std::logic_error("to_string(EventKind): invalid kind");
 }

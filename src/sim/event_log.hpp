@@ -39,6 +39,8 @@ enum class EventKind {
   kPreemption,
   kOverloadEnter,
   kOverloadExit,
+  kAppArrival,
+  kAppDeparture,
 };
 
 [[nodiscard]] const char* to_string(EventKind kind);
@@ -53,6 +55,7 @@ enum class EventKind {
 ///   spare provision/release  — the SLO app's name
 ///   preemption               — machines taken and the victim app's name
 ///   overload enter/exit      — spill-over above rated capacity in req/s
+///   app arrival/departure    — the tenant's name
 struct SimEvent {
   TimePoint time = 0;
   EventKind kind = EventKind::kReconfigurationStart;

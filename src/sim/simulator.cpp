@@ -64,6 +64,8 @@ MultiSimulationResult Simulator::run(std::vector<Workload>& workloads) const {
     v.slo_availability = w.slo_availability;
     v.slo_spare = w.slo_spare;
     v.priority = w.priority;
+    v.arrive = w.arrive;
+    v.depart = w.depart;
     views.push_back(v);
   }
   return run_views(views);
@@ -278,6 +280,25 @@ struct Run {
   std::vector<Combination> preempted;
   std::vector<Combination> preempted_scratch;
   std::vector<std::int64_t> app_preempted_seconds;
+  /// Tenant-lifecycle state (any view with arrive > 0 or depart >= 0):
+  /// the current active mask, the pre-sorted arrival/departure timeline
+  /// (consumed front to back — events bound fast-path spans exactly like
+  /// faults, so the active set is constant inside one), and the per-app
+  /// active-seconds integrals. `lifecycle_dirty` forces a merge at the
+  /// next consult so churn re-partitions capacity through the normal
+  /// decision path; fixed-tenant runs leave all of this disengaged.
+  bool lifecycle_enabled = false;
+  std::vector<char> active;
+  std::size_t active_count = 0;
+  struct LifecycleEvent {
+    TimePoint time;
+    std::size_t app;
+    bool departure;
+  };
+  std::vector<LifecycleEvent> lifecycle_events;
+  std::size_t next_lifecycle = 0;
+  bool lifecycle_dirty = false;
+  std::vector<std::int64_t> app_active_seconds;
 };
 
 using WorkloadView = Simulator::WorkloadView;
@@ -286,6 +307,16 @@ void update_transition_shares(const Catalog& candidates, Run& run) {
   double total = 0.0;
   for (const Combination& c : run.contributions)
     total += capacity(candidates, c);
+  if (run.lifecycle_enabled && total <= 0.0) {
+    // Equal split makes no sense over departed tenants: spread the
+    // (attribution-only) weight over the active set instead.
+    for (std::size_t i = 0; i < run.contributions.size(); ++i)
+      run.transition_shares[i] =
+          run.active[i] && run.active_count > 0
+              ? 1.0 / static_cast<double>(run.active_count)
+              : 0.0;
+    return;
+  }
   const auto n = static_cast<double>(run.contributions.size());
   for (std::size_t i = 0; i < run.contributions.size(); ++i)
     run.transition_shares[i] =
@@ -331,6 +362,9 @@ void current_spare_flags(Run& run, TimePoint t, std::vector<char>& flags) {
   }
   for (std::size_t i = 0; i < run.slo_budget.size(); ++i) {
     if (run.slo_budget[i] < 0.0) continue;
+    // A departed (or not-yet-arrived) tenant's flag is pinned clear: no
+    // spares are held for apps that are not serving.
+    if (run.lifecycle_enabled && !run.active[i]) continue;
     const std::size_t d = fr.domain_of[i];
     flags[i] = static_cast<double>(window_unavailable(
                    fr, d, t, run.slo_window)) > run.slo_budget[i];
@@ -349,6 +383,8 @@ TimePoint next_slo_crossing(const Run& run, TimePoint t, TimePoint limit) {
   for (std::size_t i = 0; i < run.slo_budget.size(); ++i) {
     const double budget = run.slo_budget[i];
     if (budget < 0.0) continue;
+    // Inactive tenants' flags are pinned clear, so they cannot cross.
+    if (run.lifecycle_enabled && !run.active[i]) continue;
     const std::size_t d = fr.domain_of[i];
     // A clean window stays clean: no downtime can enter it inside a span.
     if (fr.down_since[d] < 0 && fr.outages[d].empty()) continue;
@@ -480,6 +516,66 @@ void account_preemption_span(Run& run, TimePoint span) {
       run.app_preempted_seconds[i] += span;
 }
 
+/// Applies every tenant arrival / departure due at `now` (shared verbatim
+/// by both execution strategies — churn events bound fast-path spans, so
+/// the active set is constant inside one). An arrival re-seeds the app's
+/// proposal from its scheduler's initial combination; a departure clears
+/// it. Either way the coordinator re-partitions its capacity shares over
+/// the new active set and `lifecycle_dirty` forces a merge at the next
+/// consult — departures release their machines through the normal
+/// (graceful) transition path, never by teleporting fleet state.
+bool apply_lifecycle_events(const std::vector<WorkloadView>& views,
+                            TimePoint now, const Catalog& candidates,
+                            Run& run, EventLog* events) {
+  bool changed = false;
+  while (run.next_lifecycle < run.lifecycle_events.size() &&
+         run.lifecycle_events[run.next_lifecycle].time <= now) {
+    const Run::LifecycleEvent e = run.lifecycle_events[run.next_lifecycle];
+    ++run.next_lifecycle;
+    const std::size_t i = e.app;
+    if (e.departure) {
+      if (!run.active[i]) continue;
+      run.active[i] = 0;
+      --run.active_count;
+      run.proposals[i] = Combination{};
+      run.proposals[i].resize(candidates.size());
+      ++run.result.departures;
+      changed = true;
+      if (events)
+        events->record(now, EventKind::kAppDeparture, *views[i].name);
+    } else {
+      if (run.active[i]) continue;
+      run.active[i] = 1;
+      ++run.active_count;
+      Combination c = views[i].scheduler->initial_combination(*views[i].trace);
+      c.resize(candidates.size());
+      run.proposals[i] = std::move(c);
+      // Force a real consult for the newcomer at the next decision point.
+      if (run.fleet_mode) run.consult_until[i] = -1;
+      ++run.result.arrivals;
+      changed = true;
+      if (events)
+        events->record(now, EventKind::kAppArrival, *views[i].name);
+    }
+  }
+  if (changed) {
+    run.coordinator.set_active(run.active);
+    run.lifecycle_dirty = true;
+    if (run.result.metrics.enabled &&
+        static_cast<std::uint64_t>(run.active_count) >
+            run.result.metrics.apps_active_max)
+      run.result.metrics.apps_active_max = run.active_count;
+  }
+  return changed;
+}
+
+/// Integrates per-tenant active seconds over a span whose active set is
+/// constant (1 s in the reference loop; a whole span on the fast path).
+void account_lifecycle_span(Run& run, TimePoint span) {
+  for (std::size_t i = 0; i < run.active.size(); ++i)
+    if (run.active[i]) run.app_active_seconds[i] += span;
+}
+
 Run make_run(const Catalog& candidates, const SimulatorOptions& options,
              std::shared_ptr<const DispatchPlan> plan,
              const std::vector<WorkloadView>& views) {
@@ -488,19 +584,35 @@ Run make_run(const Catalog& candidates, const SimulatorOptions& options,
   std::vector<int> priorities;
   shares.reserve(views.size());
   priorities.reserve(views.size());
+  bool lifecycle = false;
   for (const WorkloadView& v : views) {
     shares.push_back(v.share);
     if (v.priority < 0)
       throw std::invalid_argument("Simulator: priority must be >= 0");
     priorities.push_back(v.priority);
+    if (v.arrive < 0)
+      throw std::invalid_argument("Simulator: arrive must be >= 0");
+    if (v.depart >= 0 && v.depart <= v.arrive)
+      throw std::invalid_argument("Simulator: depart must be > arrive");
+    if (v.arrive > 0 || v.depart >= 0) lifecycle = true;
   }
   Coordinator coordinator(candidates, options.coordinator, std::move(shares),
                           options.coordinator_budget, priorities);
+  std::vector<char> active;
+  if (lifecycle) {
+    active.assign(views.size(), 1);
+    for (std::size_t i = 0; i < views.size(); ++i)
+      if (views[i].arrive > 0) active[i] = 0;
+    coordinator.set_active(active);
+  }
 
   std::vector<Combination> proposals;
   proposals.reserve(views.size());
   for (const WorkloadView& v : views) {
-    Combination c = v.scheduler->initial_combination(*v.trace);
+    // A tenant that has not arrived yet proposes nothing: the initial
+    // fleet is sized for the apps serving at t = 0 only.
+    Combination c;
+    if (v.arrive <= 0) c = v.scheduler->initial_combination(*v.trace);
     c.resize(kinds);
     proposals.push_back(std::move(c));
   }
@@ -519,6 +631,32 @@ Run make_run(const Catalog& candidates, const SimulatorOptions& options,
   run.state.deferred_offs.assign(kinds, 0);
   run.proposals = std::move(proposals);
   run.contributions = std::move(contributions);
+  run.lifecycle_enabled = lifecycle;
+  run.active_count = views.size();
+  if (lifecycle) {
+    run.active = std::move(active);
+    run.active_count = 0;
+    for (const char a : run.active)
+      if (a) ++run.active_count;
+    run.app_active_seconds.assign(views.size(), 0);
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      if (views[i].arrive > 0)
+        run.lifecycle_events.push_back(
+            Run::LifecycleEvent{views[i].arrive, i, false});
+      if (views[i].depart >= 0)
+        run.lifecycle_events.push_back(
+            Run::LifecycleEvent{views[i].depart, i, true});
+    }
+    // Deterministic timeline: by time, arrivals before departures, by app
+    // index within a kind — all events at one instant land in one batch
+    // before any merge, so the order only shapes the event log.
+    std::sort(run.lifecycle_events.begin(), run.lifecycle_events.end(),
+              [](const Run::LifecycleEvent& a, const Run::LifecycleEvent& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.departure != b.departure) return !a.departure;
+                return a.app < b.app;
+              });
+  }
   run.transition_shares.assign(views.size(), 0.0);
   update_transition_shares(candidates, run);
   run.app_meters.assign(views.size(), EnergyMeter(1.0));
@@ -696,6 +834,8 @@ void finalize_run(Run& run, const SimulatorOptions& options,
     }
     if (run.priority_enabled)
       app.preempted_seconds = run.app_preempted_seconds[i];
+    app.active_seconds = run.lifecycle_enabled ? run.app_active_seconds[i]
+                                               : app.qos_stats.total_seconds;
   }
 }
 
@@ -759,6 +899,7 @@ void consult_and_apply(const std::vector<WorkloadView>& views, TimePoint now,
   if (use_cache) {
     std::uint64_t consults = 0;
     for (std::size_t i = 0; i < views.size(); ++i) {
+      if (run.lifecycle_enabled && !run.active[i]) continue;
       if (run.consult_until[i] > now) continue;
       ++consults;
       std::optional<Combination> d =
@@ -775,8 +916,11 @@ void consult_and_apply(const std::vector<WorkloadView>& views, TimePoint now,
     }
     if (metrics) metrics->scheduler_consults += consults;
   } else {
-    if (metrics) metrics->scheduler_consults += views.size();
+    if (metrics)
+      metrics->scheduler_consults +=
+          run.lifecycle_enabled ? run.active_count : views.size();
     for (std::size_t i = 0; i < views.size(); ++i) {
+      if (run.lifecycle_enabled && !run.active[i]) continue;
       std::optional<Combination> d =
           views[i].scheduler->decide(now, *views[i].trace, snap);
       if (d.has_value()) {
@@ -793,7 +937,8 @@ void consult_and_apply(const std::vector<WorkloadView>& views, TimePoint now,
     current_spare_flags(run, now, run.flags_scratch);
     slo_changed = run.flags_scratch != run.spare_flags;
   }
-  if (!any_new && !slo_changed) return;
+  if (!any_new && !slo_changed && !run.lifecycle_dirty) return;
+  run.lifecycle_dirty = false;
   if (run.slo_enabled) {
     // Refresh the provisioned spares from the *current* proposals: an
     // active flag rides on whatever the app now asks for. With priority
@@ -902,9 +1047,11 @@ void restore_after_failure(TimePoint now, const Catalog& candidates,
     // beyond that predates the failures and is the decision loop's to fix.
     const FaultRun& fr = *run.faults;
     int top = std::numeric_limits<int>::min();
-    for (std::size_t i = 0; i < views.size(); ++i)
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      if (run.lifecycle_enabled && !run.active[i]) continue;
       if (fr.failed_machines[fr.domain_of[i]] > 0 && views[i].priority > top)
         top = views[i].priority;
+    }
     for (Combination& c : run.preempted_scratch) {
       c = Combination{};
       c.resize(candidates.size());
@@ -1115,7 +1262,11 @@ ReqRate gather_loads(const std::vector<WorkloadView>& views, TimePoint now,
                      Run& run) {
   ReqRate total = 0.0;
   for (std::size_t i = 0; i < views.size(); ++i) {
-    run.loads[i] = views[i].trace->at(now);
+    // Inactive tenants offer exactly 0.0: summing the zero in app order
+    // keeps the total bit-identical to a gather over the active subset.
+    run.loads[i] = run.lifecycle_enabled && !run.active[i]
+                       ? 0.0
+                       : views[i].trace->at(now);
     total += run.loads[i];
   }
   return total;
@@ -1130,6 +1281,23 @@ ReqRate gather_loads(const std::vector<WorkloadView>& views, TimePoint now,
 void attribute_span(const std::vector<WorkloadView>& views, Run& run,
                     ReqRate total_load, const ClusterPower& power,
                     TimePoint span, ReqRate capacity) {
+  if (run.lifecycle_enabled) {
+    // Tenant-lifecycle runs attribute over the active subset only:
+    // inactive apps integrate nothing (their loads are pinned to 0.0), and
+    // an idle-cluster equal split spreads over the tenants present.
+    Cluster::split_capacity(run.loads, total_load, capacity, run.alloc);
+    const auto n_active = static_cast<double>(run.active_count);
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      if (!run.active[i]) continue;
+      run.app_qos[i].record_span(run.loads[i], run.alloc[i], span);
+      const double compute_share =
+          total_load > 0.0 ? run.loads[i] / total_load : 1.0 / n_active;
+      run.app_meters[i].add_span(power.compute * compute_share,
+                                 power.transition * run.transition_shares[i],
+                                 static_cast<std::size_t>(span));
+    }
+    return;
+  }
   const auto n = static_cast<double>(views.size());
   Cluster::split_capacity(run.loads, total_load, capacity, run.alloc);
   for (std::size_t i = 0; i < views.size(); ++i) {
@@ -1219,7 +1387,8 @@ TimePoint advance_span(const std::vector<WorkloadView>& views, Run& run,
   // the capacity, compute and transition shares are all exactly 1.0, so
   // the per-app accumulators would replay the cluster-wide streams
   // bit-for-bit — run_event_driven copies them at the end instead.
-  if (views.size() == 1 && options.record_power_every == 0) {
+  if (views.size() == 1 && options.record_power_every == 0 &&
+      !run.lifecycle_enabled) {
     // Fully fused single-workload walk — the innermost loop of the whole
     // simulator on noisy traces. QoS totals and the compute-energy
     // integral accumulate in registers and flush once per span through
@@ -1269,7 +1438,7 @@ TimePoint advance_span(const std::vector<WorkloadView>& views, Run& run,
                                   static_cast<std::size_t>(totals.seconds));
     return end;
   }
-  if (views.size() == 1) {
+  if (views.size() == 1 && !run.lifecycle_enabled) {
     // Single-workload with power recording: the bucketing needs per-run
     // powers, so go through the scratch rows and the run kernels.
     const CompiledTrace& trace = *compiled[0];
@@ -1311,12 +1480,22 @@ TimePoint advance_span(const std::vector<WorkloadView>& views, Run& run,
     // attribute_span) is operation-for-operation the per-sub-run walk it
     // replaces, so every accumulator stays bit-identical.
     const std::size_t k = views.size();
+    std::uint64_t advances = 0;
     for (std::size_t i = 0; i < k; ++i) {
+      // Inactive tenants hold a zero-load frontier entry pinned to the
+      // span end: their cursor is never probed, the 0.0 still sums in app
+      // order (bit-identical to the reference gather), and the advance
+      // loop below can never re-seat them (run end == span end).
+      if (run.lifecycle_enabled && !run.active[i]) {
+        run.loads[i] = 0.0;
+        run.run_ends[i] = end;
+        continue;
+      }
       const CompiledTrace::Run r = compiled[i]->run_at(cursors[i], begin);
       run.loads[i] = r.value;
       run.run_ends[i] = r.end;
+      ++advances;
     }
-    std::uint64_t advances = k;
     TimePoint cur = begin;
     while (cur < end) {
       TimePoint sub_end = end;
@@ -1381,6 +1560,7 @@ MultiSimulationResult Simulator::run_per_second(
   if (options_.collect_metrics) {
     run.result.metrics.enable();
     metrics = &run.result.metrics;
+    metrics->apps_active_max = static_cast<std::uint64_t>(run.active_count);
   }
   TraceRecording* timeline = nullptr;
   if (options_.record_timeline) {
@@ -1399,6 +1579,11 @@ MultiSimulationResult Simulator::run_per_second(
   for (std::size_t t = 0; t < n; ++t) {
     const auto now = static_cast<TimePoint>(t);
 
+    // Tenant arrivals and departures land first: the fault engine, the
+    // schedulers and the dispatcher all see the post-churn tenant set.
+    if (run.lifecycle_enabled)
+      apply_lifecycle_events(views, now, candidates_, run, events_ptr);
+
     // Fault events land at the start of the second, before any decision:
     // the scheduler and the dispatcher see the post-failure fleet.
     if (run.faults.has_value()) {
@@ -1411,6 +1596,7 @@ MultiSimulationResult Simulator::run_per_second(
                         events_ptr, metrics);
     if (run.slo_enabled) account_spare_span(run, 1);
     if (run.priority_enabled) account_preemption_span(run, 1);
+    if (run.lifecycle_enabled) account_lifecycle_span(run, 1);
     if (metrics) ++metrics->ticks;
 
     const ReqRate load = gather_loads(views, now, run);
@@ -1503,6 +1689,7 @@ MultiSimulationResult Simulator::run_event_driven(
   if (options_.collect_metrics) {
     run.result.metrics.enable();
     metrics = &run.result.metrics;
+    metrics->apps_active_max = static_cast<std::uint64_t>(run.active_count);
   }
 
   // Compiled (RLE) form of every trace: supplied by the caller (sweeps
@@ -1524,10 +1711,14 @@ MultiSimulationResult Simulator::run_event_driven(
   const auto n = static_cast<TimePoint>(longest_trace(views));
   TimePoint t = 0;
   while (t < n) {
-    // 0. Fault events due now, exactly as in the reference loop. Events
-    //    can only be due at span starts: step 2 bounds every span by the
-    //    timeline's next event, so the failure set is constant inside one.
-    //    Any landed event changed the cluster, so cached consults die.
+    // 0. Tenant arrivals/departures due now, then fault events — exactly
+    //    as in the reference loop. Events can only be due at span starts:
+    //    step 2 bounds every span by the timelines' next events, so both
+    //    the active set and the failure set are constant inside one.
+    //    Any landed fault event changed the cluster, so cached consults
+    //    die.
+    if (run.lifecycle_enabled)
+      apply_lifecycle_events(views, t, candidates_, run, nullptr);
     if (run.faults.has_value() &&
         apply_fault_events(t, candidates_, views, run, nullptr) &&
         run.fleet_mode)
@@ -1547,18 +1738,26 @@ MultiSimulationResult Simulator::run_event_driven(
       consult_and_apply(views, t, candidates_, options_.graceful_off, run,
                         nullptr, metrics, run.fleet_mode);
       if (!run.state.reconfiguring) {
+        // Only active tenants constrain the bound (inactive schedulers
+        // are never consulted); with nobody active the span runs to the
+        // next churn event or the trace end. For fixed-tenant runs this
+        // min over every app is exactly the chain it replaces.
+        stable_until = std::numeric_limits<TimePoint>::max();
         if (run.fleet_mode) {
-          stable_until = run.consult_until.front();
-          for (std::size_t i = 1; i < views.size(); ++i)
+          for (std::size_t i = 0; i < views.size(); ++i) {
+            if (run.lifecycle_enabled && !run.active[i]) continue;
             stable_until = std::min(stable_until, run.consult_until[i]);
+          }
         } else {
-          stable_until = views.front().scheduler->decision_stable_until(
-              t, *views.front().trace);
-          for (std::size_t i = 1; i < views.size(); ++i)
+          for (std::size_t i = 0; i < views.size(); ++i) {
+            if (run.lifecycle_enabled && !run.active[i]) continue;
             stable_until = std::min(
                 stable_until,
                 views[i].scheduler->decision_stable_until(t, *views[i].trace));
+          }
         }
+        if (stable_until == std::numeric_limits<TimePoint>::max())
+          stable_until = n;
       }
     }
 
@@ -1597,6 +1796,19 @@ MultiSimulationResult Simulator::run_event_driven(
         cause = run.faults->timeline.next_repair() == fault_at
                     ? SpanEndCause::kCrewCompletion
                     : SpanEndCause::kFault;
+      }
+    }
+    // The next tenant arrival or departure bounds the span exactly like a
+    // fault strike: the active set (and with it the gather, attribution
+    // and coordinator partition) is constant inside one. Step 0 consumed
+    // every event due at or before t, so this is strictly in the future.
+    if (run.lifecycle_enabled &&
+        run.next_lifecycle < run.lifecycle_events.size()) {
+      const TimePoint churn_at =
+          run.lifecycle_events[run.next_lifecycle].time;
+      if (churn_at < span_end) {
+        span_end = churn_at;
+        cause = SpanEndCause::kChurn;
       }
     }
     // Clamping spans at day boundaries costs at most one extra span per
@@ -1664,6 +1876,7 @@ MultiSimulationResult Simulator::run_event_driven(
     if (run.faults.has_value()) account_fault_span(*run.faults, span);
     if (run.slo_enabled) account_spare_span(run, span);
     if (run.priority_enabled) account_preemption_span(run, span);
+    if (run.lifecycle_enabled) account_lifecycle_span(run, span);
     if (run.state.reconfiguring) run.result.reconfiguring_seconds += span;
 
     // 4. Machine transitions progress; completions land exactly at the
@@ -1689,8 +1902,9 @@ MultiSimulationResult Simulator::run_event_driven(
   }
   // Single-workload runs: the per-app streams are exactly the cluster-wide
   // streams (every share is 1.0), so advance_span skipped them — install
-  // the aggregates as the app slice.
-  if (views.size() == 1) {
+  // the aggregates as the app slice. (A lifecycle single-app run went
+  // through the k-way merge and attributed normally.)
+  if (views.size() == 1 && !run.lifecycle_enabled) {
     run.app_qos[0] = run.qos;
     run.app_meters[0] = run.meter;
   }

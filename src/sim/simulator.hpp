@@ -190,6 +190,12 @@ struct SimulationResult {
   /// higher-priority ones after strikes (units, summed over all
   /// preemption instants; see Workload::priority).
   int preemptions = 0;
+  /// Tenant-lifecycle aggregates (Workload::arrive / depart and the
+  /// churn.* scenario keys): apps that became active after t = 0, and
+  /// apps that departed before the end of the replay. Both 0 for the
+  /// classic fixed-tenant model.
+  int arrivals = 0;
+  int departures = 0;
   /// Optional downsampled total power (W), see record_power_every.
   TimeSeries power_series;
   /// Optional structured event log, see record_events.
@@ -245,6 +251,12 @@ class Simulator {
     double slo_spare = 0.25;
     /// Priority class (higher = more important; see Workload::priority).
     int priority = 0;
+    /// Tenant lifecycle: active interval [arrive, depart), -1 = never
+    /// departs (see Workload::arrive / depart). Any view with arrive > 0
+    /// or depart >= 0 switches the run into lifecycle mode; all-default
+    /// views keep the classic fixed-tenant model byte-identical.
+    TimePoint arrive = 0;
+    TimePoint depart = -1;
   };
 
   Simulator(Catalog candidates, SimulatorOptions options = {});

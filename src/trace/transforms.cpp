@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/rng.hpp"
+
 namespace bml {
 
 namespace {
@@ -85,6 +87,65 @@ LoadTrace downsample_max(const LoadTrace& trace, std::size_t factor) {
 LoadTrace quantize(const LoadTrace& trace) {
   auto rates = copy_rates(trace);
   for (double& r : rates) r = std::round(r);
+  return LoadTrace(std::move(rates));
+}
+
+LoadTrace compose_seasonality(const LoadTrace& trace,
+                              double diurnal_amplitude,
+                              double weekly_amplitude, double peak_hour) {
+  if (diurnal_amplitude < 0.0 || diurnal_amplitude > 1.0)
+    throw std::invalid_argument(
+        "compose_seasonality: diurnal amplitude must be in [0, 1]");
+  if (weekly_amplitude < 0.0 || weekly_amplitude > 1.0)
+    throw std::invalid_argument(
+        "compose_seasonality: weekly amplitude must be in [0, 1]");
+  constexpr double kDay = 86400.0;
+  constexpr double kWeek = 604800.0;
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  const double peak = peak_hour * 3600.0;
+  auto rates = copy_rates(trace);
+  for (std::size_t t = 0; t < rates.size(); ++t) {
+    const double phase = static_cast<double>(t) - peak;
+    double envelope = 1.0;
+    if (diurnal_amplitude > 0.0)
+      envelope *= 1.0 + diurnal_amplitude * std::cos(kTwoPi * phase / kDay);
+    if (weekly_amplitude > 0.0)
+      envelope *= 1.0 + weekly_amplitude * std::cos(kTwoPi * phase / kWeek);
+    rates[t] *= envelope;
+  }
+  return LoadTrace(std::move(rates));
+}
+
+LoadTrace add_spikes(const LoadTrace& trace, double interarrival,
+                     double magnitude, double alpha, std::size_t duration,
+                     std::uint64_t seed) {
+  if (interarrival <= 0.0)
+    throw std::invalid_argument("add_spikes: interarrival must be > 0");
+  if (magnitude < 0.0)
+    throw std::invalid_argument("add_spikes: magnitude must be >= 0");
+  if (alpha <= 0.0)
+    throw std::invalid_argument("add_spikes: alpha must be > 0");
+  if (duration == 0)
+    throw std::invalid_argument("add_spikes: duration must be >= 1");
+  auto rates = copy_rates(trace);
+  Rng rng(seed);
+  double at = 0.0;
+  while (true) {
+    // Exponential gap with a 1 s floor, mirroring the fault timeline.
+    const double u = rng.uniform(0.0, 1.0);
+    at += std::max(1.0, -interarrival * std::log(1.0 - u));
+    if (at >= static_cast<double>(rates.size())) break;
+    // Pareto(alpha) height scaled by `magnitude`; the cap keeps a single
+    // extreme draw from dwarfing the rest of the trace.
+    const double v = rng.uniform(0.0, 1.0);
+    const double height =
+        std::min(magnitude * std::pow(1.0 - v, -1.0 / alpha),
+                 100.0 * magnitude);
+    const auto start = static_cast<std::size_t>(at);
+    for (std::size_t k = 0; k < duration && start + k < rates.size(); ++k)
+      rates[start + k] += height * (1.0 - static_cast<double>(k) /
+                                              static_cast<double>(duration));
+  }
   return LoadTrace(std::move(rates));
 }
 

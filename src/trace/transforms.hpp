@@ -5,6 +5,8 @@
 // workload to a custom catalog.
 #pragma once
 
+#include <cstdint>
+
 #include "trace/trace.hpp"
 #include "util/units.hpp"
 
@@ -34,5 +36,26 @@ namespace bml {
 
 /// Rounds every rate to the nearest integer (request counts).
 [[nodiscard]] LoadTrace quantize(const LoadTrace& trace);
+
+/// Multiplies the trace by composed diurnal (24 h) and weekly (7 d)
+/// cosine envelopes: rate(t) *= (1 + Ad*cos(2pi*(t - peak)/86400)) *
+/// (1 + Aw*cos(2pi*(t - peak)/604800)) where peak = peak_hour*3600.
+/// Amplitudes must lie in [0, 1] so the envelope never goes negative;
+/// an amplitude of 0 disables that period. Composable on top of any
+/// generator — turns a flat or noisy base trace into a seasonal one.
+[[nodiscard]] LoadTrace compose_seasonality(const LoadTrace& trace,
+                                            double diurnal_amplitude,
+                                            double weekly_amplitude,
+                                            double peak_hour);
+
+/// Superimposes heavy-tailed load spikes: spike starts are spaced by
+/// exponential gaps with mean `interarrival` seconds (> 0), each spike's
+/// height is Pareto-distributed — `magnitude * (1-u)^(-1/alpha)` req/s,
+/// capped at 100x magnitude — and decays linearly to zero over
+/// `duration` seconds (>= 1). Deterministic in `seed`.
+[[nodiscard]] LoadTrace add_spikes(const LoadTrace& trace,
+                                   double interarrival, double magnitude,
+                                   double alpha, std::size_t duration,
+                                   std::uint64_t seed);
 
 }  // namespace bml

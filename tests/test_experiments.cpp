@@ -199,6 +199,32 @@ TEST(DegradedPriority, LeanFleetTradesContentionForBootStorms) {
             r.aware.total.overload_seconds);
 }
 
+TEST(TenantChurn, AwareCoordinatorBeatsStaticOverProvisioning) {
+  const TenantChurnResult r = run_tenant_churn(1, 7);
+  ASSERT_EQ(r.aware.apps.size(), 2u);
+  ASSERT_EQ(r.baseline.apps.size(), 2u);
+  // The aware run logs the visitor's residency; the static run has no
+  // lifecycle at all.
+  EXPECT_EQ(r.aware.total.arrivals, 1);
+  EXPECT_EQ(r.aware.total.departures, 1);
+  EXPECT_EQ(r.baseline.total.arrivals, 0);
+  EXPECT_EQ(r.baseline.total.departures, 0);
+  // Attribution integrates over the residency window only.
+  EXPECT_EQ(r.aware.apps[1].active_seconds, r.depart - r.arrive);
+  EXPECT_EQ(r.aware.apps[0].active_seconds, 86'400);
+  EXPECT_EQ(r.baseline.apps[1].active_seconds, 86'400);
+  // Draining the absent tenant's machines beats holding them all day,
+  // without degrading the always-on frontend.
+  EXPECT_GT(r.energy_saved(), 0.0);
+  EXPECT_GT(r.frontend_served_delta(), -0.002);
+  EXPECT_LT(r.aware.apps[1].compute_energy, r.baseline.apps[1].compute_energy);
+  // Determinism: same seed, same deltas.
+  const TenantChurnResult again = run_tenant_churn(1, 7);
+  EXPECT_EQ(again.energy_saved(), r.energy_saved());
+  EXPECT_EQ(again.aware.total.reconfigurations,
+            r.aware.total.reconfigurations);
+}
+
 TEST(Fig5, StaticFleetNeverReconfigures) {
   Fig5Options options;
   options.trace.days = 1;

@@ -1,6 +1,7 @@
 // Scenario fuzzer: randomised `.scn` specs over the cartesian space of
 // traces x schedulers x predictors x fault channels x SLO targets x
-// degrade models x priority classes x app counts, each replayed through
+// degrade models x priority classes x tenant lifecycles (arrive/depart
+// intervals and stochastic churn) x app counts, each replayed through
 // both execution strategies. The property
 // under test is the engine-wide equivalence contract: integer counters
 // bit-exact, floating-point integrals within 1e-9, for *any* valid spec —
@@ -90,7 +91,28 @@ std::string random_workload(Rng& rng, bool top_level, int shared_domains = 0,
     // the sweep layer rejects a class that cannot rank anything.
     if (allow_priority && rng.chance(0.5))
       os << "priority = " << rng.uniform_int(0, 3) << '\n';
+    // Tenant lifecycle: some sections arrive late and/or depart early, so
+    // churn events cut fast-path spans in every regime the fuzzer visits.
+    if (rng.chance(0.3))
+      os << "arrive = " << rng.uniform_int(1, duration / 2) << '\n';
+    if (rng.chance(0.3))
+      os << "depart = " << rng.uniform_int(duration / 2 + 1, duration) << '\n';
   }
+  return os.str();
+}
+
+/// Top-level stochastic churn block: seed-deterministic clone arrivals on
+/// top of the declared sections, exercised in both the small-k and the
+/// fleet regime.
+std::string random_churn(Rng& rng, int sections) {
+  std::ostringstream os;
+  os << "churn.interarrival = " << rng.uniform_int(600, 2400) << '\n';
+  os << "churn.lifetime = " << rng.uniform_int(600, 3600) << '\n';
+  os << "churn.max = " << rng.uniform_int(1, 4) << '\n';
+  if (sections > 1 && rng.chance(0.5))
+    os << "churn.template = " << rng.uniform_int(0, sections - 1) << '\n';
+  if (rng.chance(0.5))
+    os << "churn.seed = " << rng.uniform_int(1, 1'000'000) << '\n';
   return os.str();
 }
 
@@ -136,6 +158,7 @@ std::string random_spec_text(Rng& rng, int iteration) {
       os << "coordinator = partitioned\n";
       os << "coordinator.budget = design-max\n";
     }
+    if (rng.chance(0.4)) os << random_churn(rng, sections);
     for (int a = 0; a < sections; ++a) {
       os << "[app]\nname = app" << a << '\n';
       os << "replicas = " << rng.uniform_int(2, 4) << '\n';
@@ -146,6 +169,7 @@ std::string random_spec_text(Rng& rng, int iteration) {
   }
   const int apps = static_cast<int>(rng.uniform_int(0, 3));
   if (apps == 0) {
+    if (rng.chance(0.3)) os << random_churn(rng, 1);
     os << random_workload(rng, /*top_level=*/true);
     if (rng.chance(0.4)) os << "slo.availability = 0.999\n";
   } else {
@@ -153,6 +177,7 @@ std::string random_spec_text(Rng& rng, int iteration) {
       os << "coordinator = partitioned\n";
       os << "coordinator.budget = design-max\n";
     }
+    if (rng.chance(0.4)) os << random_churn(rng, apps);
     for (int a = 0; a < apps; ++a) {
       os << "[app]\nname = app" << a << '\n';
       os << random_workload(rng, /*top_level=*/false, /*shared_domains=*/0,
@@ -189,6 +214,8 @@ TEST(FuzzScenarios, EveryRandomSpecHoldsTheEquivalenceContract) {
     EXPECT_EQ(fast.sim.spare_seconds, reference.sim.spare_seconds);
     EXPECT_EQ(fast.sim.overload_seconds, reference.sim.overload_seconds);
     EXPECT_EQ(fast.sim.preemptions, reference.sim.preemptions);
+    EXPECT_EQ(fast.sim.arrivals, reference.sim.arrivals);
+    EXPECT_EQ(fast.sim.departures, reference.sim.departures);
     EXPECT_EQ(fast.sim.qos.total_seconds, reference.sim.qos.total_seconds);
     EXPECT_EQ(fast.sim.qos.violation_seconds,
               reference.sim.qos.violation_seconds);
@@ -219,6 +246,7 @@ TEST(FuzzScenarios, EveryRandomSpecHoldsTheEquivalenceContract) {
                 reference.apps[a].domain_overload_seconds);
       EXPECT_EQ(fast.apps[a].preempted_seconds,
                 reference.apps[a].preempted_seconds);
+      EXPECT_EQ(fast.apps[a].active_seconds, reference.apps[a].active_seconds);
       EXPECT_EQ(fast.apps[a].qos_stats.violation_seconds,
                 reference.apps[a].qos_stats.violation_seconds);
       expect_close(fast.apps[a].compute_energy,

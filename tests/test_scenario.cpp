@@ -726,6 +726,156 @@ trace.duration = 1200
   EXPECT_EQ(plain.to_csv().find("preemptions"), std::string::npos);
 }
 
+TEST(ScenarioSpec, ParsesLifecycleKeysAndValidates) {
+  const ScenarioSpec spec = parse_scenario(R"(name = lifecycle
+churn.interarrival = 1800
+churn.lifetime = 1200
+churn.template = 1
+churn.max = 3
+churn.seed = 11
+[app]
+name = web
+arrive = 600
+[app]
+name = batch
+depart = 5400
+)");
+  EXPECT_DOUBLE_EQ(spec.churn_interarrival, 1800.0);
+  EXPECT_DOUBLE_EQ(spec.churn_lifetime, 1200.0);
+  EXPECT_EQ(spec.churn_template, 1);
+  EXPECT_EQ(spec.churn_max, 3);
+  EXPECT_EQ(spec.churn_seed, 11);
+  ASSERT_EQ(spec.apps.size(), 2u);
+  EXPECT_EQ(spec.apps[0].arrive, 600);
+  EXPECT_EQ(spec.apps[0].depart, -1);
+  EXPECT_EQ(spec.apps[1].arrive, 0);
+  EXPECT_EQ(spec.apps[1].depart, 5400);
+  const std::string text = write_scenario(spec);
+  EXPECT_EQ(parse_scenario(text), spec);
+  EXPECT_EQ(write_scenario(parse_scenario(text)), text);
+  // Defaults stay out of the canonical form entirely.
+  EXPECT_EQ(write_scenario(ScenarioSpec()).find("churn"), std::string::npos);
+  EXPECT_EQ(write_scenario(ScenarioSpec()).find("arrive"), std::string::npos);
+  EXPECT_THROW((void)parse_scenario("[app]\narrive = -5\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("[app]\ndepart = 0\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("churn.interarrival = -1\n"),
+               std::runtime_error);
+}
+
+TEST(RunScenario, LifecycleMisconfigurationsAreNamedErrors) {
+  // A lone churn rate, a template index past the declared sections, and a
+  // departure at or before the arrival all refuse loudly at build time.
+  ScenarioSpec spec;
+  spec.trace_params["rate"] = "100";
+  spec.trace_params["duration"] = "600";
+  spec.churn_interarrival = 300.0;
+  try {
+    (void)run_scenario(spec);
+    FAIL() << "expected a validation error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("churn.interarrival"), std::string::npos) << what;
+    EXPECT_NE(what.find("churn.lifetime"), std::string::npos) << what;
+  }
+  spec.churn_lifetime = 300.0;
+  spec.churn_template = 2;
+  try {
+    (void)run_scenario(spec);
+    FAIL() << "expected a validation error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("churn.template"), std::string::npos) << what;
+  }
+  ScenarioSpec bad;
+  bad.trace_params["rate"] = "100";
+  bad.trace_params["duration"] = "600";
+  bad.apps.push_back(AppSpec{});
+  bad.apps.push_back(AppSpec{});
+  bad.apps[1].arrive = 300;
+  bad.apps[1].depart = 300;
+  EXPECT_THROW((void)run_scenario(bad), std::invalid_argument);
+}
+
+TEST(RunSweep, ChurnColumnsArePinnedAndThreadStable) {
+  // A configured tenant lifecycle appends arrivals / departures after the
+  // classic cluster block and active_seconds at the end of each per-app
+  // group. Pinned so downstream tooling can rely on the schema, and
+  // byte-identical across thread counts. churn.max = 1 with a short mean
+  // interarrival guarantees exactly one clone materializes.
+  const ScenarioSpec spec = parse_scenario(R"(name = churny
+seed = 7
+coordinator = partitioned
+churn.interarrival = 600
+churn.lifetime = 1800
+churn.max = 1
+[app]
+name = web
+trace = constant
+trace.rate = 900
+trace.duration = 7200
+[app]
+name = batch
+trace = constant
+trace.rate = 400
+trace.duration = 7200
+depart = 3600
+)");
+  const SweepReport one = run_sweep(spec, SweepOptions{.threads = 1});
+  ASSERT_EQ(one.rows.size(), 1u);
+  EXPECT_TRUE(one.rows[0].churn_enabled);
+  EXPECT_EQ(one.rows[0].arrivals, 1);
+  EXPECT_GE(one.rows[0].departures, 1);
+  ASSERT_EQ(one.rows[0].apps.size(), 3u);
+  EXPECT_EQ(one.rows[0].apps[1].active_seconds, 3600);
+  EXPECT_LT(one.rows[0].apps[2].active_seconds, 7200);
+
+  const std::string csv = one.to_csv();
+  const std::string header = csv.substr(0, csv.find('\n'));
+  EXPECT_EQ(header,
+            "scenario,scheduler_name,total_energy_j,compute_energy_j,"
+            "reconfiguration_energy_j,reconfigurations,qos_violation_s,"
+            "served_fraction,mean_power_w,peak_machines,arrivals,departures,"
+            "app0_name,app0_compute_energy_j,app0_reconfiguration_energy_j,"
+            "app0_qos_violation_s,app0_served_fraction,app0_active_seconds,"
+            "app1_name,app1_compute_energy_j,app1_reconfiguration_energy_j,"
+            "app1_qos_violation_s,app1_served_fraction,app1_active_seconds,"
+            "app2_name,app2_compute_energy_j,app2_reconfiguration_energy_j,"
+            "app2_qos_violation_s,app2_served_fraction,app2_active_seconds");
+  const SweepReport four = run_sweep(spec, SweepOptions{.threads = 4});
+  EXPECT_EQ(csv, four.to_csv());
+}
+
+TEST(RunSweep, ChurnFreeSpecsKeepTheSchema) {
+  // Without churn rates or an active interval on any app, not a single
+  // CSV byte changes — the lifecycle machinery stays entirely out of the
+  // way (the run does not even enable it).
+  const ScenarioSpec spec = parse_scenario(R"(name = clean
+[app]
+name = a
+trace = constant
+trace.rate = 300
+trace.duration = 1200
+[app]
+name = b
+trace = constant
+trace.rate = 200
+trace.duration = 1200
+)");
+  const SweepReport plain = run_sweep(spec, SweepOptions{.threads = 1});
+  EXPECT_FALSE(plain.rows[0].churn_enabled);
+  EXPECT_EQ(plain.to_csv().find("arrivals"), std::string::npos);
+  EXPECT_EQ(plain.to_csv().find("active_seconds"), std::string::npos);
+  // An explicit arrive = 0 / depart = -1 pair is the always-active
+  // default, not a configured lifecycle.
+  ScenarioSpec defaults = spec;
+  defaults.apps[0].arrive = 0;
+  defaults.apps[1].depart = -1;
+  const SweepReport same = run_sweep(defaults, SweepOptions{.threads = 1});
+  EXPECT_EQ(plain.to_csv(), same.to_csv());
+}
+
 TEST(RunSweep, DegradeAndPriorityAxesKeepTheSharedBuild) {
   // degrade.* and priority (like faults.* / slo.*) are runtime-only:
   // sweeping them must not force per-scenario catalog / trace / design

@@ -686,6 +686,138 @@ TEST(SimulatorFastPath, FleetModeGracefulDegradationEverythingOn) {
             reference.apps[2].domain_overload_seconds);
 }
 
+TEST(SimulatorFastPath, FleetModeTenantChurnEverythingOn) {
+  // The acceptance case of the tenant-lifecycle layer: six apps in the
+  // fused k-way merge regime where two tenants arrive mid-run, one
+  // departs early, and one both arrives and departs — on top of machine
+  // faults, rack strikes, a repair crew, an availability SLO, the degrade
+  // model, and priority classes, all under the partitioned coordinator.
+  // Both strategies must agree on every counter exactly and every
+  // integral within 1e-9; churn-free tenants keep their full-horizon
+  // active window.
+  DiurnalOptions web;
+  web.peak = 1100.0;
+  web.noise = 0.2;
+  web.seed = 11;
+  DiurnalOptions api;
+  api.peak = 800.0;
+  api.noise = 0.25;
+  api.peak_hour = 7.0;
+  api.seed = 12;
+  const LoadTrace traces[] = {diurnal_trace(web, 1), diurnal_trace(api, 1),
+                              constant_trace(450.0, 86'400.0),
+                              constant_trace(350.0, 86'400.0),
+                              constant_trace(500.0, 86'400.0),
+                              constant_trace(280.0, 86'400.0)};
+  const std::string names[] = {"web", "api",   "batch",
+                               "scavenger", "burst", "visitor"};
+  const std::string domains[] = {"pool-a", "pool-a", "pool-a",
+                                 "pool-b", "pool-b", "pool-a"};
+  const int priorities[] = {2, 1, 0, 0, 1, 0};
+  const TimePoint arrives[] = {0, 0, 0, 0, 21'600, 28'800};
+  const TimePoint departs[] = {-1, -1, 64'800, -1, -1, 57'600};
+
+  const auto run_with = [&](bool event_driven) {
+    SimulatorOptions options;
+    options.event_driven = event_driven;
+    options.coordinator = CoordinatorMode::kPartitioned;
+    options.coordinator_budget = design()->max_rate();
+    options.faults.mtbf = 14'400.0;
+    options.faults.mttr = 1200.0;
+    options.faults.groups = 2;
+    options.faults.group_mtbf = 4.0 * 3600.0;
+    options.faults.group_mttr = 1500.0;
+    options.faults.crews = 1;
+    options.faults.seed = 47;
+    options.slo_window = 7200.0;
+    options.degrade.overload_factor = 0.5;
+    options.degrade.penalty = 0.4;
+    const Simulator sim(design()->candidates(), options);
+    std::vector<std::unique_ptr<Scheduler>> schedulers;
+    std::vector<Simulator::WorkloadView> views;
+    for (std::size_t i = 0; i < 6; ++i) {
+      schedulers.push_back(std::make_unique<BmlScheduler>(
+          design(), std::make_shared<OracleMaxPredictor>()));
+      Simulator::WorkloadView view{&names[i], &traces[i], schedulers[i].get(),
+                                   QosClass::kTolerant, 1.0, nullptr,
+                                   &domains[i]};
+      if (i == 0) {
+        view.slo_availability = 0.999;
+        view.slo_spare = 0.5;
+      }
+      view.priority = priorities[i];
+      view.arrive = arrives[i];
+      view.depart = departs[i];
+      views.push_back(view);
+    }
+    return sim.run(views);
+  };
+
+  const MultiSimulationResult fast = run_with(true);
+  const MultiSimulationResult reference = run_with(false);
+  // Every channel actually engaged, including the lifecycle one.
+  ASSERT_GT(reference.total.machine_failures, 0);
+  ASSERT_GT(reference.total.group_strikes, 0);
+  ASSERT_GT(reference.total.spare_seconds, 0);
+  ASSERT_GT(reference.total.overload_seconds, 0);
+  ASSERT_EQ(reference.total.arrivals, 2);
+  ASSERT_EQ(reference.total.departures, 2);
+
+  expect_fault_accounting_equivalent(fast.total, reference.total);
+  EXPECT_EQ(fast.total.group_strikes, reference.total.group_strikes);
+  EXPECT_EQ(fast.total.spare_seconds, reference.total.spare_seconds);
+  EXPECT_EQ(fast.total.overload_seconds, reference.total.overload_seconds);
+  EXPECT_EQ(fast.total.preemptions, reference.total.preemptions);
+  EXPECT_EQ(fast.total.arrivals, reference.total.arrivals);
+  EXPECT_EQ(fast.total.departures, reference.total.departures);
+  EXPECT_EQ(fast.total.reconfigurations, reference.total.reconfigurations);
+  EXPECT_EQ(fast.total.qos.total_seconds, reference.total.qos.total_seconds);
+  EXPECT_EQ(fast.total.qos.violation_seconds,
+            reference.total.qos.violation_seconds);
+  expect_close(fast.total.compute_energy, reference.total.compute_energy,
+               "compute_energy");
+  expect_close(fast.total.reconfiguration_energy,
+               reference.total.reconfiguration_energy,
+               "reconfiguration_energy");
+  expect_close(fast.total.penalty_lost_capacity,
+               reference.total.penalty_lost_capacity,
+               "penalty_lost_capacity");
+  expect_close(fast.total.spare_energy, reference.total.spare_energy,
+               "spare_energy");
+  expect_close(fast.total.lost_capacity, reference.total.lost_capacity,
+               "lost_capacity");
+
+  ASSERT_EQ(fast.apps.size(), reference.apps.size());
+  for (std::size_t i = 0; i < reference.apps.size(); ++i) {
+    EXPECT_EQ(fast.apps[i].active_seconds, reference.apps[i].active_seconds)
+        << names[i];
+    EXPECT_EQ(fast.apps[i].overload_seconds,
+              reference.apps[i].overload_seconds)
+        << names[i];
+    EXPECT_EQ(fast.apps[i].domain_overload_seconds,
+              reference.apps[i].domain_overload_seconds)
+        << names[i];
+    EXPECT_EQ(fast.apps[i].preempted_seconds,
+              reference.apps[i].preempted_seconds)
+        << names[i];
+    EXPECT_EQ(fast.apps[i].spare_seconds, reference.apps[i].spare_seconds)
+        << names[i];
+    EXPECT_EQ(fast.apps[i].qos_stats.violation_seconds,
+              reference.apps[i].qos_stats.violation_seconds)
+        << names[i];
+    expect_close(fast.apps[i].penalty_lost_capacity,
+                 reference.apps[i].penalty_lost_capacity, names[i].c_str());
+    expect_close(fast.apps[i].compute_energy,
+                 reference.apps[i].compute_energy, names[i].c_str());
+  }
+  // Lifecycle attribution: always-on tenants cover the whole horizon,
+  // bounded tenants exactly their window.
+  EXPECT_EQ(reference.apps[0].active_seconds, 86'400);
+  EXPECT_EQ(reference.apps[2].active_seconds, 64'800);
+  EXPECT_EQ(reference.apps[4].active_seconds, 86'400 - 21'600);
+  EXPECT_EQ(reference.apps[5].active_seconds, 57'600 - 28'800);
+}
+
 TEST(SimulatorFastPath, BootFaultScenario) {
   const LoadTrace trace = step_trace(
       {{100.0, 1200.0}, {2600.0, 1200.0}, {80.0, 1200.0}, {1900.0, 1200.0}});
